@@ -1,0 +1,163 @@
+// google-benchmark micro-benchmarks for the computational kernels under CAD:
+// CSR matvec, PCG Laplacian solves, approximate commute embedding builds,
+// exact pseudoinverse builds, transition scoring, power iteration, Lanczos
+// Fiedler pairs, incomplete-Cholesky factorization, and sampled closeness.
+
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+#include "commute/approx_commute.h"
+#include "commute/exact_commute.h"
+#include "core/edge_scores.h"
+#include "datagen/random_graphs.h"
+#include "graph/centrality.h"
+#include "linalg/conjugate_gradient.h"
+#include "linalg/incomplete_cholesky.h"
+#include "linalg/lanczos.h"
+#include "linalg/power_iteration.h"
+
+namespace cad {
+namespace {
+
+WeightedGraph BenchGraph(size_t n, double degree = 8.0) {
+  RandomGraphOptions options;
+  options.num_nodes = n;
+  options.average_degree = degree;
+  options.seed = 12345 + n;
+  return MakeRandomSparseGraph(options);
+}
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const CsrMatrix a = BenchGraph(n).ToAdjacencyCsr();
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    y.assign(n, 0.0);
+    a.MultiplyAccumulate(1.0, x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.nnz()));
+}
+BENCHMARK(BM_CsrMatvec)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LaplacianPcgSolve(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchGraph(n);
+  const CsrMatrix l = g.ToLaplacianCsr(1e-8 * g.Volume());
+  std::vector<double> b(n, 0.0);
+  b[0] = 1.0;
+  b[n - 1] = -1.0;
+  const ConjugateGradientSolver solver;
+  std::vector<double> x;
+  for (auto _ : state) {
+    auto summary = solver.Solve(l, b, &x);
+    CAD_CHECK(summary.ok());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LaplacianPcgSolve)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ApproxEmbeddingBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchGraph(n);
+  ApproxCommuteOptions options;
+  options.embedding_dim = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto oracle = ApproxCommuteEmbedding::Build(g, options);
+    CAD_CHECK(oracle.ok());
+    benchmark::DoNotOptimize(oracle->embedding().data().data());
+  }
+}
+BENCHMARK(BM_ApproxEmbeddingBuild)
+    ->Args({1000, 10})
+    ->Args({1000, 50})
+    ->Args({10000, 10})
+    ->Args({10000, 50});
+
+void BM_ExactCommuteBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchGraph(n);
+  for (auto _ : state) {
+    auto oracle = ExactCommuteTime::Build(g);
+    CAD_CHECK(oracle.ok());
+    benchmark::DoNotOptimize(oracle->laplacian_pseudoinverse().data().data());
+  }
+}
+BENCHMARK(BM_ExactCommuteBuild)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_TransitionScoring(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  RandomGraphOptions options;
+  options.num_nodes = n;
+  options.average_degree = 8.0;
+  options.seed = 999;
+  const TemporalGraphSequence seq = MakeRandomTransition(options, 0.1, 0.02);
+  ApproxCommuteOptions approx;
+  approx.embedding_dim = 25;
+  auto before = ApproxCommuteEmbedding::Build(seq.Snapshot(0), approx);
+  auto after = ApproxCommuteEmbedding::Build(seq.Snapshot(1), approx);
+  CAD_CHECK(before.ok());
+  CAD_CHECK(after.ok());
+  for (auto _ : state) {
+    const TransitionScores scores =
+        ComputeTransitionScores(seq.Snapshot(0), seq.Snapshot(1), *before,
+                                *after, EdgeScoreKind::kCad);
+    benchmark::DoNotOptimize(scores.total_score);
+  }
+}
+BENCHMARK(BM_TransitionScoring)->Arg(1000)->Arg(10000);
+
+void BM_PowerIteration(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const CsrMatrix a = BenchGraph(n).ToAdjacencyCsr();
+  for (auto _ : state) {
+    auto result = PrincipalEigenvector(a);
+    CAD_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->eigenvalue);
+  }
+}
+BENCHMARK(BM_PowerIteration)->Arg(1000)->Arg(10000);
+
+void BM_LanczosFiedler(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const CsrMatrix l = BenchGraph(n).ToLaplacianCsr();
+  LanczosOptions options;
+  options.num_eigenpairs = 3;
+  for (auto _ : state) {
+    auto result = SmallestEigenpairs(l, options);
+    CAD_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->eigenvalues.data());
+  }
+}
+BENCHMARK(BM_LanczosFiedler)->Arg(1000)->Arg(10000);
+
+void BM_IncompleteCholeskyFactor(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchGraph(n);
+  const CsrMatrix l = g.ToLaplacianCsr(1e-6 * g.Volume());
+  for (auto _ : state) {
+    auto ic = IncompleteCholesky::Factor(l);
+    CAD_CHECK(ic.ok());
+    benchmark::DoNotOptimize(ic->lower().values().data());
+  }
+}
+BENCHMARK(BM_IncompleteCholeskyFactor)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SampledCloseness(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchGraph(n);
+  ClosenessOptions options;
+  options.num_samples = 32;
+  for (auto _ : state) {
+    const std::vector<double> centrality = ClosenessCentrality(g, options);
+    benchmark::DoNotOptimize(centrality.data());
+  }
+}
+BENCHMARK(BM_SampledCloseness)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cad
+
+BENCHMARK_MAIN();

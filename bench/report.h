@@ -1,0 +1,76 @@
+#ifndef CAD_BENCH_REPORT_H_
+#define CAD_BENCH_REPORT_H_
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cad {
+namespace bench {
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::cout << "\n" << std::string(72, '=') << "\n"
+            << title << "\n"
+            << std::string(72, '=') << "\n";
+}
+
+/// Prints a sub-section header.
+inline void Section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+/// \brief Fixed-width text table for reproducing the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    CAD_CHECK_EQ(cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&widths](const std::vector<std::string>& row) {
+      std::cout << "  ";
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::cout << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                  << row[c];
+      }
+      std::cout << "\n";
+    };
+    print_row(headers_);
+    size_t total_width = 2;
+    for (size_t w : widths) total_width += w + 2;
+    std::cout << "  " << std::string(total_width - 2, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals.
+inline std::string Fixed(double value, int decimals = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace cad
+
+#endif  // CAD_BENCH_REPORT_H_

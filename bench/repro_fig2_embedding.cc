@@ -1,0 +1,136 @@
+// Reproduces Fig. 2: the 2-D Laplacian eigenmap embeddings of the toy
+// example's two time slices (paper §3.5). The paper reads three geometric
+// facts off the plots, all verified here:
+//  - at time t the blue and red communities are well separated;
+//  - at t+1 the subgroup {r4, r6, r8, r9} drifts away from the red core
+//    (the weakened r7-r8 bridge);
+//  - b1/r1 and b4/b5 move much closer together (the new edge / the
+//    strengthened edge).
+
+#include <cmath>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "graph/spectral_embedding.h"
+#include "datagen/toy_example.h"
+#include "report.h"
+
+namespace cad {
+namespace {
+
+double Distance2d(const DenseMatrix& coords, NodeId a, NodeId b) {
+  const double dx = coords(a, 0) - coords(b, 0);
+  const double dy = coords(a, 1) - coords(b, 1);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Renders the embedding as a coarse ASCII scatter plot.
+void AsciiScatter(const DenseMatrix& coords,
+                  const std::vector<std::string>& names) {
+  constexpr int kWidth = 64;
+  constexpr int kHeight = 20;
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (size_t i = 0; i < coords.rows(); ++i) {
+    min_x = std::min(min_x, coords(i, 0));
+    max_x = std::max(max_x, coords(i, 0));
+    min_y = std::min(min_y, coords(i, 1));
+    max_y = std::max(max_y, coords(i, 1));
+  }
+  const double span_x = std::max(max_x - min_x, 1e-12);
+  const double span_y = std::max(max_y - min_y, 1e-12);
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, ' '));
+  for (size_t i = 0; i < coords.rows(); ++i) {
+    const int col = static_cast<int>((coords(i, 0) - min_x) / span_x *
+                                     (kWidth - 3));
+    const int row = static_cast<int>((coords(i, 1) - min_y) / span_y *
+                                     (kHeight - 1));
+    // Two-character node tags ("b1", "r7").
+    const std::string& tag = names[i];
+    for (size_t c = 0; c < tag.size() && col + static_cast<int>(c) < kWidth;
+         ++c) {
+      canvas[static_cast<size_t>(kHeight - 1 - row)]
+            [static_cast<size_t>(col) + c] = tag[c];
+    }
+  }
+  for (const std::string& line : canvas) std::cout << "  |" << line << "|\n";
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  const ToyExample toy = MakeToyExample();
+  auto before = ComputeSpectralEmbedding(toy.sequence.Snapshot(0));
+  auto after = ComputeSpectralEmbedding(toy.sequence.Snapshot(1));
+  CAD_CHECK(before.ok()) << before.status().ToString();
+  CAD_CHECK(after.ok()) << after.status().ToString();
+
+  bench::Banner("Fig. 2 — Laplacian eigenmap embeddings of the toy example");
+
+  bench::Section("(a) time slice t");
+  AsciiScatter(before->coordinates, toy.node_names);
+  bench::Section("(b) time slice t+1");
+  AsciiScatter(after->coordinates, toy.node_names);
+
+  bench::Section("Embedding coordinates (Fiedler, 3rd eigenvector)");
+  {
+    bench::Table table({"node", "x(t)", "y(t)", "x(t+1)", "y(t+1)"});
+    for (NodeId node = 0; node < 17; ++node) {
+      table.AddRow({toy.node_names[node],
+                    bench::Fixed(before->coordinates(node, 0), 3),
+                    bench::Fixed(before->coordinates(node, 1), 3),
+                    bench::Fixed(after->coordinates(node, 0), 3),
+                    bench::Fixed(after->coordinates(node, 1), 3)});
+    }
+    table.Print();
+  }
+
+  bench::Section("The paper's three observations, quantified");
+  {
+    bench::Table table({"pair / group", "distance at t", "distance at t+1",
+                        "expected"});
+    table.AddRow({"b1 - r1",
+                  bench::Fixed(Distance2d(before->coordinates, ToyBlue(1),
+                                          ToyRed(1)), 3),
+                  bench::Fixed(Distance2d(after->coordinates, ToyBlue(1),
+                                          ToyRed(1)), 3),
+                  "closer (new edge)"});
+    table.AddRow({"b4 - b5",
+                  bench::Fixed(Distance2d(before->coordinates, ToyBlue(4),
+                                          ToyBlue(5)), 3),
+                  bench::Fixed(Distance2d(after->coordinates, ToyBlue(4),
+                                          ToyBlue(5)), 3),
+                  "closer (strengthened)"});
+    table.AddRow({"r8 - r7",
+                  bench::Fixed(Distance2d(before->coordinates, ToyRed(8),
+                                          ToyRed(7)), 3),
+                  bench::Fixed(Distance2d(after->coordinates, ToyRed(8),
+                                          ToyRed(7)), 3),
+                  "farther (weakened bridge)"});
+    // Mean distance of the detached subgroup from the red core.
+    const auto subgroup_spread = [&](const DenseMatrix& coords) {
+      double total = 0.0;
+      int count = 0;
+      for (int detached : {4, 6, 8, 9}) {
+        for (int core : {1, 2, 3, 5, 7}) {
+          total += Distance2d(coords, ToyRed(detached), ToyRed(core));
+          ++count;
+        }
+      }
+      return total / count;
+    };
+    table.AddRow({"{r4,r6,r8,r9} vs red core",
+                  bench::Fixed(subgroup_spread(before->coordinates), 3),
+                  bench::Fixed(subgroup_spread(after->coordinates), 3),
+                  "farther (split)"});
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }

@@ -1,0 +1,147 @@
+// Reproduces the precipitation case study (§4.2.3, Figs. 9 & 10): CAD with
+// l = 30 on yearly value-space 10-NN graphs must localize, at the
+// teleconnection transition, edges linking the coherently shifted regions
+// to their unchanged reference regions — while the year-over-year regional
+// rainfall differences (Fig. 10) stay too subtle for per-series detection.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/cad_detector.h"
+#include "core/threshold.h"
+#include "datagen/precip_sim.h"
+#include "report.h"
+
+namespace cad {
+namespace {
+
+std::string RegionName(const PrecipSimData& data, NodeId cell) {
+  const uint32_t region = data.region_of[cell];
+  return region == 0xffffffffu ? "background" : data.regions[region].name;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t grid_width = 30;
+  int64_t grid_height = 20;
+  int64_t num_years = 21;
+  int64_t l = 30;
+  int64_t k = 50;
+  int64_t seed = 77;
+  flags.AddInt64("grid_width", &grid_width, "grid width (paper: 67,420 cells)");
+  flags.AddInt64("grid_height", &grid_height, "grid height");
+  flags.AddInt64("years", &num_years, "yearly snapshots (paper: 21)");
+  flags.AddInt64("l", &l, "target anomalous nodes per transition (paper: 30)");
+  flags.AddInt64("k", &k, "embedding dimension (paper: 50)");
+  flags.AddInt64("seed", &seed, "simulator seed");
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  PrecipSimOptions sim;
+  sim.grid_width = static_cast<size_t>(grid_width);
+  sim.grid_height = static_cast<size_t>(grid_height);
+  sim.num_years = static_cast<size_t>(num_years);
+  sim.event_year = static_cast<size_t>(num_years * 2 / 3);
+  sim.seed = static_cast<uint64_t>(seed);
+  const PrecipSimData data = MakePrecipitationData(sim);
+
+  bench::Banner("Precipitation network (paper §4.2.3): Figs. 9 and 10");
+  std::cout << "  cells = " << grid_width * grid_height
+            << ", years = " << num_years << ", event transition = "
+            << data.event_transition << ", l = " << l << ", k = " << k << "\n";
+
+  CadOptions options;
+  options.engine = CommuteEngine::kApprox;
+  options.approx.embedding_dim = static_cast<size_t>(k);
+  CadDetector detector(options);
+  Timer timer;
+  auto analyses = detector.Analyze(data.sequence);
+  CAD_CHECK(analyses.ok()) << analyses.status().ToString();
+  std::cout << "  processed " << num_years << " snapshots in "
+            << bench::Fixed(timer.ElapsedSeconds(), 2) << " s\n";
+
+  bench::Section("Fig. 9 — top anomalous edges at the event transition "
+                 "(region pairs)");
+  {
+    const TransitionScores& scores = (*analyses)[data.event_transition];
+    bench::Table table({"rank", "dE", "endpoint regions"});
+    std::map<std::string, int> region_pair_counts;
+    const size_t top_k = 20;
+    for (size_t i = 0; i < std::min(top_k, scores.edges.size()); ++i) {
+      const NodePair pair = scores.edges[i].pair;
+      std::string a = RegionName(data, pair.u);
+      std::string b = RegionName(data, pair.v);
+      if (b < a) std::swap(a, b);
+      ++region_pair_counts[a + " <-> " + b];
+      if (i < 10) {
+        table.AddRow({std::to_string(i + 1),
+                      bench::Fixed(scores.edges[i].score, 3), a + " <-> " + b});
+      }
+    }
+    table.Print();
+    std::cout << "  top-" << top_k << " region-pair histogram:\n";
+    for (const auto& [pair_name, count] : region_pair_counts) {
+      std::cout << "    " << pair_name << ": " << count << "\n";
+    }
+    std::cout << "  (expected: pairs linking the shifted regions — southern"
+              << " africa, brazil, peru, australia — to reference regions)\n";
+  }
+
+  bench::Section("Shifted-region enrichment across transitions");
+  {
+    bench::Table table({"transition", "top-20 edges touching shifted region",
+                        "event?"});
+    for (size_t t = 0; t < analyses->size(); ++t) {
+      const TransitionScores& scores = (*analyses)[t];
+      size_t touching = 0;
+      for (size_t i = 0; i < std::min<size_t>(20, scores.edges.size()); ++i) {
+        const NodePair pair = scores.edges[i].pair;
+        if (data.cell_in_shifted_region[pair.u] ||
+            data.cell_in_shifted_region[pair.v]) {
+          ++touching;
+        }
+      }
+      const bool is_event = t == data.event_transition ||
+                            t == data.event_transition + 1;
+      table.AddRow({std::to_string(t), std::to_string(touching),
+                    is_event ? "yes" : ""});
+    }
+    table.Print();
+    std::cout << "  (expected: enrichment peaks at the event transition and"
+              << " the reversal right after)\n";
+  }
+
+  bench::Section("Fig. 10 — year-over-year regional mean rainfall differences");
+  {
+    std::vector<std::string> headers = {"transition"};
+    for (const ClimateRegion& region : data.regions) {
+      if (region.event_sign != 0) headers.push_back(region.name);
+    }
+    headers.push_back("event?");
+    bench::Table table(headers);
+    for (size_t t = 0; t + 1 < static_cast<size_t>(num_years); ++t) {
+      std::vector<std::string> row = {std::to_string(t)};
+      for (size_t r = 0; r < data.regions.size(); ++r) {
+        if (data.regions[r].event_sign == 0) continue;
+        row.push_back(bench::Fixed(
+            data.RegionalMean(r, t + 1) - data.RegionalMean(r, t), 2));
+      }
+      row.push_back(t == data.event_transition ? "yes" : "");
+      table.AddRow(row);
+    }
+    table.Print();
+    std::cout << "  (expected: the event-transition differences are NOT"
+              << " extreme outliers in each series — the signal is the"
+              << " simultaneity across regions, which is what CAD exploits)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }

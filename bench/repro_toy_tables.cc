@@ -1,0 +1,122 @@
+// Reproduces Table 1 (toy edge scores), Table 2 (toy node scores), and
+// Fig. 3 (normalized CAD vs ACT node scores) from the paper's illustrative
+// 17-node example (§3.5).
+//
+// The paper's exact edge weights are unpublished; this reproduces the
+// *shape*: the three scripted anomalous edges (b1-r1, b4-b5, r7-r8) score an
+// order of magnitude above the benign changes (b1-b3, b2-b7), the six
+// responsible nodes dominate Table 2, and ACT — unlike CAD — assigns
+// significant score to the affected-but-innocent subgroup {r4, r6, r9}.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/act_detector.h"
+#include "core/cad_detector.h"
+#include "core/threshold.h"
+#include "datagen/toy_example.h"
+#include "report.h"
+
+namespace cad {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  int64_t top_edges = 8;
+  flags.AddInt64("top_edges", &top_edges, "edges to list in Table 1");
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;  // n = 17: exact Eq. 3, as in §3.5
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(toy.sequence);
+  CAD_CHECK(analyses.ok()) << analyses.status().ToString();
+  const TransitionScores& scores = (*analyses)[0];
+
+  bench::Banner("Toy example (paper §3.5): Tables 1, 2 and Fig. 3");
+
+  bench::Section("Table 1 — edge anomaly scores dE_t (nonzero entries)");
+  {
+    bench::Table table({"edge", "dE_t", "dA", "dc", "ground truth"});
+    int64_t listed = 0;
+    for (const ScoredEdge& edge : scores.edges) {
+      if (edge.score <= 0.0 || listed >= top_edges) break;
+      const bool anomalous =
+          std::count(toy.anomalous_edges.begin(), toy.anomalous_edges.end(),
+                     edge.pair) > 0;
+      table.AddRow({toy.node_names[edge.pair.u] + "," +
+                        toy.node_names[edge.pair.v],
+                    bench::Fixed(edge.score, 2),
+                    bench::Fixed(edge.weight_delta, 2),
+                    bench::Fixed(edge.commute_delta, 3),
+                    anomalous ? "anomalous" : "benign"});
+      ++listed;
+    }
+    table.Print();
+    std::cout << "  (paper: b1-r1 10.6, b4-b5 9.56, r7-r8 8.99; benign"
+              << " 0.07 / 0.04 — expect the same >=10x separation)\n";
+  }
+
+  bench::Section("Table 2 — node anomaly scores dN_t");
+  {
+    bench::Table table({"node", "dN_t", "ground truth"});
+    for (NodeId node = 0; node < 17; ++node) {
+      const bool anomalous =
+          std::count(toy.anomalous_nodes.begin(), toy.anomalous_nodes.end(),
+                     node) > 0;
+      table.AddRow({toy.node_names[node],
+                    bench::Fixed(scores.node_scores[node], 2),
+                    anomalous ? "anomalous" : "-"});
+    }
+    table.Print();
+  }
+
+  bench::Section("Fig. 3 — normalized node scores, CAD vs ACT (w = 1)");
+  {
+    ActOptions act_options;
+    act_options.window_size = 1;
+    auto act_scores = ActDetector(act_options).ScoreTransitions(toy.sequence);
+    CAD_CHECK(act_scores.ok()) << act_scores.status().ToString();
+    const std::vector<double>& act = (*act_scores)[0];
+    const double cad_max =
+        *std::max_element(scores.node_scores.begin(), scores.node_scores.end());
+    const double act_max = *std::max_element(act.begin(), act.end());
+
+    bench::Table table({"node", "CAD (normalized)", "ACT (normalized)"});
+    for (NodeId node = 0; node < 17; ++node) {
+      table.AddRow({toy.node_names[node],
+                    bench::Fixed(scores.node_scores[node] / cad_max, 3),
+                    bench::Fixed(act_max > 0 ? act[node] / act_max : 0.0, 3)});
+    }
+    table.Print();
+    std::cout << "  (expect: CAD concentrates on b1,b4,b5,r1,r7,r8; ACT leaks"
+              << " onto affected nodes r4,r6,r9)\n";
+  }
+
+  bench::Section("Algorithm 1 output with delta calibrated for l = 6 nodes");
+  {
+    const double delta = CalibrateDelta(*analyses, 6.0);
+    const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
+    std::cout << "  delta = " << bench::Fixed(delta, 4) << "\n  E_t = {";
+    for (size_t i = 0; i < reports[0].edges.size(); ++i) {
+      const NodePair pair = reports[0].edges[i].pair;
+      std::cout << (i ? ", " : "") << toy.node_names[pair.u] << "-"
+                << toy.node_names[pair.v];
+    }
+    std::cout << "}\n  V_t = {";
+    for (size_t i = 0; i < reports[0].nodes.size(); ++i) {
+      std::cout << (i ? ", " : "") << toy.node_names[reports[0].nodes[i]];
+    }
+    std::cout << "}\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }

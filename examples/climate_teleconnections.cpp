@@ -1,0 +1,82 @@
+// Climate teleconnection discovery example (§4.2.3 of the paper): build
+// yearly precipitation-similarity graphs over a world grid, run CAD, and
+// report the long-distance region pairs whose relationship changed — the
+// paper's La Nina-style signal.
+//
+//   build/examples/climate_teleconnections [--years T] [--l L]
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/cad_detector.h"
+#include "core/threshold.h"
+#include "datagen/precip_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace cad;
+
+  FlagParser flags;
+  int64_t years = 15;
+  int64_t l = 20;
+  int64_t seed = 77;
+  flags.AddInt64("years", &years, "number of yearly snapshots");
+  flags.AddInt64("l", &l, "average anomalous grid cells per transition");
+  flags.AddInt64("seed", &seed, "simulator seed");
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  PrecipSimOptions sim;
+  sim.num_years = static_cast<size_t>(years);
+  sim.event_year = static_cast<size_t>(years * 2 / 3);
+  sim.seed = static_cast<uint64_t>(seed);
+  const PrecipSimData climate = MakePrecipitationData(sim);
+
+  const auto region_name = [&climate](NodeId cell) -> std::string {
+    const uint32_t region = climate.region_of[cell];
+    return region == 0xffffffffu ? std::string("background")
+                                 : climate.regions[region].name;
+  };
+
+  std::cout << "Analyzing " << climate.sequence.num_nodes()
+            << " grid cells across " << years << " Januaries...\n"
+            << "(a coherent multi-region shift is planted at transition "
+            << climate.event_transition << ")\n\n";
+
+  CadOptions options;
+  options.engine = CommuteEngine::kApprox;
+  options.approx.embedding_dim = 50;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(climate.sequence);
+  CAD_CHECK(analyses.ok()) << analyses.status().ToString();
+  const double delta = CalibrateDelta(*analyses, static_cast<double>(l));
+  const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
+
+  for (const AnomalyReport& report : reports) {
+    if (report.edges.empty()) continue;
+    // Summarize flagged cell pairs at the region level.
+    std::map<std::string, int> region_pairs;
+    for (const ScoredEdge& edge : report.edges) {
+      std::string a = region_name(edge.pair.u);
+      std::string b = region_name(edge.pair.v);
+      if (b < a) std::swap(a, b);
+      if (a == b) continue;  // within-region churn is not a teleconnection
+      ++region_pairs[a + " <-> " + b];
+    }
+    if (region_pairs.empty()) continue;
+    std::cout << "Transition " << report.transition << " -> "
+              << report.transition + 1 << " ("
+              << report.edges.size() << " anomalous similarity edges):\n";
+    for (const auto& [pair_name, count] : region_pairs) {
+      std::cout << "    " << pair_name << "  x" << count << "\n";
+    }
+  }
+
+  std::cout << "\nExpected: at the planted transition, anomalous edges link"
+            << " the shifted regions (southern_africa, brazil, peru,"
+            << " australia)\nto their rainfall-matched reference regions —"
+            << " the teleconnection signature.\n";
+  return 0;
+}

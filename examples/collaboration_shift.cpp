@@ -1,0 +1,78 @@
+// Scientific-collaboration example (§4.2.2 of the paper): run CAD over
+// yearly co-authorship graphs and report authors whose collaboration
+// patterns changed anomalously — field switches, unexpected cross-area
+// collaborations, severed long-term ties.
+//
+//   build/examples/collaboration_shift [--authors N] [--years T]
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/cad_detector.h"
+#include "core/threshold.h"
+#include "datagen/dblp_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace cad;
+
+  FlagParser flags;
+  int64_t authors = 800;
+  int64_t years = 6;
+  int64_t l = 10;
+  int64_t seed = 21;
+  flags.AddInt64("authors", &authors, "number of authors");
+  flags.AddInt64("years", &years, "number of yearly snapshots");
+  flags.AddInt64("l", &l, "average anomalous authors per transition");
+  flags.AddInt64("seed", &seed, "simulator seed");
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  DblpSimOptions sim;
+  sim.num_authors = static_cast<size_t>(authors);
+  sim.num_years = static_cast<size_t>(years);
+  sim.seed = static_cast<uint64_t>(seed);
+  const DblpSimData network = MakeDblpStyleData(sim);
+
+  std::cout << "Analyzing a co-authorship network of " << authors
+            << " authors across " << years << " years...\n\n";
+
+  // Use the approximate engine with the paper's k = 50: these graphs can be
+  // large and the embedding is near-linear.
+  CadOptions options;
+  options.engine = CommuteEngine::kApprox;
+  options.approx.embedding_dim = 50;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(network.sequence);
+  CAD_CHECK(analyses.ok()) << analyses.status().ToString();
+  const double delta = CalibrateDelta(*analyses, static_cast<double>(l));
+  const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
+
+  for (const AnomalyReport& report : reports) {
+    std::cout << "Year " << report.transition << " -> "
+              << report.transition + 1 << ": ";
+    if (report.nodes.empty()) {
+      std::cout << "no anomalous collaboration changes\n";
+      continue;
+    }
+    std::cout << report.nodes.size() << " author(s) flagged\n";
+    for (size_t i = 0; i < std::min<size_t>(5, report.edges.size()); ++i) {
+      const ScoredEdge& edge = report.edges[i];
+      const char* direction = edge.weight_delta > 0 ? "new/strengthened"
+                                                    : "weakened/severed";
+      std::cout << "    author_" << edge.pair.u << " (area "
+                << network.community[edge.pair.u] << ") <-> author_"
+                << edge.pair.v << " (area " << network.community[edge.pair.v]
+                << "): " << direction << ", score " << edge.score << "\n";
+    }
+  }
+
+  std::cout << "\nPlanted ground truth for reference:\n";
+  for (const CollaborationStory& story : network.stories) {
+    std::cout << "  transition " << story.transition << ": "
+              << CollaborationStoryKindToString(story.kind) << " by author_"
+              << story.author << " (" << story.description << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Streaming monitoring example: feed monthly snapshots to OnlineCadMonitor
+// one at a time — as a production deployment would — and print alerts as
+// transitions complete. Implements the paper's §4.2 note that threshold
+// selection "can be suitably modified in an online setting by aggregating
+// scores up to the current graph instance and updating the threshold".
+//
+//   build/examples/streaming_monitor [--employees N] [--months T]
+
+#include <iostream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "core/online_monitor.h"
+#include "datagen/enron_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace cad;
+
+  FlagParser flags;
+  int64_t employees = 120;
+  int64_t months = 48;
+  double l = 5.0;
+  int64_t seed = 7;
+  flags.AddInt64("employees", &employees, "organization size");
+  flags.AddInt64("months", &months, "number of monthly snapshots to stream");
+  flags.AddDouble("l", &l, "target anomalous employees per month");
+  flags.AddInt64("seed", &seed, "simulator seed");
+  CAD_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) return 0;
+
+  EnronSimOptions sim;
+  sim.num_employees = static_cast<size_t>(employees);
+  sim.num_months = static_cast<size_t>(months);
+  sim.seed = static_cast<uint64_t>(seed);
+  const EnronSimData org = MakeEnronStyleData(sim);
+
+  OnlineMonitorOptions options;
+  options.nodes_per_transition = l;
+  options.warmup_transitions = 3;
+  OnlineCadMonitor monitor(options);
+
+  std::cout << "Streaming " << months << " monthly snapshots (" << employees
+            << " employees); warmup = " << options.warmup_transitions
+            << " transitions.\n\n";
+
+  for (size_t month = 0; month < org.sequence.num_snapshots(); ++month) {
+    auto report = monitor.Observe(org.sequence.Snapshot(month));
+    CAD_CHECK(report.ok()) << report.status().ToString();
+    if (!report->has_value()) {
+      std::cout << "month " << month << ": observed (warmup, delta="
+                << monitor.current_delta() << ")\n";
+      continue;
+    }
+    const AnomalyReport& alert = **report;
+    if (alert.nodes.empty()) {
+      std::cout << "month " << month << ": ok\n";
+      continue;
+    }
+    std::cout << "month " << month << ": ALERT — " << alert.nodes.size()
+              << " employee(s), top relationship ";
+    const ScoredEdge& top = alert.edges.front();
+    std::cout << org.node_names[top.pair.u] << " <-> "
+              << org.node_names[top.pair.v] << " (score " << top.score
+              << ")";
+    if (org.IsEventTransition(alert.transition)) {
+      std::cout << "  [matches a scripted event]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nFinal online threshold delta = " << monitor.current_delta()
+            << " after " << monitor.num_transitions() << " transitions.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef CAD_COMMON_CHECK_H_
+#define CAD_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cad {
+namespace internal {
+
+/// \brief Accumulates a failure message and aborts the process when
+/// destroyed. Used only via the CAD_CHECK* macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed CheckFailure chain to void so it can appear on one
+/// arm of a ternary expression. `&` binds more loosely than `<<`, so the
+/// whole message chain is evaluated first.
+class Voidify {
+ public:
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace cad
+
+/// Aborts with a diagnostic when `condition` is false. Enabled in all build
+/// types: these guard invariants whose violation would corrupt results.
+/// Supports streaming extra context: `CAD_CHECK(i < n) << "i=" << i;`.
+#define CAD_CHECK(condition)              \
+  (condition) ? (void)0                   \
+              : ::cad::internal::Voidify() & \
+                    ::cad::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+/// Debug-only variant for hot paths. The condition is type-checked but never
+/// evaluated in release builds.
+#ifdef NDEBUG
+#define CAD_DCHECK(condition)                   \
+  (true || (condition)) ? (void)0               \
+                        : ::cad::internal::Voidify() & \
+                              ::cad::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#else
+#define CAD_DCHECK(condition) CAD_CHECK(condition)
+#endif
+
+#define CAD_CHECK_OK(status_expr)                                      \
+  do {                                                                 \
+    const ::cad::Status _cad_check_status = (status_expr);             \
+    CAD_CHECK(_cad_check_status.ok()) << _cad_check_status.ToString(); \
+  } while (false)
+
+#define CAD_CHECK_EQ(a, b) CAD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CAD_CHECK_NE(a, b) CAD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CAD_CHECK_LT(a, b) CAD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CAD_CHECK_LE(a, b) CAD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CAD_CHECK_GT(a, b) CAD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CAD_CHECK_GE(a, b) CAD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // CAD_COMMON_CHECK_H_

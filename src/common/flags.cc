@@ -1,0 +1,117 @@
+#include "common/flags.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace cad {
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help, FormatDouble(*target)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help, *target ? "true" : "false"};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help, *target};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::NotFound("unknown flag: --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt64: {
+      Result<int64_t> parsed = ParseInt64(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<int64_t*>(flag.target) = *parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      Result<double> parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<double*>(flag.target) = *parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad boolean for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::cout << Usage();
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::NotFound("unknown flag: --" + name);
+      }
+      // Booleans may appear bare; other types consume the next argument.
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " needs a value");
+        }
+        value = argv[++i];
+      }
+    }
+    CAD_RETURN_NOT_OK(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")  "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cad

@@ -1,0 +1,64 @@
+#ifndef CAD_COMMON_FLAGS_H_
+#define CAD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad {
+
+/// \brief Minimal command-line flag parser for the benchmark and example
+/// binaries.
+///
+/// Supports `--name=value` and `--name value` forms plus bare boolean
+/// `--name`. Unknown flags are rejected so that typos in experiment scripts
+/// fail loudly.
+///
+/// \code
+///   FlagParser flags;
+///   int64_t trials = 10;
+///   flags.AddInt64("trials", &trials, "number of repetitions");
+///   CAD_CHECK_OK(flags.Parse(argc, argv));
+/// \endcode
+class FlagParser {
+ public:
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv, writing values into the registered targets. Returns an
+  /// error for unknown flags or malformed values. `--help` prints usage and
+  /// sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Human-readable usage string listing all registered flags and their
+  /// current (default) values.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_FLAGS_H_

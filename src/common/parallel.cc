@@ -1,0 +1,39 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cad {
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& thread : threads) thread.join();
+}
+
+size_t HardwareThreads() {
+  const unsigned int count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<size_t>(count);
+}
+
+}  // namespace cad

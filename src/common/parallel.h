@@ -1,0 +1,25 @@
+#ifndef CAD_COMMON_PARALLEL_H_
+#define CAD_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cad {
+
+/// \brief Runs `fn(i)` for every i in [0, count), distributing iterations
+/// over up to `num_threads` worker threads via an atomic work counter.
+///
+/// With num_threads <= 1 (or count <= 1) everything runs inline on the
+/// calling thread — callers can pass a configuration value straight through.
+/// `fn` must be safe to invoke concurrently from multiple threads for
+/// distinct `i`; iteration order is unspecified. The call returns after all
+/// iterations complete.
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+/// \brief Number of hardware threads, with a floor of 1.
+size_t HardwareThreads();
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_PARALLEL_H_

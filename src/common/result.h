@@ -1,0 +1,93 @@
+#ifndef CAD_COMMON_RESULT_H_
+#define CAD_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace cad {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`. Functions that can fail but produce a value
+/// return `Result<T>`:
+/// \code
+///   Result<WeightedGraph> g = ReadTemporalEdgeList(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.ValueOrDie());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (failure). Passing an OK status is a
+  /// programming error and degrades to an Internal error.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(state_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CAD_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(state_).ToString();
+    return std::get<T>(state_);
+  }
+
+  T& ValueOrDie() & {
+    CAD_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(state_).ToString();
+    return std::get<T>(state_);
+  }
+
+  /// Moves the contained value out; aborts if this holds an error.
+  T ValueOrDie() && {
+    CAD_CHECK(ok()) << "Result::ValueOrDie on error: "
+                    << std::get<Status>(state_).ToString();
+    return std::move(std::get<T>(state_));
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on failure, and
+/// otherwise move-assigns its value into `lhs`, which must already be
+/// declared.
+#define CAD_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  do {                                              \
+    auto _cad_result = (rexpr);                     \
+    if (!_cad_result.ok()) return _cad_result.status(); \
+    lhs = std::move(_cad_result).ValueOrDie();      \
+  } while (false)
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_RESULT_H_

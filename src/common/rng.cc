@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cad {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+  // All-zero state would lock xoshiro at zero; SplitMix64 cannot produce
+  // four zero outputs in a row, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256++ step.
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CAD_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  CAD_CHECK(n > 0) << "UniformInt requires n > 0";
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  CAD_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::Normal() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double u = Uniform(-1.0, 1.0);
+    const double v = Uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::Normal(double mean, double stddev) {
+  CAD_DCHECK(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  CAD_CHECK(rate > 0.0);
+  // -log(1 - U) avoids log(0) since Uniform() < 1.
+  return -std::log1p(-Uniform()) / rate;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  CAD_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    const double sample = Normal(mean, std::sqrt(mean));
+    return sample <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(sample));
+  }
+  // Knuth's multiplication method.
+  const double limit = std::exp(-mean);
+  uint64_t count = 0;
+  double product = Uniform();
+  while (product > limit) {
+    ++count;
+    product *= Uniform();
+  }
+  return count;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Rademacher() { return (NextUint64() & 1) ? 1.0 : -1.0; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CAD_CHECK_LE(k, n);
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  if (k == 0) return picked;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(UniformInt(n - i));
+      std::swap(indices[i], indices[j]);
+    }
+    picked.assign(indices.begin(), indices.begin() + static_cast<long>(k));
+  } else {
+    // Sparse case: rejection sampling into a hash set.
+    std::unordered_set<size_t> seen;
+    seen.reserve(k * 2);
+    while (picked.size() < k) {
+      const size_t candidate = static_cast<size_t>(UniformInt(n));
+      if (seen.insert(candidate).second) picked.push_back(candidate);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace cad

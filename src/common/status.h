@@ -1,0 +1,129 @@
+#ifndef CAD_COMMON_STATUS_H_
+#define CAD_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cad {
+
+/// \brief Machine-readable category of a failure.
+///
+/// The set is deliberately small: callers almost always branch only on
+/// ok/not-ok and use the message for diagnostics.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kNumericalError = 6,
+  kIoError = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code
+/// (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow-style status object used for error propagation across the
+/// public API instead of exceptions.
+///
+/// A `Status` is cheap to pass around in the success case: an OK status holds
+/// only a null pointer. Failure states carry a code and a message.
+///
+/// Typical usage:
+/// \code
+///   Status s = graph.AddEdge(u, v, w);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per failure code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK. shared_ptr keeps copies cheap; statuses are immutable.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define CAD_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::cad::Status _cad_status = (expr);         \
+    if (!_cad_status.ok()) return _cad_status;  \
+  } while (false)
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_STATUS_H_

@@ -1,0 +1,93 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace cad {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("ParseInt64: empty input");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("ParseInt64: out of range: " + buffer);
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("ParseInt64: trailing garbage in: " +
+                                   buffer);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("ParseDouble: empty input");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("ParseDouble: out of range: " + buffer);
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("ParseDouble: trailing garbage in: " +
+                                   buffer);
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace cad

@@ -1,0 +1,95 @@
+#include "commute/approx_commute.h"
+
+#include <cmath>
+
+namespace cad {
+
+Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
+    const WeightedGraph& graph, const ApproxCommuteOptions& options) {
+  const size_t n = graph.num_nodes();
+  const size_t k = options.embedding_dim;
+  if (k == 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  const double volume = graph.Volume();
+  const double sentinel = CrossComponentSentinel(volume, n, options.commute);
+  ComponentLabeling components = ConnectedComponents(graph);
+
+  // Step 1: Y = Q W^{1/2} B, built column-by-column by streaming edges. For
+  // edge e = (u, v, w), row e of W^{1/2} B is sqrt(w) (e_u - e_v)^T, so
+  // column u of Y gains sqrt(w) * q_e and column v loses it, where q_e is
+  // the e-th column of Q, drawn fresh as k Rademacher entries / sqrt(k).
+  DenseMatrix y(k, n);
+  Rng rng(options.seed);
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+  std::vector<double> q(k);
+  for (const Edge& edge : graph.Edges()) {
+    const double scale = std::sqrt(edge.weight) * inv_sqrt_k;
+    for (size_t r = 0; r < k; ++r) q[r] = rng.Rademacher() * scale;
+    for (size_t r = 0; r < k; ++r) {
+      double* row = y.mutable_row(r);
+      row[edge.u] += q[r];
+      row[edge.v] -= q[r];
+    }
+  }
+
+  // Step 2: solve L z_r = y_r for each row against the regularized
+  // Laplacian. Each y_r sums to zero within every component, so the
+  // regularized solution tracks the pseudoinverse solution without a 1/eps
+  // blowup (see commute_time.h).
+  const double epsilon =
+      options.commute.regularization_scale * std::max(volume, 1.0);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(epsilon);
+  const ConjugateGradientSolver solver(options.cg);
+
+  // Batch the k systems so the preconditioner (which may be an incomplete
+  // Cholesky factorization) is built once.
+  std::vector<std::vector<double>> rhs(k);
+  for (size_t r = 0; r < k; ++r) {
+    const double* y_row = y.row(r);
+    rhs[r].assign(y_row, y_row + n);
+  }
+  std::vector<std::vector<double>> solutions;
+  std::vector<CgSummary> summaries;
+  CAD_ASSIGN_OR_RETURN(summaries, solver.SolveMany(laplacian, rhs, &solutions));
+
+  DenseMatrix z(k, n);
+  size_t total_iterations = 0;
+  for (size_t r = 0; r < k; ++r) {
+    total_iterations += summaries[r].iterations;
+    if (options.require_convergence && !summaries[r].converged) {
+      return Status::NumericalError(
+          "ApproxCommuteEmbedding: CG did not converge on system " +
+          std::to_string(r) + " (relative residual " +
+          std::to_string(summaries[r].relative_residual) + ")");
+    }
+    double* z_row = z.mutable_row(r);
+    for (size_t i = 0; i < n; ++i) z_row[i] = solutions[r][i];
+  }
+
+  return ApproxCommuteEmbedding(std::move(z), std::move(components), volume,
+                                sentinel,
+                                options.commute.use_cross_component_sentinel,
+                                total_iterations);
+}
+
+double ApproxCommuteEmbedding::CommuteTime(NodeId u, NodeId v) const {
+  CAD_DCHECK(u < num_nodes() && v < num_nodes());
+  if (u == v) return 0.0;
+  if (use_sentinel_ && !components_.SameComponent(u, v)) return sentinel_;
+  // Without the sentinel, the embedding distance estimates exactly the
+  // paper-faithful Eq. 3 value: V_G * (e_u - e_v)^T L+ (e_u - e_v), which
+  // across components is V_G (l+_uu + l+_vv).
+  const size_t k = embedding_.rows();
+  double squared = 0.0;
+  for (size_t r = 0; r < k; ++r) {
+    const double* row = embedding_.row(r);
+    const double diff = row[u] - row[v];
+    squared += diff * diff;
+  }
+  // Cap at the sentinel so approximate within-component estimates can never
+  // exceed the "infinite" cross-component stand-in.
+  return std::min(volume_ * squared, sentinel_);
+}
+
+}  // namespace cad

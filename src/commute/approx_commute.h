@@ -1,0 +1,97 @@
+#ifndef CAD_COMMUTE_APPROX_COMMUTE_H_
+#define CAD_COMMUTE_APPROX_COMMUTE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "commute/commute_time.h"
+#include "graph/components.h"
+#include "linalg/conjugate_gradient.h"
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief Options for the approximate commute-time embedding.
+struct ApproxCommuteOptions {
+  /// Embedding dimension k (the paper's k_RP). The Johnson-Lindenstrauss
+  /// guarantee needs k = O(log n / eps^2); the paper finds k > 10 is already
+  /// stable and uses k = 50 throughout (§4.1.1, §4.2).
+  size_t embedding_dim = 50;
+  /// Seed for the random projection.
+  uint64_t seed = 1;
+  /// Linear solver configuration for the k Laplacian systems. Set
+  /// cg.num_threads > 1 to solve the k independent systems concurrently.
+  CgOptions cg;
+  /// Numerical handling shared with the exact engine.
+  CommuteTimeOptions commute;
+  /// Require CG convergence on every system; if false, the best-effort
+  /// solution is used (matching the spirit of approximate solvers).
+  bool require_convergence = false;
+};
+
+/// \brief Approximate commute-time distances via the Khoa-Chawla / Spielman-
+/// Srivastava resistance embedding (paper §3.1, reference [15]).
+///
+/// Construction, for a snapshot with n nodes, m edges and volume V_G:
+///  1. Form Y = Q W^{1/2} B, where B is the m x n signed incidence matrix,
+///     W the diagonal edge-weight matrix, and Q a k x m Johnson-
+///     Lindenstrauss matrix with entries ±1/sqrt(k). Y is built in O(k m)
+///     by streaming edges; Q is never materialized.
+///  2. Solve L z_r = y_r for each of the k rows with Jacobi-preconditioned
+///     CG against the epsilon-regularized Laplacian (the stand-in for the
+///     Spielman-Teng solver; see DESIGN.md substitutions).
+///  3. Then c(u, v) ≈ V_G * || z(:,u) - z(:,v) ||^2, a (1 ± eps) estimate of
+///     the true commute time for k = O(log n / eps^2).
+///
+/// Cross-component queries follow the policy in CommuteTimeOptions: by
+/// default the embedding's own estimate is returned, which approximates the
+/// paper-faithful Eq. 3 value V_G (l+_uu + l+_vv); with the strict sentinel
+/// policy the engine detects components and returns the sentinel instead
+/// (matching the exact engine).
+class ApproxCommuteEmbedding : public CommuteTimeOracle {
+ public:
+  /// Builds the embedding for one snapshot. Returns InvalidArgument for a
+  /// zero embedding dimension and NumericalError if CG fails while
+  /// `require_convergence` is set.
+  static Result<ApproxCommuteEmbedding> Build(
+      const WeightedGraph& graph,
+      const ApproxCommuteOptions& options = ApproxCommuteOptions());
+
+  double CommuteTime(NodeId u, NodeId v) const override;
+
+  size_t num_nodes() const override { return embedding_.cols(); }
+
+  size_t embedding_dim() const { return embedding_.rows(); }
+
+  /// The k x n embedding matrix Z; column i is node i's embedding. Distances
+  /// in this space, scaled by volume, approximate commute times.
+  const DenseMatrix& embedding() const { return embedding_; }
+
+  double volume() const { return volume_; }
+
+  /// Total CG iterations spent across the k solves (for benchmarking).
+  size_t total_cg_iterations() const { return total_cg_iterations_; }
+
+ private:
+  ApproxCommuteEmbedding(DenseMatrix embedding, ComponentLabeling components,
+                         double volume, double sentinel, bool use_sentinel,
+                         size_t total_cg_iterations)
+      : embedding_(std::move(embedding)),
+        components_(std::move(components)),
+        volume_(volume),
+        sentinel_(sentinel),
+        use_sentinel_(use_sentinel),
+        total_cg_iterations_(total_cg_iterations) {}
+
+  DenseMatrix embedding_;  // k x n
+  ComponentLabeling components_;
+  double volume_;
+  double sentinel_;
+  bool use_sentinel_;
+  size_t total_cg_iterations_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_COMMUTE_APPROX_COMMUTE_H_

@@ -1,0 +1,97 @@
+#include "commute/exact_commute.h"
+
+#include <algorithm>
+
+#include "linalg/cholesky.h"
+
+namespace cad {
+
+Result<ExactCommuteTime> ExactCommuteTime::Build(
+    const WeightedGraph& graph, const CommuteTimeOptions& options) {
+  const size_t n = graph.num_nodes();
+  const double volume = graph.Volume();
+  const double sentinel = CrossComponentSentinel(volume, n, options);
+  ComponentLabeling components = ConnectedComponents(graph);
+
+  // Group node ids by component.
+  std::vector<std::vector<NodeId>> members(components.num_components);
+  for (size_t c = 0; c < components.num_components; ++c) {
+    members[c].reserve(components.sizes[c]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    members[components.component[i]].push_back(static_cast<NodeId>(i));
+  }
+
+  DenseMatrix lplus(n, n);
+  const std::vector<double> degrees = graph.WeightedDegrees();
+
+  for (const std::vector<NodeId>& nodes : members) {
+    const size_t s = nodes.size();
+    if (s <= 1) continue;  // singleton: L+ block is zero
+
+    // Dense sub-Laplacian of this component, plus the rank-one shift
+    // (1/s) 1 1^T that fills the nullspace and makes the block SPD.
+    DenseMatrix shifted(s, s);
+    const double shift = 1.0 / static_cast<double>(s);
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t b = 0; b < s; ++b) shifted(a, b) = shift;
+      shifted(a, a) += degrees[nodes[a]];
+    }
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t b = a + 1; b < s; ++b) {
+        const double w = graph.EdgeWeight(nodes[a], nodes[b]);
+        if (w != 0.0) {
+          shifted(a, b) -= w;
+          shifted(b, a) -= w;
+        }
+      }
+    }
+
+    Result<CholeskyFactorization> factor =
+        CholeskyFactorization::Factor(shifted);
+    if (!factor.ok()) {
+      return Status::NumericalError(
+          "ExactCommuteTime: Cholesky of shifted component Laplacian failed: " +
+          factor.status().message());
+    }
+    const DenseMatrix inverse = factor->Inverse();
+
+    // L+_block = (L + (1/s) 1 1^T)^{-1} - (1/s) 1 1^T, scattered back into
+    // the global matrix.
+    for (size_t a = 0; a < s; ++a) {
+      for (size_t b = 0; b < s; ++b) {
+        lplus(nodes[a], nodes[b]) = inverse(a, b) - shift;
+      }
+    }
+  }
+
+  return ExactCommuteTime(std::move(lplus), std::move(components), volume,
+                          sentinel, options.use_cross_component_sentinel);
+}
+
+double ExactCommuteTime::CommuteTime(NodeId u, NodeId v) const {
+  CAD_DCHECK(u < num_nodes() && v < num_nodes());
+  if (u == v) return 0.0;
+  if (use_sentinel_ && !components_.SameComponent(u, v)) return sentinel_;
+  // Eq. 3 on the global pseudoinverse. Across components l+_uv = 0, so this
+  // evaluates to V_G (l+_uu + l+_vv) — the paper-faithful finite value.
+  const double resistance = lplus_(u, u) + lplus_(v, v) - 2.0 * lplus_(u, v);
+  // Clamp tiny negative values from rounding.
+  return volume_ * std::max(resistance, 0.0);
+}
+
+DenseMatrix ExactCommuteTime::CommuteTimeMatrix() const {
+  const size_t n = num_nodes();
+  DenseMatrix c(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double value =
+          CommuteTime(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      c(i, j) = value;
+      c(j, i) = value;
+    }
+  }
+  return c;
+}
+
+}  // namespace cad

@@ -1,0 +1,81 @@
+#include "commute/random_walk.h"
+
+#include <cmath>
+
+#include "graph/components.h"
+
+namespace cad {
+
+namespace {
+
+/// Picks the next node of a weighted random walk: neighbor j with
+/// probability w(i,j) / degree(i).
+NodeId Step(const std::vector<std::vector<WeightedGraph::Neighbor>>& adjacency,
+            const std::vector<double>& degrees, NodeId node, Rng* rng) {
+  const double target = rng->Uniform() * degrees[node];
+  double cumulative = 0.0;
+  const auto& neighbors = adjacency[node];
+  for (const auto& neighbor : neighbors) {
+    cumulative += neighbor.weight;
+    if (target < cumulative) return neighbor.node;
+  }
+  // Floating-point slack: fall back to the last neighbor.
+  return neighbors.back().node;
+}
+
+}  // namespace
+
+Result<CommuteTimeEstimate> EstimateCommuteTimeByWalking(
+    const WeightedGraph& graph, NodeId u, NodeId v,
+    const RandomWalkOptions& options) {
+  if (u >= graph.num_nodes() || v >= graph.num_nodes()) {
+    return Status::OutOfRange("walk endpoints out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("commute walk needs distinct endpoints");
+  }
+  if (options.num_walks == 0) {
+    return Status::InvalidArgument("num_walks must be positive");
+  }
+  const ComponentLabeling components = ConnectedComponents(graph);
+  if (!components.SameComponent(u, v)) {
+    return Status::FailedPrecondition(
+        "endpoints are in different components; commute time is infinite");
+  }
+
+  const auto adjacency = graph.AdjacencyLists();
+  const std::vector<double> degrees = graph.WeightedDegrees();
+  Rng rng(options.seed);
+
+  CommuteTimeEstimate estimate;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (size_t walk = 0; walk < options.num_walks; ++walk) {
+    size_t steps = 0;
+    NodeId position = u;
+    bool reached_v = false;
+    while (steps < options.max_steps_per_walk) {
+      position = Step(adjacency, degrees, position, &rng);
+      ++steps;
+      if (!reached_v) {
+        if (position == v) reached_v = true;
+      } else if (position == u) {
+        break;
+      }
+    }
+    if (steps >= options.max_steps_per_walk) ++estimate.truncated_walks;
+    const double value = static_cast<double>(steps);
+    sum += value;
+    sum_squares += value * value;
+  }
+  const double n = static_cast<double>(options.num_walks);
+  estimate.mean_steps = sum / n;
+  const double variance =
+      n > 1.0
+          ? std::max(0.0, (sum_squares - sum * sum / n) / (n - 1.0))
+          : 0.0;
+  estimate.standard_error = std::sqrt(variance / n);
+  return estimate;
+}
+
+}  // namespace cad

@@ -1,0 +1,52 @@
+#ifndef CAD_COMMUTE_RANDOM_WALK_H_
+#define CAD_COMMUTE_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief Options for Monte-Carlo commute-time estimation.
+struct RandomWalkOptions {
+  /// Number of independent commute walks to average.
+  size_t num_walks = 2000;
+  /// Abort a single walk after this many steps (guards against pathological
+  /// mixing times); aborted walks contribute the cap, biasing the estimate
+  /// low, so the cap should be far above the expected commute time.
+  size_t max_steps_per_walk = 10000000;
+  uint64_t seed = 13;
+};
+
+/// \brief Result of a Monte-Carlo commute-time estimate.
+struct CommuteTimeEstimate {
+  /// Mean number of steps over the walks.
+  double mean_steps = 0.0;
+  /// Standard error of the mean.
+  double standard_error = 0.0;
+  /// Number of walks that hit the step cap (should be 0 in healthy runs).
+  size_t truncated_walks = 0;
+};
+
+/// \brief Estimates the commute time c(u, v) by literally running weighted
+/// random walks: from u, repeatedly step to a neighbor with probability
+/// proportional to edge weight, count steps until v is reached and then
+/// until u is reached again (the paper's §3.1 definition).
+///
+/// This is the ground-truth validator for the algebraic engines: on small
+/// graphs the Monte-Carlo mean must match Eq. 3 within sampling error (see
+/// test_random_walk.cc). Not intended for production scoring — it is
+/// exponentially slower than the pseudoinverse on badly mixing graphs.
+///
+/// Requires u != v, both in range, and u, v in the same connected component
+/// with positive degrees (otherwise the walk cannot commute; returns
+/// InvalidArgument / FailedPrecondition).
+Result<CommuteTimeEstimate> EstimateCommuteTimeByWalking(
+    const WeightedGraph& graph, NodeId u, NodeId v,
+    const RandomWalkOptions& options = RandomWalkOptions());
+
+}  // namespace cad
+
+#endif  // CAD_COMMUTE_RANDOM_WALK_H_

@@ -1,0 +1,64 @@
+#ifndef CAD_CORE_ACT_DETECTOR_H_
+#define CAD_CORE_ACT_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "linalg/power_iteration.h"
+
+namespace cad {
+
+/// \brief Options for the ACT baseline.
+struct ActOptions {
+  /// Window size w: the summary vector r_t is computed from the activity
+  /// vectors of the last w snapshots (paper uses w=1 on the toy data and
+  /// w=3 on Enron).
+  size_t window_size = 1;
+  PowerIterationOptions power;
+};
+
+/// \brief The activity-vector method of Ide & Kashima [12], the paper's main
+/// baseline (§3.4, §3.5.1).
+///
+/// Per snapshot, the "activity vector" a_t is the principal eigenvector of
+/// the adjacency matrix (taken entrywise non-negative). The summary r_t of a
+/// window of past activity vectors is their principal left singular vector.
+/// For the transition t -> t+1:
+///   - node score:        |a_{t+1}(i) - r_t(i)|   (per [1]'s localization)
+///   - transition score:  z_t = 1 - r_t . a_{t+1}
+class ActDetector : public NodeScorer {
+ public:
+  explicit ActDetector(ActOptions options = ActOptions())
+      : options_(options) {}
+
+  Result<TransitionNodeScores> ScoreTransitions(
+      const TemporalGraphSequence& sequence) const override;
+
+  /// The scalar transition anomaly scores z_t = 1 - r_t . a_{t+1}, one per
+  /// transition. This is ACT's original event-detection output.
+  Result<std::vector<double>> TransitionZScores(
+      const TemporalGraphSequence& sequence) const;
+
+  /// Activity vectors of every snapshot (entrywise absolute values of the
+  /// principal adjacency eigenvectors).
+  Result<std::vector<std::vector<double>>> ActivityVectors(
+      const TemporalGraphSequence& sequence) const;
+
+  std::string name() const override { return "ACT"; }
+
+  const ActOptions& options() const { return options_; }
+
+ private:
+  /// Summary r_t over activity vectors [first, last] (inclusive indices into
+  /// `activity`): principal left singular vector via the window Gram matrix.
+  std::vector<double> WindowSummary(
+      const std::vector<std::vector<double>>& activity, size_t first,
+      size_t last) const;
+
+  ActOptions options_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_CORE_ACT_DETECTOR_H_

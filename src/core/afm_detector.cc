@@ -1,0 +1,135 @@
+#include "core/afm_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "eval/statistics.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace cad {
+
+DenseMatrix AfmDetector::NodeFeatures(const WeightedGraph& graph) {
+  const size_t n = graph.num_nodes();
+  DenseMatrix features(n, kNumFeatures);
+  const auto adjacency = graph.AdjacencyLists();
+
+  // Fast membership test for egonet internal-edge counting.
+  std::unordered_set<uint64_t> edge_keys;
+  edge_keys.reserve(graph.num_edges() * 2);
+  for (const Edge& e : graph.Edges()) {
+    edge_keys.insert(NodePair::Make(e.u, e.v).Key());
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& neighbors = adjacency[i];
+    double weighted_degree = 0.0;
+    double max_weight = 0.0;
+    for (const auto& neighbor : neighbors) {
+      weighted_degree += neighbor.weight;
+      max_weight = std::max(max_weight, neighbor.weight);
+    }
+    const double degree = static_cast<double>(neighbors.size());
+    // Edges among the node's neighbors (egonet edges excluding spokes).
+    double internal_edges = 0.0;
+    for (size_t a = 0; a < neighbors.size(); ++a) {
+      for (size_t b = a + 1; b < neighbors.size(); ++b) {
+        if (edge_keys.count(
+                NodePair::Make(neighbors[a].node, neighbors[b].node).Key())) {
+          internal_edges += 1.0;
+        }
+      }
+    }
+    features(i, 0) = weighted_degree;
+    features(i, 1) = degree;
+    features(i, 2) = degree > 0.0 ? weighted_degree / degree : 0.0;
+    features(i, 3) = max_weight;
+    features(i, 4) = internal_edges;
+  }
+  return features;
+}
+
+Result<TransitionNodeScores> AfmDetector::ScoreTransitions(
+    const TemporalGraphSequence& sequence) const {
+  if (sequence.num_snapshots() < 2) {
+    return Status::InvalidArgument("AFM needs at least two snapshots");
+  }
+  const size_t n = sequence.num_nodes();
+  const size_t num_snapshots = sequence.num_snapshots();
+
+  // Feature tensors: features[t](i, f).
+  std::vector<DenseMatrix> features;
+  features.reserve(num_snapshots);
+  for (size_t t = 0; t < num_snapshots; ++t) {
+    features.push_back(NodeFeatures(sequence.Snapshot(t)));
+  }
+
+  // Activity vector of the per-feature dependency matrix at each time:
+  // dependency(i, j) = |corr over the trailing window| for connected pairs.
+  const auto activity_for = [&](size_t t, size_t feature)
+      -> Result<std::vector<double>> {
+    const size_t first =
+        options_.window_size == 0 || t + 1 < options_.window_size
+            ? 0
+            : t + 1 - options_.window_size;
+    const size_t window = t - first + 1;
+
+    CooMatrix dependency(n, n);
+    std::vector<double> series_i(window);
+    std::vector<double> series_j(window);
+    for (const Edge& e : sequence.Snapshot(t).Edges()) {
+      double value = 1.0;  // degenerate one-point window: fully dependent
+      if (window >= 2) {
+        for (size_t s = 0; s < window; ++s) {
+          series_i[s] = features[first + s](e.u, feature);
+          series_j[s] = features[first + s](e.v, feature);
+        }
+        // Pearson is 0 for zero-variance series, but a feature that never
+        // moved is perfectly *stable*, not independent; treat constant
+        // series as fully dependent so static graphs yield zero anomaly.
+        const bool i_constant =
+            std::all_of(series_i.begin(), series_i.end(),
+                        [&](double v) { return v == series_i[0]; });
+        const bool j_constant =
+            std::all_of(series_j.begin(), series_j.end(),
+                        [&](double v) { return v == series_j[0]; });
+        value = (i_constant || j_constant)
+                    ? 1.0
+                    : std::fabs(PearsonCorrelation(series_i, series_j));
+      }
+      if (value > 0.0) dependency.AddSymmetric(e.u, e.v, value);
+    }
+    PowerIterationResult eig;
+    CAD_ASSIGN_OR_RETURN(eig,
+                         PrincipalEigenvector(dependency.ToCsr(), options_.power));
+    for (double& v : eig.eigenvector) v = std::fabs(v);
+    return eig.eigenvector;
+  };
+
+  // Precompute activity vectors for every (time, feature).
+  std::vector<std::vector<std::vector<double>>> activity(num_snapshots);
+  for (size_t t = 0; t < num_snapshots; ++t) {
+    activity[t].resize(kNumFeatures);
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      CAD_ASSIGN_OR_RETURN(activity[t][f], activity_for(t, f));
+    }
+  }
+
+  TransitionNodeScores scores;
+  scores.reserve(sequence.num_transitions());
+  for (size_t t = 0; t + 1 < num_snapshots; ++t) {
+    std::vector<double> node_scores(n, 0.0);
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      for (size_t i = 0; i < n; ++i) {
+        node_scores[i] +=
+            std::fabs(activity[t + 1][f][i] - activity[t][f][i]);
+      }
+    }
+    ScaleInPlace(1.0 / static_cast<double>(kNumFeatures), &node_scores);
+    scores.push_back(std::move(node_scores));
+  }
+  return scores;
+}
+
+}  // namespace cad

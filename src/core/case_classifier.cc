@@ -1,0 +1,61 @@
+#include "core/case_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad {
+
+const char* AnomalyCaseToString(AnomalyCase anomaly_case) {
+  switch (anomaly_case) {
+    case AnomalyCase::kMagnitudeChange:
+      return "case-1-magnitude-change";
+    case AnomalyCase::kNewBridge:
+      return "case-2-new-bridge";
+    case AnomalyCase::kWeakenedBridge:
+      return "case-3-weakened-bridge";
+    case AnomalyCase::kUnclassified:
+      return "unclassified";
+  }
+  return "unknown";
+}
+
+AnomalyCase ClassifyAnomalousEdge(const ScoredEdge& edge,
+                                  double commute_before,
+                                  const WeightedGraph& before,
+                                  const WeightedGraph& after,
+                                  const CaseClassifierOptions& options) {
+  const double weight_before = before.EdgeWeight(edge.pair.u, edge.pair.v);
+  const double weight_after = after.EdgeWeight(edge.pair.u, edge.pair.v);
+  const double max_weight = std::max(weight_before, weight_after);
+  const double relative_weight_change =
+      max_weight > 0.0 ? std::fabs(edge.weight_delta) / max_weight : 0.0;
+  const double relative_commute_change =
+      commute_before > 0.0 ? std::fabs(edge.commute_delta) / commute_before
+                           : 0.0;
+  const bool structural =
+      relative_commute_change > options.structural_change_ratio;
+
+  // Case 2: an essentially new tie (absent, or negligible before) that
+  // moved the pair structurally closer — the "new edge between distant
+  // nodes" signature. A strengthened *existing* tie falls through to
+  // Case 1, matching the paper's S3-vs-S1 labeling.
+  const bool essentially_new = weight_before <= 0.1 * weight_after;
+  if (structural && essentially_new && edge.commute_delta < 0.0 &&
+      edge.weight_delta > 0.0) {
+    return AnomalyCase::kNewBridge;
+  }
+  // Case 3: the tie weakened and the pair was pushed structurally apart —
+  // the weakened/cut bridge signature.
+  if (structural && edge.commute_delta > 0.0 && edge.weight_delta < 0.0) {
+    return AnomalyCase::kWeakenedBridge;
+  }
+  // Case 1: a high-magnitude weight change that did not qualify as a
+  // structural bridge event (commute change mild relative to baseline).
+  if (relative_weight_change > options.magnitude_change_ratio &&
+      std::fabs(edge.weight_delta) > 0.0) {
+    return AnomalyCase::kMagnitudeChange;
+  }
+  return AnomalyCase::kUnclassified;
+}
+
+}  // namespace cad

@@ -1,0 +1,31 @@
+#include "core/clc_detector.h"
+
+#include <cmath>
+
+namespace cad {
+
+Result<TransitionNodeScores> ClcDetector::ScoreTransitions(
+    const TemporalGraphSequence& sequence) const {
+  if (sequence.num_snapshots() < 2) {
+    return Status::InvalidArgument("CLC needs at least two snapshots");
+  }
+  const size_t n = sequence.num_nodes();
+  TransitionNodeScores scores;
+  scores.reserve(sequence.num_transitions());
+
+  std::vector<double> previous =
+      ClosenessCentrality(sequence.Snapshot(0), options_);
+  for (size_t t = 1; t < sequence.num_snapshots(); ++t) {
+    std::vector<double> current =
+        ClosenessCentrality(sequence.Snapshot(t), options_);
+    std::vector<double> node_scores(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      node_scores[i] = std::fabs(current[i] - previous[i]);
+    }
+    scores.push_back(std::move(node_scores));
+    previous = std::move(current);
+  }
+  return scores;
+}
+
+}  // namespace cad

@@ -1,0 +1,32 @@
+#ifndef CAD_CORE_CLC_DETECTOR_H_
+#define CAD_CORE_CLC_DETECTOR_H_
+
+#include <string>
+
+#include "core/detector.h"
+#include "graph/centrality.h"
+
+namespace cad {
+
+/// \brief The closeness-centrality baseline (CLC) from §4 of the paper:
+/// node i's anomaly score for transition t -> t+1 is
+/// |cc_{t+1}(i) - cc_t(i)|, the change in its closeness centrality.
+class ClcDetector : public NodeScorer {
+ public:
+  explicit ClcDetector(ClosenessOptions options = ClosenessOptions())
+      : options_(options) {}
+
+  Result<TransitionNodeScores> ScoreTransitions(
+      const TemporalGraphSequence& sequence) const override;
+
+  std::string name() const override { return "CLC"; }
+
+  const ClosenessOptions& options() const { return options_; }
+
+ private:
+  ClosenessOptions options_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_CORE_CLC_DETECTOR_H_

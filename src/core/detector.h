@@ -1,0 +1,37 @@
+#ifndef CAD_CORE_DETECTOR_H_
+#define CAD_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Per-transition node anomaly scores: scores[t][i] is the score of
+/// node i for the transition from snapshot t to snapshot t+1. Higher means
+/// more anomalous. A sequence with T snapshots yields T-1 score vectors.
+using TransitionNodeScores = std::vector<std::vector<double>>;
+
+/// \brief Common interface for every method compared in the paper's
+/// evaluation (CAD and the ADJ / COM / ACT / CLC baselines, §4).
+///
+/// All five methods reduce to "assign each node a score per transition";
+/// ROC curves (Fig. 6) sweep a threshold over these scores against ground
+/// truth.
+class NodeScorer {
+ public:
+  virtual ~NodeScorer() = default;
+
+  /// Scores every transition of the sequence. Requires >= 2 snapshots.
+  virtual Result<TransitionNodeScores> ScoreTransitions(
+      const TemporalGraphSequence& sequence) const = 0;
+
+  /// Short method name for report tables ("CAD", "ACT", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cad
+
+#endif  // CAD_CORE_DETECTOR_H_

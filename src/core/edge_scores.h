@@ -1,0 +1,82 @@
+#ifndef CAD_CORE_EDGE_SCORES_H_
+#define CAD_CORE_EDGE_SCORES_H_
+
+#include <vector>
+
+#include "commute/commute_time.h"
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief Which per-edge anomaly score to compute for a transition.
+///
+/// The paper defines CAD's score and two degenerate variants used as
+/// baselines (§3.4), plus we add the additive fusion for the ablation bench.
+enum class EdgeScoreKind {
+  /// dE(i,j) = |dA(i,j)| * |dc(i,j)| — the CAD score (paper §2.5).
+  kCad,
+  /// dE(i,j) = |dA(i,j)| — adjacency change only (ADJ baseline).
+  kAdj,
+  /// dE(i,j) = |dc(i,j)| — commute-time change only (COM baseline).
+  kCom,
+  /// dE(i,j) = |dA|/max|dA| + |dc|/max|dc| — normalized additive fusion
+  /// (ablation only; not in the paper).
+  kSum,
+};
+
+const char* EdgeScoreKindToString(EdgeScoreKind kind);
+
+/// \brief One scored node pair within a transition.
+struct ScoredEdge {
+  NodePair pair;
+  /// The anomaly score dE_t(e) for the selected EdgeScoreKind.
+  double score = 0.0;
+  /// A_{t+1}(i,j) - A_t(i,j).
+  double weight_delta = 0.0;
+  /// c_{t+1}(i,j) - c_t(i,j).
+  double commute_delta = 0.0;
+};
+
+/// \brief All scores for one transition t -> t+1.
+struct TransitionScores {
+  /// Scored pairs over the union of edge supports of G_t and G_{t+1}
+  /// (every pair that could have a nonzero score), sorted by score
+  /// descending, ties broken by (u, v) for determinism.
+  std::vector<ScoredEdge> edges;
+  /// Node scores dN_t(i) = sum_j dE_t(e_{i,j}) (paper §3.5.1).
+  std::vector<double> node_scores;
+  /// Sum of all edge scores (the value compared against delta when S is
+  /// empty).
+  double total_score = 0.0;
+};
+
+/// \brief Computes per-edge anomaly scores for the transition between
+/// `before` and `after`, using the given commute-time oracles for the two
+/// snapshots.
+///
+/// Only pairs in the union of the two snapshots' edge supports are scored;
+/// every other pair has dA = 0 and hence score 0 for kCad/kAdj (and is not
+/// part of the COM support by the paper's O(m log m) argument, §3.3).
+/// For kCom the same support is used — this matches the paper's runtime
+/// analysis, which treats the number of nonzero score entries as O(m).
+TransitionScores ComputeTransitionScores(const WeightedGraph& before,
+                                         const WeightedGraph& after,
+                                         const CommuteTimeOracle& oracle_before,
+                                         const CommuteTimeOracle& oracle_after,
+                                         EdgeScoreKind kind);
+
+/// \brief Selects the anomalous edge set E_t for threshold `delta`:
+/// the smallest prefix of the (descending) score order such that the scores
+/// of all *remaining* pairs sum to < delta (paper §2.4.1). Returns indices
+/// into `scores.edges`.
+std::vector<size_t> SelectAnomalousEdges(const TransitionScores& scores,
+                                         double delta);
+
+/// \brief Union of the endpoints of the selected edges, ascending. This is
+/// the anomalous node set V_t.
+std::vector<NodeId> EndpointUnion(const TransitionScores& scores,
+                                  const std::vector<size_t>& edge_indices);
+
+}  // namespace cad
+
+#endif  // CAD_CORE_EDGE_SCORES_H_

@@ -1,0 +1,48 @@
+#include "core/online_monitor.h"
+
+namespace cad {
+
+Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
+    const WeightedGraph& snapshot) {
+  if (previous_snapshot_.has_value() &&
+      snapshot.num_nodes() != previous_snapshot_->num_nodes()) {
+    return Status::InvalidArgument(
+        "snapshot node count " + std::to_string(snapshot.num_nodes()) +
+        " does not match the stream's " +
+        std::to_string(previous_snapshot_->num_nodes()));
+  }
+
+  std::unique_ptr<CommuteTimeOracle> oracle;
+  CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot));
+  ++num_snapshots_;
+
+  if (!previous_snapshot_.has_value()) {
+    previous_snapshot_ = snapshot;
+    previous_oracle_ = std::move(oracle);
+    return std::optional<AnomalyReport>();
+  }
+
+  // Score the transition that just completed.
+  history_.push_back(ComputeTransitionScores(
+      *previous_snapshot_, snapshot, *previous_oracle_, *oracle,
+      options_.detector.score_kind));
+  previous_snapshot_ = snapshot;
+  previous_oracle_ = std::move(oracle);
+
+  // Online threshold update over the full history (paper §4.2).
+  delta_ = CalibrateDelta(history_, options_.nodes_per_transition);
+
+  if (history_.size() <= options_.warmup_transitions) {
+    return std::optional<AnomalyReport>();
+  }
+  const TransitionScores& latest = history_.back();
+  AnomalyReport report;
+  report.transition = history_.size() - 1;
+  const std::vector<size_t> selected = SelectAnomalousEdges(latest, delta_);
+  report.edges.reserve(selected.size());
+  for (size_t index : selected) report.edges.push_back(latest.edges[index]);
+  report.nodes = EndpointUnion(latest, selected);
+  return std::optional<AnomalyReport>(std::move(report));
+}
+
+}  // namespace cad

@@ -1,0 +1,72 @@
+#ifndef CAD_CORE_ONLINE_MONITOR_H_
+#define CAD_CORE_ONLINE_MONITOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cad_detector.h"
+#include "core/threshold.h"
+
+namespace cad {
+
+/// \brief Options for the streaming CAD monitor.
+struct OnlineMonitorOptions {
+  /// Detector configuration (engine, score kind, embedding dimension).
+  CadOptions detector;
+  /// Target average number of anomalous nodes per transition; the threshold
+  /// delta is re-calibrated after every snapshot from all scores seen so
+  /// far (the paper's §4.2 online variant: "aggregating scores up to the
+  /// current graph instance and updating the threshold").
+  double nodes_per_transition = 5.0;
+  /// Number of transitions to observe before reports are emitted; earlier
+  /// transitions still feed the calibration. Guards against a wild
+  /// threshold from a one-transition history.
+  size_t warmup_transitions = 2;
+};
+
+/// \brief Streaming variant of CAD: feed snapshots one at a time and receive
+/// an anomaly report per transition, thresholded with a delta calibrated
+/// online over the history so far.
+///
+/// Each snapshot's commute-time oracle is built exactly once and reused for
+/// its two adjacent transitions, so the total work matches the batch
+/// CadDetector::Analyze pass.
+class OnlineCadMonitor {
+ public:
+  explicit OnlineCadMonitor(OnlineMonitorOptions options = {})
+      : options_(options), detector_(options.detector) {}
+
+  /// Feeds the next snapshot. Returns:
+  ///  - nullopt for the first snapshot (no transition yet) and during
+  ///    warmup,
+  ///  - otherwise the AnomalyReport for the transition that just completed,
+  ///    thresholded at the current online delta.
+  /// The snapshot's node count must match previously observed snapshots.
+  Result<std::optional<AnomalyReport>> Observe(const WeightedGraph& snapshot);
+
+  /// The currently calibrated threshold (0 until the first transition).
+  double current_delta() const { return delta_; }
+
+  /// Number of snapshots observed so far.
+  size_t num_snapshots() const { return num_snapshots_; }
+
+  /// Number of completed transitions.
+  size_t num_transitions() const { return history_.size(); }
+
+  /// All transition scores observed so far (for offline re-analysis).
+  const std::vector<TransitionScores>& history() const { return history_; }
+
+ private:
+  OnlineMonitorOptions options_;
+  CadDetector detector_;
+  std::optional<WeightedGraph> previous_snapshot_;
+  std::unique_ptr<CommuteTimeOracle> previous_oracle_;
+  std::vector<TransitionScores> history_;
+  double delta_ = 0.0;
+  size_t num_snapshots_ = 0;
+};
+
+}  // namespace cad
+
+#endif  // CAD_CORE_ONLINE_MONITOR_H_

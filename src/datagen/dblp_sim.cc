@@ -1,0 +1,196 @@
+#include "datagen/dblp_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cad {
+
+const char* CollaborationStoryKindToString(CollaborationStoryKind kind) {
+  switch (kind) {
+    case CollaborationStoryKind::kFieldSwitch:
+      return "field-switch";
+    case CollaborationStoryKind::kCrossAreaCollaboration:
+      return "cross-area-collaboration";
+    case CollaborationStoryKind::kSeveredTie:
+      return "severed-tie";
+  }
+  return "unknown";
+}
+
+DblpSimData MakeDblpStyleData(const DblpSimOptions& options) {
+  CAD_CHECK_GE(options.num_years, 4u);
+  CAD_CHECK_GE(options.num_authors, 16 * options.num_communities);
+  const size_t n = options.num_authors;
+  const size_t communities = options.num_communities;
+  Rng rng(options.seed);
+
+  DblpSimData data;
+  data.community.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.community[i] = static_cast<uint32_t>(i % communities);
+  }
+
+  // Persistent collaboration affinities: each author collaborates with a
+  // handful of community colleagues (rate = expected papers/year), and a few
+  // rare cross-community ties exist as benign background.
+  std::unordered_map<uint64_t, double> affinity;
+  std::vector<std::vector<NodeId>> members(communities);
+  for (size_t i = 0; i < n; ++i) {
+    members[data.community[i]].push_back(static_cast<NodeId>(i));
+  }
+  for (const auto& group : members) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      // Each author keeps ~4 steady collaborators inside the community.
+      const size_t partners = std::min<size_t>(group.size() - 1, 4);
+      for (size_t index :
+           rng.SampleWithoutReplacement(group.size(), partners)) {
+        if (group[index] == group[a]) continue;
+        affinity[NodePair::Make(group[a], group[index]).Key()] =
+            rng.Uniform(1.0, 4.0);
+      }
+    }
+  }
+  // Benign sparse cross-community collaborations.
+  const size_t cross_ties = n / 15;
+  for (size_t e = 0; e < cross_ties; ++e) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    affinity[NodePair::Make(u, v).Key()] = rng.Uniform(1.5, 2.5);
+  }
+
+  // ---- Injected stories -------------------------------------------------
+  // Pick protagonists from distinct communities so the stories don't
+  // interact. The switch transition sits mid-sequence.
+  const size_t switch_transition = options.num_years / 2 - 1;
+  const size_t severed_transition = options.num_years - 2;
+
+  // Story 1: full field switch from community 0 to the "most distant"
+  // community (communities/2 away) with several strong new ties.
+  CollaborationStory field_switch;
+  field_switch.kind = CollaborationStoryKind::kFieldSwitch;
+  field_switch.transition = switch_transition;
+  field_switch.author = members[0][0];
+  {
+    const auto target =
+        static_cast<uint32_t>(communities / 2);
+    for (size_t index : rng.SampleWithoutReplacement(members[target].size(), 3)) {
+      field_switch.counterparts.push_back(members[target][index]);
+    }
+    field_switch.description =
+        "author switches fields entirely: 3 strong new cross-community ties, "
+        "old ties dropped";
+  }
+
+  // Story 2: cross-area collaboration into the *adjacent* community, base
+  // collaborations kept; fewer/weaker new ties than story 1, so its CAD
+  // score should rank below the field switch (the paper's severity
+  // ordering).
+  CollaborationStory cross_area;
+  cross_area.kind = CollaborationStoryKind::kCrossAreaCollaboration;
+  cross_area.transition = switch_transition;
+  cross_area.author = members[1][0];
+  {
+    const uint32_t target = 2;  // adjacent community
+    for (size_t index : rng.SampleWithoutReplacement(members[target].size(), 3)) {
+      cross_area.counterparts.push_back(members[target][index]);
+    }
+    cross_area.description =
+        "author adds collaborations in a neighboring area, keeping base ties";
+  }
+
+  // Story 3: a strong long-standing tie severed.
+  CollaborationStory severed;
+  severed.kind = CollaborationStoryKind::kSeveredTie;
+  severed.transition = severed_transition;
+  severed.author = members[3][0];
+  severed.counterparts.push_back(members[3][1]);
+  severed.description = "long-standing strong collaboration ends abruptly";
+  // The severed pair works almost exclusively together (like colleagues at
+  // one institution): drop their other strong ties so that losing the edge
+  // genuinely changes their structural position, then anchor each to the
+  // community with one weak tie to keep the graph connected.
+  for (auto it = affinity.begin(); it != affinity.end();) {
+    const auto u = static_cast<NodeId>(it->first >> 32);
+    const auto v = static_cast<NodeId>(it->first & 0xffffffffULL);
+    const bool touches_pair = u == severed.author || v == severed.author ||
+                              u == severed.counterparts[0] ||
+                              v == severed.counterparts[0];
+    it = touches_pair ? affinity.erase(it) : ++it;
+  }
+  affinity[NodePair::Make(severed.author, severed.counterparts[0]).Key()] = 8.0;
+  affinity[NodePair::Make(severed.author, members[3][2]).Key()] = 2.5;
+  affinity[NodePair::Make(severed.counterparts[0], members[3][3]).Key()] = 2.5;
+
+  // ---- Materialize yearly snapshots --------------------------------------
+  data.sequence = TemporalGraphSequence(n);
+  for (size_t year = 0; year < options.num_years; ++year) {
+    std::unordered_map<uint64_t, double> rates = affinity;
+
+    // Field switch: after the transition, the protagonist's old ties vanish
+    // and the new strong ties appear.
+    if (year > field_switch.transition) {
+      for (auto it = rates.begin(); it != rates.end();) {
+        const auto u = static_cast<NodeId>(it->first >> 32);
+        const auto v = static_cast<NodeId>(it->first & 0xffffffffULL);
+        if (u == field_switch.author || v == field_switch.author) {
+          it = rates.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (NodeId counterpart : field_switch.counterparts) {
+        rates[NodePair::Make(field_switch.author, counterpart).Key()] = 5.0;
+      }
+    }
+    // Cross-area collaboration: new moderate ties added on top.
+    if (year > cross_area.transition) {
+      for (NodeId counterpart : cross_area.counterparts) {
+        rates[NodePair::Make(cross_area.author, counterpart).Key()] = 4.5;
+      }
+    }
+    // Severed tie: the strong collaboration stops.
+    if (year > severed.transition) {
+      rates.erase(NodePair::Make(severed.author, severed.counterparts[0]).Key());
+    }
+
+    WeightedGraph snapshot(n);
+    // Weak constant "shared venue" backbone: author i and i+1 always share a
+    // trace of co-activity. This keeps every yearly snapshot connected (as
+    // the paper's filtered DBLP subgraph effectively is) so commute times
+    // stay finite; being constant, it contributes nothing to any dA and
+    // hence nothing to CAD scores.
+    for (size_t i = 0; i + 1 < n; ++i) {
+      CAD_CHECK_OK(snapshot.SetEdge(static_cast<NodeId>(i),
+                                    static_cast<NodeId>(i + 1), 0.25));
+    }
+    for (const auto& [key, rate] : rates) {
+      // Paper-count edge weight. Sporadic ties (low rate) are Poisson —
+      // they appear and disappear year to year — while established
+      // collaborations publish a *stable* number of papers (sub-Poisson
+      // variance), as real long-running collaborations do.
+      double papers;
+      if (rate < 2.0) {
+        papers = static_cast<double>(rng.Poisson(rate));
+      } else {
+        papers = std::max(0.0, std::round(rate + rng.Normal(0.0, 0.5)));
+      }
+      if (papers > 0.0) {
+        CAD_CHECK_OK(snapshot.AddEdgeWeight(
+            static_cast<NodeId>(key >> 32),
+            static_cast<NodeId>(key & 0xffffffffULL), papers));
+      }
+    }
+    CAD_CHECK_OK(data.sequence.Append(std::move(snapshot)));
+  }
+
+  data.stories = {std::move(field_switch), std::move(cross_area),
+                  std::move(severed)};
+  return data;
+}
+
+}  // namespace cad

@@ -1,0 +1,71 @@
+#ifndef CAD_DATAGEN_DBLP_SIM_H_
+#define CAD_DATAGEN_DBLP_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Options for the DBLP-style co-authorship simulator.
+struct DblpSimOptions {
+  /// Number of authors (paper: 6574 filtered DBLP authors; default scaled
+  /// down for quick runs — raise via flag for paper scale).
+  size_t num_authors = 1200;
+  /// Number of yearly snapshots (paper: 2005-2010).
+  size_t num_years = 6;
+  /// Number of research communities.
+  size_t num_communities = 8;
+  uint64_t seed = 21;
+};
+
+/// \brief The three relationship-change archetypes reported in §4.2.2.
+enum class CollaborationStoryKind {
+  /// An author abandons their community and starts strong collaborations in
+  /// a distant one (the software-engineering -> HPC switch; the paper's
+  /// highest-scoring anomaly).
+  kFieldSwitch,
+  /// An author keeps their base but adds cross-community collaborations in
+  /// an adjacent area (the DB-performance -> core-DB shift; scored lower
+  /// than the full switch).
+  kCrossAreaCollaboration,
+  /// A strong long-standing collaboration ends abruptly (the severed-tie
+  /// story).
+  kSeveredTie,
+};
+
+const char* CollaborationStoryKindToString(CollaborationStoryKind kind);
+
+/// \brief One injected story with its localization ground truth.
+struct CollaborationStory {
+  CollaborationStoryKind kind;
+  /// Transition (0-based) at which the change happens.
+  size_t transition = 0;
+  /// The protagonist author.
+  NodeId author = 0;
+  /// The counterpart authors on the changed edges.
+  std::vector<NodeId> counterparts;
+  std::string description;
+};
+
+/// \brief The generated collaboration network.
+struct DblpSimData {
+  TemporalGraphSequence sequence;
+  /// Community (research area) of each author.
+  std::vector<uint32_t> community;
+  /// Injected stories, in a fixed order: field switch, cross-area
+  /// collaboration (both at the same transition, to allow the paper's
+  /// severity comparison), then the severed tie at a later transition.
+  std::vector<CollaborationStory> stories;
+};
+
+/// Builds the simulated network: community-structured yearly co-authorship
+/// counts with benign churn, plus the three injected stories. Requires
+/// num_years >= 4 and num_authors >= 16 * num_communities.
+DblpSimData MakeDblpStyleData(const DblpSimOptions& options = {});
+
+}  // namespace cad
+
+#endif  // CAD_DATAGEN_DBLP_SIM_H_

@@ -1,0 +1,356 @@
+#include "datagen/enron_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cad {
+
+namespace {
+
+/// Sparse symmetric rate table: pair key -> Poisson rate.
+using RateTable = std::unordered_map<uint64_t, double>;
+
+void AddRate(RateTable* table, NodeId u, NodeId v, double rate) {
+  if (u == v) return;
+  (*table)[NodePair::Make(u, v).Key()] += rate;
+}
+
+/// One scripted boost: extra communication on a set of pairs during
+/// [begin_month, end_month).
+struct ScriptedBoost {
+  size_t begin_month;
+  size_t end_month;
+  RateTable rates;
+  std::string description;
+  std::vector<NodeId> key_nodes;
+};
+
+}  // namespace
+
+double EnronSimData::MonthlyVolume(NodeId node, size_t month) const {
+  const WeightedGraph& snapshot = sequence.Snapshot(month);
+  double volume = 0.0;
+  for (size_t other = 0; other < snapshot.num_nodes(); ++other) {
+    if (other == node) continue;
+    volume += snapshot.EdgeWeight(node, static_cast<NodeId>(other));
+  }
+  return volume;
+}
+
+bool EnronSimData::IsEventTransition(size_t transition) const {
+  for (const OrgEvent& event : events) {
+    if (event.onset_transition == transition ||
+        event.offset_transition == transition) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> EnronSimData::EventNodesAt(size_t transition) const {
+  std::vector<NodeId> nodes;
+  for (const OrgEvent& event : events) {
+    if (event.onset_transition == transition ||
+        event.offset_transition == transition) {
+      nodes.insert(nodes.end(), event.key_nodes.begin(),
+                   event.key_nodes.end());
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+EnronSimData MakeEnronStyleData(const EnronSimOptions& options) {
+  CAD_CHECK_GE(options.num_employees, 60u);
+  CAD_CHECK_GE(options.num_months, 42u);
+  const size_t n = options.num_employees;
+  Rng rng(options.seed);
+
+  EnronSimData data;
+  data.node_names.resize(n);
+  data.node_roles.resize(n);
+
+  // ---- Roles ---------------------------------------------------------
+  // Fixed principals at ids 0..3, then executives, legal, traders, staff.
+  std::vector<NodeId> execs;
+  std::vector<NodeId> legal;
+  std::vector<NodeId> traders;
+  std::vector<NodeId> staff;
+  const size_t num_execs = 10;
+  const size_t num_legal = 12;
+  const size_t num_traders = (n - 4 - num_execs - num_legal) * 2 / 5;
+  for (size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    std::string role;
+    if (i == data.ceo) {
+      role = "ceo";
+    } else if (i == data.incoming_ceo) {
+      role = "incoming_ceo";
+    } else if (i == data.assistant) {
+      role = "assistant";
+    } else if (i == data.energy_ceo) {
+      role = "energy_ceo";
+    } else if (i < 4 + num_execs) {
+      role = "exec";
+      execs.push_back(id);
+    } else if (i < 4 + num_execs + num_legal) {
+      role = "legal";
+      legal.push_back(id);
+    } else if (i < 4 + num_execs + num_legal + num_traders) {
+      role = "trader";
+      traders.push_back(id);
+    } else {
+      role = "staff";
+      staff.push_back(id);
+    }
+    data.node_roles[i] = role;
+    data.node_names[i] = role + "_" + std::to_string(i);
+  }
+
+  // Departments: traders and staff are split round-robin into 5 desks;
+  // execs and legal are their own units.
+  const size_t kNumDesks = 5;
+  std::vector<uint32_t> desk(n, 0);
+  for (size_t i = 0; i < traders.size(); ++i) {
+    desk[traders[i]] = static_cast<uint32_t>(i % kNumDesks);
+  }
+  for (size_t i = 0; i < staff.size(); ++i) {
+    desk[staff[i]] = static_cast<uint32_t>(i % kNumDesks);
+  }
+
+  // ---- Background communication rates ---------------------------------
+  RateTable base;
+  // The CEO's office: heavy assistant traffic, steady exec contact.
+  AddRate(&base, data.ceo, data.assistant, 5.0);
+  AddRate(&base, data.ceo, data.incoming_ceo, 2.0);
+  for (NodeId e : execs) {
+    AddRate(&base, data.ceo, e, 2.0);
+    if (rng.Bernoulli(0.5)) AddRate(&base, data.assistant, e, 1.0);
+    if (rng.Bernoulli(0.4)) AddRate(&base, data.energy_ceo, e, 1.5);
+  }
+  // Executives coordinate among themselves.
+  for (size_t a = 0; a < execs.size(); ++a) {
+    for (size_t b = a + 1; b < execs.size(); ++b) {
+      if (rng.Bernoulli(0.6)) {
+        AddRate(&base, execs[a], execs[b], rng.Uniform(2.0, 3.0));
+      }
+    }
+  }
+  // Legal team.
+  for (size_t a = 0; a < legal.size(); ++a) {
+    for (size_t b = a + 1; b < legal.size(); ++b) {
+      if (rng.Bernoulli(0.4)) {
+        AddRate(&base, legal[a], legal[b], rng.Uniform(2.0, 3.0));
+      }
+    }
+  }
+  // Desk-mates (traders and staff).
+  const auto add_desk_pairs = [&](const std::vector<NodeId>& group,
+                                  double prob, double lo, double hi) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        if (desk[group[a]] == desk[group[b]] && rng.Bernoulli(prob)) {
+          AddRate(&base, group[a], group[b], rng.Uniform(lo, hi));
+        }
+      }
+    }
+  };
+  add_desk_pairs(traders, 0.5, 2.0, 4.0);
+  add_desk_pairs(staff, 0.4, 2.0, 3.0);
+  // Sparse cross-organization contact.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(0.006)) {
+        AddRate(&base, static_cast<NodeId>(a), static_cast<NodeId>(b),
+                rng.Uniform(0.3, 0.8));
+      }
+    }
+  }
+
+  // ---- Scripted scandal arc -------------------------------------------
+  std::vector<ScriptedBoost> boosts;
+
+  // (1) Pre-scandal trader burst (the paper's "transition 12" anecdote):
+  // one trader suddenly talks to many other traders for two months.
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 12;
+    boost.end_month = 14;
+    const NodeId burst_trader = traders[rng.UniformInt(traders.size())];
+    boost.key_nodes.push_back(burst_trader);
+    const size_t contacts = std::min<size_t>(12, traders.size() - 1);
+    for (size_t index : rng.SampleWithoutReplacement(traders.size(), contacts + 1)) {
+      const NodeId other = traders[index];
+      if (other == burst_trader) continue;
+      AddRate(&boost.rates, burst_trader, other, 8.0);
+    }
+    boost.description = "trader burst: sudden trading-floor coordination";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (2) Assistant anomaly just before the CEO succession: the assistant
+  // starts contacting traders and staff across the organization — people
+  // far from the CEO's office in the communication graph. (A pure volume
+  // increase toward the already-close executives would be a benign
+  // "Steffes-type" change that CAD is designed to downrank; the threat
+  // signature is the *structural* reach, per the paper's Case 2.)
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 24;
+    boost.end_month = 26;
+    boost.key_nodes.push_back(data.assistant);
+    for (size_t index : rng.SampleWithoutReplacement(traders.size(), 4)) {
+      AddRate(&boost.rates, data.assistant, traders[index], 5.0);
+    }
+    for (size_t index : rng.SampleWithoutReplacement(staff.size(), 3)) {
+      AddRate(&boost.rates, data.assistant, staff[index], 5.0);
+    }
+    boost.description = "assistant anomaly: unexplained reach across desks";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (3) CEO succession: the incoming CEO builds direct lines to the whole
+  // organization — the executive team plus desk people they never spoke to
+  // (persistent regime change starting at the succession).
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 26;
+    boost.end_month = options.num_months;  // persists to the end
+    boost.key_nodes.push_back(data.incoming_ceo);
+    for (NodeId e : execs) AddRate(&boost.rates, data.incoming_ceo, e, 3.0);
+    AddRate(&boost.rates, data.incoming_ceo, data.ceo, 4.0);
+    for (size_t index : rng.SampleWithoutReplacement(traders.size(), 3)) {
+      AddRate(&boost.rates, data.incoming_ceo, traders[index], 4.0);
+    }
+    for (size_t index : rng.SampleWithoutReplacement(staff.size(), 3)) {
+      AddRate(&boost.rates, data.incoming_ceo, staff[index], 4.0);
+    }
+    boost.description = "CEO succession: incoming CEO takes over the org";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (4) Questionable earnings: executives loop in legal.
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 28;
+    boost.end_month = 31;
+    for (size_t pair = 0; pair < 8; ++pair) {
+      const NodeId e = execs[rng.UniformInt(execs.size())];
+      const NodeId l = legal[rng.UniformInt(legal.size())];
+      AddRate(&boost.rates, e, l, 5.0);
+      boost.key_nodes.push_back(e);
+      boost.key_nodes.push_back(l);
+    }
+    std::sort(boost.key_nodes.begin(), boost.key_nodes.end());
+    boost.key_nodes.erase(
+        std::unique(boost.key_nodes.begin(), boost.key_nodes.end()),
+        boost.key_nodes.end());
+    boost.description = "earnings review: exec-legal coordination";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (5) The CEO hub burst (Fig. 8): the returning CEO suddenly talks to a
+  // broad cross-section of the organization for two months.
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 33;
+    boost.end_month = 35;
+    boost.key_nodes.push_back(data.ceo);
+    const size_t contacts = std::min<size_t>(25, n - 5);
+    for (size_t index : rng.SampleWithoutReplacement(n - 4, contacts)) {
+      const NodeId other = static_cast<NodeId>(index + 4);  // skip principals
+      AddRate(&boost.rates, data.ceo, other, 8.0);
+    }
+    boost.description = "CEO hub burst: crisis communication across all roles";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (6) Acquisition attempt: the energy-division CEO works legal and execs.
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 35;
+    boost.end_month = 37;
+    boost.key_nodes.push_back(data.energy_ceo);
+    for (size_t index : rng.SampleWithoutReplacement(legal.size(), 5)) {
+      AddRate(&boost.rates, data.energy_ceo, legal[index], 6.0);
+    }
+    for (size_t index : rng.SampleWithoutReplacement(execs.size(), 5)) {
+      AddRate(&boost.rates, data.energy_ceo, execs[index], 6.0);
+    }
+    boost.description = "acquisition attempt: energy CEO with legal and execs";
+    boosts.push_back(std::move(boost));
+  }
+
+  // (7) Bankruptcy turmoil: widespread legal/exec/trader cross-talk.
+  {
+    ScriptedBoost boost;
+    boost.begin_month = 37;
+    boost.end_month = 41;
+    for (size_t pair = 0; pair < 20; ++pair) {
+      const NodeId l = legal[rng.UniformInt(legal.size())];
+      const NodeId other = rng.Bernoulli(0.5)
+                               ? execs[rng.UniformInt(execs.size())]
+                               : traders[rng.UniformInt(traders.size())];
+      AddRate(&boost.rates, l, other, 5.0);
+      boost.key_nodes.push_back(l);
+      boost.key_nodes.push_back(other);
+    }
+    std::sort(boost.key_nodes.begin(), boost.key_nodes.end());
+    boost.key_nodes.erase(
+        std::unique(boost.key_nodes.begin(), boost.key_nodes.end()),
+        boost.key_nodes.end());
+    boost.description = "bankruptcy turmoil: legal at the center of the storm";
+    boosts.push_back(std::move(boost));
+  }
+
+  data.turmoil_begin_month = 26;
+  data.turmoil_end_month = 41;
+
+  // ---- Materialize monthly snapshots -----------------------------------
+  data.sequence = TemporalGraphSequence(n);
+  for (size_t month = 0; month < options.num_months; ++month) {
+    RateTable effective = base;
+    for (const ScriptedBoost& boost : boosts) {
+      if (month >= boost.begin_month && month < boost.end_month) {
+        for (const auto& [key, rate] : boost.rates) effective[key] += rate;
+      }
+    }
+    WeightedGraph snapshot(n);
+    for (const auto& [key, rate] : effective) {
+      // Occasional contacts (low rate) are bursty Poisson counts; steady
+      // working relationships exchange a stable volume month over month
+      // (sub-Poisson variance), which matches how sustained professional
+      // email traffic behaves and keeps benign churn from drowning events.
+      double count;
+      if (rate < 2.0) {
+        count = static_cast<double>(rng.Poisson(rate));
+      } else {
+        count = std::max(0.0, std::round(rate + rng.Normal(0.0, 0.7)));
+      }
+      if (count > 0.0) {
+        CAD_CHECK_OK(snapshot.SetEdge(static_cast<NodeId>(key >> 32),
+                                      static_cast<NodeId>(key & 0xffffffffULL),
+                                      count));
+      }
+    }
+    CAD_CHECK_OK(data.sequence.Append(std::move(snapshot)));
+  }
+
+  // ---- Ground-truth events ---------------------------------------------
+  for (const ScriptedBoost& boost : boosts) {
+    OrgEvent event;
+    event.onset_transition = boost.begin_month - 1;
+    event.offset_transition = std::min(boost.end_month, options.num_months) - 1;
+    event.description = boost.description;
+    event.key_nodes = boost.key_nodes;
+    data.events.push_back(std::move(event));
+  }
+  return data;
+}
+
+}  // namespace cad

@@ -1,0 +1,88 @@
+#include "datagen/gmm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cad {
+
+Result<GaussianMixture> GaussianMixture::Create(
+    std::vector<GaussianComponent> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("GaussianMixture needs >= 1 component");
+  }
+  const size_t dim = components[0].mean.size();
+  if (dim == 0) {
+    return Status::InvalidArgument("GaussianMixture dimension must be > 0");
+  }
+  for (const GaussianComponent& c : components) {
+    if (c.mean.size() != dim || c.stddev.size() != dim) {
+      return Status::InvalidArgument(
+          "GaussianMixture components have inconsistent dimensions");
+    }
+    if (c.weight <= 0.0) {
+      return Status::InvalidArgument("component weights must be positive");
+    }
+    for (double s : c.stddev) {
+      if (s < 0.0) {
+        return Status::InvalidArgument("stddevs must be non-negative");
+      }
+    }
+  }
+  return GaussianMixture(std::move(components));
+}
+
+GaussianMixture GaussianMixture::Standard4Component2d(double separation,
+                                                      double stddev) {
+  std::vector<GaussianComponent> components;
+  const double s = separation;
+  for (const auto& [x, y] : std::vector<std::pair<double, double>>{
+           {0.0, 0.0}, {s, 0.0}, {0.0, s}, {s, s}}) {
+    components.push_back(
+        GaussianComponent{{x, y}, {stddev, stddev}, 1.0});
+  }
+  Result<GaussianMixture> mixture = Create(std::move(components));
+  CAD_CHECK(mixture.ok());
+  return std::move(mixture).ValueOrDie();
+}
+
+GmmSample GaussianMixture::Sample(size_t n, Rng* rng) const {
+  CAD_CHECK(rng != nullptr);
+  double total_weight = 0.0;
+  for (const GaussianComponent& c : components_) total_weight += c.weight;
+
+  GmmSample sample;
+  sample.points.reserve(n);
+  sample.component.reserve(n);
+  const size_t dim = dimension();
+  for (size_t i = 0; i < n; ++i) {
+    // Pick a component proportional to weight.
+    double pick = rng->Uniform() * total_weight;
+    size_t which = 0;
+    for (; which + 1 < components_.size(); ++which) {
+      pick -= components_[which].weight;
+      if (pick < 0.0) break;
+    }
+    const GaussianComponent& c = components_[which];
+    std::vector<double> point(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      point[d] = rng->Normal(c.mean[d], c.stddev[d]);
+    }
+    sample.points.push_back(std::move(point));
+    sample.component.push_back(static_cast<uint32_t>(which));
+  }
+  return sample;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  CAD_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cad

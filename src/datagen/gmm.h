@@ -1,0 +1,66 @@
+#ifndef CAD_DATAGEN_GMM_H_
+#define CAD_DATAGEN_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace cad {
+
+/// \brief One mixture component: an axis-aligned Gaussian.
+struct GaussianComponent {
+  std::vector<double> mean;
+  /// Per-dimension standard deviations; must match mean.size().
+  std::vector<double> stddev;
+  /// Relative mixing weight (> 0); normalized across components.
+  double weight = 1.0;
+};
+
+/// \brief Points drawn from a Gaussian mixture, with their source component.
+struct GmmSample {
+  /// points[i] is a d-dimensional location.
+  std::vector<std::vector<double>> points;
+  /// component[i] is the index of the component that generated points[i].
+  std::vector<uint32_t> component;
+};
+
+/// \brief Axis-aligned Gaussian mixture model sampler (the synthetic data
+/// source of §4.1: 2000 samples from a 2-D, 4-component mixture).
+class GaussianMixture {
+ public:
+  /// Validates and stores the components: at least one, all with matching
+  /// dimensions, positive weights and non-negative stddevs.
+  static Result<GaussianMixture> Create(
+      std::vector<GaussianComponent> components);
+
+  /// The standard 4-component, well-separated 2-D mixture used by the
+  /// synthetic benchmark (component means on a square of side `separation`,
+  /// isotropic stddev `stddev`).
+  static GaussianMixture Standard4Component2d(double separation = 4.0,
+                                              double stddev = 0.7);
+
+  /// Draws `n` points.
+  GmmSample Sample(size_t n, Rng* rng) const;
+
+  size_t dimension() const { return components_[0].mean.size(); }
+  size_t num_components() const { return components_.size(); }
+  const std::vector<GaussianComponent>& components() const {
+    return components_;
+  }
+
+ private:
+  explicit GaussianMixture(std::vector<GaussianComponent> components)
+      : components_(std::move(components)) {}
+
+  std::vector<GaussianComponent> components_;
+};
+
+/// Euclidean distance between two points of equal dimension.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace cad
+
+#endif  // CAD_DATAGEN_GMM_H_

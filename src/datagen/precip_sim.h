@@ -1,0 +1,90 @@
+#ifndef CAD_DATAGEN_PRECIP_SIM_H_
+#define CAD_DATAGEN_PRECIP_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Options for the gridded precipitation simulator.
+struct PrecipSimOptions {
+  /// Grid dimensions; num cells = grid_width * grid_height (paper: 67,420
+  /// land cells; default scaled down, raise via flags).
+  size_t grid_width = 30;
+  size_t grid_height = 20;
+  /// Number of yearly snapshots for one fixed calendar month (paper: 21
+  /// Januaries, 1982-2002).
+  size_t num_years = 21;
+  /// Year (0-based) at which the teleconnection event occurs.
+  size_t event_year = 13;
+  /// Magnitude of the event's regional rainfall shift, in units of the
+  /// *regionally coherent* interannual noise stddev. The total benign
+  /// variability a cell sees is interannual_noise + cell_noise combined, so
+  /// the default shift (5 * 0.15 = 0.75) stays within the range of ordinary
+  /// regional-mean swings (paper Fig. 10: the event is "subtle relative to
+  /// other variations" in any single series) — the detectable signal is its
+  /// *simultaneity across four regions*, which benign noise, being
+  /// independent across regions, essentially never produces.
+  double event_shift_sigmas = 5.0;
+  /// Regionally coherent interannual noise stddev (whole region moves
+  /// together year to year).
+  double interannual_noise = 0.15;
+  /// Independent per-cell noise stddev (weather + measurement).
+  double cell_noise = 0.2;
+  /// Number of nearest neighbors in precipitation-value space (paper: 10).
+  size_t knn = 10;
+  uint64_t seed = 77;
+};
+
+/// \brief A named rectangular region of the grid.
+struct ClimateRegion {
+  std::string name;
+  /// Grid-cell rectangle [x0, x1) x [y0, y1).
+  size_t x0, x1, y0, y1;
+  /// Climatological mean precipitation for the fixed calendar month.
+  double base_precipitation;
+  /// Event response: +1 (wetter), -1 (drier), 0 (unchanged).
+  int event_sign;
+};
+
+/// \brief The generated precipitation network data.
+///
+/// Per year, the graph connects each grid cell to its k nearest neighbors in
+/// *precipitation-value* space with weight exp(-(p_i - p_j)^2 / (2 sigma^2)),
+/// following §4.2.3 — this is what creates "teleconnection" edges between
+/// geographically distant regions with similar rainfall, and what CAD's
+/// anomalous edges break/create when regions shift together.
+struct PrecipSimData {
+  TemporalGraphSequence sequence;
+  std::vector<ClimateRegion> regions;
+  /// region_of[cell] = index into `regions`, or UINT32_MAX for background.
+  std::vector<uint32_t> region_of;
+  /// precipitation[year][cell].
+  std::vector<std::vector<double>> precipitation;
+  /// Ground truth: cells inside event-shifted regions.
+  std::vector<bool> cell_in_shifted_region;
+  /// The transition (event_year - 1 -> event_year) where the shift appears.
+  size_t event_transition = 0;
+
+  /// Average precipitation over a region in a given year.
+  double RegionalMean(size_t region_index, size_t year) const;
+};
+
+/// Builds the simulator output. Requires the grid to fit the built-in region
+/// layout (width >= 24, height >= 12), num_years >= 3, and
+/// 0 < event_year < num_years.
+PrecipSimData MakePrecipitationData(const PrecipSimOptions& options = {});
+
+/// \brief Builds a k-nearest-neighbor similarity graph in 1-D value space:
+/// each node connects to its `k` nearest values with Gaussian weight
+/// exp(-(v_i - v_j)^2 / (2 sigma^2)). If sigma <= 0, the standard deviation
+/// of `values` is used. Exposed for tests and reuse.
+WeightedGraph MakeValueKnnGraph(const std::vector<double>& values, size_t k,
+                                double sigma = 0.0);
+
+}  // namespace cad
+
+#endif  // CAD_DATAGEN_PRECIP_SIM_H_

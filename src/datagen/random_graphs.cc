@@ -1,0 +1,70 @@
+#include "datagen/random_graphs.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cad {
+
+WeightedGraph MakeRandomSparseGraph(const RandomGraphOptions& options) {
+  CAD_CHECK_GT(options.num_nodes, 1u);
+  CAD_CHECK_LE(options.min_weight, options.max_weight);
+  Rng rng(options.seed);
+  const size_t n = options.num_nodes;
+  const auto target_edges = static_cast<size_t>(
+      options.average_degree * static_cast<double>(n) / 2.0);
+
+  WeightedGraph graph(n);
+  // Sample node pairs uniformly; duplicates overwrite, which slightly
+  // undershoots the target for dense settings but is immaterial at the
+  // sparse densities this generator is used for.
+  for (size_t e = 0; e < target_edges; ++e) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    CAD_CHECK_OK(
+        graph.SetEdge(u, v, rng.Uniform(options.min_weight, options.max_weight)));
+  }
+  return graph;
+}
+
+WeightedGraph PerturbGraph(const WeightedGraph& graph, double jitter,
+                           double rewire_fraction, Rng* rng) {
+  CAD_CHECK(rng != nullptr);
+  CAD_CHECK(jitter >= 0.0 && jitter < 1.0);
+  CAD_CHECK(rewire_fraction >= 0.0 && rewire_fraction <= 1.0);
+  const size_t n = graph.num_nodes();
+  WeightedGraph perturbed(n);
+
+  size_t removed = 0;
+  for (const Edge& edge : graph.Edges()) {
+    if (rng->Bernoulli(rewire_fraction)) {
+      ++removed;  // drop this edge
+      continue;
+    }
+    const double scale = rng->Uniform(1.0 - jitter, 1.0 + jitter);
+    CAD_CHECK_OK(perturbed.SetEdge(edge.u, edge.v, edge.weight * scale));
+  }
+  // Add as many fresh edges as were removed.
+  for (size_t e = 0; e < removed; ++e) {
+    const auto u = static_cast<NodeId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    CAD_CHECK_OK(perturbed.SetEdge(u, v, rng->Uniform(0.5, 2.0)));
+  }
+  return perturbed;
+}
+
+TemporalGraphSequence MakeRandomTransition(const RandomGraphOptions& options,
+                                           double jitter,
+                                           double rewire_fraction) {
+  WeightedGraph first = MakeRandomSparseGraph(options);
+  Rng rng(options.seed ^ 0xabcdef12345ULL);
+  WeightedGraph second = PerturbGraph(first, jitter, rewire_fraction, &rng);
+  TemporalGraphSequence sequence(options.num_nodes);
+  CAD_CHECK_OK(sequence.Append(std::move(first)));
+  CAD_CHECK_OK(sequence.Append(std::move(second)));
+  return sequence;
+}
+
+}  // namespace cad

@@ -1,0 +1,42 @@
+#ifndef CAD_DATAGEN_RANDOM_GRAPHS_H_
+#define CAD_DATAGEN_RANDOM_GRAPHS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Options for sparse random graph generation (the scalability study
+/// of §4.1.3 uses symmetric random graphs with m = O(n)).
+struct RandomGraphOptions {
+  size_t num_nodes = 1000;
+  /// Target average (unweighted) degree; the paper's "sparsity level 1/n"
+  /// corresponds to average degree ~= 1..2. Edges are sampled uniformly.
+  double average_degree = 2.0;
+  /// Edge weights drawn U(min_weight, max_weight).
+  double min_weight = 0.5;
+  double max_weight = 2.0;
+  uint64_t seed = 99;
+};
+
+/// Generates a sparse undirected random graph with approximately
+/// num_nodes * average_degree / 2 distinct edges.
+WeightedGraph MakeRandomSparseGraph(const RandomGraphOptions& options);
+
+/// \brief Produces a perturbed copy of `graph`: each existing edge's weight
+/// is rescaled by U(1-jitter, 1+jitter), `rewire_fraction` of edges are
+/// deleted, and an equal number of fresh random edges is added. Used to make
+/// realistic snapshot pairs for scalability timing.
+WeightedGraph PerturbGraph(const WeightedGraph& graph, double jitter,
+                           double rewire_fraction, Rng* rng);
+
+/// Convenience: a two-snapshot sequence (random graph + perturbation).
+TemporalGraphSequence MakeRandomTransition(const RandomGraphOptions& options,
+                                           double jitter = 0.1,
+                                           double rewire_fraction = 0.01);
+
+}  // namespace cad
+
+#endif  // CAD_DATAGEN_RANDOM_GRAPHS_H_

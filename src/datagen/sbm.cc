@@ -1,0 +1,98 @@
+#include "datagen/sbm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cad {
+
+namespace {
+
+/// Visits each candidate index in [0, count) independently with probability
+/// p, via geometric skips: the gap to the next success is
+/// floor(log(U) / log(1 - p)).
+template <typename Visitor>
+void GeometricSample(uint64_t count, double p, Rng* rng, Visitor&& visit) {
+  if (p <= 0.0 || count == 0) return;
+  if (p >= 1.0) {
+    for (uint64_t i = 0; i < count; ++i) visit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double position = -1.0;
+  for (;;) {
+    // Uniform() < 1 guarantees log(.) is finite and the skip >= 0.
+    const double u = 1.0 - rng->Uniform();  // (0, 1]
+    position += 1.0 + std::floor(std::log(u) / log1mp);
+    if (position >= static_cast<double>(count)) return;
+    visit(static_cast<uint64_t>(position));
+  }
+}
+
+}  // namespace
+
+SbmGraph MakeStochasticBlockModel(const SbmOptions& options) {
+  CAD_CHECK_GT(options.num_blocks, 0u);
+  CAD_CHECK_GE(options.num_nodes, options.num_blocks);
+  CAD_CHECK(options.intra_block_prob >= 0.0 && options.intra_block_prob <= 1.0);
+  CAD_CHECK(options.inter_block_prob >= 0.0 && options.inter_block_prob <= 1.0);
+  CAD_CHECK_LE(options.min_weight, options.max_weight);
+  const size_t n = options.num_nodes;
+  const size_t blocks = options.num_blocks;
+  Rng rng(options.seed);
+
+  SbmGraph result;
+  result.graph = WeightedGraph(n);
+  result.block.resize(n);
+
+  // Contiguous, near-equal block ranges: block b covers [starts[b],
+  // starts[b+1]).
+  std::vector<size_t> starts(blocks + 1, 0);
+  for (size_t b = 0; b <= blocks; ++b) starts[b] = b * n / blocks;
+  for (size_t b = 0; b < blocks; ++b) {
+    for (size_t i = starts[b]; i < starts[b + 1]; ++i) {
+      result.block[i] = static_cast<uint32_t>(b);
+    }
+  }
+
+  const auto add_edge = [&](NodeId u, NodeId v) {
+    CAD_CHECK_OK(result.graph.SetEdge(
+        u, v, rng.Uniform(options.min_weight, options.max_weight)));
+  };
+
+  for (size_t a = 0; a < blocks; ++a) {
+    const uint64_t size_a = starts[a + 1] - starts[a];
+    // Within-block pairs: triangular index over size_a nodes.
+    GeometricSample(size_a * (size_a - 1) / 2, options.intra_block_prob, &rng,
+                    [&](uint64_t index) {
+                      // Invert the triangular index: find row i such that
+                      // i*(i-1)/2 <= index < i*(i+1)/2 (i is the larger
+                      // endpoint's offset).
+                      auto i = static_cast<uint64_t>(
+                          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(
+                                                     index))) /
+                          2.0);
+                      // Guard against sqrt rounding at the row boundaries.
+                      while (i > 1 && i * (i - 1) / 2 > index) --i;
+                      while ((i + 1) * i / 2 <= index) ++i;
+                      const uint64_t j = index - i * (i - 1) / 2;
+                      add_edge(static_cast<NodeId>(starts[a] + i),
+                               static_cast<NodeId>(starts[a] + j));
+                    });
+    // Cross-block rectangles.
+    for (size_t b = a + 1; b < blocks; ++b) {
+      const uint64_t size_b = starts[b + 1] - starts[b];
+      GeometricSample(size_a * size_b, options.inter_block_prob, &rng,
+                      [&](uint64_t index) {
+                        const uint64_t i = index / size_b;
+                        const uint64_t j = index % size_b;
+                        add_edge(static_cast<NodeId>(starts[a] + i),
+                                 static_cast<NodeId>(starts[b] + j));
+                      });
+    }
+  }
+  return result;
+}
+
+}  // namespace cad

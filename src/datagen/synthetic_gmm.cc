@@ -1,0 +1,98 @@
+#include "datagen/synthetic_gmm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cad {
+
+GmmBenchmarkInstance MakeGmmBenchmark(const GmmBenchmarkOptions& options) {
+  CAD_CHECK_GT(options.num_points, 1u);
+  CAD_CHECK(options.cross_cluster_fraction >= 0.0 &&
+            options.cross_cluster_fraction <= 1.0);
+  Rng rng(options.seed);
+  const size_t n = options.num_points;
+
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d(
+      options.separation, options.cluster_stddev);
+  GmmSample sample = mixture.Sample(n, &rng);
+
+  // Jittered copy of the points for the second snapshot.
+  std::vector<std::vector<double>> jittered = sample.points;
+  for (auto& point : jittered) {
+    for (double& coordinate : point) {
+      coordinate += rng.Normal(0.0, options.noise_stddev);
+    }
+  }
+
+  GmmBenchmarkInstance instance;
+  instance.cluster = sample.component;
+  instance.node_is_anomalous.assign(n, false);
+
+  // Base similarity graphs P (original points) and Q (jittered points).
+  WeightedGraph p(n);
+  WeightedGraph a2(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const NodeId u = static_cast<NodeId>(i);
+      const NodeId v = static_cast<NodeId>(j);
+      const double w1 =
+          std::exp(-EuclideanDistance(sample.points[i], sample.points[j]));
+      if (w1 > options.weight_threshold) {
+        CAD_CHECK_OK(p.SetEdge(u, v, w1));
+      }
+      const double w2 =
+          std::exp(-EuclideanDistance(jittered[i], jittered[j]));
+      if (w2 > options.weight_threshold) {
+        CAD_CHECK_OK(a2.SetEdge(u, v, w2));
+      }
+    }
+  }
+
+  // Sparse random perturbation standing in for the paper's (R + R^T)/2:
+  // U(0,1) weight bumps on randomly chosen pairs. Cross-cluster bumps are
+  // the ground-truth anomalies (they rewire inter-cluster structure);
+  // within-cluster bumps are benign decoys with the same |dA| signature.
+  const auto num_perturbations = static_cast<size_t>(std::llround(
+      options.perturbations_per_node * static_cast<double>(n) / 2.0));
+  for (size_t k = 0; k < num_perturbations; ++k) {
+    const auto i = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const bool cross = rng.Bernoulli(options.cross_cluster_fraction);
+    NodeId j = i;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      j = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+      if (j == i) continue;
+      const bool is_cross = sample.component[i] != sample.component[j];
+      if (is_cross == cross) break;
+    }
+    if (j == i) continue;  // no valid partner found (degenerate clustering)
+    CAD_CHECK_OK(a2.AddEdgeWeight(i, j, rng.Uniform()));
+    if (cross) {
+      instance.anomalous_edges.push_back(NodePair::Make(i, j));
+      instance.node_is_anomalous[i] = true;
+      instance.node_is_anomalous[j] = true;
+    }
+  }
+
+  // Guarantee a non-degenerate ground truth: if no cross-cluster
+  // perturbation was drawn (possible for tiny n or zero fraction), force one.
+  if (instance.anomalous_edges.empty()) {
+    NodeId u = 0;
+    NodeId v = 0;
+    do {
+      u = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+      v = static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+    } while (u == v || sample.component[u] == sample.component[v]);
+    CAD_CHECK_OK(a2.AddEdgeWeight(u, v, rng.Uniform(0.5, 1.0)));
+    instance.anomalous_edges.push_back(NodePair::Make(u, v));
+    instance.node_is_anomalous[u] = true;
+    instance.node_is_anomalous[v] = true;
+  }
+
+  instance.sequence = TemporalGraphSequence(n);
+  CAD_CHECK_OK(instance.sequence.Append(std::move(p)));
+  CAD_CHECK_OK(instance.sequence.Append(std::move(a2)));
+  return instance;
+}
+
+}  // namespace cad

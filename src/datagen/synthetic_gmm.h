@@ -1,0 +1,62 @@
+#ifndef CAD_DATAGEN_SYNTHETIC_GMM_H_
+#define CAD_DATAGEN_SYNTHETIC_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/gmm.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Options for the quantitative synthetic benchmark of paper §4.1.
+struct GmmBenchmarkOptions {
+  /// Number of sampled points / graph nodes (paper: 2000).
+  size_t num_points = 500;
+  /// Component separation and spread of the 4-component 2-D mixture.
+  double separation = 8.0;
+  double cluster_stddev = 0.7;
+  /// Stddev of the point jitter producing the second snapshot's base
+  /// adjacency Q ("a small amount of random noise to the data").
+  double noise_stddev = 0.05;
+  /// Expected number of perturbed pairs incident to each node. The paper
+  /// uses a uniform 5%-dense random matrix R, but at that density *every*
+  /// node touches a perturbed cross-cluster pair, making node-level ground
+  /// truth degenerate (all positive). Instead we plant a controlled number
+  /// of U(0,1) perturbations per node; see EXPERIMENTS.md for the rationale.
+  double perturbations_per_node = 6.0;
+  /// Fraction of perturbations whose endpoints lie in *different* clusters
+  /// (the ground-truth anomalies). The remainder land inside a cluster:
+  /// equally large |dA| weight changes between tightly-coupled nodes — the
+  /// benign changes that fool the ADJ baseline but not CAD (paper §3.4).
+  double cross_cluster_fraction = 0.085;
+  /// Weights exp(-d) below this threshold are dropped, keeping the graphs
+  /// finite-support; at the default the effect on structure is negligible.
+  double weight_threshold = 1e-7;
+  uint64_t seed = 1234;
+};
+
+/// \brief One realization of the synthetic benchmark.
+struct GmmBenchmarkInstance {
+  /// Two snapshots: A_1 = P (similarity graph of the sample) and
+  /// A_2 = Q + (R + R^T)/2 (jittered similarities plus sparse random
+  /// perturbation).
+  TemporalGraphSequence sequence;
+  /// Mixture component of each node.
+  std::vector<uint32_t> cluster;
+  /// Ground truth: perturbed pairs whose endpoints lie in different
+  /// clusters — the relationship changes that alter graph structure.
+  std::vector<NodePair> anomalous_edges;
+  /// node_is_anomalous[i] is true iff node i touches an anomalous edge.
+  std::vector<bool> node_is_anomalous;
+};
+
+/// \brief Generates one realization: samples the mixture, builds
+/// P(i,j) = exp(-d(i,j)), jitters the points into Q, overlays the sparse
+/// random matrix R, and records the cross-cluster perturbations as ground
+/// truth (paper §4.1).
+GmmBenchmarkInstance MakeGmmBenchmark(const GmmBenchmarkOptions& options);
+
+}  // namespace cad
+
+#endif  // CAD_DATAGEN_SYNTHETIC_GMM_H_

@@ -1,0 +1,94 @@
+#include "datagen/toy_example.h"
+
+#include "common/check.h"
+
+namespace cad {
+
+NodeId ToyBlue(int index) {
+  CAD_CHECK(index >= 1 && index <= 8);
+  return static_cast<NodeId>(index - 1);
+}
+
+NodeId ToyRed(int index) {
+  CAD_CHECK(index >= 1 && index <= 9);
+  return static_cast<NodeId>(8 + index - 1);
+}
+
+ToyExample MakeToyExample() {
+  constexpr size_t kNumNodes = 17;
+  WeightedGraph before(kNumNodes);
+
+  const auto add = [&before](NodeId u, NodeId v, double w) {
+    CAD_CHECK_OK(before.SetEdge(u, v, w));
+  };
+
+  // Blue community: a well-connected group with edge weight 2, except the
+  // initially-weak pair b4-b5 that S3 strengthens.
+  add(ToyBlue(1), ToyBlue(2), 2.0);
+  add(ToyBlue(1), ToyBlue(3), 2.0);  // S4 weakens this tightly-coupled pair
+  add(ToyBlue(1), ToyBlue(4), 2.0);
+  add(ToyBlue(2), ToyBlue(3), 2.0);
+  add(ToyBlue(2), ToyBlue(7), 2.0);  // S5 strengthens this pair
+  add(ToyBlue(2), ToyBlue(8), 2.0);
+  add(ToyBlue(3), ToyBlue(5), 2.0);
+  add(ToyBlue(3), ToyBlue(7), 2.0);
+  add(ToyBlue(4), ToyBlue(5), 1.0);  // S3 raises this to 6
+  add(ToyBlue(4), ToyBlue(6), 2.0);
+  add(ToyBlue(5), ToyBlue(6), 2.0);
+  add(ToyBlue(5), ToyBlue(8), 2.0);
+  add(ToyBlue(6), ToyBlue(7), 2.0);
+  add(ToyBlue(7), ToyBlue(8), 2.0);
+
+  // Red community, subgroup A: {r1, r2, r3, r5, r7}.
+  add(ToyRed(1), ToyRed(2), 2.0);
+  add(ToyRed(1), ToyRed(3), 2.0);
+  add(ToyRed(1), ToyRed(7), 2.0);
+  add(ToyRed(2), ToyRed(3), 2.0);
+  add(ToyRed(2), ToyRed(5), 2.0);
+  add(ToyRed(3), ToyRed(5), 2.0);
+  add(ToyRed(3), ToyRed(7), 2.0);
+  add(ToyRed(5), ToyRed(7), 2.0);
+
+  // Red community, subgroup B: {r4, r6, r9} around r8. The only tie to
+  // subgroup A is the bridge r7-r8 that S2 weakens.
+  add(ToyRed(4), ToyRed(6), 2.0);
+  add(ToyRed(4), ToyRed(9), 2.0);
+  add(ToyRed(6), ToyRed(9), 2.0);
+  add(ToyRed(8), ToyRed(4), 2.0);
+  add(ToyRed(8), ToyRed(6), 2.0);
+  add(ToyRed(8), ToyRed(9), 2.0);
+  add(ToyRed(7), ToyRed(8), 3.0);  // bridge; S2 weakens to 1.5
+
+  // Weak inter-community ties: the two groups interact only marginally at
+  // time t, which is what makes the new b1-r1 edge (S1) anomalous.
+  add(ToyBlue(8), ToyRed(2), 0.5);
+  add(ToyBlue(6), ToyRed(3), 0.5);
+
+  // Time slice t+1: apply the five scripted changes.
+  WeightedGraph after = before;
+  CAD_CHECK_OK(after.SetEdge(ToyBlue(1), ToyRed(1), 2.0));   // S1: new edge
+  CAD_CHECK_OK(after.SetEdge(ToyRed(7), ToyRed(8), 1.5));    // S2: weakened
+  CAD_CHECK_OK(after.SetEdge(ToyBlue(4), ToyBlue(5), 6.0));  // S3: boosted
+  CAD_CHECK_OK(after.SetEdge(ToyBlue(1), ToyBlue(3), 1.5));  // S4: benign
+  CAD_CHECK_OK(after.SetEdge(ToyBlue(2), ToyBlue(7), 2.5));  // S5: benign
+
+  ToyExample toy;
+  toy.sequence = TemporalGraphSequence(kNumNodes);
+  CAD_CHECK_OK(toy.sequence.Append(std::move(before)));
+  CAD_CHECK_OK(toy.sequence.Append(std::move(after)));
+
+  toy.node_names.reserve(kNumNodes);
+  for (int i = 1; i <= 8; ++i) toy.node_names.push_back("b" + std::to_string(i));
+  for (int i = 1; i <= 9; ++i) toy.node_names.push_back("r" + std::to_string(i));
+
+  toy.anomalous_edges = {NodePair::Make(ToyBlue(1), ToyRed(1)),
+                         NodePair::Make(ToyBlue(4), ToyBlue(5)),
+                         NodePair::Make(ToyRed(7), ToyRed(8))};
+  toy.anomalous_nodes = {ToyBlue(1), ToyBlue(4), ToyBlue(5),
+                         ToyRed(1),  ToyRed(7),  ToyRed(8)};
+  toy.benign_changed_edges = {NodePair::Make(ToyBlue(1), ToyBlue(3)),
+                              NodePair::Make(ToyBlue(2), ToyBlue(7))};
+  return toy;
+}
+
+}  // namespace cad

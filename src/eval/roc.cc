@@ -1,0 +1,174 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cad {
+
+namespace {
+
+Status ValidateInputs(const std::vector<double>& scores,
+                      const std::vector<bool>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  const size_t positives =
+      static_cast<size_t>(std::count(labels.begin(), labels.end(), true));
+  if (positives == 0) {
+    return Status::InvalidArgument("ROC needs at least one positive label");
+  }
+  if (positives == labels.size()) {
+    return Status::InvalidArgument("ROC needs at least one negative label");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
+                            const std::vector<bool>& labels) {
+  CAD_RETURN_NOT_OK(ValidateInputs(scores, labels));
+  const size_t n = scores.size();
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  double total_pos = 0.0;
+  double total_neg = 0.0;
+  for (bool label : labels) (label ? total_pos : total_neg) += 1.0;
+
+  RocCurve curve;
+  curve.points.push_back(
+      RocPoint{0.0, 0.0, std::numeric_limits<double>::infinity()});
+  double tp = 0.0;
+  double fp = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    // Consume all items tied at this score together so ties produce one
+    // diagonal segment rather than an order-dependent staircase.
+    const double score = scores[order[i]];
+    while (i < n && scores[order[i]] == score) {
+      if (labels[order[i]]) {
+        tp += 1.0;
+      } else {
+        fp += 1.0;
+      }
+      ++i;
+    }
+    curve.points.push_back(RocPoint{fp / total_neg, tp / total_pos, score});
+  }
+
+  // Trapezoid area.
+  double auc = 0.0;
+  for (size_t p = 1; p < curve.points.size(); ++p) {
+    const RocPoint& a = curve.points[p - 1];
+    const RocPoint& b = curve.points[p];
+    auc += (b.false_positive_rate - a.false_positive_rate) *
+           0.5 * (a.true_positive_rate + b.true_positive_rate);
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<bool>& labels) {
+  CAD_RETURN_NOT_OK(ValidateInputs(scores, labels));
+  const size_t n = scores.size();
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Mid-rank assignment over tie groups.
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (size_t k = i; k < j; ++k) rank[order[k]] = mid_rank;
+    i = j;
+  }
+
+  double positive_rank_sum = 0.0;
+  double num_pos = 0.0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    if (labels[idx]) {
+      positive_rank_sum += rank[idx];
+      num_pos += 1.0;
+    }
+  }
+  const double num_neg = static_cast<double>(n) - num_pos;
+  const double u = positive_rank_sum - num_pos * (num_pos + 1.0) / 2.0;
+  return u / (num_pos * num_neg);
+}
+
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<bool>& labels, size_t k) {
+  CAD_CHECK_EQ(scores.size(), labels.size());
+  k = std::min(k, scores.size());
+  if (k == 0) return 0.0;
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&scores](size_t a, size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (labels[order[i]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+RocCurve AverageRocCurves(const std::vector<RocCurve>& curves,
+                          size_t grid_size) {
+  RocCurve averaged;
+  if (curves.empty() || grid_size < 2) return averaged;
+  averaged.points.reserve(grid_size);
+  for (size_t g = 0; g < grid_size; ++g) {
+    const double fpr =
+        static_cast<double>(g) / static_cast<double>(grid_size - 1);
+    double tpr_sum = 0.0;
+    for (const RocCurve& curve : curves) {
+      // Linear interpolation of TPR at this FPR.
+      const auto& pts = curve.points;
+      double tpr = 0.0;
+      for (size_t p = 1; p < pts.size(); ++p) {
+        if (pts[p].false_positive_rate >= fpr) {
+          const double x0 = pts[p - 1].false_positive_rate;
+          const double x1 = pts[p].false_positive_rate;
+          const double y0 = pts[p - 1].true_positive_rate;
+          const double y1 = pts[p].true_positive_rate;
+          tpr = (x1 > x0) ? y0 + (y1 - y0) * (fpr - x0) / (x1 - x0)
+                          : std::max(y0, y1);
+          break;
+        }
+        if (p + 1 == pts.size()) tpr = pts[p].true_positive_rate;
+      }
+      tpr_sum += tpr;
+    }
+    averaged.points.push_back(
+        RocPoint{fpr, tpr_sum / static_cast<double>(curves.size()), 0.0});
+  }
+  double auc = 0.0;
+  for (size_t p = 1; p < averaged.points.size(); ++p) {
+    const RocPoint& a = averaged.points[p - 1];
+    const RocPoint& b = averaged.points[p];
+    auc += (b.false_positive_rate - a.false_positive_rate) * 0.5 *
+           (a.true_positive_rate + b.true_positive_rate);
+  }
+  averaged.auc = auc;
+  return averaged;
+}
+
+}  // namespace cad

@@ -1,0 +1,56 @@
+#ifndef CAD_EVAL_ROC_H_
+#define CAD_EVAL_ROC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cad {
+
+/// \brief One operating point on a ROC curve.
+struct RocPoint {
+  double false_positive_rate;
+  double true_positive_rate;
+  /// Score threshold realizing this point (items with score >= threshold are
+  /// predicted positive).
+  double threshold;
+};
+
+/// \brief A full ROC curve plus its area.
+struct RocCurve {
+  /// Points ordered from (0,0) to (1,1).
+  std::vector<RocPoint> points;
+  /// Area under the curve via the trapezoid rule (equals the Mann-Whitney
+  /// statistic with ties counted half).
+  double auc = 0.0;
+};
+
+/// \brief Builds the ROC curve of `scores` against boolean `labels`
+/// (true = anomalous). Requires equal sizes and at least one positive and
+/// one negative label; returns InvalidArgument otherwise.
+///
+/// Used to regenerate Fig. 5 (AUC vs k) and Fig. 6 (method comparison).
+Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
+                            const std::vector<bool>& labels);
+
+/// \brief AUC only, via the rank-sum (Mann-Whitney) formulation with
+/// mid-rank tie handling. Identical value to ComputeRoc().auc but cheaper.
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<bool>& labels);
+
+/// \brief Fraction of the top-k scored items that are labeled positive.
+/// k is clamped to the number of items; k = 0 returns 0.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<bool>& labels, size_t k);
+
+/// \brief Averages several ROC curves onto a common FPR grid (the paper's
+/// "ROC averaged over 100 realizations", Fig. 6). Vertical averaging at
+/// `grid_size` evenly spaced FPR values; the returned curve's `auc` is the
+/// trapezoid area of the averaged curve.
+RocCurve AverageRocCurves(const std::vector<RocCurve>& curves,
+                          size_t grid_size = 201);
+
+}  // namespace cad
+
+#endif  // CAD_EVAL_ROC_H_

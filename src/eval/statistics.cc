@@ -1,0 +1,87 @@
+#include "eval/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cad {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  CAD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<size_t>(position);
+  const size_t upper = std::min(lower + 1, values.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return values[lower] + fraction * (values[upper] - values[lower]);
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  CAD_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  const double mean_x = Mean(x);
+  const double mean_y = Mean(y);
+  double covariance = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    covariance += (x[i] - mean_x) * (y[i] - mean_y);
+    var_x += (x[i] - mean_x) * (x[i] - mean_x);
+    var_y += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return covariance / std::sqrt(var_x * var_y);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (size_t k = i; k < j; ++k) ranks[order[k]] = mid_rank;
+    i = j;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  CAD_CHECK_EQ(x.size(), y.size());
+  return PearsonCorrelation(MidRanks(x), MidRanks(y));
+}
+
+}  // namespace cad

@@ -1,0 +1,43 @@
+#ifndef CAD_EVAL_STATISTICS_H_
+#define CAD_EVAL_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cad {
+
+/// Descriptive statistics and correlation measures used by the evaluation
+/// harnesses (experiment summaries, rank-agreement between engines).
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& values);
+
+/// The q-th quantile (0 <= q <= 1) with linear interpolation between order
+/// statistics. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Median (Quantile at 0.5).
+double Median(std::vector<double> values);
+
+/// Pearson linear correlation coefficient. Returns 0 if either side has
+/// zero variance. Sizes must match.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties share ranks).
+/// Sizes must match.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Mid-ranks of `values` (1-based; ties get the average of their ranks).
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+}  // namespace cad
+
+#endif  // CAD_EVAL_STATISTICS_H_

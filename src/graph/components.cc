@@ -1,0 +1,41 @@
+#include "graph/components.h"
+
+#include <queue>
+
+namespace cad {
+
+ComponentLabeling ConnectedComponents(const WeightedGraph& graph) {
+  const size_t n = graph.num_nodes();
+  constexpr uint32_t kUnassigned = 0xffffffffu;
+  ComponentLabeling labeling;
+  labeling.component.assign(n, kUnassigned);
+
+  const auto adjacency = graph.AdjacencyLists();
+  std::queue<NodeId> frontier;
+  for (size_t start = 0; start < n; ++start) {
+    if (labeling.component[start] != kUnassigned) continue;
+    const auto id = static_cast<uint32_t>(labeling.num_components++);
+    labeling.sizes.push_back(0);
+    labeling.component[start] = id;
+    frontier.push(static_cast<NodeId>(start));
+    while (!frontier.empty()) {
+      const NodeId node = frontier.front();
+      frontier.pop();
+      ++labeling.sizes[id];
+      for (const auto& neighbor : adjacency[node]) {
+        if (labeling.component[neighbor.node] == kUnassigned) {
+          labeling.component[neighbor.node] = id;
+          frontier.push(neighbor.node);
+        }
+      }
+    }
+  }
+  return labeling;
+}
+
+bool IsConnected(const WeightedGraph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  return ConnectedComponents(graph).num_components == 1;
+}
+
+}  // namespace cad

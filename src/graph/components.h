@@ -1,0 +1,38 @@
+#ifndef CAD_GRAPH_COMPONENTS_H_
+#define CAD_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief Connected-component labeling of a weighted graph.
+struct ComponentLabeling {
+  /// component[i] is the 0-based component id of node i; ids are assigned in
+  /// order of the smallest node in each component.
+  std::vector<uint32_t> component;
+  /// Number of connected components.
+  size_t num_components = 0;
+  /// Node count of each component.
+  std::vector<size_t> sizes;
+
+  bool SameComponent(NodeId u, NodeId v) const {
+    return component[u] == component[v];
+  }
+};
+
+/// \brief Computes connected components via BFS. Isolated nodes form
+/// singleton components.
+///
+/// The commute-time engines need this because commute distance is infinite
+/// across components; the exact engine can compute per-component
+/// pseudoinverses, and callers may want to report component splits.
+ComponentLabeling ConnectedComponents(const WeightedGraph& graph);
+
+/// True if the graph has a single connected component (or no nodes).
+bool IsConnected(const WeightedGraph& graph);
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_COMPONENTS_H_

@@ -1,0 +1,180 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cad {
+
+namespace {
+
+Status ValidateEndpoints(NodeId u, NodeId v, size_t num_nodes) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not allowed (node " +
+                                   std::to_string(u) + ")");
+  }
+  if (u >= num_nodes || v >= num_nodes) {
+    return Status::OutOfRange("edge endpoint out of range: {" +
+                              std::to_string(u) + ", " + std::to_string(v) +
+                              "} with n=" + std::to_string(num_nodes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WeightedGraph::SetEdge(NodeId u, NodeId v, double weight) {
+  CAD_RETURN_NOT_OK(ValidateEndpoints(u, v, num_nodes_));
+  if (weight < 0.0 || !std::isfinite(weight)) {
+    return Status::InvalidArgument("edge weight must be finite and >= 0, got " +
+                                   std::to_string(weight));
+  }
+  const uint64_t key = NodePair::Make(u, v).Key();
+  if (weight == 0.0) {
+    weights_.erase(key);
+  } else {
+    weights_[key] = weight;
+  }
+  return Status::OK();
+}
+
+Status WeightedGraph::AddEdgeWeight(NodeId u, NodeId v, double delta) {
+  CAD_RETURN_NOT_OK(ValidateEndpoints(u, v, num_nodes_));
+  const double next = EdgeWeight(u, v) + delta;
+  if (next < 0.0) {
+    return Status::InvalidArgument(
+        "AddEdgeWeight would make weight negative: " + std::to_string(next));
+  }
+  return SetEdge(u, v, next);
+}
+
+double WeightedGraph::EdgeWeight(NodeId u, NodeId v) const {
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return 0.0;
+  const auto it = weights_.find(NodePair::Make(u, v).Key());
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+std::vector<Edge> WeightedGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(weights_.size());
+  for (const auto& [key, weight] : weights_) {
+    edges.push_back(Edge{static_cast<NodeId>(key >> 32),
+                         static_cast<NodeId>(key & 0xffffffffULL), weight});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return edges;
+}
+
+std::vector<double> WeightedGraph::WeightedDegrees() const {
+  std::vector<double> degrees(num_nodes_, 0.0);
+  for (const auto& [key, weight] : weights_) {
+    degrees[key >> 32] += weight;
+    degrees[key & 0xffffffffULL] += weight;
+  }
+  return degrees;
+}
+
+std::vector<size_t> WeightedGraph::Degrees() const {
+  std::vector<size_t> degrees(num_nodes_, 0);
+  for (const auto& [key, weight] : weights_) {
+    (void)weight;
+    ++degrees[key >> 32];
+    ++degrees[key & 0xffffffffULL];
+  }
+  return degrees;
+}
+
+double WeightedGraph::Volume() const {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights_) {
+    (void)key;
+    total += weight;
+  }
+  return 2.0 * total;
+}
+
+CsrMatrix WeightedGraph::ToAdjacencyCsr() const {
+  CooMatrix coo(num_nodes_, num_nodes_);
+  coo.Reserve(2 * weights_.size());
+  for (const auto& [key, weight] : weights_) {
+    const auto u = static_cast<uint32_t>(key >> 32);
+    const auto v = static_cast<uint32_t>(key & 0xffffffffULL);
+    coo.AddSymmetric(u, v, weight);
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix WeightedGraph::ToLaplacianCsr(double regularization) const {
+  const std::vector<double> degrees = WeightedDegrees();
+  CooMatrix coo(num_nodes_, num_nodes_);
+  coo.Reserve(2 * weights_.size() + num_nodes_);
+  for (const auto& [key, weight] : weights_) {
+    const auto u = static_cast<uint32_t>(key >> 32);
+    const auto v = static_cast<uint32_t>(key & 0xffffffffULL);
+    coo.AddSymmetric(u, v, -weight);
+  }
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    coo.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i),
+            degrees[i] + regularization);
+  }
+  return coo.ToCsr();
+}
+
+DenseMatrix WeightedGraph::ToAdjacencyDense() const {
+  DenseMatrix a(num_nodes_, num_nodes_);
+  for (const auto& [key, weight] : weights_) {
+    const size_t u = key >> 32;
+    const size_t v = key & 0xffffffffULL;
+    a(u, v) = weight;
+    a(v, u) = weight;
+  }
+  return a;
+}
+
+DenseMatrix WeightedGraph::ToLaplacianDense(double regularization) const {
+  DenseMatrix l(num_nodes_, num_nodes_);
+  const std::vector<double> degrees = WeightedDegrees();
+  for (const auto& [key, weight] : weights_) {
+    const size_t u = key >> 32;
+    const size_t v = key & 0xffffffffULL;
+    l(u, v) = -weight;
+    l(v, u) = -weight;
+  }
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    l(i, i) = degrees[i] + regularization;
+  }
+  return l;
+}
+
+std::vector<std::vector<WeightedGraph::Neighbor>>
+WeightedGraph::AdjacencyLists() const {
+  std::vector<std::vector<Neighbor>> lists(num_nodes_);
+  for (const auto& [key, weight] : weights_) {
+    const auto u = static_cast<NodeId>(key >> 32);
+    const auto v = static_cast<NodeId>(key & 0xffffffffULL);
+    lists[u].push_back(Neighbor{v, weight});
+    lists[v].push_back(Neighbor{u, weight});
+  }
+  for (auto& list : lists) {
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node < b.node;
+              });
+  }
+  return lists;
+}
+
+std::string WeightedGraph::ToString() const {
+  std::ostringstream os;
+  os << "WeightedGraph(n=" << num_nodes_ << ", m=" << num_edges()
+     << ", volume=" << Volume() << ")";
+  return os.str();
+}
+
+bool WeightedGraph::operator==(const WeightedGraph& other) const {
+  return num_nodes_ == other.num_nodes_ && weights_ == other.weights_;
+}
+
+}  // namespace cad

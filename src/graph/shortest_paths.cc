@@ -1,0 +1,45 @@
+#include "graph/shortest_paths.h"
+
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cad {
+
+std::vector<double> DijkstraDistances(
+    const std::vector<std::vector<WeightedGraph::Neighbor>>& adjacency,
+    NodeId source, EdgeLengthMode mode) {
+  const size_t n = adjacency.size();
+  CAD_CHECK_LT(source, n);
+  std::vector<double> dist(n, kInfiniteDistance);
+  dist[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[node]) continue;  // stale entry
+    for (const auto& neighbor : adjacency[node]) {
+      const double length = mode == EdgeLengthMode::kUnit
+                                ? 1.0
+                                : 1.0 / neighbor.weight;
+      const double candidate = d + length;
+      if (candidate < dist[neighbor.node]) {
+        dist[neighbor.node] = candidate;
+        heap.emplace(candidate, neighbor.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> DijkstraDistances(const WeightedGraph& graph,
+                                      NodeId source, EdgeLengthMode mode) {
+  return DijkstraDistances(graph.AdjacencyLists(), source, mode);
+}
+
+}  // namespace cad

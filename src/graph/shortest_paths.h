@@ -1,0 +1,41 @@
+#ifndef CAD_GRAPH_SHORTEST_PATHS_H_
+#define CAD_GRAPH_SHORTEST_PATHS_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief How an edge weight is converted into a traversal length for
+/// shortest-path computations.
+enum class EdgeLengthMode {
+  /// Every edge has length 1 (hop distance).
+  kUnit,
+  /// Length = 1 / weight: strong ties are short. This is the convention used
+  /// for closeness centrality over communication-volume graphs, where a
+  /// higher weight means a closer relationship.
+  kInverseWeight,
+};
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// \brief Single-source shortest path distances via Dijkstra's algorithm
+/// (binary-heap implementation, O((n + m) log n)).
+///
+/// `adjacency` must come from WeightedGraph::AdjacencyLists(); passing it in
+/// lets callers amortize the adjacency build across many sources.
+std::vector<double> DijkstraDistances(
+    const std::vector<std::vector<WeightedGraph::Neighbor>>& adjacency,
+    NodeId source, EdgeLengthMode mode);
+
+/// Convenience overload building the adjacency view internally.
+std::vector<double> DijkstraDistances(const WeightedGraph& graph,
+                                      NodeId source, EdgeLengthMode mode);
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_SHORTEST_PATHS_H_

@@ -1,0 +1,49 @@
+#ifndef CAD_GRAPH_SPECTRAL_EMBEDDING_H_
+#define CAD_GRAPH_SPECTRAL_EMBEDDING_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief Options for Laplacian eigenmap embeddings.
+struct SpectralEmbeddingOptions {
+  /// Number of embedding coordinates (eigenvectors beyond the trivial
+  /// constant one). The paper's Fig. 2 uses 2: the Fiedler vector and the
+  /// third-smallest eigenvector.
+  size_t dimension = 2;
+  /// Node count threshold below which the dense Jacobi eigensolver is used;
+  /// larger graphs use sparse Lanczos.
+  size_t dense_limit = 300;
+  /// Seed for the Lanczos start vector (large-graph path).
+  uint64_t seed = 5;
+};
+
+/// \brief A spectral (Laplacian eigenmap) embedding of a graph.
+struct SpectralEmbedding {
+  /// n x d matrix; row i holds node i's coordinates. Column j corresponds
+  /// to the (j+2)-th smallest Laplacian eigenvector (the constant
+  /// eigenvector is skipped).
+  DenseMatrix coordinates;
+  /// The corresponding Laplacian eigenvalues, ascending.
+  std::vector<double> eigenvalues;
+};
+
+/// \brief Computes the Laplacian eigenmap embedding of `graph` (paper §3.5,
+/// Fig. 2): nodes are mapped to the eigenvectors of L = D - A with the
+/// smallest nonzero eigenvalues. Commute-time distance is (up to scaling)
+/// Euclidean distance in the full such embedding, so low-dimensional
+/// projections visualize the structure CAD scores against.
+///
+/// Sign convention: each eigenvector is flipped so that its largest-magnitude
+/// entry is positive, making embeddings comparable across snapshots.
+Result<SpectralEmbedding> ComputeSpectralEmbedding(
+    const WeightedGraph& graph,
+    const SpectralEmbeddingOptions& options = SpectralEmbeddingOptions());
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_SPECTRAL_EMBEDDING_H_

@@ -1,0 +1,56 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace cad {
+
+Subgraph InducedSubgraph(const WeightedGraph& graph,
+                         std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (NodeId node : nodes) CAD_CHECK_LT(node, graph.num_nodes());
+
+  Subgraph subgraph;
+  subgraph.original_ids = nodes;
+  subgraph.graph = WeightedGraph(nodes.size());
+  for (size_t a = 0; a < nodes.size(); ++a) {
+    for (size_t b = a + 1; b < nodes.size(); ++b) {
+      const double weight = graph.EdgeWeight(nodes[a], nodes[b]);
+      if (weight != 0.0) {
+        CAD_CHECK_OK(subgraph.graph.SetEdge(static_cast<NodeId>(a),
+                                            static_cast<NodeId>(b), weight));
+      }
+    }
+  }
+  return subgraph;
+}
+
+std::vector<NodeId> NeighborhoodNodes(const WeightedGraph& graph,
+                                      NodeId center, size_t radius) {
+  CAD_CHECK_LT(center, graph.num_nodes());
+  const auto adjacency = graph.AdjacencyLists();
+  std::vector<size_t> distance(graph.num_nodes(), SIZE_MAX);
+  distance[center] = 0;
+  std::queue<NodeId> frontier;
+  frontier.push(center);
+  std::vector<NodeId> result = {center};
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    if (distance[node] >= radius) continue;
+    for (const auto& neighbor : adjacency[node]) {
+      if (distance[neighbor.node] == SIZE_MAX) {
+        distance[neighbor.node] = distance[node] + 1;
+        result.push_back(neighbor.node);
+        frontier.push(neighbor.node);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace cad

@@ -1,0 +1,33 @@
+#ifndef CAD_GRAPH_SUBGRAPH_H_
+#define CAD_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief An induced subgraph together with the mapping back to the parent
+/// graph's node ids.
+struct Subgraph {
+  /// The induced graph; node i corresponds to parent node original_ids[i].
+  WeightedGraph graph;
+  /// Sorted parent-node ids, one per subgraph node.
+  std::vector<NodeId> original_ids;
+};
+
+/// \brief Induced subgraph on `nodes` (duplicates ignored, order
+/// normalized). Edges of the parent with both endpoints selected are kept
+/// with their weights.
+Subgraph InducedSubgraph(const WeightedGraph& graph,
+                         std::vector<NodeId> nodes);
+
+/// \brief Nodes within `radius` hops of `center` (center included,
+/// radius 0 = just the center). Used to extract the egonet views shown in
+/// the paper's Fig. 8b.
+std::vector<NodeId> NeighborhoodNodes(const WeightedGraph& graph,
+                                      NodeId center, size_t radius);
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_SUBGRAPH_H_

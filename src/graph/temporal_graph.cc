@@ -1,0 +1,41 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+namespace cad {
+
+Status TemporalGraphSequence::Append(WeightedGraph snapshot) {
+  if (snapshot.num_nodes() != num_nodes_) {
+    return Status::InvalidArgument(
+        "snapshot node count " + std::to_string(snapshot.num_nodes()) +
+        " does not match sequence node count " + std::to_string(num_nodes_));
+  }
+  snapshots_.push_back(std::move(snapshot));
+  return Status::OK();
+}
+
+double TemporalGraphSequence::AverageEdgesPerSnapshot() const {
+  if (snapshots_.empty()) return 0.0;
+  double total = 0.0;
+  for (const WeightedGraph& g : snapshots_) {
+    total += static_cast<double>(g.num_edges());
+  }
+  return total / static_cast<double>(snapshots_.size());
+}
+
+std::vector<NodePair> TemporalGraphSequence::TransitionSupport(size_t t) const {
+  CAD_CHECK_LT(t + 1, snapshots_.size());
+  std::vector<NodePair> support;
+  support.reserve(snapshots_[t].num_edges() + snapshots_[t + 1].num_edges());
+  for (const Edge& e : snapshots_[t].Edges()) {
+    support.push_back(NodePair{e.u, e.v});
+  }
+  for (const Edge& e : snapshots_[t + 1].Edges()) {
+    support.push_back(NodePair{e.u, e.v});
+  }
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  return support;
+}
+
+}  // namespace cad

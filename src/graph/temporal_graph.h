@@ -1,0 +1,64 @@
+#ifndef CAD_GRAPH_TEMPORAL_GRAPH_H_
+#define CAD_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief A temporal sequence of graph snapshots G_1, ..., G_T over a fixed
+/// node set (paper §2).
+///
+/// Snapshots are indexed from 0; "transition t" refers to the change from
+/// snapshot t to snapshot t+1, so a sequence of T snapshots has T-1
+/// transitions.
+class TemporalGraphSequence {
+ public:
+  /// Creates an empty sequence over `num_nodes` nodes.
+  explicit TemporalGraphSequence(size_t num_nodes = 0)
+      : num_nodes_(num_nodes) {}
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Number of snapshots T.
+  size_t num_snapshots() const { return snapshots_.size(); }
+
+  /// Number of transitions (T-1, or 0 for fewer than two snapshots).
+  size_t num_transitions() const {
+    return snapshots_.size() < 2 ? 0 : snapshots_.size() - 1;
+  }
+
+  /// Appends a snapshot. Its node count must match the sequence's.
+  Status Append(WeightedGraph snapshot);
+
+  /// Snapshot at time t (0-based). Bounds-checked.
+  const WeightedGraph& Snapshot(size_t t) const {
+    CAD_CHECK_LT(t, snapshots_.size());
+    return snapshots_[t];
+  }
+
+  WeightedGraph& MutableSnapshot(size_t t) {
+    CAD_CHECK_LT(t, snapshots_.size());
+    return snapshots_[t];
+  }
+
+  const std::vector<WeightedGraph>& snapshots() const { return snapshots_; }
+
+  /// Average number of nonzero-weight edges per snapshot (the paper's `m`).
+  double AverageEdgesPerSnapshot() const;
+
+  /// Union of the edge supports of snapshots t and t+1, i.e. every node pair
+  /// whose weight is nonzero in either snapshot. These are the only pairs
+  /// whose CAD score can be nonzero.
+  std::vector<NodePair> TransitionSupport(size_t t) const;
+
+ private:
+  size_t num_nodes_;
+  std::vector<WeightedGraph> snapshots_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_TEMPORAL_GRAPH_H_

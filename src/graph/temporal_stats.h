@@ -1,0 +1,55 @@
+#ifndef CAD_GRAPH_TEMPORAL_STATS_H_
+#define CAD_GRAPH_TEMPORAL_STATS_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief Structural summary of one snapshot.
+struct SnapshotStats {
+  size_t num_edges = 0;
+  double volume = 0.0;
+  double mean_weight = 0.0;
+  size_t num_components = 0;
+  size_t largest_component = 0;
+  size_t isolated_nodes = 0;
+};
+
+/// \brief Change summary of one transition t -> t+1.
+struct TransitionStats {
+  /// Edges present at t+1 but not at t.
+  size_t edges_added = 0;
+  /// Edges present at t but not at t+1.
+  size_t edges_removed = 0;
+  /// Edges present in both with a different weight.
+  size_t edges_reweighted = 0;
+  /// Sum of |dA| over the union support.
+  double weight_change_l1 = 0.0;
+  /// |E_t intersect E_{t+1}| / |E_t union E_{t+1}| (1 for identical
+  /// supports; 1 for two empty snapshots by convention).
+  double support_jaccard = 1.0;
+};
+
+/// \brief Dataset profile: per-snapshot structure and per-transition churn.
+///
+/// Intended as the first thing an analyst runs on a new temporal dataset
+/// (cad_cli --profile): it answers "how sparse, how connected, how volatile"
+/// before any anomaly scoring, and its churn numbers give context for
+/// interpreting CAD's anomaly rate.
+struct TemporalProfile {
+  std::vector<SnapshotStats> snapshots;
+  std::vector<TransitionStats> transitions;
+};
+
+/// Computes the profile (O(sum of snapshot sizes)).
+TemporalProfile ProfileSequence(const TemporalGraphSequence& sequence);
+
+/// Renders the profile as two fixed-width text tables.
+void PrintTemporalProfile(const TemporalProfile& profile, std::ostream* out);
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_TEMPORAL_STATS_H_

@@ -1,0 +1,57 @@
+#include "io/csv_writer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cad {
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(std::ostream* out, std::vector<std::string> columns)
+    : out_(out), num_columns_(columns.size()) {
+  CAD_CHECK(out_ != nullptr);
+  CAD_CHECK_GT(num_columns_, 0u);
+  WriteCells(columns);
+}
+
+void CsvWriter::WriteCells(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) (*out_) << ',';
+    (*out_) << EscapeCsvField(cells[i]);
+  }
+  (*out_) << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  CAD_CHECK_EQ(cells.size(), num_columns_);
+  WriteCells(cells);
+  ++rows_written_;
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double value : values) {
+    std::ostringstream cell;
+    cell.precision(precision);
+    cell << value;
+    cells.push_back(cell.str());
+  }
+  WriteRow(cells);
+}
+
+}  // namespace cad

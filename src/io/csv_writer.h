@@ -1,0 +1,42 @@
+#ifndef CAD_IO_CSV_WRITER_H_
+#define CAD_IO_CSV_WRITER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad {
+
+/// \brief Minimal CSV emitter used by the benchmark harnesses to dump
+/// series for plotting. Fields containing commas, quotes, or newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer. A header row is written
+  /// immediately.
+  CsvWriter(std::ostream* out, std::vector<std::string> columns);
+
+  /// Appends a row; the cell count must match the column count.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void WriteNumericRow(const std::vector<double>& values, int precision = 8);
+
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  void WriteCells(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  size_t num_columns_;
+  size_t rows_written_ = 0;
+};
+
+/// Escapes one CSV field (exposed for tests).
+std::string EscapeCsvField(const std::string& field);
+
+}  // namespace cad
+
+#endif  // CAD_IO_CSV_WRITER_H_

@@ -1,0 +1,82 @@
+#include "io/dot_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace cad {
+
+namespace {
+
+std::string EscapeDotLabel(const std::string& label) {
+  std::string escaped;
+  for (char c : label) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  return escaped;
+}
+
+}  // namespace
+
+Status WriteDot(const WeightedGraph& graph, const DotOptions& options,
+                std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  if (!options.node_names.empty() &&
+      options.node_names.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "node_names size must be 0 or num_nodes, got " +
+        std::to_string(options.node_names.size()));
+  }
+  const auto is_highlighted_node = [&options](NodeId node) {
+    return std::count(options.highlighted_nodes.begin(),
+                      options.highlighted_nodes.end(), node) > 0;
+  };
+  const auto is_highlighted_edge = [&options](NodePair pair) {
+    return std::count(options.highlighted_edges.begin(),
+                      options.highlighted_edges.end(), pair) > 0;
+  };
+
+  (*out) << "graph cad {\n  layout=neato;\n  overlap=false;\n";
+  const std::vector<size_t> degrees = graph.Degrees();
+  for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+    if (!options.include_isolated && degrees[node] == 0 &&
+        !is_highlighted_node(node)) {
+      continue;
+    }
+    (*out) << "  n" << node;
+    (*out) << " [label=\""
+           << EscapeDotLabel(options.node_names.empty()
+                                 ? std::to_string(node)
+                                 : options.node_names[node])
+           << "\"";
+    if (is_highlighted_node(node)) {
+      (*out) << ", style=filled, fillcolor=\"#e74c3c\", fontcolor=white";
+    }
+    (*out) << "];\n";
+  }
+  for (const Edge& edge : graph.Edges()) {
+    (*out) << "  n" << edge.u << " -- n" << edge.v << " [penwidth="
+           << std::max(0.2, edge.weight * options.weight_to_penwidth);
+    if (is_highlighted_edge(NodePair::Make(edge.u, edge.v))) {
+      (*out) << ", color=\"#e74c3c\"";
+    }
+    (*out) << "];\n";
+  }
+  (*out) << "}\n";
+  if (!out->good()) return Status::IoError("dot stream write failed");
+  return Status::OK();
+}
+
+Status WriteDotFile(const WeightedGraph& graph, const DotOptions& options,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return WriteDot(graph, options, &file);
+}
+
+}  // namespace cad

@@ -1,0 +1,39 @@
+#ifndef CAD_IO_DOT_WRITER_H_
+#define CAD_IO_DOT_WRITER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief Rendering options for Graphviz export.
+struct DotOptions {
+  /// Optional node labels; must be empty or have num_nodes entries.
+  std::vector<std::string> node_names;
+  /// Nodes drawn filled red (e.g. the anomalous node set V_t).
+  std::vector<NodeId> highlighted_nodes;
+  /// Edges drawn bold red (e.g. the anomalous edge set E_t).
+  std::vector<NodePair> highlighted_edges;
+  /// Include nodes with no incident edges.
+  bool include_isolated = false;
+  /// Scale factor applied to edge weights for penwidth.
+  double weight_to_penwidth = 0.5;
+};
+
+/// \brief Writes `graph` in Graphviz dot format, highlighting anomalous
+/// nodes and edges. Used to render the paper's Fig. 8b style anomaly
+/// subgraphs (`dot -Tpng out.dot`).
+Status WriteDot(const WeightedGraph& graph, const DotOptions& options,
+                std::ostream* out);
+
+/// File variant; overwrites `path`.
+Status WriteDotFile(const WeightedGraph& graph, const DotOptions& options,
+                    const std::string& path);
+
+}  // namespace cad
+
+#endif  // CAD_IO_DOT_WRITER_H_

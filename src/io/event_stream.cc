@@ -1,0 +1,128 @@
+#include "io/event_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+
+#include "common/strings.h"
+
+namespace cad {
+
+Result<TemporalGraphSequence> AggregateEventStream(
+    const std::vector<TimestampedEvent>& events,
+    const EventAggregationOptions& options) {
+  if (!(options.window_length > 0.0) ||
+      !std::isfinite(options.window_length)) {
+    return Status::InvalidArgument("window_length must be positive");
+  }
+  // Resolve the node count and the time origin.
+  size_t num_nodes = options.num_nodes;
+  double start = options.start_time;
+  double last = -std::numeric_limits<double>::infinity();
+  for (const TimestampedEvent& event : events) {
+    if (event.u == event.v) {
+      return Status::InvalidArgument("self-loop event at node " +
+                                     std::to_string(event.u));
+    }
+    if (!std::isfinite(event.timestamp) || !std::isfinite(event.weight) ||
+        event.weight < 0.0) {
+      return Status::InvalidArgument("event has non-finite or negative field");
+    }
+    if (options.num_nodes == 0) {
+      num_nodes = std::max<size_t>(num_nodes,
+                                   std::max(event.u, event.v) + size_t{1});
+    } else if (event.u >= num_nodes || event.v >= num_nodes) {
+      return Status::OutOfRange("event endpoint exceeds num_nodes");
+    }
+    if (std::isnan(start) || event.timestamp < start) {
+      if (std::isnan(options.start_time)) {
+        start = std::isnan(start) ? event.timestamp
+                                  : std::min(start, event.timestamp);
+      }
+    }
+    last = std::max(last, event.timestamp);
+  }
+  if (events.empty() && std::isnan(start)) start = 0.0;
+
+  size_t num_windows = options.num_windows;
+  if (num_windows == 0) {
+    num_windows =
+        events.empty()
+            ? 1
+            : static_cast<size_t>(
+                  std::floor((last - start) / options.window_length)) +
+                  1;
+  }
+
+  std::vector<WeightedGraph> snapshots(num_windows, WeightedGraph(num_nodes));
+  for (const TimestampedEvent& event : events) {
+    const double offset = event.timestamp - start;
+    if (offset < 0.0) continue;  // before the configured start: dropped
+    const auto window =
+        static_cast<size_t>(std::floor(offset / options.window_length));
+    if (window >= num_windows) continue;  // after the configured end
+    CAD_RETURN_NOT_OK(
+        snapshots[window].AddEdgeWeight(event.u, event.v, event.weight));
+  }
+
+  TemporalGraphSequence sequence(num_nodes);
+  for (WeightedGraph& snapshot : snapshots) {
+    CAD_RETURN_NOT_OK(sequence.Append(std::move(snapshot)));
+  }
+  return sequence;
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in) {
+  CAD_CHECK(in != nullptr);
+  std::vector<TimestampedEvent> events;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    // Collapse runs of whitespace by splitting and dropping empties.
+    std::vector<std::string> fields;
+    for (std::string& field : Split(std::string(stripped), ' ')) {
+      if (!field.empty()) fields.push_back(std::move(field));
+    }
+    if (fields.size() != 3 && fields.size() != 4) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": expected '<u> <v> <timestamp> [weight]'");
+    }
+    Result<int64_t> u = ParseInt64(fields[0]);
+    Result<int64_t> v = ParseInt64(fields[1]);
+    Result<double> timestamp = ParseDouble(fields[2]);
+    if (!u.ok() || !v.ok() || !timestamp.ok() || *u < 0 || *v < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": malformed event");
+    }
+    TimestampedEvent event;
+    event.u = static_cast<NodeId>(*u);
+    event.v = static_cast<NodeId>(*v);
+    event.timestamp = *timestamp;
+    if (fields.size() == 4) {
+      Result<double> weight = ParseDouble(fields[3]);
+      if (!weight.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": malformed weight");
+      }
+      event.weight = *weight;
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadEventStream(&file);
+}
+
+}  // namespace cad

@@ -1,0 +1,57 @@
+#ifndef CAD_IO_EVENT_STREAM_H_
+#define CAD_IO_EVENT_STREAM_H_
+
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// \brief One timestamped interaction (an email, a co-authored paper, a
+/// message) between two nodes.
+struct TimestampedEvent {
+  NodeId u = 0;
+  NodeId v = 0;
+  double timestamp = 0.0;
+  /// Contribution to the edge weight of its window (emails: 1 each).
+  double weight = 1.0;
+};
+
+/// \brief Options for turning an event stream into graph snapshots.
+struct EventAggregationOptions {
+  /// Window length in timestamp units (e.g. 30*24*3600 for monthly windows
+  /// over unix seconds). Must be positive.
+  double window_length = 1.0;
+  /// Start of window 0; NaN (default) means the minimum event timestamp.
+  double start_time = std::numeric_limits<double>::quiet_NaN();
+  /// Node-set size; 0 means max node id + 1 (the paper's fixed-vertex-set
+  /// framing requires all snapshots to share it).
+  size_t num_nodes = 0;
+  /// Number of windows; 0 means enough to cover the last event. Events
+  /// outside [start, start + num_windows * window_length) are dropped.
+  size_t num_windows = 0;
+};
+
+/// \brief Aggregates events into a TemporalGraphSequence: each event adds
+/// its weight to edge {u, v} of the window containing its timestamp.
+/// Self-loop events are rejected (InvalidArgument), as are non-positive
+/// window lengths and events with non-finite fields.
+Result<TemporalGraphSequence> AggregateEventStream(
+    const std::vector<TimestampedEvent>& events,
+    const EventAggregationOptions& options);
+
+/// Text format, one event per line (comments with '#', blank lines ignored):
+///   <u> <v> <timestamp> [weight]
+Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in);
+
+/// File variant of ReadEventStream.
+Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path);
+
+}  // namespace cad
+
+#endif  // CAD_IO_EVENT_STREAM_H_

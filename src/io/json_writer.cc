@@ -1,0 +1,146 @@
+#include "io/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace cad {
+
+std::string EscapeJsonString(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+JsonWriter::JsonWriter(std::ostream* out) : out_(out) {
+  CAD_CHECK(out != nullptr);
+}
+
+void JsonWriter::BeforeValue() {
+  CAD_DCHECK(!complete_);
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject) {
+      CAD_DCHECK(pending_key_);
+    } else if (!first_in_scope_.back()) {
+      (*out_) << ",";
+    }
+    first_in_scope_.back() = false;
+  }
+  pending_key_ = false;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  (*out_) << "{";
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  CAD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  CAD_CHECK(!pending_key_);
+  (*out_) << "}";
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  (*out_) << "[";
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  CAD_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  (*out_) << "]";
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::Key(const std::string& key) {
+  CAD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  CAD_CHECK(!pending_key_);
+  if (!first_in_scope_.back()) (*out_) << ",";
+  first_in_scope_.back() = false;
+  (*out_) << "\"" << EscapeJsonString(key) << "\":";
+  pending_key_ = true;
+  // Key() handled its own comma; neutralize BeforeValue's comma logic by
+  // marking the scope "fresh" for the upcoming value.
+  first_in_scope_.back() = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  (*out_) << "\"" << EscapeJsonString(value) << "\"";
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; emit null per common practice.
+    (*out_) << "null";
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    (*out_) << buffer;
+  }
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::Number(int64_t value) {
+  BeforeValue();
+  (*out_) << value;
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::Number(size_t value) {
+  Number(static_cast<int64_t>(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  (*out_) << (value ? "true" : "false");
+  if (stack_.empty()) complete_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  (*out_) << "null";
+  if (stack_.empty()) complete_ = true;
+}
+
+}  // namespace cad

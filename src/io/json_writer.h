@@ -1,0 +1,67 @@
+#ifndef CAD_IO_JSON_WRITER_H_
+#define CAD_IO_JSON_WRITER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad {
+
+/// \brief Minimal streaming JSON emitter (RFC 8259 subset): nested
+/// objects/arrays, string escaping, and finite-number formatting. Enough for
+/// machine-readable anomaly reports without pulling in a JSON library.
+///
+/// Usage is push-based and validated with CHECKs in debug builds:
+/// \code
+///   JsonWriter json(&out);
+///   json.BeginObject();
+///   json.Key("delta");
+///   json.Number(0.5);
+///   json.Key("edges");
+///   json.BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+/// \endcode
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be directly inside an object.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Number(double value);
+  void Number(int64_t value);
+  void Number(size_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// True once the single top-level value is complete.
+  bool complete() const { return complete_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void WriteEscaped(const std::string& text);
+
+  std::ostream* out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+  bool complete_ = false;
+};
+
+/// Escapes one string for embedding in JSON (without the quotes).
+std::string EscapeJsonString(const std::string& text);
+
+}  // namespace cad
+
+#endif  // CAD_IO_JSON_WRITER_H_

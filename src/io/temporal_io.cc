@@ -1,0 +1,129 @@
+#include "io/temporal_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cad {
+
+Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,
+                             std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  (*out) << "# CAD temporal graph sequence\n";
+  (*out) << "temporal " << sequence.num_nodes() << " "
+         << sequence.num_snapshots() << "\n";
+  out->precision(17);
+  for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
+    (*out) << "snapshot " << t << "\n";
+    for (const Edge& e : sequence.Snapshot(t).Edges()) {
+      (*out) << "edge " << e.u << " " << e.v << " " << e.weight << "\n";
+    }
+  }
+  if (!out->good()) {
+    return Status::IoError("stream write failed");
+  }
+  return Status::OK();
+}
+
+Status WriteTemporalEdgeListFile(const TemporalGraphSequence& sequence,
+                                 const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return WriteTemporalEdgeList(sequence, &file);
+}
+
+Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
+  CAD_CHECK(in != nullptr);
+  TemporalGraphSequence sequence;
+  bool header_seen = false;
+  size_t declared_snapshots = 0;
+  size_t num_nodes = 0;
+  WeightedGraph current(0);
+  bool in_snapshot = false;
+  size_t expected_snapshot = 0;
+  size_t line_number = 0;
+
+  const auto error_at = [&line_number](const std::string& message) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": " + message);
+  };
+
+  std::string line;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string> fields = Split(std::string(stripped), ' ');
+
+    if (fields[0] == "temporal") {
+      if (header_seen) return error_at("duplicate 'temporal' header");
+      if (fields.size() != 3) return error_at("'temporal' needs 2 fields");
+      Result<int64_t> nodes = ParseInt64(fields[1]);
+      Result<int64_t> snaps = ParseInt64(fields[2]);
+      if (!nodes.ok() || *nodes < 0) return error_at("bad node count");
+      if (!snaps.ok() || *snaps < 0) return error_at("bad snapshot count");
+      num_nodes = static_cast<size_t>(*nodes);
+      declared_snapshots = static_cast<size_t>(*snaps);
+      sequence = TemporalGraphSequence(num_nodes);
+      header_seen = true;
+    } else if (fields[0] == "snapshot") {
+      if (!header_seen) return error_at("'snapshot' before 'temporal'");
+      if (fields.size() != 2) return error_at("'snapshot' needs 1 field");
+      Result<int64_t> index = ParseInt64(fields[1]);
+      if (!index.ok() || *index < 0 ||
+          static_cast<size_t>(*index) != expected_snapshot) {
+        return error_at("snapshots must appear in order; expected " +
+                        std::to_string(expected_snapshot));
+      }
+      if (in_snapshot) {
+        CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+      }
+      current = WeightedGraph(num_nodes);
+      in_snapshot = true;
+      ++expected_snapshot;
+    } else if (fields[0] == "edge") {
+      if (!in_snapshot) return error_at("'edge' outside a snapshot");
+      if (fields.size() != 4) return error_at("'edge' needs 3 fields");
+      Result<int64_t> u = ParseInt64(fields[1]);
+      Result<int64_t> v = ParseInt64(fields[2]);
+      Result<double> weight = ParseDouble(fields[3]);
+      if (!u.ok() || !v.ok() || !weight.ok()) {
+        return error_at("malformed edge");
+      }
+      if (*u < 0 || *v < 0) return error_at("negative node id");
+      const Status set = current.SetEdge(static_cast<NodeId>(*u),
+                                         static_cast<NodeId>(*v), *weight);
+      if (!set.ok()) return error_at(set.message());
+    } else {
+      return error_at("unknown record '" + fields[0] + "'");
+    }
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("missing 'temporal' header");
+  }
+  if (in_snapshot) {
+    CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+  }
+  if (sequence.num_snapshots() != declared_snapshots) {
+    return Status::InvalidArgument(
+        "snapshot count mismatch: header declares " +
+        std::to_string(declared_snapshots) + ", found " +
+        std::to_string(sequence.num_snapshots()));
+  }
+  return sequence;
+}
+
+Result<TemporalGraphSequence> ReadTemporalEdgeListFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ReadTemporalEdgeList(&file);
+}
+
+}  // namespace cad

@@ -1,0 +1,40 @@
+#ifndef CAD_IO_TEMPORAL_IO_H_
+#define CAD_IO_TEMPORAL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+
+/// Text format for temporal graph sequences:
+///
+///   # comment lines start with '#'
+///   temporal <num_nodes> <num_snapshots>
+///   snapshot <t>
+///   edge <u> <v> <weight>
+///   ...
+///
+/// Snapshots must appear in order 0..T-1; every snapshot header must be
+/// present even if the snapshot has no edges. Weights must be positive
+/// (absent edges are simply not listed).
+
+/// Serializes `sequence` into the text format.
+Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,
+                             std::ostream* out);
+
+/// Serializes `sequence` to a file, overwriting it.
+Status WriteTemporalEdgeListFile(const TemporalGraphSequence& sequence,
+                                 const std::string& path);
+
+/// Parses the text format.
+Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in);
+
+/// Parses the text format from a file.
+Result<TemporalGraphSequence> ReadTemporalEdgeListFile(const std::string& path);
+
+}  // namespace cad
+
+#endif  // CAD_IO_TEMPORAL_IO_H_

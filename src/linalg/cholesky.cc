@@ -1,0 +1,76 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace cad {
+
+Result<CholeskyFactorization> CholeskyFactorization::Factor(
+    const DenseMatrix& a, double pivot_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("Cholesky: matrix must be symmetric");
+  }
+  const size_t n = a.rows();
+  DenseMatrix lower(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= lower(j, k) * lower(j, k);
+    if (diag <= pivot_tol) {
+      return Status::NumericalError(
+          "Cholesky: non-positive pivot at column " + std::to_string(j) +
+          " (value " + std::to_string(diag) + "); matrix is not SPD");
+    }
+    const double ljj = std::sqrt(diag);
+    lower(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= lower(i, k) * lower(j, k);
+      lower(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactorization(std::move(lower));
+}
+
+std::vector<double> CholeskyFactorization::Solve(
+    const std::vector<double>& b) const {
+  const size_t n = dimension();
+  CAD_CHECK_EQ(b.size(), n);
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = lower_.row(i);
+    for (size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    y[i] = sum / li[i];
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= lower_(k, i) * x[k];
+    x[i] = sum / lower_(i, i);
+  }
+  return x;
+}
+
+DenseMatrix CholeskyFactorization::SolveMatrix(const DenseMatrix& b) const {
+  const size_t n = dimension();
+  CAD_CHECK_EQ(b.rows(), n);
+  DenseMatrix x(n, b.cols());
+  std::vector<double> column(n);
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < n; ++i) column[i] = b(i, j);
+    const std::vector<double> solution = Solve(column);
+    for (size_t i = 0; i < n; ++i) x(i, j) = solution[i];
+  }
+  return x;
+}
+
+DenseMatrix CholeskyFactorization::Inverse() const {
+  return SolveMatrix(DenseMatrix::Identity(dimension()));
+}
+
+}  // namespace cad

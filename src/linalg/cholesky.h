@@ -1,0 +1,48 @@
+#ifndef CAD_LINALG_CHOLESKY_H_
+#define CAD_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief Dense Cholesky factorization A = L L^T of a symmetric positive
+/// definite matrix.
+///
+/// Used by the exact commute-time engine: the pseudoinverse of a connected
+/// graph's Laplacian is obtained from the SPD matrix L + (1/n) 11^T, which is
+/// factorized once and then solved against many right-hand sides.
+class CholeskyFactorization {
+ public:
+  /// Factorizes `a`, which must be square and symmetric. Returns
+  /// NumericalError if a non-positive pivot is encountered (matrix not
+  /// positive definite to within `pivot_tol`).
+  static Result<CholeskyFactorization> Factor(const DenseMatrix& a,
+                                              double pivot_tol = 1e-13);
+
+  /// Solves A x = b. Requires b.size() == dimension().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-wise, where B is dimension() x k.
+  DenseMatrix SolveMatrix(const DenseMatrix& b) const;
+
+  /// Computes A^{-1} by solving against the identity.
+  DenseMatrix Inverse() const;
+
+  size_t dimension() const { return lower_.rows(); }
+
+  /// The lower-triangular factor (upper triangle is zero).
+  const DenseMatrix& lower() const { return lower_; }
+
+ private:
+  explicit CholeskyFactorization(DenseMatrix lower)
+      : lower_(std::move(lower)) {}
+
+  DenseMatrix lower_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_CHOLESKY_H_

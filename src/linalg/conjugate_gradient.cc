@@ -1,0 +1,178 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/parallel.h"
+
+#include "linalg/incomplete_cholesky.h"
+#include "linalg/vector_ops.h"
+
+namespace cad {
+
+namespace {
+
+/// Applies M^{-1} r -> z for the configured preconditioner.
+using Preconditioner =
+    std::function<void(const std::vector<double>&, std::vector<double>*)>;
+
+/// Builds the preconditioner application for one matrix. The IC factor (if
+/// any) is owned by the returned closure.
+Result<Preconditioner> MakePreconditioner(const CsrMatrix& a,
+                                          CgPreconditioner kind) {
+  switch (kind) {
+    case CgPreconditioner::kNone:
+      return Preconditioner(
+          [](const std::vector<double>& r, std::vector<double>* z) {
+            *z = r;
+          });
+    case CgPreconditioner::kJacobi: {
+      // Zero diagonal entries (isolated Laplacian nodes) fall back to
+      // identity scaling.
+      auto inv_diag = std::make_shared<std::vector<double>>(a.Diagonal());
+      for (double& d : *inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+      return Preconditioner(
+          [inv_diag](const std::vector<double>& r, std::vector<double>* z) {
+            z->resize(r.size());
+            for (size_t i = 0; i < r.size(); ++i) {
+              (*z)[i] = (*inv_diag)[i] * r[i];
+            }
+          });
+    }
+    case CgPreconditioner::kIncompleteCholesky: {
+      Result<IncompleteCholesky> factor = IncompleteCholesky::Factor(a);
+      if (!factor.ok()) return factor.status();
+      auto ic = std::make_shared<IncompleteCholesky>(
+          std::move(factor).ValueOrDie());
+      return Preconditioner(
+          [ic](const std::vector<double>& r, std::vector<double>* z) {
+            *z = ic->Apply(r);
+          });
+    }
+  }
+  return Status::Internal("unknown preconditioner kind");
+}
+
+Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
+                                          const std::vector<double>& b,
+                                          const Preconditioner& apply,
+                                          const CgOptions& options,
+                                          std::vector<double>* x) {
+  const size_t n = a.rows();
+  x->assign(n, 0.0);
+
+  const double b_norm = Norm2(b);
+  CgSummary summary;
+  if (b_norm == 0.0) {
+    summary.converged = true;
+    return summary;
+  }
+
+  std::vector<double> r = b;  // residual, since x0 = 0
+  std::vector<double> z(n);
+  apply(r, &z);
+  std::vector<double> p = z;
+  std::vector<double> ap(n);
+  double rz = Dot(r, z);
+
+  const size_t max_iters =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+  const double target = options.tolerance * b_norm;
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    ap.assign(n, 0.0);
+    a.MultiplyAccumulate(1.0, p, &ap);
+    const double pap = Dot(p, ap);
+    if (pap <= 0.0) {
+      // Direction of non-positive curvature: matrix is not PSD (or a
+      // numerical breakdown on a semidefinite system). Surface as an error.
+      return Status::NumericalError(
+          "CG: non-positive curvature encountered (p^T A p = " +
+          std::to_string(pap) + "); matrix not positive semidefinite?");
+    }
+    const double alpha = rz / pap;
+    Axpy(alpha, p, x);
+    Axpy(-alpha, ap, &r);
+
+    const double r_norm = Norm2(r);
+    summary.iterations = iter + 1;
+    summary.relative_residual = r_norm / b_norm;
+    if (r_norm <= target) {
+      summary.converged = true;
+      return summary;
+    }
+
+    apply(r, &z);
+    const double rz_next = Dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  summary.converged = summary.relative_residual <= options.tolerance;
+  return summary;
+}
+
+Status ValidateSystem(const CsrMatrix& a, size_t rhs_size) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CG: matrix must be square");
+  }
+  if (rhs_size != a.rows()) {
+    return Status::InvalidArgument("CG: rhs size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CgPreconditionerToString(CgPreconditioner preconditioner) {
+  switch (preconditioner) {
+    case CgPreconditioner::kNone:
+      return "none";
+    case CgPreconditioner::kJacobi:
+      return "jacobi";
+    case CgPreconditioner::kIncompleteCholesky:
+      return "ic0";
+  }
+  return "unknown";
+}
+
+Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
+                                                 const std::vector<double>& b,
+                                                 std::vector<double>* x) const {
+  CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
+  Preconditioner apply;
+  CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+  return SolveWithPreconditioner(a, b, apply, options_, x);
+}
+
+Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
+    const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
+    std::vector<std::vector<double>>* solutions) const {
+  for (const std::vector<double>& b : rhs) {
+    CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
+  }
+  Preconditioner apply;
+  CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+  solutions->resize(rhs.size());
+  std::vector<CgSummary> summaries(rhs.size());
+  std::vector<Status> statuses(rhs.size());
+  // The systems are independent; the preconditioner closure is shared
+  // read-only (Jacobi diagonal / IC factor are immutable after build).
+  ParallelFor(rhs.size(), options_.num_threads, [&](size_t i) {
+    Result<CgSummary> result =
+        SolveWithPreconditioner(a, rhs[i], apply, options_, &(*solutions)[i]);
+    if (result.ok()) {
+      summaries[i] = *result;
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return summaries;
+}
+
+}  // namespace cad

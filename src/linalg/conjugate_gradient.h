@@ -1,0 +1,88 @@
+#ifndef CAD_LINALG_CONJUGATE_GRADIENT_H_
+#define CAD_LINALG_CONJUGATE_GRADIENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+
+/// \brief Preconditioner choices for PCG.
+enum class CgPreconditioner {
+  /// Plain CG.
+  kNone,
+  /// Diagonal scaling. Cheap; helps on heterogeneous degree distributions.
+  kJacobi,
+  /// Zero-fill incomplete Cholesky (IC(0)). Stronger; typically 2-4x fewer
+  /// iterations on graph Laplacians at the cost of two sparse triangular
+  /// solves per iteration and an upfront factorization.
+  kIncompleteCholesky,
+};
+
+const char* CgPreconditionerToString(CgPreconditioner preconditioner);
+
+/// \brief Options for the (preconditioned) conjugate gradient solver.
+struct CgOptions {
+  /// Relative residual target: stop when ||b - Ax|| <= tolerance * ||b||.
+  double tolerance = 1e-8;
+  /// Iteration cap; 0 means 10 * n + 100.
+  size_t max_iterations = 0;
+  CgPreconditioner preconditioner = CgPreconditioner::kJacobi;
+  /// Worker threads for SolveMany (the k right-hand sides are independent);
+  /// 1 = serial. The preconditioner is built once and shared read-only.
+  size_t num_threads = 1;
+};
+
+/// \brief Outcome of a CG solve.
+struct CgSummary {
+  size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// \brief Preconditioned conjugate gradient for symmetric positive
+/// (semi-)definite systems A x = b.
+///
+/// This is the practical stand-in for the Spielman-Teng near-linear solver
+/// referenced by the paper (see DESIGN.md, substitutions): the approximate
+/// commute-time embedding solves k = O(log n) systems against the graph
+/// Laplacian through this interface.
+///
+/// For singular-but-consistent systems (e.g. the Laplacian of a connected
+/// graph with a right-hand side orthogonal to the all-ones vector), CG
+/// converges to the minimum-norm-compatible solution provided `x0` has no
+/// nullspace component; callers solving Laplacian systems should either
+/// project `b` or use the epsilon-regularized Laplacian.
+class ConjugateGradientSolver {
+ public:
+  explicit ConjugateGradientSolver(CgOptions options = CgOptions())
+      : options_(options) {}
+
+  /// Solves A x = b starting from the zero vector. `a` must be square and
+  /// symmetric (checked in debug builds only, for cost reasons). Writes the
+  /// solution into *x and returns a summary. Returns NumericalError only on
+  /// a breakdown (indefinite matrix); non-convergence is reported via
+  /// `CgSummary::converged` so that callers can decide how strict to be.
+  ///
+  /// With kIncompleteCholesky the factorization is recomputed per call; use
+  /// SolveMany to amortize it across right-hand sides.
+  Result<CgSummary> Solve(const CsrMatrix& a, const std::vector<double>& b,
+                          std::vector<double>* x) const;
+
+  /// Solves A x_i = b_i for several right-hand sides, building the
+  /// preconditioner once. Returns one summary per system; `solutions` is
+  /// resized to match.
+  Result<std::vector<CgSummary>> SolveMany(
+      const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
+      std::vector<std::vector<double>>* solutions) const;
+
+  const CgOptions& options() const { return options_; }
+
+ private:
+  CgOptions options_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,136 @@
+#include "linalg/incomplete_cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cad {
+
+namespace {
+
+/// Attempts IC(0) of a + shift * diag(a). Returns the lower factor in CSR
+/// (sorted columns, diagonal last in each row) or an error on breakdown.
+Result<CsrMatrix> TryFactor(const CsrMatrix& a, double shift) {
+  const size_t n = a.rows();
+  // Extract the lower-triangle pattern row by row (columns ascending, so
+  // the diagonal is each row's last entry).
+  std::vector<size_t> offsets(n + 1, 0);
+  std::vector<uint32_t> cols;
+  std::vector<double> vals;
+  cols.reserve(a.nnz() / 2 + n);
+  vals.reserve(a.nnz() / 2 + n);
+  for (size_t i = 0; i < n; ++i) {
+    bool has_diagonal = false;
+    for (size_t p = a.RowBegin(i); p < a.RowEnd(i); ++p) {
+      const uint32_t j = a.col_indices()[p];
+      if (j > i) break;  // columns sorted; rest is upper triangle
+      double value = a.values()[p];
+      if (j == i) {
+        value *= (1.0 + shift);
+        has_diagonal = true;
+      }
+      cols.push_back(j);
+      vals.push_back(value);
+    }
+    if (!has_diagonal) {
+      return Status::NumericalError(
+          "IncompleteCholesky: zero diagonal at row " + std::to_string(i));
+    }
+    offsets[i + 1] = cols.size();
+  }
+
+  // In-place IC(0): process rows in order; for entry (i, k) use the already
+  // finished rows. Two-pointer merges exploit sorted columns.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row_begin = offsets[i];
+    const size_t row_end = offsets[i + 1];
+    for (size_t p = row_begin; p < row_end; ++p) {
+      const uint32_t k = cols[p];
+      // dot = sum_{j < k} L(i, j) * L(k, j) over the shared pattern.
+      double dot = 0.0;
+      {
+        size_t pi = row_begin;
+        size_t pk = offsets[k];
+        const size_t k_end = offsets[k + 1];
+        while (pi < p && pk < k_end && cols[pk] < k) {
+          if (cols[pi] == cols[pk]) {
+            dot += vals[pi] * vals[pk];
+            ++pi;
+            ++pk;
+          } else if (cols[pi] < cols[pk]) {
+            ++pi;
+          } else {
+            ++pk;
+          }
+        }
+      }
+      if (k == i) {
+        const double pivot = vals[p] - dot;
+        if (pivot <= 0.0) {
+          return Status::NumericalError(
+              "IncompleteCholesky: non-positive pivot at row " +
+              std::to_string(i));
+        }
+        vals[p] = std::sqrt(pivot);
+      } else {
+        // L(k, k) is the last entry of row k.
+        const double lkk = vals[offsets[k + 1] - 1];
+        vals[p] = (vals[p] - dot) / lkk;
+      }
+    }
+  }
+  return CsrMatrix(n, n, std::move(offsets), std::move(cols), std::move(vals));
+}
+
+}  // namespace
+
+Result<IncompleteCholesky> IncompleteCholesky::Factor(const CsrMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("IncompleteCholesky: matrix must be square");
+  }
+  CAD_DCHECK(a.IsSymmetric(1e-9));
+  double shift = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Result<CsrMatrix> lower = TryFactor(a, shift);
+    if (lower.ok()) {
+      CsrMatrix transpose = lower->Transpose();
+      return IncompleteCholesky(std::move(lower).ValueOrDie(),
+                                std::move(transpose), shift);
+    }
+    shift = shift == 0.0 ? 1e-3 : shift * 10.0;
+  }
+  return Status::NumericalError(
+      "IncompleteCholesky: factorization failed even with diagonal shift; "
+      "matrix is likely not positive definite");
+}
+
+std::vector<double> IncompleteCholesky::Apply(
+    const std::vector<double>& b) const {
+  const size_t n = dimension();
+  CAD_CHECK_EQ(b.size(), n);
+  // Forward substitution L y = b (diagonal is each row's last entry).
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const size_t end = lower_.RowEnd(i);
+    for (size_t p = lower_.RowBegin(i); p + 1 < end; ++p) {
+      sum -= lower_.values()[p] * y[lower_.col_indices()[p]];
+    }
+    y[i] = sum / lower_.values()[end - 1];
+  }
+  // Back substitution L^T x = y using the transpose's (upper-triangular)
+  // rows, whose first entry is the diagonal.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    const size_t begin = lower_transpose_.RowBegin(i);
+    for (size_t p = begin + 1; p < lower_transpose_.RowEnd(i); ++p) {
+      sum -= lower_transpose_.values()[p] * x[lower_transpose_.col_indices()[p]];
+    }
+    x[i] = sum / lower_transpose_.values()[begin];
+  }
+  return x;
+}
+
+}  // namespace cad

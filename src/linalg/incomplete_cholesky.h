@@ -1,0 +1,56 @@
+#ifndef CAD_LINALG_INCOMPLETE_CHOLESKY_H_
+#define CAD_LINALG_INCOMPLETE_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+
+/// \brief Zero-fill incomplete Cholesky factorization IC(0) of a sparse
+/// symmetric positive definite matrix, used as a CG preconditioner.
+///
+/// Computes a lower-triangular factor L with exactly the sparsity pattern of
+/// the lower triangle of A such that L L^T ~= A. On graph Laplacians this
+/// typically cuts PCG iteration counts by 2-4x over Jacobi at a modest
+/// per-iteration cost (two sparse triangular solves); see the
+/// `ablation_regularization` bench.
+///
+/// Breakdown handling: IC(0) can encounter non-positive pivots on matrices
+/// that are SPD but far from diagonally dominant. `Factor` retries with an
+/// increasing diagonal shift (factorizing A + shift * diag(A)) until the
+/// factorization completes, which yields a valid (if weaker) preconditioner.
+class IncompleteCholesky {
+ public:
+  /// Factorizes `a` (square, symmetric; checked in debug builds). Returns
+  /// InvalidArgument for non-square input and NumericalError if even heavy
+  /// shifting cannot complete the factorization (e.g. an indefinite matrix).
+  static Result<IncompleteCholesky> Factor(const CsrMatrix& a);
+
+  /// Applies the preconditioner: solves L L^T x = b (two triangular
+  /// solves). Requires b.size() == dimension().
+  std::vector<double> Apply(const std::vector<double>& b) const;
+
+  size_t dimension() const { return lower_.rows(); }
+
+  /// The incomplete factor (lower triangular, diagonal included).
+  const CsrMatrix& lower() const { return lower_; }
+
+  /// The diagonal shift that was needed (0 when IC(0) succeeded directly).
+  double shift_used() const { return shift_used_; }
+
+ private:
+  IncompleteCholesky(CsrMatrix lower, CsrMatrix lower_transpose, double shift)
+      : lower_(std::move(lower)),
+        lower_transpose_(std::move(lower_transpose)),
+        shift_used_(shift) {}
+
+  CsrMatrix lower_;
+  CsrMatrix lower_transpose_;  // upper-triangular rows, for back substitution
+  double shift_used_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_INCOMPLETE_CHOLESKY_H_

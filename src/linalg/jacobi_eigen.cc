@@ -1,0 +1,129 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cad {
+
+namespace {
+
+/// Frobenius norm of the strictly off-diagonal part.
+double OffDiagonalNorm(const DenseMatrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      sum += 2.0 * a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Result<EigenDecomposition> JacobiEigenDecomposition(
+    const DenseMatrix& input, const JacobiOptions& options) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigen: matrix must be square");
+  }
+  if (!input.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("JacobiEigen: matrix must be symmetric");
+  }
+  const size_t n = input.rows();
+  DenseMatrix a = input;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  const double scale = std::max(input.FrobeniusNorm(), 1e-300);
+  bool converged = (n <= 1) || OffDiagonalNorm(a) <= options.tolerance * scale;
+
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        a(p, p) = app - t * apq;
+        a(q, q) = aqq + t * apq;
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(p, k) = a(k, p);
+          a(k, q) = s * akp + c * akq;
+          a(q, k) = a(k, q);
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = OffDiagonalNorm(a) <= options.tolerance * scale;
+  }
+  if (!converged) {
+    return Status::NumericalError(
+        "JacobiEigen: failed to converge in " +
+        std::to_string(options.max_sweeps) + " sweeps");
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a(x, x) < a(y, y); });
+
+  EigenDecomposition decomposition;
+  decomposition.eigenvalues.resize(n);
+  decomposition.eigenvectors = DenseMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    const size_t src = order[j];
+    decomposition.eigenvalues[j] = a(src, src);
+    for (size_t i = 0; i < n; ++i) {
+      decomposition.eigenvectors(i, j) = v(i, src);
+    }
+  }
+  return decomposition;
+}
+
+Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
+                                           double rank_tol) {
+  EigenDecomposition eig;
+  CAD_ASSIGN_OR_RETURN(eig, JacobiEigenDecomposition(a));
+  const size_t n = a.rows();
+  double max_abs_eig = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    max_abs_eig = std::max(max_abs_eig, std::fabs(lambda));
+  }
+  const double cutoff = rank_tol * std::max(max_abs_eig, 1e-300);
+
+  // pinv(A) = V diag(1/lambda_i or 0) V^T.
+  DenseMatrix pinv(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    const double lambda = eig.eigenvalues[k];
+    if (std::fabs(lambda) <= cutoff) continue;
+    const double inv = 1.0 / lambda;
+    for (size_t i = 0; i < n; ++i) {
+      const double vik = eig.eigenvectors(i, k) * inv;
+      if (vik == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        pinv(i, j) += vik * eig.eigenvectors(j, k);
+      }
+    }
+  }
+  return pinv;
+}
+
+}  // namespace cad

@@ -1,0 +1,49 @@
+#ifndef CAD_LINALG_JACOBI_EIGEN_H_
+#define CAD_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  std::vector<double> eigenvalues;
+  /// Column j of `eigenvectors` is the unit eigenvector for eigenvalues[j].
+  DenseMatrix eigenvectors;
+};
+
+/// \brief Options for the cyclic Jacobi eigensolver.
+struct JacobiOptions {
+  /// Convergence threshold on the Frobenius norm of the off-diagonal part,
+  /// relative to the Frobenius norm of the input.
+  double tolerance = 1e-12;
+  /// Maximum number of full sweeps over all off-diagonal pairs.
+  int max_sweeps = 64;
+};
+
+/// \brief Computes all eigenvalues and eigenvectors of a symmetric matrix
+/// using the cyclic Jacobi rotation method.
+///
+/// O(n^3) per sweep with typically <15 sweeps; intended for the small dense
+/// matrices of the exact path (spectral embeddings of the toy and Enron-scale
+/// graphs, Fig. 2 of the paper). Returns InvalidArgument for non-square or
+/// non-symmetric input and NumericalError if convergence fails.
+Result<EigenDecomposition> JacobiEigenDecomposition(
+    const DenseMatrix& a, const JacobiOptions& options = JacobiOptions());
+
+/// \brief Moore-Penrose pseudoinverse of a symmetric matrix via its
+/// eigendecomposition. Eigenvalues with |lambda| <= rank_tol * max|lambda|
+/// are treated as zero.
+///
+/// This is the textbook route to the Laplacian pseudoinverse L^+ used in the
+/// commute-time formula c(i,j) = V_G (l^+_ii + l^+_jj - 2 l^+_ij).
+Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
+                                           double rank_tol = 1e-10);
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_JACOBI_EIGEN_H_

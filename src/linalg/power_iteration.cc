@@ -1,0 +1,71 @@
+#include "linalg/power_iteration.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace cad {
+
+Result<PowerIterationResult> PrincipalEigenvector(
+    const CsrMatrix& a, const PowerIterationOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("PrincipalEigenvector: matrix must be square");
+  }
+  const size_t n = a.rows();
+  PowerIterationResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Resolve the diagonal shift (see options.shift). For a non-negative
+  // matrix this guarantees a strictly dominant eigenvalue lambda_1 + sigma.
+  double sigma = options.shift;
+  if (sigma < 0.0) {
+    double max_abs_row_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (size_t p = a.RowBegin(i); p < a.RowEnd(i); ++p) {
+        row_sum += std::fabs(a.values()[p]);
+      }
+      max_abs_row_sum = std::max(max_abs_row_sum, row_sum);
+    }
+    sigma = 0.5 * max_abs_row_sum;
+  }
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // y = (A + sigma I) x.
+    for (size_t i = 0; i < n; ++i) y[i] = sigma * x[i];
+    a.MultiplyAccumulate(1.0, x, &y);
+    const double norm = Norm2(y);
+    if (norm == 0.0) {
+      // x is in the nullspace of the shifted matrix (e.g. zero matrix with
+      // zero shift): dominant eigenvalue 0.
+      result.eigenvector = x;
+      result.eigenvalue = 0.0;
+      result.iterations = iter + 1;
+      result.converged = true;
+      return result;
+    }
+    ScaleInPlace(1.0 / norm, &y);
+    // Fix the sign so convergence is testable for negative eigenvalues.
+    if (Dot(x, y) < 0.0) ScaleInPlace(-1.0, &y);
+    const double step = MaxAbsDifference(x, y);
+    x.swap(y);
+    result.iterations = iter + 1;
+    if (step < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Rayleigh quotient of the *unshifted* matrix with the final iterate.
+  y.assign(n, 0.0);
+  a.MultiplyAccumulate(1.0, x, &y);
+  result.eigenvalue = Dot(x, y);
+  result.eigenvector = std::move(x);
+  return result;
+}
+
+}  // namespace cad

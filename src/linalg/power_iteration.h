@@ -1,0 +1,48 @@
+#ifndef CAD_LINALG_POWER_ITERATION_H_
+#define CAD_LINALG_POWER_ITERATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+
+/// \brief Options for the power method.
+struct PowerIterationOptions {
+  size_t max_iterations = 1000;
+  /// Stop when the iterate moves by less than this in max-norm.
+  double tolerance = 1e-10;
+  /// Diagonal shift sigma applied internally (iterating on A + sigma I and
+  /// reporting eigenvalues of A). A positive shift breaks the +/- lambda tie
+  /// on bipartite adjacency matrices, where vanilla power iteration
+  /// oscillates forever. Negative means automatic: half the maximum absolute
+  /// row sum. Zero disables shifting.
+  double shift = -1.0;
+};
+
+/// \brief Result of a power-method run.
+struct PowerIterationResult {
+  /// Unit-norm eigenvector estimate for the dominant eigenvalue.
+  std::vector<double> eigenvector;
+  /// Rayleigh-quotient estimate of the dominant eigenvalue.
+  double eigenvalue = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Dominant eigenvector of a square matrix by power iteration,
+/// starting from the uniform vector.
+///
+/// Used by the ACT baseline (Ide & Kashima): the "activity vector" of a
+/// snapshot is the principal eigenvector of its (entrywise non-negative)
+/// adjacency matrix, which by Perron-Frobenius can be taken entrywise
+/// non-negative; callers take absolute values to fix the sign. A zero matrix
+/// yields the uniform vector with eigenvalue 0 (converged).
+Result<PowerIterationResult> PrincipalEigenvector(
+    const CsrMatrix& a,
+    const PowerIterationOptions& options = PowerIterationOptions());
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_POWER_ITERATION_H_

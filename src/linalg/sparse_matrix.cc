@@ -1,0 +1,187 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad {
+
+CsrMatrix CooMatrix::ToCsr() const {
+  // Counting sort by row, then sort each row's slice by column and merge
+  // duplicates. Avoids a full O(nnz log nnz) global sort.
+  std::vector<size_t> counts(rows_ + 1, 0);
+  for (const Triplet& t : triplets_) ++counts[t.row + 1];
+  for (size_t i = 0; i < rows_; ++i) counts[i + 1] += counts[i];
+
+  std::vector<uint32_t> cols(triplets_.size());
+  std::vector<double> vals(triplets_.size());
+  {
+    std::vector<size_t> cursor(counts.begin(), counts.end() - 1);
+    for (const Triplet& t : triplets_) {
+      const size_t pos = cursor[t.row]++;
+      cols[pos] = t.col;
+      vals[pos] = t.value;
+    }
+  }
+
+  std::vector<size_t> row_offsets(rows_ + 1, 0);
+  std::vector<uint32_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(triplets_.size());
+  out_vals.reserve(triplets_.size());
+
+  std::vector<std::pair<uint32_t, double>> row_buffer;
+  for (size_t i = 0; i < rows_; ++i) {
+    row_buffer.clear();
+    for (size_t p = counts[i]; p < counts[i + 1]; ++p) {
+      row_buffer.emplace_back(cols[p], vals[p]);
+    }
+    std::sort(row_buffer.begin(), row_buffer.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Merge duplicate columns by summation.
+    for (size_t p = 0; p < row_buffer.size();) {
+      const uint32_t col = row_buffer[p].first;
+      double sum = 0.0;
+      while (p < row_buffer.size() && row_buffer[p].first == col) {
+        sum += row_buffer[p].second;
+        ++p;
+      }
+      out_cols.push_back(col);
+      out_vals.push_back(sum);
+    }
+    row_offsets[i + 1] = out_cols.size();
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_offsets), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<size_t> row_offsets,
+                     std::vector<uint32_t> col_indices,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      values_(std::move(values)) {
+  CAD_CHECK_EQ(row_offsets_.size(), rows_ + 1);
+  CAD_CHECK_EQ(col_indices_.size(), values_.size());
+  CAD_CHECK_EQ(row_offsets_.back(), col_indices_.size());
+  CAD_CHECK_EQ(row_offsets_.front(), 0u);
+}
+
+std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
+  CAD_CHECK_EQ(x.size(), cols_);
+  std::vector<double> y(rows_, 0.0);
+  MultiplyAccumulate(1.0, x, &y);
+  return y;
+}
+
+void CsrMatrix::MultiplyAccumulate(double alpha, const std::vector<double>& x,
+                                   std::vector<double>* y) const {
+  CAD_DCHECK(x.size() == cols_ && y->size() == rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      sum += values_[p] * x[col_indices_[p]];
+    }
+    (*y)[i] += alpha * sum;
+  }
+}
+
+double CsrMatrix::At(uint32_t row, uint32_t col) const {
+  CAD_DCHECK(row < rows_ && col < cols_);
+  const auto begin = col_indices_.begin() + static_cast<long>(row_offsets_[row]);
+  const auto end = col_indices_.begin() + static_cast<long>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<size_t>(it - col_indices_.begin())];
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<size_t> offsets(cols_ + 1, 0);
+  for (uint32_t col : col_indices_) ++offsets[col + 1];
+  for (size_t i = 0; i < cols_; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<uint32_t> out_cols(nnz());
+  std::vector<double> out_vals(nnz());
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const size_t pos = cursor[col_indices_[p]]++;
+      out_cols[pos] = static_cast<uint32_t>(i);
+      out_vals[pos] = values_[p];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(offsets), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+CsrMatrix CsrMatrix::Pruned(double threshold) const {
+  std::vector<size_t> offsets(rows_ + 1, 0);
+  std::vector<uint32_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(nnz());
+  out_vals.reserve(nnz());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      if (std::fabs(values_[p]) > threshold) {
+        out_cols.push_back(col_indices_[p]);
+        out_vals.push_back(values_[p]);
+      }
+    }
+    offsets[i + 1] = out_cols.size();
+  }
+  return CsrMatrix(rows_, cols_, std::move(offsets), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+std::vector<double> CsrMatrix::Diagonal() const {
+  const size_t n = std::min(rows_, cols_);
+  std::vector<double> diag(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    diag[i] = At(static_cast<uint32_t>(i), static_cast<uint32_t>(i));
+  }
+  return diag;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      sum += values_[p];
+    }
+    sums[i] = sum;
+  }
+  return sums;
+}
+
+double CsrMatrix::TotalSum() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+bool CsrMatrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const uint32_t j = col_indices_[p];
+      if (std::fabs(values_[p] - At(j, static_cast<uint32_t>(i))) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix dense(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      dense(i, col_indices_[p]) += values_[p];
+    }
+  }
+  return dense;
+}
+
+}  // namespace cad

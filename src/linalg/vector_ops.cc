@@ -1,0 +1,71 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cad {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CAD_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredNorm2(const std::vector<double>& a) { return Dot(a, a); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  CAD_DCHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void ScaleInPlace(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  CAD_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CAD_DCHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double Sum(const std::vector<double>& a) {
+  double sum = 0.0;
+  for (double v : a) sum += v;
+  return sum;
+}
+
+double MaxAbs(const std::vector<double>& a) {
+  double max_abs = 0.0;
+  for (double v : a) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs;
+}
+
+double MaxAbsDifference(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CAD_DCHECK(a.size() == b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+std::vector<double> Constant(size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+}  // namespace cad

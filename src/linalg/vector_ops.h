@@ -1,0 +1,51 @@
+#ifndef CAD_LINALG_VECTOR_OPS_H_
+#define CAD_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cad {
+
+/// Free-function kernels over `std::vector<double>`. Vectors are plain
+/// containers throughout the library; these helpers keep the solver code
+/// readable without introducing an expression-template vector type.
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// Squared Euclidean norm.
+double SquaredNorm2(const std::vector<double>& a);
+
+/// y += alpha * x; sizes must match.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= alpha.
+void ScaleInPlace(double alpha, std::vector<double>* x);
+
+/// Returns a - b; sizes must match.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Returns a + b; sizes must match.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Sum of all entries.
+double Sum(const std::vector<double>& a);
+
+/// max_i |a[i]|.
+double MaxAbs(const std::vector<double>& a);
+
+/// max_i |a[i] - b[i]|; sizes must match.
+double MaxAbsDifference(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Constant vector of the given size.
+std::vector<double> Constant(size_t n, double value);
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_VECTOR_OPS_H_

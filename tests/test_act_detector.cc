@@ -1,0 +1,141 @@
+#include "core/act_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TemporalGraphSequence TwoCliqueSequence(bool merge) {
+  // Two 4-cliques; optionally merged by a strong edge in the second snapshot.
+  WeightedGraph g1(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      CAD_CHECK_OK(g1.SetEdge(i, j, 2.0));
+      CAD_CHECK_OK(g1.SetEdge(i + 4, j + 4, 2.0));
+    }
+  }
+  CAD_CHECK_OK(g1.SetEdge(0, 4, 0.2));
+  WeightedGraph g2 = g1;
+  if (merge) CAD_CHECK_OK(g2.SetEdge(1, 5, 3.0));
+  TemporalGraphSequence seq(8);
+  CAD_CHECK_OK(seq.Append(std::move(g1)));
+  CAD_CHECK_OK(seq.Append(std::move(g2)));
+  return seq;
+}
+
+TEST(ActDetectorTest, RejectsTooFewSnapshots) {
+  TemporalGraphSequence seq(2);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(2)));
+  EXPECT_FALSE(ActDetector().ScoreTransitions(seq).ok());
+  EXPECT_FALSE(ActDetector().TransitionZScores(seq).ok());
+}
+
+TEST(ActDetectorTest, ActivityVectorsAreUnitNonNegative) {
+  const TemporalGraphSequence seq = TwoCliqueSequence(true);
+  auto activity = ActDetector().ActivityVectors(seq);
+  ASSERT_TRUE(activity.ok());
+  ASSERT_EQ(activity->size(), 2u);
+  for (const std::vector<double>& a : *activity) {
+    double norm_sq = 0.0;
+    for (double v : a) {
+      EXPECT_GE(v, 0.0);
+      norm_sq += v * v;
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-8);
+  }
+}
+
+TEST(ActDetectorTest, IdenticalSnapshotsScoreZero) {
+  const TemporalGraphSequence seq = TwoCliqueSequence(false);
+  auto scores = ActDetector().ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  for (double s : (*scores)[0]) EXPECT_LT(s, 1e-6);
+  auto z = ActDetector().TransitionZScores(seq);
+  ASSERT_TRUE(z.ok());
+  EXPECT_LT((*z)[0], 1e-8);
+}
+
+TEST(ActDetectorTest, StructuralChangeRaisesZScore) {
+  auto calm = ActDetector().TransitionZScores(TwoCliqueSequence(false));
+  auto eventful = ActDetector().TransitionZScores(TwoCliqueSequence(true));
+  ASSERT_TRUE(calm.ok());
+  ASSERT_TRUE(eventful.ok());
+  EXPECT_GT((*eventful)[0], (*calm)[0] + 1e-6);
+}
+
+TEST(ActDetectorTest, FlagsAffectedNodesNotJustResponsible) {
+  // The known ACT failure mode (paper §3.4): when the r7-r8 bridge weakens,
+  // ACT spreads score over the whole detached subgroup {r4, r6, r8, r9}.
+  const ToyExample toy = MakeToyExample();
+  auto scores = ActDetector().ScoreTransitions(toy.sequence);
+  ASSERT_TRUE(scores.ok());
+  const std::vector<double>& s = (*scores)[0];
+  // Affected-but-innocent nodes receive a non-trivial share of the top score.
+  const double top = *std::max_element(s.begin(), s.end());
+  ASSERT_GT(top, 0.0);
+  const double affected =
+      std::max({s[ToyRed(4)], s[ToyRed(6)], s[ToyRed(9)]});
+  EXPECT_GT(affected, 0.05 * top)
+      << "expected ACT to assign meaningful score to affected nodes";
+}
+
+TEST(ActDetectorTest, WindowSummaryEqualsActivityForWindowOne) {
+  const TemporalGraphSequence seq = TwoCliqueSequence(true);
+  ActOptions options;
+  options.window_size = 1;
+  ActDetector detector(options);
+  auto scores = detector.ScoreTransitions(seq);
+  auto activity = detector.ActivityVectors(seq);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_TRUE(activity.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR((*scores)[0][i],
+                std::fabs((*activity)[1][i] - (*activity)[0][i]), 1e-9);
+  }
+}
+
+TEST(ActDetectorTest, LargerWindowSmoothsSummary) {
+  // Build a longer sequence: stable, stable, stable, then a merge event.
+  WeightedGraph base(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      CAD_CHECK_OK(base.SetEdge(i, j, 2.0));
+      CAD_CHECK_OK(base.SetEdge(i + 4, j + 4, 2.0));
+    }
+  }
+  CAD_CHECK_OK(base.SetEdge(0, 4, 0.2));
+  WeightedGraph merged = base;
+  CAD_CHECK_OK(merged.SetEdge(1, 5, 3.0));
+  TemporalGraphSequence seq(8);
+  for (int t = 0; t < 4; ++t) CAD_CHECK_OK(seq.Append(base));
+  CAD_CHECK_OK(seq.Append(merged));
+
+  ActOptions w3;
+  w3.window_size = 3;
+  auto z = ActDetector(w3).TransitionZScores(seq);
+  ASSERT_TRUE(z.ok());
+  ASSERT_EQ(z->size(), 4u);
+  // Calm transitions near zero, the event transition clearly above.
+  for (size_t t = 0; t < 3; ++t) EXPECT_LT((*z)[t], 1e-6);
+  EXPECT_GT((*z)[3], 1e-4);
+}
+
+TEST(ActDetectorTest, HandlesEmptySnapshots) {
+  TemporalGraphSequence seq(3);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(3)));
+  CAD_CHECK_OK(seq.Append(WeightedGraph(3)));
+  auto scores = ActDetector().ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  // Zero adjacency on both sides: no anomaly signal.
+  for (double s : (*scores)[0]) EXPECT_EQ(s, 0.0);
+}
+
+TEST(ActDetectorTest, NameIsAct) { EXPECT_EQ(ActDetector().name(), "ACT"); }
+
+}  // namespace
+}  // namespace cad

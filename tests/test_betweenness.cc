@@ -1,0 +1,134 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/centrality.h"
+
+namespace cad {
+namespace {
+
+WeightedGraph UnitPath(size_t n) {
+  WeightedGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) CAD_CHECK_OK(g.SetEdge(i, i + 1, 1.0));
+  return g;
+}
+
+BetweennessOptions Raw() {
+  BetweennessOptions options;
+  options.normalized = false;
+  return options;
+}
+
+TEST(BetweennessTest, PathKnownValues) {
+  // Path 0-1-2-3-4: node 2 lies on shortest paths between {0,1} x {3,4}
+  // plus (1,3)... exact counts: bc(2) = |{(0,3),(0,4),(1,3),(1,4)}| = 4? No:
+  // also (0,4) passes through 1,2,3. Pairs through node 2: (0,3), (0,4),
+  // (1,3), (1,4) -> 4; through node 1: (0,2), (0,3), (0,4) -> 3.
+  const std::vector<double> bc = BetweennessCentrality(UnitPath(5), Raw());
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+}
+
+TEST(BetweennessTest, StarCenterCarriesAllPairs) {
+  WeightedGraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) CAD_CHECK_OK(g.SetEdge(0, leaf, 1.0));
+  const std::vector<double> bc = BetweennessCentrality(g, Raw());
+  // All C(4,2) = 6 leaf pairs route through the center.
+  EXPECT_DOUBLE_EQ(bc[0], 6.0);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_DOUBLE_EQ(bc[leaf], 0.0);
+}
+
+TEST(BetweennessTest, EqualPathSplitting) {
+  // 4-cycle: between opposite corners there are two equal shortest paths;
+  // each intermediate node gets half a pair from each of its two opposite
+  // pairs -> bc = 0.5 per node (one opposite pair, split over 2 routes).
+  WeightedGraph g(4);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 1.0));
+  CAD_CHECK_OK(g.SetEdge(2, 3, 1.0));
+  CAD_CHECK_OK(g.SetEdge(0, 3, 1.0));
+  const std::vector<double> bc = BetweennessCentrality(g, Raw());
+  for (NodeId i = 0; i < 4; ++i) EXPECT_NEAR(bc[i], 0.5, 1e-12);
+}
+
+TEST(BetweennessTest, WeightsShiftShortestPaths) {
+  // Triangle with one slow edge: 0-2 direct has length 1/0.2 = 5, via node 1
+  // it is 1 + 1 = 2, so node 1 carries the (0,2) pair.
+  WeightedGraph g(3);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 1.0));
+  CAD_CHECK_OK(g.SetEdge(0, 2, 0.2));
+  const std::vector<double> bc = BetweennessCentrality(g, Raw());
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(BetweennessTest, NormalizationBoundsScores) {
+  WeightedGraph g = UnitPath(20);
+  BetweennessOptions normalized;
+  const std::vector<double> bc = BetweennessCentrality(g, normalized);
+  for (double v : bc) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  // Midpoint of a path approaches the maximum.
+  EXPECT_GT(bc[10], 0.5);
+}
+
+TEST(BetweennessTest, TinyGraphsAreZero) {
+  EXPECT_EQ(BetweennessCentrality(WeightedGraph(0), Raw()).size(), 0u);
+  EXPECT_EQ(BetweennessCentrality(UnitPath(2), Raw()),
+            (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(BetweennessTest, DisconnectedComponentsIndependent) {
+  WeightedGraph g(6);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 1.0));
+  CAD_CHECK_OK(g.SetEdge(3, 4, 1.0));
+  CAD_CHECK_OK(g.SetEdge(4, 5, 1.0));
+  const std::vector<double> bc = BetweennessCentrality(g, Raw());
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);  // middle of its 3-path
+  EXPECT_DOUBLE_EQ(bc[4], 1.0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+}
+
+TEST(BetweennessTest, SampledEstimateTracksExact) {
+  // Barbell: two cliques joined through a 3-node bridge; the bridge carries
+  // everything.
+  WeightedGraph g(23);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = a + 1; b < 10; ++b) {
+      CAD_CHECK_OK(g.SetEdge(a, b, 1.0));
+      CAD_CHECK_OK(g.SetEdge(a + 13, b + 13, 1.0));
+    }
+  }
+  CAD_CHECK_OK(g.SetEdge(9, 10, 1.0));
+  CAD_CHECK_OK(g.SetEdge(10, 11, 1.0));
+  CAD_CHECK_OK(g.SetEdge(11, 12, 1.0));
+  CAD_CHECK_OK(g.SetEdge(12, 13, 1.0));
+
+  const std::vector<double> exact = BetweennessCentrality(g, Raw());
+  BetweennessOptions sampled = Raw();
+  sampled.num_samples = 12;
+  sampled.seed = 9;
+  const std::vector<double> approx = BetweennessCentrality(g, sampled);
+  // The bridge node 11 dominates in both, and the estimate is within 2x.
+  const auto max_exact =
+      std::max_element(exact.begin(), exact.end()) - exact.begin();
+  const auto max_approx =
+      std::max_element(approx.begin(), approx.end()) - approx.begin();
+  EXPECT_EQ(max_exact, 11);
+  // With 12 pivots the sampled argmax can land on any of the three
+  // equivalent-role bridge nodes.
+  EXPECT_GE(max_approx, 10);
+  EXPECT_LE(max_approx, 12);
+  EXPECT_NEAR(approx[11], exact[11], exact[11]);
+}
+
+}  // namespace
+}  // namespace cad

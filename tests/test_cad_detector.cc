@@ -1,0 +1,214 @@
+#include "core/cad_detector.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/threshold.h"
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TEST(CadDetectorTest, RejectsTooFewSnapshots) {
+  TemporalGraphSequence seq(3);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(3)));
+  CadDetector detector;
+  EXPECT_FALSE(detector.Analyze(seq).ok());
+  EXPECT_FALSE(detector.ScoreTransitions(seq).ok());
+}
+
+TEST(CadDetectorTest, NameTracksScoreKind) {
+  EXPECT_EQ(CadDetector().name(), "CAD");
+  CadOptions adj;
+  adj.score_kind = EdgeScoreKind::kAdj;
+  EXPECT_EQ(CadDetector(adj).name(), "ADJ");
+  CadOptions com;
+  com.score_kind = EdgeScoreKind::kCom;
+  EXPECT_EQ(CadDetector(com).name(), "COM");
+}
+
+TEST(CadDetectorTest, IdenticalSnapshotsScoreZero) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 2.0).ok());
+  TemporalGraphSequence seq(4);
+  CAD_CHECK_OK(seq.Append(g));
+  CAD_CHECK_OK(seq.Append(g));
+  CadDetector detector;
+  auto analyses = detector.Analyze(seq);
+  ASSERT_TRUE(analyses.ok());
+  ASSERT_EQ(analyses->size(), 1u);
+  EXPECT_DOUBLE_EQ((*analyses)[0].total_score, 0.0);
+}
+
+TEST(CadDetectorTest, ToyExampleTopThreeEdgesAreGroundTruth) {
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(toy.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const TransitionScores& scores = (*analyses)[0];
+  ASSERT_GE(scores.edges.size(), 3u);
+
+  std::vector<NodePair> top3 = {scores.edges[0].pair, scores.edges[1].pair,
+                                scores.edges[2].pair};
+  std::sort(top3.begin(), top3.end());
+  std::vector<NodePair> expected = toy.anomalous_edges;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(top3, expected);
+}
+
+TEST(CadDetectorTest, ToyExampleAnomalousDominateBenignByOrderOfMagnitude) {
+  // Table 1's shape: anomalous edge scores sit orders of magnitude above the
+  // benign changed edges (10.6 / 9.56 / 8.99 vs 0.07 / 0.04 in the paper).
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(toy.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const TransitionScores& scores = (*analyses)[0];
+
+  const auto score_of = [&scores](const NodePair& pair) {
+    for (const ScoredEdge& e : scores.edges) {
+      if (e.pair == pair) return e.score;
+    }
+    return -1.0;
+  };
+  double min_anomalous = 1e300;
+  for (const NodePair& pair : toy.anomalous_edges) {
+    min_anomalous = std::min(min_anomalous, score_of(pair));
+  }
+  double max_benign = 0.0;
+  for (const NodePair& pair : toy.benign_changed_edges) {
+    max_benign = std::max(max_benign, score_of(pair));
+  }
+  EXPECT_GT(min_anomalous, 10.0 * max_benign);
+}
+
+TEST(CadDetectorTest, ToyExampleNodeScoresMatchTable2Shape) {
+  // Table 2's shape: the six responsible nodes dominate; unaffected nodes
+  // score ~0 (e.g. r4, r6, r9 which are only *affected* by the r7-r8 change).
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  CadDetector detector(options);
+  auto node_scores = detector.ScoreTransitions(toy.sequence);
+  ASSERT_TRUE(node_scores.ok());
+  const std::vector<double>& scores = (*node_scores)[0];
+
+  double min_anomalous = 1e300;
+  for (NodeId node : toy.anomalous_nodes) {
+    min_anomalous = std::min(min_anomalous, scores[node]);
+  }
+  for (NodeId node = 0; node < 17; ++node) {
+    if (std::count(toy.anomalous_nodes.begin(), toy.anomalous_nodes.end(),
+                   node) == 0) {
+      EXPECT_LT(scores[node], min_anomalous)
+          << "non-anomalous node " << toy.node_names[node]
+          << " outranks an anomalous node";
+    }
+  }
+  // The affected-but-not-responsible red subgroup must score far below the
+  // responsible nodes (CAD's key differentiator vs ACT, paper §3.4).
+  for (int r : {4, 6, 9}) {
+    EXPECT_LT(scores[ToyRed(r)], 0.1 * min_anomalous);
+  }
+}
+
+TEST(CadDetectorTest, ApproxEngineAgreesWithExactOnToyTopEdges) {
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kApprox;
+  options.approx.embedding_dim = 300;
+  options.approx.seed = 9;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(toy.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const TransitionScores& scores = (*analyses)[0];
+  std::vector<NodePair> top3 = {scores.edges[0].pair, scores.edges[1].pair,
+                                scores.edges[2].pair};
+  std::sort(top3.begin(), top3.end());
+  std::vector<NodePair> expected = toy.anomalous_edges;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(top3, expected);
+}
+
+TEST(CadDetectorTest, AutoEngineSelectsExactForSmallGraphs) {
+  // On the toy graph auto mode must produce the exact engine's scores.
+  const ToyExample toy = MakeToyExample();
+  CadOptions auto_options;
+  auto_options.engine = CommuteEngine::kAuto;
+  CadOptions exact_options;
+  exact_options.engine = CommuteEngine::kExact;
+  auto auto_scores = CadDetector(auto_options).Analyze(toy.sequence);
+  auto exact_scores = CadDetector(exact_options).Analyze(toy.sequence);
+  ASSERT_TRUE(auto_scores.ok());
+  ASSERT_TRUE(exact_scores.ok());
+  EXPECT_DOUBLE_EQ((*auto_scores)[0].total_score,
+                   (*exact_scores)[0].total_score);
+}
+
+TEST(CadDetectorTest, AnalyzeTransitionMatchesSequenceAnalyze) {
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  CadDetector detector(options);
+  auto single = detector.AnalyzeTransition(toy.sequence.Snapshot(0),
+                                           toy.sequence.Snapshot(1));
+  auto full = detector.Analyze(toy.sequence);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(single->total_score, (*full)[0].total_score);
+}
+
+TEST(CadDetectorTest, AnalyzeTransitionRejectsMismatchedSizes) {
+  CadDetector detector;
+  EXPECT_FALSE(
+      detector.AnalyzeTransition(WeightedGraph(3), WeightedGraph(4)).ok());
+}
+
+TEST(CadDetectorTest, EndToEndWithCalibratedThreshold) {
+  // Calibrate for l = 6 nodes per transition on the toy data: exactly the
+  // six responsible nodes should be reported.
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  CadDetector detector(options);
+  auto analyses = detector.Analyze(toy.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const double delta = CalibrateDelta(*analyses, 6.0);
+  const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].nodes.size(), 6u);
+  std::vector<NodeId> expected = toy.anomalous_nodes;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(reports[0].nodes, expected);
+}
+
+/// Parameterized over embedding seeds: the toy localization must be robust
+/// to the randomness of the approximate engine at k = 100.
+class CadApproxSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CadApproxSeedSweep, ToyTopEdgeIsAlwaysAnomalous) {
+  const ToyExample toy = MakeToyExample();
+  CadOptions options;
+  options.engine = CommuteEngine::kApprox;
+  options.approx.embedding_dim = 100;
+  options.approx.seed = GetParam();
+  auto analyses = CadDetector(options).Analyze(toy.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const NodePair top = (*analyses)[0].edges[0].pair;
+  EXPECT_NE(std::count(toy.anomalous_edges.begin(), toy.anomalous_edges.end(),
+                       top),
+            0)
+      << "top pair " << top.u << "-" << top.v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CadApproxSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace cad

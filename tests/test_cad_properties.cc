@@ -1,0 +1,230 @@
+// Property-based tests of CAD's mathematical invariances, swept over random
+// graph transitions. These pin down behaviours that unit tests on fixed
+// examples cannot: how scores transform under relabeling, time reversal,
+// weight rescaling, and graph composition.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/cad_detector.h"
+#include "datagen/random_graphs.h"
+
+namespace cad {
+namespace {
+
+CadDetector ExactDetector() {
+  CadOptions options;
+  options.engine = CommuteEngine::kExact;
+  return CadDetector(options);
+}
+
+TemporalGraphSequence RandomSequence(uint64_t seed, size_t n = 24) {
+  RandomGraphOptions options;
+  options.num_nodes = n;
+  options.average_degree = 5.0;
+  options.seed = seed;
+  return MakeRandomTransition(options, 0.25, 0.1);
+}
+
+std::map<uint64_t, double> ScoreMap(const TransitionScores& scores) {
+  std::map<uint64_t, double> map;
+  for (const ScoredEdge& edge : scores.edges) {
+    map[edge.pair.Key()] = edge.score;
+  }
+  return map;
+}
+
+class CadPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+/// Relabeling nodes by a permutation must permute the scores and nothing
+/// else: CAD is purely structural.
+TEST_P(CadPropertySweep, PermutationEquivariance) {
+  const TemporalGraphSequence seq = RandomSequence(GetParam());
+  const size_t n = seq.num_nodes();
+
+  // Build a deterministic permutation: reverse.
+  std::vector<NodeId> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(n - 1 - i);
+
+  TemporalGraphSequence permuted(n);
+  for (size_t t = 0; t < 2; ++t) {
+    WeightedGraph g(n);
+    for (const Edge& e : seq.Snapshot(t).Edges()) {
+      CAD_CHECK_OK(g.SetEdge(perm[e.u], perm[e.v], e.weight));
+    }
+    CAD_CHECK_OK(permuted.Append(std::move(g)));
+  }
+
+  const CadDetector detector = ExactDetector();
+  auto original = detector.Analyze(seq);
+  auto relabeled = detector.Analyze(permuted);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(relabeled.ok());
+
+  const auto original_map = ScoreMap((*original)[0]);
+  const auto relabeled_map = ScoreMap((*relabeled)[0]);
+  ASSERT_EQ(original_map.size(), relabeled_map.size());
+  for (const auto& [key, score] : original_map) {
+    const NodePair pair{static_cast<NodeId>(key >> 32),
+                        static_cast<NodeId>(key & 0xffffffffULL)};
+    const NodePair mapped = NodePair::Make(perm[pair.u], perm[pair.v]);
+    const auto it = relabeled_map.find(mapped.Key());
+    ASSERT_NE(it, relabeled_map.end());
+    EXPECT_NEAR(it->second, score, 1e-6 * (1.0 + score));
+  }
+}
+
+/// Swapping G_t and G_{t+1} leaves every |dA| and |dc| unchanged, so the
+/// scores must be identical: CAD is time-reversal symmetric per transition.
+TEST_P(CadPropertySweep, TimeReversalSymmetry) {
+  const TemporalGraphSequence seq = RandomSequence(GetParam() + 100);
+  TemporalGraphSequence reversed(seq.num_nodes());
+  CAD_CHECK_OK(reversed.Append(seq.Snapshot(1)));
+  CAD_CHECK_OK(reversed.Append(seq.Snapshot(0)));
+
+  const CadDetector detector = ExactDetector();
+  auto forward = detector.Analyze(seq);
+  auto backward = detector.Analyze(reversed);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(backward.ok());
+  EXPECT_NEAR((*forward)[0].total_score, (*backward)[0].total_score,
+              1e-6 * (1.0 + (*forward)[0].total_score));
+  const auto forward_map = ScoreMap((*forward)[0]);
+  const auto backward_map = ScoreMap((*backward)[0]);
+  ASSERT_EQ(forward_map.size(), backward_map.size());
+  for (const auto& [key, score] : forward_map) {
+    EXPECT_NEAR(backward_map.at(key), score, 1e-6 * (1.0 + score));
+  }
+}
+
+/// Scaling all weights of both snapshots by alpha leaves commute times
+/// unchanged (volume scales by alpha, resistance by 1/alpha) and scales
+/// every |dA| by alpha, so every CAD score scales by exactly alpha.
+TEST_P(CadPropertySweep, WeightScalingScalesScoresLinearly) {
+  const TemporalGraphSequence seq = RandomSequence(GetParam() + 200);
+  const double alpha = 3.5;
+  TemporalGraphSequence scaled(seq.num_nodes());
+  for (size_t t = 0; t < 2; ++t) {
+    WeightedGraph g(seq.num_nodes());
+    for (const Edge& e : seq.Snapshot(t).Edges()) {
+      CAD_CHECK_OK(g.SetEdge(e.u, e.v, alpha * e.weight));
+    }
+    CAD_CHECK_OK(scaled.Append(std::move(g)));
+  }
+
+  const CadDetector detector = ExactDetector();
+  auto original = detector.Analyze(seq);
+  auto rescaled = detector.Analyze(scaled);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(rescaled.ok());
+  const auto original_map = ScoreMap((*original)[0]);
+  const auto rescaled_map = ScoreMap((*rescaled)[0]);
+  for (const auto& [key, score] : original_map) {
+    EXPECT_NEAR(rescaled_map.at(key), alpha * score,
+                1e-5 * (1.0 + alpha * score));
+  }
+}
+
+/// Adding isolated nodes must not disturb any existing pair's score: an
+/// inactive participant changes neither weights nor the Laplacian blocks.
+TEST_P(CadPropertySweep, IsolatedNodesAreInert) {
+  const TemporalGraphSequence seq = RandomSequence(GetParam() + 300);
+  const size_t n = seq.num_nodes();
+  TemporalGraphSequence padded(n + 5);
+  for (size_t t = 0; t < 2; ++t) {
+    WeightedGraph g(n + 5);
+    for (const Edge& e : seq.Snapshot(t).Edges()) {
+      CAD_CHECK_OK(g.SetEdge(e.u, e.v, e.weight));
+    }
+    CAD_CHECK_OK(padded.Append(std::move(g)));
+  }
+  const CadDetector detector = ExactDetector();
+  auto original = detector.Analyze(seq);
+  auto with_padding = detector.Analyze(padded);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(with_padding.ok());
+  const auto original_map = ScoreMap((*original)[0]);
+  const auto padded_map = ScoreMap((*with_padding)[0]);
+  ASSERT_EQ(original_map.size(), padded_map.size());
+  for (const auto& [key, score] : original_map) {
+    EXPECT_NEAR(padded_map.at(key), score, 1e-6 * (1.0 + score));
+  }
+}
+
+/// Disjoint union with an *unchanging* copy: the copy contributes no scored
+/// change, and (paper Eq. 3 with the global volume) the original pairs'
+/// commute deltas scale with the enlarged volume. For the scaling to be a
+/// single factor, the transition must preserve the volume (otherwise c_t
+/// and c_{t+1} scale by different ratios), so this test uses a
+/// weight-transfer transition: mass moves between edges, total unchanged.
+TEST_P(CadPropertySweep, DisjointStaticCopyOnlyRescalesVolume) {
+  // Volume-preserving transition: shift half of one edge's weight onto
+  // another edge.
+  RandomGraphOptions base_options;
+  base_options.num_nodes = 24;
+  base_options.average_degree = 5.0;
+  base_options.seed = GetParam() + 400;
+  const WeightedGraph before = MakeRandomSparseGraph(base_options);
+  const std::vector<Edge> edges = before.Edges();
+  ASSERT_GE(edges.size(), 2u);
+  WeightedGraph after = before;
+  const double transfer = edges[0].weight / 2.0;
+  CAD_CHECK_OK(after.AddEdgeWeight(edges[0].u, edges[0].v, -transfer));
+  CAD_CHECK_OK(after.AddEdgeWeight(edges[1].u, edges[1].v, transfer));
+  ASSERT_NEAR(before.Volume(), after.Volume(), 1e-9);
+
+  TemporalGraphSequence seq(before.num_nodes());
+  CAD_CHECK_OK(seq.Append(before));
+  CAD_CHECK_OK(seq.Append(after));
+  const size_t n = seq.num_nodes();
+
+  // The static companion graph (same on both sides of the transition).
+  RandomGraphOptions companion_options;
+  companion_options.num_nodes = n;
+  companion_options.average_degree = 5.0;
+  companion_options.seed = GetParam() + 999;
+  const WeightedGraph companion = MakeRandomSparseGraph(companion_options);
+
+  TemporalGraphSequence combined(2 * n);
+  for (size_t t = 0; t < 2; ++t) {
+    WeightedGraph g(2 * n);
+    for (const Edge& e : seq.Snapshot(t).Edges()) {
+      CAD_CHECK_OK(g.SetEdge(e.u, e.v, e.weight));
+    }
+    for (const Edge& e : companion.Edges()) {
+      CAD_CHECK_OK(g.SetEdge(static_cast<NodeId>(e.u + n),
+                             static_cast<NodeId>(e.v + n), e.weight));
+    }
+    CAD_CHECK_OK(combined.Append(std::move(g)));
+  }
+
+  const CadDetector detector = ExactDetector();
+  auto original = detector.Analyze(seq);
+  auto with_copy = detector.Analyze(combined);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(with_copy.ok());
+
+  // No static-copy edge may carry a nonzero score.
+  for (const ScoredEdge& edge : (*with_copy)[0].edges) {
+    if (edge.pair.u >= n) {
+      EXPECT_EQ(edge.score, 0.0);
+    }
+  }
+  // Original pairs' scores scale by the combined/original volume ratio.
+  const double ratio =
+      combined.Snapshot(0).Volume() / seq.Snapshot(0).Volume();
+  const auto original_map = ScoreMap((*original)[0]);
+  const auto combined_map = ScoreMap((*with_copy)[0]);
+  for (const auto& [key, score] : original_map) {
+    EXPECT_NEAR(combined_map.at(key), ratio * score,
+                1e-5 * (1.0 + ratio * score));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CadPropertySweep,
+                         ::testing::Values(1, 2, 3, 7, 11));
+
+}  // namespace
+}  // namespace cad

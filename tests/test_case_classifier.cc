@@ -1,0 +1,94 @@
+#include "core/case_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "commute/exact_commute.h"
+#include "core/cad_detector.h"
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TEST(CaseClassifierTest, Names) {
+  EXPECT_STREQ(AnomalyCaseToString(AnomalyCase::kMagnitudeChange),
+               "case-1-magnitude-change");
+  EXPECT_STREQ(AnomalyCaseToString(AnomalyCase::kNewBridge),
+               "case-2-new-bridge");
+  EXPECT_STREQ(AnomalyCaseToString(AnomalyCase::kWeakenedBridge),
+               "case-3-weakened-bridge");
+  EXPECT_STREQ(AnomalyCaseToString(AnomalyCase::kUnclassified),
+               "unclassified");
+}
+
+class CaseClassifierToyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    toy_ = MakeToyExample();
+    auto oracle = ExactCommuteTime::Build(toy_.sequence.Snapshot(0));
+    ASSERT_TRUE(oracle.ok());
+    oracle_before_ =
+        std::make_unique<ExactCommuteTime>(std::move(oracle).ValueOrDie());
+
+    CadOptions options;
+    options.engine = CommuteEngine::kExact;
+    auto analyses = CadDetector(options).Analyze(toy_.sequence);
+    ASSERT_TRUE(analyses.ok());
+    scores_ = (*analyses)[0];
+  }
+
+  AnomalyCase ClassifyPair(NodePair pair) {
+    for (const ScoredEdge& edge : scores_.edges) {
+      if (edge.pair == pair) {
+        return ClassifyAnomalousEdge(
+            edge, oracle_before_->CommuteTime(pair.u, pair.v),
+            toy_.sequence.Snapshot(0), toy_.sequence.Snapshot(1));
+      }
+    }
+    ADD_FAILURE() << "pair not in support";
+    return AnomalyCase::kUnclassified;
+  }
+
+  ToyExample toy_;
+  std::unique_ptr<ExactCommuteTime> oracle_before_;
+  TransitionScores scores_;
+};
+
+TEST_F(CaseClassifierToyTest, S1NewEdgeIsCase2) {
+  EXPECT_EQ(ClassifyPair(NodePair::Make(ToyBlue(1), ToyRed(1))),
+            AnomalyCase::kNewBridge);
+}
+
+TEST_F(CaseClassifierToyTest, S2WeakenedBridgeIsCase3) {
+  EXPECT_EQ(ClassifyPair(NodePair::Make(ToyRed(7), ToyRed(8))),
+            AnomalyCase::kWeakenedBridge);
+}
+
+TEST_F(CaseClassifierToyTest, S3LargeIncreaseIsCase1) {
+  EXPECT_EQ(ClassifyPair(NodePair::Make(ToyBlue(4), ToyBlue(5))),
+            AnomalyCase::kMagnitudeChange);
+}
+
+TEST_F(CaseClassifierToyTest, BenignChangesUnclassified) {
+  // S4 and S5 are small jitters between tightly coupled pairs: neither
+  // structural nor high magnitude.
+  EXPECT_EQ(ClassifyPair(NodePair::Make(ToyBlue(1), ToyBlue(3))),
+            AnomalyCase::kUnclassified);
+  EXPECT_EQ(ClassifyPair(NodePair::Make(ToyBlue(2), ToyBlue(7))),
+            AnomalyCase::kUnclassified);
+}
+
+TEST(CaseClassifierTest, ZeroBaselineCommuteHandled) {
+  WeightedGraph before(2);
+  CAD_CHECK_OK(before.SetEdge(0, 1, 1.0));
+  WeightedGraph after(2);
+  CAD_CHECK_OK(after.SetEdge(0, 1, 5.0));
+  ScoredEdge edge;
+  edge.pair = NodePair::Make(0, 1);
+  edge.weight_delta = 4.0;
+  edge.commute_delta = 0.0;
+  EXPECT_EQ(ClassifyAnomalousEdge(edge, 0.0, before, after),
+            AnomalyCase::kMagnitudeChange);
+}
+
+}  // namespace
+}  // namespace cad

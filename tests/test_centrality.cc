@@ -1,0 +1,138 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+WeightedGraph UnitStar(size_t leaves) {
+  WeightedGraph g(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) {
+    CAD_CHECK_OK(g.SetEdge(0, leaf, 1.0));
+  }
+  return g;
+}
+
+TEST(ClosenessTest, StarCenterIsMostCentral) {
+  const WeightedGraph g = UnitStar(5);
+  const std::vector<double> cc = ClosenessCentrality(g);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    EXPECT_GT(cc[0], cc[leaf]);
+  }
+}
+
+TEST(ClosenessTest, StarKnownValues) {
+  // Unit-weight star, inverse-weight lengths = 1 per edge. Center: sum of
+  // distances = 5, cc = (5/5) * (5/5) = 1. Leaf: distances {1, 2,2,2,2},
+  // sum = 9, cc = 5/9 * ... with WF normalization r=5, n-1=5: (5/5)*(5/9).
+  const WeightedGraph g = UnitStar(5);
+  const std::vector<double> cc = ClosenessCentrality(g);
+  EXPECT_NEAR(cc[0], 1.0, 1e-12);
+  EXPECT_NEAR(cc[1], 5.0 / 9.0, 1e-12);
+}
+
+TEST(ClosenessTest, PathEndsLessCentralThanMiddle) {
+  WeightedGraph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0).ok());
+  }
+  const std::vector<double> cc = ClosenessCentrality(g);
+  EXPECT_GT(cc[2], cc[0]);
+  EXPECT_GT(cc[2], cc[4]);
+  EXPECT_NEAR(cc[0], cc[4], 1e-12);  // symmetry
+}
+
+TEST(ClosenessTest, IsolatedNodeHasZeroCentrality) {
+  WeightedGraph g(3);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  const std::vector<double> cc = ClosenessCentrality(g);
+  EXPECT_EQ(cc[2], 0.0);
+  EXPECT_GT(cc[0], 0.0);
+}
+
+TEST(ClosenessTest, DisconnectedPenalizedVsConnected) {
+  // Wasserman-Faust: a node in a small component must score below a node
+  // with the same local distances in a spanning component.
+  WeightedGraph g(6);
+  // Component A: triangle 0-1-2. Component B: triangle 3-4-5.
+  for (auto [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}) {
+    ASSERT_TRUE(g.SetEdge(u, v, 1.0).ok());
+  }
+  WeightedGraph connected(3);
+  ASSERT_TRUE(connected.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(connected.SetEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(connected.SetEdge(0, 2, 1.0).ok());
+  const double six_node = ClosenessCentrality(g)[0];
+  const double three_node = ClosenessCentrality(connected)[0];
+  EXPECT_LT(six_node, three_node);
+}
+
+TEST(ClosenessTest, StrongerTiesIncreaseCentrality) {
+  WeightedGraph weak(3);
+  ASSERT_TRUE(weak.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(weak.SetEdge(1, 2, 1.0).ok());
+  WeightedGraph strong(3);
+  ASSERT_TRUE(strong.SetEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(strong.SetEdge(1, 2, 2.0).ok());
+  EXPECT_GT(ClosenessCentrality(strong)[1], ClosenessCentrality(weak)[1]);
+}
+
+TEST(ClosenessTest, EmptyAndSingletonGraphs) {
+  EXPECT_TRUE(ClosenessCentrality(WeightedGraph(0)).empty());
+  EXPECT_EQ(ClosenessCentrality(WeightedGraph(1)), std::vector<double>{0.0});
+}
+
+TEST(ClosenessTest, SampledApproximatesExactOrdering) {
+  // A barbell-ish graph: hub-heavy side vs. chain side.
+  WeightedGraph g(30);
+  for (NodeId i = 1; i < 15; ++i) ASSERT_TRUE(g.SetEdge(0, i, 1.0).ok());
+  for (NodeId i = 15; i + 1 < 30; ++i) {
+    ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0).ok());
+  }
+  ASSERT_TRUE(g.SetEdge(0, 15, 1.0).ok());
+
+  ClosenessOptions sampled;
+  sampled.num_samples = 15;
+  sampled.seed = 3;
+  const std::vector<double> approx = ClosenessCentrality(g, sampled);
+  const std::vector<double> exact = ClosenessCentrality(g);
+  // The hub (node 0) is most central exactly.
+  EXPECT_EQ(std::max_element(exact.begin(), exact.end()) - exact.begin(), 0);
+  // The sampled estimator is noisy at 15 pivots; require the coarse shape:
+  // hub clearly above the chain tail, and positive correlation with exact.
+  EXPECT_LT(approx[29], approx[0]);
+  double mean_a = 0.0;
+  double mean_e = 0.0;
+  for (size_t i = 0; i < 30; ++i) {
+    mean_a += approx[i];
+    mean_e += exact[i];
+  }
+  mean_a /= 30.0;
+  mean_e /= 30.0;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_e = 0.0;
+  for (size_t i = 0; i < 30; ++i) {
+    cov += (approx[i] - mean_a) * (exact[i] - mean_e);
+    var_a += (approx[i] - mean_a) * (approx[i] - mean_a);
+    var_e += (exact[i] - mean_e) * (exact[i] - mean_e);
+  }
+  EXPECT_GT(cov / std::sqrt(var_a * var_e), 0.5);
+}
+
+TEST(ClosenessTest, SampledWithAllNodesMatchesExact) {
+  WeightedGraph g(8);
+  for (NodeId i = 0; i + 1 < 8; ++i) ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0).ok());
+  ClosenessOptions all;
+  all.num_samples = 8;  // >= n falls back to exact
+  const std::vector<double> a = ClosenessCentrality(g, all);
+  const std::vector<double> b = ClosenessCentrality(g);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace cad

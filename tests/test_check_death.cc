@@ -1,0 +1,57 @@
+// Death tests for the CAD_CHECK family and Result's abort contract: these
+// guard the library's fail-fast behaviour on programming errors.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace cad {
+namespace {
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CAD_CHECK(1 == 2) << "extra context"; },
+               "CHECK failed.*1 == 2.*extra context");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  CAD_CHECK(true);
+  CAD_CHECK(2 + 2 == 4) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, ComparisonMacrosIncludeValues) {
+  EXPECT_DEATH({ CAD_CHECK_EQ(3, 5); }, "3 +vs +5");
+  EXPECT_DEATH({ CAD_CHECK_LT(9, 2); }, "9 +vs +2");
+  CAD_CHECK_GE(5, 5);
+  CAD_CHECK_NE(1, 2);
+}
+
+TEST(CheckDeathTest, CheckOkAbortsWithStatusMessage) {
+  EXPECT_DEATH({ CAD_CHECK_OK(Status::NotFound("the thing")); },
+               "NotFound: the thing");
+  CAD_CHECK_OK(Status::OK());
+}
+
+TEST(CheckDeathTest, ResultValueOrDieAbortsOnError) {
+  EXPECT_DEATH(
+      {
+        Result<int> result = Status::InvalidArgument("boom");
+        (void)result.ValueOrDie();
+      },
+      "boom");
+}
+
+TEST(CheckDeathTest, MessageSideEffectsOnlyOnFailure) {
+  // The streamed expression must not be evaluated when the check passes.
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "msg";
+  };
+  CAD_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace cad

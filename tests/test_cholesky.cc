@@ -1,0 +1,129 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace cad {
+namespace {
+
+DenseMatrix RandomSpd(size_t n, uint64_t seed) {
+  // A = B B^T + n I is SPD for any B.
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Normal();
+  }
+  DenseMatrix a = b.Multiply(b.Transpose());
+  for (size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4, 2], [2, 3]]; L = [[2, 0], [1, sqrt(2)]].
+  DenseMatrix a(2, 2, {4, 2, 2, 3});
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  EXPECT_NEAR(factor->lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(factor->lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(factor->lower()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_EQ(factor->lower()(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, LowerTimesTransposeReconstructs) {
+  const DenseMatrix a = RandomSpd(8, 11);
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const DenseMatrix rebuilt =
+      factor->lower().Multiply(factor->lower().Transpose());
+  EXPECT_LT(rebuilt.MaxAbsDifference(a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  const DenseMatrix a = RandomSpd(10, 22);
+  Rng rng(33);
+  std::vector<double> x_true(10);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.Multiply(x_true);
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const std::vector<double> x = factor->Solve(b);
+  EXPECT_LT(MaxAbsDifference(x, x_true), 1e-9);
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  const DenseMatrix a = RandomSpd(6, 44);
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const DenseMatrix product = a.Multiply(factor->Inverse());
+  EXPECT_LT(product.MaxAbsDifference(DenseMatrix::Identity(6)), 1e-9);
+}
+
+TEST(CholeskyTest, SolveMatrixMatchesColumnSolves) {
+  const DenseMatrix a = RandomSpd(5, 55);
+  DenseMatrix b(5, 2);
+  Rng rng(66);
+  for (size_t i = 0; i < 5; ++i) {
+    b(i, 0) = rng.Normal();
+    b(i, 1) = rng.Normal();
+  }
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  const DenseMatrix x = factor->SolveMatrix(b);
+  for (size_t col = 0; col < 2; ++col) {
+    std::vector<double> rhs(5);
+    for (size_t i = 0; i < 5; ++i) rhs[i] = b(i, col);
+    const std::vector<double> col_solution = factor->Solve(rhs);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(x(i, col), col_solution[i], 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_EQ(CholeskyFactorization::Factor(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsNonSymmetric) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(CholeskyFactorization::Factor(a).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  DenseMatrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3 and -1
+  EXPECT_EQ(CholeskyFactorization::Factor(a).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  DenseMatrix a(2, 2, {1, 1, 1, 1});
+  EXPECT_FALSE(CholeskyFactorization::Factor(a).ok());
+}
+
+/// Parameterized property: solve-then-multiply round trip across sizes.
+class CholeskySizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskySizeSweep, RoundTripResidualSmall) {
+  const size_t n = GetParam();
+  const DenseMatrix a = RandomSpd(n, 100 + n);
+  auto factor = CholeskyFactorization::Factor(a);
+  ASSERT_TRUE(factor.ok());
+  Rng rng(200 + n);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.Normal();
+  const std::vector<double> x = factor->Solve(b);
+  const std::vector<double> residual = Subtract(a.Multiply(x), b);
+  EXPECT_LT(Norm2(residual), 1e-8 * (1.0 + Norm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 17, 40, 80));
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,80 @@
+#include "core/clc_detector.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(ClcDetectorTest, RejectsTooFewSnapshots) {
+  TemporalGraphSequence seq(2);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(2)));
+  EXPECT_FALSE(ClcDetector().ScoreTransitions(seq).ok());
+}
+
+TEST(ClcDetectorTest, IdenticalSnapshotsScoreZero) {
+  WeightedGraph g(4);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 1.0));
+  TemporalGraphSequence seq(4);
+  CAD_CHECK_OK(seq.Append(g));
+  CAD_CHECK_OK(seq.Append(g));
+  auto scores = ClcDetector().ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  for (double s : (*scores)[0]) EXPECT_EQ(s, 0.0);
+}
+
+TEST(ClcDetectorTest, CentralityShiftDetected) {
+  // A chain where the middle node loses its links: its centrality collapses.
+  WeightedGraph before(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) CAD_CHECK_OK(before.SetEdge(i, i + 1, 1.0));
+  WeightedGraph after = before;
+  CAD_CHECK_OK(after.SetEdge(1, 2, 0.0));
+  CAD_CHECK_OK(after.SetEdge(2, 3, 0.0));
+  TemporalGraphSequence seq(5);
+  CAD_CHECK_OK(seq.Append(before));
+  CAD_CHECK_OK(seq.Append(after));
+  auto scores = ClcDetector().ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  const std::vector<double>& s = (*scores)[0];
+  // Node 2 experienced the largest centrality change.
+  EXPECT_EQ(std::max_element(s.begin(), s.end()) - s.begin(), 2);
+}
+
+TEST(ClcDetectorTest, MultipleTransitions) {
+  WeightedGraph a(3);
+  CAD_CHECK_OK(a.SetEdge(0, 1, 1.0));
+  WeightedGraph b = a;
+  CAD_CHECK_OK(b.SetEdge(1, 2, 1.0));
+  TemporalGraphSequence seq(3);
+  CAD_CHECK_OK(seq.Append(a));
+  CAD_CHECK_OK(seq.Append(b));
+  CAD_CHECK_OK(seq.Append(b));
+  auto scores = ClcDetector().ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 2u);
+  // First transition changes things; second does not.
+  EXPECT_GT(*std::max_element((*scores)[0].begin(), (*scores)[0].end()), 0.0);
+  EXPECT_EQ(*std::max_element((*scores)[1].begin(), (*scores)[1].end()), 0.0);
+}
+
+TEST(ClcDetectorTest, SampledModeRuns) {
+  WeightedGraph g(20);
+  for (NodeId i = 0; i + 1 < 20; ++i) CAD_CHECK_OK(g.SetEdge(i, i + 1, 1.0));
+  WeightedGraph g2 = g;
+  CAD_CHECK_OK(g2.SetEdge(0, 19, 5.0));
+  TemporalGraphSequence seq(20);
+  CAD_CHECK_OK(seq.Append(g));
+  CAD_CHECK_OK(seq.Append(g2));
+  ClosenessOptions options;
+  options.num_samples = 5;
+  auto scores = ClcDetector(options).ScoreTransitions(seq);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ((*scores)[0].size(), 20u);
+}
+
+TEST(ClcDetectorTest, NameIsClc) { EXPECT_EQ(ClcDetector().name(), "CLC"); }
+
+}  // namespace
+}  // namespace cad

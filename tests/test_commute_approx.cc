@@ -1,0 +1,196 @@
+#include "commute/approx_commute.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "commute/exact_commute.h"
+#include "datagen/random_graphs.h"
+
+namespace cad {
+namespace {
+
+TEST(ApproxCommuteTest, RejectsZeroDimension) {
+  WeightedGraph g(2);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ApproxCommuteOptions options;
+  options.embedding_dim = 0;
+  EXPECT_FALSE(ApproxCommuteEmbedding::Build(g, options).ok());
+}
+
+TEST(ApproxCommuteTest, SelfDistanceZero) {
+  WeightedGraph g(3);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 1.0).ok());
+  auto oracle = ApproxCommuteEmbedding::Build(g);
+  ASSERT_TRUE(oracle.ok());
+  for (NodeId i = 0; i < 3; ++i) EXPECT_EQ(oracle->CommuteTime(i, i), 0.0);
+}
+
+TEST(ApproxCommuteTest, EmbeddingDimensionsMatch) {
+  WeightedGraph g(5);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ApproxCommuteOptions options;
+  options.embedding_dim = 13;
+  auto oracle = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->embedding_dim(), 13u);
+  EXPECT_EQ(oracle->num_nodes(), 5u);
+  EXPECT_EQ(oracle->embedding().rows(), 13u);
+  EXPECT_EQ(oracle->embedding().cols(), 5u);
+}
+
+TEST(ApproxCommuteTest, ApproximatesExactOnSmallGraph) {
+  // With a large embedding dimension, every pairwise distance should be
+  // within ~25% of the exact value (JL concentration).
+  WeightedGraph g(10);
+  for (NodeId i = 0; i + 1 < 10; ++i) {
+    ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0 + 0.3 * i).ok());
+  }
+  ASSERT_TRUE(g.SetEdge(0, 9, 0.5).ok());
+  ASSERT_TRUE(g.SetEdge(2, 7, 1.0).ok());
+
+  auto exact = ExactCommuteTime::Build(g);
+  ASSERT_TRUE(exact.ok());
+  ApproxCommuteOptions options;
+  options.embedding_dim = 600;
+  options.seed = 5;
+  auto approx = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(approx.ok());
+
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = i + 1; j < 10; ++j) {
+      const double e = exact->CommuteTime(i, j);
+      const double a = approx->CommuteTime(i, j);
+      EXPECT_NEAR(a, e, 0.25 * e) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(ApproxCommuteTest, AccuracyImprovesWithDimension) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 40;
+  opts.average_degree = 6.0;
+  opts.seed = 12;
+  const WeightedGraph g = MakeRandomSparseGraph(opts);
+  auto exact = ExactCommuteTime::Build(g);
+  ASSERT_TRUE(exact.ok());
+
+  const auto mean_relative_error = [&](size_t k) {
+    ApproxCommuteOptions options;
+    options.embedding_dim = k;
+    options.seed = 3;
+    auto approx = ApproxCommuteEmbedding::Build(g, options);
+    CAD_CHECK(approx.ok());
+    double total = 0.0;
+    size_t count = 0;
+    for (NodeId i = 0; i < 40; ++i) {
+      for (NodeId j = i + 1; j < 40; ++j) {
+        const double e = exact->CommuteTime(i, j);
+        if (e <= 0.0 || e >= g.Volume() * 40) continue;  // skip sentinels
+        total += std::fabs(approx->CommuteTime(i, j) - e) / e;
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+
+  const double err_small = mean_relative_error(4);
+  const double err_large = mean_relative_error(400);
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large, 0.10);
+}
+
+TEST(ApproxCommuteTest, CrossComponentPaperModeMatchesExact) {
+  // Default policy: the embedding estimates Eq. 3 on the global L+, which
+  // across components is V_G (l+_uu + l+_vv) = 2 for two disjoint unit
+  // edges (see the exact-engine test).
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  ApproxCommuteOptions options;
+  options.embedding_dim = 2000;
+  auto oracle = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(oracle->CommuteTime(0, 2), 2.0, 0.4);
+  EXPECT_NEAR(oracle->CommuteTime(0, 1), 4.0, 0.6);
+}
+
+TEST(ApproxCommuteTest, CrossComponentStrictModeUsesSentinel) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  ApproxCommuteOptions options;
+  options.commute.use_cross_component_sentinel = true;
+  auto oracle = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_DOUBLE_EQ(oracle->CommuteTime(0, 2), g.Volume() * 4.0);
+  EXPECT_GT(oracle->CommuteTime(0, 3), oracle->CommuteTime(0, 1));
+}
+
+TEST(ApproxCommuteTest, DeterministicGivenSeed) {
+  WeightedGraph g(6);
+  for (NodeId i = 0; i + 1 < 6; ++i) ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0).ok());
+  ApproxCommuteOptions options;
+  options.seed = 42;
+  auto a = ApproxCommuteEmbedding::Build(g, options);
+  auto b = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->embedding().MaxAbsDifference(b->embedding()), 0.0);
+}
+
+TEST(ApproxCommuteTest, SymmetricDistances) {
+  RandomGraphOptions opts;
+  opts.num_nodes = 30;
+  opts.average_degree = 4.0;
+  const WeightedGraph g = MakeRandomSparseGraph(opts);
+  auto oracle = ApproxCommuteEmbedding::Build(g);
+  ASSERT_TRUE(oracle.ok());
+  for (NodeId i = 0; i < 30; i += 2) {
+    for (NodeId j = 1; j < 30; j += 3) {
+      EXPECT_DOUBLE_EQ(oracle->CommuteTime(i, j), oracle->CommuteTime(j, i));
+    }
+  }
+}
+
+TEST(ApproxCommuteTest, TracksCgIterations) {
+  WeightedGraph g(10);
+  for (NodeId i = 0; i + 1 < 10; ++i) ASSERT_TRUE(g.SetEdge(i, i + 1, 1.0).ok());
+  auto oracle = ApproxCommuteEmbedding::Build(g);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_GT(oracle->total_cg_iterations(), 0u);
+}
+
+/// Parameterized: the relative ordering of distances is already stable at
+/// moderate k across seeds — near vs far node pairs on a dumbbell graph.
+class ApproxOrderingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxOrderingSweep, NearPairsCloserThanFarPairs) {
+  // Dumbbell: two unit-weight cliques joined by one weak edge.
+  const size_t half = 6;
+  WeightedGraph g(2 * half);
+  for (NodeId i = 0; i < half; ++i) {
+    for (NodeId j = i + 1; j < half; ++j) {
+      ASSERT_TRUE(g.SetEdge(i, j, 1.0).ok());
+      ASSERT_TRUE(g.SetEdge(half + i, half + j, 1.0).ok());
+    }
+  }
+  ASSERT_TRUE(g.SetEdge(0, half, 0.1).ok());
+
+  ApproxCommuteOptions options;
+  options.embedding_dim = 50;
+  options.seed = GetParam();
+  auto oracle = ApproxCommuteEmbedding::Build(g, options);
+  ASSERT_TRUE(oracle.ok());
+  // Any same-clique pair must be closer than any cross-clique pair.
+  const double same = oracle->CommuteTime(1, 2);
+  const double cross = oracle->CommuteTime(1, half + 1);
+  EXPECT_LT(same, cross);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxOrderingSweep,
+                         ::testing::Values(1, 7, 19, 23, 101));
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,69 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(ComponentsTest, EmptyGraph) {
+  WeightedGraph g(0);
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 0u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ComponentsTest, EdgelessGraphIsAllSingletons) {
+  WeightedGraph g(4);
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 4u);
+  EXPECT_EQ(labeling.sizes, (std::vector<size_t>{1, 1, 1, 1}));
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  EXPECT_TRUE(IsConnected(g));
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 1u);
+  EXPECT_EQ(labeling.sizes[0], 4u);
+}
+
+TEST(ComponentsTest, TwoComponentsPlusIsolated) {
+  WeightedGraph g(5);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.num_components, 3u);
+  EXPECT_TRUE(labeling.SameComponent(0, 1));
+  EXPECT_TRUE(labeling.SameComponent(2, 3));
+  EXPECT_FALSE(labeling.SameComponent(1, 2));
+  EXPECT_FALSE(labeling.SameComponent(0, 4));
+  EXPECT_EQ(labeling.sizes, (std::vector<size_t>{2, 2, 1}));
+}
+
+TEST(ComponentsTest, IdsAssignedInOrderOfSmallestNode) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  EXPECT_EQ(labeling.component[0], 0u);
+  EXPECT_EQ(labeling.component[1], 1u);
+  EXPECT_EQ(labeling.component[2], 2u);
+  EXPECT_EQ(labeling.component[3], 2u);
+}
+
+TEST(ComponentsTest, SizesSumToNodeCount) {
+  WeightedGraph g(10);
+  ASSERT_TRUE(g.SetEdge(0, 5, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(5, 9, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 1.0).ok());
+  const ComponentLabeling labeling = ConnectedComponents(g);
+  size_t total = 0;
+  for (size_t s : labeling.sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,185 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/random_graphs.h"
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+namespace cad {
+namespace {
+
+CsrMatrix SpdTridiagonal(size_t n) {
+  // 2 on the diagonal, -1 off-diagonal: SPD (discrete Laplacian + boundary).
+  CooMatrix coo(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    coo.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i), 2.0);
+    if (i + 1 < n) {
+      coo.AddSymmetric(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1),
+                       -1.0);
+    }
+  }
+  return coo.ToCsr();
+}
+
+TEST(CgTest, SolvesIdentity) {
+  CooMatrix coo(3, 3);
+  for (uint32_t i = 0; i < 3; ++i) coo.Add(i, i, 1.0);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(coo.ToCsr(), {1, 2, 3}, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_LT(MaxAbsDifference(x, {1, 2, 3}), 1e-10);
+}
+
+TEST(CgTest, SolvesTridiagonal) {
+  const CsrMatrix a = SpdTridiagonal(50);
+  Rng rng(3);
+  std::vector<double> x_true(50);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.Multiply(x_true);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(a, b, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_LT(MaxAbsDifference(x, x_true), 1e-6);
+}
+
+TEST(CgTest, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = SpdTridiagonal(5);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(a, std::vector<double>(5), &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_EQ(summary->iterations, 0u);
+  EXPECT_EQ(MaxAbs(x), 0.0);
+}
+
+TEST(CgTest, ExactConvergenceInNSteps) {
+  // CG converges in at most n iterations in exact arithmetic; allow slack.
+  const CsrMatrix a = SpdTridiagonal(20);
+  std::vector<double> b(20, 1.0);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(a, b, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_LE(summary->iterations, 25u);
+}
+
+TEST(CgTest, PreconditionerReducesIterationsOnIllScaledSystem) {
+  // Diagonal entries spanning 6 orders of magnitude.
+  const size_t n = 100;
+  CooMatrix coo(n, n);
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    coo.Add(static_cast<uint32_t>(i), static_cast<uint32_t>(i),
+            std::pow(10.0, rng.Uniform(-3.0, 3.0)));
+    if (i + 1 < n) {
+      coo.AddSymmetric(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1),
+                       1e-4);
+    }
+  }
+  const CsrMatrix a = coo.ToCsr();
+  std::vector<double> b(n, 1.0);
+
+  CgOptions with_precond;
+  with_precond.preconditioner = CgPreconditioner::kJacobi;
+  CgOptions without_precond;
+  without_precond.preconditioner = CgPreconditioner::kNone;
+  std::vector<double> x;
+  auto jac = ConjugateGradientSolver(with_precond).Solve(a, b, &x);
+  auto plain = ConjugateGradientSolver(without_precond).Solve(a, b, &x);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(jac->converged);
+  EXPECT_LT(jac->iterations, plain->iterations);
+}
+
+TEST(CgTest, LaplacianSystemWithBalancedRhs) {
+  // Graph Laplacian is singular; with rhs orthogonal to 1 and a tiny
+  // regularization the solve must converge.
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 2.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 1.0).ok());
+  const CsrMatrix l = g.ToLaplacianCsr(1e-10);
+  const std::vector<double> b = {1.0, -1.0, 1.0, -1.0};  // sums to zero
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(l, b, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  const std::vector<double> residual = Subtract(l.Multiply(x), b);
+  EXPECT_LT(Norm2(residual), 1e-6);
+}
+
+TEST(CgTest, RejectsNonSquare) {
+  CsrMatrix a(2, 3);
+  std::vector<double> x;
+  EXPECT_FALSE(ConjugateGradientSolver().Solve(a, {1, 2}, &x).ok());
+}
+
+TEST(CgTest, RejectsSizeMismatch) {
+  const CsrMatrix a = SpdTridiagonal(4);
+  std::vector<double> x;
+  EXPECT_FALSE(ConjugateGradientSolver().Solve(a, {1, 2}, &x).ok());
+}
+
+TEST(CgTest, DetectsIndefiniteMatrix) {
+  // [[1, 2], [2, 1]] has a negative eigenvalue; CG must flag the breakdown.
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 1.0);
+  coo.AddSymmetric(0, 1, 2.0);
+  std::vector<double> x;
+  CgOptions options;
+  options.preconditioner = CgPreconditioner::kNone;
+  auto summary =
+      ConjugateGradientSolver(options).Solve(coo.ToCsr(), {1.0, -3.0}, &x);
+  EXPECT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CgTest, IterationCapReportsNonConvergence) {
+  const CsrMatrix a = SpdTridiagonal(200);
+  std::vector<double> b(200, 1.0);
+  CgOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-14;
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver(options).Solve(a, b, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_FALSE(summary->converged);
+  EXPECT_EQ(summary->iterations, 2u);
+}
+
+/// Parameterized: random-graph Laplacian solves across sizes converge and
+/// achieve the requested residual.
+class CgLaplacianSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CgLaplacianSweep, ConvergesOnGraphLaplacians) {
+  RandomGraphOptions opts;
+  opts.num_nodes = GetParam();
+  opts.average_degree = 6.0;
+  opts.seed = 900 + GetParam();
+  const WeightedGraph g = MakeRandomSparseGraph(opts);
+  const double eps = 1e-8 * std::max(g.Volume(), 1.0);
+  const CsrMatrix l = g.ToLaplacianCsr(eps);
+
+  // Balanced rhs: difference of two indicator vectors.
+  std::vector<double> b(opts.num_nodes, 0.0);
+  b[0] = 1.0;
+  b[opts.num_nodes - 1] = -1.0;
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(l, b, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_LE(summary->relative_residual, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgLaplacianSweep,
+                         ::testing::Values(10, 50, 200, 1000));
+
+}  // namespace
+}  // namespace cad

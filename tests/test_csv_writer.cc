@@ -1,0 +1,53 @@
+#include "io/csv_writer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(EscapeCsvFieldTest, PlainFieldUnchanged) {
+  EXPECT_EQ(EscapeCsvField("hello"), "hello");
+  EXPECT_EQ(EscapeCsvField("3.14"), "3.14");
+  EXPECT_EQ(EscapeCsvField(""), "");
+}
+
+TEST(EscapeCsvFieldTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderImmediately) {
+  std::ostringstream out;
+  CsvWriter writer(&out, {"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+  EXPECT_EQ(writer.rows_written(), 0u);
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(&out, {"x", "y"});
+  writer.WriteRow({"1", "2"});
+  writer.WriteRow({"hello, world", "ok"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n\"hello, world\",ok\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, NumericRows) {
+  std::ostringstream out;
+  CsvWriter writer(&out, {"value", "half"});
+  writer.WriteNumericRow({1.0, 0.5});
+  EXPECT_EQ(out.str(), "value,half\n1,0.5\n");
+}
+
+TEST(CsvWriterTest, NumericPrecision) {
+  std::ostringstream out;
+  CsvWriter writer(&out, {"pi"});
+  writer.WriteNumericRow({3.14159265358979}, 3);
+  EXPECT_EQ(out.str(), "pi\n3.14\n");
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,150 @@
+#include "datagen/dblp_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+DblpSimOptions SmallOptions(uint64_t seed = 21) {
+  DblpSimOptions options;
+  options.num_authors = 400;
+  options.num_years = 6;
+  options.num_communities = 8;
+  options.seed = seed;
+  return options;
+}
+
+const DblpSimData& SharedData() {
+  static const DblpSimData* data =
+      new DblpSimData(MakeDblpStyleData(SmallOptions()));
+  return *data;
+}
+
+TEST(DblpSimTest, ShapeConsistent) {
+  const DblpSimData& data = SharedData();
+  EXPECT_EQ(data.sequence.num_nodes(), 400u);
+  EXPECT_EQ(data.sequence.num_snapshots(), 6u);
+  EXPECT_EQ(data.community.size(), 400u);
+  EXPECT_EQ(data.stories.size(), 3u);
+}
+
+TEST(DblpSimTest, StoryKindNames) {
+  EXPECT_STREQ(
+      CollaborationStoryKindToString(CollaborationStoryKind::kFieldSwitch),
+      "field-switch");
+  EXPECT_STREQ(CollaborationStoryKindToString(
+                   CollaborationStoryKind::kCrossAreaCollaboration),
+               "cross-area-collaboration");
+  EXPECT_STREQ(
+      CollaborationStoryKindToString(CollaborationStoryKind::kSeveredTie),
+      "severed-tie");
+}
+
+TEST(DblpSimTest, StoriesHaveExpectedKindsAndOrder) {
+  const DblpSimData& data = SharedData();
+  EXPECT_EQ(data.stories[0].kind, CollaborationStoryKind::kFieldSwitch);
+  EXPECT_EQ(data.stories[1].kind,
+            CollaborationStoryKind::kCrossAreaCollaboration);
+  EXPECT_EQ(data.stories[2].kind, CollaborationStoryKind::kSeveredTie);
+  // The two switch stories share a transition (for severity comparison).
+  EXPECT_EQ(data.stories[0].transition, data.stories[1].transition);
+  EXPECT_GT(data.stories[2].transition, data.stories[0].transition);
+}
+
+TEST(DblpSimTest, StoryProtagonistsInDistinctCommunities) {
+  const DblpSimData& data = SharedData();
+  EXPECT_NE(data.community[data.stories[0].author],
+            data.community[data.stories[1].author]);
+  EXPECT_NE(data.community[data.stories[0].author],
+            data.community[data.stories[2].author]);
+}
+
+TEST(DblpSimTest, FieldSwitchCounterpartsAreCrossCommunity) {
+  const DblpSimData& data = SharedData();
+  const CollaborationStory& story = data.stories[0];
+  for (NodeId counterpart : story.counterparts) {
+    EXPECT_NE(data.community[story.author], data.community[counterpart]);
+  }
+}
+
+TEST(DblpSimTest, FieldSwitchDropsOldTiesGainsNew) {
+  const DblpSimData& data = SharedData();
+  const CollaborationStory& story = data.stories[0];
+  const size_t before_year = story.transition;
+  const size_t after_year = story.transition + 1;
+  const WeightedGraph& before = data.sequence.Snapshot(before_year);
+  const WeightedGraph& after = data.sequence.Snapshot(after_year);
+
+  // After the switch, the protagonist's collaborations are exactly the new
+  // cross-community ones (up to Poisson zeros).
+  for (NodeId counterpart : story.counterparts) {
+    EXPECT_EQ(before.EdgeWeight(story.author, counterpart), 0.0);
+  }
+  double new_weight = 0.0;
+  for (NodeId counterpart : story.counterparts) {
+    new_weight += after.EdgeWeight(story.author, counterpart);
+  }
+  EXPECT_GT(new_weight, 0.0);
+  // Old same-community ties are gone.
+  for (NodeId other = 0; other < 400; ++other) {
+    if (other == story.author) continue;
+    if (data.community[other] == data.community[story.author]) {
+      EXPECT_EQ(after.EdgeWeight(story.author, other), 0.0);
+    }
+  }
+}
+
+TEST(DblpSimTest, SeveredTieDisappears) {
+  const DblpSimData& data = SharedData();
+  const CollaborationStory& story = data.stories[2];
+  const NodeId a = story.author;
+  const NodeId b = story.counterparts[0];
+  // Strong before (rate 8 -> almost surely positive), zero after.
+  EXPECT_GT(data.sequence.Snapshot(story.transition).EdgeWeight(a, b), 2.0);
+  for (size_t year = story.transition + 1; year < 6; ++year) {
+    EXPECT_EQ(data.sequence.Snapshot(year).EdgeWeight(a, b), 0.0);
+  }
+}
+
+TEST(DblpSimTest, BenignChurnExistsBetweenYears) {
+  const DblpSimData& data = SharedData();
+  // Even away from story transitions, yearly Poisson draws change weights.
+  EXPECT_FALSE(data.sequence.Snapshot(0) == data.sequence.Snapshot(1));
+}
+
+TEST(DblpSimTest, EdgeWeightsArePaperCountsPlusBackbone) {
+  const DblpSimData& data = SharedData();
+  for (const Edge& e : data.sequence.Snapshot(2).Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    // Integer paper counts, possibly plus the constant 0.25 venue backbone.
+    const double fractional = e.weight - std::floor(e.weight);
+    EXPECT_TRUE(fractional == 0.0 || fractional == 0.25) << e.weight;
+  }
+}
+
+TEST(DblpSimTest, SnapshotsAreConnectedViaBackbone) {
+  const DblpSimData& data = SharedData();
+  for (size_t year = 0; year < data.sequence.num_snapshots(); ++year) {
+    // The venue backbone chain guarantees a single component every year.
+    EXPECT_EQ(data.sequence.Snapshot(year).EdgeWeight(10, 11) >= 0.25, true);
+  }
+}
+
+TEST(DblpSimTest, CommunitiesBalanced) {
+  const DblpSimData& data = SharedData();
+  std::vector<int> counts(8, 0);
+  for (uint32_t c : data.community) ++counts[c];
+  for (int count : counts) EXPECT_EQ(count, 50);
+}
+
+TEST(DblpSimTest, DeterministicGivenSeed) {
+  const DblpSimData a = MakeDblpStyleData(SmallOptions(5));
+  const DblpSimData b = MakeDblpStyleData(SmallOptions(5));
+  EXPECT_TRUE(a.sequence.Snapshot(3) == b.sequence.Snapshot(3));
+}
+
+}  // namespace
+}  // namespace cad

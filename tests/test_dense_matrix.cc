@@ -1,0 +1,112 @@
+#include "linalg/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, ConstructFromData) {
+  DenseMatrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const DenseMatrix eye = DenseMatrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, MatrixVectorMultiply) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> y = m.Multiply(std::vector<double>{1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(DenseMatrixTest, MatrixMatrixMultiply) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {5, 6, 7, 8});
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentityIsNoop) {
+  DenseMatrix a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(a.Multiply(DenseMatrix::Identity(3)).MaxAbsDifference(a), 0.0);
+}
+
+TEST(DenseMatrixTest, TransposeRoundTrip) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const DenseMatrix at = a.Transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_EQ(at(2, 1), 6.0);
+  EXPECT_EQ(at.Transpose().MaxAbsDifference(a), 0.0);
+}
+
+TEST(DenseMatrixTest, AddSubtractScale) {
+  DenseMatrix a(1, 2, {1, 2});
+  DenseMatrix b(1, 2, {3, 5});
+  EXPECT_EQ(a.Add(b)(0, 1), 7.0);
+  EXPECT_EQ(b.Subtract(a)(0, 0), 2.0);
+  EXPECT_EQ(a.Scale(-2.0)(0, 1), -4.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDifference) {
+  DenseMatrix a(1, 2, {1, 2});
+  DenseMatrix b(1, 2, {1.5, 1.0});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 1.0);
+}
+
+TEST(DenseMatrixTest, IsSymmetric) {
+  DenseMatrix sym(2, 2, {1, 2, 2, 3});
+  EXPECT_TRUE(sym.IsSymmetric());
+  DenseMatrix asym(2, 2, {1, 2, 2.5, 3});
+  EXPECT_FALSE(asym.IsSymmetric(1e-3));
+  EXPECT_TRUE(asym.IsSymmetric(1.0));
+  DenseMatrix rect(1, 2, {1, 2});
+  EXPECT_FALSE(rect.IsSymmetric());
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(DenseMatrixTest, RowPointers) {
+  DenseMatrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.row(1)[0], 3.0);
+  m.mutable_row(0)[1] = 9.0;
+  EXPECT_EQ(m(0, 1), 9.0);
+}
+
+TEST(DenseMatrixTest, ToStringHasRows) {
+  DenseMatrix m(2, 1, {1, 2});
+  EXPECT_EQ(m.ToString(), "1\n2\n");
+}
+
+}  // namespace
+}  // namespace cad

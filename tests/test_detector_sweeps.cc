@@ -1,0 +1,90 @@
+// Seed-parameterized end-to-end sweeps: detection quality must hold across
+// random realizations, not just the fixed seeds used by the integration
+// tests.
+
+#include <gtest/gtest.h>
+
+#include "core/cad_detector.h"
+#include "datagen/sbm.h"
+#include "datagen/synthetic_gmm.h"
+#include "eval/roc.h"
+
+namespace cad {
+namespace {
+
+class GmmSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+/// CAD's AUC on the GMM benchmark stays high and beats ADJ on every seed.
+TEST_P(GmmSeedSweep, CadAucHighAndAboveAdj) {
+  GmmBenchmarkOptions options;
+  options.num_points = 150;
+  options.seed = GetParam();
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(options);
+
+  CadOptions cad_options;
+  cad_options.engine = CommuteEngine::kExact;
+  auto cad_scores = CadDetector(cad_options).ScoreTransitions(instance.sequence);
+  ASSERT_TRUE(cad_scores.ok());
+  auto cad_auc = ComputeAuc((*cad_scores)[0], instance.node_is_anomalous);
+  ASSERT_TRUE(cad_auc.ok());
+
+  CadOptions adj_options = cad_options;
+  adj_options.score_kind = EdgeScoreKind::kAdj;
+  auto adj_scores = CadDetector(adj_options).ScoreTransitions(instance.sequence);
+  ASSERT_TRUE(adj_scores.ok());
+  auto adj_auc = ComputeAuc((*adj_scores)[0], instance.node_is_anomalous);
+  ASSERT_TRUE(adj_auc.ok());
+
+  // Per-seed bounds are looser than the averaged integration test, but the
+  // ordering must hold every single time.
+  EXPECT_GT(*cad_auc, 0.65) << "seed " << GetParam();
+  EXPECT_GT(*cad_auc, *adj_auc) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmmSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class SbmSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+/// Planting one strong cross-block edge on an otherwise benignly-jittered
+/// SBM transition: CAD must rank the planted edge first.
+TEST_P(SbmSeedSweep, PlantedCrossBlockEdgeRanksFirst) {
+  SbmOptions options;
+  options.num_nodes = 160;
+  options.num_blocks = 4;
+  options.intra_block_prob = 0.15;
+  options.inter_block_prob = 0.004;
+  options.seed = GetParam();
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+
+  WeightedGraph after = sbm.graph;
+  // Benign jitter: rescale every edge slightly (deterministic pattern).
+  size_t index = 0;
+  for (const Edge& e : sbm.graph.Edges()) {
+    const double scale = (index++ % 2 == 0) ? 1.05 : 0.95;
+    CAD_CHECK_OK(after.SetEdge(e.u, e.v, e.weight * scale));
+  }
+  // The planted anomaly: a strong brand-new tie between blocks 0 and 2.
+  NodeId u = 5;
+  NodeId v = static_cast<NodeId>(2 * (options.num_nodes / 4) + 7);
+  ASSERT_NE(sbm.block[u], sbm.block[v]);
+  ASSERT_FALSE(sbm.graph.HasEdge(u, v));
+  CAD_CHECK_OK(after.SetEdge(u, v, 3.0));
+
+  TemporalGraphSequence seq(options.num_nodes);
+  CAD_CHECK_OK(seq.Append(sbm.graph));
+  CAD_CHECK_OK(seq.Append(std::move(after)));
+
+  CadOptions cad_options;
+  cad_options.engine = CommuteEngine::kExact;
+  auto analyses = CadDetector(cad_options).Analyze(seq);
+  ASSERT_TRUE(analyses.ok());
+  EXPECT_EQ((*analyses)[0].edges[0].pair, NodePair::Make(u, v))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbmSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,83 @@
+#include "io/dot_writer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+WeightedGraph SmallGraph() {
+  WeightedGraph g(4);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 2.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 1.0));
+  return g;
+}
+
+TEST(DotWriterTest, EmitsNodesAndEdges) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(SmallGraph(), DotOptions{}, &out).ok());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph cad {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  // Isolated node 3 excluded by default.
+  EXPECT_EQ(dot.find("n3"), std::string::npos);
+}
+
+TEST(DotWriterTest, IncludeIsolated) {
+  DotOptions options;
+  options.include_isolated = true;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(SmallGraph(), options, &out).ok());
+  EXPECT_NE(out.str().find("n3"), std::string::npos);
+}
+
+TEST(DotWriterTest, HighlightsAnomalies) {
+  DotOptions options;
+  options.highlighted_nodes = {1};
+  options.highlighted_edges = {NodePair::Make(0, 1)};
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(SmallGraph(), options, &out).ok());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("fillcolor=\"#e74c3c\""), std::string::npos);
+  // The highlighted edge carries the red color attribute.
+  const size_t edge_pos = dot.find("n0 -- n1");
+  ASSERT_NE(edge_pos, std::string::npos);
+  const size_t line_end = dot.find('\n', edge_pos);
+  EXPECT_NE(dot.substr(edge_pos, line_end - edge_pos).find("color="),
+            std::string::npos);
+}
+
+TEST(DotWriterTest, UsesNodeNames) {
+  DotOptions options;
+  options.node_names = {"alice", "bob", "carol", "dan"};
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(SmallGraph(), options, &out).ok());
+  EXPECT_NE(out.str().find("label=\"alice\""), std::string::npos);
+  EXPECT_NE(out.str().find("label=\"bob\""), std::string::npos);
+}
+
+TEST(DotWriterTest, EscapesLabels) {
+  DotOptions options;
+  options.node_names = {"say \"hi\"", "b", "c", "d"};
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(SmallGraph(), options, &out).ok());
+  EXPECT_NE(out.str().find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotWriterTest, RejectsBadNameCount) {
+  DotOptions options;
+  options.node_names = {"only", "two"};
+  std::ostringstream out;
+  EXPECT_FALSE(WriteDot(SmallGraph(), options, &out).ok());
+}
+
+TEST(DotWriterTest, FileErrors) {
+  EXPECT_EQ(
+      WriteDotFile(SmallGraph(), DotOptions{}, "/nonexistent/dir/g.dot").code(),
+      StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad

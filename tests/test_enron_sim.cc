@@ -1,0 +1,147 @@
+#include "datagen/enron_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+const EnronSimData& SharedData() {
+  static const EnronSimData* data = new EnronSimData(MakeEnronStyleData());
+  return *data;
+}
+
+TEST(EnronSimTest, ShapeMatchesPaperCorpus) {
+  const EnronSimData& data = SharedData();
+  EXPECT_EQ(data.sequence.num_nodes(), 151u);
+  EXPECT_EQ(data.sequence.num_snapshots(), 48u);
+  EXPECT_EQ(data.node_names.size(), 151u);
+  EXPECT_EQ(data.node_roles.size(), 151u);
+}
+
+TEST(EnronSimTest, RolesAssigned) {
+  const EnronSimData& data = SharedData();
+  EXPECT_EQ(data.node_roles[data.ceo], "ceo");
+  EXPECT_EQ(data.node_roles[data.incoming_ceo], "incoming_ceo");
+  EXPECT_EQ(data.node_roles[data.assistant], "assistant");
+  EXPECT_EQ(data.node_roles[data.energy_ceo], "energy_ceo");
+  const auto count_role = [&data](const std::string& role) {
+    return std::count(data.node_roles.begin(), data.node_roles.end(), role);
+  };
+  EXPECT_EQ(count_role("exec"), 10);
+  EXPECT_EQ(count_role("legal"), 12);
+  EXPECT_GT(count_role("trader"), 30);
+  EXPECT_GT(count_role("staff"), 30);
+}
+
+TEST(EnronSimTest, SnapshotsAreSparse) {
+  const EnronSimData& data = SharedData();
+  // The paper's corpus has ~300 edges at the densest month; the simulator
+  // should stay within the same order of magnitude.
+  double max_edges = 0.0;
+  for (size_t t = 0; t < 48; ++t) {
+    max_edges = std::max(
+        max_edges, static_cast<double>(data.sequence.Snapshot(t).num_edges()));
+  }
+  EXPECT_LT(max_edges, 1200.0);
+  EXPECT_GT(data.sequence.AverageEdgesPerSnapshot(), 100.0);
+}
+
+TEST(EnronSimTest, EdgeWeightsAreCounts) {
+  const EnronSimData& data = SharedData();
+  for (const Edge& e : data.sequence.Snapshot(10).Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_EQ(e.weight, std::floor(e.weight));  // integer email counts
+  }
+}
+
+TEST(EnronSimTest, EventsCoverScriptedArc) {
+  const EnronSimData& data = SharedData();
+  ASSERT_GE(data.events.size(), 6u);
+  // Onsets must be ordered and in range.
+  for (const OrgEvent& event : data.events) {
+    EXPECT_LT(event.onset_transition, data.sequence.num_transitions());
+    EXPECT_LE(event.onset_transition, event.offset_transition);
+    EXPECT_FALSE(event.key_nodes.empty());
+    EXPECT_FALSE(event.description.empty());
+  }
+}
+
+TEST(EnronSimTest, CeoHubBurstSpikesVolume) {
+  const EnronSimData& data = SharedData();
+  // Fig. 8a shape: the CEO's email volume in the burst months dwarfs the
+  // calm baseline.
+  double calm_total = 0.0;
+  for (size_t month = 0; month < 12; ++month) {
+    calm_total += data.MonthlyVolume(data.ceo, month);
+  }
+  const double calm_mean = calm_total / 12.0;
+  const double burst = data.MonthlyVolume(data.ceo, 33);
+  EXPECT_GT(burst, 2.0 * calm_mean);
+}
+
+TEST(EnronSimTest, TraderBurstRaisesTraderVolume) {
+  const EnronSimData& data = SharedData();
+  const OrgEvent* trader_event = nullptr;
+  for (const OrgEvent& event : data.events) {
+    if (event.description.find("trader burst") != std::string::npos) {
+      trader_event = &event;
+    }
+  }
+  ASSERT_NE(trader_event, nullptr);
+  const NodeId trader = trader_event->key_nodes[0];
+  const double before = data.MonthlyVolume(trader, 10);
+  const double during = data.MonthlyVolume(trader, 12);
+  EXPECT_GT(during, before + 20.0);
+}
+
+TEST(EnronSimTest, EventTransitionLookup) {
+  const EnronSimData& data = SharedData();
+  const OrgEvent& first = data.events.front();
+  EXPECT_TRUE(data.IsEventTransition(first.onset_transition));
+  const std::vector<NodeId> nodes = data.EventNodesAt(first.onset_transition);
+  EXPECT_FALSE(nodes.empty());
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  // A calm early transition is not an event.
+  EXPECT_FALSE(data.IsEventTransition(2));
+  EXPECT_TRUE(data.EventNodesAt(2).empty());
+}
+
+TEST(EnronSimTest, TurmoilWindowMarked) {
+  const EnronSimData& data = SharedData();
+  EXPECT_GT(data.turmoil_end_month, data.turmoil_begin_month);
+  EXPECT_LE(data.turmoil_end_month, 48u);
+  // Most events fall inside the turmoil window.
+  size_t inside = 0;
+  for (const OrgEvent& event : data.events) {
+    if (event.onset_transition + 1 >= data.turmoil_begin_month &&
+        event.onset_transition < data.turmoil_end_month) {
+      ++inside;
+    }
+  }
+  EXPECT_GE(inside * 2, data.events.size());
+}
+
+TEST(EnronSimTest, DeterministicGivenSeed) {
+  EnronSimOptions options;
+  options.num_employees = 80;
+  options.num_months = 42;
+  const EnronSimData a = MakeEnronStyleData(options);
+  const EnronSimData b = MakeEnronStyleData(options);
+  EXPECT_TRUE(a.sequence.Snapshot(20) == b.sequence.Snapshot(20));
+}
+
+TEST(EnronSimTest, CustomSizes) {
+  EnronSimOptions options;
+  options.num_employees = 64;
+  options.num_months = 44;
+  options.seed = 123;
+  const EnronSimData data = MakeEnronStyleData(options);
+  EXPECT_EQ(data.sequence.num_nodes(), 64u);
+  EXPECT_EQ(data.sequence.num_snapshots(), 44u);
+}
+
+}  // namespace
+}  // namespace cad

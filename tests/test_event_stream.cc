@@ -1,0 +1,152 @@
+#include "io/event_stream.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TimestampedEvent Event(NodeId u, NodeId v, double t, double w = 1.0) {
+  TimestampedEvent event;
+  event.u = u;
+  event.v = v;
+  event.timestamp = t;
+  event.weight = w;
+  return event;
+}
+
+TEST(AggregateEventStreamTest, BucketsByWindow) {
+  const std::vector<TimestampedEvent> events = {
+      Event(0, 1, 0.0), Event(0, 1, 0.5), Event(1, 2, 1.2), Event(0, 2, 2.9)};
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  auto sequence = AggregateEventStream(events, options);
+  ASSERT_TRUE(sequence.ok());
+  ASSERT_EQ(sequence->num_snapshots(), 3u);
+  EXPECT_EQ(sequence->num_nodes(), 3u);
+  EXPECT_EQ(sequence->Snapshot(0).EdgeWeight(0, 1), 2.0);  // two events
+  EXPECT_EQ(sequence->Snapshot(1).EdgeWeight(1, 2), 1.0);
+  EXPECT_EQ(sequence->Snapshot(2).EdgeWeight(0, 2), 1.0);
+}
+
+TEST(AggregateEventStreamTest, CustomWeightsAccumulate) {
+  const std::vector<TimestampedEvent> events = {Event(0, 1, 0.0, 2.5),
+                                                Event(1, 0, 0.1, 1.5)};
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  auto sequence = AggregateEventStream(events, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->Snapshot(0).EdgeWeight(0, 1), 4.0);  // undirected sum
+}
+
+TEST(AggregateEventStreamTest, ExplicitStartDropsEarlierEvents) {
+  const std::vector<TimestampedEvent> events = {Event(0, 1, 5.0),
+                                                Event(0, 1, 15.0)};
+  EventAggregationOptions options;
+  options.window_length = 10.0;
+  options.start_time = 10.0;
+  options.num_windows = 1;
+  options.num_nodes = 4;
+  auto sequence = AggregateEventStream(events, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->num_snapshots(), 1u);
+  EXPECT_EQ(sequence->num_nodes(), 4u);
+  EXPECT_EQ(sequence->Snapshot(0).EdgeWeight(0, 1), 1.0);  // only t=15
+}
+
+TEST(AggregateEventStreamTest, EventsPastConfiguredWindowsDropped) {
+  const std::vector<TimestampedEvent> events = {Event(0, 1, 0.0),
+                                                Event(0, 1, 99.0)};
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  options.num_windows = 2;
+  auto sequence = AggregateEventStream(events, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->num_snapshots(), 2u);
+  EXPECT_EQ(sequence->Snapshot(0).EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(sequence->Snapshot(1).num_edges(), 0u);
+}
+
+TEST(AggregateEventStreamTest, EmptyStream) {
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 5;
+  auto sequence = AggregateEventStream({}, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->num_snapshots(), 1u);
+  EXPECT_EQ(sequence->num_nodes(), 5u);
+}
+
+TEST(AggregateEventStreamTest, RejectsBadInput) {
+  EventAggregationOptions options;
+  options.window_length = 0.0;
+  EXPECT_FALSE(AggregateEventStream({}, options).ok());
+
+  options.window_length = 1.0;
+  EXPECT_FALSE(AggregateEventStream({Event(1, 1, 0.0)}, options).ok());
+
+  options.num_nodes = 2;
+  EXPECT_FALSE(AggregateEventStream({Event(0, 5, 0.0)}, options).ok());
+
+  EventAggregationOptions plain;
+  plain.window_length = 1.0;
+  TimestampedEvent bad = Event(0, 1, 0.0);
+  bad.weight = -1.0;
+  EXPECT_FALSE(AggregateEventStream({bad}, plain).ok());
+}
+
+TEST(ReadEventStreamTest, ParsesFormats) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "0 1 10.5\n"
+      "2  3   11.0  2.5\n");
+  auto events = ReadEventStream(&in);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].u, 0u);
+  EXPECT_EQ((*events)[0].v, 1u);
+  EXPECT_DOUBLE_EQ((*events)[0].timestamp, 10.5);
+  EXPECT_DOUBLE_EQ((*events)[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ((*events)[1].weight, 2.5);
+}
+
+TEST(ReadEventStreamTest, RejectsMalformedLines) {
+  std::istringstream missing("0 1\n");
+  EXPECT_FALSE(ReadEventStream(&missing).ok());
+  std::istringstream garbage("a b c\n");
+  EXPECT_FALSE(ReadEventStream(&garbage).ok());
+  std::istringstream negative("-1 2 3.0\n");
+  EXPECT_FALSE(ReadEventStream(&negative).ok());
+  std::istringstream extra("0 1 2.0 3.0 4.0\n");
+  EXPECT_FALSE(ReadEventStream(&extra).ok());
+}
+
+TEST(ReadEventStreamTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/events.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1 0.0\n0 1 1.5\n1 2 2.5 4.0\n";
+  }
+  auto events = ReadEventStreamFile(path);
+  ASSERT_TRUE(events.ok());
+  EventAggregationOptions options;
+  options.window_length = 2.0;
+  auto sequence = AggregateEventStream(*events, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->num_snapshots(), 2u);
+  EXPECT_EQ(sequence->Snapshot(0).EdgeWeight(0, 1), 2.0);
+  EXPECT_EQ(sequence->Snapshot(1).EdgeWeight(1, 2), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(ReadEventStreamTest, MissingFile) {
+  EXPECT_EQ(ReadEventStreamFile("/nonexistent/events.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,120 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (std::string& arg : storage) argv.push_back(arg.data());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesEqualsForm) {
+  FlagParser flags;
+  int64_t trials = 10;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  flags.AddInt64("trials", &trials, "");
+  flags.AddDouble("rate", &rate, "");
+  flags.AddString("name", &name, "");
+  flags.AddBool("verbose", &verbose, "");
+
+  std::vector<std::string> storage = {"prog", "--trials=20", "--rate=0.25",
+                                      "--name=run1", "--verbose=true"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(trials, 20);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "run1");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, ParsesSpaceSeparatedForm) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  std::vector<std::string> storage = {"prog", "--n", "123"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(n, 123);
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser flags;
+  bool full = false;
+  flags.AddBool("full", &full, "");
+  std::vector<std::string> storage = {"prog", "--full"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(full);
+}
+
+TEST(FlagParserTest, BooleanFalseForms) {
+  FlagParser flags;
+  bool opt = true;
+  flags.AddBool("opt", &opt, "");
+  std::vector<std::string> storage = {"prog", "--opt=false"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(opt);
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser flags;
+  std::vector<std::string> storage = {"prog", "--mystery=1"};
+  auto argv = MakeArgv(storage);
+  EXPECT_EQ(flags.Parse(static_cast<int>(argv.size()), argv.data()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlagParserTest, RejectsPositionalArgument) {
+  FlagParser flags;
+  std::vector<std::string> storage = {"prog", "stray"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, RejectsMalformedValue) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  std::vector<std::string> storage = {"prog", "--n=notanumber"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, MissingValueForNonBool) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "");
+  std::vector<std::string> storage = {"prog", "--n"};
+  auto argv = MakeArgv(storage);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser flags;
+  int64_t n = 5;
+  flags.AddInt64("n", &n, "node count");
+  std::vector<std::string> storage = {"prog", "--help"};
+  auto argv = MakeArgv(storage);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Usage().find("node count"), std::string::npos);
+  EXPECT_NE(flags.Usage().find("default: 5"), std::string::npos);
+}
+
+TEST(FlagParserTest, EmptyArgvIsOk) {
+  FlagParser flags;
+  std::vector<std::string> storage = {"prog"};
+  auto argv = MakeArgv(storage);
+  EXPECT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(flags.help_requested());
+}
+
+}  // namespace
+}  // namespace cad

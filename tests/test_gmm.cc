@@ -1,0 +1,97 @@
+#include "datagen/gmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(GmmTest, CreateValidatesComponents) {
+  EXPECT_FALSE(GaussianMixture::Create({}).ok());
+
+  std::vector<GaussianComponent> mismatched = {
+      GaussianComponent{{0.0, 0.0}, {1.0}, 1.0}};
+  EXPECT_FALSE(GaussianMixture::Create(mismatched).ok());
+
+  std::vector<GaussianComponent> negative_weight = {
+      GaussianComponent{{0.0}, {1.0}, -1.0}};
+  EXPECT_FALSE(GaussianMixture::Create(negative_weight).ok());
+
+  std::vector<GaussianComponent> negative_stddev = {
+      GaussianComponent{{0.0}, {-1.0}, 1.0}};
+  EXPECT_FALSE(GaussianMixture::Create(negative_stddev).ok());
+
+  std::vector<GaussianComponent> valid = {
+      GaussianComponent{{0.0, 1.0}, {1.0, 2.0}, 1.0}};
+  EXPECT_TRUE(GaussianMixture::Create(valid).ok());
+}
+
+TEST(GmmTest, Standard4ComponentLayout) {
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d(4.0, 0.7);
+  EXPECT_EQ(mixture.num_components(), 4u);
+  EXPECT_EQ(mixture.dimension(), 2u);
+  // Means are on the corners of a side-4 square.
+  EXPECT_EQ(mixture.components()[0].mean, (std::vector<double>{0, 0}));
+  EXPECT_EQ(mixture.components()[3].mean, (std::vector<double>{4, 4}));
+}
+
+TEST(GmmTest, SampleCountsAndLabels) {
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d();
+  Rng rng(10);
+  const GmmSample sample = mixture.Sample(1000, &rng);
+  EXPECT_EQ(sample.points.size(), 1000u);
+  EXPECT_EQ(sample.component.size(), 1000u);
+  for (uint32_t c : sample.component) EXPECT_LT(c, 4u);
+}
+
+TEST(GmmTest, AllComponentsRepresented) {
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d();
+  Rng rng(20);
+  const GmmSample sample = mixture.Sample(400, &rng);
+  std::vector<int> counts(4, 0);
+  for (uint32_t c : sample.component) ++counts[c];
+  for (int count : counts) EXPECT_GT(count, 50);  // roughly balanced
+}
+
+TEST(GmmTest, PointsClusterAroundTheirComponentMean) {
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d(8.0, 0.5);
+  Rng rng(30);
+  const GmmSample sample = mixture.Sample(500, &rng);
+  for (size_t i = 0; i < sample.points.size(); ++i) {
+    const auto& mean = mixture.components()[sample.component[i]].mean;
+    EXPECT_LT(EuclideanDistance(sample.points[i], mean), 4.0);  // 8 sigma
+  }
+}
+
+TEST(GmmTest, MixtureWeightsRespected) {
+  std::vector<GaussianComponent> components = {
+      GaussianComponent{{0.0}, {0.1}, 9.0},
+      GaussianComponent{{10.0}, {0.1}, 1.0}};
+  auto mixture = GaussianMixture::Create(components);
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(40);
+  const GmmSample sample = mixture->Sample(5000, &rng);
+  int first = 0;
+  for (uint32_t c : sample.component) first += (c == 0);
+  EXPECT_NEAR(static_cast<double>(first) / 5000.0, 0.9, 0.03);
+}
+
+TEST(GmmTest, DeterministicGivenSeed) {
+  const GaussianMixture mixture = GaussianMixture::Standard4Component2d();
+  Rng rng1(50);
+  Rng rng2(50);
+  const GmmSample a = mixture.Sample(10, &rng1);
+  const GmmSample b = mixture.Sample(10, &rng2);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.component, b.component);
+}
+
+TEST(EuclideanDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/act_detector.h"
+#include "core/cad_detector.h"
+#include "core/clc_detector.h"
+#include "core/online_monitor.h"
+#include "core/threshold.h"
+#include "datagen/dblp_sim.h"
+#include "datagen/enron_sim.h"
+#include "datagen/precip_sim.h"
+#include "datagen/synthetic_gmm.h"
+#include "eval/roc.h"
+
+namespace cad {
+namespace {
+
+/// Fig. 6's headline: on the GMM synthetic benchmark, CAD separates
+/// anomalous nodes far better than ADJ / COM / ACT (paper AUCs:
+/// 0.88 vs 0.53 / 0.51 / 0.53).
+TEST(IntegrationTest, SyntheticBenchmarkCadBeatsBaselines) {
+  std::map<std::string, double> auc_sums;
+  const int kTrials = 3;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    GmmBenchmarkOptions options;
+    options.num_points = 200;
+    options.seed = 100 + static_cast<uint64_t>(trial);
+    const GmmBenchmarkInstance instance = MakeGmmBenchmark(options);
+
+    CadOptions cad_options;
+    cad_options.engine = CommuteEngine::kExact;
+    CadDetector cad(cad_options);
+    CadOptions adj_options = cad_options;
+    adj_options.score_kind = EdgeScoreKind::kAdj;
+    CadDetector adj(adj_options);
+    CadOptions com_options = cad_options;
+    com_options.score_kind = EdgeScoreKind::kCom;
+    CadDetector com(com_options);
+    ActDetector act;
+
+    for (NodeScorer* scorer :
+         std::vector<NodeScorer*>{&cad, &adj, &com, &act}) {
+      auto scores = scorer->ScoreTransitions(instance.sequence);
+      ASSERT_TRUE(scores.ok()) << scorer->name();
+      auto auc = ComputeAuc((*scores)[0], instance.node_is_anomalous);
+      ASSERT_TRUE(auc.ok()) << scorer->name();
+      auc_sums[scorer->name()] += *auc;
+    }
+  }
+  const double cad_auc = auc_sums["CAD"] / kTrials;
+  const double adj_auc = auc_sums["ADJ"] / kTrials;
+  const double com_auc = auc_sums["COM"] / kTrials;
+  const double act_auc = auc_sums["ACT"] / kTrials;
+
+  EXPECT_GT(cad_auc, 0.75) << "CAD should separate well";
+  EXPECT_GT(cad_auc, adj_auc + 0.1);
+  EXPECT_GT(cad_auc, com_auc + 0.1);
+  EXPECT_GT(cad_auc, act_auc + 0.1);
+}
+
+/// Fig. 7 / §4.2.1's shape on the Enron-style simulation: with the global
+/// threshold calibrated to l = 5, detections concentrate in the scripted
+/// turmoil window, and the CEO-analogue is localized at the hub-burst
+/// transition.
+TEST(IntegrationTest, EnronStyleTimelineAndCeoLocalization) {
+  EnronSimOptions options;
+  options.num_employees = 120;
+  const EnronSimData data = MakeEnronStyleData(options);
+
+  CadOptions cad_options;
+  cad_options.engine = CommuteEngine::kExact;
+  CadDetector detector(cad_options);
+  auto analyses = detector.Analyze(data.sequence);
+  ASSERT_TRUE(analyses.ok());
+  const double delta = CalibrateDelta(*analyses, 5.0);
+  const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
+
+  // Detection mass inside vs outside the event script: event transitions
+  // must dominate (the Fig. 7 shape — tall dense bars in the turmoil
+  // window, little in the calm opening).
+  size_t event_detections = 0;
+  size_t event_transitions = 0;
+  size_t event_nodes = 0;
+  size_t calm_nodes = 0;
+  size_t calm_transitions = 0;
+  for (const AnomalyReport& report : reports) {
+    if (data.IsEventTransition(report.transition)) {
+      ++event_transitions;
+      event_nodes += report.nodes.size();
+      if (!report.nodes.empty()) ++event_detections;
+    } else if (report.transition < 10) {
+      ++calm_transitions;
+      calm_nodes += report.nodes.size();
+    }
+  }
+  ASSERT_GT(event_transitions, 0u);
+  ASSERT_GT(calm_transitions, 0u);
+  // Most scripted event transitions are detected...
+  EXPECT_GE(event_detections * 3, event_transitions * 2);
+  // ...and the average flagged-node count at event transitions dwarfs the
+  // calm opening's.
+  const double event_mean = static_cast<double>(event_nodes) /
+                            static_cast<double>(event_transitions);
+  const double calm_mean = static_cast<double>(calm_nodes) /
+                           static_cast<double>(calm_transitions);
+  EXPECT_GT(event_mean, 3.0 * calm_mean + 1.0);
+
+  // The CEO hub burst (onset transition 32) localizes the CEO.
+  const AnomalyReport& burst = reports[32];
+  EXPECT_NE(std::count(burst.nodes.begin(), burst.nodes.end(), data.ceo), 0)
+      << "CEO not localized at the hub-burst transition";
+}
+
+/// §4.2.2's stories on the DBLP-style simulation: the field switch is the
+/// top-ranked anomaly at its transition, its protagonist carries the top
+/// node score, and its score exceeds the milder cross-area collaboration
+/// (the paper's Rountev > Orlando severity ordering).
+TEST(IntegrationTest, DblpStoriesRankedBySeverity) {
+  DblpSimOptions options;
+  options.num_authors = 320;
+  const DblpSimData data = MakeDblpStyleData(options);
+
+  CadOptions cad_options;
+  cad_options.engine = CommuteEngine::kExact;
+  CadDetector detector(cad_options);
+  auto analyses = detector.Analyze(data.sequence);
+  ASSERT_TRUE(analyses.ok());
+
+  const CollaborationStory& field_switch = data.stories[0];
+  const CollaborationStory& cross_area = data.stories[1];
+  const TransitionScores& at_switch = (*analyses)[field_switch.transition];
+
+  // Node-level: the field-switch protagonist has the highest node score.
+  const std::vector<double>& node_scores = at_switch.node_scores;
+  const auto top_node = static_cast<NodeId>(
+      std::max_element(node_scores.begin(), node_scores.end()) -
+      node_scores.begin());
+  EXPECT_EQ(top_node, field_switch.author);
+
+  // Severity ordering: protagonist of the full switch outranks the
+  // cross-area collaborator.
+  EXPECT_GT(node_scores[field_switch.author], node_scores[cross_area.author]);
+  // But the cross-area collaborator still ranks highly (top 2%).
+  size_t outranking = 0;
+  for (double s : node_scores) {
+    if (s > node_scores[cross_area.author]) ++outranking;
+  }
+  EXPECT_LE(outranking, node_scores.size() / 20);
+
+  // The severed tie dominates its own transition.
+  const CollaborationStory& severed = data.stories[2];
+  const TransitionScores& at_severed = (*analyses)[severed.transition];
+  EXPECT_EQ(at_severed.edges[0].pair,
+            NodePair::Make(severed.author, severed.counterparts[0]));
+}
+
+/// §4.2's online-threshold note, end to end: streaming the organization
+/// month by month must (a) reproduce the batch detector's transition scores
+/// exactly, and (b) raise an alert naming the CEO at the hub-burst
+/// transition, with the threshold calibrated purely from the past.
+TEST(IntegrationTest, OnlineMonitorTracksBatchOnEnronStream) {
+  EnronSimOptions options;
+  options.num_employees = 100;
+  options.num_months = 42;
+  const EnronSimData data = MakeEnronStyleData(options);
+
+  OnlineMonitorOptions monitor_options;
+  monitor_options.detector.engine = CommuteEngine::kExact;
+  monitor_options.nodes_per_transition = 5.0;
+  monitor_options.warmup_transitions = 5;
+  OnlineCadMonitor monitor(monitor_options);
+
+  bool ceo_alerted = false;
+  for (size_t month = 0; month < data.sequence.num_snapshots(); ++month) {
+    auto report = monitor.Observe(data.sequence.Snapshot(month));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (!report->has_value()) continue;
+    const AnomalyReport& alert = **report;
+    if (alert.transition == 32 &&
+        std::count(alert.nodes.begin(), alert.nodes.end(), data.ceo)) {
+      ceo_alerted = true;
+    }
+  }
+  EXPECT_TRUE(ceo_alerted) << "online monitor missed the CEO hub burst";
+
+  // Score history identical to the batch pass.
+  CadOptions batch_options;
+  batch_options.engine = CommuteEngine::kExact;
+  auto batch = CadDetector(batch_options).Analyze(data.sequence);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(monitor.history().size(), batch->size());
+  for (size_t t = 0; t < batch->size(); ++t) {
+    EXPECT_DOUBLE_EQ(monitor.history()[t].total_score,
+                     (*batch)[t].total_score)
+        << "transition " << t;
+  }
+}
+
+/// §4.2.3's shape on the precipitation simulation: at the teleconnection
+/// transition, the top anomalous edges disproportionately touch cells in
+/// the coherently shifted regions.
+TEST(IntegrationTest, PrecipitationEventLocalizesShiftedRegions) {
+  PrecipSimOptions options;
+  options.grid_width = 24;
+  options.grid_height = 12;
+  options.num_years = 8;
+  options.event_year = 5;
+  const PrecipSimData data = MakePrecipitationData(options);
+
+  CadOptions cad_options;
+  cad_options.engine = CommuteEngine::kExact;
+  CadDetector detector(cad_options);
+  auto analysis = detector.AnalyzeTransition(
+      data.sequence.Snapshot(data.event_transition),
+      data.sequence.Snapshot(data.event_transition + 1));
+  ASSERT_TRUE(analysis.ok());
+
+  // Of the 30 top-scored edges, most should touch a shifted-region cell.
+  const size_t top_k = 30;
+  ASSERT_GE(analysis->edges.size(), top_k);
+  size_t touching = 0;
+  for (size_t i = 0; i < top_k; ++i) {
+    const NodePair pair = analysis->edges[i].pair;
+    if (data.cell_in_shifted_region[pair.u] ||
+        data.cell_in_shifted_region[pair.v]) {
+      ++touching;
+    }
+  }
+  // Shifted cells are a minority of the grid; require the top edges to be
+  // clearly enriched (>= 2x the base rate) in shifted-region endpoints.
+  size_t shifted_cells = 0;
+  for (bool b : data.cell_in_shifted_region) shifted_cells += b ? 1 : 0;
+  const double base_rate = static_cast<double>(shifted_cells) /
+                           static_cast<double>(data.cell_in_shifted_region.size());
+  EXPECT_LT(base_rate, 0.25);
+  const double hit_rate = static_cast<double>(touching) /
+                          static_cast<double>(top_k);
+  EXPECT_GE(hit_rate, 2.0 * base_rate)
+      << "only " << touching << " of top " << top_k
+      << " edges touch shifted regions (base rate " << base_rate << ")";
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,152 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace cad {
+namespace {
+
+DenseMatrix RandomSymmetric(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_DOUBLE_EQ(eig->eigenvalues[0], 1.0);
+  EXPECT_DOUBLE_EQ(eig->eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(eig->eigenvalues[2], 3.0);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  DenseMatrix a(2, 2, {2, 1, 1, 2});
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, EigenvectorsSatisfyDefinition) {
+  const DenseMatrix a = RandomSymmetric(10, 3);
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t k = 0; k < 10; ++k) {
+    std::vector<double> v(10);
+    for (size_t i = 0; i < 10; ++i) v[i] = eig->eigenvectors(i, k);
+    const std::vector<double> av = a.Multiply(v);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(av[i], eig->eigenvalues[k] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  const DenseMatrix a = RandomSymmetric(8, 5);
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  const DenseMatrix vtv =
+      eig->eigenvectors.Transpose().Multiply(eig->eigenvectors);
+  EXPECT_LT(vtv.MaxAbsDifference(DenseMatrix::Identity(8)), 1e-9);
+}
+
+TEST(JacobiEigenTest, EigenvaluesAscending) {
+  const DenseMatrix a = RandomSymmetric(12, 7);
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_TRUE(
+      std::is_sorted(eig->eigenvalues.begin(), eig->eigenvalues.end()));
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  const DenseMatrix a = RandomSymmetric(9, 9);
+  auto eig = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0;
+  for (size_t i = 0; i < 9; ++i) trace += a(i, i);
+  EXPECT_NEAR(trace, Sum(eig->eigenvalues), 1e-9);
+}
+
+TEST(JacobiEigenTest, SizeOneAndEmpty) {
+  DenseMatrix one(1, 1, {5.0});
+  auto eig = JacobiEigenDecomposition(one);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_DOUBLE_EQ(eig->eigenvalues[0], 5.0);
+  EXPECT_DOUBLE_EQ(eig->eigenvectors(0, 0), 1.0);
+
+  DenseMatrix empty(0, 0);
+  EXPECT_TRUE(JacobiEigenDecomposition(empty).ok());
+}
+
+TEST(JacobiEigenTest, RejectsNonSquareAndNonSymmetric) {
+  EXPECT_FALSE(JacobiEigenDecomposition(DenseMatrix(2, 3)).ok());
+  DenseMatrix asym(2, 2, {1, 2, 3, 4});
+  EXPECT_FALSE(JacobiEigenDecomposition(asym).ok());
+}
+
+TEST(SymmetricPseudoInverseTest, InvertibleMatrixGivesInverse) {
+  DenseMatrix a(2, 2, {2, 0, 0, 4});
+  auto pinv = SymmetricPseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_NEAR((*pinv)(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR((*pinv)(1, 1), 0.25, 1e-12);
+}
+
+TEST(SymmetricPseudoInverseTest, PenroseConditionsOnSingularMatrix) {
+  // Laplacian of a path 0-1-2: singular with nullspace = span(1).
+  DenseMatrix l(3, 3, {1, -1, 0, -1, 2, -1, 0, -1, 1});
+  auto pinv = SymmetricPseudoInverse(l);
+  ASSERT_TRUE(pinv.ok());
+  // Penrose: A A+ A = A and A+ A A+ = A+.
+  const DenseMatrix a_pinv_a = l.Multiply(*pinv).Multiply(l);
+  EXPECT_LT(a_pinv_a.MaxAbsDifference(l), 1e-9);
+  const DenseMatrix pinv_a_pinv = pinv->Multiply(l).Multiply(*pinv);
+  EXPECT_LT(pinv_a_pinv.MaxAbsDifference(*pinv), 1e-9);
+  // Symmetry of A+ A.
+  const DenseMatrix pa = pinv->Multiply(l);
+  EXPECT_TRUE(pa.IsSymmetric(1e-9));
+}
+
+TEST(SymmetricPseudoInverseTest, NullspaceMapsToZero) {
+  DenseMatrix l(3, 3, {1, -1, 0, -1, 2, -1, 0, -1, 1});
+  auto pinv = SymmetricPseudoInverse(l);
+  ASSERT_TRUE(pinv.ok());
+  const std::vector<double> ones(3, 1.0);
+  EXPECT_LT(MaxAbs(pinv->Multiply(ones)), 1e-9);
+}
+
+/// Parameterized property sweep: pinv satisfies the Penrose identities on
+/// random symmetric matrices of varying size (some near-singular).
+class PinvSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PinvSweep, PenroseIdentities) {
+  const size_t n = GetParam();
+  const DenseMatrix a = RandomSymmetric(n, 777 + n);
+  auto pinv = SymmetricPseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_LT(a.Multiply(*pinv).Multiply(a).MaxAbsDifference(a), 1e-7);
+  EXPECT_LT(pinv->Multiply(a).Multiply(*pinv).MaxAbsDifference(*pinv), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PinvSweep, ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace cad

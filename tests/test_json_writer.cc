@@ -1,0 +1,132 @@
+#include "io/json_writer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "app/pipeline.h"
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TEST(EscapeJsonStringTest, Escapes) {
+  EXPECT_EQ(EscapeJsonString("plain"), "plain");
+  EXPECT_EQ(EscapeJsonString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeJsonString("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeJsonString("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(EscapeJsonString(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, ScalarValues) {
+  {
+    std::ostringstream out;
+    JsonWriter json(&out);
+    json.String("hi");
+    EXPECT_EQ(out.str(), "\"hi\"");
+    EXPECT_TRUE(json.complete());
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(&out);
+    json.Number(2.5);
+    EXPECT_EQ(out.str(), "2.5");
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(&out);
+    json.Bool(true);
+    EXPECT_EQ(out.str(), "true");
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(&out);
+    json.Null();
+    EXPECT_EQ(out.str(), "null");
+  }
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("name");
+  json.String("cad");
+  json.Key("count");
+  json.Number(int64_t{3});
+  json.Key("ok");
+  json.Bool(false);
+  json.EndObject();
+  EXPECT_EQ(out.str(), "{\"name\":\"cad\",\"count\":3,\"ok\":false}");
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("rows");
+  json.BeginArray();
+  json.Number(int64_t{1});
+  json.BeginArray();
+  json.Number(int64_t{2});
+  json.Number(int64_t{3});
+  json.EndArray();
+  json.BeginObject();
+  json.Key("x");
+  json.Null();
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(out.str(), "{\"rows\":[1,[2,3],{\"x\":null}]}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(std::nan(""));
+  json.EndArray();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("empty_array");
+  json.BeginArray();
+  json.EndArray();
+  json.Key("empty_object");
+  json.BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(out.str(), "{\"empty_array\":[],\"empty_object\":{}}");
+}
+
+TEST(PipelineJsonTest, ToyReportIsWellFormed) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WritePipelineResultJson(*result, &out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"method\":\"CAD\""), std::string::npos);
+  EXPECT_NE(json.find("\"case\":\"case-2-new-bridge\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\":[0,3,4,8,14,15]"), std::string::npos);
+  // Brace balance as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,127 @@
+#include "core/online_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+WeightedGraph TwoTeams(double bridge_weight) {
+  WeightedGraph g(8);
+  for (NodeId base : {NodeId{0}, NodeId{4}}) {
+    for (NodeId a = 0; a < 4; ++a) {
+      for (NodeId b = a + 1; b < 4; ++b) {
+        CAD_CHECK_OK(g.SetEdge(base + a, base + b, 3.0));
+      }
+    }
+  }
+  CAD_CHECK_OK(g.SetEdge(3, 4, 0.3));
+  if (bridge_weight > 0.0) CAD_CHECK_OK(g.SetEdge(0, 7, bridge_weight));
+  return g;
+}
+
+TEST(OnlineMonitorTest, FirstSnapshotYieldsNoReport) {
+  OnlineCadMonitor monitor;
+  auto report = monitor.Observe(TwoTeams(0.0));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->has_value());
+  EXPECT_EQ(monitor.num_snapshots(), 1u);
+  EXPECT_EQ(monitor.num_transitions(), 0u);
+}
+
+TEST(OnlineMonitorTest, WarmupSuppressesReports) {
+  OnlineMonitorOptions options;
+  options.warmup_transitions = 2;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  auto first = monitor.Observe(TwoTeams(0.0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->has_value());  // transition 0: warmup
+  auto second = monitor.Observe(TwoTeams(0.0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->has_value());  // transition 1: warmup
+  auto third = monitor.Observe(TwoTeams(0.0));
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->has_value());  // transition 2: live
+}
+
+TEST(OnlineMonitorTest, DetectsPlantedBridgeAfterCalmHistory) {
+  OnlineMonitorOptions options;
+  options.nodes_per_transition = 1.0;
+  options.warmup_transitions = 2;
+  OnlineCadMonitor monitor(options);
+  // Calm history: identical snapshots.
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  }
+  // The bridge appears.
+  auto report = monitor.Observe(TwoTeams(2.0));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->has_value());
+  ASSERT_FALSE((*report)->edges.empty());
+  EXPECT_EQ((*report)->edges[0].pair, NodePair::Make(0, 7));
+  EXPECT_EQ((*report)->nodes, (std::vector<NodeId>{0, 7}));
+  EXPECT_EQ((*report)->transition, 4u);
+}
+
+TEST(OnlineMonitorTest, CalmTransitionsReportNothing) {
+  OnlineMonitorOptions options;
+  options.nodes_per_transition = 1.0;
+  options.warmup_transitions = 1;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(monitor.Observe(TwoTeams(2.0)).ok());  // warmup (event absorbed)
+  // Subsequent identical snapshots: zero-score transitions, no anomalies.
+  for (int t = 0; t < 3; ++t) {
+    auto report = monitor.Observe(TwoTeams(2.0));
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->has_value());
+    EXPECT_TRUE((*report)->edges.empty());
+    EXPECT_TRUE((*report)->nodes.empty());
+  }
+}
+
+TEST(OnlineMonitorTest, RejectsNodeCountChange) {
+  OnlineCadMonitor monitor;
+  ASSERT_TRUE(monitor.Observe(WeightedGraph(5)).ok());
+  EXPECT_FALSE(monitor.Observe(WeightedGraph(6)).ok());
+}
+
+TEST(OnlineMonitorTest, HistoryMatchesBatchAnalysis) {
+  // Streaming the toy example must produce the same transition scores as
+  // the batch detector.
+  const ToyExample toy = MakeToyExample();
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.warmup_transitions = 0;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(toy.sequence.Snapshot(0)).ok());
+  auto report = monitor.Observe(toy.sequence.Snapshot(1));
+  ASSERT_TRUE(report.ok());
+
+  CadOptions batch_options;
+  batch_options.engine = CommuteEngine::kExact;
+  auto batch = CadDetector(batch_options).Analyze(toy.sequence);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(monitor.history().size(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.history()[0].total_score, (*batch)[0].total_score);
+}
+
+TEST(OnlineMonitorTest, DeltaUpdatesOverTime) {
+  OnlineMonitorOptions options;
+  options.nodes_per_transition = 2.0;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  EXPECT_EQ(monitor.current_delta(), 0.0);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.5)).ok());
+  const double delta_small_event = monitor.current_delta();
+  EXPECT_GT(delta_small_event, 0.0);
+  // A much larger event enters the history: the calibrated threshold must
+  // adapt to the new score scale.
+  ASSERT_TRUE(monitor.Observe(TwoTeams(4.0)).ok());
+  EXPECT_NE(monitor.current_delta(), delta_small_event);
+}
+
+}  // namespace
+}  // namespace cad

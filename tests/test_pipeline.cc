@@ -1,0 +1,137 @@
+#include "app/pipeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TEST(PipelineTest, MethodFamilyClassification) {
+  EXPECT_TRUE(IsCommuteBasedMethod("CAD"));
+  EXPECT_TRUE(IsCommuteBasedMethod("ADJ"));
+  EXPECT_TRUE(IsCommuteBasedMethod("COM"));
+  EXPECT_TRUE(IsCommuteBasedMethod("SUM"));
+  EXPECT_FALSE(IsCommuteBasedMethod("ACT"));
+  EXPECT_FALSE(IsCommuteBasedMethod("CLC"));
+  EXPECT_FALSE(IsCommuteBasedMethod("AFM"));
+  EXPECT_FALSE(IsCommuteBasedMethod("bogus"));
+}
+
+TEST(PipelineTest, RejectsUnknownMethodAndShortSequences) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.method = "bogus";
+  EXPECT_FALSE(RunAnomalyPipeline(toy.sequence, options).ok());
+
+  TemporalGraphSequence single(3);
+  CAD_CHECK_OK(single.Append(WeightedGraph(3)));
+  options.method = "CAD";
+  EXPECT_FALSE(RunAnomalyPipeline(single, options).ok());
+}
+
+TEST(PipelineTest, CadOnToyLocalizesAndClassifies) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->method, "CAD");
+  EXPECT_GT(result->delta, 0.0);
+  ASSERT_EQ(result->reports.size(), 1u);
+  EXPECT_EQ(result->reports[0].nodes, toy.anomalous_nodes);
+  ASSERT_EQ(result->edges.size(), 3u);
+
+  // The three reported edges carry the paper's case labels.
+  for (const ReportedEdge& reported : result->edges) {
+    if (reported.edge.pair == NodePair::Make(ToyBlue(1), ToyRed(1))) {
+      EXPECT_EQ(reported.anomaly_case, AnomalyCase::kNewBridge);
+    } else if (reported.edge.pair == NodePair::Make(ToyRed(7), ToyRed(8))) {
+      EXPECT_EQ(reported.anomaly_case, AnomalyCase::kWeakenedBridge);
+    } else if (reported.edge.pair == NodePair::Make(ToyBlue(4), ToyBlue(5))) {
+      EXPECT_EQ(reported.anomaly_case, AnomalyCase::kMagnitudeChange);
+    } else {
+      ADD_FAILURE() << "unexpected edge reported";
+    }
+  }
+}
+
+TEST(PipelineTest, ClassificationCanBeDisabled) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  options.classify_cases = false;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  for (const ReportedEdge& reported : result->edges) {
+    EXPECT_EQ(reported.anomaly_case, AnomalyCase::kUnclassified);
+  }
+}
+
+TEST(PipelineTest, BaselineMethodsProduceNodeScoresOnly) {
+  const ToyExample toy = MakeToyExample();
+  for (const char* method : {"ACT", "CLC", "AFM"}) {
+    PipelineOptions options;
+    options.method = method;
+    auto result = RunAnomalyPipeline(toy.sequence, options);
+    ASSERT_TRUE(result.ok()) << method;
+    EXPECT_TRUE(result->reports.empty()) << method;
+    EXPECT_TRUE(result->edges.empty()) << method;
+    ASSERT_EQ(result->node_scores.size(), 1u) << method;
+    EXPECT_EQ(result->node_scores[0].size(), 17u) << method;
+  }
+}
+
+TEST(PipelineTest, AdjVariantRunsThroughSamePath) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.method = "ADJ";
+  options.nodes_per_transition = 4.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->method, "ADJ");
+  EXPECT_FALSE(result->node_scores.empty());
+}
+
+TEST(PipelineTest, EdgeReportCsvFormat) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeReportCsv(*result, &out).ok());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("transition,u,v,score,weight_delta,commute_delta,case"),
+            std::string::npos);
+  // 3 edges -> header + 3 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("case-2-new-bridge"), std::string::npos);
+}
+
+TEST(PipelineTest, NodeScoresCsvSkipsZeros) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream nonzero;
+  ASSERT_TRUE(WriteNodeScoresCsv(*result, &nonzero, true).ok());
+  std::ostringstream all;
+  ASSERT_TRUE(WriteNodeScoresCsv(*result, &all, false).ok());
+  // All rows = header + 17; nonzero strictly fewer (several toy nodes are 0).
+  const std::string all_csv = all.str();
+  const std::string nonzero_csv = nonzero.str();
+  EXPECT_EQ(std::count(all_csv.begin(), all_csv.end(), '\n'), 18);
+  EXPECT_LT(std::count(nonzero_csv.begin(), nonzero_csv.end(), '\n'), 18);
+}
+
+}  // namespace
+}  // namespace cad

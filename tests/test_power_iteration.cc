@@ -1,0 +1,96 @@
+#include "linalg/power_iteration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace cad {
+namespace {
+
+TEST(PowerIterationTest, DiagonalDominantEigenpair) {
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 5.0);
+  coo.Add(2, 2, 2.0);
+  auto result = PrincipalEigenvector(coo.ToCsr());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->eigenvalue, 5.0, 1e-8);
+  EXPECT_NEAR(std::fabs(result->eigenvector[1]), 1.0, 1e-6);
+}
+
+TEST(PowerIterationTest, SymmetricKnownMatrix) {
+  // [[2, 1], [1, 2]]: dominant eigenpair (3, [1,1]/sqrt(2)).
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 2.0);
+  coo.Add(1, 1, 2.0);
+  coo.AddSymmetric(0, 1, 1.0);
+  auto result = PrincipalEigenvector(coo.ToCsr());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalue, 3.0, 1e-8);
+  EXPECT_NEAR(std::fabs(result->eigenvector[0]),
+              std::fabs(result->eigenvector[1]), 1e-6);
+}
+
+TEST(PowerIterationTest, UnitNormOutput) {
+  CooMatrix coo(4, 4);
+  coo.AddSymmetric(0, 1, 1.0);
+  coo.AddSymmetric(1, 2, 2.0);
+  coo.AddSymmetric(2, 3, 3.0);
+  auto result = PrincipalEigenvector(coo.ToCsr());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(Norm2(result->eigenvector), 1.0, 1e-9);
+}
+
+TEST(PowerIterationTest, ZeroMatrixConvergesWithZeroEigenvalue) {
+  CsrMatrix zero(5, 5);
+  auto result = PrincipalEigenvector(zero);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->eigenvalue, 0.0);
+}
+
+TEST(PowerIterationTest, EmptyMatrix) {
+  CsrMatrix empty(0, 0);
+  auto result = PrincipalEigenvector(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(PowerIterationTest, RejectsNonSquare) {
+  CsrMatrix rect(2, 3);
+  EXPECT_FALSE(PrincipalEigenvector(rect).ok());
+}
+
+TEST(PowerIterationTest, ResidualIsSmall) {
+  // Adjacency of a weighted star: residual ||A v - lambda v|| must be tiny.
+  CooMatrix coo(5, 5);
+  for (uint32_t leaf = 1; leaf < 5; ++leaf) {
+    coo.AddSymmetric(0, leaf, static_cast<double>(leaf));
+  }
+  const CsrMatrix a = coo.ToCsr();
+  auto result = PrincipalEigenvector(a);
+  ASSERT_TRUE(result.ok());
+  std::vector<double> av = a.Multiply(result->eigenvector);
+  Axpy(-result->eigenvalue, result->eigenvector, &av);
+  EXPECT_LT(Norm2(av), 1e-6);
+}
+
+TEST(PowerIterationTest, IterationCapReported) {
+  // Two nearly equal dominant eigenvalues converge slowly.
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 1.0000000001);
+  PowerIterationOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;  // unreachable
+  auto result = PrincipalEigenvector(coo.ToCsr(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->iterations, 3u);
+}
+
+}  // namespace
+}  // namespace cad

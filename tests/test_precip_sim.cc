@@ -1,0 +1,172 @@
+#include "datagen/precip_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+PrecipSimOptions SmallOptions(uint64_t seed = 77) {
+  PrecipSimOptions options;
+  options.grid_width = 24;
+  options.grid_height = 12;
+  options.num_years = 8;
+  options.event_year = 5;
+  options.seed = seed;
+  return options;
+}
+
+TEST(ValueKnnGraphTest, DegreeBounds) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const WeightedGraph g = MakeValueKnnGraph(values, 2, 1.0);
+  // Each node connects to its 2 nearest; undirected union can give degree
+  // between 2 and 2k.
+  for (size_t degree : g.Degrees()) {
+    EXPECT_GE(degree, 2u);
+    EXPECT_LE(degree, 4u);
+  }
+}
+
+TEST(ValueKnnGraphTest, NearestValuesConnected) {
+  const std::vector<double> values = {0.0, 0.1, 5.0, 5.1, 10.0};
+  const WeightedGraph g = MakeValueKnnGraph(values, 1, 1.0);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 4));
+}
+
+TEST(ValueKnnGraphTest, WeightsAreGaussianSimilarities) {
+  const std::vector<double> values = {0.0, 1.0};
+  const WeightedGraph g = MakeValueKnnGraph(values, 1, 1.0);
+  EXPECT_NEAR(g.EdgeWeight(0, 1), std::exp(-0.5), 1e-12);
+}
+
+TEST(ValueKnnGraphTest, AutoSigmaUsed) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0};
+  const WeightedGraph g = MakeValueKnnGraph(values, 1);
+  EXPECT_GT(g.num_edges(), 0u);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0);
+  }
+}
+
+TEST(ValueKnnGraphTest, DegenerateInputs) {
+  EXPECT_EQ(MakeValueKnnGraph({}, 3).num_edges(), 0u);
+  EXPECT_EQ(MakeValueKnnGraph({1.0}, 3).num_edges(), 0u);
+  EXPECT_EQ(MakeValueKnnGraph({1.0, 2.0}, 0).num_edges(), 0u);
+  // Identical values (sigma would be 0): must not crash.
+  const WeightedGraph g = MakeValueKnnGraph({2.0, 2.0, 2.0}, 1);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(PrecipSimTest, ShapeConsistent) {
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  EXPECT_EQ(data.sequence.num_nodes(), 24u * 12u);
+  EXPECT_EQ(data.sequence.num_snapshots(), 8u);
+  EXPECT_EQ(data.precipitation.size(), 8u);
+  EXPECT_EQ(data.region_of.size(), 24u * 12u);
+  EXPECT_EQ(data.event_transition, 4u);
+}
+
+TEST(PrecipSimTest, RegionsPopulated) {
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  ASSERT_EQ(data.regions.size(), 8u);
+  for (size_t r = 0; r < data.regions.size(); ++r) {
+    size_t members = 0;
+    for (uint32_t assignment : data.region_of) {
+      if (assignment == r) ++members;
+    }
+    EXPECT_GT(members, 0u) << data.regions[r].name;
+  }
+}
+
+TEST(PrecipSimTest, ShiftedRegionsMarked) {
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  size_t shifted = 0;
+  for (size_t cell = 0; cell < data.region_of.size(); ++cell) {
+    if (data.cell_in_shifted_region[cell]) {
+      ++shifted;
+      ASSERT_NE(data.region_of[cell], 0xffffffffu);
+      EXPECT_NE(data.regions[data.region_of[cell]].event_sign, 0);
+    }
+  }
+  EXPECT_GT(shifted, 0u);
+}
+
+TEST(PrecipSimTest, EventYearShiftsRegionalMeansInAggregate) {
+  // Per-region, the one-year shift can be masked by interannual noise (by
+  // design — Fig. 10's "subtle" signal); but the sign-weighted aggregate
+  // over all shifted regions must be clearly positive.
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  const size_t event_year = 5;
+  double aggregate = 0.0;
+  size_t shifted_regions = 0;
+  for (size_t r = 0; r < data.regions.size(); ++r) {
+    if (data.regions[r].event_sign == 0) continue;
+    ++shifted_regions;
+    double other_years = 0.0;
+    for (size_t year = 0; year < 8; ++year) {
+      if (year != event_year) other_years += data.RegionalMean(r, year);
+    }
+    other_years /= 7.0;
+    aggregate += data.regions[r].event_sign *
+                 (data.RegionalMean(r, event_year) - other_years);
+  }
+  ASSERT_EQ(shifted_regions, 4u);
+  // Expected aggregate = 4 * shift; require at least half.
+  const PrecipSimOptions defaults;
+  const double shift =
+      defaults.event_shift_sigmas * defaults.interannual_noise;
+  EXPECT_GT(aggregate, 4.0 * shift * 0.5);
+}
+
+TEST(PrecipSimTest, ShiftIsSubtleRelativeToInterannualNoise) {
+  // Fig. 10's point: the event-year change is not an extreme outlier in the
+  // year-over-year difference series.
+  const PrecipSimOptions options = SmallOptions();
+  const PrecipSimData data = MakePrecipitationData(options);
+  const double shift = options.event_shift_sigmas * options.interannual_noise;
+  // Interannual swings between consecutive non-event years can reach the
+  // same order as the injected shift.
+  double max_benign_swing = 0.0;
+  for (size_t r = 0; r < data.regions.size(); ++r) {
+    for (size_t year = 1; year < 4; ++year) {  // before the event
+      max_benign_swing = std::max(
+          max_benign_swing,
+          std::fabs(data.RegionalMean(r, year) -
+                    data.RegionalMean(r, year - 1)));
+    }
+  }
+  EXPECT_GT(max_benign_swing, 0.4 * shift);
+}
+
+TEST(PrecipSimTest, GraphsUseValueSpaceNeighbors) {
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  const WeightedGraph& g = data.sequence.Snapshot(0);
+  EXPECT_GT(g.num_edges(), data.sequence.num_nodes());  // ~k*n/2 edges
+  // All weights in (0, 1].
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0);
+  }
+}
+
+TEST(PrecipSimTest, DeterministicGivenSeed) {
+  const PrecipSimData a = MakePrecipitationData(SmallOptions(5));
+  const PrecipSimData b = MakePrecipitationData(SmallOptions(5));
+  EXPECT_TRUE(a.sequence.Snapshot(2) == b.sequence.Snapshot(2));
+  EXPECT_EQ(a.precipitation[3], b.precipitation[3]);
+}
+
+TEST(PrecipSimTest, PrecipitationNonNegative) {
+  const PrecipSimData data = MakePrecipitationData(SmallOptions());
+  for (const auto& field : data.precipitation) {
+    for (double value : field) EXPECT_GE(value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,98 @@
+#include "datagen/random_graphs.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(RandomGraphsTest, RespectsNodeCount) {
+  RandomGraphOptions options;
+  options.num_nodes = 200;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  EXPECT_EQ(g.num_nodes(), 200u);
+}
+
+TEST(RandomGraphsTest, ApproximatesTargetDegree) {
+  RandomGraphOptions options;
+  options.num_nodes = 2000;
+  options.average_degree = 4.0;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  const double average_degree =
+      2.0 * static_cast<double>(g.num_edges()) / 2000.0;
+  EXPECT_NEAR(average_degree, 4.0, 0.5);
+}
+
+TEST(RandomGraphsTest, WeightsInRange) {
+  RandomGraphOptions options;
+  options.num_nodes = 100;
+  options.min_weight = 1.5;
+  options.max_weight = 1.75;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GE(e.weight, 1.5);
+    EXPECT_LT(e.weight, 1.75);
+  }
+}
+
+TEST(RandomGraphsTest, DeterministicGivenSeed) {
+  RandomGraphOptions options;
+  options.seed = 5;
+  EXPECT_TRUE(MakeRandomSparseGraph(options) == MakeRandomSparseGraph(options));
+  options.seed = 6;
+  EXPECT_FALSE(MakeRandomSparseGraph(RandomGraphOptions()) ==
+               MakeRandomSparseGraph(options));
+}
+
+TEST(PerturbGraphTest, ZeroPerturbationKeepsEdgeSet) {
+  RandomGraphOptions options;
+  options.num_nodes = 100;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  Rng rng(1);
+  const WeightedGraph p = PerturbGraph(g, 0.0, 0.0, &rng);
+  EXPECT_TRUE(p == g);
+}
+
+TEST(PerturbGraphTest, JitterKeepsSupportChangesWeights) {
+  RandomGraphOptions options;
+  options.num_nodes = 100;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  Rng rng(2);
+  const WeightedGraph p = PerturbGraph(g, 0.2, 0.0, &rng);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  size_t changed = 0;
+  for (const Edge& e : g.Edges()) {
+    EXPECT_TRUE(p.HasEdge(e.u, e.v));
+    if (p.EdgeWeight(e.u, e.v) != e.weight) ++changed;
+  }
+  EXPECT_GT(changed, g.num_edges() / 2);
+}
+
+TEST(PerturbGraphTest, RewiringChangesSupport) {
+  RandomGraphOptions options;
+  options.num_nodes = 500;
+  options.average_degree = 6.0;
+  const WeightedGraph g = MakeRandomSparseGraph(options);
+  Rng rng(3);
+  const WeightedGraph p = PerturbGraph(g, 0.0, 0.3, &rng);
+  size_t removed = 0;
+  for (const Edge& e : g.Edges()) {
+    if (!p.HasEdge(e.u, e.v)) ++removed;
+  }
+  EXPECT_GT(removed, g.num_edges() / 10);
+  // Edge count roughly preserved (removed edges are replaced).
+  EXPECT_NEAR(static_cast<double>(p.num_edges()),
+              static_cast<double>(g.num_edges()),
+              0.1 * static_cast<double>(g.num_edges()));
+}
+
+TEST(MakeRandomTransitionTest, TwoSnapshots) {
+  RandomGraphOptions options;
+  options.num_nodes = 50;
+  const TemporalGraphSequence seq = MakeRandomTransition(options, 0.1, 0.05);
+  EXPECT_EQ(seq.num_snapshots(), 2u);
+  EXPECT_EQ(seq.num_transitions(), 1u);
+  EXPECT_FALSE(seq.Snapshot(0) == seq.Snapshot(1));
+}
+
+}  // namespace
+}  // namespace cad

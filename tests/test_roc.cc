@@ -1,0 +1,125 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cad {
+namespace {
+
+TEST(RocTest, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  auto curve = ComputeRoc(scores, labels);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->auc, 1.0);
+  auto auc = ComputeAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(RocTest, PerfectlyWrongGivesAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.0);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scores, labels)->auc, 0.0);
+}
+
+TEST(RocTest, ConstantScoresGiveHalf) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scores, labels)->auc, 0.5);
+}
+
+TEST(RocTest, CurveAndRankAucAgree) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool label = rng.Bernoulli(0.3);
+    scores.push_back(rng.Normal(label ? 1.0 : 0.0, 1.0));
+    labels.push_back(label);
+  }
+  const double curve_auc = ComputeRoc(scores, labels)->auc;
+  const double rank_auc = *ComputeAuc(scores, labels);
+  EXPECT_NEAR(curve_auc, rank_auc, 1e-10);
+  EXPECT_GT(rank_auc, 0.6);  // separated means
+}
+
+TEST(RocTest, HandlesTiesConsistently) {
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 0.0};
+  const std::vector<bool> labels = {true, false, true, false};
+  // Positives: both at score 1 (ranks mid 2); one negative at 1, one at 0.
+  // AUC = (1*1 + 0.5 + 0.5*... compute: pairs (p,n): (1,1)->0.5 twice,
+  // (1,0)->1 twice => (0.5+1+0.5+1)/4 = 0.75.
+  EXPECT_DOUBLE_EQ(*ComputeAuc(scores, labels), 0.75);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scores, labels)->auc, 0.75);
+}
+
+TEST(RocTest, CurveEndpointsAreCorners) {
+  const std::vector<double> scores = {0.9, 0.1, 0.5};
+  const std::vector<bool> labels = {true, false, false};
+  auto curve = ComputeRoc(scores, labels);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->points.front().false_positive_rate, 0.0);
+  EXPECT_EQ(curve->points.front().true_positive_rate, 0.0);
+  EXPECT_EQ(curve->points.back().false_positive_rate, 1.0);
+  EXPECT_EQ(curve->points.back().true_positive_rate, 1.0);
+}
+
+TEST(RocTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(ComputeRoc({1.0}, {true}).ok());
+  EXPECT_FALSE(ComputeRoc({1.0, 2.0}, {false, false}).ok());
+  EXPECT_FALSE(ComputeRoc({1.0, 2.0}, {true, true}).ok());
+  EXPECT_FALSE(ComputeRoc({1.0}, {true, false}).ok());
+  EXPECT_FALSE(ComputeAuc({1.0, 2.0}, {true, true}).ok());
+}
+
+TEST(PrecisionAtKTest, Basics) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.1};
+  const std::vector<bool> labels = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 0), 0.0);
+  // k beyond size clamps.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 10), 0.5);
+}
+
+TEST(AverageRocCurvesTest, AverageOfIdenticalCurvesIsUnchanged) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.1};
+  const std::vector<bool> labels = {true, false, true, false};
+  const RocCurve curve = *ComputeRoc(scores, labels);
+  const RocCurve averaged = AverageRocCurves({curve, curve, curve});
+  EXPECT_NEAR(averaged.auc, curve.auc, 0.02);  // grid discretization
+}
+
+TEST(AverageRocCurvesTest, EmptyInput) {
+  const RocCurve averaged = AverageRocCurves({});
+  EXPECT_TRUE(averaged.points.empty());
+  EXPECT_EQ(averaged.auc, 0.0);
+}
+
+TEST(AverageRocCurvesTest, MonotoneNonDecreasing) {
+  Rng rng(9);
+  std::vector<RocCurve> curves;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> scores;
+    std::vector<bool> labels;
+    for (int i = 0; i < 100; ++i) {
+      const bool label = rng.Bernoulli(0.2);
+      scores.push_back(rng.Normal(label ? 0.5 : 0.0, 1.0));
+      labels.push_back(label);
+    }
+    curves.push_back(*ComputeRoc(scores, labels));
+  }
+  const RocCurve averaged = AverageRocCurves(curves);
+  for (size_t i = 1; i < averaged.points.size(); ++i) {
+    EXPECT_GE(averaged.points[i].true_positive_rate,
+              averaged.points[i - 1].true_positive_rate - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cad

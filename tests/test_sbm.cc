@@ -1,0 +1,124 @@
+#include "datagen/sbm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace cad {
+namespace {
+
+TEST(SbmTest, ShapeAndBlockAssignment) {
+  SbmOptions options;
+  options.num_nodes = 200;
+  options.num_blocks = 4;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+  EXPECT_EQ(sbm.graph.num_nodes(), 200u);
+  ASSERT_EQ(sbm.block.size(), 200u);
+  // Contiguous near-equal blocks of 50.
+  std::vector<int> counts(4, 0);
+  for (uint32_t b : sbm.block) {
+    ASSERT_LT(b, 4u);
+    ++counts[b];
+  }
+  for (int count : counts) EXPECT_EQ(count, 50);
+  EXPECT_EQ(sbm.block[0], 0u);
+  EXPECT_EQ(sbm.block[199], 3u);
+}
+
+TEST(SbmTest, EdgeCountsMatchProbabilities) {
+  SbmOptions options;
+  options.num_nodes = 600;
+  options.num_blocks = 3;
+  options.intra_block_prob = 0.05;
+  options.inter_block_prob = 0.002;
+  options.seed = 3;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+
+  size_t intra = 0;
+  size_t inter = 0;
+  for (const Edge& e : sbm.graph.Edges()) {
+    (sbm.block[e.u] == sbm.block[e.v] ? intra : inter) += 1;
+  }
+  // Expected intra: 3 blocks * C(200,2) * 0.05 = 2985; inter: 3 rectangles
+  // * 200*200 * 0.002 = 240. Allow 4-sigma-ish slack.
+  EXPECT_NEAR(static_cast<double>(intra), 2985.0, 250.0);
+  EXPECT_NEAR(static_cast<double>(inter), 240.0, 70.0);
+}
+
+TEST(SbmTest, WeightsInRange) {
+  SbmOptions options;
+  options.num_nodes = 100;
+  options.min_weight = 2.0;
+  options.max_weight = 2.5;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+  for (const Edge& e : sbm.graph.Edges()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LT(e.weight, 2.5);
+  }
+}
+
+TEST(SbmTest, DeterministicGivenSeed) {
+  SbmOptions options;
+  options.seed = 77;
+  EXPECT_TRUE(MakeStochasticBlockModel(options).graph ==
+              MakeStochasticBlockModel(options).graph);
+  SbmOptions other = options;
+  other.seed = 78;
+  EXPECT_FALSE(MakeStochasticBlockModel(options).graph ==
+               MakeStochasticBlockModel(other).graph);
+}
+
+TEST(SbmTest, ExtremeProbabilities) {
+  SbmOptions zero;
+  zero.num_nodes = 50;
+  zero.intra_block_prob = 0.0;
+  zero.inter_block_prob = 0.0;
+  EXPECT_EQ(MakeStochasticBlockModel(zero).graph.num_edges(), 0u);
+
+  SbmOptions ones;
+  ones.num_nodes = 20;
+  ones.num_blocks = 2;
+  ones.intra_block_prob = 1.0;
+  ones.inter_block_prob = 1.0;
+  // Complete graph: C(20,2) edges.
+  EXPECT_EQ(MakeStochasticBlockModel(ones).graph.num_edges(), 190u);
+}
+
+TEST(SbmTest, NoSelfLoopsOrDuplicates) {
+  SbmOptions options;
+  options.num_nodes = 120;
+  options.intra_block_prob = 0.3;
+  options.inter_block_prob = 0.1;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+  for (const Edge& e : sbm.graph.Edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, e.v);  // canonical orientation implies no duplicates
+  }
+}
+
+TEST(SbmTest, DenseBlocksFormConnectedCommunities) {
+  SbmOptions options;
+  options.num_nodes = 200;
+  options.num_blocks = 2;
+  options.intra_block_prob = 0.2;
+  options.inter_block_prob = 0.0;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+  const ComponentLabeling labeling = ConnectedComponents(sbm.graph);
+  // With p=0.2 over 100 nodes, each block is connected whp; no cross edges.
+  EXPECT_EQ(labeling.num_components, 2u);
+  EXPECT_FALSE(labeling.SameComponent(0, 199));
+}
+
+TEST(SbmTest, SingleBlockIsErdosRenyi) {
+  SbmOptions options;
+  options.num_nodes = 300;
+  options.num_blocks = 1;
+  options.intra_block_prob = 0.04;
+  options.seed = 12;
+  const SbmGraph sbm = MakeStochasticBlockModel(options);
+  // Expected C(300,2) * 0.04 = 1794.
+  EXPECT_NEAR(static_cast<double>(sbm.graph.num_edges()), 1794.0, 180.0);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,99 @@
+#include "graph/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(DijkstraTest, UnitLengthsOnPath) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.SetEdge(0, 1, 5.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 5.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 5.0).ok());
+  const std::vector<double> dist =
+      DijkstraDistances(g, 0, EdgeLengthMode::kUnit);
+  EXPECT_EQ(dist, (std::vector<double>{0, 1, 2, 3}));
+}
+
+TEST(DijkstraTest, InverseWeightLengths) {
+  // Stronger edges are shorter: 0-1 weight 2 has length 0.5.
+  WeightedGraph g(3);
+  ASSERT_TRUE(g.SetEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 4.0).ok());
+  const std::vector<double> dist =
+      DijkstraDistances(g, 0, EdgeLengthMode::kInverseWeight);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(dist[2], 0.75);
+}
+
+TEST(DijkstraTest, PicksShorterOfTwoRoutes) {
+  WeightedGraph g(4);
+  // Route A: 0-1-3 with lengths 1 + 1; Route B: 0-2-3 with lengths 0.25+0.25.
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 3, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(0, 2, 4.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 4.0).ok());
+  const std::vector<double> dist =
+      DijkstraDistances(g, 0, EdgeLengthMode::kInverseWeight);
+  EXPECT_DOUBLE_EQ(dist[3], 0.5);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  WeightedGraph g(3);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  const std::vector<double> dist =
+      DijkstraDistances(g, 0, EdgeLengthMode::kUnit);
+  EXPECT_EQ(dist[2], kInfiniteDistance);
+}
+
+TEST(DijkstraTest, SourceIsZero) {
+  WeightedGraph g(2);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  EXPECT_EQ(DijkstraDistances(g, 1, EdgeLengthMode::kUnit)[1], 0.0);
+}
+
+TEST(DijkstraTest, SymmetricDistances) {
+  WeightedGraph g(5);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 2.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 0.5).ok());
+  ASSERT_TRUE(g.SetEdge(3, 4, 1.5).ok());
+  ASSERT_TRUE(g.SetEdge(0, 4, 0.25).ok());
+  const auto adjacency = g.AdjacencyLists();
+  for (NodeId s = 0; s < 5; ++s) {
+    const auto from_s =
+        DijkstraDistances(adjacency, s, EdgeLengthMode::kInverseWeight);
+    for (NodeId t = 0; t < 5; ++t) {
+      const auto from_t =
+          DijkstraDistances(adjacency, t, EdgeLengthMode::kInverseWeight);
+      EXPECT_NEAR(from_s[t], from_t[s], 1e-12);
+    }
+  }
+}
+
+TEST(DijkstraTest, TriangleInequality) {
+  WeightedGraph g(6);
+  ASSERT_TRUE(g.SetEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(1, 2, 3.0).ok());
+  ASSERT_TRUE(g.SetEdge(2, 3, 2.0).ok());
+  ASSERT_TRUE(g.SetEdge(3, 4, 1.0).ok());
+  ASSERT_TRUE(g.SetEdge(4, 5, 2.0).ok());
+  ASSERT_TRUE(g.SetEdge(0, 5, 0.5).ok());
+  ASSERT_TRUE(g.SetEdge(1, 4, 1.0).ok());
+  const auto adjacency = g.AdjacencyLists();
+  std::vector<std::vector<double>> dist;
+  for (NodeId s = 0; s < 6; ++s) {
+    dist.push_back(
+        DijkstraDistances(adjacency, s, EdgeLengthMode::kInverseWeight));
+  }
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      for (NodeId c = 0; c < 6; ++c) {
+        EXPECT_LE(dist[a][b], dist[a][c] + dist[c][b] + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cad

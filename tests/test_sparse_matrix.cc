@@ -1,0 +1,164 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cad {
+namespace {
+
+CsrMatrix SmallCsr() {
+  // [[1, 0, 2],
+  //  [0, 0, 3],
+  //  [4, 5, 0]]
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 2, 2.0);
+  coo.Add(1, 2, 3.0);
+  coo.Add(2, 0, 4.0);
+  coo.Add(2, 1, 5.0);
+  return coo.ToCsr();
+}
+
+TEST(CooMatrixTest, TracksNnz) {
+  CooMatrix coo(2, 2);
+  EXPECT_EQ(coo.nnz(), 0u);
+  coo.Add(0, 1, 1.0);
+  coo.AddSymmetric(0, 1, 2.0);
+  EXPECT_EQ(coo.nnz(), 3u);
+}
+
+TEST(CooMatrixTest, AddSymmetricOnDiagonalAddsOnce) {
+  CooMatrix coo(2, 2);
+  coo.AddSymmetric(1, 1, 3.0);
+  EXPECT_EQ(coo.nnz(), 1u);
+  EXPECT_EQ(coo.ToCsr().At(1, 1), 3.0);
+}
+
+TEST(CooToCsrTest, SumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 1.0);
+  coo.Add(0, 1, 2.5);
+  const CsrMatrix csr = coo.ToCsr();
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(csr.At(0, 1), 3.5);
+}
+
+TEST(CooToCsrTest, SortsColumnsWithinRows) {
+  CooMatrix coo(1, 4);
+  coo.Add(0, 3, 1.0);
+  coo.Add(0, 0, 2.0);
+  coo.Add(0, 2, 3.0);
+  const CsrMatrix csr = coo.ToCsr();
+  EXPECT_EQ(csr.col_indices(), (std::vector<uint32_t>{0, 2, 3}));
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m(3, 3);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.At(1, 2), 0.0);
+  const std::vector<double> y = m.Multiply(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(y, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(CsrMatrixTest, At) {
+  const CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.At(2, 1), 5.0);
+}
+
+TEST(CsrMatrixTest, Multiply) {
+  const CsrMatrix m = SmallCsr();
+  const std::vector<double> y = m.Multiply({1, 2, 3});
+  EXPECT_EQ(y, (std::vector<double>{7, 9, 14}));
+}
+
+TEST(CsrMatrixTest, MultiplyAccumulateScalesAndAdds) {
+  const CsrMatrix m = SmallCsr();
+  std::vector<double> y = {1, 1, 1};
+  m.MultiplyAccumulate(2.0, {1, 0, 0}, &y);
+  EXPECT_EQ(y, (std::vector<double>{3, 1, 9}));
+}
+
+TEST(CsrMatrixTest, Transpose) {
+  const CsrMatrix t = SmallCsr().Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.At(2, 0), 2.0);
+  EXPECT_EQ(t.At(0, 2), 4.0);
+  EXPECT_EQ(t.At(1, 2), 5.0);
+  EXPECT_EQ(t.nnz(), 5u);
+}
+
+TEST(CsrMatrixTest, TransposeTwiceIsIdentity) {
+  const CsrMatrix m = SmallCsr();
+  const CsrMatrix tt = m.Transpose().Transpose();
+  EXPECT_EQ(tt.ToDense().MaxAbsDifference(m.ToDense()), 0.0);
+}
+
+TEST(CsrMatrixTest, Pruned) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1e-12);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 0, -1e-12);
+  const CsrMatrix pruned = coo.ToCsr().Pruned(1e-9);
+  EXPECT_EQ(pruned.nnz(), 1u);
+  EXPECT_EQ(pruned.At(0, 1), 1.0);
+}
+
+TEST(CsrMatrixTest, PrunedDropsExactZeros) {
+  CooMatrix coo(1, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 0, -1.0);  // sums to zero
+  coo.Add(0, 1, 2.0);
+  const CsrMatrix csr = coo.ToCsr();
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_EQ(csr.Pruned().nnz(), 1u);
+}
+
+TEST(CsrMatrixTest, DiagonalAndRowSums) {
+  const CsrMatrix m = SmallCsr();
+  EXPECT_EQ(m.Diagonal(), (std::vector<double>{1, 0, 0}));
+  EXPECT_EQ(m.RowSums(), (std::vector<double>{3, 3, 9}));
+  EXPECT_DOUBLE_EQ(m.TotalSum(), 15.0);
+}
+
+TEST(CsrMatrixTest, IsSymmetric) {
+  CooMatrix coo(2, 2);
+  coo.AddSymmetric(0, 1, 2.0);
+  coo.Add(0, 0, 1.0);
+  EXPECT_TRUE(coo.ToCsr().IsSymmetric());
+  EXPECT_FALSE(SmallCsr().IsSymmetric());
+}
+
+TEST(CsrMatrixTest, ToDense) {
+  const DenseMatrix dense = SmallCsr().ToDense();
+  EXPECT_EQ(dense(2, 1), 5.0);
+  EXPECT_EQ(dense(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, RawConstructorValidatesShape) {
+  // Valid construction.
+  CsrMatrix m(2, 2, {0, 1, 2}, {1, 0}, {5.0, 6.0});
+  EXPECT_EQ(m.At(0, 1), 5.0);
+  EXPECT_EQ(m.At(1, 0), 6.0);
+}
+
+TEST(CsrMatrixTest, DenseMatvecAgreesWithSparse) {
+  Rng rng(1);
+  CooMatrix coo(20, 20);
+  for (int e = 0; e < 60; ++e) {
+    coo.Add(static_cast<uint32_t>(rng.UniformInt(20)),
+            static_cast<uint32_t>(rng.UniformInt(20)), rng.Normal());
+  }
+  const CsrMatrix sparse = coo.ToCsr();
+  const DenseMatrix dense = sparse.ToDense();
+  std::vector<double> x(20);
+  for (double& v : x) v = rng.Normal();
+  const std::vector<double> ys = sparse.Multiply(x);
+  const std::vector<double> yd = dense.Multiply(x);
+  for (size_t i = 0; i < 20; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,116 @@
+#include "graph/spectral_embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+double Distance2d(const DenseMatrix& coords, NodeId a, NodeId b) {
+  const double dx = coords(a, 0) - coords(b, 0);
+  const double dy = coords(a, 1) - coords(b, 1);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+TEST(SpectralEmbeddingTest, DimensionsAndEigenvalues) {
+  WeightedGraph g(10);
+  for (NodeId i = 0; i + 1 < 10; ++i) CAD_CHECK_OK(g.SetEdge(i, i + 1, 1.0));
+  auto embedding = ComputeSpectralEmbedding(g);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_EQ(embedding->coordinates.rows(), 10u);
+  EXPECT_EQ(embedding->coordinates.cols(), 2u);
+  ASSERT_EQ(embedding->eigenvalues.size(), 2u);
+  // Connected path: both reported eigenvalues nonzero and ascending.
+  EXPECT_GT(embedding->eigenvalues[0], 1e-9);
+  EXPECT_LE(embedding->eigenvalues[0], embedding->eigenvalues[1] + 1e-12);
+}
+
+TEST(SpectralEmbeddingTest, FiedlerVectorSeparatesTwoClusters) {
+  // Two 4-cliques joined by a weak edge: the Fiedler coordinate must give
+  // the two cliques opposite signs.
+  WeightedGraph g(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      CAD_CHECK_OK(g.SetEdge(i, j, 2.0));
+      CAD_CHECK_OK(g.SetEdge(i + 4, j + 4, 2.0));
+    }
+  }
+  CAD_CHECK_OK(g.SetEdge(0, 4, 0.1));
+  auto embedding = ComputeSpectralEmbedding(g);
+  ASSERT_TRUE(embedding.ok());
+  const double sign_first = embedding->coordinates(1, 0);
+  for (NodeId i : {0, 1, 2, 3}) {
+    EXPECT_GT(embedding->coordinates(i, 0) * sign_first, 0.0);
+  }
+  for (NodeId i : {4, 5, 6, 7}) {
+    EXPECT_LT(embedding->coordinates(i, 0) * sign_first, 0.0);
+  }
+}
+
+TEST(SpectralEmbeddingTest, RejectsBadArguments) {
+  WeightedGraph tiny(2);
+  CAD_CHECK_OK(tiny.SetEdge(0, 1, 1.0));
+  EXPECT_FALSE(ComputeSpectralEmbedding(tiny).ok());  // needs n >= 3 for 2-D
+  SpectralEmbeddingOptions zero;
+  zero.dimension = 0;
+  WeightedGraph g(5);
+  EXPECT_FALSE(ComputeSpectralEmbedding(g, zero).ok());
+}
+
+TEST(SpectralEmbeddingTest, DenseAndLanczosPathsAgree) {
+  WeightedGraph g(40);
+  for (NodeId i = 0; i + 1 < 40; ++i) {
+    CAD_CHECK_OK(g.SetEdge(i, i + 1, 1.0 + (i % 3)));
+  }
+  CAD_CHECK_OK(g.SetEdge(0, 39, 0.5));
+  SpectralEmbeddingOptions dense;
+  dense.dense_limit = 100;  // force dense
+  SpectralEmbeddingOptions sparse;
+  sparse.dense_limit = 10;  // force Lanczos
+  auto a = ComputeSpectralEmbedding(g, dense);
+  auto b = ComputeSpectralEmbedding(g, sparse);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->eigenvalues[0], b->eigenvalues[0], 1e-6);
+  EXPECT_NEAR(a->eigenvalues[1], b->eigenvalues[1], 1e-6);
+  // Coordinates agree up to the canonicalized sign.
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(a->coordinates(i, 0), b->coordinates(i, 0), 1e-5);
+  }
+}
+
+TEST(SpectralEmbeddingTest, ToyExampleFig2Geometry) {
+  // Fig. 2 of the paper: in the 2-D Laplacian eigenmap,
+  //  (a) at time t the blue and red communities are separated;
+  //  (b) at time t+1 the detached red subgroup {r4, r6, r8, r9} drifts away
+  //      from the red core, and b1/r1 plus b4/b5 move closer together.
+  const ToyExample toy = MakeToyExample();
+  auto before = ComputeSpectralEmbedding(toy.sequence.Snapshot(0));
+  auto after = ComputeSpectralEmbedding(toy.sequence.Snapshot(1));
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+
+  // (a) Community separation at time t in the Fiedler coordinate: average
+  // blue and red coordinates differ strongly.
+  double blue_mean = 0.0;
+  double red_mean = 0.0;
+  for (int i = 1; i <= 8; ++i) blue_mean += before->coordinates(ToyBlue(i), 0);
+  for (int i = 1; i <= 9; ++i) red_mean += before->coordinates(ToyRed(i), 0);
+  blue_mean /= 8.0;
+  red_mean /= 9.0;
+  EXPECT_GT(std::fabs(blue_mean - red_mean), 0.1);
+
+  // (b) b1-r1 and b4-b5 get closer; r8 moves away from the red core (r7).
+  EXPECT_LT(Distance2d(after->coordinates, ToyBlue(1), ToyRed(1)),
+            Distance2d(before->coordinates, ToyBlue(1), ToyRed(1)));
+  EXPECT_LT(Distance2d(after->coordinates, ToyBlue(4), ToyBlue(5)),
+            Distance2d(before->coordinates, ToyBlue(4), ToyBlue(5)));
+  EXPECT_GT(Distance2d(after->coordinates, ToyRed(8), ToyRed(7)),
+            Distance2d(before->coordinates, ToyRed(8), ToyRed(7)));
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,82 @@
+#include "eval/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cad {
+namespace {
+
+TEST(StatisticsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatisticsTest, VarianceAndStdDev) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatisticsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(StatisticsTest, PearsonIndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.Normal());
+    y.push_back(rng.Normal());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(StatisticsTest, MidRanksWithTies) {
+  // values 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4.
+  EXPECT_EQ(MidRanks({10, 20, 20, 30}),
+            (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+  EXPECT_TRUE(MidRanks({}).empty());
+}
+
+TEST(StatisticsTest, SpearmanMonotoneNonlinear) {
+  // y = x^3 is a nonlinear monotone map: Spearman 1, Pearson < 1.
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * v * v);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(StatisticsTest, SpearmanAntiMonotone) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,73 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+WeightedGraph PathGraph(size_t n) {
+  WeightedGraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    CAD_CHECK_OK(g.SetEdge(i, i + 1, static_cast<double>(i + 1)));
+  }
+  return g;
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  const WeightedGraph g = PathGraph(6);
+  const Subgraph sub = InducedSubgraph(g, {1, 2, 4});
+  EXPECT_EQ(sub.original_ids, (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  // Only 1-2 survives (weight 2); 2-4 and 1-4 are not parent edges.
+  EXPECT_EQ(sub.graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(sub.graph.EdgeWeight(0, 1), 2.0);
+  EXPECT_FALSE(sub.graph.HasEdge(1, 2));
+}
+
+TEST(InducedSubgraphTest, DeduplicatesAndSorts) {
+  const WeightedGraph g = PathGraph(4);
+  const Subgraph sub = InducedSubgraph(g, {3, 1, 3, 1});
+  EXPECT_EQ(sub.original_ids, (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  const WeightedGraph g = PathGraph(3);
+  const Subgraph sub = InducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+  EXPECT_TRUE(sub.original_ids.empty());
+}
+
+TEST(NeighborhoodNodesTest, RadiusZeroIsJustCenter) {
+  const WeightedGraph g = PathGraph(5);
+  EXPECT_EQ(NeighborhoodNodes(g, 2, 0), (std::vector<NodeId>{2}));
+}
+
+TEST(NeighborhoodNodesTest, RadiusOneAndTwoOnPath) {
+  const WeightedGraph g = PathGraph(7);
+  EXPECT_EQ(NeighborhoodNodes(g, 3, 1), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(NeighborhoodNodes(g, 3, 2), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(NeighborhoodNodesTest, LargeRadiusCoversComponentOnly) {
+  WeightedGraph g(5);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(3, 4, 1.0));
+  EXPECT_EQ(NeighborhoodNodes(g, 0, 10), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(NeighborhoodNodesTest, EgonetExtraction) {
+  // Combined use: egonet subgraph of a hub.
+  WeightedGraph g(6);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(0, 2, 1.0));
+  CAD_CHECK_OK(g.SetEdge(1, 2, 5.0));
+  CAD_CHECK_OK(g.SetEdge(2, 3, 1.0));  // outside radius-1 of 0
+  const Subgraph egonet = InducedSubgraph(g, NeighborhoodNodes(g, 0, 1));
+  EXPECT_EQ(egonet.original_ids, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(egonet.graph.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(egonet.graph.EdgeWeight(1, 2), 5.0);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,112 @@
+#include "datagen/synthetic_gmm.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+GmmBenchmarkOptions SmallOptions(uint64_t seed = 1) {
+  GmmBenchmarkOptions options;
+  options.num_points = 120;
+  options.seed = seed;
+  return options;
+}
+
+TEST(SyntheticGmmTest, ShapesConsistent) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions());
+  EXPECT_EQ(instance.sequence.num_snapshots(), 2u);
+  EXPECT_EQ(instance.sequence.num_nodes(), 120u);
+  EXPECT_EQ(instance.cluster.size(), 120u);
+  EXPECT_EQ(instance.node_is_anomalous.size(), 120u);
+}
+
+TEST(SyntheticGmmTest, GroundTruthNonDegenerate) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions());
+  const size_t positives = static_cast<size_t>(
+      std::count(instance.node_is_anomalous.begin(),
+                 instance.node_is_anomalous.end(), true));
+  EXPECT_GT(positives, 0u);
+  EXPECT_LT(positives, 120u);
+  EXPECT_FALSE(instance.anomalous_edges.empty());
+}
+
+TEST(SyntheticGmmTest, AnomalousEdgesAreCrossCluster) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions(7));
+  for (const NodePair& pair : instance.anomalous_edges) {
+    EXPECT_NE(instance.cluster[pair.u], instance.cluster[pair.v]);
+  }
+}
+
+TEST(SyntheticGmmTest, AnomalousNodesMatchEdges) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions(9));
+  std::vector<bool> expected(instance.node_is_anomalous.size(), false);
+  for (const NodePair& pair : instance.anomalous_edges) {
+    expected[pair.u] = true;
+    expected[pair.v] = true;
+  }
+  EXPECT_EQ(instance.node_is_anomalous, expected);
+}
+
+TEST(SyntheticGmmTest, FirstSnapshotIsSimilarityGraph) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions());
+  const WeightedGraph& p = instance.sequence.Snapshot(0);
+  // exp(-d) weights lie in (0, 1].
+  for (const Edge& e : p.Edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0);
+  }
+  // Near-complete graph at this scale.
+  EXPECT_GT(p.num_edges(), 120u * 119u / 4);
+}
+
+TEST(SyntheticGmmTest, PerturbationsAddWeight) {
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(SmallOptions(11));
+  const WeightedGraph& before = instance.sequence.Snapshot(0);
+  const WeightedGraph& after = instance.sequence.Snapshot(1);
+  // The perturbed cross-cluster pairs gained U(0,1) mass on top of a small
+  // base similarity; they should mostly have grown.
+  size_t grew = 0;
+  for (const NodePair& pair : instance.anomalous_edges) {
+    if (after.EdgeWeight(pair.u, pair.v) > before.EdgeWeight(pair.u, pair.v)) {
+      ++grew;
+    }
+  }
+  EXPECT_GE(grew * 10, instance.anomalous_edges.size() * 9);
+}
+
+TEST(SyntheticGmmTest, DeterministicGivenSeed) {
+  const GmmBenchmarkInstance a = MakeGmmBenchmark(SmallOptions(3));
+  const GmmBenchmarkInstance b = MakeGmmBenchmark(SmallOptions(3));
+  EXPECT_TRUE(a.sequence.Snapshot(0) == b.sequence.Snapshot(0));
+  EXPECT_TRUE(a.sequence.Snapshot(1) == b.sequence.Snapshot(1));
+  EXPECT_EQ(a.anomalous_edges.size(), b.anomalous_edges.size());
+}
+
+TEST(SyntheticGmmTest, DifferentSeedsDiffer) {
+  const GmmBenchmarkInstance a = MakeGmmBenchmark(SmallOptions(3));
+  const GmmBenchmarkInstance b = MakeGmmBenchmark(SmallOptions(4));
+  EXPECT_FALSE(a.sequence.Snapshot(0) == b.sequence.Snapshot(0));
+}
+
+TEST(SyntheticGmmTest, ForcedAnomalyWhenDrawProducesNone) {
+  GmmBenchmarkOptions options = SmallOptions();
+  options.num_points = 30;
+  options.perturbations_per_node = 0.0;  // no random perturbations at all
+  const GmmBenchmarkInstance instance = MakeGmmBenchmark(options);
+  EXPECT_EQ(instance.anomalous_edges.size(), 1u);  // the forced one
+}
+
+TEST(SyntheticGmmTest, CrossClusterFractionControlsGroundTruthSize) {
+  GmmBenchmarkOptions mostly_within = SmallOptions(13);
+  mostly_within.cross_cluster_fraction = 0.1;
+  GmmBenchmarkOptions mostly_cross = SmallOptions(13);
+  mostly_cross.cross_cluster_fraction = 0.9;
+  const size_t few = MakeGmmBenchmark(mostly_within).anomalous_edges.size();
+  const size_t many = MakeGmmBenchmark(mostly_cross).anomalous_edges.size();
+  EXPECT_LT(few, many);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,147 @@
+#include "io/temporal_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/toy_example.h"
+
+namespace cad {
+namespace {
+
+TemporalGraphSequence SampleSequence() {
+  TemporalGraphSequence seq(3);
+  WeightedGraph g1(3);
+  CAD_CHECK_OK(g1.SetEdge(0, 1, 1.5));
+  CAD_CHECK_OK(g1.SetEdge(1, 2, 0.25));
+  WeightedGraph g2(3);
+  CAD_CHECK_OK(g2.SetEdge(0, 2, 3.0));
+  CAD_CHECK_OK(seq.Append(std::move(g1)));
+  CAD_CHECK_OK(seq.Append(std::move(g2)));
+  return seq;
+}
+
+TEST(TemporalIoTest, RoundTripThroughStream) {
+  const TemporalGraphSequence original = SampleSequence();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemporalEdgeList(original, &out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  ASSERT_EQ(parsed->num_snapshots(), 2u);
+  EXPECT_TRUE(parsed->Snapshot(0) == original.Snapshot(0));
+  EXPECT_TRUE(parsed->Snapshot(1) == original.Snapshot(1));
+}
+
+TEST(TemporalIoTest, RoundTripPreservesExactWeights) {
+  TemporalGraphSequence seq(2);
+  WeightedGraph g(2);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 0.1 + 0.2));  // non-representable decimal
+  CAD_CHECK_OK(seq.Append(std::move(g)));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemporalEdgeList(seq, &out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 0.1 + 0.2);
+}
+
+TEST(TemporalIoTest, RoundTripToyExampleThroughFile) {
+  const ToyExample toy = MakeToyExample();
+  const std::string path = ::testing::TempDir() + "/toy_sequence.txt";
+  ASSERT_TRUE(WriteTemporalEdgeListFile(toy.sequence, path).ok());
+  auto parsed = ReadTemporalEdgeListFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Snapshot(0) == toy.sequence.Snapshot(0));
+  EXPECT_TRUE(parsed->Snapshot(1) == toy.sequence.Snapshot(1));
+  std::remove(path.c_str());
+}
+
+TEST(TemporalIoTest, EmptySnapshotsPreserved) {
+  TemporalGraphSequence seq(4);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(4)));
+  CAD_CHECK_OK(seq.Append(WeightedGraph(4)));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemporalEdgeList(seq, &out).ok());
+  std::istringstream in(out.str());
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_snapshots(), 2u);
+  EXPECT_EQ(parsed->Snapshot(0).num_edges(), 0u);
+}
+
+TEST(TemporalIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "temporal 2 1\n"
+      "# snapshot below\n"
+      "snapshot 0\n"
+      "edge 0 1 2.5\n"
+      "\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 2.5);
+}
+
+TEST(TemporalIoTest, RejectsMissingHeader) {
+  std::istringstream in("snapshot 0\nedge 0 1 1\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
+TEST(TemporalIoTest, RejectsOutOfOrderSnapshots) {
+  std::istringstream in("temporal 2 2\nsnapshot 1\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
+TEST(TemporalIoTest, RejectsEdgeOutsideSnapshot) {
+  std::istringstream in("temporal 2 1\nedge 0 1 1\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
+TEST(TemporalIoTest, RejectsMalformedEdge) {
+  std::istringstream in("temporal 2 1\nsnapshot 0\nedge 0 1\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+  std::istringstream in2("temporal 2 1\nsnapshot 0\nedge 0 x 1\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in2).ok());
+}
+
+TEST(TemporalIoTest, RejectsInvalidEdgeTarget) {
+  // Node 5 out of range for 2 nodes.
+  std::istringstream in("temporal 2 1\nsnapshot 0\nedge 0 5 1\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(TemporalIoTest, RejectsSnapshotCountMismatch) {
+  std::istringstream in("temporal 2 3\nsnapshot 0\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("mismatch"), std::string::npos);
+}
+
+TEST(TemporalIoTest, RejectsUnknownRecord) {
+  std::istringstream in("temporal 2 1\nvertex 0\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
+TEST(TemporalIoTest, ErrorsIncludeLineNumbers) {
+  std::istringstream in("temporal 2 1\nsnapshot 0\nedge 0 1 bad\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TemporalIoTest, FileNotFound) {
+  auto parsed = ReadTemporalEdgeListFile("/nonexistent/dir/file.txt");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(
+      WriteTemporalEdgeListFile(SampleSequence(), "/nonexistent/dir/file.txt")
+          .code(),
+      StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,88 @@
+#include "graph/temporal_stats.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TemporalGraphSequence SampleSequence() {
+  TemporalGraphSequence seq(5);
+  WeightedGraph g1(5);
+  CAD_CHECK_OK(g1.SetEdge(0, 1, 2.0));
+  CAD_CHECK_OK(g1.SetEdge(1, 2, 1.0));
+  WeightedGraph g2(5);
+  CAD_CHECK_OK(g2.SetEdge(0, 1, 3.0));  // reweighted
+  CAD_CHECK_OK(g2.SetEdge(3, 4, 1.0));  // added; 1-2 removed
+  CAD_CHECK_OK(seq.Append(std::move(g1)));
+  CAD_CHECK_OK(seq.Append(std::move(g2)));
+  return seq;
+}
+
+TEST(TemporalStatsTest, SnapshotStats) {
+  const TemporalProfile profile = ProfileSequence(SampleSequence());
+  ASSERT_EQ(profile.snapshots.size(), 2u);
+  const SnapshotStats& s0 = profile.snapshots[0];
+  EXPECT_EQ(s0.num_edges, 2u);
+  EXPECT_DOUBLE_EQ(s0.volume, 6.0);
+  EXPECT_DOUBLE_EQ(s0.mean_weight, 1.5);
+  // Components: {0,1,2}, {3}, {4}.
+  EXPECT_EQ(s0.num_components, 3u);
+  EXPECT_EQ(s0.largest_component, 3u);
+  EXPECT_EQ(s0.isolated_nodes, 2u);
+
+  const SnapshotStats& s1 = profile.snapshots[1];
+  EXPECT_EQ(s1.num_edges, 2u);
+  // Components: {0,1}, {2}, {3,4}.
+  EXPECT_EQ(s1.num_components, 3u);
+  EXPECT_EQ(s1.isolated_nodes, 1u);
+}
+
+TEST(TemporalStatsTest, TransitionStats) {
+  const TemporalProfile profile = ProfileSequence(SampleSequence());
+  ASSERT_EQ(profile.transitions.size(), 1u);
+  const TransitionStats& t = profile.transitions[0];
+  EXPECT_EQ(t.edges_added, 1u);       // 3-4
+  EXPECT_EQ(t.edges_removed, 1u);     // 1-2
+  EXPECT_EQ(t.edges_reweighted, 1u);  // 0-1
+  EXPECT_DOUBLE_EQ(t.weight_change_l1, 1.0 + 1.0 + 1.0);
+  // Union support = 3, shared = 1.
+  EXPECT_NEAR(t.support_jaccard, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TemporalStatsTest, IdenticalSnapshotsAreCalm) {
+  WeightedGraph g(3);
+  CAD_CHECK_OK(g.SetEdge(0, 1, 1.0));
+  TemporalGraphSequence seq(3);
+  CAD_CHECK_OK(seq.Append(g));
+  CAD_CHECK_OK(seq.Append(g));
+  const TemporalProfile profile = ProfileSequence(seq);
+  const TransitionStats& t = profile.transitions[0];
+  EXPECT_EQ(t.edges_added + t.edges_removed + t.edges_reweighted, 0u);
+  EXPECT_EQ(t.weight_change_l1, 0.0);
+  EXPECT_DOUBLE_EQ(t.support_jaccard, 1.0);
+}
+
+TEST(TemporalStatsTest, EmptySnapshotsConvention) {
+  TemporalGraphSequence seq(4);
+  CAD_CHECK_OK(seq.Append(WeightedGraph(4)));
+  CAD_CHECK_OK(seq.Append(WeightedGraph(4)));
+  const TemporalProfile profile = ProfileSequence(seq);
+  EXPECT_DOUBLE_EQ(profile.transitions[0].support_jaccard, 1.0);
+  EXPECT_EQ(profile.snapshots[0].num_edges, 0u);
+  EXPECT_EQ(profile.snapshots[0].num_components, 4u);
+}
+
+TEST(TemporalStatsTest, PrintRendersTables) {
+  std::ostringstream out;
+  PrintTemporalProfile(ProfileSequence(SampleSequence()), &out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("snapshot"), std::string::npos);
+  EXPECT_NE(text.find("jaccard"), std::string::npos);
+  // Two snapshot rows + one transition row present.
+  EXPECT_NE(text.find("\n0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,105 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TransitionScores MakeScores(std::vector<double> values) {
+  TransitionScores scores;
+  NodeId next = 0;
+  for (double v : values) {
+    scores.edges.push_back(ScoredEdge{NodePair{next, next + 1}, v, 0, 0});
+    next += 2;  // disjoint endpoints: 2 nodes per edge
+    scores.total_score += v;
+  }
+  scores.node_scores.assign(2 * values.size(), 0.0);
+  return scores;
+}
+
+TEST(ApplyThresholdTest, ProducesReportsPerTransition) {
+  std::vector<TransitionScores> all = {MakeScores({5, 1}), MakeScores({0.5})};
+  const std::vector<AnomalyReport> reports = ApplyThreshold(all, 2.0);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].transition, 0u);
+  EXPECT_EQ(reports[1].transition, 1u);
+  // Transition 0: total 6 >= 2, peel 5 -> remaining 1 < 2. One edge.
+  EXPECT_EQ(reports[0].edges.size(), 1u);
+  EXPECT_EQ(reports[0].nodes.size(), 2u);
+  // Transition 1: total 0.5 < 2: calm, nothing flagged.
+  EXPECT_TRUE(reports[1].edges.empty());
+  EXPECT_TRUE(reports[1].nodes.empty());
+}
+
+TEST(ApplyThresholdTest, EdgesKeepDescendingOrder) {
+  std::vector<TransitionScores> all = {MakeScores({5, 4, 3})};
+  const std::vector<AnomalyReport> reports = ApplyThreshold(all, 1.0);
+  ASSERT_EQ(reports[0].edges.size(), 3u);
+  EXPECT_GE(reports[0].edges[0].score, reports[0].edges[1].score);
+  EXPECT_GE(reports[0].edges[1].score, reports[0].edges[2].score);
+}
+
+TEST(CountAnomalousNodesTest, CountsAcrossTransitions) {
+  std::vector<TransitionScores> all = {MakeScores({5, 1}), MakeScores({7})};
+  // delta = 2: transition 0 flags 1 edge (2 nodes); transition 1 flags 1
+  // edge (2 nodes).
+  EXPECT_EQ(CountAnomalousNodes(all, 2.0), 4u);
+  // Huge delta: nothing.
+  EXPECT_EQ(CountAnomalousNodes(all, 100.0), 0u);
+}
+
+TEST(CountAnomalousNodesTest, MonotoneNonIncreasingInDelta) {
+  std::vector<TransitionScores> all = {MakeScores({9, 4, 2, 1}),
+                                       MakeScores({3, 3})};
+  size_t previous = CountAnomalousNodes(all, 0.01);
+  for (double delta : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const size_t count = CountAnomalousNodes(all, delta);
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+}
+
+TEST(CalibrateDeltaTest, HitsExactTargetWhenAchievable) {
+  // One transition, disjoint edges: flagging k edges = 2k nodes.
+  std::vector<TransitionScores> all = {MakeScores({8, 4, 2, 1})};
+  // Target 4 nodes per transition = 2 edges.
+  const double delta = CalibrateDelta(all, 4.0);
+  EXPECT_EQ(CountAnomalousNodes(all, delta), 4u);
+}
+
+TEST(CalibrateDeltaTest, CalmTransitionsStayCalm) {
+  // The paper's rationale for a single global threshold: a quiet transition
+  // must report nothing even when the average target is positive.
+  std::vector<TransitionScores> all = {MakeScores({100, 90}),
+                                       MakeScores({0.01})};
+  const double delta = CalibrateDelta(all, 2.0);
+  const std::vector<AnomalyReport> reports = ApplyThreshold(all, delta);
+  EXPECT_FALSE(reports[0].nodes.empty());
+  EXPECT_TRUE(reports[1].nodes.empty());
+}
+
+TEST(CalibrateDeltaTest, EmptyInput) {
+  EXPECT_EQ(CalibrateDelta({}, 5.0), 0.0);
+}
+
+TEST(CalibrateDeltaTest, AllZeroScores) {
+  std::vector<TransitionScores> all = {MakeScores({0, 0})};
+  const double delta = CalibrateDelta(all, 5.0);
+  EXPECT_EQ(CountAnomalousNodes(all, delta), 0u);
+}
+
+TEST(CalibrateDeltaTest, ZeroTargetFlagsNothing) {
+  std::vector<TransitionScores> all = {MakeScores({5, 3})};
+  const double delta = CalibrateDelta(all, 0.0);
+  EXPECT_EQ(CountAnomalousNodes(all, delta), 0u);
+}
+
+TEST(CalibrateDeltaTest, TargetBeyondSupplyFlagsEverything) {
+  std::vector<TransitionScores> all = {MakeScores({5, 3})};
+  const double delta = CalibrateDelta(all, 100.0);
+  // Only 2 edges exist -> 4 nodes max.
+  EXPECT_EQ(CountAnomalousNodes(all, delta), 4u);
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,62 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> y = {1, 1};
+  Axpy(2.0, {3, -1}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOpsTest, ScaleInPlace) {
+  std::vector<double> x = {2, -4};
+  ScaleInPlace(0.5, &x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(VectorOpsTest, AddSubtract) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Subtract({1, 2}, {3, 4}), (std::vector<double>{-2, -2}));
+}
+
+TEST(VectorOpsTest, SumAndMaxAbs) {
+  EXPECT_DOUBLE_EQ(Sum({1, -2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(MaxAbs({1, -5, 3}), 5.0);
+  EXPECT_DOUBLE_EQ(MaxAbs({}), 0.0);
+}
+
+TEST(VectorOpsTest, MaxAbsDifference) {
+  EXPECT_DOUBLE_EQ(MaxAbsDifference({1, 2}, {0, 5}), 3.0);
+}
+
+TEST(VectorOpsTest, Constant) {
+  EXPECT_EQ(Constant(3, 2.5), (std::vector<double>{2.5, 2.5, 2.5}));
+  EXPECT_TRUE(Constant(0, 1.0).empty());
+}
+
+TEST(VectorOpsTest, CauchySchwarzHolds) {
+  const std::vector<double> a = {1.0, -2.0, 0.5, 3.0};
+  const std::vector<double> b = {0.3, 4.0, -1.0, 2.0};
+  EXPECT_LE(std::fabs(Dot(a, b)), Norm2(a) * Norm2(b) + 1e-12);
+}
+
+}  // namespace
+}  // namespace cad
