@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_preconditioner"
+  "../bench/ablation_preconditioner.pdb"
+  "CMakeFiles/ablation_preconditioner.dir/ablation_preconditioner.cc.o"
+  "CMakeFiles/ablation_preconditioner.dir/ablation_preconditioner.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preconditioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regularization"
+  "../bench/ablation_regularization.pdb"
+  "CMakeFiles/ablation_regularization.dir/ablation_regularization.cc.o"
+  "CMakeFiles/ablation_regularization.dir/ablation_regularization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_dblp"
+  "../bench/repro_dblp.pdb"
+  "CMakeFiles/repro_dblp.dir/repro_dblp.cc.o"
+  "CMakeFiles/repro_dblp.dir/repro_dblp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_enron_timeline"
+  "../bench/repro_enron_timeline.pdb"
+  "CMakeFiles/repro_enron_timeline.dir/repro_enron_timeline.cc.o"
+  "CMakeFiles/repro_enron_timeline.dir/repro_enron_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_enron_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

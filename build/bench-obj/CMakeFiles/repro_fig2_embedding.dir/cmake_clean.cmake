@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_fig2_embedding"
+  "../bench/repro_fig2_embedding.pdb"
+  "CMakeFiles/repro_fig2_embedding.dir/repro_fig2_embedding.cc.o"
+  "CMakeFiles/repro_fig2_embedding.dir/repro_fig2_embedding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig2_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_fig4_data"
+  "../bench/repro_fig4_data.pdb"
+  "CMakeFiles/repro_fig4_data.dir/repro_fig4_data.cc.o"
+  "CMakeFiles/repro_fig4_data.dir/repro_fig4_data.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig4_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

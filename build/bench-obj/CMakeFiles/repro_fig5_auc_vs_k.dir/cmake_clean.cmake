@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_fig5_auc_vs_k"
+  "../bench/repro_fig5_auc_vs_k.pdb"
+  "CMakeFiles/repro_fig5_auc_vs_k.dir/repro_fig5_auc_vs_k.cc.o"
+  "CMakeFiles/repro_fig5_auc_vs_k.dir/repro_fig5_auc_vs_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig5_auc_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

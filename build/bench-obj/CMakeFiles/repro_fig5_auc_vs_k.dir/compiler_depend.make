@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_fig5_auc_vs_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_fig6_roc"
+  "../bench/repro_fig6_roc.pdb"
+  "CMakeFiles/repro_fig6_roc.dir/repro_fig6_roc.cc.o"
+  "CMakeFiles/repro_fig6_roc.dir/repro_fig6_roc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig6_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_precipitation"
+  "../bench/repro_precipitation.pdb"
+  "CMakeFiles/repro_precipitation.dir/repro_precipitation.cc.o"
+  "CMakeFiles/repro_precipitation.dir/repro_precipitation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_precipitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_scalability"
+  "../bench/repro_scalability.pdb"
+  "CMakeFiles/repro_scalability.dir/repro_scalability.cc.o"
+  "CMakeFiles/repro_scalability.dir/repro_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

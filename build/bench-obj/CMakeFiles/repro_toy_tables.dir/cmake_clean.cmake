@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_toy_tables"
+  "../bench/repro_toy_tables.pdb"
+  "CMakeFiles/repro_toy_tables.dir/repro_toy_tables.cc.o"
+  "CMakeFiles/repro_toy_tables.dir/repro_toy_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_toy_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_teleconnections.dir/climate_teleconnections.cpp.o"
+  "CMakeFiles/climate_teleconnections.dir/climate_teleconnections.cpp.o.d"
+  "climate_teleconnections"
+  "climate_teleconnections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_teleconnections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

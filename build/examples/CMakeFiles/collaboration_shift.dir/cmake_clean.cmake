@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_shift.dir/collaboration_shift.cpp.o"
+  "CMakeFiles/collaboration_shift.dir/collaboration_shift.cpp.o.d"
+  "collaboration_shift"
+  "collaboration_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/pipeline.cc" "src/CMakeFiles/cadlib.dir/app/pipeline.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/app/pipeline.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/cadlib.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/cadlib.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cadlib.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cadlib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/cadlib.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/common/strings.cc.o.d"
+  "/root/repo/src/commute/approx_commute.cc" "src/CMakeFiles/cadlib.dir/commute/approx_commute.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/commute/approx_commute.cc.o.d"
+  "/root/repo/src/commute/exact_commute.cc" "src/CMakeFiles/cadlib.dir/commute/exact_commute.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/commute/exact_commute.cc.o.d"
+  "/root/repo/src/commute/random_walk.cc" "src/CMakeFiles/cadlib.dir/commute/random_walk.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/commute/random_walk.cc.o.d"
+  "/root/repo/src/core/act_detector.cc" "src/CMakeFiles/cadlib.dir/core/act_detector.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/act_detector.cc.o.d"
+  "/root/repo/src/core/afm_detector.cc" "src/CMakeFiles/cadlib.dir/core/afm_detector.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/afm_detector.cc.o.d"
+  "/root/repo/src/core/cad_detector.cc" "src/CMakeFiles/cadlib.dir/core/cad_detector.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/cad_detector.cc.o.d"
+  "/root/repo/src/core/case_classifier.cc" "src/CMakeFiles/cadlib.dir/core/case_classifier.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/case_classifier.cc.o.d"
+  "/root/repo/src/core/clc_detector.cc" "src/CMakeFiles/cadlib.dir/core/clc_detector.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/clc_detector.cc.o.d"
+  "/root/repo/src/core/edge_scores.cc" "src/CMakeFiles/cadlib.dir/core/edge_scores.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/edge_scores.cc.o.d"
+  "/root/repo/src/core/online_monitor.cc" "src/CMakeFiles/cadlib.dir/core/online_monitor.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/online_monitor.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/CMakeFiles/cadlib.dir/core/threshold.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/core/threshold.cc.o.d"
+  "/root/repo/src/datagen/dblp_sim.cc" "src/CMakeFiles/cadlib.dir/datagen/dblp_sim.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/dblp_sim.cc.o.d"
+  "/root/repo/src/datagen/enron_sim.cc" "src/CMakeFiles/cadlib.dir/datagen/enron_sim.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/enron_sim.cc.o.d"
+  "/root/repo/src/datagen/gmm.cc" "src/CMakeFiles/cadlib.dir/datagen/gmm.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/gmm.cc.o.d"
+  "/root/repo/src/datagen/precip_sim.cc" "src/CMakeFiles/cadlib.dir/datagen/precip_sim.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/precip_sim.cc.o.d"
+  "/root/repo/src/datagen/random_graphs.cc" "src/CMakeFiles/cadlib.dir/datagen/random_graphs.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/random_graphs.cc.o.d"
+  "/root/repo/src/datagen/sbm.cc" "src/CMakeFiles/cadlib.dir/datagen/sbm.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/sbm.cc.o.d"
+  "/root/repo/src/datagen/synthetic_gmm.cc" "src/CMakeFiles/cadlib.dir/datagen/synthetic_gmm.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/synthetic_gmm.cc.o.d"
+  "/root/repo/src/datagen/toy_example.cc" "src/CMakeFiles/cadlib.dir/datagen/toy_example.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/datagen/toy_example.cc.o.d"
+  "/root/repo/src/eval/roc.cc" "src/CMakeFiles/cadlib.dir/eval/roc.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/eval/roc.cc.o.d"
+  "/root/repo/src/eval/statistics.cc" "src/CMakeFiles/cadlib.dir/eval/statistics.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/eval/statistics.cc.o.d"
+  "/root/repo/src/graph/centrality.cc" "src/CMakeFiles/cadlib.dir/graph/centrality.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/centrality.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/cadlib.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/cadlib.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/shortest_paths.cc" "src/CMakeFiles/cadlib.dir/graph/shortest_paths.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/shortest_paths.cc.o.d"
+  "/root/repo/src/graph/spectral_embedding.cc" "src/CMakeFiles/cadlib.dir/graph/spectral_embedding.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/spectral_embedding.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/cadlib.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/CMakeFiles/cadlib.dir/graph/temporal_graph.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/temporal_graph.cc.o.d"
+  "/root/repo/src/graph/temporal_stats.cc" "src/CMakeFiles/cadlib.dir/graph/temporal_stats.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/graph/temporal_stats.cc.o.d"
+  "/root/repo/src/io/csv_writer.cc" "src/CMakeFiles/cadlib.dir/io/csv_writer.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/io/csv_writer.cc.o.d"
+  "/root/repo/src/io/dot_writer.cc" "src/CMakeFiles/cadlib.dir/io/dot_writer.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/io/dot_writer.cc.o.d"
+  "/root/repo/src/io/event_stream.cc" "src/CMakeFiles/cadlib.dir/io/event_stream.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/io/event_stream.cc.o.d"
+  "/root/repo/src/io/json_writer.cc" "src/CMakeFiles/cadlib.dir/io/json_writer.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/io/json_writer.cc.o.d"
+  "/root/repo/src/io/temporal_io.cc" "src/CMakeFiles/cadlib.dir/io/temporal_io.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/io/temporal_io.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/cadlib.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/conjugate_gradient.cc" "src/CMakeFiles/cadlib.dir/linalg/conjugate_gradient.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/conjugate_gradient.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/CMakeFiles/cadlib.dir/linalg/dense_matrix.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/incomplete_cholesky.cc" "src/CMakeFiles/cadlib.dir/linalg/incomplete_cholesky.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/incomplete_cholesky.cc.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cc" "src/CMakeFiles/cadlib.dir/linalg/jacobi_eigen.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/jacobi_eigen.cc.o.d"
+  "/root/repo/src/linalg/lanczos.cc" "src/CMakeFiles/cadlib.dir/linalg/lanczos.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/lanczos.cc.o.d"
+  "/root/repo/src/linalg/power_iteration.cc" "src/CMakeFiles/cadlib.dir/linalg/power_iteration.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/power_iteration.cc.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cc" "src/CMakeFiles/cadlib.dir/linalg/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/sparse_matrix.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/cadlib.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/cadlib.dir/linalg/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_act_detector.cc" "tests/CMakeFiles/cad_tests.dir/test_act_detector.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_act_detector.cc.o.d"
+  "/root/repo/tests/test_afm_detector.cc" "tests/CMakeFiles/cad_tests.dir/test_afm_detector.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_afm_detector.cc.o.d"
+  "/root/repo/tests/test_betweenness.cc" "tests/CMakeFiles/cad_tests.dir/test_betweenness.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_betweenness.cc.o.d"
+  "/root/repo/tests/test_cad_detector.cc" "tests/CMakeFiles/cad_tests.dir/test_cad_detector.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_cad_detector.cc.o.d"
+  "/root/repo/tests/test_cad_properties.cc" "tests/CMakeFiles/cad_tests.dir/test_cad_properties.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_cad_properties.cc.o.d"
+  "/root/repo/tests/test_case_classifier.cc" "tests/CMakeFiles/cad_tests.dir/test_case_classifier.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_case_classifier.cc.o.d"
+  "/root/repo/tests/test_centrality.cc" "tests/CMakeFiles/cad_tests.dir/test_centrality.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_centrality.cc.o.d"
+  "/root/repo/tests/test_check_death.cc" "tests/CMakeFiles/cad_tests.dir/test_check_death.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_check_death.cc.o.d"
+  "/root/repo/tests/test_cholesky.cc" "tests/CMakeFiles/cad_tests.dir/test_cholesky.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_cholesky.cc.o.d"
+  "/root/repo/tests/test_clc_detector.cc" "tests/CMakeFiles/cad_tests.dir/test_clc_detector.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_clc_detector.cc.o.d"
+  "/root/repo/tests/test_commute_approx.cc" "tests/CMakeFiles/cad_tests.dir/test_commute_approx.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_commute_approx.cc.o.d"
+  "/root/repo/tests/test_commute_exact.cc" "tests/CMakeFiles/cad_tests.dir/test_commute_exact.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_commute_exact.cc.o.d"
+  "/root/repo/tests/test_components.cc" "tests/CMakeFiles/cad_tests.dir/test_components.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_components.cc.o.d"
+  "/root/repo/tests/test_conjugate_gradient.cc" "tests/CMakeFiles/cad_tests.dir/test_conjugate_gradient.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_conjugate_gradient.cc.o.d"
+  "/root/repo/tests/test_csv_writer.cc" "tests/CMakeFiles/cad_tests.dir/test_csv_writer.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_csv_writer.cc.o.d"
+  "/root/repo/tests/test_dblp_sim.cc" "tests/CMakeFiles/cad_tests.dir/test_dblp_sim.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_dblp_sim.cc.o.d"
+  "/root/repo/tests/test_dense_matrix.cc" "tests/CMakeFiles/cad_tests.dir/test_dense_matrix.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_dense_matrix.cc.o.d"
+  "/root/repo/tests/test_detector_sweeps.cc" "tests/CMakeFiles/cad_tests.dir/test_detector_sweeps.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_detector_sweeps.cc.o.d"
+  "/root/repo/tests/test_dot_writer.cc" "tests/CMakeFiles/cad_tests.dir/test_dot_writer.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_dot_writer.cc.o.d"
+  "/root/repo/tests/test_edge_scores.cc" "tests/CMakeFiles/cad_tests.dir/test_edge_scores.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_edge_scores.cc.o.d"
+  "/root/repo/tests/test_enron_sim.cc" "tests/CMakeFiles/cad_tests.dir/test_enron_sim.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_enron_sim.cc.o.d"
+  "/root/repo/tests/test_event_stream.cc" "tests/CMakeFiles/cad_tests.dir/test_event_stream.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_event_stream.cc.o.d"
+  "/root/repo/tests/test_flags.cc" "tests/CMakeFiles/cad_tests.dir/test_flags.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_flags.cc.o.d"
+  "/root/repo/tests/test_gmm.cc" "tests/CMakeFiles/cad_tests.dir/test_gmm.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_gmm.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/cad_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_incomplete_cholesky.cc" "tests/CMakeFiles/cad_tests.dir/test_incomplete_cholesky.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_incomplete_cholesky.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/cad_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_io_fuzz.cc" "tests/CMakeFiles/cad_tests.dir/test_io_fuzz.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_io_fuzz.cc.o.d"
+  "/root/repo/tests/test_jacobi_eigen.cc" "tests/CMakeFiles/cad_tests.dir/test_jacobi_eigen.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_jacobi_eigen.cc.o.d"
+  "/root/repo/tests/test_json_writer.cc" "tests/CMakeFiles/cad_tests.dir/test_json_writer.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_json_writer.cc.o.d"
+  "/root/repo/tests/test_lanczos.cc" "tests/CMakeFiles/cad_tests.dir/test_lanczos.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_lanczos.cc.o.d"
+  "/root/repo/tests/test_online_monitor.cc" "tests/CMakeFiles/cad_tests.dir/test_online_monitor.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_online_monitor.cc.o.d"
+  "/root/repo/tests/test_optimization_equivalence.cc" "tests/CMakeFiles/cad_tests.dir/test_optimization_equivalence.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_optimization_equivalence.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/cad_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/cad_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_power_iteration.cc" "tests/CMakeFiles/cad_tests.dir/test_power_iteration.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_power_iteration.cc.o.d"
+  "/root/repo/tests/test_precip_sim.cc" "tests/CMakeFiles/cad_tests.dir/test_precip_sim.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_precip_sim.cc.o.d"
+  "/root/repo/tests/test_random_graphs.cc" "tests/CMakeFiles/cad_tests.dir/test_random_graphs.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_random_graphs.cc.o.d"
+  "/root/repo/tests/test_random_walk.cc" "tests/CMakeFiles/cad_tests.dir/test_random_walk.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_random_walk.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/cad_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_roc.cc" "tests/CMakeFiles/cad_tests.dir/test_roc.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_roc.cc.o.d"
+  "/root/repo/tests/test_roundtrip_properties.cc" "tests/CMakeFiles/cad_tests.dir/test_roundtrip_properties.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_roundtrip_properties.cc.o.d"
+  "/root/repo/tests/test_sbm.cc" "tests/CMakeFiles/cad_tests.dir/test_sbm.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_sbm.cc.o.d"
+  "/root/repo/tests/test_shortest_paths.cc" "tests/CMakeFiles/cad_tests.dir/test_shortest_paths.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_shortest_paths.cc.o.d"
+  "/root/repo/tests/test_sparse_matrix.cc" "tests/CMakeFiles/cad_tests.dir/test_sparse_matrix.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_sparse_matrix.cc.o.d"
+  "/root/repo/tests/test_spectral_embedding.cc" "tests/CMakeFiles/cad_tests.dir/test_spectral_embedding.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_spectral_embedding.cc.o.d"
+  "/root/repo/tests/test_statistics.cc" "tests/CMakeFiles/cad_tests.dir/test_statistics.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_statistics.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/cad_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_strings.cc" "tests/CMakeFiles/cad_tests.dir/test_strings.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_strings.cc.o.d"
+  "/root/repo/tests/test_subgraph.cc" "tests/CMakeFiles/cad_tests.dir/test_subgraph.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_subgraph.cc.o.d"
+  "/root/repo/tests/test_synthetic_gmm.cc" "tests/CMakeFiles/cad_tests.dir/test_synthetic_gmm.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_synthetic_gmm.cc.o.d"
+  "/root/repo/tests/test_temporal_graph.cc" "tests/CMakeFiles/cad_tests.dir/test_temporal_graph.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_temporal_graph.cc.o.d"
+  "/root/repo/tests/test_temporal_io.cc" "tests/CMakeFiles/cad_tests.dir/test_temporal_io.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_temporal_io.cc.o.d"
+  "/root/repo/tests/test_temporal_stats.cc" "tests/CMakeFiles/cad_tests.dir/test_temporal_stats.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_temporal_stats.cc.o.d"
+  "/root/repo/tests/test_threshold.cc" "tests/CMakeFiles/cad_tests.dir/test_threshold.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_threshold.cc.o.d"
+  "/root/repo/tests/test_toy_example.cc" "tests/CMakeFiles/cad_tests.dir/test_toy_example.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_toy_example.cc.o.d"
+  "/root/repo/tests/test_vector_ops.cc" "tests/CMakeFiles/cad_tests.dir/test_vector_ops.cc.o" "gcc" "tests/CMakeFiles/cad_tests.dir/test_vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_cli.dir/cad_cli.cc.o"
+  "CMakeFiles/cad_cli.dir/cad_cli.cc.o.d"
+  "cad_cli"
+  "cad_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_demo_data.dir/make_demo_data.cc.o"
+  "CMakeFiles/make_demo_data.dir/make_demo_data.cc.o.d"
+  "make_demo_data"
+  "make_demo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_demo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

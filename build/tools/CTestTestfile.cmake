@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_make_demo_data "/root/repo/build/tools/make_demo_data" "--output_dir" "/root/repo/build/demo_data" "--employees" "80" "--months" "42")
+set_tests_properties(tool_make_demo_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cad_cli_toy "/root/repo/build/tools/cad_cli" "--input" "/root/repo/build/demo_data/toy.tel" "--engine" "exact" "--l" "6" "--edges_csv" "-" "--json" "-")
+set_tests_properties(tool_cad_cli_toy PROPERTIES  DEPENDS "tool_make_demo_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cad_cli_profile_org "/root/repo/build/tools/cad_cli" "--input" "/root/repo/build/demo_data/org.tel" "--method" "ACT" "--profile" "--nodes_csv" "/root/repo/build/demo_data/act_scores.csv")
+set_tests_properties(tool_cad_cli_profile_org PROPERTIES  DEPENDS "tool_make_demo_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
