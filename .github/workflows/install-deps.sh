@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds and installs the two test/bench dependencies (googletest and google
+# benchmark) from source, since the distro packages do not reliably ship
+# CMake package configs on all runner images.
+set -euo pipefail
+
+GTEST_VERSION="v1.14.0"
+BENCHMARK_VERSION="v1.8.3"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+git clone --depth 1 --branch "${GTEST_VERSION}" \
+  https://github.com/google/googletest.git "${tmpdir}/googletest"
+cmake -S "${tmpdir}/googletest" -B "${tmpdir}/googletest/build" \
+  -DCMAKE_BUILD_TYPE=Release -DBUILD_GMOCK=OFF
+cmake --build "${tmpdir}/googletest/build" -j
+sudo cmake --install "${tmpdir}/googletest/build"
+
+git clone --depth 1 --branch "${BENCHMARK_VERSION}" \
+  https://github.com/google/benchmark.git "${tmpdir}/benchmark"
+cmake -S "${tmpdir}/benchmark" -B "${tmpdir}/benchmark/build" \
+  -DCMAKE_BUILD_TYPE=Release -DBENCHMARK_ENABLE_TESTING=OFF \
+  -DBENCHMARK_ENABLE_GTEST_TESTS=OFF
+cmake --build "${tmpdir}/benchmark/build" -j
+sudo cmake --install "${tmpdir}/benchmark/build"

@@ -94,6 +94,7 @@ Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
     return Status::InvalidArgument(
         "the pipeline needs at least two snapshots");
   }
+  CAD_DCHECK_OK(sequence.CheckConsistent());
   return IsCommuteBasedMethod(options.method)
              ? RunCommuteFamily(sequence, options)
              : RunNodeScorer(sequence, options);

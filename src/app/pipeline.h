@@ -65,23 +65,23 @@ bool IsCommuteBasedMethod(const std::string& method);
 /// \brief Runs the configured method over the sequence: scores every
 /// transition, calibrates the global threshold, extracts anomaly sets, and
 /// (optionally) classifies each reported edge into the paper's taxonomy.
-Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
+[[nodiscard]] Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
                                           const PipelineOptions& options);
 
 /// \brief Writes the flat anomalous-edge list as CSV:
 /// transition,u,v,score,weight_delta,commute_delta,case.
-Status WriteEdgeReportCsv(const PipelineResult& result, std::ostream* out);
+[[nodiscard]] Status WriteEdgeReportCsv(const PipelineResult& result, std::ostream* out);
 
 /// \brief Writes per-transition node scores as CSV: transition,node,score.
 /// With `only_nonzero`, rows with score 0 are skipped.
-Status WriteNodeScoresCsv(const PipelineResult& result, std::ostream* out,
+[[nodiscard]] Status WriteNodeScoresCsv(const PipelineResult& result, std::ostream* out,
                           bool only_nonzero = true);
 
 /// \brief Writes the full result as one JSON document:
 /// {method, delta, transitions: [{transition, nodes, edges: [{u, v, score,
 /// weight_delta, commute_delta, case}]}]}. Node scores are omitted (use the
 /// CSV for bulk scores).
-Status WritePipelineResultJson(const PipelineResult& result,
+[[nodiscard]] Status WritePipelineResultJson(const PipelineResult& result,
                                std::ostream* out);
 
 }  // namespace cad

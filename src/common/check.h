@@ -50,17 +50,6 @@ class Voidify {
               : ::cad::internal::Voidify() & \
                     ::cad::internal::CheckFailure(__FILE__, __LINE__, #condition)
 
-/// Debug-only variant for hot paths. The condition is type-checked but never
-/// evaluated in release builds.
-#ifdef NDEBUG
-#define CAD_DCHECK(condition)                   \
-  (true || (condition)) ? (void)0               \
-                        : ::cad::internal::Voidify() & \
-                              ::cad::internal::CheckFailure(__FILE__, __LINE__, #condition)
-#else
-#define CAD_DCHECK(condition) CAD_CHECK(condition)
-#endif
-
 #define CAD_CHECK_OK(status_expr)                                      \
   do {                                                                 \
     const ::cad::Status _cad_check_status = (status_expr);             \
@@ -73,5 +62,49 @@ class Voidify {
 #define CAD_CHECK_LE(a, b) CAD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
 #define CAD_CHECK_GT(a, b) CAD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
 #define CAD_CHECK_GE(a, b) CAD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+/// CAD_DCHECK* — the debug-tier invariant net for hot paths. These compile to
+/// nothing unless the build defines CAD_ENABLE_DCHECK (CMake:
+/// -DCAD_ENABLE_DCHECK=ON; CI turns it on for the sanitizer jobs). When
+/// disabled, conditions and status expressions are type-checked but never
+/// evaluated, so validators of any cost can sit at hot-path entry points.
+#ifdef CAD_ENABLE_DCHECK
+
+#define CAD_DCHECK(condition) CAD_CHECK(condition)
+#define CAD_DCHECK_OK(status_expr) CAD_CHECK_OK(status_expr)
+#define CAD_DCHECK_EQ(a, b) CAD_CHECK_EQ(a, b)
+#define CAD_DCHECK_NE(a, b) CAD_CHECK_NE(a, b)
+#define CAD_DCHECK_LT(a, b) CAD_CHECK_LT(a, b)
+#define CAD_DCHECK_LE(a, b) CAD_CHECK_LE(a, b)
+#define CAD_DCHECK_GT(a, b) CAD_CHECK_GT(a, b)
+#define CAD_DCHECK_GE(a, b) CAD_CHECK_GE(a, b)
+
+#else  // !CAD_ENABLE_DCHECK
+
+/// Disabled form: the condition sits on the dead arm of `true || ...` so it
+/// is type-checked but never evaluated, and streamed context compiles away.
+#define CAD_DCHECK(condition)                   \
+  (true || (condition)) ? (void)0               \
+                        : ::cad::internal::Voidify() & \
+                              ::cad::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+/// Disabled form: the status expression compiles (so validator signatures
+/// stay honest) but is never evaluated.
+#define CAD_DCHECK_OK(status_expr)                          \
+  do {                                                      \
+    if (false) {                                            \
+      const ::cad::Status _cad_dcheck_status = (status_expr); \
+      (void)_cad_dcheck_status;                             \
+    }                                                       \
+  } while (false)
+
+#define CAD_DCHECK_EQ(a, b) CAD_DCHECK((a) == (b))
+#define CAD_DCHECK_NE(a, b) CAD_DCHECK((a) != (b))
+#define CAD_DCHECK_LT(a, b) CAD_DCHECK((a) < (b))
+#define CAD_DCHECK_LE(a, b) CAD_DCHECK((a) <= (b))
+#define CAD_DCHECK_GT(a, b) CAD_DCHECK((a) > (b))
+#define CAD_DCHECK_GE(a, b) CAD_DCHECK((a) >= (b))
+
+#endif  // CAD_ENABLE_DCHECK
 
 #endif  // CAD_COMMON_CHECK_H_

@@ -36,7 +36,7 @@ class FlagParser {
   /// Parses argv, writing values into the registered targets. Returns an
   /// error for unknown flags or malformed values. `--help` prints usage and
   /// sets help_requested().
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   bool help_requested() const { return help_requested_; }
 
@@ -53,7 +53,7 @@ class FlagParser {
     std::string default_value;
   };
 
-  Status SetValue(const std::string& name, const std::string& value);
+  [[nodiscard]] Status SetValue(const std::string& name, const std::string& value);
 
   std::map<std::string, Flag> flags_;
   bool help_requested_ = false;

@@ -40,7 +40,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(state_); }
 
   /// The failure status, or OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(state_);
   }
 

@@ -23,10 +23,10 @@ std::string_view StripWhitespace(std::string_view text);
 bool StartsWith(std::string_view text, std::string_view prefix);
 
 /// Parses a base-10 signed integer; the whole string must be consumed.
-Result<int64_t> ParseInt64(std::string_view text);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view text);
 
 /// Parses a floating-point number; the whole string must be consumed.
-Result<double> ParseDouble(std::string_view text);
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
 
 /// Formats a double with `precision` significant digits.
 std::string FormatDouble(double value, int precision = 6);

@@ -54,7 +54,7 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
   /// Builds the embedding for one snapshot. Returns InvalidArgument for a
   /// zero embedding dimension and NumericalError if CG fails while
   /// `require_convergence` is set.
-  static Result<ApproxCommuteEmbedding> Build(
+  [[nodiscard]] static Result<ApproxCommuteEmbedding> Build(
       const WeightedGraph& graph,
       const ApproxCommuteOptions& options = ApproxCommuteOptions());
 

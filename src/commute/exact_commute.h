@@ -31,7 +31,7 @@ class ExactCommuteTime : public CommuteTimeOracle {
  public:
   /// Builds the oracle for one snapshot. Fails only on numerical breakdown
   /// (which would indicate a malformed Laplacian).
-  static Result<ExactCommuteTime> Build(
+  [[nodiscard]] static Result<ExactCommuteTime> Build(
       const WeightedGraph& graph,
       const CommuteTimeOptions& options = CommuteTimeOptions());
 

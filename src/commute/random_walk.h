@@ -43,7 +43,7 @@ struct CommuteTimeEstimate {
 /// Requires u != v, both in range, and u, v in the same connected component
 /// with positive degrees (otherwise the walk cannot commute; returns
 /// InvalidArgument / FailedPrecondition).
-Result<CommuteTimeEstimate> EstimateCommuteTimeByWalking(
+[[nodiscard]] Result<CommuteTimeEstimate> EstimateCommuteTimeByWalking(
     const WeightedGraph& graph, NodeId u, NodeId v,
     const RandomWalkOptions& options = RandomWalkOptions());
 

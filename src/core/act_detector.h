@@ -32,17 +32,17 @@ class ActDetector : public NodeScorer {
   explicit ActDetector(ActOptions options = ActOptions())
       : options_(options) {}
 
-  Result<TransitionNodeScores> ScoreTransitions(
+  [[nodiscard]] Result<TransitionNodeScores> ScoreTransitions(
       const TemporalGraphSequence& sequence) const override;
 
   /// The scalar transition anomaly scores z_t = 1 - r_t . a_{t+1}, one per
   /// transition. This is ACT's original event-detection output.
-  Result<std::vector<double>> TransitionZScores(
+  [[nodiscard]] Result<std::vector<double>> TransitionZScores(
       const TemporalGraphSequence& sequence) const;
 
   /// Activity vectors of every snapshot (entrywise absolute values of the
   /// principal adjacency eigenvectors).
-  Result<std::vector<std::vector<double>>> ActivityVectors(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> ActivityVectors(
       const TemporalGraphSequence& sequence) const;
 
   std::string name() const override { return "ACT"; }

@@ -41,7 +41,7 @@ class AfmDetector : public NodeScorer {
   explicit AfmDetector(AfmOptions options = AfmOptions())
       : options_(options) {}
 
-  Result<TransitionNodeScores> ScoreTransitions(
+  [[nodiscard]] Result<TransitionNodeScores> ScoreTransitions(
       const TemporalGraphSequence& sequence) const override;
 
   std::string name() const override { return "AFM"; }

@@ -31,6 +31,7 @@ Result<std::vector<TransitionScores>> CadDetector::Analyze(
         "CadDetector::Analyze needs at least two snapshots, got " +
         std::to_string(sequence.num_snapshots()));
   }
+  CAD_DCHECK_OK(sequence.CheckConsistent());
   // Build each snapshot's oracle once; transition t uses oracles t and t+1.
   if (options_.analysis_threads > 1) {
     // Parallel path: materialize all oracles, then score all transitions.

@@ -58,14 +58,14 @@ class CadDetector : public NodeScorer {
       : options_(options) {}
 
   /// Scores every transition. Requires >= 2 snapshots.
-  Result<std::vector<TransitionScores>> Analyze(
+  [[nodiscard]] Result<std::vector<TransitionScores>> Analyze(
       const TemporalGraphSequence& sequence) const;
 
   /// Scores a single transition between two standalone snapshots.
-  Result<TransitionScores> AnalyzeTransition(const WeightedGraph& before,
+  [[nodiscard]] Result<TransitionScores> AnalyzeTransition(const WeightedGraph& before,
                                              const WeightedGraph& after) const;
 
-  Result<TransitionNodeScores> ScoreTransitions(
+  [[nodiscard]] Result<TransitionNodeScores> ScoreTransitions(
       const TemporalGraphSequence& sequence) const override;
 
   std::string name() const override {
@@ -77,7 +77,7 @@ class CadDetector : public NodeScorer {
   /// Builds the configured commute-time oracle for one snapshot. Exposed so
   /// that streaming callers (OnlineCadMonitor) can reuse each snapshot's
   /// oracle across its two adjacent transitions.
-  Result<std::unique_ptr<CommuteTimeOracle>> BuildOracle(
+  [[nodiscard]] Result<std::unique_ptr<CommuteTimeOracle>> BuildOracle(
       const WeightedGraph& graph) const;
 
  private:

@@ -16,7 +16,7 @@ class ClcDetector : public NodeScorer {
   explicit ClcDetector(ClosenessOptions options = ClosenessOptions())
       : options_(options) {}
 
-  Result<TransitionNodeScores> ScoreTransitions(
+  [[nodiscard]] Result<TransitionNodeScores> ScoreTransitions(
       const TemporalGraphSequence& sequence) const override;
 
   std::string name() const override { return "CLC"; }

@@ -25,7 +25,7 @@ class NodeScorer {
   virtual ~NodeScorer() = default;
 
   /// Scores every transition of the sequence. Requires >= 2 snapshots.
-  virtual Result<TransitionNodeScores> ScoreTransitions(
+  [[nodiscard]] virtual Result<TransitionNodeScores> ScoreTransitions(
       const TemporalGraphSequence& sequence) const = 0;
 
   /// Short method name for report tables ("CAD", "ACT", ...).

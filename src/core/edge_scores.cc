@@ -81,6 +81,11 @@ TransitionScores ComputeTransitionScores(const WeightedGraph& before,
                                          : 0.0);
         break;
     }
+    // Every fused score is a product/sum of absolute deltas: dE >= 0 and
+    // finite, or an oracle/graph invariant upstream has been corrupted.
+    CAD_DCHECK(scored.score >= 0.0 && std::isfinite(scored.score))
+        << "edge (" << scored.pair.u << ", " << scored.pair.v
+        << ") score=" << scored.score;
     result.total_score += scored.score;
     result.node_scores[scored.pair.u] += scored.score;
     result.node_scores[scored.pair.v] += scored.score;

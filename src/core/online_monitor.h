@@ -43,7 +43,7 @@ class OnlineCadMonitor {
   ///  - otherwise the AnomalyReport for the transition that just completed,
   ///    thresholded at the current online delta.
   /// The snapshot's node count must match previously observed snapshots.
-  Result<std::optional<AnomalyReport>> Observe(const WeightedGraph& snapshot);
+  [[nodiscard]] Result<std::optional<AnomalyReport>> Observe(const WeightedGraph& snapshot);
 
   /// The currently calibrated threshold (0 until the first transition).
   double current_delta() const { return delta_; }

@@ -32,7 +32,7 @@ class GaussianMixture {
  public:
   /// Validates and stores the components: at least one, all with matching
   /// dimensions, positive weights and non-negative stddevs.
-  static Result<GaussianMixture> Create(
+  [[nodiscard]] static Result<GaussianMixture> Create(
       std::vector<GaussianComponent> components);
 
   /// The standard 4-component, well-separated 2-D mixture used by the

@@ -31,12 +31,12 @@ struct RocCurve {
 /// one negative label; returns InvalidArgument otherwise.
 ///
 /// Used to regenerate Fig. 5 (AUC vs k) and Fig. 6 (method comparison).
-Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
+[[nodiscard]] Result<RocCurve> ComputeRoc(const std::vector<double>& scores,
                             const std::vector<bool>& labels);
 
 /// \brief AUC only, via the rank-sum (Mann-Whitney) formulation with
 /// mid-rank tie handling. Identical value to ComputeRoc().auc but cheaper.
-Result<double> ComputeAuc(const std::vector<double>& scores,
+[[nodiscard]] Result<double> ComputeAuc(const std::vector<double>& scores,
                           const std::vector<bool>& labels);
 
 /// \brief Fraction of the top-k scored items that are labeled positive.

@@ -62,10 +62,10 @@ class WeightedGraph {
 
   /// Sets the weight of edge {u, v}. Weight 0 deletes the edge. Returns
   /// InvalidArgument for self-loops, negative weights, or out-of-range ids.
-  Status SetEdge(NodeId u, NodeId v, double weight);
+  [[nodiscard]] Status SetEdge(NodeId u, NodeId v, double weight);
 
   /// Adds `delta` to the weight of edge {u, v}; the result must stay >= 0.
-  Status AddEdgeWeight(NodeId u, NodeId v, double delta);
+  [[nodiscard]] Status AddEdgeWeight(NodeId u, NodeId v, double delta);
 
   /// Weight of edge {u, v}; 0 if absent. Self-queries return 0.
   double EdgeWeight(NodeId u, NodeId v) const;

@@ -40,7 +40,7 @@ struct SpectralEmbedding {
 ///
 /// Sign convention: each eigenvector is flipped so that its largest-magnitude
 /// entry is positive, making embeddings comparable across snapshots.
-Result<SpectralEmbedding> ComputeSpectralEmbedding(
+[[nodiscard]] Result<SpectralEmbedding> ComputeSpectralEmbedding(
     const WeightedGraph& graph,
     const SpectralEmbeddingOptions& options = SpectralEmbeddingOptions());
 

@@ -1,6 +1,7 @@
 #include "graph/temporal_graph.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cad {
 
@@ -21,6 +22,34 @@ double TemporalGraphSequence::AverageEdgesPerSnapshot() const {
     total += static_cast<double>(g.num_edges());
   }
   return total / static_cast<double>(snapshots_.size());
+}
+
+Status TemporalGraphSequence::CheckConsistent() const {
+  for (size_t t = 0; t < snapshots_.size(); ++t) {
+    const WeightedGraph& g = snapshots_[t];
+    if (g.num_nodes() != num_nodes_) {
+      return Status::Internal(
+          "snapshot " + std::to_string(t) + " has " +
+          std::to_string(g.num_nodes()) + " nodes, sequence has " +
+          std::to_string(num_nodes_));
+    }
+    for (const Edge& e : g.Edges()) {
+      if (e.u >= num_nodes_ || e.v >= num_nodes_ || e.u >= e.v) {
+        return Status::Internal("snapshot " + std::to_string(t) +
+                                ": edge (" + std::to_string(e.u) + ", " +
+                                std::to_string(e.v) +
+                                ") is out of range or not canonical (u < v)");
+      }
+      if (!std::isfinite(e.weight) || e.weight <= 0.0) {
+        return Status::NumericalError(
+            "snapshot " + std::to_string(t) + ": edge (" +
+            std::to_string(e.u) + ", " + std::to_string(e.v) +
+            ") has non-finite or non-positive weight " +
+            std::to_string(e.weight));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<NodePair> TemporalGraphSequence::TransitionSupport(size_t t) const {

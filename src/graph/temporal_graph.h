@@ -31,7 +31,7 @@ class TemporalGraphSequence {
   }
 
   /// Appends a snapshot. Its node count must match the sequence's.
-  Status Append(WeightedGraph snapshot);
+  [[nodiscard]] Status Append(WeightedGraph snapshot);
 
   /// Snapshot at time t (0-based). Bounds-checked.
   const WeightedGraph& Snapshot(size_t t) const {
@@ -53,6 +53,12 @@ class TemporalGraphSequence {
   /// whose weight is nonzero in either snapshot. These are the only pairs
   /// whose CAD score can be nonzero.
   std::vector<NodePair> TransitionSupport(size_t t) const;
+
+  /// \brief Snapshot-consistency validation for CAD_DCHECK_OK at detector
+  /// and pipeline entry points: every snapshot shares the sequence's node
+  /// count and every edge has a finite, positive weight with in-range,
+  /// canonically ordered endpoints. O(sum of snapshot edge counts).
+  [[nodiscard]] Status CheckConsistent() const;
 
  private:
   size_t num_nodes_;

@@ -27,11 +27,11 @@ struct DotOptions {
 /// \brief Writes `graph` in Graphviz dot format, highlighting anomalous
 /// nodes and edges. Used to render the paper's Fig. 8b style anomaly
 /// subgraphs (`dot -Tpng out.dot`).
-Status WriteDot(const WeightedGraph& graph, const DotOptions& options,
+[[nodiscard]] Status WriteDot(const WeightedGraph& graph, const DotOptions& options,
                 std::ostream* out);
 
 /// File variant; overwrites `path`.
-Status WriteDotFile(const WeightedGraph& graph, const DotOptions& options,
+[[nodiscard]] Status WriteDotFile(const WeightedGraph& graph, const DotOptions& options,
                     const std::string& path);
 
 }  // namespace cad

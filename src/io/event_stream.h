@@ -40,16 +40,16 @@ struct EventAggregationOptions {
 /// its weight to edge {u, v} of the window containing its timestamp.
 /// Self-loop events are rejected (InvalidArgument), as are non-positive
 /// window lengths and events with non-finite fields.
-Result<TemporalGraphSequence> AggregateEventStream(
+[[nodiscard]] Result<TemporalGraphSequence> AggregateEventStream(
     const std::vector<TimestampedEvent>& events,
     const EventAggregationOptions& options);
 
 /// Text format, one event per line (comments with '#', blank lines ignored):
 ///   <u> <v> <timestamp> [weight]
-Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in);
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in);
 
 /// File variant of ReadEventStream.
-Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path);
 
 }  // namespace cad

@@ -22,18 +22,18 @@ namespace cad {
 /// (absent edges are simply not listed).
 
 /// Serializes `sequence` into the text format.
-Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,
+[[nodiscard]] Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,
                              std::ostream* out);
 
 /// Serializes `sequence` to a file, overwriting it.
-Status WriteTemporalEdgeListFile(const TemporalGraphSequence& sequence,
+[[nodiscard]] Status WriteTemporalEdgeListFile(const TemporalGraphSequence& sequence,
                                  const std::string& path);
 
 /// Parses the text format.
-Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in);
+[[nodiscard]] Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in);
 
 /// Parses the text format from a file.
-Result<TemporalGraphSequence> ReadTemporalEdgeListFile(const std::string& path);
+[[nodiscard]] Result<TemporalGraphSequence> ReadTemporalEdgeListFile(const std::string& path);
 
 }  // namespace cad
 

@@ -12,6 +12,7 @@ Result<CholeskyFactorization> CholeskyFactorization::Factor(
   if (!a.IsSymmetric(1e-9)) {
     return Status::InvalidArgument("Cholesky: matrix must be symmetric");
   }
+  CAD_DCHECK_OK(a.CheckFinite());
   const size_t n = a.rows();
   DenseMatrix lower(n, n);
   for (size_t j = 0; j < n; ++j) {

@@ -19,7 +19,7 @@ class CholeskyFactorization {
   /// Factorizes `a`, which must be square and symmetric. Returns
   /// NumericalError if a non-positive pivot is encountered (matrix not
   /// positive definite to within `pivot_tol`).
-  static Result<CholeskyFactorization> Factor(const DenseMatrix& a,
+  [[nodiscard]] static Result<CholeskyFactorization> Factor(const DenseMatrix& a,
                                               double pivot_tol = 1e-13);
 
   /// Solves A x = b. Requires b.size() == dimension().

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/check.h"
 #include "common/parallel.h"
 
 #include "linalg/incomplete_cholesky.h"
@@ -142,6 +143,7 @@ Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
                                                  const std::vector<double>& b,
                                                  std::vector<double>* x) const {
   CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
+  CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
   Preconditioner apply;
   CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
   return SolveWithPreconditioner(a, b, apply, options_, x);
@@ -153,6 +155,7 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
   for (const std::vector<double>& b : rhs) {
     CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
   }
+  CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
   Preconditioner apply;
   CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
   solutions->resize(rhs.size());

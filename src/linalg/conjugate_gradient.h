@@ -67,13 +67,13 @@ class ConjugateGradientSolver {
   ///
   /// With kIncompleteCholesky the factorization is recomputed per call; use
   /// SolveMany to amortize it across right-hand sides.
-  Result<CgSummary> Solve(const CsrMatrix& a, const std::vector<double>& b,
+  [[nodiscard]] Result<CgSummary> Solve(const CsrMatrix& a, const std::vector<double>& b,
                           std::vector<double>* x) const;
 
   /// Solves A x_i = b_i for several right-hand sides, building the
   /// preconditioner once. Returns one summary per system; `solutions` is
   /// resized to match.
-  Result<std::vector<CgSummary>> SolveMany(
+  [[nodiscard]] Result<std::vector<CgSummary>> SolveMany(
       const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
       std::vector<std::vector<double>>* solutions) const;
 

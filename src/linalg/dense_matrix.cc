@@ -103,6 +103,37 @@ double DenseMatrix::FrobeniusNorm() const {
   return std::sqrt(sum);
 }
 
+Status DenseMatrix::CheckFinite() const {
+  if (data_.size() != rows_ * cols_) {
+    return Status::Internal("DenseMatrix: data size " +
+                            std::to_string(data_.size()) + " != " +
+                            std::to_string(rows_) + "x" +
+                            std::to_string(cols_));
+  }
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      if (!std::isfinite(a[j])) {
+        return Status::NumericalError(
+            "DenseMatrix: non-finite entry at (" + std::to_string(i) + ", " +
+            std::to_string(j) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DenseMatrix::CheckShape(size_t expected_rows,
+                               size_t expected_cols) const {
+  if (rows_ != expected_rows || cols_ != expected_cols) {
+    return Status::InvalidArgument(
+        "DenseMatrix: shape " + std::to_string(rows_) + "x" +
+        std::to_string(cols_) + " != expected " +
+        std::to_string(expected_rows) + "x" + std::to_string(expected_cols));
+  }
+  return Status::OK();
+}
+
 std::string DenseMatrix::ToString(int precision) const {
   std::ostringstream os;
   os.precision(precision);

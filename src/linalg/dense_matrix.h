@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace cad {
 
@@ -87,6 +88,14 @@ class DenseMatrix {
 
   /// Frobenius norm.
   double FrobeniusNorm() const;
+
+  /// \brief Structural validation for CAD_DCHECK_OK at dense-solver entry
+  /// points: data size matches rows*cols and every entry is finite. O(n*m).
+  [[nodiscard]] Status CheckFinite() const;
+
+  /// \brief Validates this matrix has exactly the given shape.
+  [[nodiscard]] Status CheckShape(size_t expected_rows,
+                                  size_t expected_cols) const;
 
   /// Debug rendering, one row per line.
   std::string ToString(int precision = 4) const;

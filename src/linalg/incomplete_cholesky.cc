@@ -89,6 +89,7 @@ Result<IncompleteCholesky> IncompleteCholesky::Factor(const CsrMatrix& a) {
     return Status::InvalidArgument("IncompleteCholesky: matrix must be square");
   }
   CAD_DCHECK(a.IsSymmetric(1e-9));
+  CAD_DCHECK_OK(a.CheckValid());
   double shift = 0.0;
   for (int attempt = 0; attempt < 8; ++attempt) {
     Result<CsrMatrix> lower = TryFactor(a, shift);

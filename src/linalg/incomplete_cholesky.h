@@ -26,7 +26,7 @@ class IncompleteCholesky {
   /// Factorizes `a` (square, symmetric; checked in debug builds). Returns
   /// InvalidArgument for non-square input and NumericalError if even heavy
   /// shifting cannot complete the factorization (e.g. an indefinite matrix).
-  static Result<IncompleteCholesky> Factor(const CsrMatrix& a);
+  [[nodiscard]] static Result<IncompleteCholesky> Factor(const CsrMatrix& a);
 
   /// Applies the preconditioner: solves L L^T x = b (two triangular
   /// solves). Requires b.size() == dimension().

@@ -29,6 +29,7 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
   if (!input.IsSymmetric(1e-9)) {
     return Status::InvalidArgument("JacobiEigen: matrix must be symmetric");
   }
+  CAD_DCHECK_OK(input.CheckFinite());
   const size_t n = input.rows();
   DenseMatrix a = input;
   DenseMatrix v = DenseMatrix::Identity(n);
@@ -100,6 +101,7 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
 
 Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
                                            double rank_tol) {
+  CAD_DCHECK_OK(a.CheckFinite());
   EigenDecomposition eig;
   CAD_ASSIGN_OR_RETURN(eig, JacobiEigenDecomposition(a));
   const size_t n = a.rows();

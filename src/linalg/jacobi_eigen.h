@@ -32,7 +32,7 @@ struct JacobiOptions {
 /// matrices of the exact path (spectral embeddings of the toy and Enron-scale
 /// graphs, Fig. 2 of the paper). Returns InvalidArgument for non-square or
 /// non-symmetric input and NumericalError if convergence fails.
-Result<EigenDecomposition> JacobiEigenDecomposition(
+[[nodiscard]] Result<EigenDecomposition> JacobiEigenDecomposition(
     const DenseMatrix& a, const JacobiOptions& options = JacobiOptions());
 
 /// \brief Moore-Penrose pseudoinverse of a symmetric matrix via its
@@ -41,7 +41,7 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
 ///
 /// This is the textbook route to the Laplacian pseudoinverse L^+ used in the
 /// commute-time formula c(i,j) = V_G (l^+_ii + l^+_jj - 2 l^+_ij).
-Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
+[[nodiscard]] Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
                                            double rank_tol = 1e-10);
 
 }  // namespace cad

@@ -40,11 +40,11 @@ struct LanczosResult {
 /// Lanczos approximates well from a Krylov space of modest dimension. Full
 /// reorthogonalization keeps the basis numerically orthogonal, which is
 /// affordable at the subspace sizes used here.
-Result<LanczosResult> SmallestEigenpairs(
+[[nodiscard]] Result<LanczosResult> SmallestEigenpairs(
     const CsrMatrix& a, const LanczosOptions& options = LanczosOptions());
 
 /// \brief Same, for the algebraically largest eigenpairs.
-Result<LanczosResult> LargestEigenpairs(
+[[nodiscard]] Result<LanczosResult> LargestEigenpairs(
     const CsrMatrix& a, const LanczosOptions& options = LanczosOptions());
 
 }  // namespace cad

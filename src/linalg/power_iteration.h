@@ -39,7 +39,7 @@ struct PowerIterationResult {
 /// adjacency matrix, which by Perron-Frobenius can be taken entrywise
 /// non-negative; callers take absolute values to fix the sign. A zero matrix
 /// yields the uniform vector with eigenvalue 0 (converged).
-Result<PowerIterationResult> PrincipalEigenvector(
+[[nodiscard]] Result<PowerIterationResult> PrincipalEigenvector(
     const CsrMatrix& a,
     const PowerIterationOptions& options = PowerIterationOptions());
 

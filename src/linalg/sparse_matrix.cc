@@ -66,6 +66,50 @@ CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<size_t> row_offsets,
   CAD_CHECK_EQ(col_indices_.size(), values_.size());
   CAD_CHECK_EQ(row_offsets_.back(), col_indices_.size());
   CAD_CHECK_EQ(row_offsets_.front(), 0u);
+  CAD_DCHECK_OK(CheckValid());
+}
+
+Status CsrMatrix::CheckValid(const CsrValidateOptions& options) const {
+  if (row_offsets_.size() != rows_ + 1) {
+    return Status::Internal("CSR: row_offsets size " +
+                            std::to_string(row_offsets_.size()) +
+                            " != rows+1 = " + std::to_string(rows_ + 1));
+  }
+  if (col_indices_.size() != values_.size()) {
+    return Status::Internal("CSR: col_indices/values size mismatch");
+  }
+  if (row_offsets_.front() != 0 || row_offsets_.back() != values_.size()) {
+    return Status::Internal("CSR: row_offsets must start at 0 and end at nnz");
+  }
+  for (size_t i = 0; i < rows_; ++i) {
+    if (row_offsets_[i] > row_offsets_[i + 1]) {
+      return Status::Internal("CSR: row_offsets decrease at row " +
+                              std::to_string(i));
+    }
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      if (col_indices_[p] >= cols_) {
+        return Status::Internal(
+            "CSR: column index " + std::to_string(col_indices_[p]) +
+            " out of range in row " + std::to_string(i));
+      }
+      if (p > row_offsets_[i] && col_indices_[p - 1] >= col_indices_[p]) {
+        return Status::Internal(
+            "CSR: column indices not sorted/unique in row " +
+            std::to_string(i) + " (" + std::to_string(col_indices_[p - 1]) +
+            " then " + std::to_string(col_indices_[p]) + ")");
+      }
+      if (!std::isfinite(values_[p])) {
+        return Status::NumericalError("CSR: non-finite value at row " +
+                                      std::to_string(i) + ", col " +
+                                      std::to_string(col_indices_[p]));
+      }
+    }
+  }
+  if (options.require_symmetric && !IsSymmetric(options.symmetry_tol)) {
+    return Status::Internal("CSR: matrix is not symmetric within tol " +
+                            std::to_string(options.symmetry_tol));
+  }
+  return Status::OK();
 }
 
 std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {

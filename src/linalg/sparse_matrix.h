@@ -5,9 +5,20 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "linalg/dense_matrix.h"
 
 namespace cad {
+
+/// \brief What CsrMatrix::CheckValid should verify beyond the core CSR
+/// structural invariants.
+struct CsrValidateOptions {
+  /// Additionally require the matrix to be square and symmetric (the
+  /// Laplacian/adjacency contract of the solver entry points).
+  bool require_symmetric = false;
+  /// Absolute tolerance for the symmetry comparison.
+  double symmetry_tol = 1e-12;
+};
 
 /// \brief A single nonzero in coordinate format.
 struct Triplet {
@@ -108,6 +119,15 @@ class CsrMatrix {
 
   /// True if square and exactly symmetric in sparsity and values up to tol.
   bool IsSymmetric(double tol = 1e-12) const;
+
+  /// \brief Full structural validation: row offsets non-decreasing and
+  /// consistent with nnz, column indices strictly increasing (sorted,
+  /// unique) within each row and in range, all values finite, plus the
+  /// optional symmetry contract. O(nnz) (O(nnz log nnz) with symmetry).
+  /// Intended for CAD_DCHECK_OK at solver entry points; returns the first
+  /// violation found with row/position detail.
+  [[nodiscard]] Status CheckValid(
+      const CsrValidateOptions& options = CsrValidateOptions()) const;
 
   /// Densifies; intended for tests and small matrices only.
   DenseMatrix ToDense() const;

@@ -1,0 +1,256 @@
+#include "lint/lint.h"
+
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace cad {
+namespace lint {
+namespace {
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// Splits on '\n'; a trailing newline does not produce an empty final line.
+std::vector<std::string_view> SplitLines(std::string_view content) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= content.size()) {
+    const size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < content.size()) lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// True when `line` carries the inline escape hatch for `rule`.
+bool HasAllowAnnotation(std::string_view line, std::string_view rule) {
+  const std::string needle =
+      std::string("cad-lint: allow(") + std::string(rule) + ")";
+  return line.find(needle) != std::string_view::npos;
+}
+
+std::string_view TrimmedPrefix(std::string_view line) {
+  size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  return line.substr(i);
+}
+
+bool IsCommentLine(std::string_view line) {
+  const std::string_view body = TrimmedPrefix(line);
+  return StartsWith(body, "//") || StartsWith(body, "*") ||
+         StartsWith(body, "/*");
+}
+
+/// Code portion of a line: everything before a trailing `//` comment. Naive
+/// about `//` inside string literals, which the rule regexes tolerate.
+std::string_view CodePortion(std::string_view line) {
+  const size_t pos = line.find("//");
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+struct PatternRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+};
+
+/// Raw fail-fast calls that bypass Status/CAD_CHECK. `std::abort` stays legal
+/// (CheckFailure's own primitive), hence the `:` exclusion before abort.
+const std::vector<PatternRule>& BannedCallRules() {
+  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
+      {"banned-call",
+       std::regex(R"((^|[^A-Za-z0-9_:])(assert|abort)\s*\()"),
+       "raw assert/abort call in src/; use CAD_CHECK or return a Status"},
+      {"banned-call",
+       std::regex(R"((^|[^A-Za-z0-9_])(printf|fprintf|sprintf|vprintf)\s*\()"),
+       "printf-family call in src/; use iostreams (std::snprintf is exempt)"},
+      {"banned-call",
+       std::regex(R"((^|[^A-Za-z0-9_:])(std\s*::\s*)?rand\s*\()"),
+       "std::rand/rand in src/; use cad::Rng (src/common/rng.h)"},
+  };
+  return *rules;
+}
+
+/// Nondeterminism sources; only src/common/rng.* may own entropy or wall
+/// clocks, so that every pipeline run is replayable.
+const std::vector<PatternRule>& NondeterminismRules() {
+  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
+      {"nondeterminism",
+       std::regex(R"((^|[^A-Za-z0-9_.>])(time|localtime|gmtime)\s*\()"),
+       "wall-clock time call outside src/common/rng.*; inject timestamps "
+       "explicitly"},
+      {"nondeterminism",
+       std::regex("random_device"),  // cad-lint: allow(nondeterminism)
+       "uncontrolled entropy source outside src/common/rng.*; use seeded "
+       "cad::Rng"},
+  };
+  return *rules;
+}
+
+/// A declaration whose return type is Status or Result<...> and which is
+/// missing [[nodiscard]]. Line-oriented heuristic: this repo declares the
+/// return type, name, and opening paren on one line.
+const std::regex& NodiscardDeclPattern() {
+  static const std::regex* pattern = new std::regex(
+      R"(^\s*((static|virtual|inline|constexpr|explicit|friend)\s+)*(Status|Result\s*<.+>)\s+[A-Za-z_][A-Za-z0-9_]*\s*\()");
+  return *pattern;
+}
+
+void CheckIncludeGuard(std::string_view rel_path,
+                       const std::vector<std::string_view>& lines,
+                       std::vector<Finding>* findings) {
+  static const std::regex* ifndef_pattern =
+      new std::regex(R"(^#ifndef\s+([A-Za-z0-9_]+))");
+  static const std::regex* define_pattern =
+      new std::regex(R"(^#define\s+([A-Za-z0-9_]+))");
+
+  const std::string expected = ExpectedIncludeGuard(rel_path);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::match_results<std::string_view::const_iterator> match;
+    if (!std::regex_search(lines[i].begin(), lines[i].end(), match,
+                           *ifndef_pattern)) {
+      continue;
+    }
+    if (HasAllowAnnotation(lines[i], "include-guard")) return;
+    const std::string guard = match[1].str();
+    if (guard != expected) {
+      findings->push_back(Finding{
+          std::string(rel_path), i + 1, "include-guard",
+          "include guard '" + guard + "' should be '" + expected + "'"});
+      return;
+    }
+    // The guard's #define must immediately follow the #ifndef.
+    std::match_results<std::string_view::const_iterator> define_match;
+    if (i + 1 >= lines.size() ||
+        !std::regex_search(lines[i + 1].begin(), lines[i + 1].end(),
+                           define_match, *define_pattern) ||
+        define_match[1].str() != expected) {
+      findings->push_back(Finding{
+          std::string(rel_path), i + 2, "include-guard",
+          "expected '#define " + expected + "' directly after the #ifndef"});
+    }
+    return;
+  }
+  if (!lines.empty() && HasAllowAnnotation(lines[0], "include-guard")) return;
+  findings->push_back(Finding{std::string(rel_path), 1, "include-guard",
+                              "header is missing include guard '" + expected +
+                                  "'"});
+}
+
+void ApplyPatternRules(std::string_view rel_path,
+                       const std::vector<std::string_view>& lines,
+                       const std::vector<PatternRule>& rules,
+                       std::vector<Finding>* findings) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (IsCommentLine(lines[i])) continue;
+    const std::string_view code = CodePortion(lines[i]);
+    for (const PatternRule& rule : rules) {
+      if (!std::regex_search(code.begin(), code.end(), rule.pattern)) continue;
+      if (HasAllowAnnotation(lines[i], rule.rule)) continue;
+      findings->push_back(
+          Finding{std::string(rel_path), i + 1, rule.rule, rule.message});
+    }
+  }
+}
+
+void CheckUsingNamespace(std::string_view rel_path,
+                         const std::vector<std::string_view>& lines,
+                         std::vector<Finding>* findings) {
+  static const std::regex* pattern =
+      new std::regex(R"((^|[^A-Za-z0-9_])using\s+namespace\s)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (IsCommentLine(lines[i])) continue;
+    const std::string_view code = CodePortion(lines[i]);
+    if (!std::regex_search(code.begin(), code.end(), *pattern)) continue;
+    if (HasAllowAnnotation(lines[i], "using-namespace-header")) continue;
+    findings->push_back(Finding{
+        std::string(rel_path), i + 1, "using-namespace-header",
+        "'using namespace' in a header leaks into every includer"});
+  }
+}
+
+void CheckNodiscard(std::string_view rel_path,
+                    const std::vector<std::string_view>& lines,
+                    std::vector<Finding>* findings) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (IsCommentLine(lines[i])) continue;
+    const std::string_view code = CodePortion(lines[i]);
+    if (!std::regex_search(code.begin(), code.end(), NodiscardDeclPattern())) {
+      continue;
+    }
+    if (code.find("[[nodiscard]]") != std::string_view::npos) continue;
+    if (i > 0 &&
+        lines[i - 1].find("[[nodiscard]]") != std::string_view::npos) {
+      continue;
+    }
+    if (HasAllowAnnotation(lines[i], "nodiscard-status")) continue;
+    findings->push_back(Finding{
+        std::string(rel_path), i + 1, "nodiscard-status",
+        "function returning Status/Result<T> must be [[nodiscard]]"});
+  }
+}
+
+}  // namespace
+
+std::string ExpectedIncludeGuard(std::string_view rel_path) {
+  std::string_view trimmed = rel_path;
+  if (StartsWith(trimmed, "src/")) trimmed.remove_prefix(4);
+  std::string guard = "CAD_";
+  for (const char c : trimmed) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<Finding> LintContent(std::string_view rel_path,
+                                 std::string_view content) {
+  const std::vector<std::string_view> lines = SplitLines(content);
+  const bool is_header = EndsWith(rel_path, ".h");
+  const bool in_src = StartsWith(rel_path, "src/");
+  const bool rng_exempt = StartsWith(rel_path, "src/common/rng.");
+
+  std::vector<Finding> findings;
+  if (is_header) {
+    CheckIncludeGuard(rel_path, lines, &findings);
+    CheckUsingNamespace(rel_path, lines, &findings);
+    CheckNodiscard(rel_path, lines, &findings);
+  }
+  if (in_src) {
+    ApplyPatternRules(rel_path, lines, BannedCallRules(), &findings);
+    if (!rng_exempt) {
+      ApplyPatternRules(rel_path, lines, NondeterminismRules(), &findings);
+    }
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file;
+  if (finding.line > 0) out << ":" << finding.line;
+  out << ": [" << finding.rule << "] " << finding.message;
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace cad

@@ -1,0 +1,51 @@
+#ifndef CAD_LINT_LINT_H_
+#define CAD_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad {
+namespace lint {
+
+/// \brief One diagnostic produced by the repo linter.
+struct Finding {
+  /// Repo-relative path with forward slashes, e.g. "src/linalg/cholesky.h".
+  std::string file;
+  /// 1-based line number; 0 for whole-file findings (e.g. a missing guard).
+  size_t line = 0;
+  /// Stable kebab-case rule id, e.g. "include-guard". Usable in the inline
+  /// escape hatch: `// cad-lint: allow(include-guard)`.
+  std::string rule;
+  /// Human-readable explanation of the violation.
+  std::string message;
+
+  bool operator==(const Finding& other) const = default;
+};
+
+/// \brief The include guard a header at `rel_path` must use:
+/// `CAD_<PATH>_H_` with the leading `src/` dropped and every separator
+/// mapped to `_`. Example: "src/linalg/cholesky.h" -> "CAD_LINALG_CHOLESKY_H_",
+/// "bench/report.h" -> "CAD_BENCH_REPORT_H_".
+std::string ExpectedIncludeGuard(std::string_view rel_path);
+
+/// \brief Lints a single file's contents against every rule that applies to
+/// its location. `rel_path` is the repo-relative path (forward slashes);
+/// rule scoping keys off it:
+///  - include-guard, using-namespace-header, nodiscard-status: headers only.
+///  - banned-call (raw assert/abort/printf-family/rand): `src/` only.
+///  - nondeterminism (time()/std::random_device): `src/` except
+///    `src/common/rng.*`.
+/// A finding on line L is suppressed when line L contains
+/// `cad-lint: allow(<rule>)`.
+std::vector<Finding> LintContent(std::string_view rel_path,
+                                 std::string_view content);
+
+/// \brief Renders a finding as "file:line: [rule] message" (the line is
+/// omitted for whole-file findings).
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace lint
+}  // namespace cad
+
+#endif  // CAD_LINT_LINT_H_

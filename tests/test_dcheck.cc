@@ -1,0 +1,89 @@
+// Behavior tests for the CAD_DCHECK family: fatal when CAD_ENABLE_DCHECK is
+// compiled in, completely free (conditions never evaluated) when it is not.
+// Both halves compile in both configurations; the active half is selected by
+// the same macro the build system sets.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace cad {
+namespace {
+
+#ifdef CAD_ENABLE_DCHECK
+
+TEST(DcheckEnabledDeathTest, FiresOnViolation) {
+  EXPECT_DEATH({ CAD_DCHECK(1 == 2) << "extra context"; },
+               "CHECK failed.*1 == 2.*extra context");
+}
+
+TEST(DcheckEnabledDeathTest, ComparisonMacrosIncludeValues) {
+  EXPECT_DEATH({ CAD_DCHECK_EQ(3, 5); }, "3 +vs +5");
+  EXPECT_DEATH({ CAD_DCHECK_LT(9, 2); }, "9 +vs +2");
+  EXPECT_DEATH({ CAD_DCHECK_GT(1, 4); }, "1 +vs +4");
+  CAD_DCHECK_GE(5, 5);
+  CAD_DCHECK_LE(5, 5);
+  CAD_DCHECK_NE(1, 2);
+}
+
+TEST(DcheckEnabledDeathTest, DcheckOkAbortsWithStatusMessage) {
+  EXPECT_DEATH({ CAD_DCHECK_OK(Status::Internal("corrupted invariant")); },
+               "Internal: corrupted invariant");
+  CAD_DCHECK_OK(Status::OK());
+}
+
+TEST(DcheckEnabledTest, PassingChecksAreSilent) {
+  CAD_DCHECK(true) << "never shown";
+  CAD_DCHECK_EQ(4, 2 + 2);
+  SUCCEED();
+}
+
+#else  // !CAD_ENABLE_DCHECK
+
+TEST(DcheckDisabledTest, FalseConditionsDoNotAbort) {
+  CAD_DCHECK(false) << "streamed context still compiles";
+  CAD_DCHECK_EQ(1, 2);
+  CAD_DCHECK_NE(3, 3);
+  CAD_DCHECK_LT(9, 2);
+  CAD_DCHECK_LE(9, 2);
+  CAD_DCHECK_GT(2, 9);
+  CAD_DCHECK_GE(2, 9);
+  SUCCEED();
+}
+
+TEST(DcheckDisabledTest, ConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  const auto probe = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  CAD_DCHECK(probe());
+  CAD_DCHECK_EQ(probe() ? 1 : 0, 1);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DcheckDisabledTest, StatusExpressionIsNeverEvaluated) {
+  int calls = 0;
+  const auto make_status = [&calls]() {
+    ++calls;
+    return Status::Internal("never constructed");
+  };
+  CAD_DCHECK_OK(make_status());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(DcheckDisabledTest, StreamedMessageIsNeverEvaluated) {
+  int evaluations = 0;
+  const auto message = [&evaluations]() {
+    ++evaluations;
+    return "msg";
+  };
+  CAD_DCHECK(false) << message();
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // CAD_ENABLE_DCHECK
+
+}  // namespace
+}  // namespace cad

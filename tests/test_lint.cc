@@ -1,0 +1,270 @@
+// Unit tests for the repo linter (src/lint): each rule is exercised against
+// inline fixture strings, including its scoping (which directories it
+// applies to) and the `cad-lint: allow(<rule>)` escape hatch. The fixtures
+// deliberately contain banned constructs; they only become findings when
+// presented under a src/ path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace cad {
+namespace lint {
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+// --- include guards -------------------------------------------------------
+
+TEST(ExpectedIncludeGuardTest, MapsPathsToGuards) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/linalg/cholesky.h"),
+            "CAD_LINALG_CHOLESKY_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("src/common/check.h"), "CAD_COMMON_CHECK_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("bench/report.h"), "CAD_BENCH_REPORT_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/my-tool.h"), "CAD_TOOLS_MY_TOOL_H_");
+}
+
+TEST(IncludeGuardRuleTest, AcceptsMatchingGuard) {
+  const std::string content =
+      "#ifndef CAD_GRAPH_FOO_H_\n"
+      "#define CAD_GRAPH_FOO_H_\n"
+      "#endif  // CAD_GRAPH_FOO_H_\n";
+  EXPECT_TRUE(LintContent("src/graph/foo.h", content).empty());
+}
+
+TEST(IncludeGuardRuleTest, FlagsWrongGuardName) {
+  const std::string content =
+      "#ifndef FOO_H\n"
+      "#define FOO_H\n"
+      "#endif\n";
+  const std::vector<Finding> findings = LintContent("src/graph/foo.h", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("CAD_GRAPH_FOO_H_"), std::string::npos);
+}
+
+TEST(IncludeGuardRuleTest, FlagsMissingGuard) {
+  const std::vector<Finding> findings =
+      LintContent("src/graph/foo.h", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+}
+
+TEST(IncludeGuardRuleTest, FlagsMismatchedDefineLine) {
+  const std::string content =
+      "#ifndef CAD_GRAPH_FOO_H_\n"
+      "#define CAD_GRAPH_BAR_H_\n"
+      "#endif\n";
+  const std::vector<Finding> findings = LintContent("src/graph/foo.h", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(IncludeGuardRuleTest, AllowAnnotationSuppresses) {
+  const std::string content =
+      "#ifndef LEGACY_GUARD_H  // cad-lint: allow(include-guard)\n"
+      "#define LEGACY_GUARD_H\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/graph/foo.h", content).empty());
+}
+
+TEST(IncludeGuardRuleTest, DoesNotApplyToSourceFiles) {
+  EXPECT_TRUE(LintContent("src/graph/foo.cc", "int x;\n").empty());
+}
+
+// --- banned calls ---------------------------------------------------------
+
+TEST(BannedCallRuleTest, FlagsRawAssertAndAbort) {
+  const std::vector<Finding> findings = LintContent(
+      "src/core/foo.cc", "void F() {\n  assert(x > 0);\n  abort();\n}\n");
+  EXPECT_EQ(RuleNames(findings),
+            (std::vector<std::string>{"banned-call", "banned-call"}));
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 3u);
+}
+
+TEST(BannedCallRuleTest, AllowsStdAbort) {
+  // std::abort is the sanctioned fail-fast primitive (CheckFailure uses it).
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "void F() { std::abort(); }\n").empty());
+}
+
+TEST(BannedCallRuleTest, FlagsPrintfFamilyButNotSnprintf) {
+  EXPECT_EQ(RuleNames(LintContent("src/io/foo.cc",
+                                  "void F() { printf(\"x\"); }\n")),
+            std::vector<std::string>{"banned-call"});
+  EXPECT_EQ(RuleNames(LintContent("src/io/foo.cc",
+                                  "void F() { std::fprintf(f, \"x\"); }\n")),
+            std::vector<std::string>{"banned-call"});
+  EXPECT_TRUE(LintContent("src/io/foo.cc",
+                          "void F() { std::snprintf(buf, 4, \"x\"); }\n")
+                  .empty());
+}
+
+TEST(BannedCallRuleTest, FlagsRandButNotSrandSubstring) {
+  EXPECT_EQ(RuleNames(LintContent("src/core/foo.cc",
+                                  "int x = std::rand();\n")),
+            std::vector<std::string>{"banned-call"});
+  EXPECT_EQ(RuleNames(LintContent("src/core/foo.cc", "int x = rand();\n")),
+            std::vector<std::string>{"banned-call"});
+  // 'grand(' must not match the rand rule via substring.
+  EXPECT_TRUE(LintContent("src/core/foo.cc", "int x = grand();\n").empty());
+}
+
+TEST(BannedCallRuleTest, ScopedToSrcOnly) {
+  const std::string content = "void F() { assert(1); printf(\"x\"); }\n";
+  EXPECT_FALSE(LintContent("src/core/foo.cc", content).empty());
+  EXPECT_TRUE(LintContent("tests/test_foo.cc", content).empty());
+  EXPECT_TRUE(LintContent("bench/bench_foo.cc", content).empty());
+  EXPECT_TRUE(LintContent("tools/tool_foo.cc", content).empty());
+}
+
+TEST(BannedCallRuleTest, CommentsAndAllowAnnotationsSuppress) {
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "// uses assert(x) upstream\n").empty());
+  EXPECT_TRUE(LintContent("src/core/foo.cc",
+                          "assert(x);  // cad-lint: allow(banned-call)\n")
+                  .empty());
+}
+
+// --- using namespace in headers -------------------------------------------
+
+TEST(UsingNamespaceRuleTest, FlagsHeadersOnly) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "using namespace std;\n"
+      "#endif\n";
+  const std::vector<Finding> findings = LintContent("src/core/foo.h", header);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "using-namespace-header");
+  EXPECT_EQ(findings[0].line, 3u);
+
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "using namespace std;\n").empty());
+}
+
+TEST(UsingNamespaceRuleTest, AllowsUsingDeclarations) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "using std::vector;\n"
+      "using NodeId = uint32_t;\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+// --- [[nodiscard]] on Status/Result ---------------------------------------
+
+TEST(NodiscardRuleTest, FlagsUnannotatedStatusAndResult) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "Status Append(int snapshot);\n"
+      "Result<std::vector<int>> Solve(int n);\n"
+      "#endif\n";
+  const std::vector<Finding> findings = LintContent("src/core/foo.h", header);
+  EXPECT_EQ(RuleNames(findings), (std::vector<std::string>{
+                                     "nodiscard-status", "nodiscard-status"}));
+}
+
+TEST(NodiscardRuleTest, AcceptsAnnotatedDeclarations) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "[[nodiscard]] Status Append(int snapshot);\n"
+      "  [[nodiscard]] static Result<int> Make();\n"
+      "[[nodiscard]]\n"
+      "Result<int> Other(int n);\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+TEST(NodiscardRuleTest, MatchesSpecifiersAndIndentation) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "  static Result<int> Factor(int a);\n"
+      "  virtual Status Run() = 0;\n"
+      "#endif\n";
+  EXPECT_EQ(LintContent("src/core/foo.h", header).size(), 2u);
+}
+
+TEST(NodiscardRuleTest, IgnoresNonDeclarations) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "// Status Run(int x); in a comment\n"
+      "enum class StatusCode : int { kOk };\n"
+      "const char* StatusCodeToString(StatusCode code);\n"
+      "void Use(Status s);\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+TEST(NodiscardRuleTest, HeadersOnlyAndAllowSuppresses) {
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "Status Append(int snapshot);\n")
+          .empty());
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "Status Append(int s);  // cad-lint: allow(nodiscard-status)\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+// --- nondeterminism containment -------------------------------------------
+
+TEST(NondeterminismRuleTest, FlagsWallClockAndEntropy) {
+  EXPECT_EQ(RuleNames(LintContent("src/core/foo.cc",
+                                  "long t = time(nullptr);\n")),
+            std::vector<std::string>{"nondeterminism"});
+  EXPECT_EQ(RuleNames(LintContent("src/core/foo.cc",
+                                  "long t = std::time(nullptr);\n")),
+            std::vector<std::string>{"nondeterminism"});
+  EXPECT_EQ(RuleNames(LintContent("src/core/foo.cc",
+                                  "std::random_device rd;\n")),
+            std::vector<std::string>{"nondeterminism"});
+}
+
+TEST(NondeterminismRuleTest, RngModuleIsExempt) {
+  EXPECT_TRUE(
+      LintContent("src/common/rng.cc", "std::random_device rd;\n").empty());
+  EXPECT_TRUE(LintContent("tests/test_foo.cc", "time(nullptr);\n").empty());
+}
+
+TEST(NondeterminismRuleTest, DoesNotFlagIdentifierSuffixes) {
+  // CamelCase methods, member access, and *_time identifiers are fine.
+  EXPECT_TRUE(LintContent("src/core/foo.cc",
+                          "double c = oracle.CommuteTime(u, v);\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "double c = commute_time(u);\n").empty());
+  EXPECT_TRUE(LintContent("src/core/foo.cc", "timer.time();\n").empty());
+}
+
+// --- formatting -----------------------------------------------------------
+
+TEST(FormatFindingTest, RendersFileLineRuleMessage) {
+  const Finding finding{"src/core/foo.cc", 12, "banned-call", "no printf"};
+  EXPECT_EQ(FormatFinding(finding),
+            "src/core/foo.cc:12: [banned-call] no printf");
+  const Finding whole_file{"src/core/foo.h", 0, "include-guard", "missing"};
+  EXPECT_EQ(FormatFinding(whole_file),
+            "src/core/foo.h: [include-guard] missing");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cad

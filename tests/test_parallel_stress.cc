@@ -1,0 +1,169 @@
+// Concurrency stress tests aimed at the ThreadSanitizer build
+// (-DCAD_SANITIZE=thread): they hammer ParallelFor with contended atomic
+// counters and drive the CgOptions::num_threads > 1 solve path, verifying
+// bit-identical results across thread counts. In uninstrumented builds they
+// double as determinism regression tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "graph/graph.h"
+#include "linalg/conjugate_gradient.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+namespace {
+
+TEST(ParallelForStressTest, ContendedCounterSumsExactly) {
+  constexpr size_t kCount = 100000;
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(kCount, 8, [&sum](size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), uint64_t{kCount} * (kCount + 1) / 2);
+}
+
+TEST(ParallelForStressTest, DisjointIndexWritesCoverEveryElement) {
+  constexpr size_t kCount = 50000;
+  std::vector<double> out(kCount, 0.0);
+  ParallelFor(kCount, 8, [&out](size_t i) {
+    out[i] = static_cast<double>(i) * 0.5 + 1.0;
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(out[i], static_cast<double>(i) * 0.5 + 1.0) << "index " << i;
+  }
+}
+
+TEST(ParallelForStressTest, RepeatedLaunchesWithSharedCounter) {
+  // Many short-lived pools stress thread creation/join and the work-stealing
+  // counter far more than one long loop does.
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    ParallelFor(64, 4, [&total](size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), uint64_t{200} * (63 * 64 / 2));
+}
+
+/// A deterministic, connected, irregular test graph: ring plus skip chords
+/// with varied weights.
+WeightedGraph MakeStressGraph(size_t n) {
+  WeightedGraph graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId u = static_cast<NodeId>(i);
+    const NodeId v = static_cast<NodeId>((i + 1) % n);
+    CAD_CHECK_OK(graph.SetEdge(u, v, 1.0 + 0.25 * static_cast<double>(i % 7)));
+  }
+  for (size_t i = 0; i < n; i += 3) {
+    const NodeId u = static_cast<NodeId>(i);
+    const NodeId v = static_cast<NodeId>((i * i + 5) % n);
+    if (u == v || graph.HasEdge(u, v)) continue;
+    CAD_CHECK_OK(graph.SetEdge(u, v, 0.5 + 0.1 * static_cast<double>(i % 5)));
+  }
+  return graph;
+}
+
+std::vector<std::vector<double>> MakeRightHandSides(size_t n, size_t k) {
+  std::vector<std::vector<double>> rhs(k, std::vector<double>(n, 0.0));
+  for (size_t j = 0; j < k; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      rhs[j][i] = static_cast<double>((i * (j + 3) + 11 * j) % 17) - 8.0;
+      mean += rhs[j][i];
+    }
+    // Keep the rhs near range(L) so regularized solves stay well-behaved.
+    mean /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) rhs[j][i] -= mean;
+  }
+  return rhs;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t j = 0; j < a.size(); ++j) {
+    ASSERT_EQ(a[j].size(), b[j].size());
+    for (size_t i = 0; i < a[j].size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(a[j][i]),
+                std::bit_cast<uint64_t>(b[j][i]))
+          << "system " << j << ", component " << i << ": " << a[j][i]
+          << " vs " << b[j][i];
+    }
+  }
+}
+
+class SolveManyThreadStressTest
+    : public ::testing::TestWithParam<CgPreconditioner> {};
+
+TEST_P(SolveManyThreadStressTest, BitIdenticalAcrossThreadCounts) {
+  constexpr size_t kNodes = 120;
+  constexpr size_t kSystems = 12;
+  const WeightedGraph graph = MakeStressGraph(kNodes);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-3);
+  const std::vector<std::vector<double>> rhs =
+      MakeRightHandSides(kNodes, kSystems);
+
+  CgOptions options;
+  options.preconditioner = GetParam();
+  options.tolerance = 1e-10;
+
+  std::vector<std::vector<std::vector<double>>> solutions;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    options.num_threads = threads;
+    const ConjugateGradientSolver solver(options);
+    std::vector<std::vector<double>> x;
+    Result<std::vector<CgSummary>> summaries =
+        solver.SolveMany(laplacian, rhs, &x);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    for (const CgSummary& summary : *summaries) {
+      EXPECT_TRUE(summary.converged)
+          << "relative residual " << summary.relative_residual;
+    }
+    solutions.push_back(std::move(x));
+  }
+  // The k systems are independent and each solve's arithmetic is sequential,
+  // so the thread count must not perturb a single bit of any solution.
+  ExpectBitIdentical(solutions[0], solutions[1]);
+  ExpectBitIdentical(solutions[0], solutions[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreconditioners, SolveManyThreadStressTest,
+                         ::testing::Values(
+                             CgPreconditioner::kNone, CgPreconditioner::kJacobi,
+                             CgPreconditioner::kIncompleteCholesky),
+                         [](const auto& info) {
+                           return std::string(
+                               CgPreconditionerToString(info.param));
+                         });
+
+TEST(SolveManyThreadStressTest, RepeatedContendedSolves) {
+  // Repeatedly launch the threaded solve path so TSan sees many
+  // pool lifetimes against the shared read-only preconditioner closure.
+  constexpr size_t kNodes = 48;
+  const WeightedGraph graph = MakeStressGraph(kNodes);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-3);
+  const std::vector<std::vector<double>> rhs = MakeRightHandSides(kNodes, 8);
+
+  CgOptions options;
+  options.num_threads = 8;
+  const ConjugateGradientSolver solver(options);
+  std::vector<std::vector<double>> first;
+  ASSERT_TRUE(solver.SolveMany(laplacian, rhs, &first).ok());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<double>> x;
+    Result<std::vector<CgSummary>> summaries =
+        solver.SolveMany(laplacian, rhs, &x);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    ExpectBitIdentical(first, x);
+  }
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,106 @@
+// cad_lint: repo-convention linter for the CAD tree.
+//
+// Scans src/, tests/, bench/, and tools/ under --root for C++ sources and
+// enforces the conventions documented in src/lint/lint.h (include guards,
+// banned calls, header hygiene, [[nodiscard]] on Status/Result returns,
+// nondeterminism containment). Registered as a ctest so the tree cannot
+// drift; every finding carries a file:line and an inline escape hatch
+// (`// cad-lint: allow(<rule>)`) for reviewed exceptions.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/result.h"
+#include "lint/lint.h"
+
+namespace cad {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kScanDirs[] = {"src", "tests", "bench", "tools"};
+
+bool IsLintableFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+// Repo-relative path with forward slashes (rule scoping keys off it).
+std::string RelativePath(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  bool quiet = false;
+  FlagParser flags;
+  flags.AddString("root", &root, "repo root containing src/, tests/, ...");
+  flags.AddBool("quiet", &quiet, "print only the finding count");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed << "\n" << flags.Usage();
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage();
+    return 0;
+  }
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    std::cerr << "cad_lint: --root " << root << " is not a directory\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const char* dir : kScanDirs) {
+    const fs::path scan_dir = root_path / dir;
+    if (!fs::is_directory(scan_dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(scan_dir)) {
+      if (entry.is_regular_file() && IsLintableFile(entry.path())) {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t findings_total = 0;
+  for (const std::string& file : files) {
+    Result<std::string> content = ReadFile(file);
+    if (!content.ok()) {
+      std::cerr << "cad_lint: " << content.status() << "\n";
+      return 2;
+    }
+    const std::vector<lint::Finding> findings =
+        lint::LintContent(RelativePath(file, root_path), *content);
+    findings_total += findings.size();
+    if (!quiet) {
+      for (const lint::Finding& finding : findings) {
+        std::cout << lint::FormatFinding(finding) << "\n";
+      }
+    }
+  }
+
+  std::cout << "cad_lint: scanned " << files.size() << " files, "
+            << findings_total << " finding(s)\n";
+  return findings_total == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }
