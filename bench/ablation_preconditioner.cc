@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "commute/approx_commute.h"
 #include "datagen/random_graphs.h"
+#include "obs/obs.h"
 #include "report.h"
 
 namespace cad {
@@ -26,6 +27,8 @@ int Run(int argc, char** argv) {
 
   bench::Banner("Ablation — PCG preconditioner for the embedding build");
   std::cout << "  k = " << k << ", average degree = 8\n";
+
+  const obs::ScopedMetricsEnable metrics_enable;
 
   bench::Table table({"n", "preconditioner", "total CG iters", "build (s)"});
   for (int64_t n = 1000; n <= max_n; n *= 10) {
@@ -53,6 +56,7 @@ int Run(int argc, char** argv) {
   table.Print();
   std::cout << "  (expected: IC(0) needs the fewest iterations; whether it"
             << " wins on wall-clock depends on the triangular-solve cost)\n";
+  bench::PrintSolverMetrics(obs::SnapshotMetrics());
   return 0;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace cad {
 namespace bench {
@@ -68,6 +69,24 @@ inline std::string Fixed(double value, int decimals = 3) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(decimals) << value;
   return os.str();
+}
+
+/// \brief Prints the solver-facing slice of a metrics snapshot: every
+/// counter plus the per-span wall-time totals. Benches call this with
+/// `obs::SnapshotMetrics()` after running with metrics recording enabled so
+/// reports carry iteration counts next to the timings they explain.
+inline void PrintSolverMetrics(const obs::MetricsSnapshot& snapshot) {
+  if (snapshot.empty()) return;
+  Section("solver metrics");
+  Table table({"metric", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.AddRow({name, std::to_string(value)});
+  }
+  for (const auto& [name, data] : snapshot.timers) {
+    table.AddRow({name + " total (ms)",
+                  Fixed(static_cast<double>(data.total_ns) / 1e6, 3)});
+  }
+  table.Print();
 }
 
 }  // namespace bench

@@ -15,6 +15,7 @@
 #include "core/cad_detector.h"
 #include "core/clc_detector.h"
 #include "datagen/random_graphs.h"
+#include "obs/obs.h"
 #include "report.h"
 
 namespace cad {
@@ -43,6 +44,8 @@ int Run(int argc, char** argv) {
   std::cout << "  k = " << k << ", average degree = " << average_degree
             << ", CLC pivots = " << clc_samples << ", threads = " << threads
             << "\n";
+
+  const obs::ScopedMetricsEnable metrics_enable;
 
   bench::Table table({"n", "m", "CAD (s)", "COM (s)", "ADJ (s)", "ACT (s)",
                       "CLC (s)"});
@@ -91,6 +94,7 @@ int Run(int argc, char** argv) {
   table.Print();
   std::cout << "  (expected ordering per the paper: ADJ < ACT <= CLC < CAD"
             << " ~= COM, all near-linear in n)\n";
+  bench::PrintSolverMetrics(obs::SnapshotMetrics());
   return 0;
 }
 

@@ -13,9 +13,14 @@
 #include "core/cad_detector.h"
 #include "core/threshold.h"
 #include "graph/temporal_graph.h"
+#include "obs/obs.h"
 
 int main() {
   using namespace cad;
+
+  // Opt-in observability: set CAD_METRICS_CSV and/or CAD_TRACE_JSON to a
+  // path and the run's metrics / Chrome trace are written on exit.
+  obs::InitObservabilityFromEnv();
 
   // 1. Build the "before" snapshot: teams {0,1,2,3} and {4,5,6,7}.
   constexpr size_t kNumNodes = 8;
@@ -66,5 +71,6 @@ int main() {
   std::cout << "\n  anomalous nodes:";
   for (NodeId node : reports[0].nodes) std::cout << " " << node;
   std::cout << "\n\nExpected: the bridge 0-7 (and only it) is flagged.\n";
+  CAD_CHECK_OK(obs::FlushObservability());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "io/csv_writer.h"
 #include "io/json_writer.h"
+#include "obs/obs.h"
 
 namespace cad {
 
@@ -28,15 +29,25 @@ Result<PipelineResult> RunCommuteFamily(const TemporalGraphSequence& sequence,
   CadDetector detector(cad_options);
 
   std::vector<TransitionScores> analyses;
-  CAD_ASSIGN_OR_RETURN(analyses, detector.Analyze(sequence));
+  {
+    CAD_TRACE_SPAN("pipeline_score");
+    CAD_ASSIGN_OR_RETURN(analyses, detector.Analyze(sequence));
+  }
   result.node_scores.reserve(analyses.size());
   for (const TransitionScores& scores : analyses) {
     result.node_scores.push_back(scores.node_scores);
   }
 
-  result.delta = CalibrateDelta(analyses, options.nodes_per_transition);
-  result.reports = ApplyThreshold(analyses, result.delta);
+  {
+    CAD_TRACE_SPAN("pipeline_threshold");
+    result.delta = CalibrateDelta(analyses, options.nodes_per_transition);
+  }
+  {
+    CAD_TRACE_SPAN("pipeline_localize");
+    result.reports = ApplyThreshold(analyses, result.delta);
+  }
 
+  CAD_TRACE_SPAN("pipeline_classify");
   for (const AnomalyReport& report : result.reports) {
     if (report.edges.empty()) continue;
     std::unique_ptr<CommuteTimeOracle> oracle;
@@ -57,6 +68,7 @@ Result<PipelineResult> RunCommuteFamily(const TemporalGraphSequence& sequence,
       result.edges.push_back(reported);
     }
   }
+  CAD_METRIC_ADD("pipeline.reported_edges", result.edges.size());
   return result;
 }
 
@@ -95,9 +107,19 @@ Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
         "the pipeline needs at least two snapshots");
   }
   CAD_DCHECK_OK(sequence.CheckConsistent());
-  return IsCommuteBasedMethod(options.method)
-             ? RunCommuteFamily(sequence, options)
-             : RunNodeScorer(sequence, options);
+  Result<PipelineResult> result = [&] {
+    CAD_TRACE_SPAN("pipeline_run");
+    CAD_METRIC_INC("pipeline.runs");
+    return IsCommuteBasedMethod(options.method)
+               ? RunCommuteFamily(sequence, options)
+               : RunNodeScorer(sequence, options);
+  }();
+  // Attach the registry state so callers (cad_cli, tests) can export it
+  // without reaching into the obs singletons themselves.
+  if (result.ok() && obs::MetricsEnabled()) {
+    result.ValueOrDie().metrics = obs::SnapshotMetrics();
+  }
+  return result;
 }
 
 Status WriteEdgeReportCsv(const PipelineResult& result, std::ostream* out) {

@@ -13,6 +13,7 @@
 #include "core/clc_detector.h"
 #include "core/threshold.h"
 #include "graph/temporal_graph.h"
+#include "obs/metrics.h"
 
 namespace cad {
 
@@ -57,6 +58,9 @@ struct PipelineResult {
   std::vector<ReportedEdge> edges;
   /// The calibrated threshold (commute-based family).
   double delta = 0.0;
+  /// Snapshot of the global metrics registry taken when the pipeline
+  /// finished; empty unless metrics recording was enabled (see src/obs/).
+  obs::MetricsSnapshot metrics;
 };
 
 /// True if `method` names the commute-based (edge-localizing) family.

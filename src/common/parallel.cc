@@ -5,28 +5,57 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.h"
+#include "obs/obs.h"
+
 namespace cad {
 
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
   if (count == 0) return;
+  CAD_TRACE_SPAN("parallel_for");
+  CAD_METRIC_INC("parallel.calls");
+  CAD_METRIC_ADD("parallel.tasks", count);
+  // Latch the switch once per call so a mid-call toggle cannot split the
+  // accounting; instrumentation only observes, so `fn`'s results (and their
+  // bit patterns) are untouched either way.
+  const bool observe = obs::MetricsEnabled();
+
   num_threads = std::min(num_threads, count);
   if (num_threads <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      if (observe) {
+        // Per-task wall time is a "timer" metric: the only CSV kind allowed
+        // to vary between same-seed runs (see the determinism contract).
+        const Timer task_timer;
+        fn(i);
+        CAD_METRIC_TIME_NS("parallel.task", task_timer.ElapsedNanos());
+      } else {
+        fn(i);
+      }
+    }
     return;
   }
 
   std::atomic<size_t> next{0};
-  const auto worker = [&]() {
+  const auto worker = [&] {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      fn(i);
+      if (i >= count) break;
+      if (observe) {
+        const Timer task_timer;
+        fn(i);
+        CAD_METRIC_TIME_NS("parallel.task", task_timer.ElapsedNanos());
+      } else {
+        fn(i);
+      }
     }
   };
   std::vector<std::thread> threads;
   threads.reserve(num_threads - 1);
-  for (size_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
+  for (size_t t = 0; t + 1 < num_threads; ++t) {
+    threads.emplace_back(worker);
+  }
   worker();  // the calling thread participates
   for (std::thread& thread : threads) thread.join();
 }

@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace cad {
 
 Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
     const WeightedGraph& graph, const ApproxCommuteOptions& options) {
+  CAD_TRACE_SPAN("approx_commute_build");
+  CAD_METRIC_INC("commute.approx_builds");
   const size_t n = graph.num_nodes();
   const size_t k = options.embedding_dim;
   if (k == 0) {
@@ -54,9 +58,8 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
   CAD_ASSIGN_OR_RETURN(summaries, solver.SolveMany(laplacian, rhs, &solutions));
 
   DenseMatrix z(k, n);
-  size_t total_iterations = 0;
+  const CgBatchStats cg_stats = SummarizeCgBatch(summaries);
   for (size_t r = 0; r < k; ++r) {
-    total_iterations += summaries[r].iterations;
     if (options.require_convergence && !summaries[r].converged) {
       return Status::NumericalError(
           "ApproxCommuteEmbedding: CG did not converge on system " +
@@ -70,7 +73,7 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
   return ApproxCommuteEmbedding(std::move(z), std::move(components), volume,
                                 sentinel,
                                 options.commute.use_cross_component_sentinel,
-                                total_iterations);
+                                cg_stats);
 }
 
 double ApproxCommuteEmbedding::CommuteTime(NodeId u, NodeId v) const {

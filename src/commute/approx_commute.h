@@ -71,25 +71,29 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
   double volume() const { return volume_; }
 
   /// Total CG iterations spent across the k solves (for benchmarking).
-  size_t total_cg_iterations() const { return total_cg_iterations_; }
+  size_t total_cg_iterations() const { return cg_stats_.total_iterations; }
+
+  /// Per-batch CG statistics (count / min / max / total iterations, worst
+  /// residual) for the k Laplacian solves behind this embedding.
+  const CgBatchStats& cg_stats() const { return cg_stats_; }
 
  private:
   ApproxCommuteEmbedding(DenseMatrix embedding, ComponentLabeling components,
                          double volume, double sentinel, bool use_sentinel,
-                         size_t total_cg_iterations)
+                         CgBatchStats cg_stats)
       : embedding_(std::move(embedding)),
         components_(std::move(components)),
         volume_(volume),
         sentinel_(sentinel),
         use_sentinel_(use_sentinel),
-        total_cg_iterations_(total_cg_iterations) {}
+        cg_stats_(cg_stats) {}
 
   DenseMatrix embedding_;  // k x n
   ComponentLabeling components_;
   double volume_;
   double sentinel_;
   bool use_sentinel_;
-  size_t total_cg_iterations_;
+  CgBatchStats cg_stats_;
 };
 
 }  // namespace cad

@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "linalg/cholesky.h"
+#include "obs/obs.h"
 
 namespace cad {
 
 Result<ExactCommuteTime> ExactCommuteTime::Build(
     const WeightedGraph& graph, const CommuteTimeOptions& options) {
+  CAD_TRACE_SPAN("exact_commute_build");
+  CAD_METRIC_INC("commute.exact_builds");
   const size_t n = graph.num_nodes();
   const double volume = graph.Volume();
   const double sentinel = CrossComponentSentinel(volume, n, options);

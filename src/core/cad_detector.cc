@@ -1,6 +1,7 @@
 #include "core/cad_detector.h"
 
 #include "common/parallel.h"
+#include "obs/obs.h"
 
 namespace cad {
 
@@ -32,6 +33,9 @@ Result<std::vector<TransitionScores>> CadDetector::Analyze(
         std::to_string(sequence.num_snapshots()));
   }
   CAD_DCHECK_OK(sequence.CheckConsistent());
+  CAD_TRACE_SPAN("cad_analyze");
+  CAD_METRIC_INC("cad.analyses");
+  CAD_METRIC_ADD("cad.transitions_scored", sequence.num_transitions());
   // Build each snapshot's oracle once; transition t uses oracles t and t+1.
   if (options_.analysis_threads > 1) {
     // Parallel path: materialize all oracles, then score all transitions.

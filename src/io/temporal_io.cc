@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace cad {
 
@@ -38,6 +39,7 @@ Status WriteTemporalEdgeListFile(const TemporalGraphSequence& sequence,
 
 Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
   CAD_CHECK(in != nullptr);
+  CAD_TRACE_SPAN("temporal_load");
   TemporalGraphSequence sequence;
   bool header_seen = false;
   size_t declared_snapshots = 0;
@@ -46,6 +48,7 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
   bool in_snapshot = false;
   size_t expected_snapshot = 0;
   size_t line_number = 0;
+  size_t edges_read = 0;
 
   const auto error_at = [&line_number](const std::string& message) {
     return Status::InvalidArgument("line " + std::to_string(line_number) +
@@ -98,6 +101,7 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
       const Status set = current.SetEdge(static_cast<NodeId>(*u),
                                          static_cast<NodeId>(*v), *weight);
       if (!set.ok()) return error_at(set.message());
+      ++edges_read;
     } else {
       return error_at("unknown record '" + fields[0] + "'");
     }
@@ -114,6 +118,8 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
         std::to_string(declared_snapshots) + ", found " +
         std::to_string(sequence.num_snapshots()));
   }
+  CAD_METRIC_ADD("io.snapshots_loaded", sequence.num_snapshots());
+  CAD_METRIC_ADD("io.edges_loaded", edges_read);
   return sequence;
 }
 

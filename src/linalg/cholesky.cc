@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace cad {
 
 Result<CholeskyFactorization> CholeskyFactorization::Factor(
@@ -13,6 +15,8 @@ Result<CholeskyFactorization> CholeskyFactorization::Factor(
     return Status::InvalidArgument("Cholesky: matrix must be symmetric");
   }
   CAD_DCHECK_OK(a.CheckFinite());
+  CAD_TRACE_SPAN("cholesky_factor");
+  CAD_METRIC_INC("cholesky.factorizations");
   const size_t n = a.rows();
   DenseMatrix lower(n, n);
   for (size_t j = 0; j < n; ++j) {

@@ -1,5 +1,6 @@
 #include "linalg/conjugate_gradient.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -7,6 +8,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "obs/obs.h"
 
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/vector_ops.h"
@@ -115,6 +118,16 @@ Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
   return summary;
 }
 
+/// Records the outcome counters shared by Solve and SolveMany's per-RHS
+/// solves. Counters only: their sums are independent of thread count and
+/// scheduling, so this is safe to call from ParallelFor workers. Gauges
+/// (last-write-wins) are set only from deterministic single-threaded points.
+void RecordSolveMetrics(const CgSummary& summary) {
+  CAD_METRIC_INC("pcg.solves");
+  CAD_METRIC_ADD("pcg.iterations", summary.iterations);
+  if (!summary.converged) CAD_METRIC_INC("pcg.nonconverged");
+}
+
 Status ValidateSystem(const CsrMatrix& a, size_t rhs_size) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("CG: matrix must be square");
@@ -126,6 +139,23 @@ Status ValidateSystem(const CsrMatrix& a, size_t rhs_size) {
 }
 
 }  // namespace
+
+CgBatchStats SummarizeCgBatch(const std::vector<CgSummary>& summaries) {
+  CgBatchStats stats;
+  stats.num_systems = summaries.size();
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    const CgSummary& summary = summaries[i];
+    if (summary.converged) ++stats.num_converged;
+    if (i == 0 || summary.iterations < stats.min_iterations) {
+      stats.min_iterations = summary.iterations;
+    }
+    stats.max_iterations = std::max(stats.max_iterations, summary.iterations);
+    stats.total_iterations += summary.iterations;
+    stats.max_relative_residual =
+        std::max(stats.max_relative_residual, summary.relative_residual);
+  }
+  return stats;
+}
 
 const char* CgPreconditionerToString(CgPreconditioner preconditioner) {
   switch (preconditioner) {
@@ -142,32 +172,55 @@ const char* CgPreconditionerToString(CgPreconditioner preconditioner) {
 Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
                                                  const std::vector<double>& b,
                                                  std::vector<double>* x) const {
+  CAD_TRACE_SPAN("pcg_solve");
   CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
   CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
   Preconditioner apply;
-  CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
-  return SolveWithPreconditioner(a, b, apply, options_, x);
+  {
+    CAD_TRACE_SPAN("pcg_precond_setup");
+    const Timer setup_timer;
+    CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+    CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
+  }
+  Result<CgSummary> summary = SolveWithPreconditioner(a, b, apply, options_, x);
+  if (summary.ok()) {
+    RecordSolveMetrics(*summary);
+    CAD_METRIC_SET("pcg.last_relative_residual", summary->relative_residual);
+  }
+  return summary;
 }
 
 Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
     const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
     std::vector<std::vector<double>>* solutions) const {
+  CAD_TRACE_SPAN("pcg_solve_many");
   for (const std::vector<double>& b : rhs) {
     CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
   }
   CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
   Preconditioner apply;
-  CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+  {
+    CAD_TRACE_SPAN("pcg_precond_setup");
+    const Timer setup_timer;
+    CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+    CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
+  }
   solutions->resize(rhs.size());
   std::vector<CgSummary> summaries(rhs.size());
   std::vector<Status> statuses(rhs.size());
   // The systems are independent; the preconditioner closure is shared
   // read-only (Jacobi diagonal / IC factor are immutable after build).
+  // Instrumentation only observes (counters commute, the per-RHS histogram
+  // is scheduling-independent), so solutions stay bit-identical across
+  // thread counts — see tests/test_parallel_stress.cc.
   ParallelFor(rhs.size(), options_.num_threads, [&](size_t i) {
+    CAD_TRACE_SPAN("pcg_rhs");
     Result<CgSummary> result =
         SolveWithPreconditioner(a, rhs[i], apply, options_, &(*solutions)[i]);
     if (result.ok()) {
       summaries[i] = *result;
+      RecordSolveMetrics(summaries[i]);
+      CAD_METRIC_OBSERVE("pcg.iterations_per_rhs", summaries[i].iterations);
     } else {
       statuses[i] = result.status();
     }
@@ -175,6 +228,11 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
   }
+  CAD_METRIC_INC("pcg.batches");
+  // Batch aggregate (not per-system, so it is deterministic even when the
+  // systems were solved concurrently).
+  CAD_METRIC_SET("pcg.last_batch_max_relative_residual",
+                 SummarizeCgBatch(summaries).max_relative_residual);
   return summaries;
 }
 

@@ -41,6 +41,23 @@ struct CgSummary {
   bool converged = false;
 };
 
+/// \brief Aggregate over the per-RHS summaries of one SolveMany batch.
+/// Iteration counts are deterministic for a fixed system/rhs/options tuple
+/// (each solve's arithmetic is sequential), so identical batches produce
+/// identical stats regardless of CgOptions::num_threads.
+struct CgBatchStats {
+  size_t num_systems = 0;
+  size_t num_converged = 0;
+  size_t min_iterations = 0;
+  size_t max_iterations = 0;
+  size_t total_iterations = 0;
+  /// Largest relative residual across the batch (worst-converged system).
+  double max_relative_residual = 0.0;
+};
+
+/// Folds a batch of per-RHS summaries into CgBatchStats.
+CgBatchStats SummarizeCgBatch(const std::vector<CgSummary>& summaries);
+
 /// \brief Preconditioned conjugate gradient for symmetric positive
 /// (semi-)definite systems A x = b.
 ///

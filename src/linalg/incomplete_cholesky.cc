@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace cad {
 
@@ -90,10 +91,16 @@ Result<IncompleteCholesky> IncompleteCholesky::Factor(const CsrMatrix& a) {
   }
   CAD_DCHECK(a.IsSymmetric(1e-9));
   CAD_DCHECK_OK(a.CheckValid());
+  CAD_TRACE_SPAN("ic0_factor");
   double shift = 0.0;
   for (int attempt = 0; attempt < 8; ++attempt) {
     Result<CsrMatrix> lower = TryFactor(a, shift);
     if (lower.ok()) {
+      CAD_METRIC_INC("ic0.factorizations");
+      CAD_METRIC_ADD("ic0.shift_retries", static_cast<uint64_t>(attempt));
+      // The shift sequence is deterministic for a given matrix, so this
+      // gauge stays reproducible across runs and thread counts.
+      CAD_METRIC_SET("ic0.last_shift", shift);
       CsrMatrix transpose = lower->Transpose();
       return IncompleteCholesky(std::move(lower).ValueOrDie(),
                                 std::move(transpose), shift);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace cad {
 
 namespace {
@@ -30,6 +32,8 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
     return Status::InvalidArgument("JacobiEigen: matrix must be symmetric");
   }
   CAD_DCHECK_OK(input.CheckFinite());
+  CAD_TRACE_SPAN("jacobi_eigen");
+  CAD_METRIC_INC("jacobi.decompositions");
   const size_t n = input.rows();
   DenseMatrix a = input;
   DenseMatrix v = DenseMatrix::Identity(n);
@@ -37,7 +41,9 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
   const double scale = std::max(input.FrobeniusNorm(), 1e-300);
   bool converged = (n <= 1) || OffDiagonalNorm(a) <= options.tolerance * scale;
 
+  int sweeps_used = 0;
   for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    ++sweeps_used;
     for (size_t p = 0; p + 1 < n; ++p) {
       for (size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
@@ -74,6 +80,7 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
     }
     converged = OffDiagonalNorm(a) <= options.tolerance * scale;
   }
+  CAD_METRIC_ADD("jacobi.sweeps", static_cast<uint64_t>(sweeps_used));
   if (!converged) {
     return Status::NumericalError(
         "JacobiEigen: failed to converge in " +
@@ -102,6 +109,8 @@ Result<EigenDecomposition> JacobiEigenDecomposition(
 Result<DenseMatrix> SymmetricPseudoInverse(const DenseMatrix& a,
                                            double rank_tol) {
   CAD_DCHECK_OK(a.CheckFinite());
+  CAD_TRACE_SPAN("pseudoinverse");
+  CAD_METRIC_INC("jacobi.pseudoinverses");
   EigenDecomposition eig;
   CAD_ASSIGN_OR_RETURN(eig, JacobiEigenDecomposition(a));
   const size_t n = a.rows();

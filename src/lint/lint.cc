@@ -101,6 +101,22 @@ const std::vector<PatternRule>& NondeterminismRules() {
   return *rules;
 }
 
+/// Raw monotonic-clock access. src/common/timer.h is the single owner of
+/// the clock (Timer / Timer::NowNanos) so instrumented timings all share one
+/// time source; src/obs/ is exempt as the layer built directly on it. Unlike
+/// the rules above this applies to every scanned file, benches and tests
+/// included.
+const std::vector<PatternRule>& RawClockRules() {
+  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
+      {"raw-clock",
+       std::regex(
+           R"(std\s*::\s*chrono\s*::\s*(steady_clock|high_resolution_clock))"),
+       "raw std::chrono clock outside src/common/timer.h and src/obs/; use "
+       "cad::Timer (Timer::NowNanos for raw timestamps)"},
+  };
+  return *rules;
+}
+
 /// A declaration whose return type is Status or Result<...> and which is
 /// missing [[nodiscard]]. Line-oriented heuristic: this repo declares the
 /// return type, name, and opening paren on one line.
@@ -228,6 +244,8 @@ std::vector<Finding> LintContent(std::string_view rel_path,
   const bool is_header = EndsWith(rel_path, ".h");
   const bool in_src = StartsWith(rel_path, "src/");
   const bool rng_exempt = StartsWith(rel_path, "src/common/rng.");
+  const bool clock_exempt =
+      rel_path == "src/common/timer.h" || StartsWith(rel_path, "src/obs/");
 
   std::vector<Finding> findings;
   if (is_header) {
@@ -240,6 +258,9 @@ std::vector<Finding> LintContent(std::string_view rel_path,
     if (!rng_exempt) {
       ApplyPatternRules(rel_path, lines, NondeterminismRules(), &findings);
     }
+  }
+  if (!clock_exempt) {
+    ApplyPatternRules(rel_path, lines, RawClockRules(), &findings);
   }
   return findings;
 }

@@ -36,6 +36,9 @@ std::string ExpectedIncludeGuard(std::string_view rel_path);
 ///  - banned-call (raw assert/abort/printf-family/rand): `src/` only.
 ///  - nondeterminism (time()/std::random_device): `src/` except
 ///    `src/common/rng.*`.
+///  - raw-clock (std::chrono::steady_clock / high_resolution_clock): every
+///    scanned file except `src/common/timer.h` (the clock's single owner)
+///    and `src/obs/` — go through cad::Timer instead.
 /// A finding on line L is suppressed when line L contains
 /// `cad-lint: allow(<rule>)`.
 std::vector<Finding> LintContent(std::string_view rel_path,

@@ -1,0 +1,278 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "io/csv_writer.h"
+#include "io/json_writer.h"
+
+namespace cad {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Formats metric values for CSV/JSON field names: integers print without a
+/// decimal point so bucket field names stay readable (bucket_le_1024).
+std::string FormatBound(double bound) {
+  if (std::isinf(bound)) return "inf";
+  return std::to_string(static_cast<uint64_t>(bound));
+}
+
+}  // namespace
+
+double Histogram::BucketUpperBound(size_t index) {
+  CAD_CHECK(index < kNumBuckets);
+  if (index == kNumFiniteBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(index));  // 2^index
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // NaN and <= 1 land in the first bucket
+  // Smallest i with value <= 2^i, i.e. ceil(log2(value)) for value > 1.
+  const int exponent = std::ilogb(value);
+  const double floor_pow = std::ldexp(1.0, exponent);
+  const size_t index =
+      static_cast<size_t>(exponent) + (value > floor_pow ? 1 : 0);
+  return std::min(index, kNumFiniteBuckets);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_fixed_.fetch_add(static_cast<int64_t>(std::llround(value * kSumScale)),
+                       std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Monotone CAS against the +-inf sentinels: deterministic for a fixed
+  // multiset of observations regardless of interleaving.
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_fixed_.load(std::memory_order_relaxed)) /
+         kSumScale;
+}
+
+double Histogram::Min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_fixed_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::CheckKind(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  CAD_CHECK(it->second == kind)
+      << "metric '" << name << "' registered under two instrument kinds";
+  (void)inserted;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CheckKind(name, Kind::kCounter);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CheckKind(name, Kind::kGauge);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CheckKind(name, Kind::kHistogram);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+TimerMetric* MetricsRegistry::GetTimer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CheckKind(name, Kind::kTimer);
+  std::unique_ptr<TimerMetric>& slot = timers_[name];
+  if (!slot) slot = std::make_unique<TimerMetric>();
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  // std::map iteration is already name-sorted.
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->Sum();
+    data.min = histogram->Min();
+    data.max = histogram->Max();
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t bucket_count = histogram->bucket_count(b);
+      if (bucket_count == 0) continue;
+      data.buckets.emplace_back(Histogram::BucketUpperBound(b), bucket_count);
+    }
+    snapshot.histograms.emplace_back(name, std::move(data));
+  }
+  for (const auto& [name, timer] : timers_) {
+    snapshot.timers.emplace_back(name,
+                                 TimerData{timer->count(), timer->total_ns()});
+  }
+  return snapshot;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  // Intentionally leaked so exiting threads can still flush into it.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetMetrics() { GlobalMetrics().Reset(); }
+
+MetricsSnapshot SnapshotMetrics() { return GlobalMetrics().Snapshot(); }
+
+Status WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  CsvWriter writer(out, {"kind", "name", "field", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.WriteRow({"counter", name, "value", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.WriteRow({"gauge", name, "value", FormatDouble(value, 12)});
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    writer.WriteRow({"histogram", name, "count", std::to_string(data.count)});
+    writer.WriteRow({"histogram", name, "sum", FormatDouble(data.sum, 12)});
+    if (data.count > 0) {
+      writer.WriteRow({"histogram", name, "min", FormatDouble(data.min, 12)});
+      writer.WriteRow({"histogram", name, "max", FormatDouble(data.max, 12)});
+    }
+    for (const auto& [bound, bucket_count] : data.buckets) {
+      writer.WriteRow({"histogram", name, "bucket_le_" + FormatBound(bound),
+                       std::to_string(bucket_count)});
+    }
+  }
+  for (const auto& [name, data] : snapshot.timers) {
+    writer.WriteRow({"timer", name, "count", std::to_string(data.count)});
+    writer.WriteRow({"timer", name, "total_ms",
+                     FormatDouble(static_cast<double>(data.total_ns) / 1e6, 6)});
+  }
+  if (!out->good()) return Status::IoError("metrics CSV write failed");
+  return Status::OK();
+}
+
+Status WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name);
+    json.Number(static_cast<size_t>(value));
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name);
+    json.Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, data] : snapshot.histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("sum");
+    json.Number(data.sum);
+    if (data.count > 0) {
+      json.Key("min");
+      json.Number(data.min);
+      json.Key("max");
+      json.Number(data.max);
+    }
+    json.Key("buckets");
+    json.BeginArray();
+    for (const auto& [bound, bucket_count] : data.buckets) {
+      json.BeginObject();
+      json.Key("le");
+      if (std::isinf(bound)) {
+        json.String("inf");
+      } else {
+        json.Number(bound);
+      }
+      json.Key("count");
+      json.Number(static_cast<size_t>(bucket_count));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("timers");
+  json.BeginObject();
+  for (const auto& [name, data] : snapshot.timers) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("total_ms");
+    json.Number(static_cast<double>(data.total_ns) / 1e6);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  (*out) << "\n";
+  if (!out->good()) return Status::IoError("metrics JSON write failed");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cad

@@ -1,0 +1,58 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace cad {
+namespace obs {
+
+namespace {
+
+std::string& MetricsCsvPath() {
+  static std::string* path = new std::string;
+  return *path;
+}
+
+std::string& TraceJsonPath() {
+  static std::string* path = new std::string;
+  return *path;
+}
+
+}  // namespace
+
+void InitObservabilityFromEnv() {
+  const char* metrics_csv = std::getenv("CAD_METRICS_CSV");
+  if (metrics_csv != nullptr && metrics_csv[0] != '\0') {
+    MetricsCsvPath() = metrics_csv;
+    SetMetricsEnabled(true);
+  }
+  const char* trace_json = std::getenv("CAD_TRACE_JSON");
+  if (trace_json != nullptr && trace_json[0] != '\0') {
+    TraceJsonPath() = trace_json;
+    SetTracingEnabled(true);
+  }
+}
+
+Status FlushObservability() {
+  if (!MetricsCsvPath().empty()) {
+    std::ofstream out(MetricsCsvPath());
+    if (!out.is_open()) {
+      return Status::IoError("cannot open CAD_METRICS_CSV path " +
+                             MetricsCsvPath());
+    }
+    CAD_RETURN_NOT_OK(WriteMetricsCsv(SnapshotMetrics(), &out));
+  }
+  if (!TraceJsonPath().empty()) {
+    std::ofstream out(TraceJsonPath());
+    if (!out.is_open()) {
+      return Status::IoError("cannot open CAD_TRACE_JSON path " +
+                             TraceJsonPath());
+    }
+    CAD_RETURN_NOT_OK(WriteChromeTraceJson(&out));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cad

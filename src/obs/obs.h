@@ -1,0 +1,63 @@
+#ifndef CAD_OBS_OBS_H_
+#define CAD_OBS_OBS_H_
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cad {
+namespace obs {
+
+/// \brief Umbrella for the observability layer: include this from
+/// instrumented code to get the CAD_METRIC_* and CAD_TRACE_SPAN macros.
+///
+/// Environment-driven setup for binaries without flag plumbing (examples,
+/// CI): setting CAD_METRICS_CSV=<path> and/or CAD_TRACE_JSON=<path> before
+/// launch enables the corresponding subsystem; FlushObservability() writes
+/// the configured exports at the end of main.
+
+/// Reads CAD_METRICS_CSV / CAD_TRACE_JSON from the environment and enables
+/// metrics / tracing for each variable that is set and non-empty.
+void InitObservabilityFromEnv();
+
+/// Writes the exports configured by InitObservabilityFromEnv. A no-op OK
+/// when neither variable was set.
+[[nodiscard]] Status FlushObservability();
+
+/// Test helper: clears and enables metrics on entry, restores the previous
+/// enabled state on exit (recorded values are left in place for inspection).
+class ScopedMetricsEnable {
+ public:
+  ScopedMetricsEnable() : previous_(MetricsEnabled()) {
+    ResetMetrics();
+    SetMetricsEnabled(true);
+  }
+  ~ScopedMetricsEnable() { SetMetricsEnabled(previous_); }
+
+  ScopedMetricsEnable(const ScopedMetricsEnable&) = delete;
+  ScopedMetricsEnable& operator=(const ScopedMetricsEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Test helper: clears and enables tracing on entry, restores on exit.
+class ScopedTracingEnable {
+ public:
+  ScopedTracingEnable() : previous_(TracingEnabled()) {
+    ResetTracing();
+    SetTracingEnabled(true);
+  }
+  ~ScopedTracingEnable() { SetTracingEnabled(previous_); }
+
+  ScopedTracingEnable(const ScopedTracingEnable&) = delete;
+  ScopedTracingEnable& operator=(const ScopedTracingEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace obs
+}  // namespace cad
+
+#endif  // CAD_OBS_OBS_H_

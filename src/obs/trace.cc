@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "io/json_writer.h"
+#include "obs/metrics.h"
+
+namespace cad {
+namespace obs {
+
+namespace {
+
+/// Per-thread span buffer. The owning thread appends under `mutex` (always
+/// uncontended except while a collector is reading); `depth` is touched only
+/// by the owner.
+struct ThreadLog {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  uint32_t thread_index = 0;
+  uint32_t depth = 0;
+};
+
+/// Process-wide trace state. Lock order: TraceState::mutex before any
+/// ThreadLog::mutex (collection and thread retirement both follow it).
+struct TraceState {
+  std::mutex mutex;
+  std::vector<ThreadLog*> live;
+  std::vector<TraceEvent> retired;
+  std::atomic<uint32_t> next_thread_index{0};
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> epoch_ns{0};
+};
+
+TraceState& State() {
+  // Leaked so thread_local destructors can flush into it at any point of
+  // process shutdown.
+  static TraceState* state = new TraceState;
+  return *state;
+}
+
+/// Owns one ThreadLog for the calling thread; on thread exit the events are
+/// merged into the retired list (the "post-run merge" for short-lived
+/// ParallelFor workers).
+class ThreadLogHandle {
+ public:
+  ThreadLogHandle() : log_(new ThreadLog) {
+    TraceState& state = State();
+    log_->thread_index =
+        state.next_thread_index.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.live.push_back(log_);
+  }
+
+  ~ThreadLogHandle() {
+    TraceState& state = State();
+    const std::lock_guard<std::mutex> state_lock(state.mutex);
+    {
+      const std::lock_guard<std::mutex> log_lock(log_->mutex);
+      state.retired.insert(state.retired.end(), log_->events.begin(),
+                           log_->events.end());
+    }
+    state.live.erase(std::find(state.live.begin(), state.live.end(), log_));
+    delete log_;
+  }
+
+  ThreadLog* log() { return log_; }
+
+ private:
+  ThreadLog* log_;
+};
+
+ThreadLog& LocalLog() {
+  thread_local ThreadLogHandle handle;
+  return *handle.log();
+}
+
+void SortEvents(std::vector<TraceEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.thread_index != b.thread_index) {
+                return a.thread_index < b.thread_index;
+              }
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  TraceState& state = State();
+  if (enabled && !state.enabled.load(std::memory_order_relaxed)) {
+    state.epoch_ns.store(Timer::NowNanos(), std::memory_order_relaxed);
+  }
+  state.enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetTracing() {
+  TraceState& state = State();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.retired.clear();
+  for (ThreadLog* log : state.live) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  TraceState& state = State();
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    events = state.retired;
+    for (ThreadLog* log : state.live) {
+      const std::lock_guard<std::mutex> log_lock(log->mutex);
+      events.insert(events.end(), log->events.begin(), log->events.end());
+    }
+  }
+  SortEvents(&events);
+  return events;
+}
+
+Status WriteChromeTraceJson(std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  const uint64_t epoch = State().epoch_ns.load(std::memory_order_relaxed);
+
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : events) {
+    const uint64_t start = event.start_ns >= epoch ? event.start_ns - epoch : 0;
+    json.BeginObject();
+    json.Key("name");
+    json.String(event.name);
+    json.Key("cat");
+    json.String("cad");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Number(static_cast<double>(start) / 1e3);
+    json.Key("dur");
+    json.Number(static_cast<double>(event.end_ns - event.start_ns) / 1e3);
+    json.Key("pid");
+    json.Number(size_t{0});
+    json.Key("tid");
+    json.Number(static_cast<size_t>(event.thread_index));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  (*out) << "\n";
+  if (!out->good()) return Status::IoError("chrome trace write failed");
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  tracing_ = TracingEnabled();
+  if (!tracing_ && !MetricsEnabled()) return;
+  name_ = name;
+  if (tracing_) ++LocalLog().depth;
+  start_ns_ = Timer::NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const uint64_t end_ns = Timer::NowNanos();
+  if (tracing_) {
+    ThreadLog& log = LocalLog();
+    --log.depth;
+    const std::lock_guard<std::mutex> lock(log.mutex);
+    log.events.push_back(
+        TraceEvent{name_, start_ns_, end_ns, log.depth, log.thread_index});
+  }
+  // Bridge into the metrics layer so span wall times land in the CSV export
+  // under kind "timer" whether or not a trace is being captured.
+  if (MetricsEnabled()) {
+    GlobalMetrics()
+        .GetTimer(std::string("span.") + name_)
+        ->AddNanos(end_ns - start_ns_);
+  }
+}
+
+}  // namespace obs
+}  // namespace cad

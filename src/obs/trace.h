@@ -1,0 +1,94 @@
+#ifndef CAD_OBS_TRACE_H_
+#define CAD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad {
+namespace obs {
+
+/// \brief Scoped trace spans (DESIGN.md §5).
+///
+/// `CAD_TRACE_SPAN("pcg_solve")` opens a span that closes at end of scope.
+/// Each thread appends completed spans to its own buffer (no cross-thread
+/// contention on the hot path); buffers of exited threads are merged into a
+/// process-wide retired list, and CollectTraceEvents()/WriteChromeTraceJson()
+/// perform the post-run merge over live and retired threads. Nesting is
+/// captured per thread as a depth, so the collected events form one wall-time
+/// tree per thread; in the Chrome trace viewer the trees reconstruct
+/// themselves from interval containment.
+///
+/// Disabled by default: an inactive span costs two relaxed atomic loads.
+/// Spans activate when tracing OR metrics recording is on: with metrics
+/// enabled, every completed span also accumulates into the timer metric
+/// `span.<name>`, which is how per-stage wall times reach the metrics CSV
+/// even when no trace is being captured.
+
+/// One completed span. `name` points at static storage (the macro passes
+/// string literals); events never own memory.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Nesting depth within the owning thread (0 = top level).
+  uint32_t depth = 0;
+  /// Dense per-process thread index in registration order (not the OS tid).
+  uint32_t thread_index = 0;
+};
+
+bool TracingEnabled();
+/// Enabling (re)starts the trace epoch that Chrome-trace timestamps are
+/// relative to.
+void SetTracingEnabled(bool enabled);
+
+/// Drops all recorded events (live and retired threads).
+void ResetTracing();
+
+/// Merged events from every thread, sorted by (thread_index, start, depth).
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// \brief Writes the merged events in Chrome trace format (load via
+/// chrome://tracing or https://ui.perfetto.dev): one complete ("ph":"X")
+/// event per span with microsecond timestamps relative to the trace epoch.
+[[nodiscard]] Status WriteChromeTraceJson(std::ostream* out);
+
+/// \brief RAII span. Prefer the CAD_TRACE_SPAN macro, which compiles away
+/// under -DCAD_OBS=OFF. `name` must outlive the trace (pass a literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null when recording was off at entry
+  bool tracing_ = false;        // latched at entry; metrics-only spans skip
+                                // the per-thread event log entirely
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cad
+
+#ifndef CAD_OBS_DISABLED
+
+#define CAD_OBS_CONCAT_INNER(a, b) a##b
+#define CAD_OBS_CONCAT(a, b) CAD_OBS_CONCAT_INNER(a, b)
+/// Opens a span named `name` (a string literal) until end of scope.
+#define CAD_TRACE_SPAN(name) \
+  ::cad::obs::TraceSpan CAD_OBS_CONCAT(_cad_trace_span_, __LINE__)(name)
+
+#else  // CAD_OBS_DISABLED
+
+#define CAD_TRACE_SPAN(name) \
+  do {                       \
+  } while (false)
+
+#endif  // CAD_OBS_DISABLED
+
+#endif  // CAD_OBS_TRACE_H_

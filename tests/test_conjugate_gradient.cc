@@ -181,5 +181,78 @@ TEST_P(CgLaplacianSweep, ConvergesOnGraphLaplacians) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CgLaplacianSweep,
                          ::testing::Values(10, 50, 200, 1000));
 
+TEST(SummarizeCgBatchTest, AggregatesMinMaxTotalAndResidual) {
+  std::vector<CgSummary> summaries(3);
+  summaries[0] = {.iterations = 7, .relative_residual = 1e-9, .converged = true};
+  summaries[1] = {.iterations = 3, .relative_residual = 5e-9, .converged = true};
+  summaries[2] = {.iterations = 12, .relative_residual = 2e-3,
+                  .converged = false};
+  const CgBatchStats stats = SummarizeCgBatch(summaries);
+  EXPECT_EQ(stats.num_systems, 3u);
+  EXPECT_EQ(stats.num_converged, 2u);
+  EXPECT_EQ(stats.min_iterations, 3u);
+  EXPECT_EQ(stats.max_iterations, 12u);
+  EXPECT_EQ(stats.total_iterations, 22u);
+  EXPECT_DOUBLE_EQ(stats.max_relative_residual, 2e-3);
+}
+
+TEST(SummarizeCgBatchTest, EmptyBatchIsAllZero) {
+  const CgBatchStats stats = SummarizeCgBatch({});
+  EXPECT_EQ(stats.num_systems, 0u);
+  EXPECT_EQ(stats.num_converged, 0u);
+  EXPECT_EQ(stats.min_iterations, 0u);
+  EXPECT_EQ(stats.max_iterations, 0u);
+  EXPECT_EQ(stats.total_iterations, 0u);
+}
+
+TEST(SummarizeCgBatchTest, ZeroIterationFirstSummaryIsAValidMin) {
+  // A zero-rhs system converges in 0 iterations; the min must track it even
+  // though it is the first element.
+  std::vector<CgSummary> summaries(2);
+  summaries[0] = {.iterations = 0, .relative_residual = 0.0, .converged = true};
+  summaries[1] = {.iterations = 5, .relative_residual = 1e-9, .converged = true};
+  const CgBatchStats stats = SummarizeCgBatch(summaries);
+  EXPECT_EQ(stats.min_iterations, 0u);
+  EXPECT_EQ(stats.max_iterations, 5u);
+  EXPECT_EQ(stats.total_iterations, 5u);
+}
+
+TEST(SummarizeCgBatchTest, SolveManyBatchesAreRunToRunDeterministic) {
+  // Two identical SolveMany batches must report identical iteration stats
+  // (each solve's arithmetic is sequential, so iteration counts depend only
+  // on the system/rhs/options tuple).
+  RandomGraphOptions opts;
+  opts.num_nodes = 80;
+  opts.average_degree = 6.0;
+  opts.seed = 4242;
+  const WeightedGraph g = MakeRandomSparseGraph(opts);
+  const CsrMatrix l = g.ToLaplacianCsr(1e-6 * std::max(g.Volume(), 1.0));
+  std::vector<std::vector<double>> rhs(4,
+                                       std::vector<double>(opts.num_nodes, 0.0));
+  for (size_t j = 0; j < rhs.size(); ++j) {
+    rhs[j][j] = 1.0;
+    rhs[j][opts.num_nodes - 1 - j] = -1.0;
+  }
+  CgOptions options;
+  options.num_threads = 4;
+  const ConjugateGradientSolver solver(options);
+
+  std::vector<std::vector<double>> x1;
+  std::vector<std::vector<double>> x2;
+  Result<std::vector<CgSummary>> first = solver.SolveMany(l, rhs, &x1);
+  Result<std::vector<CgSummary>> second = solver.SolveMany(l, rhs, &x2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const CgBatchStats stats1 = SummarizeCgBatch(*first);
+  const CgBatchStats stats2 = SummarizeCgBatch(*second);
+  EXPECT_EQ(stats1.num_systems, stats2.num_systems);
+  EXPECT_EQ(stats1.num_converged, stats2.num_converged);
+  EXPECT_EQ(stats1.min_iterations, stats2.min_iterations);
+  EXPECT_EQ(stats1.max_iterations, stats2.max_iterations);
+  EXPECT_EQ(stats1.total_iterations, stats2.total_iterations);
+  EXPECT_EQ(stats1.max_relative_residual, stats2.max_relative_residual);
+  EXPECT_GT(stats1.total_iterations, 0u);
+}
+
 }  // namespace
 }  // namespace cad

@@ -254,6 +254,59 @@ TEST(NondeterminismRuleTest, DoesNotFlagIdentifierSuffixes) {
   EXPECT_TRUE(LintContent("src/core/foo.cc", "timer.time();\n").empty());
 }
 
+// --- raw-clock -------------------------------------------------------------
+
+TEST(RawClockRuleTest, FlagsSteadyAndHighResolutionClocks) {
+  EXPECT_EQ(
+      RuleNames(LintContent(
+          "src/core/foo.cc",
+          "auto t = std::chrono::steady_clock::now();\n")),  // cad-lint: allow(raw-clock)
+      (std::vector<std::string>{"raw-clock"}));
+  EXPECT_EQ(
+      RuleNames(LintContent(
+          "src/core/foo.cc",
+          "auto t = std::chrono::high_resolution_clock::now();\n")),  // cad-lint: allow(raw-clock)
+      (std::vector<std::string>{"raw-clock"}));
+}
+
+TEST(RawClockRuleTest, AppliesOutsideSrcToo) {
+  const std::string content =
+      "auto t = std::chrono::steady_clock::now();\n";  // cad-lint: allow(raw-clock)
+  EXPECT_EQ(RuleNames(LintContent("bench/bench_foo.cc", content)),
+            (std::vector<std::string>{"raw-clock"}));
+  EXPECT_EQ(RuleNames(LintContent("tests/test_foo.cc", content)),
+            (std::vector<std::string>{"raw-clock"}));
+  EXPECT_EQ(RuleNames(LintContent("tools/tool_foo.cc", content)),
+            (std::vector<std::string>{"raw-clock"}));
+}
+
+TEST(RawClockRuleTest, TimerAndObsAreExempt) {
+  // The header fixtures still trip unrelated rules (no include guard), so
+  // assert specifically that raw-clock is absent rather than findings-empty.
+  const std::string content =
+      "auto t = std::chrono::steady_clock::now();\n";  // cad-lint: allow(raw-clock)
+  for (const char* path :
+       {"src/common/timer.h", "src/obs/trace.cc", "src/obs/metrics.h"}) {
+    for (const std::string& rule : RuleNames(LintContent(path, content))) {
+      EXPECT_NE(rule, "raw-clock") << path;
+    }
+  }
+}
+
+TEST(RawClockRuleTest, SystemClockAndAllowAnnotationPass) {
+  // system_clock is wall time, covered by the nondeterminism policy rather
+  // than this rule; the escape hatch works like everywhere else.
+  EXPECT_TRUE(LintContent("src/core/foo.cc",
+                          "auto t = std::chrono::system_clock::now();\n")
+                  .empty());
+  // NOLINT-style escape: the annotation must sit on the same physical line
+  // as the clock use (kept as one literal so the self-scan sees it too).
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc",
+                  "auto t = std::chrono::steady_clock::now();  // cad-lint: allow(raw-clock)\n")
+          .empty());
+}
+
 // --- formatting -----------------------------------------------------------
 
 TEST(FormatFindingTest, RendersFileLineRuleMessage) {

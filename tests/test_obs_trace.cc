@@ -1,0 +1,143 @@
+// Tests for the tracing half of src/obs/: span nesting, the disabled
+// fast-path, the post-run merge of per-thread buffers, the Chrome-trace JSON
+// shape, and the bridge from spans into `span.<name>` timer metrics.
+//
+// Tracing state is process-global; every test starts from ScopedTracingEnable
+// (which resets recorded events) or resets explicitly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/obs.h"
+
+namespace cad {
+namespace obs {
+namespace {
+
+#ifndef CAD_OBS_DISABLED
+
+std::vector<TraceEvent> EventsNamed(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+  std::vector<TraceEvent> matching;
+  for (const TraceEvent& event : events) {
+    if (name == event.name) matching.push_back(event);
+  }
+  return matching;
+}
+
+TEST(TraceSpanTest, DisabledSpansRecordNoEvents) {
+  ASSERT_FALSE(TracingEnabled());
+  ASSERT_FALSE(MetricsEnabled());
+  ResetTracing();
+  { CAD_TRACE_SPAN("never_recorded"); }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST(TraceSpanTest, NestedSpansCarryDepthsAndContainment) {
+  const ScopedTracingEnable enable;
+  {
+    CAD_TRACE_SPAN("outer");
+    { CAD_TRACE_SPAN("inner"); }
+    { CAD_TRACE_SPAN("inner"); }
+  }
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  const std::vector<TraceEvent> outer = EventsNamed(events, "outer");
+  const std::vector<TraceEvent> inner = EventsNamed(events, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 2u);
+  EXPECT_EQ(outer[0].depth, 0u);
+  for (const TraceEvent& event : inner) {
+    EXPECT_EQ(event.depth, 1u);
+    EXPECT_EQ(event.thread_index, outer[0].thread_index);
+    // Interval containment is what lets chrome://tracing rebuild the tree.
+    EXPECT_GE(event.start_ns, outer[0].start_ns);
+    EXPECT_LE(event.end_ns, outer[0].end_ns);
+    EXPECT_LE(event.start_ns, event.end_ns);
+  }
+}
+
+TEST(TraceSpanTest, WorkerThreadEventsMergeIntoOneCollection) {
+  const ScopedTracingEnable enable;
+  constexpr size_t kTasks = 16;
+  ParallelFor(kTasks, 4, [](size_t) { CAD_TRACE_SPAN("worker_task"); });
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  // Every task's span survives the workers' thread exit (retired-list merge),
+  // and the instrumented ParallelFor contributes its own span.
+  EXPECT_EQ(EventsNamed(events, "worker_task").size(), kTasks);
+  EXPECT_EQ(EventsNamed(events, "parallel_for").size(), 1u);
+  // Collection is sorted by (thread_index, start).
+  for (size_t i = 1; i < events.size(); ++i) {
+    const bool ordered =
+        events[i - 1].thread_index < events[i].thread_index ||
+        (events[i - 1].thread_index == events[i].thread_index &&
+         events[i - 1].start_ns <= events[i].start_ns);
+    EXPECT_TRUE(ordered) << "events out of order at index " << i;
+  }
+}
+
+TEST(TraceSpanTest, ResetDropsRecordedEvents) {
+  const ScopedTracingEnable enable;
+  { CAD_TRACE_SPAN("to_be_dropped"); }
+  ASSERT_FALSE(CollectTraceEvents().empty());
+  ResetTracing();
+  EXPECT_TRUE(EventsNamed(CollectTraceEvents(), "to_be_dropped").empty());
+}
+
+TEST(TraceSpanTest, ChromeTraceJsonContainsCompleteEvents) {
+  const ScopedTracingEnable enable;
+  {
+    CAD_TRACE_SPAN("json_outer");
+    CAD_TRACE_SPAN("json_inner");
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteChromeTraceJson(&out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"json_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  EXPECT_NE(json.find("\"X\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, SpansBridgeToTimerMetricsWithoutTracing) {
+  // Metrics-only mode: per-stage wall times must reach the metrics CSV even
+  // when no trace is being captured.
+  ASSERT_FALSE(TracingEnabled());
+  const ScopedMetricsEnable enable;
+  ResetTracing();
+  { CAD_TRACE_SPAN("bridge_only_span"); }
+  EXPECT_TRUE(CollectTraceEvents().empty());  // no trace events...
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  bool found = false;
+  for (const auto& [name, data] : snapshot.timers) {
+    if (name == "span.bridge_only_span") {
+      found = true;
+      EXPECT_EQ(data.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);  // ...but the timer metric is there
+}
+
+TEST(TraceSpanTest, TracingAndMetricsTogetherRecordBoth) {
+  const ScopedMetricsEnable metrics;
+  const ScopedTracingEnable tracing;
+  { CAD_TRACE_SPAN("both_modes_span"); }
+  EXPECT_EQ(EventsNamed(CollectTraceEvents(), "both_modes_span").size(), 1u);
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  bool found = false;
+  for (const auto& [name, data] : snapshot.timers) {
+    if (name == "span.both_modes_span") found = data.count == 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+#endif  // CAD_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace cad

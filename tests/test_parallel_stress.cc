@@ -16,6 +16,7 @@
 #include "graph/graph.h"
 #include "linalg/conjugate_gradient.h"
 #include "linalg/sparse_matrix.h"
+#include "obs/obs.h"
 
 namespace cad {
 namespace {
@@ -142,6 +143,58 @@ INSTANTIATE_TEST_SUITE_P(AllPreconditioners, SolveManyThreadStressTest,
                            return std::string(
                                CgPreconditionerToString(info.param));
                          });
+
+TEST_P(SolveManyThreadStressTest, BitIdenticalWithObservabilityOn) {
+  // Same contract as above, but with metrics and tracing recording: the
+  // instrumentation only observes, so it must not perturb a single solution
+  // bit nor change any deterministic (non-timer) metric across thread
+  // counts. Under TSan this also races the metric atomics and the
+  // per-thread trace buffers against the solver threads.
+  constexpr size_t kNodes = 96;
+  constexpr size_t kSystems = 10;
+  const WeightedGraph graph = MakeStressGraph(kNodes);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-3);
+  const std::vector<std::vector<double>> rhs =
+      MakeRightHandSides(kNodes, kSystems);
+
+  CgOptions options;
+  options.preconditioner = GetParam();
+  options.tolerance = 1e-10;
+
+  std::vector<std::vector<std::vector<double>>> solutions;
+  std::vector<uint64_t> iteration_counters;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    const obs::ScopedMetricsEnable metrics_enable;
+    const obs::ScopedTracingEnable tracing_enable;
+    options.num_threads = threads;
+    const ConjugateGradientSolver solver(options);
+    std::vector<std::vector<double>> x;
+    Result<std::vector<CgSummary>> summaries =
+        solver.SolveMany(laplacian, rhs, &x);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    solutions.push_back(std::move(x));
+
+#ifndef CAD_OBS_DISABLED
+    uint64_t iterations = 0;
+    bool found = false;
+    for (const auto& [name, value] : obs::SnapshotMetrics().counters) {
+      if (name == "pcg.iterations") {
+        iterations = value;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found);
+    iteration_counters.push_back(iterations);
+#else
+    iteration_counters.push_back(0);  // hard-off build: macros compile away
+#endif
+  }
+  ExpectBitIdentical(solutions[0], solutions[1]);
+  ExpectBitIdentical(solutions[0], solutions[2]);
+  // Counter sums commute, so the iteration total is thread-count-invariant.
+  EXPECT_EQ(iteration_counters[0], iteration_counters[1]);
+  EXPECT_EQ(iteration_counters[0], iteration_counters[2]);
+}
 
 TEST(SolveManyThreadStressTest, RepeatedContendedSolves) {
   // Repeatedly launch the threaded solve path so TSan sees many

@@ -19,6 +19,7 @@
 #include "io/dot_writer.h"
 #include "io/event_stream.h"
 #include "io/temporal_io.h"
+#include "obs/obs.h"
 
 namespace cad {
 namespace {
@@ -36,6 +37,8 @@ int Run(int argc, char** argv) {
   std::string nodes_csv;
   std::string json_out;
   std::string dot_dir;
+  std::string metrics_csv;
+  std::string trace_json;
   double l = 5.0;
   int64_t k = 50;
   int64_t seed = 1;
@@ -71,6 +74,12 @@ int Run(int argc, char** argv) {
                   "write one highlighted Graphviz file per flagged transition");
   flags.AddBool("classify", &classify,
                 "label reported edges with the paper's Case 1/2/3 taxonomy");
+  flags.AddString("metrics_csv", &metrics_csv,
+                  "record runtime metrics and write them as CSV here "
+                  "('-' for stdout)");
+  flags.AddString("trace_json", &trace_json,
+                  "record trace spans and write Chrome trace JSON here "
+                  "(open in chrome://tracing; '-' for stdout)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.ToString() << "\n" << flags.Usage();
@@ -81,6 +90,16 @@ int Run(int argc, char** argv) {
     std::cerr << "exactly one of --input or --events is required\n"
               << flags.Usage();
     return 2;
+  }
+
+  // Turn observability on before loading so the input stage is covered too.
+  if (!metrics_csv.empty()) {
+    obs::ResetMetrics();
+    obs::SetMetricsEnabled(true);
+  }
+  if (!trace_json.empty()) {
+    obs::ResetTracing();
+    obs::SetTracingEnabled(true);
   }
 
   Result<TemporalGraphSequence> sequence = [&]() -> Result<TemporalGraphSequence> {
@@ -192,6 +211,24 @@ int Run(int argc, char** argv) {
   if (!json_out.empty()) {
     const Status status = write_csv(json_out, [&](std::ostream* out) {
       return WritePipelineResultJson(*result, out);
+    });
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!metrics_csv.empty()) {
+    const Status status = write_csv(metrics_csv, [&](std::ostream* out) {
+      return obs::WriteMetricsCsv(result->metrics, out);
+    });
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!trace_json.empty()) {
+    const Status status = write_csv(trace_json, [&](std::ostream* out) {
+      return obs::WriteChromeTraceJson(out);
     });
     if (!status.ok()) {
       std::cerr << status.ToString() << "\n";
