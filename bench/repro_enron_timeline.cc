@@ -7,14 +7,24 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/timer.h"
 #include "core/act_detector.h"
 #include "core/cad_detector.h"
 #include "core/threshold.h"
 #include "datagen/enron_sim.h"
+#include "obs/obs.h"
 #include "report.h"
 
 namespace cad {
 namespace {
+
+/// Current value of the pcg.iterations counter (0 when obs is compiled out).
+uint64_t PcgIterationCounter() {
+  for (const auto& [name, value] : obs::SnapshotMetrics().counters) {
+    if (name == "pcg.iterations") return value;
+  }
+  return 0;
+}
 
 int Run(int argc, char** argv) {
   FlagParser flags;
@@ -23,11 +33,31 @@ int Run(int argc, char** argv) {
   int64_t l = 5;
   int64_t act_window = 3;
   int64_t seed = 7;
+  std::string engine = "exact";
+  int64_t k = 50;
+  bool warm_start = false;
+  bool block_solver = false;
+  double refactor_threshold = 0.1;
+  std::string preconditioner = "auto";
   flags.AddInt64("employees", &num_employees, "organization size (paper: 151)");
   flags.AddInt64("months", &num_months, "monthly snapshots (paper: 48)");
   flags.AddInt64("l", &l, "target anomalous nodes per transition for CAD");
   flags.AddInt64("act_window", &act_window, "ACT window size w (paper: 3)");
   flags.AddInt64("seed", &seed, "simulator seed");
+  flags.AddString("engine", &engine,
+                  "commute engine for CAD: exact (paper) or approx (solver "
+                  "benchmarking)");
+  flags.AddInt64("k", &k, "embedding dimension for --engine approx");
+  flags.AddBool("warm_start", &warm_start,
+                "approx engine: seed each snapshot's solves with the "
+                "previous embedding and reuse the IC(0) factor");
+  flags.AddBool("block_solver", &block_solver,
+                "approx engine: lockstep block-PCG over the k systems");
+  flags.AddDouble("refactor_threshold", &refactor_threshold,
+                  "IC(0) staleness trigger under --warm_start");
+  flags.AddString("preconditioner", &preconditioner,
+                  "approx engine CG preconditioner: auto, none, jacobi, ic0 "
+                  "(auto = ic0 under --warm_start, else jacobi)");
   CAD_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) return 0;
 
@@ -41,12 +71,51 @@ int Run(int argc, char** argv) {
   std::cout << "  employees = " << num_employees << ", months = " << num_months
             << ", l = " << l << ", ACT w = " << act_window << "\n";
 
-  // --- CAD: exact commute times (as in the paper for n = 151). ---
+  // --- CAD: exact commute times (as in the paper for n = 151), or the
+  // approximate engine when benchmarking the solver stack. ---
+  const bool approx_engine = engine == "approx";
+  CAD_CHECK(approx_engine || engine == "exact")
+      << "unknown --engine '" << engine << "'";
   CadOptions cad_options;
-  cad_options.engine = CommuteEngine::kExact;
+  cad_options.engine =
+      approx_engine ? CommuteEngine::kApprox : CommuteEngine::kExact;
+  cad_options.approx.embedding_dim = static_cast<size_t>(k);
+  cad_options.approx.warm_start = warm_start;
+  cad_options.approx.refactor_threshold = refactor_threshold;
+  cad_options.approx.cg.use_block_solver = block_solver;
+  if (preconditioner == "auto") {
+    cad_options.approx.cg.preconditioner =
+        warm_start ? CgPreconditioner::kIncompleteCholesky
+                   : CgPreconditioner::kJacobi;
+  } else if (preconditioner == "none") {
+    cad_options.approx.cg.preconditioner = CgPreconditioner::kNone;
+  } else if (preconditioner == "jacobi") {
+    cad_options.approx.cg.preconditioner = CgPreconditioner::kJacobi;
+  } else if (preconditioner == "ic0") {
+    cad_options.approx.cg.preconditioner =
+        CgPreconditioner::kIncompleteCholesky;
+  } else {
+    std::cerr << "unknown --preconditioner '" << preconditioner << "'\n";
+    return 2;
+  }
   CadDetector cad(cad_options);
+  const obs::ScopedMetricsEnable metrics_enable;
+  const uint64_t iterations_before = PcgIterationCounter();
+  Timer analyze_timer;
   auto analyses = cad.Analyze(data.sequence);
+  const double analyze_seconds = analyze_timer.ElapsedSeconds();
+  const uint64_t pcg_iterations =
+      PcgIterationCounter() - iterations_before;
   CAD_CHECK(analyses.ok()) << analyses.status().ToString();
+  if (approx_engine) {
+    std::cout << "  approx engine: k = " << k << ", preconditioner = "
+              << CgPreconditionerToString(
+                     cad_options.approx.cg.preconditioner)
+              << ", warm start = " << (warm_start ? "on" : "off")
+              << ", block solver = " << (block_solver ? "on" : "off") << "\n"
+              << "  CAD analyze: " << bench::Fixed(analyze_seconds, 3)
+              << " s, total pcg.iterations = " << pcg_iterations << "\n";
+  }
   const double delta = CalibrateDelta(*analyses, static_cast<double>(l));
   const std::vector<AnomalyReport> reports = ApplyThreshold(*analyses, delta);
 

@@ -5,7 +5,13 @@
 // Expected shape (paper, on 1e7 nodes): ADJ fastest, then ACT, then CLC
 // (~1/3 of CAD; degrades with density), with CAD ~ COM the slowest but still
 // near-linear. Absolute numbers differ (C++ vs the paper's python).
+//
+// Besides the human-readable table, the run is summarized into a
+// machine-readable JSON file (--solver_json, default BENCH_solver.json):
+// per-size wall times plus the total CG iterations behind each CAD pass, so
+// solver changes can be tracked across commits without scraping stdout.
 
+#include <fstream>
 #include <iostream>
 
 #include "common/check.h"
@@ -15,11 +21,31 @@
 #include "core/cad_detector.h"
 #include "core/clc_detector.h"
 #include "datagen/random_graphs.h"
+#include "io/json_writer.h"
 #include "obs/obs.h"
 #include "report.h"
 
 namespace cad {
 namespace {
+
+/// Current value of the pcg.iterations counter (0 when obs is compiled out).
+uint64_t PcgIterationCounter() {
+  for (const auto& [name, value] : obs::SnapshotMetrics().counters) {
+    if (name == "pcg.iterations") return value;
+  }
+  return 0;
+}
+
+struct SizeResult {
+  int64_t n = 0;
+  size_t m = 0;
+  double cad_seconds = 0.0;
+  double com_seconds = 0.0;
+  double adj_seconds = 0.0;
+  double act_seconds = 0.0;
+  double clc_seconds = 0.0;
+  uint64_t cad_pcg_iterations = 0;
+};
 
 int Run(int argc, char** argv) {
   FlagParser flags;
@@ -28,6 +54,8 @@ int Run(int argc, char** argv) {
   int64_t clc_samples = 32;
   int64_t threads = 1;
   double average_degree = 2.0;
+  bool block_solver = false;
+  std::string solver_json = "BENCH_solver.json";
   flags.AddInt64("max_n", &max_n,
                  "largest graph size (raise toward 1e7 for paper scale)");
   flags.AddInt64("k", &k, "embedding dimension (paper: 10)");
@@ -37,25 +65,32 @@ int Run(int argc, char** argv) {
                  "worker threads for the k Laplacian solves (CAD/COM)");
   flags.AddDouble("avg_degree", &average_degree,
                   "average degree (paper's sparsity 1/n ~ degree 2)");
+  flags.AddBool("block_solver", &block_solver,
+                "solve the k systems in lockstep (shared SpMM sweeps)");
+  flags.AddString("solver_json", &solver_json,
+                  "write the machine-readable summary here (empty to skip)");
   CAD_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) return 0;
 
   bench::Banner("Scalability (paper §4.1.3): per-transition runtime vs n");
   std::cout << "  k = " << k << ", average degree = " << average_degree
             << ", CLC pivots = " << clc_samples << ", threads = " << threads
-            << "\n";
+            << ", block solver = " << (block_solver ? "on" : "off") << "\n";
 
   const obs::ScopedMetricsEnable metrics_enable;
 
-  bench::Table table({"n", "m", "CAD (s)", "COM (s)", "ADJ (s)", "ACT (s)",
-                      "CLC (s)"});
+  std::vector<SizeResult> results;
+  bench::Table table({"n", "m", "CAD (s)", "CAD pcg iters", "COM (s)",
+                      "ADJ (s)", "ACT (s)", "CLC (s)"});
   for (int64_t n = 1000; n <= max_n; n *= 10) {
     RandomGraphOptions gen;
     gen.num_nodes = static_cast<size_t>(n);
     gen.average_degree = average_degree;
     gen.seed = static_cast<uint64_t>(n);
     const TemporalGraphSequence sequence = MakeRandomTransition(gen, 0.1, 0.01);
-    const size_t m = sequence.Snapshot(0).num_edges();
+    SizeResult result;
+    result.n = n;
+    result.m = sequence.Snapshot(0).num_edges();
 
     const auto time_scorer = [&sequence](NodeScorer* scorer) {
       Timer timer;
@@ -69,6 +104,7 @@ int Run(int argc, char** argv) {
     cad_options.engine = CommuteEngine::kApprox;
     cad_options.approx.embedding_dim = static_cast<size_t>(k);
     cad_options.approx.cg.num_threads = static_cast<size_t>(threads);
+    cad_options.approx.cg.use_block_solver = block_solver;
     CadDetector cad(cad_options);
     CadOptions com_options = cad_options;
     com_options.score_kind = EdgeScoreKind::kCom;
@@ -84,17 +120,73 @@ int Run(int argc, char** argv) {
     clc_options.num_samples = static_cast<size_t>(clc_samples);
     ClcDetector clc(clc_options);
 
-    table.AddRow({std::to_string(n), std::to_string(m),
-                  bench::Fixed(time_scorer(&cad), 3),
-                  bench::Fixed(time_scorer(&com), 3),
-                  bench::Fixed(time_scorer(&adj), 3),
-                  bench::Fixed(time_scorer(&act), 3),
-                  bench::Fixed(time_scorer(&clc), 3)});
+    const uint64_t iterations_before = PcgIterationCounter();
+    result.cad_seconds = time_scorer(&cad);
+    result.cad_pcg_iterations = PcgIterationCounter() - iterations_before;
+    result.com_seconds = time_scorer(&com);
+    result.adj_seconds = time_scorer(&adj);
+    result.act_seconds = time_scorer(&act);
+    result.clc_seconds = time_scorer(&clc);
+
+    table.AddRow({std::to_string(result.n), std::to_string(result.m),
+                  bench::Fixed(result.cad_seconds, 3),
+                  std::to_string(result.cad_pcg_iterations),
+                  bench::Fixed(result.com_seconds, 3),
+                  bench::Fixed(result.adj_seconds, 3),
+                  bench::Fixed(result.act_seconds, 3),
+                  bench::Fixed(result.clc_seconds, 3)});
+    results.push_back(result);
   }
   table.Print();
   std::cout << "  (expected ordering per the paper: ADJ < ACT <= CLC < CAD"
             << " ~= COM, all near-linear in n)\n";
   bench::PrintSolverMetrics(obs::SnapshotMetrics());
+
+  if (!solver_json.empty()) {
+    std::ofstream out(solver_json);
+    if (!out.is_open()) {
+      std::cerr << "cannot open --solver_json file " << solver_json << "\n";
+      return 1;
+    }
+    JsonWriter json(&out);
+    json.BeginObject();
+    json.Key("bench");
+    json.String("repro_scalability");
+    json.Key("k");
+    json.Number(k);
+    json.Key("avg_degree");
+    json.Number(average_degree);
+    json.Key("threads");
+    json.Number(threads);
+    json.Key("block_solver");
+    json.Bool(block_solver);
+    json.Key("sizes");
+    json.BeginArray();
+    for (const SizeResult& result : results) {
+      json.BeginObject();
+      json.Key("n");
+      json.Number(result.n);
+      json.Key("m");
+      json.Number(result.m);
+      json.Key("cad_seconds");
+      json.Number(result.cad_seconds);
+      json.Key("cad_pcg_iterations");
+      json.Number(static_cast<size_t>(result.cad_pcg_iterations));
+      json.Key("com_seconds");
+      json.Number(result.com_seconds);
+      json.Key("adj_seconds");
+      json.Number(result.adj_seconds);
+      json.Key("act_seconds");
+      json.Number(result.act_seconds);
+      json.Key("clc_seconds");
+      json.Number(result.clc_seconds);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::cout << "  solver summary written to " << solver_json << "\n";
+  }
   return 0;
 }
 

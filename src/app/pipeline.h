@@ -37,6 +37,19 @@ struct PipelineOptions {
   /// (commute-based family only; costs one extra oracle build per flagged
   /// transition).
   bool classify_cases = true;
+  /// Solver performance knobs for the commute-based family. These are the
+  /// authoritative pipeline-level switches: they are copied into
+  /// cad.approx (overriding whatever the caller left there) so that CLI and
+  /// bench frontends have a single place to flip them.
+  /// Warm-start consecutive snapshot solves from the previous embedding
+  /// (see ApproxCommuteOptions::warm_start).
+  bool warm_start = false;
+  /// IC(0) refactorization trigger under warm_start
+  /// (see CommuteSolverCache).
+  double refactor_threshold = 0.1;
+  /// Advance the k CG systems in lockstep through shared SpMM sweeps
+  /// (see CgOptions::use_block_solver). Bit-identical results either way.
+  bool block_solver = false;
 };
 
 /// \brief One classified anomalous edge in the pipeline output.

@@ -2,12 +2,38 @@
 
 #include <cmath>
 
+#include "commute/solver_cache.h"
 #include "obs/obs.h"
 
 namespace cad {
 
+namespace {
+
+/// Mixes (seed, u, v) into a per-edge generator seed (SplitMix64-style
+/// constants) so an edge's JL column depends only on the edge identity, not
+/// on its stream position. Under warm-start this keeps consecutive
+/// snapshots' right-hand sides correlated even when the edge set churns —
+/// with stream-order draws, one inserted edge would reshuffle every later
+/// edge's projection and destroy the correlation the initial guess needs.
+uint64_t EdgeJlSeed(uint64_t seed, NodeId u, NodeId v) {
+  uint64_t x = seed;
+  x ^= (static_cast<uint64_t>(u) + 0x9e3779b97f4a7c15ULL) *
+       0xbf58476d1ce4e5b9ULL;
+  x ^= (static_cast<uint64_t>(v) + 0x94d049bb133111ebULL) *
+       0xd6e8feb86659fd93ULL;
+  return x;
+}
+
+}  // namespace
+
 Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
     const WeightedGraph& graph, const ApproxCommuteOptions& options) {
+  return Build(graph, options, nullptr);
+}
+
+Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
+    const WeightedGraph& graph, const ApproxCommuteOptions& options,
+    CommuteSolverCache* cache) {
   CAD_TRACE_SPAN("approx_commute_build");
   CAD_METRIC_INC("commute.approx_builds");
   const size_t n = graph.num_nodes();
@@ -19,25 +45,45 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
   const double sentinel = CrossComponentSentinel(volume, n, options.commute);
   ComponentLabeling components = ConnectedComponents(graph);
 
-  // Step 1: Y = Q W^{1/2} B, built column-by-column by streaming edges. For
-  // edge e = (u, v, w), row e of W^{1/2} B is sqrt(w) (e_u - e_v)^T, so
-  // column u of Y gains sqrt(w) * q_e and column v loses it, where q_e is
-  // the e-th column of Q, drawn fresh as k Rademacher entries / sqrt(k).
-  DenseMatrix y(k, n);
-  Rng rng(options.seed);
+  // Step 1: Y = Q W^{1/2} B, built by streaming edges. For edge e = (u, v,
+  // w), row e of W^{1/2} B is sqrt(w) (e_u - e_v)^T, so node u's row of the
+  // block gains sqrt(w) * q_e and node v's loses it, where q_e is the e-th
+  // column of Q, drawn as k Rademacher entries / sqrt(k). The block is
+  // node-major (n x k): each edge touches two contiguous rows, and the
+  // solver consumes the k right-hand sides as columns.
+  DenseMatrix b(n, k);
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
-  std::vector<double> q(k);
-  for (const Edge& edge : graph.Edges()) {
-    const double scale = std::sqrt(edge.weight) * inv_sqrt_k;
-    for (size_t r = 0; r < k; ++r) q[r] = rng.Rademacher() * scale;
-    for (size_t r = 0; r < k; ++r) {
-      double* row = y.mutable_row(r);
-      row[edge.u] += q[r];
-      row[edge.v] -= q[r];
+  if (options.warm_start) {
+    // Edge-keyed draws: stable under edge churn (see EdgeJlSeed).
+    for (const Edge& edge : graph.Edges()) {
+      Rng rng(EdgeJlSeed(options.seed, edge.u, edge.v));
+      const double scale = std::sqrt(edge.weight) * inv_sqrt_k;
+      double* bu = b.mutable_row(edge.u);
+      double* bv = b.mutable_row(edge.v);
+      for (size_t r = 0; r < k; ++r) {
+        const double q = rng.Rademacher() * scale;
+        bu[r] += q;
+        bv[r] -= q;
+      }
+    }
+  } else {
+    // Stream-order draws from a single generator, matching the original
+    // construction bit for bit.
+    Rng rng(options.seed);
+    std::vector<double> q(k);
+    for (const Edge& edge : graph.Edges()) {
+      const double scale = std::sqrt(edge.weight) * inv_sqrt_k;
+      for (size_t r = 0; r < k; ++r) q[r] = rng.Rademacher() * scale;
+      double* bu = b.mutable_row(edge.u);
+      double* bv = b.mutable_row(edge.v);
+      for (size_t r = 0; r < k; ++r) {
+        bu[r] += q[r];
+        bv[r] -= q[r];
+      }
     }
   }
 
-  // Step 2: solve L z_r = y_r for each row against the regularized
+  // Step 2: solve L z_r = y_r for each column against the regularized
   // Laplacian. Each y_r sums to zero within every component, so the
   // regularized solution tracks the pseudoinverse solution without a 1/eps
   // blowup (see commute_time.h).
@@ -46,18 +92,50 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
   const CsrMatrix laplacian = graph.ToLaplacianCsr(epsilon);
   const ConjugateGradientSolver solver(options.cg);
 
-  // Batch the k systems so the preconditioner (which may be an incomplete
-  // Cholesky factorization) is built once.
-  std::vector<std::vector<double>> rhs(k);
-  for (size_t r = 0; r < k; ++r) {
-    const double* y_row = y.row(r);
-    rhs[r].assign(y_row, y_row + n);
+  // Warm-start state: the previous snapshot's embedding seeds the solves,
+  // and (IC(0) only) the cross-snapshot factorization is reused until the
+  // cache's staleness trigger fires.
+  CgSolveContext context;
+  DenseMatrix x0;
+  if (options.warm_start && cache != nullptr) {
+    if (const DenseMatrix* previous = cache->PreviousEmbedding(k, n)) {
+      // Stored k x n; the solver wants the node-major n x k guess block.
+      x0 = previous->Transpose();
+      context.initial_guess = &x0;
+      CAD_METRIC_INC("commute.warm_started_builds");
+    }
+    if (options.cg.preconditioner == CgPreconditioner::kIncompleteCholesky) {
+      CAD_ASSIGN_OR_RETURN(context.cached_factor, cache->FactorFor(laplacian));
+    }
   }
-  std::vector<std::vector<double>> solutions;
-  std::vector<CgSummary> summaries;
-  CAD_ASSIGN_OR_RETURN(summaries, solver.SolveMany(laplacian, rhs, &solutions));
 
+  std::vector<CgSummary> summaries;
   DenseMatrix z(k, n);
+  if (options.cg.use_block_solver) {
+    DenseMatrix x;
+    CAD_ASSIGN_OR_RETURN(summaries,
+                         solver.SolveBlock(laplacian, b, &x, context));
+    for (size_t r = 0; r < k; ++r) {
+      double* z_row = z.mutable_row(r);
+      for (size_t i = 0; i < n; ++i) z_row[i] = x(i, r);
+    }
+  } else {
+    // Batch the k systems so the preconditioner (which may be an incomplete
+    // Cholesky factorization) is built once.
+    std::vector<std::vector<double>> rhs(k);
+    for (size_t r = 0; r < k; ++r) {
+      rhs[r].resize(n);
+      for (size_t i = 0; i < n; ++i) rhs[r][i] = b(i, r);
+    }
+    std::vector<std::vector<double>> solutions;
+    CAD_ASSIGN_OR_RETURN(
+        summaries, solver.SolveMany(laplacian, rhs, &solutions, context));
+    for (size_t r = 0; r < k; ++r) {
+      double* z_row = z.mutable_row(r);
+      for (size_t i = 0; i < n; ++i) z_row[i] = solutions[r][i];
+    }
+  }
+
   const CgBatchStats cg_stats = SummarizeCgBatch(summaries);
   for (size_t r = 0; r < k; ++r) {
     if (options.require_convergence && !summaries[r].converged) {
@@ -66,9 +144,8 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
           std::to_string(r) + " (relative residual " +
           std::to_string(summaries[r].relative_residual) + ")");
     }
-    double* z_row = z.mutable_row(r);
-    for (size_t i = 0; i < n; ++i) z_row[i] = solutions[r][i];
   }
+  if (options.warm_start && cache != nullptr) cache->StoreEmbedding(z);
 
   return ApproxCommuteEmbedding(std::move(z), std::move(components), volume,
                                 sentinel,

@@ -12,6 +12,8 @@
 
 namespace cad {
 
+class CommuteSolverCache;
+
 /// \brief Options for the approximate commute-time embedding.
 struct ApproxCommuteOptions {
   /// Embedding dimension k (the paper's k_RP). The Johnson-Lindenstrauss
@@ -28,6 +30,17 @@ struct ApproxCommuteOptions {
   /// Require CG convergence on every system; if false, the best-effort
   /// solution is used (matching the spirit of approximate solvers).
   bool require_convergence = false;
+  /// Temporal warm-starting (opt-in). Draws each edge's JL projection from a
+  /// generator keyed on (seed, u, v) instead of the edge-stream position, so
+  /// consecutive snapshots' right-hand sides stay correlated under edge
+  /// churn; and, when Build is given a CommuteSolverCache, seeds CG with the
+  /// previous snapshot's embedding and (with kIncompleteCholesky) reuses its
+  /// IC(0) factorization until stale. Off by default — the default path is
+  /// bit-identical to the historical construction.
+  bool warm_start = false;
+  /// Relative Laplacian-diagonal change above which a cached IC(0) factor
+  /// is refactorized (see CommuteSolverCache). Only read under warm_start.
+  double refactor_threshold = 0.1;
 };
 
 /// \brief Approximate commute-time distances via the Khoa-Chawla / Spielman-
@@ -57,6 +70,15 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
   [[nodiscard]] static Result<ApproxCommuteEmbedding> Build(
       const WeightedGraph& graph,
       const ApproxCommuteOptions& options = ApproxCommuteOptions());
+
+  /// Build with cross-snapshot warm-start state. Under options.warm_start
+  /// the cache supplies the previous embedding as CG initial guesses and a
+  /// staleness-gated IC(0) factorization, and receives this snapshot's
+  /// embedding for the next call. A nullptr cache (or warm_start == false)
+  /// degrades to the stateless build.
+  [[nodiscard]] static Result<ApproxCommuteEmbedding> Build(
+      const WeightedGraph& graph, const ApproxCommuteOptions& options,
+      CommuteSolverCache* cache);
 
   double CommuteTime(NodeId u, NodeId v) const override;
 

@@ -1,0 +1,69 @@
+#include "commute/solver_cache.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+
+namespace cad {
+
+const DenseMatrix* CommuteSolverCache::PreviousEmbedding(
+    size_t embedding_dim, size_t num_nodes) const {
+  if (!embedding_.has_value() || embedding_->rows() != embedding_dim ||
+      embedding_->cols() != num_nodes) {
+    return nullptr;
+  }
+  return &*embedding_;
+}
+
+void CommuteSolverCache::StoreEmbedding(const DenseMatrix& embedding) {
+  embedding_ = embedding;
+}
+
+Result<const IncompleteCholesky*> CommuteSolverCache::FactorFor(
+    const CsrMatrix& laplacian) {
+  const std::vector<double> diagonal = laplacian.Diagonal();
+  bool stale = !factor_.has_value() ||
+               factor_->dimension() != laplacian.rows();
+  if (!stale) {
+    double change = 0.0;
+    double base = 0.0;
+    for (size_t i = 0; i < diagonal.size(); ++i) {
+      change += std::fabs(diagonal[i] - factor_diagonal_[i]);
+      base += std::fabs(factor_diagonal_[i]);
+    }
+    if (base > 0.0) {
+      last_relative_change_ = change / base;
+    } else {
+      // An all-zero cached diagonal can only drift to something nonzero.
+      last_relative_change_ =
+          change > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+    stale = last_relative_change_ > refactor_threshold_;
+  } else {
+    last_relative_change_ = 0.0;
+  }
+  if (stale) {
+    Result<IncompleteCholesky> factor = IncompleteCholesky::Factor(laplacian);
+    if (!factor.ok()) return factor.status();
+    factor_.emplace(std::move(factor).ValueOrDie());
+    factor_diagonal_ = diagonal;
+    ++refactorizations_;
+    CAD_METRIC_INC("commute.ic0_refactorizations");
+  } else {
+    ++factor_reuses_;
+    CAD_METRIC_INC("commute.ic0_factor_reuses");
+  }
+  return static_cast<const IncompleteCholesky*>(&*factor_);
+}
+
+void CommuteSolverCache::Clear() {
+  embedding_.reset();
+  factor_.reset();
+  factor_diagonal_.clear();
+  factor_reuses_ = 0;
+  refactorizations_ = 0;
+  last_relative_change_ = 0.0;
+}
+
+}  // namespace cad

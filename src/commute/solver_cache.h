@@ -1,0 +1,75 @@
+#ifndef CAD_COMMUTE_SOLVER_CACHE_H_
+#define CAD_COMMUTE_SOLVER_CACHE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/incomplete_cholesky.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+
+/// \brief Cross-snapshot state for temporally warm-started commute
+/// embeddings: the previous snapshot's embedding (CG initial guesses) and a
+/// cached IC(0) factorization with a relative-weight-change staleness
+/// trigger.
+///
+/// Consecutive snapshots of a temporal graph differ by a handful of edges,
+/// so snapshot t's embedding is an excellent starting point for snapshot
+/// t+1's solves, and the IC(0) factor of L_t preconditions L_{t+1} nearly as
+/// well as its own factor would — until the graph has drifted. Drift is
+/// measured on the Laplacian diagonal (the weighted degrees):
+///
+///   sum_i |d_new[i] - d_cached[i]| / sum_i |d_cached[i]|
+///
+/// A factor is reused while this ratio stays <= refactor_threshold (strict
+/// inequality triggers the refactorization) and the dimension matches.
+///
+/// Not thread-safe: intended for the sequential snapshot loop in
+/// CadDetector::Analyze / OnlineCadMonitor, one cache per timeline.
+class CommuteSolverCache {
+ public:
+  explicit CommuteSolverCache(double refactor_threshold = 0.1)
+      : refactor_threshold_(refactor_threshold) {}
+
+  /// The stored embedding if it matches the requested k x n shape (node
+  /// count or embedding dimension changes invalidate it); else nullptr.
+  const DenseMatrix* PreviousEmbedding(size_t embedding_dim,
+                                       size_t num_nodes) const;
+
+  /// Stores a k x n embedding for the next snapshot's warm start.
+  void StoreEmbedding(const DenseMatrix& embedding);
+
+  /// Returns an IC(0) factor for `laplacian`: the cached one while the
+  /// staleness trigger allows, otherwise a fresh factorization (which
+  /// becomes the new cached factor). The pointer stays valid until the next
+  /// FactorFor or Clear call.
+  [[nodiscard]] Result<const IncompleteCholesky*> FactorFor(
+      const CsrMatrix& laplacian);
+
+  /// Drops all cached state (embedding and factor).
+  void Clear();
+
+  double refactor_threshold() const { return refactor_threshold_; }
+  /// How often FactorFor served the cached factor / had to refactorize.
+  size_t factor_reuses() const { return factor_reuses_; }
+  size_t refactorizations() const { return refactorizations_; }
+  /// The drift ratio observed by the most recent FactorFor call (0 when it
+  /// had no cached factor to compare against).
+  double last_relative_change() const { return last_relative_change_; }
+
+ private:
+  double refactor_threshold_;
+  std::optional<DenseMatrix> embedding_;
+  std::optional<IncompleteCholesky> factor_;
+  std::vector<double> factor_diagonal_;  // diagonal the factor was built from
+  size_t factor_reuses_ = 0;
+  size_t refactorizations_ = 0;
+  double last_relative_change_ = 0.0;
+};
+
+}  // namespace cad
+
+#endif  // CAD_COMMUTE_SOLVER_CACHE_H_

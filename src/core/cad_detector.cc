@@ -1,12 +1,18 @@
 #include "core/cad_detector.h"
 
 #include "common/parallel.h"
+#include "commute/solver_cache.h"
 #include "obs/obs.h"
 
 namespace cad {
 
 Result<std::unique_ptr<CommuteTimeOracle>> CadDetector::BuildOracle(
     const WeightedGraph& graph) const {
+  return BuildOracle(graph, nullptr);
+}
+
+Result<std::unique_ptr<CommuteTimeOracle>> CadDetector::BuildOracle(
+    const WeightedGraph& graph, CommuteSolverCache* cache) const {
   const bool use_exact =
       options_.engine == CommuteEngine::kExact ||
       (options_.engine == CommuteEngine::kAuto &&
@@ -19,7 +25,7 @@ Result<std::unique_ptr<CommuteTimeOracle>> CadDetector::BuildOracle(
         new ExactCommuteTime(std::move(oracle).ValueOrDie()));
   }
   Result<ApproxCommuteEmbedding> oracle =
-      ApproxCommuteEmbedding::Build(graph, options_.approx);
+      ApproxCommuteEmbedding::Build(graph, options_.approx, cache);
   if (!oracle.ok()) return oracle.status();
   return std::unique_ptr<CommuteTimeOracle>(
       new ApproxCommuteEmbedding(std::move(oracle).ValueOrDie()));
@@ -37,7 +43,9 @@ Result<std::vector<TransitionScores>> CadDetector::Analyze(
   CAD_METRIC_INC("cad.analyses");
   CAD_METRIC_ADD("cad.transitions_scored", sequence.num_transitions());
   // Build each snapshot's oracle once; transition t uses oracles t and t+1.
-  if (options_.analysis_threads > 1) {
+  // Warm-started timelines must visit snapshots in order (each build feeds
+  // the next one's initial guesses), so they always take the serial loop.
+  if (options_.analysis_threads > 1 && !options_.approx.warm_start) {
     // Parallel path: materialize all oracles, then score all transitions.
     // Costs O(T) oracles of memory instead of 2 but parallelizes both the
     // dominant build stage and the scoring stage.
@@ -67,11 +75,18 @@ Result<std::vector<TransitionScores>> CadDetector::Analyze(
 
   std::vector<TransitionScores> all_scores;
   all_scores.reserve(sequence.num_transitions());
+  // One cache per timeline: snapshot t's embedding and IC(0) factor carry
+  // into snapshot t+1's build (no-op unless approx.warm_start is set and
+  // the approximate engine is selected).
+  CommuteSolverCache cache(options_.approx.refactor_threshold);
+  CommuteSolverCache* cache_ptr =
+      options_.approx.warm_start ? &cache : nullptr;
   std::unique_ptr<CommuteTimeOracle> previous;
-  CAD_ASSIGN_OR_RETURN(previous, BuildOracle(sequence.Snapshot(0)));
+  CAD_ASSIGN_OR_RETURN(previous, BuildOracle(sequence.Snapshot(0), cache_ptr));
   for (size_t t = 0; t + 1 < sequence.num_snapshots(); ++t) {
     std::unique_ptr<CommuteTimeOracle> current;
-    CAD_ASSIGN_OR_RETURN(current, BuildOracle(sequence.Snapshot(t + 1)));
+    CAD_ASSIGN_OR_RETURN(current,
+                         BuildOracle(sequence.Snapshot(t + 1), cache_ptr));
     all_scores.push_back(
         ComputeTransitionScores(sequence.Snapshot(t), sequence.Snapshot(t + 1),
                                 *previous, *current, options_.score_kind));
@@ -85,10 +100,15 @@ Result<TransitionScores> CadDetector::AnalyzeTransition(
   if (before.num_nodes() != after.num_nodes()) {
     return Status::InvalidArgument("snapshot node counts differ");
   }
+  // A two-snapshot timeline still benefits from warm-starting `after` with
+  // `before`'s embedding and factorization.
+  CommuteSolverCache cache(options_.approx.refactor_threshold);
+  CommuteSolverCache* cache_ptr =
+      options_.approx.warm_start ? &cache : nullptr;
   std::unique_ptr<CommuteTimeOracle> oracle_before;
-  CAD_ASSIGN_OR_RETURN(oracle_before, BuildOracle(before));
+  CAD_ASSIGN_OR_RETURN(oracle_before, BuildOracle(before, cache_ptr));
   std::unique_ptr<CommuteTimeOracle> oracle_after;
-  CAD_ASSIGN_OR_RETURN(oracle_after, BuildOracle(after));
+  CAD_ASSIGN_OR_RETURN(oracle_after, BuildOracle(after, cache_ptr));
   return ComputeTransitionScores(before, after, *oracle_before, *oracle_after,
                                  options_.score_kind);
 }

@@ -40,7 +40,9 @@ struct CadOptions {
   /// transitions scored concurrently (results are bit-identical to the
   /// serial pass). 1 = serial. NOTE: with threads > 1 all T oracles are
   /// held in memory at once instead of two — for the exact engine that is
-  /// T * n^2 doubles.
+  /// T * n^2 doubles. When approx.warm_start is set, Analyze always runs
+  /// the serial snapshot loop (temporal reuse is inherently sequential);
+  /// set approx.cg.num_threads to parallelize within each snapshot instead.
   size_t analysis_threads = 1;
 };
 
@@ -79,6 +81,14 @@ class CadDetector : public NodeScorer {
   /// oracle across its two adjacent transitions.
   [[nodiscard]] Result<std::unique_ptr<CommuteTimeOracle>> BuildOracle(
       const WeightedGraph& graph) const;
+
+  /// BuildOracle with temporal warm-start state: when the approximate
+  /// engine is selected and approx.warm_start is set, the cache carries the
+  /// previous snapshot's embedding and IC(0) factorization into this build
+  /// (see CommuteSolverCache). Ignored by the exact engine; a nullptr cache
+  /// degrades to the stateless build.
+  [[nodiscard]] Result<std::unique_ptr<CommuteTimeOracle>> BuildOracle(
+      const WeightedGraph& graph, CommuteSolverCache* cache) const;
 
  private:
   CadOptions options_;

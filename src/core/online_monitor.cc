@@ -13,7 +13,9 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
   }
 
   std::unique_ptr<CommuteTimeOracle> oracle;
-  CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot));
+  CommuteSolverCache* cache =
+      options_.detector.approx.warm_start ? &solver_cache_ : nullptr;
+  CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot, cache));
   ++num_snapshots_;
 
   if (!previous_snapshot_.has_value()) {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "commute/solver_cache.h"
 #include "core/cad_detector.h"
 #include "core/threshold.h"
 
@@ -60,6 +61,10 @@ class OnlineCadMonitor {
  private:
   OnlineMonitorOptions options_;
   CadDetector detector_;
+  // Streaming timelines are the natural fit for temporal warm-starting: the
+  // cache carries each snapshot's embedding and IC(0) factor into the next
+  // Observe call (active only under detector.approx.warm_start).
+  CommuteSolverCache solver_cache_{options_.detector.approx.refactor_threshold};
   std::optional<WeightedGraph> previous_snapshot_;
   std::unique_ptr<CommuteTimeOracle> previous_oracle_;
   std::vector<TransitionScores> history_;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -23,9 +24,11 @@ using Preconditioner =
     std::function<void(const std::vector<double>&, std::vector<double>*)>;
 
 /// Builds the preconditioner application for one matrix. The IC factor (if
-/// any) is owned by the returned closure.
+/// any) is owned by the returned closure unless `cached` supplies a prebuilt
+/// one, in which case the closure borrows it (the caller keeps it alive).
 Result<Preconditioner> MakePreconditioner(const CsrMatrix& a,
-                                          CgPreconditioner kind) {
+                                          CgPreconditioner kind,
+                                          const IncompleteCholesky* cached) {
   switch (kind) {
     case CgPreconditioner::kNone:
       return Preconditioner(
@@ -46,6 +49,12 @@ Result<Preconditioner> MakePreconditioner(const CsrMatrix& a,
           });
     }
     case CgPreconditioner::kIncompleteCholesky: {
+      if (cached != nullptr) {
+        return Preconditioner(
+            [cached](const std::vector<double>& r, std::vector<double>* z) {
+              *z = cached->Apply(r);
+            });
+      }
       Result<IncompleteCholesky> factor = IncompleteCholesky::Factor(a);
       if (!factor.ok()) return factor.status();
       auto ic = std::make_shared<IncompleteCholesky>(
@@ -59,22 +68,105 @@ Result<Preconditioner> MakePreconditioner(const CsrMatrix& a,
   return Status::Internal("unknown preconditioner kind");
 }
 
+/// Shared read-only preconditioner state for the block path. Dispatched by
+/// kind instead of a std::function so the per-iteration block apply carries
+/// no closure indirection.
+struct BlockPreconditioner {
+  CgPreconditioner kind = CgPreconditioner::kNone;
+  std::vector<double> inv_diag;                    // kJacobi
+  const IncompleteCholesky* borrowed = nullptr;    // kIncompleteCholesky
+  std::optional<IncompleteCholesky> owned;
+
+  const IncompleteCholesky* factor() const {
+    return owned.has_value() ? &*owned : borrowed;
+  }
+
+  /// Z = M^{-1} R, column by column bit-identical to the scalar closures.
+  void Apply(const DenseMatrix& r, DenseMatrix* z) const {
+    const size_t n = r.rows();
+    const size_t k = r.cols();
+    if (z->rows() != n || z->cols() != k) *z = DenseMatrix(n, k);
+    switch (kind) {
+      case CgPreconditioner::kNone:
+        *z = r;
+        return;
+      case CgPreconditioner::kJacobi:
+        for (size_t i = 0; i < n; ++i) {
+          const double d = inv_diag[i];
+          const double* ri = r.row(i);
+          double* zi = z->mutable_row(i);
+          for (size_t c = 0; c < k; ++c) zi[c] = d * ri[c];
+        }
+        return;
+      case CgPreconditioner::kIncompleteCholesky:
+        factor()->ApplyBlock(r, z);
+        return;
+    }
+  }
+};
+
+Result<BlockPreconditioner> MakeBlockPreconditioner(
+    const CsrMatrix& a, CgPreconditioner kind,
+    const IncompleteCholesky* cached) {
+  BlockPreconditioner precond;
+  precond.kind = kind;
+  switch (kind) {
+    case CgPreconditioner::kNone:
+      return precond;
+    case CgPreconditioner::kJacobi:
+      // Same zero-diagonal fallback as the scalar Jacobi closure.
+      precond.inv_diag = a.Diagonal();
+      for (double& d : precond.inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+      return precond;
+    case CgPreconditioner::kIncompleteCholesky: {
+      if (cached != nullptr) {
+        precond.borrowed = cached;
+        return precond;
+      }
+      Result<IncompleteCholesky> factor = IncompleteCholesky::Factor(a);
+      if (!factor.ok()) return factor.status();
+      precond.owned.emplace(std::move(factor).ValueOrDie());
+      return precond;
+    }
+  }
+  return Status::Internal("unknown preconditioner kind");
+}
+
 Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
                                           const std::vector<double>& b,
                                           const Preconditioner& apply,
                                           const CgOptions& options,
+                                          const std::vector<double>* x0,
                                           std::vector<double>* x) {
   const size_t n = a.rows();
-  x->assign(n, 0.0);
 
   const double b_norm = Norm2(b);
   CgSummary summary;
   if (b_norm == 0.0) {
+    // The solution of A x = 0 is the zero vector regardless of any guess.
+    x->assign(n, 0.0);
     summary.converged = true;
     return summary;
   }
 
-  std::vector<double> r = b;  // residual, since x0 = 0
+  const double target = options.tolerance * b_norm;
+  std::vector<double> r;
+  if (x0 != nullptr) {
+    *x = *x0;
+    r = b;
+    a.MultiplyAccumulate(-1.0, *x, &r);  // r = b - A x0
+    const double r0_norm = Norm2(r);
+    summary.relative_residual = r0_norm / b_norm;
+    if (r0_norm <= target) {
+      // The guess already meets the residual target (the warm-start payoff).
+      summary.converged = true;
+      return summary;
+    }
+  } else {
+    x->assign(n, 0.0);
+    r = b;  // residual at x0 = 0
+  }
+
   std::vector<double> z(n);
   apply(r, &z);
   std::vector<double> p = z;
@@ -83,7 +175,6 @@ Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
 
   const size_t max_iters =
       options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
-  const double target = options.tolerance * b_norm;
 
   for (size_t iter = 0; iter < max_iters; ++iter) {
     ap.assign(n, 0.0);
@@ -118,6 +209,174 @@ Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
   return summary;
 }
 
+/// Copies columns [begin, end) of `m` into a contiguous block.
+DenseMatrix CopyColumns(const DenseMatrix& m, size_t begin, size_t end) {
+  DenseMatrix out(m.rows(), end - begin);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* src = m.row(i) + begin;
+    std::copy(src, src + (end - begin), out.mutable_row(i));
+  }
+  return out;
+}
+
+/// The lockstep kernel behind SolveBlock: advances all columns of B through
+/// one shared SpMM/preconditioner sweep per iteration, with per-column
+/// scalars and an active mask that freezes converged columns. Every
+/// floating-point operation touching column c happens in exactly the order
+/// SolveWithPreconditioner would execute it for that column alone, so the
+/// results (and iteration counts) are bit-identical to k serial solves.
+Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
+                                             const DenseMatrix& b,
+                                             const BlockPreconditioner& precond,
+                                             const CgOptions& options,
+                                             const DenseMatrix* x0,
+                                             DenseMatrix* x) {
+  const size_t n = a.rows();
+  const size_t k = b.cols();
+  std::vector<CgSummary> summaries(k);
+  *x = DenseMatrix(n, k);
+
+  // Per-column ||b||, accumulated in the same ascending-i order as Norm2.
+  std::vector<double> accum(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* bi = b.row(i);
+    for (size_t c = 0; c < k; ++c) accum[c] += bi[c] * bi[c];
+  }
+  std::vector<double> b_norm(k, 0.0);
+  std::vector<double> target(k, 0.0);
+  std::vector<uint32_t> active;  // still-iterating columns, ascending
+  active.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    b_norm[c] = std::sqrt(accum[c]);
+    if (b_norm[c] == 0.0) {
+      summaries[c].converged = true;  // x column stays zero
+    } else {
+      target[c] = options.tolerance * b_norm[c];
+      active.push_back(static_cast<uint32_t>(c));
+    }
+  }
+
+  DenseMatrix r = b;
+  if (x0 != nullptr && !active.empty()) {
+    *x = *x0;
+    // Zero-rhs columns keep the serial contract x = 0 regardless of guess.
+    for (size_t c = 0; c < k; ++c) {
+      if (b_norm[c] != 0.0) continue;
+      for (size_t i = 0; i < n; ++i) (*x)(i, c) = 0.0;
+    }
+    a.MultiplyAccumulateBlock(-1.0, *x0, &r);  // R = B - A X0
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = r.row(i);
+      for (const uint32_t c : active) accum[c] += ri[c] * ri[c];
+    }
+    size_t w = 0;
+    for (const uint32_t c : active) {
+      const double r0_norm = std::sqrt(accum[c]);
+      summaries[c].relative_residual = r0_norm / b_norm[c];
+      if (r0_norm <= target[c]) {
+        summaries[c].converged = true;  // guess already meets the target
+      } else {
+        active[w++] = c;
+      }
+    }
+    active.resize(w);
+  }
+  if (active.empty()) return summaries;
+
+  DenseMatrix z(n, k);
+  precond.Apply(r, &z);
+  DenseMatrix p = z;
+  DenseMatrix ap(n, k);
+  std::vector<double> rz(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* ri = r.row(i);
+    const double* zi = z.row(i);
+    for (const uint32_t c : active) rz[c] += ri[c] * zi[c];
+  }
+  std::vector<double> scalars(k, 0.0);
+
+  const size_t max_iters =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+
+  for (size_t iter = 0; iter < max_iters && !active.empty(); ++iter) {
+    std::fill(ap.mutable_data().begin(), ap.mutable_data().end(), 0.0);
+    a.MultiplyAccumulateBlock(1.0, p, &ap);
+
+    std::fill(scalars.begin(), scalars.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* pi = p.row(i);
+      const double* api = ap.row(i);
+      for (const uint32_t c : active) scalars[c] += pi[c] * api[c];
+    }
+    for (const uint32_t c : active) {
+      if (scalars[c] <= 0.0) {
+        return Status::NumericalError(
+            "CG: non-positive curvature encountered (p^T A p = " +
+            std::to_string(scalars[c]) +
+            "); matrix not positive semidefinite?");
+      }
+    }
+    // scalars now holds p^T A p; turn it into alpha = rz / pap per column.
+    for (const uint32_t c : active) scalars[c] = rz[c] / scalars[c];
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double* xi = x->mutable_row(i);
+      double* ri = r.mutable_row(i);
+      const double* pi = p.row(i);
+      const double* api = ap.row(i);
+      for (const uint32_t c : active) {
+        const double alpha = scalars[c];
+        xi[c] += alpha * pi[c];
+        ri[c] -= alpha * api[c];
+      }
+    }
+    // ||r|| per column, in a second ascending-i sweep exactly like Norm2.
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = r.row(i);
+      for (const uint32_t c : active) accum[c] += ri[c] * ri[c];
+    }
+    size_t w = 0;
+    for (const uint32_t c : active) {
+      const double r_norm = std::sqrt(accum[c]);
+      summaries[c].iterations = iter + 1;
+      summaries[c].relative_residual = r_norm / b_norm[c];
+      if (r_norm <= target[c]) {
+        summaries[c].converged = true;
+      } else {
+        active[w++] = c;
+      }
+    }
+    active.resize(w);
+    if (active.empty()) break;
+
+    precond.Apply(r, &z);
+    std::fill(scalars.begin(), scalars.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = r.row(i);
+      const double* zi = z.row(i);
+      for (const uint32_t c : active) scalars[c] += ri[c] * zi[c];
+    }
+    for (const uint32_t c : active) {
+      const double rz_next = scalars[c];
+      const double beta = rz_next / rz[c];
+      rz[c] = rz_next;
+      scalars[c] = beta;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double* pi = p.mutable_row(i);
+      const double* zi = z.row(i);
+      for (const uint32_t c : active) pi[c] = zi[c] + scalars[c] * pi[c];
+    }
+  }
+  // Iteration cap reached: same convergence call as the serial tail.
+  for (const uint32_t c : active) {
+    summaries[c].converged =
+        summaries[c].relative_residual <= options.tolerance;
+  }
+  return summaries;
+}
+
 /// Records the outcome counters shared by Solve and SolveMany's per-RHS
 /// solves. Counters only: their sums are independent of thread count and
 /// scheduling, so this is safe to call from ParallelFor workers. Gauges
@@ -134,6 +393,28 @@ Status ValidateSystem(const CsrMatrix& a, size_t rhs_size) {
   }
   if (rhs_size != a.rows()) {
     return Status::InvalidArgument("CG: rhs size mismatch");
+  }
+  return Status::OK();
+}
+
+Status ValidateContext(const CgSolveContext& context, size_t rows,
+                       size_t cols) {
+  if (context.initial_guess != nullptr &&
+      (context.initial_guess->rows() != rows ||
+       context.initial_guess->cols() != cols)) {
+    return Status::InvalidArgument(
+        "CG: initial-guess block must be " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", got " +
+        std::to_string(context.initial_guess->rows()) + "x" +
+        std::to_string(context.initial_guess->cols()));
+  }
+  if (context.cached_factor != nullptr &&
+      context.cached_factor->dimension() != rows) {
+    return Status::InvalidArgument("CG: cached IC(0) factor dimension " +
+                                   std::to_string(
+                                       context.cached_factor->dimension()) +
+                                   " does not match system size " +
+                                   std::to_string(rows));
   }
   return Status::OK();
 }
@@ -179,10 +460,39 @@ Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
   {
     CAD_TRACE_SPAN("pcg_precond_setup");
     const Timer setup_timer;
-    CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+    CAD_ASSIGN_OR_RETURN(
+        apply, MakePreconditioner(a, options_.preconditioner, nullptr));
     CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
   }
-  Result<CgSummary> summary = SolveWithPreconditioner(a, b, apply, options_, x);
+  Result<CgSummary> summary =
+      SolveWithPreconditioner(a, b, apply, options_, nullptr, x);
+  if (summary.ok()) {
+    RecordSolveMetrics(*summary);
+    CAD_METRIC_SET("pcg.last_relative_residual", summary->relative_residual);
+  }
+  return summary;
+}
+
+Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
+                                                 const std::vector<double>& b,
+                                                 const std::vector<double>& x0,
+                                                 std::vector<double>* x) const {
+  CAD_TRACE_SPAN("pcg_solve");
+  CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
+  if (x0.size() != b.size()) {
+    return Status::InvalidArgument("CG: initial guess size mismatch");
+  }
+  CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
+  Preconditioner apply;
+  {
+    CAD_TRACE_SPAN("pcg_precond_setup");
+    const Timer setup_timer;
+    CAD_ASSIGN_OR_RETURN(
+        apply, MakePreconditioner(a, options_.preconditioner, nullptr));
+    CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
+  }
+  Result<CgSummary> summary =
+      SolveWithPreconditioner(a, b, apply, options_, &x0, x);
   if (summary.ok()) {
     RecordSolveMetrics(*summary);
     CAD_METRIC_SET("pcg.last_relative_residual", summary->relative_residual);
@@ -193,30 +503,72 @@ Result<CgSummary> ConjugateGradientSolver::Solve(const CsrMatrix& a,
 Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
     const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
     std::vector<std::vector<double>>* solutions) const {
-  CAD_TRACE_SPAN("pcg_solve_many");
+  return SolveMany(a, rhs, solutions, CgSolveContext());
+}
+
+Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
+    const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
+    std::vector<std::vector<double>>* solutions,
+    const CgSolveContext& context) const {
   for (const std::vector<double>& b : rhs) {
     CAD_RETURN_NOT_OK(ValidateSystem(a, b.size()));
   }
+  CAD_RETURN_NOT_OK(ValidateContext(context, a.rows(), rhs.size()));
+  const size_t n = a.rows();
+  const size_t k = rhs.size();
+
+  if (options_.use_block_solver) {
+    // Pack the right-hand sides into a node-major block, solve in lockstep,
+    // and unpack. The kernel is bit-identical per system, so callers cannot
+    // observe the dispatch beyond speed (and the pcg.block_solves counter).
+    DenseMatrix b(n, k);
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t i = 0; i < n; ++i) b(i, c) = rhs[c][i];
+    }
+    DenseMatrix x;
+    std::vector<CgSummary> summaries;
+    CAD_ASSIGN_OR_RETURN(summaries, SolveBlock(a, b, &x, context));
+    solutions->assign(k, std::vector<double>());
+    for (size_t c = 0; c < k; ++c) {
+      (*solutions)[c].resize(n);
+      for (size_t i = 0; i < n; ++i) (*solutions)[c][i] = x(i, c);
+    }
+    return summaries;
+  }
+
+  CAD_TRACE_SPAN("pcg_solve_many");
   CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
   Preconditioner apply;
   {
     CAD_TRACE_SPAN("pcg_precond_setup");
     const Timer setup_timer;
-    CAD_ASSIGN_OR_RETURN(apply, MakePreconditioner(a, options_.preconditioner));
+    CAD_ASSIGN_OR_RETURN(apply,
+                         MakePreconditioner(a, options_.preconditioner,
+                                            context.cached_factor));
     CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
   }
-  solutions->resize(rhs.size());
-  std::vector<CgSummary> summaries(rhs.size());
-  std::vector<Status> statuses(rhs.size());
+  solutions->resize(k);
+  std::vector<CgSummary> summaries(k);
+  std::vector<Status> statuses(k);
   // The systems are independent; the preconditioner closure is shared
   // read-only (Jacobi diagonal / IC factor are immutable after build).
   // Instrumentation only observes (counters commute, the per-RHS histogram
   // is scheduling-independent), so solutions stay bit-identical across
   // thread counts — see tests/test_parallel_stress.cc.
-  ParallelFor(rhs.size(), options_.num_threads, [&](size_t i) {
+  ParallelFor(k, options_.num_threads, [&](size_t i) {
     CAD_TRACE_SPAN("pcg_rhs");
+    std::vector<double> x0_col;
+    const std::vector<double>* x0 = nullptr;
+    if (context.initial_guess != nullptr) {
+      x0_col.resize(n);
+      for (size_t row = 0; row < n; ++row) {
+        x0_col[row] = (*context.initial_guess)(row, i);
+      }
+      x0 = &x0_col;
+    }
     Result<CgSummary> result =
-        SolveWithPreconditioner(a, rhs[i], apply, options_, &(*solutions)[i]);
+        SolveWithPreconditioner(a, rhs[i], apply, options_, x0,
+                                &(*solutions)[i]);
     if (result.ok()) {
       summaries[i] = *result;
       RecordSolveMetrics(summaries[i]);
@@ -231,6 +583,84 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
   CAD_METRIC_INC("pcg.batches");
   // Batch aggregate (not per-system, so it is deterministic even when the
   // systems were solved concurrently).
+  CAD_METRIC_SET("pcg.last_batch_max_relative_residual",
+                 SummarizeCgBatch(summaries).max_relative_residual);
+  return summaries;
+}
+
+Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveBlock(
+    const CsrMatrix& a, const DenseMatrix& b, DenseMatrix* x,
+    const CgSolveContext& context) const {
+  CAD_TRACE_SPAN("pcg_solve_block");
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CG: matrix must be square");
+  }
+  if (b.rows() != a.rows()) {
+    return Status::InvalidArgument("CG: rhs block row count mismatch");
+  }
+  CAD_RETURN_NOT_OK(ValidateContext(context, b.rows(), b.cols()));
+  CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
+
+  BlockPreconditioner precond;
+  {
+    CAD_TRACE_SPAN("pcg_precond_setup");
+    const Timer setup_timer;
+    CAD_ASSIGN_OR_RETURN(precond,
+                         MakeBlockPreconditioner(a, options_.preconditioner,
+                                                 context.cached_factor));
+    CAD_METRIC_TIME_NS("pcg.precond_setup", setup_timer.ElapsedNanos());
+  }
+
+  const size_t n = a.rows();
+  const size_t k = b.cols();
+  *x = DenseMatrix(n, k);
+  std::vector<CgSummary> summaries(k);
+  // Column chunking: each chunk runs the lockstep kernel over a contiguous
+  // column range. Chunking only regroups which columns share a sweep; it
+  // never changes any column's arithmetic, so solutions are independent of
+  // the thread count (and of the chunk boundaries).
+  const size_t num_chunks =
+      options_.num_threads <= 1 ? std::min<size_t>(k, 1)
+                                : std::min(options_.num_threads, k);
+  std::vector<Status> statuses(num_chunks);
+  ParallelFor(num_chunks, options_.num_threads, [&](size_t chunk) {
+    CAD_TRACE_SPAN("pcg_block_chunk");
+    const size_t begin = chunk * k / num_chunks;
+    const size_t end = (chunk + 1) * k / num_chunks;
+    DenseMatrix chunk_b = CopyColumns(b, begin, end);
+    DenseMatrix chunk_x0;
+    const DenseMatrix* x0 = nullptr;
+    if (context.initial_guess != nullptr) {
+      chunk_x0 = CopyColumns(*context.initial_guess, begin, end);
+      x0 = &chunk_x0;
+    }
+    DenseMatrix chunk_x;
+    Result<std::vector<CgSummary>> chunk_summaries =
+        LockstepSolve(a, chunk_b, precond, options_, x0, &chunk_x);
+    if (!chunk_summaries.ok()) {
+      statuses[chunk] = chunk_summaries.status();
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double* src = chunk_x.row(i);
+      std::copy(src, src + (end - begin), x->mutable_row(i) + begin);
+    }
+    for (size_t c = begin; c < end; ++c) {
+      summaries[c] = (*chunk_summaries)[c - begin];
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  // Per-system and batch metrics are recorded post-join, in column order, so
+  // the export matches the per-RHS path row for row (plus the block
+  // counter) at any thread count.
+  for (const CgSummary& summary : summaries) {
+    RecordSolveMetrics(summary);
+    CAD_METRIC_OBSERVE("pcg.iterations_per_rhs", summary.iterations);
+  }
+  CAD_METRIC_ADD("pcg.block_solves", k);
+  CAD_METRIC_INC("pcg.batches");
   CAD_METRIC_SET("pcg.last_batch_max_relative_residual",
                  SummarizeCgBatch(summaries).max_relative_residual);
   return summaries;

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/incomplete_cholesky.h"
 #include "linalg/sparse_matrix.h"
 
 namespace cad {
@@ -32,6 +34,25 @@ struct CgOptions {
   /// Worker threads for SolveMany (the k right-hand sides are independent);
   /// 1 = serial. The preconditioner is built once and shared read-only.
   size_t num_threads = 1;
+  /// Route SolveMany through SolveBlock: all systems advance in lockstep
+  /// sharing each sparse sweep (SpMM) instead of running k independent
+  /// SpMV-at-a-time solves. Solutions and iteration counts are bit-identical
+  /// to the per-RHS path; only the memory-access pattern changes.
+  bool use_block_solver = false;
+};
+
+/// \brief Optional cross-call state for a solve: an initial-guess block and
+/// a prebuilt IC(0) factorization. Both are borrowed and must outlive the
+/// call; both default to "absent", which reproduces the stateless behavior.
+struct CgSolveContext {
+  /// n x k initial guesses, column c seeding system c (n x 1 for Solve).
+  /// nullptr starts every system from the zero vector. A guess adds one
+  /// extra residual evaluation up front and can return in 0 iterations.
+  const DenseMatrix* initial_guess = nullptr;
+  /// Reuse this IC(0) factor instead of refactorizing. Consulted only when
+  /// options.preconditioner == kIncompleteCholesky; see
+  /// commute/solver_cache.h for the staleness policy that feeds it.
+  const IncompleteCholesky* cached_factor = nullptr;
 };
 
 /// \brief Outcome of a CG solve.
@@ -82,17 +103,47 @@ class ConjugateGradientSolver {
   /// a breakdown (indefinite matrix); non-convergence is reported via
   /// `CgSummary::converged` so that callers can decide how strict to be.
   ///
-  /// With kIncompleteCholesky the factorization is recomputed per call; use
-  /// SolveMany to amortize it across right-hand sides.
+  /// With kIncompleteCholesky the factorization is computed per call unless
+  /// a prebuilt factor is supplied via CgSolveContext; SolveMany/SolveBlock
+  /// additionally amortize one factorization across right-hand sides.
   [[nodiscard]] Result<CgSummary> Solve(const CsrMatrix& a, const std::vector<double>& b,
+                          std::vector<double>* x) const;
+
+  /// Solve with an initial guess: starts from `x0` instead of the zero
+  /// vector, converging in 0 iterations when x0 already satisfies the
+  /// residual target (the temporal warm-start path). With x0 = 0 this is
+  /// numerically equivalent to the overload above.
+  [[nodiscard]] Result<CgSummary> Solve(const CsrMatrix& a, const std::vector<double>& b,
+                          const std::vector<double>& x0,
                           std::vector<double>* x) const;
 
   /// Solves A x_i = b_i for several right-hand sides, building the
   /// preconditioner once. Returns one summary per system; `solutions` is
-  /// resized to match.
+  /// resized to match. With options().use_block_solver the systems are
+  /// solved in lockstep via SolveBlock (bit-identical results).
   [[nodiscard]] Result<std::vector<CgSummary>> SolveMany(
       const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
       std::vector<std::vector<double>>* solutions) const;
+
+  /// SolveMany with warm-start state: initial guesses (column c of
+  /// context.initial_guess seeds system c) and/or a cached IC(0) factor.
+  [[nodiscard]] Result<std::vector<CgSummary>> SolveMany(
+      const CsrMatrix& a, const std::vector<std::vector<double>>& rhs,
+      std::vector<std::vector<double>>* solutions,
+      const CgSolveContext& context) const;
+
+  /// Lockstep block solve of A X = B for a row-major n x k right-hand-side
+  /// block: every CG iteration advances all still-unconverged systems
+  /// through one shared SpMM sweep with per-system scalars (alpha, beta,
+  /// residual norms) and a convergence mask that freezes finished columns.
+  /// Per system the floating-point operation sequence is exactly the serial
+  /// Solve sequence, so solutions, residuals, and iteration counts are
+  /// bit-identical to k independent Solve calls — at any num_threads
+  /// (columns are chunked across threads; chunking never mixes columns).
+  /// Writes the n x k solution block into *x.
+  [[nodiscard]] Result<std::vector<CgSummary>> SolveBlock(
+      const CsrMatrix& a, const DenseMatrix& b, DenseMatrix* x,
+      const CgSolveContext& context = CgSolveContext()) const;
 
   const CgOptions& options() const { return options_; }
 

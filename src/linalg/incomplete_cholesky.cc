@@ -1,5 +1,6 @@
 #include "linalg/incomplete_cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -139,6 +140,60 @@ std::vector<double> IncompleteCholesky::Apply(
     x[i] = sum / lower_transpose_.values()[begin];
   }
   return x;
+}
+
+void IncompleteCholesky::ApplyBlock(const DenseMatrix& b,
+                                    DenseMatrix* x) const {
+  const size_t n = dimension();
+  const size_t k = b.cols();
+  CAD_CHECK_EQ(b.rows(), n);
+  // Each column follows exactly the scalar Apply substitution order (terms
+  // subtracted in CSR position order, then one division), so the block
+  // application is bit-identical to k scalar applications.
+  const size_t k4 = k - k % 4;
+  const auto accumulate_row = [k, k4](double coeff, const double* src,
+                                      double* sums) {
+    size_t c = 0;
+    for (; c < k4; c += 4) {
+      sums[c] -= coeff * src[c];
+      sums[c + 1] -= coeff * src[c + 1];
+      sums[c + 2] -= coeff * src[c + 2];
+      sums[c + 3] -= coeff * src[c + 3];
+    }
+    for (; c < k; ++c) sums[c] -= coeff * src[c];
+  };
+
+  // Forward substitution L Y = B (diagonal is each row's last entry).
+  DenseMatrix y(n, k);
+  std::vector<double> sums(k);
+  for (size_t i = 0; i < n; ++i) {
+    const double* bi = b.row(i);
+    std::copy(bi, bi + k, sums.begin());
+    const size_t end = lower_.RowEnd(i);
+    for (size_t p = lower_.RowBegin(i); p + 1 < end; ++p) {
+      accumulate_row(lower_.values()[p], y.row(lower_.col_indices()[p]),
+                     sums.data());
+    }
+    const double diag = lower_.values()[end - 1];
+    double* yi = y.mutable_row(i);
+    for (size_t c = 0; c < k; ++c) yi[c] = sums[c] / diag;
+  }
+  // Back substitution L^T X = Y using the transpose's (upper-triangular)
+  // rows, whose first entry is the diagonal.
+  *x = DenseMatrix(n, k);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    const double* yi = y.row(i);
+    std::copy(yi, yi + k, sums.begin());
+    const size_t begin = lower_transpose_.RowBegin(i);
+    for (size_t p = begin + 1; p < lower_transpose_.RowEnd(i); ++p) {
+      accumulate_row(lower_transpose_.values()[p],
+                     x->row(lower_transpose_.col_indices()[p]), sums.data());
+    }
+    const double diag = lower_transpose_.values()[begin];
+    double* xi = x->mutable_row(i);
+    for (size_t c = 0; c < k; ++c) xi[c] = sums[c] / diag;
+  }
 }
 
 }  // namespace cad

@@ -32,6 +32,12 @@ class IncompleteCholesky {
   /// solves). Requires b.size() == dimension().
   std::vector<double> Apply(const std::vector<double>& b) const;
 
+  /// Blocked application: solves L L^T X = B for a row-major
+  /// dimension() x k block in one pair of triangular sweeps. Column c is
+  /// bit-identical to Apply(column c of B) — the per-column substitution
+  /// order is unchanged. Resizes *x to match b.
+  void ApplyBlock(const DenseMatrix& b, DenseMatrix* x) const;
+
   size_t dimension() const { return lower_.rows(); }
 
   /// The incomplete factor (lower triangular, diagonal included).

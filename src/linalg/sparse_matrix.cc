@@ -131,6 +131,42 @@ void CsrMatrix::MultiplyAccumulate(double alpha, const std::vector<double>& x,
   }
 }
 
+void CsrMatrix::MultiplyBlock(const DenseMatrix& x, DenseMatrix* y) const {
+  *y = DenseMatrix(rows_, x.cols());
+  MultiplyAccumulateBlock(1.0, x, y);
+}
+
+void CsrMatrix::MultiplyAccumulateBlock(double alpha, const DenseMatrix& x,
+                                        DenseMatrix* y) const {
+  CAD_DCHECK(x.rows() == cols_ && y->rows() == rows_ &&
+             y->cols() == x.cols());
+  const size_t k = x.cols();
+  // Per-row accumulators: column c follows the exact FP sequence of
+  // MultiplyAccumulate on column c (a local sum over the row's nonzeros in
+  // CSR order, then one `+= alpha * sum`), so the block product is
+  // bit-identical to k independent SpMVs — the determinism contract the
+  // block CG path relies on.
+  std::vector<double> sums(k);
+  const size_t k4 = k - k % 4;
+  for (size_t i = 0; i < rows_; ++i) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (size_t p = row_offsets_[i]; p < row_offsets_[i + 1]; ++p) {
+      const double v = values_[p];
+      const double* xj = x.row(col_indices_[p]);
+      size_t c = 0;
+      for (; c < k4; c += 4) {
+        sums[c] += v * xj[c];
+        sums[c + 1] += v * xj[c + 1];
+        sums[c + 2] += v * xj[c + 2];
+        sums[c + 3] += v * xj[c + 3];
+      }
+      for (; c < k; ++c) sums[c] += v * xj[c];
+    }
+    double* yi = y->mutable_row(i);
+    for (size_t c = 0; c < k; ++c) yi[c] += alpha * sums[c];
+  }
+}
+
 double CsrMatrix::At(uint32_t row, uint32_t col) const {
   CAD_DCHECK(row < rows_ && col < cols_);
   const auto begin = col_indices_.begin() + static_cast<long>(row_offsets_[row]);

@@ -99,6 +99,17 @@ class CsrMatrix {
   void MultiplyAccumulate(double alpha, const std::vector<double>& x,
                           std::vector<double>* y) const;
 
+  /// Y = A X for a row-major cols() x k dense block (SpMM): one CSR sweep
+  /// serves all k columns instead of k sweeps. Column c of the result is
+  /// bit-identical to Multiply(column c of X) — the per-column accumulation
+  /// order is unchanged, only the loop nest is. Resizes *y to rows() x k.
+  void MultiplyBlock(const DenseMatrix& x, DenseMatrix* y) const;
+
+  /// Y += alpha * A X, the block analog of MultiplyAccumulate (no resize;
+  /// *y must already be rows() x X.cols()). Same bit-identity guarantee.
+  void MultiplyAccumulateBlock(double alpha, const DenseMatrix& x,
+                               DenseMatrix* y) const;
+
   /// Returns the entry at (row, col), or 0 if absent. O(log deg(row)).
   double At(uint32_t row, uint32_t col) const;
 

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "commute/exact_commute.h"
+#include "commute/solver_cache.h"
 #include "datagen/random_graphs.h"
 
 namespace cad {
@@ -191,6 +193,140 @@ TEST_P(ApproxOrderingSweep, NearPairsCloserThanFarPairs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ApproxOrderingSweep,
                          ::testing::Values(1, 7, 19, 23, 101));
+
+WeightedGraph WarmStartFixtureGraph() {
+  RandomGraphOptions opts;
+  opts.num_nodes = 60;
+  opts.average_degree = 5.0;
+  opts.seed = 71;
+  return MakeRandomSparseGraph(opts);
+}
+
+ApproxCommuteOptions WarmStartOptions() {
+  ApproxCommuteOptions options;
+  options.embedding_dim = 24;
+  options.seed = 17;
+  options.warm_start = true;
+  return options;
+}
+
+TEST(ApproxWarmStartTest, SameGraphSecondBuildNeedsAlmostNoIterations) {
+  // Rebuilding the identical snapshot warm: the previous embedding already
+  // solves every system to tolerance, so CG converges (near) immediately.
+  const WeightedGraph g = WarmStartFixtureGraph();
+  const ApproxCommuteOptions options = WarmStartOptions();
+  CommuteSolverCache cache(options.refactor_threshold);
+  auto cold = ApproxCommuteEmbedding::Build(g, options, &cache);
+  ASSERT_TRUE(cold.ok());
+  auto warm = ApproxCommuteEmbedding::Build(g, options, &cache);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(cold->total_cg_iterations(), 0u);
+  // Each system starts at its own converged solution; at most a rounding
+  // residual's worth of polish per system remains.
+  EXPECT_LE(warm->total_cg_iterations(), options.embedding_dim);
+  EXPECT_LT(warm->embedding().MaxAbsDifference(cold->embedding()), 1e-8);
+}
+
+TEST(ApproxWarmStartTest, PerturbedGraphWarmBuildSavesIterations) {
+  // A lightly perturbed snapshot: the previous embedding is a strong guess,
+  // so the warm build must need strictly fewer CG iterations than cold.
+  const WeightedGraph before = WarmStartFixtureGraph();
+  WeightedGraph after = before;
+  ASSERT_TRUE(after.SetEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(after.SetEdge(10, 30, 0.7).ok());
+  const ApproxCommuteOptions options = WarmStartOptions();
+
+  CommuteSolverCache cache(options.refactor_threshold);
+  ASSERT_TRUE(ApproxCommuteEmbedding::Build(before, options, &cache).ok());
+  auto warm = ApproxCommuteEmbedding::Build(after, options, &cache);
+  ASSERT_TRUE(warm.ok());
+
+  auto cold = ApproxCommuteEmbedding::Build(after, options, nullptr);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LT(warm->total_cg_iterations(), cold->total_cg_iterations());
+  // Same edge-keyed right-hand sides, same solves to the same tolerance: the
+  // two embeddings agree to solver precision (amplified at most by the
+  // regularized Laplacian's smallest eigenvalue).
+  EXPECT_LT(warm->embedding().MaxAbsDifference(cold->embedding()), 1e-2);
+}
+
+TEST(ApproxWarmStartTest, WarmEmbeddingStillApproximatesExact) {
+  const WeightedGraph before = WarmStartFixtureGraph();
+  WeightedGraph after = before;
+  ASSERT_TRUE(after.SetEdge(2, 3, 1.9).ok());
+  ApproxCommuteOptions options = WarmStartOptions();
+  options.embedding_dim = 500;
+
+  CommuteSolverCache cache(options.refactor_threshold);
+  ASSERT_TRUE(ApproxCommuteEmbedding::Build(before, options, &cache).ok());
+  auto warm = ApproxCommuteEmbedding::Build(after, options, &cache);
+  ASSERT_TRUE(warm.ok());
+  auto exact = ExactCommuteTime::Build(after);
+  ASSERT_TRUE(exact.ok());
+  double total = 0.0;
+  size_t count = 0;
+  for (NodeId i = 0; i < 60; i += 3) {
+    for (NodeId j = i + 1; j < 60; j += 4) {
+      const double e = exact->CommuteTime(i, j);
+      if (e <= 0.0) continue;
+      total += std::fabs(warm->CommuteTime(i, j) - e) / e;
+      ++count;
+    }
+  }
+  EXPECT_LT(total / static_cast<double>(count), 0.15);
+}
+
+TEST(ApproxWarmStartTest, WarmStartOffIsBitIdenticalToLegacyBuild) {
+  // The default path must not change: passing a cache with warm_start off
+  // (or no cache at all) reproduces the historical stream-order embedding.
+  const WeightedGraph g = WarmStartFixtureGraph();
+  ApproxCommuteOptions options;
+  options.embedding_dim = 24;
+  options.seed = 17;
+  auto legacy = ApproxCommuteEmbedding::Build(g, options);
+  CommuteSolverCache cache;
+  auto with_cache = ApproxCommuteEmbedding::Build(g, options, &cache);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(with_cache.ok());
+  EXPECT_EQ(legacy->embedding().MaxAbsDifference(with_cache->embedding()),
+            0.0);
+  EXPECT_EQ(cache.PreviousEmbedding(24, 60), nullptr);  // nothing stored
+}
+
+TEST(ApproxWarmStartTest, BlockSolverMatchesSerialUnderWarmStart) {
+  const WeightedGraph before = WarmStartFixtureGraph();
+  WeightedGraph after = before;
+  ASSERT_TRUE(after.SetEdge(5, 6, 3.0).ok());
+  ApproxCommuteOptions options = WarmStartOptions();
+  options.cg.preconditioner = CgPreconditioner::kIncompleteCholesky;
+
+  const auto build_timeline = [&](bool block) {
+    ApproxCommuteOptions o = options;
+    o.cg.use_block_solver = block;
+    CommuteSolverCache cache(o.refactor_threshold);
+    auto first = ApproxCommuteEmbedding::Build(before, o, &cache);
+    CAD_CHECK(first.ok());
+    return ApproxCommuteEmbedding::Build(after, o, &cache);
+  };
+  auto serial = build_timeline(false);
+  auto block = build_timeline(true);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(serial->total_cg_iterations(), block->total_cg_iterations());
+  EXPECT_EQ(serial->embedding().MaxAbsDifference(block->embedding()), 0.0);
+}
+
+TEST(ApproxWarmStartTest, EmbeddingDimensionChangeInvalidatesCache) {
+  const WeightedGraph g = WarmStartFixtureGraph();
+  ApproxCommuteOptions options = WarmStartOptions();
+  CommuteSolverCache cache(options.refactor_threshold);
+  ASSERT_TRUE(ApproxCommuteEmbedding::Build(g, options, &cache).ok());
+  options.embedding_dim = 12;  // previous 24-dim embedding no longer fits
+  auto rebuilt = ApproxCommuteEmbedding::Build(g, options, &cache);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_GT(rebuilt->total_cg_iterations(), 0u);
+  EXPECT_EQ(rebuilt->embedding_dim(), 12u);
+}
 
 }  // namespace
 }  // namespace cad

@@ -181,6 +181,98 @@ TEST_P(CgLaplacianSweep, ConvergesOnGraphLaplacians) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CgLaplacianSweep,
                          ::testing::Values(10, 50, 200, 1000));
 
+TEST(CgWarmStartTest, ExactGuessConvergesInZeroIterations) {
+  const CsrMatrix a = SpdTridiagonal(40);
+  Rng rng(11);
+  std::vector<double> x_true(40);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.Multiply(x_true);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(a, b, x_true, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_EQ(summary->iterations, 0u);
+  EXPECT_LT(MaxAbsDifference(x, x_true), 1e-12);
+}
+
+TEST(CgWarmStartTest, NearbyGuessReducesIterations) {
+  const CsrMatrix a = SpdTridiagonal(200);
+  Rng rng(12);
+  std::vector<double> x_true(200);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.Multiply(x_true);
+
+  std::vector<double> x_cold;
+  auto cold = ConjugateGradientSolver().Solve(a, b, &x_cold);
+  ASSERT_TRUE(cold.ok());
+
+  // Perturb the true solution slightly: a much better start than zero.
+  std::vector<double> guess = x_true;
+  for (double& v : guess) v += 1e-4 * rng.Normal();
+  std::vector<double> x_warm;
+  auto warm = ConjugateGradientSolver().Solve(a, b, guess, &x_warm);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->converged);
+  EXPECT_LT(warm->iterations, cold->iterations);
+  // The residual target is 1e-8 relative; the solution error is amplified
+  // by the tridiagonal system's O(n^2) condition number.
+  EXPECT_LT(MaxAbsDifference(x_warm, x_true), 1e-4);
+}
+
+TEST(CgWarmStartTest, PoorGuessStillConverges) {
+  const CsrMatrix a = SpdTridiagonal(60);
+  Rng rng(13);
+  std::vector<double> x_true(60);
+  for (double& v : x_true) v = rng.Normal();
+  const std::vector<double> b = a.Multiply(x_true);
+  std::vector<double> guess(60);
+  for (double& v : guess) v = 100.0 * rng.Normal();
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(a, b, guess, &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_LT(MaxAbsDifference(x, x_true), 1e-6);
+}
+
+TEST(CgWarmStartTest, ZeroRhsIgnoresGuess) {
+  // The b = 0 contract (x = 0, converged, 0 iterations) must hold even when
+  // a nonzero guess is supplied.
+  const CsrMatrix a = SpdTridiagonal(8);
+  std::vector<double> x;
+  auto summary = ConjugateGradientSolver().Solve(
+      a, std::vector<double>(8), std::vector<double>(8, 5.0), &x);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->converged);
+  EXPECT_EQ(summary->iterations, 0u);
+  EXPECT_EQ(MaxAbs(x), 0.0);
+}
+
+TEST(CgWarmStartTest, ZeroGuessMatchesColdStartBitwise) {
+  const CsrMatrix a = SpdTridiagonal(50);
+  Rng rng(14);
+  std::vector<double> b(50);
+  for (double& v : b) v = rng.Normal();
+  std::vector<double> x_cold;
+  std::vector<double> x_zero_guess;
+  auto cold = ConjugateGradientSolver().Solve(a, b, &x_cold);
+  auto warm = ConjugateGradientSolver().Solve(a, b, std::vector<double>(50),
+                                              &x_zero_guess);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cold->iterations, warm->iterations);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(x_cold[i], x_zero_guess[i]) << "component " << i;
+  }
+}
+
+TEST(CgWarmStartTest, RejectsGuessSizeMismatch) {
+  const CsrMatrix a = SpdTridiagonal(4);
+  std::vector<double> x;
+  EXPECT_FALSE(ConjugateGradientSolver()
+                   .Solve(a, {1, 2, 3, 4}, {1.0, 2.0}, &x)
+                   .ok());
+}
+
 TEST(SummarizeCgBatchTest, AggregatesMinMaxTotalAndResidual) {
   std::vector<CgSummary> summaries(3);
   summaries[0] = {.iterations = 7, .relative_residual = 1e-9, .converged = true};

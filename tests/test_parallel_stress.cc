@@ -196,6 +196,51 @@ TEST_P(SolveManyThreadStressTest, BitIdenticalWithObservabilityOn) {
   EXPECT_EQ(iteration_counters[0], iteration_counters[2]);
 }
 
+TEST_P(SolveManyThreadStressTest, BlockSolverBitIdenticalAcrossThreadCounts) {
+  // The lockstep block path chunks columns across threads; no thread count
+  // (and no chunking) may perturb a bit of any solution or any iteration
+  // count relative to the serial per-RHS path.
+  constexpr size_t kNodes = 120;
+  constexpr size_t kSystems = 12;
+  const WeightedGraph graph = MakeStressGraph(kNodes);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-3);
+  const std::vector<std::vector<double>> rhs =
+      MakeRightHandSides(kNodes, kSystems);
+
+  CgOptions options;
+  options.preconditioner = GetParam();
+  options.tolerance = 1e-10;
+
+  // Reference: the serial per-RHS path.
+  std::vector<std::vector<double>> reference;
+  std::vector<CgSummary> reference_summaries;
+  {
+    const ConjugateGradientSolver solver(options);
+    Result<std::vector<CgSummary>> summaries =
+        solver.SolveMany(laplacian, rhs, &reference);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    reference_summaries = *summaries;
+  }
+
+  options.use_block_solver = true;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    options.num_threads = threads;
+    const ConjugateGradientSolver solver(options);
+    std::vector<std::vector<double>> x;
+    Result<std::vector<CgSummary>> summaries =
+        solver.SolveMany(laplacian, rhs, &x);
+    ASSERT_TRUE(summaries.ok()) << summaries.status();
+    ExpectBitIdentical(reference, x);
+    ASSERT_EQ(summaries->size(), reference_summaries.size());
+    for (size_t j = 0; j < summaries->size(); ++j) {
+      EXPECT_EQ((*summaries)[j].iterations, reference_summaries[j].iterations)
+          << "system " << j << " at " << threads << " threads";
+      EXPECT_EQ(std::bit_cast<uint64_t>((*summaries)[j].relative_residual),
+                std::bit_cast<uint64_t>(reference_summaries[j].relative_residual));
+    }
+  }
+}
+
 TEST(SolveManyThreadStressTest, RepeatedContendedSolves) {
   // Repeatedly launch the threaded solve path so TSan sees many
   // pool lifetimes against the shared read-only preconditioner closure.

@@ -1,0 +1,145 @@
+#include "commute/solver_cache.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/graph.h"
+
+namespace cad {
+namespace {
+
+/// A small connected graph whose edge weights are scaled by `weight_scale`
+/// (scaling every weight by s scales the Laplacian diagonal by s, making the
+/// drift ratio exactly |s - 1| against the unscaled snapshot).
+CsrMatrix ScaledLaplacian(double weight_scale, size_t n = 12) {
+  WeightedGraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    CAD_CHECK_OK(g.SetEdge(u, u + 1, weight_scale));
+  }
+  CAD_CHECK_OK(g.SetEdge(0, n - 1, 2.0 * weight_scale));
+  return g.ToLaplacianCsr(1e-6);
+}
+
+TEST(SolverCacheTest, FirstCallFactorizes) {
+  CommuteSolverCache cache(0.25);
+  Result<const IncompleteCholesky*> factor =
+      cache.FactorFor(ScaledLaplacian(1.0));
+  ASSERT_TRUE(factor.ok());
+  ASSERT_NE(*factor, nullptr);
+  EXPECT_EQ(cache.refactorizations(), 1u);
+  EXPECT_EQ(cache.factor_reuses(), 0u);
+  EXPECT_EQ(cache.last_relative_change(), 0.0);
+}
+
+TEST(SolverCacheTest, IdenticalLaplacianReusesFactor) {
+  CommuteSolverCache cache(0.25);
+  Result<const IncompleteCholesky*> first =
+      cache.FactorFor(ScaledLaplacian(1.0));
+  ASSERT_TRUE(first.ok());
+  const IncompleteCholesky* original = *first;
+  Result<const IncompleteCholesky*> second =
+      cache.FactorFor(ScaledLaplacian(1.0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, original);
+  EXPECT_EQ(cache.refactorizations(), 1u);
+  EXPECT_EQ(cache.factor_reuses(), 1u);
+  EXPECT_EQ(cache.last_relative_change(), 0.0);
+}
+
+TEST(SolverCacheTest, SmallDriftReusesFactor) {
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.1)).ok());
+  EXPECT_EQ(cache.factor_reuses(), 1u);
+  EXPECT_EQ(cache.refactorizations(), 1u);
+  EXPECT_NEAR(cache.last_relative_change(), 0.1, 1e-6);
+}
+
+TEST(SolverCacheTest, DriftExactlyAtThresholdStillReuses) {
+  // The trigger is strict: change > threshold. Scaling weights by 1.25
+  // against a threshold of 0.25 sits exactly on the boundary.
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.25)).ok());
+  EXPECT_EQ(cache.factor_reuses(), 1u);
+  EXPECT_EQ(cache.refactorizations(), 1u);
+  EXPECT_NEAR(cache.last_relative_change(), 0.25, 1e-6);
+}
+
+TEST(SolverCacheTest, LargeDriftRefactorizes) {
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(2.0)).ok());
+  EXPECT_EQ(cache.factor_reuses(), 0u);
+  EXPECT_EQ(cache.refactorizations(), 2u);
+  EXPECT_NEAR(cache.last_relative_change(), 1.0, 1e-6);
+}
+
+TEST(SolverCacheTest, RefactorizationResetsTheDriftBaseline) {
+  // After a refactorization at scale 2.0, a further 10% drift is measured
+  // against the new baseline and reuses again.
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(2.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(2.2)).ok());
+  EXPECT_EQ(cache.refactorizations(), 2u);
+  EXPECT_EQ(cache.factor_reuses(), 1u);
+  EXPECT_NEAR(cache.last_relative_change(), 0.1, 1e-6);
+}
+
+TEST(SolverCacheTest, ZeroThresholdRefactorizesOnAnyChange) {
+  CommuteSolverCache cache(0.0);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  EXPECT_EQ(cache.factor_reuses(), 1u);  // exactly identical: change == 0
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.000001)).ok());
+  EXPECT_EQ(cache.refactorizations(), 2u);
+}
+
+TEST(SolverCacheTest, DimensionChangeRefactorizes) {
+  CommuteSolverCache cache(10.0);  // threshold so large drift never triggers
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0, 12)).ok());
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0, 16)).ok());
+  EXPECT_EQ(cache.refactorizations(), 2u);
+  EXPECT_EQ(cache.factor_reuses(), 0u);
+}
+
+TEST(SolverCacheTest, ClearDropsFactorAndEmbedding) {
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  cache.StoreEmbedding(DenseMatrix(4, 12));
+  ASSERT_NE(cache.PreviousEmbedding(4, 12), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.PreviousEmbedding(4, 12), nullptr);
+  // Clear also resets the statistics, so the forced refactorization that
+  // follows is counted from a clean slate.
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  EXPECT_EQ(cache.refactorizations(), 1u);
+  EXPECT_EQ(cache.factor_reuses(), 0u);
+}
+
+TEST(SolverCacheTest, EmbeddingShapeMismatchReturnsNull) {
+  CommuteSolverCache cache;
+  EXPECT_EQ(cache.PreviousEmbedding(4, 12), nullptr);
+  cache.StoreEmbedding(DenseMatrix(4, 12));
+  EXPECT_NE(cache.PreviousEmbedding(4, 12), nullptr);
+  EXPECT_EQ(cache.PreviousEmbedding(5, 12), nullptr);  // k changed
+  EXPECT_EQ(cache.PreviousEmbedding(4, 13), nullptr);  // n changed
+}
+
+TEST(SolverCacheTest, StoredEmbeddingRoundTrips) {
+  CommuteSolverCache cache;
+  DenseMatrix z(2, 3);
+  z(0, 0) = 1.5;
+  z(1, 2) = -2.25;
+  cache.StoreEmbedding(z);
+  const DenseMatrix* stored = cache.PreviousEmbedding(2, 3);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ((*stored)(0, 0), 1.5);
+  EXPECT_EQ((*stored)(1, 2), -2.25);
+}
+
+}  // namespace
+}  // namespace cad

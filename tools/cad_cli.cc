@@ -44,6 +44,10 @@ int Run(int argc, char** argv) {
   int64_t seed = 1;
   int64_t threads = 1;
   bool classify = true;
+  bool warm_start = false;
+  double refactor_threshold = 0.1;
+  bool block_solver = false;
+  std::string preconditioner = "auto";
   flags.AddString("input", &input,
                   "temporal edge list file (this or --events is required)");
   flags.AddString("events", &events,
@@ -64,6 +68,18 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "seed for the approximate engine");
   flags.AddInt64("threads", &threads,
                  "worker threads (snapshot analysis + Laplacian solves)");
+  flags.AddBool("warm_start", &warm_start,
+                "seed each snapshot's Laplacian solves with the previous "
+                "snapshot's commute embedding (approximate engine)");
+  flags.AddDouble("refactor_threshold", &refactor_threshold,
+                  "relative Laplacian-diagonal drift above which a cached "
+                  "IC(0) factor is rebuilt under --warm_start");
+  flags.AddBool("block_solver", &block_solver,
+                "advance the k CG systems in lockstep sharing each sparse "
+                "sweep (bit-identical results, fewer memory passes)");
+  flags.AddString("preconditioner", &preconditioner,
+                  "CG preconditioner: auto, none, jacobi, or ic0 (auto = "
+                  "ic0 under --warm_start, else jacobi)");
   flags.AddString("edges_csv", &edges_csv,
                   "write the anomalous-edge report here ('-' for stdout)");
   flags.AddString("nodes_csv", &nodes_csv,
@@ -150,6 +166,27 @@ int Run(int argc, char** argv) {
   options.cad.approx.seed = static_cast<uint64_t>(seed);
   options.cad.analysis_threads = static_cast<size_t>(threads);
   options.cad.approx.cg.num_threads = static_cast<size_t>(threads);
+  options.warm_start = warm_start;
+  options.refactor_threshold = refactor_threshold;
+  options.block_solver = block_solver;
+  // "auto" upgrades warm-started runs to IC(0): the factorization is
+  // amortized across snapshots by the cache, so its higher build cost pays
+  // for itself; cold runs keep the cheap Jacobi default.
+  if (preconditioner == "auto") {
+    options.cad.approx.cg.preconditioner =
+        warm_start ? CgPreconditioner::kIncompleteCholesky
+                   : CgPreconditioner::kJacobi;
+  } else if (preconditioner == "none") {
+    options.cad.approx.cg.preconditioner = CgPreconditioner::kNone;
+  } else if (preconditioner == "jacobi") {
+    options.cad.approx.cg.preconditioner = CgPreconditioner::kJacobi;
+  } else if (preconditioner == "ic0") {
+    options.cad.approx.cg.preconditioner =
+        CgPreconditioner::kIncompleteCholesky;
+  } else {
+    std::cerr << "unknown --preconditioner '" << preconditioner << "'\n";
+    return 2;
+  }
   if (engine == "exact") {
     options.cad.engine = CommuteEngine::kExact;
   } else if (engine == "approx") {
