@@ -44,6 +44,7 @@ Result<PipelineResult> RunCommuteFamily(const TemporalGraphSequence& sequence,
   {
     CAD_TRACE_SPAN("pipeline_threshold");
     result.delta = CalibrateDelta(analyses, options.nodes_per_transition);
+    CAD_METRIC_SET("pipeline.delta", result.delta);
   }
   {
     CAD_TRACE_SPAN("pipeline_localize");

@@ -19,6 +19,24 @@ std::vector<std::string> Split(std::string_view text, char delimiter) {
   return parts;
 }
 
+std::vector<std::string> SplitTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
 std::string Join(const std::vector<std::string>& parts,
                  std::string_view separator) {
   std::string result;

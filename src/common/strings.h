@@ -12,6 +12,13 @@ namespace cad {
 /// Splits `text` on `delimiter`, keeping empty fields.
 std::vector<std::string> Split(std::string_view text, char delimiter);
 
+/// Splits `text` on runs of ASCII whitespace (space, tab, CR, ...), dropping
+/// empty fields: leading/trailing whitespace and repeated separators produce
+/// no tokens. This is the tokenizer for whitespace-delimited text formats,
+/// where Split(text, ' ') would manufacture spurious empty fields from a
+/// doubled space or a tab.
+std::vector<std::string> SplitTokens(std::string_view text);
+
 /// Joins `parts` with `separator`.
 std::string Join(const std::vector<std::string>& parts,
                  std::string_view separator);

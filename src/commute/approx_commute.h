@@ -80,6 +80,19 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
       const WeightedGraph& graph, const ApproxCommuteOptions& options,
       CommuteSolverCache* cache);
 
+  /// Reassembles an oracle from previously exported internals (see the
+  /// accessors below); used by checkpoint restore, which must reproduce a
+  /// built oracle exactly rather than re-run Build. The caller is
+  /// responsible for passing mutually consistent parts.
+  static ApproxCommuteEmbedding FromParts(DenseMatrix embedding,
+                                          ComponentLabeling components,
+                                          double volume, double sentinel,
+                                          bool use_sentinel,
+                                          CgBatchStats cg_stats) {
+    return ApproxCommuteEmbedding(std::move(embedding), std::move(components),
+                                  volume, sentinel, use_sentinel, cg_stats);
+  }
+
   double CommuteTime(NodeId u, NodeId v) const override;
 
   size_t num_nodes() const override { return embedding_.cols(); }
@@ -91,6 +104,10 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
   const DenseMatrix& embedding() const { return embedding_; }
 
   double volume() const { return volume_; }
+
+  const ComponentLabeling& components() const { return components_; }
+  double sentinel() const { return sentinel_; }
+  bool use_sentinel() const { return use_sentinel_; }
 
   /// Total CG iterations spent across the k solves (for benchmarking).
   size_t total_cg_iterations() const { return cg_stats_.total_iterations; }

@@ -35,6 +35,17 @@ class ExactCommuteTime : public CommuteTimeOracle {
       const WeightedGraph& graph,
       const CommuteTimeOptions& options = CommuteTimeOptions());
 
+  /// Reassembles an oracle from previously exported internals (see the
+  /// accessors below); used by checkpoint restore, which must reproduce a
+  /// built oracle exactly rather than re-run Build. The caller is
+  /// responsible for passing mutually consistent parts.
+  static ExactCommuteTime FromParts(DenseMatrix lplus,
+                                    ComponentLabeling components, double volume,
+                                    double sentinel, bool use_sentinel) {
+    return ExactCommuteTime(std::move(lplus), std::move(components), volume,
+                            sentinel, use_sentinel);
+  }
+
   double CommuteTime(NodeId u, NodeId v) const override;
 
   size_t num_nodes() const override { return lplus_.rows(); }
@@ -44,6 +55,10 @@ class ExactCommuteTime : public CommuteTimeOracle {
   const DenseMatrix& laplacian_pseudoinverse() const { return lplus_; }
 
   double volume() const { return volume_; }
+
+  const ComponentLabeling& components() const { return components_; }
+  double sentinel() const { return sentinel_; }
+  bool use_sentinel() const { return use_sentinel_; }
 
   /// Full n x n commute-time matrix; intended for small n.
   DenseMatrix CommuteTimeMatrix() const;

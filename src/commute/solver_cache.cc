@@ -57,6 +57,34 @@ Result<const IncompleteCholesky*> CommuteSolverCache::FactorFor(
   return static_cast<const IncompleteCholesky*>(&*factor_);
 }
 
+CommuteSolverCache::State CommuteSolverCache::ExportState() const {
+  State state;
+  state.embedding = embedding_;
+  if (factor_.has_value()) {
+    state.factor_lower = factor_->lower();
+    state.factor_shift = factor_->shift_used();
+  }
+  state.factor_diagonal = factor_diagonal_;
+  state.factor_reuses = factor_reuses_;
+  state.refactorizations = refactorizations_;
+  state.last_relative_change = last_relative_change_;
+  return state;
+}
+
+void CommuteSolverCache::RestoreState(State state) {
+  embedding_ = std::move(state.embedding);
+  if (state.factor_lower.has_value()) {
+    factor_ = IncompleteCholesky::FromFactor(std::move(*state.factor_lower),
+                                             state.factor_shift);
+  } else {
+    factor_.reset();
+  }
+  factor_diagonal_ = std::move(state.factor_diagonal);
+  factor_reuses_ = state.factor_reuses;
+  refactorizations_ = state.refactorizations;
+  last_relative_change_ = state.last_relative_change;
+}
+
 void CommuteSolverCache::Clear() {
   embedding_.reset();
   factor_.reset();

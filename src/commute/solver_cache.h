@@ -52,6 +52,24 @@ class CommuteSolverCache {
   /// Drops all cached state (embedding and factor).
   void Clear();
 
+  /// \brief Snapshot of everything FactorFor/PreviousEmbedding depend on,
+  /// for checkpointing. Restoring it reproduces the cache's future behavior
+  /// exactly: the same warm starts, the same reuse-vs-refactor decisions.
+  struct State {
+    std::optional<DenseMatrix> embedding;
+    /// The cached IC(0) factor, decomposed into its defining parts (the
+    /// transpose is recomputed on restore).
+    std::optional<CsrMatrix> factor_lower;
+    double factor_shift = 0.0;
+    std::vector<double> factor_diagonal;
+    size_t factor_reuses = 0;
+    size_t refactorizations = 0;
+    double last_relative_change = 0.0;
+  };
+
+  State ExportState() const;
+  void RestoreState(State state);
+
   double refactor_threshold() const { return refactor_threshold_; }
   /// How often FactorFor served the cached factor / had to refactorize.
   size_t factor_reuses() const { return factor_reuses_; }

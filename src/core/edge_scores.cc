@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -96,25 +97,81 @@ TransitionScores ComputeTransitionScores(const WeightedGraph& before,
               if (a.score != b.score) return a.score > b.score;
               return a.pair < b.pair;
             });
+  result.BuildSelectionIndex();
   return result;
+}
+
+void TransitionScores::BuildSelectionIndex() {
+  num_positive = 0;
+  while (num_positive < edges.size() && edges[num_positive].score > 0.0) {
+    ++num_positive;
+  }
+  // Replay the peeling loop's successive subtraction once. Computing this as
+  // total - prefix_sum would round differently and break bit-identity with
+  // the legacy loop.
+  remaining_mass.resize(num_positive);
+  double remaining = total_score;
+  for (size_t i = 0; i < num_positive; ++i) {
+    remaining_mass[i] = remaining;
+    remaining -= edges[i].score;
+  }
+  prefix_nodes.assign(num_positive + 1, 0);
+  std::unordered_set<NodeId> seen;
+  seen.reserve(2 * num_positive);
+  for (size_t i = 0; i < num_positive; ++i) {
+    seen.insert(edges[i].pair.u);
+    seen.insert(edges[i].pair.v);
+    prefix_nodes[i + 1] = seen.size();
+  }
+}
+
+void TransitionScores::ClearSelectionIndex() {
+  remaining_mass.clear();
+  prefix_nodes.clear();
+  num_positive = 0;
+}
+
+size_t CountSelectedEdges(const TransitionScores& scores, double delta) {
+  if (scores.has_selection_index()) {
+    // remaining_mass is strictly decreasing over [0, num_positive) (every
+    // score there is positive), so the first index whose remaining mass
+    // drops below delta is found by binary search; the selection is the
+    // prefix before it. Comparisons are against the same successively
+    // subtracted values the legacy loop sees, so the count is bit-identical.
+    size_t lo = 0;
+    size_t hi = scores.num_positive;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (scores.remaining_mass[mid] < delta) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+  // Legacy peeling loop (kept verbatim as the unindexed fallback and the
+  // reference implementation for the bit-identity tests).
+  size_t selected = 0;
+  double remaining = scores.total_score;
+  for (size_t i = 0; i < scores.edges.size(); ++i) {
+    if (remaining < delta) break;
+    if (scores.edges[i].score <= 0.0) break;
+    ++selected;
+    remaining -= scores.edges[i].score;
+  }
+  return selected;
 }
 
 std::vector<size_t> SelectAnomalousEdges(const TransitionScores& scores,
                                          double delta) {
-  std::vector<size_t> selected;
   // Remaining mass starts at the full total; peel off top-scored edges until
   // what is left is below delta. If the total is already below delta, no
-  // edge is anomalous.
-  double remaining = scores.total_score;
-  for (size_t i = 0; i < scores.edges.size(); ++i) {
-    if (remaining < delta) break;
-    // A zero-score edge can never reduce the remaining mass; once scores hit
-    // zero the condition can no longer improve, so stop to avoid flagging
-    // unchanged edges when delta <= 0.
-    if (scores.edges[i].score <= 0.0) break;
-    selected.push_back(i);
-    remaining -= scores.edges[i].score;
-  }
+  // edge is anomalous. The selection is always a prefix of the descending
+  // order, so its length fully determines it.
+  const size_t count = CountSelectedEdges(scores, delta);
+  std::vector<size_t> selected(count);
+  for (size_t i = 0; i < count; ++i) selected[i] = i;
   return selected;
 }
 

@@ -48,7 +48,39 @@ struct TransitionScores {
   /// Sum of all edge scores (the value compared against delta when S is
   /// empty).
   double total_score = 0.0;
+
+  // --- Selection index (see BuildSelectionIndex) ---------------------------
+  /// remaining_mass[i] is the score mass left *before* edge i is considered:
+  /// remaining_mass[0] = total_score, remaining_mass[i+1] =
+  /// remaining_mass[i] - edges[i].score. Computed by the same successive
+  /// subtraction as the selection loop so thresholding against it is
+  /// bit-identical to re-running that loop. Size num_positive.
+  std::vector<double> remaining_mass;
+  /// prefix_nodes[k] = number of distinct endpoints among edges[0..k).
+  /// Size num_positive + 1.
+  std::vector<size_t> prefix_nodes;
+  /// Number of leading edges with score > 0 (the sort puts them first); the
+  /// selection never extends past this prefix.
+  size_t num_positive = 0;
+
+  /// \brief Builds the selection index over the (already sorted) edges so
+  /// that SelectAnomalousEdges/CountAnomalousNodes run as a binary search
+  /// over `remaining_mass` instead of replaying the peeling loop. O(E) once;
+  /// makes each threshold probe O(log E). Call after any change to `edges`.
+  void BuildSelectionIndex();
+
+  bool has_selection_index() const { return !prefix_nodes.empty(); }
+
+  /// Drops the index; selection falls back to the legacy peeling loop.
+  /// Exists so tests can compare the two paths bit-for-bit.
+  void ClearSelectionIndex();
 };
+
+/// \brief Number of edges SelectAnomalousEdges would select for `delta`
+/// (always the length of the selected prefix). Binary search when the index
+/// is present, the legacy peeling loop otherwise — bitwise-identical counts
+/// either way.
+size_t CountSelectedEdges(const TransitionScores& scores, double delta);
 
 /// \brief Computes per-edge anomaly scores for the transition between
 /// `before` and `after`, using the given commute-time oracles for the two

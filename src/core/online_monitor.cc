@@ -28,18 +28,27 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
   history_.push_back(ComputeTransitionScores(
       *previous_snapshot_, snapshot, *previous_oracle_, *oracle,
       options_.detector.score_kind));
+  ++num_transitions_total_;
   previous_snapshot_ = snapshot;
   previous_oracle_ = std::move(oracle);
 
-  // Online threshold update over the full history (paper §4.2).
+  // Sliding calibration window: drop the oldest scores once past capacity so
+  // a long-lived stream holds O(max_history) transitions instead of O(T).
+  if (options_.max_history > 0 && history_.size() > options_.max_history) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(
+                                        options_.max_history));
+  }
+
+  // Online threshold update over the retained history (paper §4.2).
   delta_ = CalibrateDelta(history_, options_.nodes_per_transition);
 
-  if (history_.size() <= options_.warmup_transitions) {
+  if (num_transitions_total_ <= options_.warmup_transitions) {
     return std::optional<AnomalyReport>();
   }
   const TransitionScores& latest = history_.back();
   AnomalyReport report;
-  report.transition = history_.size() - 1;
+  report.transition = num_transitions_total_ - 1;
   const std::vector<size_t> selected = SelectAnomalousEdges(latest, delta_);
   report.edges.reserve(selected.size());
   for (size_t index : selected) report.edges.push_back(latest.edges[index]);

@@ -1,8 +1,10 @@
 #ifndef CAD_CORE_ONLINE_MONITOR_H_
 #define CAD_CORE_ONLINE_MONITOR_H_
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "commute/solver_cache.h"
@@ -24,6 +26,13 @@ struct OnlineMonitorOptions {
   /// transitions still feed the calibration. Guards against a wild
   /// threshold from a one-transition history.
   size_t warmup_transitions = 2;
+  /// Maximum number of transition scores retained for calibration. 0 keeps
+  /// the full history (bit-identical to the historical behavior, O(T)
+  /// memory). A positive value W bounds memory at O(W): delta is calibrated
+  /// over the W most recent transitions — nodes_per_transition then targets
+  /// the average over that window — which is the production setting for
+  /// unbounded streams.
+  size_t max_history = 0;
 };
 
 /// \brief Streaming variant of CAD: feed snapshots one at a time and receive
@@ -52,11 +61,33 @@ class OnlineCadMonitor {
   /// Number of snapshots observed so far.
   size_t num_snapshots() const { return num_snapshots_; }
 
-  /// Number of completed transitions.
-  size_t num_transitions() const { return history_.size(); }
+  /// Number of completed transitions over the stream's lifetime (not capped
+  /// by max_history). AnomalyReport::transition indexes this count, so
+  /// report indices stay global under a sliding window.
+  size_t num_transitions() const { return num_transitions_total_; }
 
-  /// All transition scores observed so far (for offline re-analysis).
+  /// Transition scores currently retained for calibration: the full stream
+  /// history when max_history == 0, else the trailing window.
   const std::vector<TransitionScores>& history() const { return history_; }
+
+  const OnlineMonitorOptions& options() const { return options_; }
+
+  /// \brief Serializes the complete monitor state (previous snapshot and
+  /// oracle, retained score history, calibrated delta, solver-cache
+  /// contents) in the versioned binary format of io/checkpoint.h. A monitor
+  /// restored from the checkpoint produces byte-identical reports for the
+  /// remaining stream.
+  [[nodiscard]] Status SaveCheckpoint(std::ostream* out) const;
+  [[nodiscard]] Status SaveCheckpointFile(const std::string& path) const;
+
+  /// \brief Restores state written by SaveCheckpoint, replacing this
+  /// monitor's progress. Options are NOT serialized: the monitor must be
+  /// constructed with the same options as the one that saved (the stream
+  /// driver re-supplies its configuration on resume); a mismatched engine
+  /// kind is detected and rejected, other mismatches silently change future
+  /// reports. Defined in io/checkpoint.cc alongside the format.
+  [[nodiscard]] Status LoadCheckpoint(std::istream* in);
+  [[nodiscard]] Status LoadCheckpointFile(const std::string& path);
 
  private:
   OnlineMonitorOptions options_;
@@ -70,6 +101,7 @@ class OnlineCadMonitor {
   std::vector<TransitionScores> history_;
   double delta_ = 0.0;
   size_t num_snapshots_ = 0;
+  size_t num_transitions_total_ = 0;
 };
 
 }  // namespace cad

@@ -1,0 +1,564 @@
+#include "io/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "commute/approx_commute.h"
+#include "commute/exact_commute.h"
+#include "commute/solver_cache.h"
+#include "core/online_monitor.h"
+#include "graph/components.h"
+#include "linalg/incomplete_cholesky.h"
+
+namespace cad {
+
+namespace {
+
+// Oracle discriminator in the previous-oracle section.
+constexpr uint8_t kOracleExact = 1;
+constexpr uint8_t kOracleApprox = 2;
+
+// Upper bound on speculative vector reserves while reading: a corrupt
+// length fails on its first missing element instead of allocating first.
+constexpr uint64_t kReserveCap = uint64_t{1} << 20;
+
+Status Truncated() { return Status::IoError("checkpoint truncated"); }
+
+void WriteComponents(CheckpointWriter* writer,
+                     const ComponentLabeling& components) {
+  writer->WriteU32Vec(components.component);
+  writer->WriteU64(components.num_components);
+  writer->WriteSizeVec(components.sizes);
+}
+
+Result<ComponentLabeling> ReadComponents(CheckpointReader* reader) {
+  ComponentLabeling components;
+  CAD_ASSIGN_OR_RETURN(components.component, reader->ReadU32Vec());
+  uint64_t num_components = 0;
+  CAD_ASSIGN_OR_RETURN(num_components, reader->ReadU64());
+  components.num_components = static_cast<size_t>(num_components);
+  CAD_ASSIGN_OR_RETURN(components.sizes, reader->ReadSizeVec());
+  if (components.sizes.size() != components.num_components) {
+    return Status::InvalidArgument(
+        "checkpoint: component labeling sizes mismatch");
+  }
+  return components;
+}
+
+void WriteCgStats(CheckpointWriter* writer, const CgBatchStats& stats) {
+  writer->WriteU64(stats.num_systems);
+  writer->WriteU64(stats.num_converged);
+  writer->WriteU64(stats.min_iterations);
+  writer->WriteU64(stats.max_iterations);
+  writer->WriteU64(stats.total_iterations);
+  writer->WriteDouble(stats.max_relative_residual);
+}
+
+Result<CgBatchStats> ReadCgStats(CheckpointReader* reader) {
+  CgBatchStats stats;
+  uint64_t value = 0;
+  CAD_ASSIGN_OR_RETURN(value, reader->ReadU64());
+  stats.num_systems = static_cast<size_t>(value);
+  CAD_ASSIGN_OR_RETURN(value, reader->ReadU64());
+  stats.num_converged = static_cast<size_t>(value);
+  CAD_ASSIGN_OR_RETURN(value, reader->ReadU64());
+  stats.min_iterations = static_cast<size_t>(value);
+  CAD_ASSIGN_OR_RETURN(value, reader->ReadU64());
+  stats.max_iterations = static_cast<size_t>(value);
+  CAD_ASSIGN_OR_RETURN(value, reader->ReadU64());
+  stats.total_iterations = static_cast<size_t>(value);
+  CAD_ASSIGN_OR_RETURN(stats.max_relative_residual, reader->ReadDouble());
+  return stats;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::ostream* out) : out_(out) {
+  CAD_CHECK(out != nullptr);
+}
+
+void CheckpointWriter::WriteBytes(const char* data, size_t size) {
+  out_->write(data, static_cast<std::streamsize>(size));
+}
+
+void CheckpointWriter::WriteU8(uint8_t value) {
+  const char byte = static_cast<char>(value);
+  out_->write(&byte, 1);
+}
+
+void CheckpointWriter::WriteU32(uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out_->write(bytes, sizeof(bytes));
+}
+
+void CheckpointWriter::WriteU64(uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out_->write(bytes, sizeof(bytes));
+}
+
+void CheckpointWriter::WriteDouble(double value) {
+  WriteU64(std::bit_cast<uint64_t>(value));
+}
+
+void CheckpointWriter::WriteU32Vec(const std::vector<uint32_t>& values) {
+  WriteU64(values.size());
+  for (uint32_t value : values) WriteU32(value);
+}
+
+void CheckpointWriter::WriteU64Vec(const std::vector<uint64_t>& values) {
+  WriteU64(values.size());
+  for (uint64_t value : values) WriteU64(value);
+}
+
+void CheckpointWriter::WriteSizeVec(const std::vector<size_t>& values) {
+  WriteU64(values.size());
+  for (size_t value : values) WriteU64(value);
+}
+
+void CheckpointWriter::WriteDoubleVec(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double value : values) WriteDouble(value);
+}
+
+Status CheckpointWriter::Finish() const {
+  if (!out_->good()) {
+    return Status::IoError("checkpoint write failed");
+  }
+  return Status::OK();
+}
+
+CheckpointReader::CheckpointReader(std::istream* in) : in_(in) {
+  CAD_CHECK(in != nullptr);
+}
+
+Result<uint8_t> CheckpointReader::ReadU8() {
+  char byte = 0;
+  if (!in_->read(&byte, 1)) return Truncated();
+  return static_cast<uint8_t>(byte);
+}
+
+Result<uint32_t> CheckpointReader::ReadU32() {
+  char bytes[4];
+  if (!in_->read(bytes, sizeof(bytes))) return Truncated();
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+Result<uint64_t> CheckpointReader::ReadU64() {
+  char bytes[8];
+  if (!in_->read(bytes, sizeof(bytes))) return Truncated();
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+Result<double> CheckpointReader::ReadDouble() {
+  uint64_t bits = 0;
+  CAD_ASSIGN_OR_RETURN(bits, ReadU64());
+  return std::bit_cast<double>(bits);
+}
+
+Result<std::vector<uint32_t>> CheckpointReader::ReadU32Vec() {
+  uint64_t count = 0;
+  CAD_ASSIGN_OR_RETURN(count, ReadU64());
+  std::vector<uint32_t> values;
+  values.reserve(static_cast<size_t>(std::min(count, kReserveCap)));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t value = 0;
+    CAD_ASSIGN_OR_RETURN(value, ReadU32());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::vector<size_t>> CheckpointReader::ReadSizeVec() {
+  uint64_t count = 0;
+  CAD_ASSIGN_OR_RETURN(count, ReadU64());
+  std::vector<size_t> values;
+  values.reserve(static_cast<size_t>(std::min(count, kReserveCap)));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t value = 0;
+    CAD_ASSIGN_OR_RETURN(value, ReadU64());
+    values.push_back(static_cast<size_t>(value));
+  }
+  return values;
+}
+
+Result<std::vector<double>> CheckpointReader::ReadDoubleVec() {
+  uint64_t count = 0;
+  CAD_ASSIGN_OR_RETURN(count, ReadU64());
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(std::min(count, kReserveCap)));
+  for (uint64_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    CAD_ASSIGN_OR_RETURN(value, ReadDouble());
+    values.push_back(value);
+  }
+  return values;
+}
+
+Status CheckpointReader::ExpectHeader() {
+  char magic[kCheckpointMagicSize];
+  if (!in_->read(magic, sizeof(magic))) return Truncated();
+  if (std::memcmp(magic, kCheckpointMagic, kCheckpointMagicSize) != 0) {
+    return Status::InvalidArgument("not a CAD checkpoint (bad magic)");
+  }
+  uint8_t version = 0;
+  CAD_ASSIGN_OR_RETURN(version, ReadU8());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+void WriteWeightedGraph(CheckpointWriter* writer, const WeightedGraph& graph) {
+  writer->WriteU64(graph.num_nodes());
+  const std::vector<Edge> edges = graph.Edges();
+  writer->WriteU64(edges.size());
+  for (const Edge& edge : edges) {
+    writer->WriteU32(edge.u);
+    writer->WriteU32(edge.v);
+    writer->WriteDouble(edge.weight);
+  }
+}
+
+Result<WeightedGraph> ReadWeightedGraph(CheckpointReader* reader) {
+  uint64_t num_nodes = 0;
+  CAD_ASSIGN_OR_RETURN(num_nodes, reader->ReadU64());
+  uint64_t num_edges = 0;
+  CAD_ASSIGN_OR_RETURN(num_edges, reader->ReadU64());
+  WeightedGraph graph(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    double weight = 0.0;
+    CAD_ASSIGN_OR_RETURN(u, reader->ReadU32());
+    CAD_ASSIGN_OR_RETURN(v, reader->ReadU32());
+    CAD_ASSIGN_OR_RETURN(weight, reader->ReadDouble());
+    CAD_RETURN_NOT_OK(graph.SetEdge(u, v, weight));
+  }
+  return graph;
+}
+
+void WriteDenseMatrix(CheckpointWriter* writer, const DenseMatrix& matrix) {
+  writer->WriteU64(matrix.rows());
+  writer->WriteU64(matrix.cols());
+  writer->WriteDoubleVec(matrix.data());
+}
+
+Result<DenseMatrix> ReadDenseMatrix(CheckpointReader* reader) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  CAD_ASSIGN_OR_RETURN(rows, reader->ReadU64());
+  CAD_ASSIGN_OR_RETURN(cols, reader->ReadU64());
+  std::vector<double> data;
+  CAD_ASSIGN_OR_RETURN(data, reader->ReadDoubleVec());
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument("checkpoint: dense matrix shape mismatch");
+  }
+  return DenseMatrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
+                     std::move(data));
+}
+
+void WriteCsrMatrix(CheckpointWriter* writer, const CsrMatrix& matrix) {
+  writer->WriteU64(matrix.rows());
+  writer->WriteU64(matrix.cols());
+  writer->WriteSizeVec(matrix.row_offsets());
+  writer->WriteU32Vec(matrix.col_indices());
+  writer->WriteDoubleVec(matrix.values());
+}
+
+Result<CsrMatrix> ReadCsrMatrix(CheckpointReader* reader) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  CAD_ASSIGN_OR_RETURN(rows, reader->ReadU64());
+  CAD_ASSIGN_OR_RETURN(cols, reader->ReadU64());
+  std::vector<size_t> row_offsets;
+  std::vector<uint32_t> col_indices;
+  std::vector<double> values;
+  CAD_ASSIGN_OR_RETURN(row_offsets, reader->ReadSizeVec());
+  CAD_ASSIGN_OR_RETURN(col_indices, reader->ReadU32Vec());
+  CAD_ASSIGN_OR_RETURN(values, reader->ReadDoubleVec());
+  // Validate here so corrupt input surfaces as a Status instead of tripping
+  // the CsrMatrix constructor's invariant checks.
+  if (row_offsets.size() != rows + 1 ||
+      row_offsets.back() != col_indices.size() ||
+      col_indices.size() != values.size()) {
+    return Status::InvalidArgument("checkpoint: CSR structure mismatch");
+  }
+  for (size_t i = 0; i + 1 < row_offsets.size(); ++i) {
+    if (row_offsets[i] > row_offsets[i + 1]) {
+      return Status::InvalidArgument("checkpoint: CSR offsets not sorted");
+    }
+  }
+  for (uint32_t col : col_indices) {
+    if (col >= cols) {
+      return Status::InvalidArgument("checkpoint: CSR column out of range");
+    }
+  }
+  return CsrMatrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
+                   std::move(row_offsets), std::move(col_indices),
+                   std::move(values));
+}
+
+void WriteTransitionScores(CheckpointWriter* writer,
+                           const TransitionScores& scores) {
+  writer->WriteU64(scores.edges.size());
+  for (const ScoredEdge& edge : scores.edges) {
+    writer->WriteU32(edge.pair.u);
+    writer->WriteU32(edge.pair.v);
+    writer->WriteDouble(edge.score);
+    writer->WriteDouble(edge.weight_delta);
+    writer->WriteDouble(edge.commute_delta);
+  }
+  writer->WriteDoubleVec(scores.node_scores);
+  writer->WriteDouble(scores.total_score);
+}
+
+Result<TransitionScores> ReadTransitionScores(CheckpointReader* reader) {
+  TransitionScores scores;
+  uint64_t num_edges = 0;
+  CAD_ASSIGN_OR_RETURN(num_edges, reader->ReadU64());
+  scores.edges.reserve(static_cast<size_t>(std::min(num_edges, kReserveCap)));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    ScoredEdge edge;
+    CAD_ASSIGN_OR_RETURN(edge.pair.u, reader->ReadU32());
+    CAD_ASSIGN_OR_RETURN(edge.pair.v, reader->ReadU32());
+    CAD_ASSIGN_OR_RETURN(edge.score, reader->ReadDouble());
+    CAD_ASSIGN_OR_RETURN(edge.weight_delta, reader->ReadDouble());
+    CAD_ASSIGN_OR_RETURN(edge.commute_delta, reader->ReadDouble());
+    scores.edges.push_back(edge);
+  }
+  CAD_ASSIGN_OR_RETURN(scores.node_scores, reader->ReadDoubleVec());
+  CAD_ASSIGN_OR_RETURN(scores.total_score, reader->ReadDouble());
+  scores.BuildSelectionIndex();
+  return scores;
+}
+
+// --- OnlineCadMonitor checkpointing ----------------------------------------
+// Defined here, next to the format, so the monitor core stays free of
+// serialization detail; as member functions they have the access needed to
+// capture state exactly.
+
+Status OnlineCadMonitor::SaveCheckpoint(std::ostream* out) const {
+  CAD_CHECK(out != nullptr);
+  CheckpointWriter writer(out);
+  writer.WriteBytes(kCheckpointMagic, kCheckpointMagicSize);
+  writer.WriteU8(kCheckpointVersion);
+
+  writer.WriteU64(num_snapshots_);
+  writer.WriteU64(num_transitions_total_);
+  writer.WriteDouble(delta_);
+
+  const bool has_previous =
+      previous_snapshot_.has_value() && previous_oracle_ != nullptr;
+  writer.WriteU8(has_previous ? 1 : 0);
+  if (has_previous) {
+    WriteWeightedGraph(&writer, *previous_snapshot_);
+    // The oracle is serialized directly rather than rebuilt on restore:
+    // under warm_start a rebuild would consume post-build solver-cache
+    // state and diverge from the original CG iterates.
+    if (const auto* exact =
+            dynamic_cast<const ExactCommuteTime*>(previous_oracle_.get())) {
+      writer.WriteU8(kOracleExact);
+      WriteDenseMatrix(&writer, exact->laplacian_pseudoinverse());
+      WriteComponents(&writer, exact->components());
+      writer.WriteDouble(exact->volume());
+      writer.WriteDouble(exact->sentinel());
+      writer.WriteU8(exact->use_sentinel() ? 1 : 0);
+    } else if (const auto* approx = dynamic_cast<const ApproxCommuteEmbedding*>(
+                   previous_oracle_.get())) {
+      writer.WriteU8(kOracleApprox);
+      WriteDenseMatrix(&writer, approx->embedding());
+      WriteComponents(&writer, approx->components());
+      writer.WriteDouble(approx->volume());
+      writer.WriteDouble(approx->sentinel());
+      writer.WriteU8(approx->use_sentinel() ? 1 : 0);
+      WriteCgStats(&writer, approx->cg_stats());
+    } else {
+      return Status::NotImplemented(
+          "checkpoint: unknown commute-time oracle type");
+    }
+  }
+
+  writer.WriteU64(history_.size());
+  for (const TransitionScores& scores : history_) {
+    WriteTransitionScores(&writer, scores);
+  }
+
+  const CommuteSolverCache::State cache = solver_cache_.ExportState();
+  writer.WriteU8(cache.embedding.has_value() ? 1 : 0);
+  if (cache.embedding.has_value()) {
+    WriteDenseMatrix(&writer, *cache.embedding);
+  }
+  writer.WriteU8(cache.factor_lower.has_value() ? 1 : 0);
+  if (cache.factor_lower.has_value()) {
+    WriteCsrMatrix(&writer, *cache.factor_lower);
+    writer.WriteDouble(cache.factor_shift);
+  }
+  writer.WriteDoubleVec(cache.factor_diagonal);
+  writer.WriteU64(cache.factor_reuses);
+  writer.WriteU64(cache.refactorizations);
+  writer.WriteDouble(cache.last_relative_change);
+
+  return writer.Finish();
+}
+
+Status OnlineCadMonitor::SaveCheckpointFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return SaveCheckpoint(&file);
+}
+
+Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
+  CAD_CHECK(in != nullptr);
+  CheckpointReader reader(in);
+  CAD_RETURN_NOT_OK(reader.ExpectHeader());
+
+  uint64_t num_snapshots = 0;
+  uint64_t num_transitions_total = 0;
+  double delta = 0.0;
+  CAD_ASSIGN_OR_RETURN(num_snapshots, reader.ReadU64());
+  CAD_ASSIGN_OR_RETURN(num_transitions_total, reader.ReadU64());
+  CAD_ASSIGN_OR_RETURN(delta, reader.ReadDouble());
+
+  uint8_t has_previous = 0;
+  CAD_ASSIGN_OR_RETURN(has_previous, reader.ReadU8());
+  std::optional<WeightedGraph> previous_snapshot;
+  std::unique_ptr<CommuteTimeOracle> previous_oracle;
+  if (has_previous != 0) {
+    WeightedGraph snapshot(0);
+    CAD_ASSIGN_OR_RETURN(snapshot, ReadWeightedGraph(&reader));
+    uint8_t oracle_tag = 0;
+    CAD_ASSIGN_OR_RETURN(oracle_tag, reader.ReadU8());
+    if (oracle_tag == kOracleExact &&
+        options_.detector.engine == CommuteEngine::kApprox) {
+      return Status::InvalidArgument(
+          "checkpoint holds an exact-engine oracle but the monitor is "
+          "configured for the approximate engine");
+    }
+    if (oracle_tag == kOracleApprox &&
+        options_.detector.engine == CommuteEngine::kExact) {
+      return Status::InvalidArgument(
+          "checkpoint holds an approximate-engine oracle but the monitor is "
+          "configured for the exact engine");
+    }
+    if (oracle_tag == kOracleExact) {
+      DenseMatrix lplus;
+      CAD_ASSIGN_OR_RETURN(lplus, ReadDenseMatrix(&reader));
+      ComponentLabeling components;
+      CAD_ASSIGN_OR_RETURN(components, ReadComponents(&reader));
+      double volume = 0.0;
+      double sentinel = 0.0;
+      uint8_t use_sentinel = 0;
+      CAD_ASSIGN_OR_RETURN(volume, reader.ReadDouble());
+      CAD_ASSIGN_OR_RETURN(sentinel, reader.ReadDouble());
+      CAD_ASSIGN_OR_RETURN(use_sentinel, reader.ReadU8());
+      previous_oracle = std::make_unique<ExactCommuteTime>(
+          ExactCommuteTime::FromParts(std::move(lplus), std::move(components),
+                                      volume, sentinel, use_sentinel != 0));
+    } else if (oracle_tag == kOracleApprox) {
+      DenseMatrix embedding;
+      CAD_ASSIGN_OR_RETURN(embedding, ReadDenseMatrix(&reader));
+      ComponentLabeling components;
+      CAD_ASSIGN_OR_RETURN(components, ReadComponents(&reader));
+      double volume = 0.0;
+      double sentinel = 0.0;
+      uint8_t use_sentinel = 0;
+      CAD_ASSIGN_OR_RETURN(volume, reader.ReadDouble());
+      CAD_ASSIGN_OR_RETURN(sentinel, reader.ReadDouble());
+      CAD_ASSIGN_OR_RETURN(use_sentinel, reader.ReadU8());
+      CgBatchStats cg_stats;
+      CAD_ASSIGN_OR_RETURN(cg_stats, ReadCgStats(&reader));
+      previous_oracle = std::make_unique<ApproxCommuteEmbedding>(
+          ApproxCommuteEmbedding::FromParts(
+              std::move(embedding), std::move(components), volume, sentinel,
+              use_sentinel != 0, cg_stats));
+    } else {
+      return Status::InvalidArgument("checkpoint: unknown oracle tag " +
+                                     std::to_string(oracle_tag));
+    }
+    if (previous_oracle->num_nodes() != snapshot.num_nodes()) {
+      return Status::InvalidArgument(
+          "checkpoint: oracle/snapshot node count mismatch");
+    }
+    previous_snapshot = std::move(snapshot);
+  }
+
+  uint64_t history_size = 0;
+  CAD_ASSIGN_OR_RETURN(history_size, reader.ReadU64());
+  std::vector<TransitionScores> history;
+  history.reserve(static_cast<size_t>(std::min(history_size, kReserveCap)));
+  for (uint64_t i = 0; i < history_size; ++i) {
+    TransitionScores scores;
+    CAD_ASSIGN_OR_RETURN(scores, ReadTransitionScores(&reader));
+    history.push_back(std::move(scores));
+  }
+
+  CommuteSolverCache::State cache;
+  uint8_t has_embedding = 0;
+  CAD_ASSIGN_OR_RETURN(has_embedding, reader.ReadU8());
+  if (has_embedding != 0) {
+    DenseMatrix embedding;
+    CAD_ASSIGN_OR_RETURN(embedding, ReadDenseMatrix(&reader));
+    cache.embedding = std::move(embedding);
+  }
+  uint8_t has_factor = 0;
+  CAD_ASSIGN_OR_RETURN(has_factor, reader.ReadU8());
+  if (has_factor != 0) {
+    CsrMatrix lower(0, 0);
+    CAD_ASSIGN_OR_RETURN(lower, ReadCsrMatrix(&reader));
+    cache.factor_lower = std::move(lower);
+    CAD_ASSIGN_OR_RETURN(cache.factor_shift, reader.ReadDouble());
+  }
+  CAD_ASSIGN_OR_RETURN(cache.factor_diagonal, reader.ReadDoubleVec());
+  uint64_t counter = 0;
+  CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+  cache.factor_reuses = static_cast<size_t>(counter);
+  CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+  cache.refactorizations = static_cast<size_t>(counter);
+  CAD_ASSIGN_OR_RETURN(cache.last_relative_change, reader.ReadDouble());
+
+  // All sections decoded — only now replace the monitor's state, so a
+  // failed load leaves the monitor untouched.
+  num_snapshots_ = static_cast<size_t>(num_snapshots);
+  num_transitions_total_ = static_cast<size_t>(num_transitions_total);
+  delta_ = delta;
+  previous_snapshot_ = std::move(previous_snapshot);
+  previous_oracle_ = std::move(previous_oracle);
+  history_ = std::move(history);
+  solver_cache_.RestoreState(std::move(cache));
+  return Status::OK();
+}
+
+Status OnlineCadMonitor::LoadCheckpointFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return LoadCheckpoint(&file);
+}
+
+}  // namespace cad

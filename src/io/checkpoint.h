@@ -1,0 +1,103 @@
+#ifndef CAD_IO_CHECKPOINT_H_
+#define CAD_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/edge_scores.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+
+/// \file
+/// Versioned binary checkpoint format for the streaming monitor.
+///
+/// Layout: a 7-byte magic ("CADCKPT"), one format-version byte, then the
+/// monitor payload. Every scalar is written little-endian with explicit byte
+/// composition — the format is byte-identical across host endianness — and
+/// doubles are written as their IEEE-754 bit pattern, so restored state is
+/// bit-exact and a resumed monitor reproduces the uninterrupted run's
+/// reports byte-for-byte. Readers reject unknown magic or versions and
+/// report truncation as IoError rather than returning partial state.
+
+/// First bytes of every checkpoint file, before the version byte.
+inline constexpr char kCheckpointMagic[] = "CADCKPT";  // 7 significant bytes
+inline constexpr size_t kCheckpointMagicSize = 7;
+/// Current (and only) checkpoint format version.
+inline constexpr uint8_t kCheckpointVersion = 1;
+
+/// \brief Little-endian primitive encoder over an ostream. Write calls set
+/// the stream's failbit on error; call Finish() once at the end to collapse
+/// the write sequence into a Status.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::ostream* out);
+
+  void WriteBytes(const char* data, size_t size);
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  /// IEEE-754 bit pattern, little-endian: bit-exact roundtrip.
+  void WriteDouble(double value);
+  /// u64 element count, then each element.
+  void WriteU32Vec(const std::vector<uint32_t>& values);
+  void WriteU64Vec(const std::vector<uint64_t>& values);
+  void WriteSizeVec(const std::vector<size_t>& values);
+  void WriteDoubleVec(const std::vector<double>& values);
+
+  /// IoError if any prior write failed.
+  [[nodiscard]] Status Finish() const;
+
+ private:
+  std::ostream* out_;
+};
+
+/// \brief Little-endian primitive decoder matching CheckpointWriter.
+/// Truncated or unreadable input reports IoError at the failing read;
+/// vector reads consume elements incrementally, so a corrupt length cannot
+/// trigger a huge upfront allocation.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::istream* in);
+
+  [[nodiscard]] Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<uint32_t> ReadU32();
+  [[nodiscard]] Result<uint64_t> ReadU64();
+  [[nodiscard]] Result<double> ReadDouble();
+  [[nodiscard]] Result<std::vector<uint32_t>> ReadU32Vec();
+  [[nodiscard]] Result<std::vector<size_t>> ReadSizeVec();
+  [[nodiscard]] Result<std::vector<double>> ReadDoubleVec();
+
+  /// Consumes and verifies the magic/version header.
+  [[nodiscard]] Status ExpectHeader();
+
+ private:
+  std::istream* in_;
+};
+
+// Composite serializers used by the monitor checkpoint (exposed for tests;
+// each Read* is the exact inverse of its Write*).
+void WriteWeightedGraph(CheckpointWriter* writer, const WeightedGraph& graph);
+[[nodiscard]] Result<WeightedGraph> ReadWeightedGraph(CheckpointReader* reader);
+
+void WriteDenseMatrix(CheckpointWriter* writer, const DenseMatrix& matrix);
+[[nodiscard]] Result<DenseMatrix> ReadDenseMatrix(CheckpointReader* reader);
+
+void WriteCsrMatrix(CheckpointWriter* writer, const CsrMatrix& matrix);
+[[nodiscard]] Result<CsrMatrix> ReadCsrMatrix(CheckpointReader* reader);
+
+/// The selection index is not serialized; ReadTransitionScores rebuilds it,
+/// which is deterministic from the edge list.
+void WriteTransitionScores(CheckpointWriter* writer,
+                           const TransitionScores& scores);
+[[nodiscard]] Result<TransitionScores> ReadTransitionScores(
+    CheckpointReader* reader);
+
+}  // namespace cad
+
+#endif  // CAD_IO_CHECKPOINT_H_

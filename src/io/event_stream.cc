@@ -6,8 +6,57 @@
 #include <istream>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace cad {
+
+namespace {
+
+// Largest window count AggregateEventStream will materialize when it has to
+// derive one from the event span. Guards the size_t cast against the
+// wraparound/overflow class of bugs: a bogus start_time or a tiny window
+// length must fail loudly instead of attempting a ~2^64-snapshot allocation.
+constexpr double kMaxDerivedWindows = 1e12;
+
+/// Parses one non-comment line of the event format. `line` must already be
+/// stripped and non-empty.
+Result<TimestampedEvent> ParseEventLine(std::string_view line,
+                                        size_t line_number) {
+  const auto error_at = [line_number](const std::string& message) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": " + message);
+  };
+  const std::vector<std::string> fields = SplitTokens(line);
+  if (fields.size() != 3 && fields.size() != 4) {
+    return error_at("expected '<u> <v> <timestamp> [weight]'");
+  }
+  Result<int64_t> u = ParseInt64(fields[0]);
+  Result<int64_t> v = ParseInt64(fields[1]);
+  Result<double> timestamp = ParseDouble(fields[2]);
+  if (!u.ok() || !v.ok() || !timestamp.ok() || *u < 0 || *v < 0) {
+    return error_at("malformed event");
+  }
+  if (!std::isfinite(*timestamp)) {
+    return error_at("non-finite timestamp");
+  }
+  TimestampedEvent event;
+  event.u = static_cast<NodeId>(*u);
+  event.v = static_cast<NodeId>(*v);
+  event.timestamp = *timestamp;
+  if (fields.size() == 4) {
+    Result<double> weight = ParseDouble(fields[3]);
+    if (!weight.ok()) {
+      return error_at("malformed weight");
+    }
+    if (!std::isfinite(*weight) || *weight < 0.0) {
+      return error_at("weight must be finite and >= 0");
+    }
+    event.weight = *weight;
+  }
+  return event;
+}
+
+}  // namespace
 
 Result<TemporalGraphSequence> AggregateEventStream(
     const std::vector<TimestampedEvent>& events,
@@ -16,10 +65,12 @@ Result<TemporalGraphSequence> AggregateEventStream(
       !std::isfinite(options.window_length)) {
     return Status::InvalidArgument("window_length must be positive");
   }
+  if (!std::isnan(options.start_time) && !std::isfinite(options.start_time)) {
+    return Status::InvalidArgument("start_time must be finite when set");
+  }
   // Resolve the node count and the time origin.
   size_t num_nodes = options.num_nodes;
   double start = options.start_time;
-  double last = -std::numeric_limits<double>::infinity();
   for (const TimestampedEvent& event : events) {
     if (event.u == event.v) {
       return Status::InvalidArgument("self-loop event at node " +
@@ -35,24 +86,35 @@ Result<TemporalGraphSequence> AggregateEventStream(
     } else if (event.u >= num_nodes || event.v >= num_nodes) {
       return Status::OutOfRange("event endpoint exceeds num_nodes");
     }
-    if (std::isnan(start) || event.timestamp < start) {
-      if (std::isnan(options.start_time)) {
-        start = std::isnan(start) ? event.timestamp
-                                  : std::min(start, event.timestamp);
-      }
+    if (std::isnan(options.start_time)) {
+      start = std::isnan(start) ? event.timestamp
+                                : std::min(start, event.timestamp);
     }
-    last = std::max(last, event.timestamp);
   }
   if (events.empty() && std::isnan(start)) start = 0.0;
 
   size_t num_windows = options.num_windows;
   if (num_windows == 0) {
-    num_windows =
-        events.empty()
-            ? 1
-            : static_cast<size_t>(
-                  std::floor((last - start) / options.window_length)) +
-                  1;
+    // Only events at or after the start can open a window. With an explicit
+    // start_time every event may precede it; `last - start` then goes
+    // negative and the old floor-then-cast wrapped to ~2^64 windows.
+    double last_in_range = -std::numeric_limits<double>::infinity();
+    for (const TimestampedEvent& event : events) {
+      if (event.timestamp >= start) {
+        last_in_range = std::max(last_in_range, event.timestamp);
+      }
+    }
+    if (std::isinf(last_in_range)) {
+      num_windows = 1;  // no event in range: same shape as the empty stream
+    } else {
+      const double span = (last_in_range - start) / options.window_length;
+      if (!(span < kMaxDerivedWindows)) {
+        return Status::InvalidArgument(
+            "event span needs more than 1e12 windows; check start_time and "
+            "window_length or set num_windows explicitly");
+      }
+      num_windows = static_cast<size_t>(std::floor(span)) + 1;
+    }
   }
 
   std::vector<WeightedGraph> snapshots(num_windows, WeightedGraph(num_nodes));
@@ -73,56 +135,133 @@ Result<TemporalGraphSequence> AggregateEventStream(
   return sequence;
 }
 
-Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in) {
+EventStreamReader::EventStreamReader(std::istream* in,
+                                     EventErrorPolicy policy)
+    : in_(in), policy_(policy) {
   CAD_CHECK(in != nullptr);
-  std::vector<TimestampedEvent> events;
+}
+
+Result<std::optional<TimestampedEvent>> EventStreamReader::Next() {
   std::string line;
-  size_t line_number = 0;
-  while (std::getline(*in, line)) {
-    ++line_number;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
-    // Collapse runs of whitespace by splitting and dropping empties.
-    std::vector<std::string> fields;
-    for (std::string& field : Split(std::string(stripped), ' ')) {
-      if (!field.empty()) fields.push_back(std::move(field));
+    Result<TimestampedEvent> event = ParseEventLine(stripped, line_number_);
+    if (event.ok()) {
+      return std::optional<TimestampedEvent>(*event);
     }
-    if (fields.size() != 3 && fields.size() != 4) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_number) +
-          ": expected '<u> <v> <timestamp> [weight]'");
+    if (policy_ == EventErrorPolicy::kStrict) {
+      return event.status();
     }
-    Result<int64_t> u = ParseInt64(fields[0]);
-    Result<int64_t> v = ParseInt64(fields[1]);
-    Result<double> timestamp = ParseDouble(fields[2]);
-    if (!u.ok() || !v.ok() || !timestamp.ok() || *u < 0 || *v < 0) {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     ": malformed event");
-    }
-    TimestampedEvent event;
-    event.u = static_cast<NodeId>(*u);
-    event.v = static_cast<NodeId>(*v);
-    event.timestamp = *timestamp;
-    if (fields.size() == 4) {
-      Result<double> weight = ParseDouble(fields[3]);
-      if (!weight.ok()) {
-        return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                       ": malformed weight");
-      }
-      event.weight = *weight;
-    }
-    events.push_back(event);
+    ++events_rejected_;
+    CAD_METRIC_INC("io.events_rejected");
   }
+  // getline stopped: distinguish clean EOF from a mid-file read failure,
+  // which would otherwise silently truncate the stream.
+  if (in_->bad()) {
+    return Status::IoError("event stream read failed at line " +
+                           std::to_string(line_number_));
+  }
+  return std::optional<TimestampedEvent>();
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in) {
+  return ReadEventStream(in, EventErrorPolicy::kStrict, nullptr);
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStream(
+    std::istream* in, EventErrorPolicy policy, size_t* events_rejected) {
+  EventStreamReader reader(in, policy);
+  std::vector<TimestampedEvent> events;
+  while (true) {
+    std::optional<TimestampedEvent> event;
+    CAD_ASSIGN_OR_RETURN(event, reader.Next());
+    if (!event.has_value()) break;
+    events.push_back(*event);
+  }
+  if (events_rejected != nullptr) *events_rejected = reader.events_rejected();
   return events;
 }
 
 Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path) {
+  return ReadEventStreamFile(path, EventErrorPolicy::kStrict, nullptr);
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path, EventErrorPolicy policy,
+    size_t* events_rejected) {
   std::ifstream file(path);
   if (!file.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
-  return ReadEventStream(&file);
+  return ReadEventStream(&file, policy, events_rejected);
+}
+
+Result<EventWindowAggregator> EventWindowAggregator::Create(
+    const EventWindowOptions& options) {
+  if (!(options.window_length > 0.0) ||
+      !std::isfinite(options.window_length)) {
+    return Status::InvalidArgument("window_length must be positive");
+  }
+  if (!std::isfinite(options.start_time)) {
+    return Status::InvalidArgument("start_time must be finite");
+  }
+  if (options.num_nodes == 0) {
+    return Status::InvalidArgument("num_nodes must be > 0");
+  }
+  return EventWindowAggregator(options);
+}
+
+Result<size_t> EventWindowAggregator::WindowIndex(double timestamp) const {
+  if (!std::isfinite(timestamp)) {
+    return Status::InvalidArgument("non-finite timestamp");
+  }
+  const double offset = timestamp - options_.start_time;
+  if (offset < 0.0) {
+    return Status::InvalidArgument("timestamp precedes start_time");
+  }
+  const double span = offset / options_.window_length;
+  if (!(span < kMaxDerivedWindows)) {
+    return Status::InvalidArgument("timestamp too far past start_time");
+  }
+  return static_cast<size_t>(std::floor(span));
+}
+
+Status EventWindowAggregator::Add(const TimestampedEvent& event,
+                                  std::vector<WeightedGraph>* completed) {
+  CAD_CHECK(completed != nullptr);
+  if (event.u == event.v) {
+    return Status::InvalidArgument("self-loop event at node " +
+                                   std::to_string(event.u));
+  }
+  if (event.u >= options_.num_nodes || event.v >= options_.num_nodes) {
+    return Status::OutOfRange("event endpoint exceeds num_nodes");
+  }
+  if (!std::isfinite(event.weight) || event.weight < 0.0) {
+    return Status::InvalidArgument("event weight must be finite and >= 0");
+  }
+  size_t window = 0;
+  CAD_ASSIGN_OR_RETURN(window, WindowIndex(event.timestamp));
+  if (window < current_window_) {
+    return Status::InvalidArgument(
+        "out-of-order event: window " + std::to_string(window) +
+        " while window " + std::to_string(current_window_) + " is open");
+  }
+  while (current_window_ < window) {
+    completed->push_back(std::move(current_));
+    current_ = WeightedGraph(options_.num_nodes);
+    ++current_window_;
+  }
+  return current_.AddEdgeWeight(event.u, event.v, event.weight);
+}
+
+WeightedGraph EventWindowAggregator::Flush() {
+  WeightedGraph closed = std::move(current_);
+  current_ = WeightedGraph(options_.num_nodes);
+  ++current_window_;
+  return closed;
 }
 
 }  // namespace cad

@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,12 +28,14 @@ struct EventAggregationOptions {
   /// over unix seconds). Must be positive.
   double window_length = 1.0;
   /// Start of window 0; NaN (default) means the minimum event timestamp.
+  /// When set, it must be finite.
   double start_time = std::numeric_limits<double>::quiet_NaN();
   /// Node-set size; 0 means max node id + 1 (the paper's fixed-vertex-set
   /// framing requires all snapshots to share it).
   size_t num_nodes = 0;
-  /// Number of windows; 0 means enough to cover the last event. Events
-  /// outside [start, start + num_windows * window_length) are dropped.
+  /// Number of windows; 0 means enough to cover the last event at or after
+  /// the start. Events outside [start, start + num_windows * window_length)
+  /// are dropped.
   size_t num_windows = 0;
 };
 
@@ -44,13 +47,129 @@ struct EventAggregationOptions {
     const std::vector<TimestampedEvent>& events,
     const EventAggregationOptions& options);
 
-/// Text format, one event per line (comments with '#', blank lines ignored):
+/// \brief Per-record failure handling for streaming ingestion.
+enum class EventErrorPolicy {
+  /// Fail fast: the first malformed record aborts the read with a
+  /// line-numbered error (the historical behavior).
+  kStrict,
+  /// Drop-and-count: malformed records are skipped; the reader tracks the
+  /// count (and bumps the `io.events_rejected` metric) so operators can
+  /// alert on rejection rates instead of losing the whole stream.
+  kSkip,
+};
+
+/// \brief Incremental reader for the event text format:
+///
+///   # comment lines start with '#', blank lines are ignored
 ///   <u> <v> <timestamp> [weight]
+///
+/// Fields are separated by runs of whitespace. Records with missing/extra
+/// fields, unparsable numbers, negative ids, non-finite timestamps or
+/// weights, or negative weights are malformed; EventErrorPolicy decides
+/// whether they abort the read or are counted and skipped. Unlike the bulk
+/// ReadEventStream, the reader holds one record at a time, so arbitrarily
+/// long streams can be consumed in O(1) memory.
+class EventStreamReader {
+ public:
+  explicit EventStreamReader(std::istream* in,
+                             EventErrorPolicy policy = EventErrorPolicy::kStrict);
+
+  /// The next well-formed event, or nullopt at end of stream. A mid-file
+  /// read failure (stream badbit) reports IoError rather than a silent
+  /// truncation at EOF.
+  [[nodiscard]] Result<std::optional<TimestampedEvent>> Next();
+
+  /// 1-based line number of the most recently consumed line.
+  size_t line_number() const { return line_number_; }
+
+  /// Records dropped so far under EventErrorPolicy::kSkip.
+  size_t events_rejected() const { return events_rejected_; }
+
+ private:
+  std::istream* in_;
+  EventErrorPolicy policy_;
+  size_t line_number_ = 0;
+  size_t events_rejected_ = 0;
+};
+
+/// Text format, one event per line; see EventStreamReader. Strict policy:
+/// the first malformed line aborts with a line-numbered error.
 [[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in);
+
+/// ReadEventStream with an explicit error policy. Under kSkip,
+/// `*events_rejected` (optional) receives the dropped-record count.
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStream(
+    std::istream* in, EventErrorPolicy policy, size_t* events_rejected);
 
 /// File variant of ReadEventStream.
 [[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path);
+
+/// File variant with an explicit error policy.
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path, EventErrorPolicy policy, size_t* events_rejected);
+
+/// \brief Configuration for EventWindowAggregator.
+struct EventWindowOptions {
+  /// Window length in timestamp units. Must be positive and finite.
+  double window_length = 1.0;
+  /// Start of window 0. Must be finite (streaming cannot infer it after the
+  /// fact; infer from the first event before constructing if needed).
+  double start_time = 0.0;
+  /// Fixed node-set size shared by every emitted snapshot. Must be > 0.
+  size_t num_nodes = 0;
+  /// Index of the first window to materialize; events in earlier windows
+  /// are rejected by Add. Used to resume a stream from a checkpoint.
+  size_t first_window = 0;
+};
+
+/// \brief Streaming counterpart of AggregateEventStream: feed time-ordered
+/// events one at a time; each window's snapshot is emitted as soon as an
+/// event lands past its end, so only the one in-progress window is held in
+/// memory. Buckets match AggregateEventStream exactly (same floor((t -
+/// start) / window_length) arithmetic), so driving a monitor from this
+/// aggregator reproduces the batch pipeline's snapshots.
+class EventWindowAggregator {
+ public:
+  /// Validates options. InvalidArgument on a non-positive/non-finite window
+  /// length, non-finite start, or zero node count.
+  [[nodiscard]] static Result<EventWindowAggregator> Create(
+      const EventWindowOptions& options);
+
+  /// Window index containing `timestamp` (same bucketing as
+  /// AggregateEventStream). InvalidArgument for timestamps before
+  /// start_time or non-finite.
+  [[nodiscard]] Result<size_t> WindowIndex(double timestamp) const;
+
+  /// Feeds one event. Windows that closed strictly before the event's
+  /// window are appended to `*completed` in order (possibly none, possibly
+  /// several empty ones for quiet periods). Malformed events (self-loop,
+  /// endpoint >= num_nodes, non-finite fields, negative weight) and events
+  /// before the current open window (out of order, or before first_window)
+  /// return InvalidArgument without consuming the event — the caller's
+  /// error policy decides whether that is fatal.
+  [[nodiscard]] Status Add(const TimestampedEvent& event,
+                           std::vector<WeightedGraph>* completed);
+
+  /// Closes and returns the in-progress window (the final, possibly
+  /// partial, snapshot). The aggregator then continues with the next
+  /// window index, so Flush at end-of-stream matches AggregateEventStream's
+  /// last window.
+  WeightedGraph Flush();
+
+  /// Index of the currently open window.
+  size_t current_window() const { return current_window_; }
+
+ private:
+  explicit EventWindowAggregator(const EventWindowOptions& options)
+      : options_(options),
+        current_window_(options.first_window),
+        current_(WeightedGraph(options.num_nodes)) {}
+
+  EventWindowOptions options_;
+  size_t current_window_;
+  WeightedGraph current_;
+};
 
 }  // namespace cad
 

@@ -1,5 +1,6 @@
 #include "io/temporal_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -60,7 +61,7 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
     ++line_number;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
-    const std::vector<std::string> fields = Split(std::string(stripped), ' ');
+    const std::vector<std::string> fields = SplitTokens(stripped);
 
     if (fields[0] == "temporal") {
       if (header_seen) return error_at("duplicate 'temporal' header");
@@ -98,6 +99,9 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
         return error_at("malformed edge");
       }
       if (*u < 0 || *v < 0) return error_at("negative node id");
+      if (!std::isfinite(*weight)) {
+        return error_at("non-finite edge weight '" + fields[3] + "'");
+      }
       const Status set = current.SetEdge(static_cast<NodeId>(*u),
                                          static_cast<NodeId>(*v), *weight);
       if (!set.ok()) return error_at(set.message());
@@ -105,6 +109,10 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
     } else {
       return error_at("unknown record '" + fields[0] + "'");
     }
+  }
+  if (in->bad()) {
+    return Status::IoError("edge-list read failed at line " +
+                           std::to_string(line_number));
   }
   if (!header_seen) {
     return Status::InvalidArgument("missing 'temporal' header");

@@ -28,6 +28,14 @@ class IncompleteCholesky {
   /// shifting cannot complete the factorization (e.g. an indefinite matrix).
   [[nodiscard]] static Result<IncompleteCholesky> Factor(const CsrMatrix& a);
 
+  /// Rebuilds a factorization from a previously computed lower factor and
+  /// shift (checkpoint restore). The transpose is recomputed, which is
+  /// deterministic, so the result applies identically to the original.
+  static IncompleteCholesky FromFactor(CsrMatrix lower, double shift) {
+    CsrMatrix transpose = lower.Transpose();
+    return IncompleteCholesky(std::move(lower), std::move(transpose), shift);
+  }
+
   /// Applies the preconditioner: solves L L^T x = b (two triangular
   /// solves). Requires b.size() == dimension().
   std::vector<double> Apply(const std::vector<double>& b) const;

@@ -1,0 +1,414 @@
+#include "io/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "core/online_monitor.h"
+
+namespace cad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+
+TEST(CheckpointPrimitiveTest, ScalarsRoundTrip) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU8(200);
+  writer.WriteU32(0x12345678u);
+  writer.WriteU64(0xDEADBEEFCAFEF00DULL);
+  writer.WriteDouble(-0.1);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  CheckpointReader reader(&buffer);
+  auto u8 = reader.ReadU8();
+  ASSERT_TRUE(u8.ok());
+  EXPECT_EQ(*u8, 200);
+  auto u32 = reader.ReadU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0x12345678u);
+  auto u64 = reader.ReadU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0xDEADBEEFCAFEF00DULL);
+  auto dbl = reader.ReadDouble();
+  ASSERT_TRUE(dbl.ok());
+  EXPECT_EQ(*dbl, -0.1);  // bit-exact, not approximate
+}
+
+TEST(CheckpointPrimitiveTest, EncodingIsLittleEndian) {
+  // The format promises byte-identical output across hosts; pin the layout.
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU32(0x12345678u);
+  ASSERT_TRUE(writer.Finish().ok());
+  const std::string bytes = buffer.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x78);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0x56);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[2]), 0x34);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x12);
+}
+
+TEST(CheckpointPrimitiveTest, VectorsRoundTrip) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  const std::vector<uint32_t> u32s = {3, 1, 4, 1, 5};
+  const std::vector<size_t> sizes = {0, 9, 1ull << 40};
+  const std::vector<double> doubles = {1.5, -2.25, 0.0};
+  writer.WriteU32Vec(u32s);
+  writer.WriteSizeVec(sizes);
+  writer.WriteDoubleVec(doubles);
+  ASSERT_TRUE(writer.Finish().ok());
+
+  CheckpointReader reader(&buffer);
+  auto read_u32s = reader.ReadU32Vec();
+  ASSERT_TRUE(read_u32s.ok());
+  EXPECT_EQ(*read_u32s, u32s);
+  auto read_sizes = reader.ReadSizeVec();
+  ASSERT_TRUE(read_sizes.ok());
+  EXPECT_EQ(*read_sizes, sizes);
+  auto read_doubles = reader.ReadDoubleVec();
+  ASSERT_TRUE(read_doubles.ok());
+  EXPECT_EQ(*read_doubles, doubles);
+}
+
+TEST(CheckpointPrimitiveTest, TruncationIsIoError) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU32(7);  // 4 bytes: not enough for a u64
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto u64 = reader.ReadU64();
+  ASSERT_FALSE(u64.ok());
+  EXPECT_EQ(u64.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointPrimitiveTest, CorruptVectorLengthIsIoErrorNotBadAlloc) {
+  // A huge claimed element count must surface as truncation, not as an
+  // upfront allocation of the claimed size.
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU64(1ull << 60);  // claimed count, no elements follow
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto values = reader.ReadDoubleVec();
+  ASSERT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Composite serializers
+
+TEST(CheckpointCompositeTest, WeightedGraphRoundTrips) {
+  WeightedGraph graph(6);
+  ASSERT_TRUE(graph.SetEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(graph.SetEdge(2, 5, 0.125).ok());
+  ASSERT_TRUE(graph.SetEdge(3, 4, 7.0).ok());
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  WriteWeightedGraph(&writer, graph);
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadWeightedGraph(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == graph);
+}
+
+TEST(CheckpointCompositeTest, DenseMatrixRoundTrips) {
+  DenseMatrix matrix(2, 3);
+  matrix(0, 0) = 1.0;
+  matrix(0, 2) = -4.5;
+  matrix(1, 1) = 1e-17;
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  WriteDenseMatrix(&writer, matrix);
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadDenseMatrix(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->rows(), 2u);
+  EXPECT_EQ(restored->cols(), 3u);
+  EXPECT_EQ(restored->data(), matrix.data());
+}
+
+TEST(CheckpointCompositeTest, CsrMatrixRoundTrips) {
+  CooMatrix coo(3, 3);
+  coo.AddSymmetric(0, 1, 2.0);
+  coo.Add(2, 2, -1.5);
+  const CsrMatrix matrix = coo.ToCsr();
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  WriteCsrMatrix(&writer, matrix);
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadCsrMatrix(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->row_offsets(), matrix.row_offsets());
+  EXPECT_EQ(restored->col_indices(), matrix.col_indices());
+  EXPECT_EQ(restored->values(), matrix.values());
+}
+
+TEST(CheckpointCompositeTest, CorruptCsrStructureRejected) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU64(2);                     // rows
+  writer.WriteU64(2);                     // cols
+  writer.WriteSizeVec({0, 2, 1});         // offsets not sorted
+  writer.WriteU32Vec({0, 1});             // col indices
+  writer.WriteDoubleVec({1.0, 2.0});      // values
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadCsrMatrix(&reader);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointCompositeTest, TransitionScoresRoundTripRebuildsIndex) {
+  TransitionScores scores;
+  scores.edges = {
+      ScoredEdge{NodePair{0, 1}, 5.0, 1.0, 5.0},
+      ScoredEdge{NodePair{1, 2}, 3.0, -3.0, 1.0},
+      ScoredEdge{NodePair{2, 3}, 0.0, 0.0, 7.0},
+  };
+  scores.total_score = 8.0;
+  scores.node_scores = {5.0, 8.0, 3.0, 0.0};
+  scores.BuildSelectionIndex();
+
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  WriteTransitionScores(&writer, scores);
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadTransitionScores(&reader);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->edges.size(), scores.edges.size());
+  for (size_t i = 0; i < scores.edges.size(); ++i) {
+    EXPECT_EQ(restored->edges[i].pair, scores.edges[i].pair);
+    EXPECT_EQ(restored->edges[i].score, scores.edges[i].score);
+    EXPECT_EQ(restored->edges[i].weight_delta, scores.edges[i].weight_delta);
+    EXPECT_EQ(restored->edges[i].commute_delta, scores.edges[i].commute_delta);
+  }
+  EXPECT_EQ(restored->total_score, scores.total_score);
+  EXPECT_EQ(restored->node_scores, scores.node_scores);
+  // The selection index is rebuilt on read, not stored.
+  EXPECT_TRUE(restored->has_selection_index());
+  EXPECT_EQ(restored->num_positive, scores.num_positive);
+  EXPECT_EQ(restored->remaining_mass, scores.remaining_mass);
+  EXPECT_EQ(restored->prefix_nodes, scores.prefix_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// Header validation
+
+TEST(CheckpointHeaderTest, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTACKPT and then some trailing garbage";
+  CheckpointReader reader(&buffer);
+  const Status status = reader.ExpectHeader();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointHeaderTest, UnsupportedVersionRejected) {
+  std::stringstream buffer;
+  buffer.write(kCheckpointMagic, kCheckpointMagicSize);
+  const char version = 99;
+  buffer.write(&version, 1);
+  CheckpointReader reader(&buffer);
+  const Status status = reader.ExpectHeader();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointHeaderTest, TruncatedHeaderIsIoError) {
+  std::stringstream buffer;
+  buffer << "CAD";  // shorter than the magic
+  CheckpointReader reader(&buffer);
+  const Status status = reader.ExpectHeader();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor save/load
+
+WeightedGraph TwoTeams(double bridge_weight) {
+  WeightedGraph g(8);
+  for (NodeId base : {NodeId{0}, NodeId{4}}) {
+    for (NodeId a = 0; a < 4; ++a) {
+      for (NodeId b = a + 1; b < 4; ++b) {
+        CAD_CHECK_OK(g.SetEdge(base + a, base + b, 3.0));
+      }
+    }
+  }
+  CAD_CHECK_OK(g.SetEdge(3, 4, 0.3));
+  if (bridge_weight > 0.0) CAD_CHECK_OK(g.SetEdge(0, 7, bridge_weight));
+  return g;
+}
+
+std::vector<WeightedGraph> DriftingStream() {
+  std::vector<WeightedGraph> stream;
+  for (double w : {0.0, 0.0, 0.5, 0.0, 2.0, 0.0, 1.0, 0.0, 3.0, 0.5}) {
+    stream.push_back(TwoTeams(w));
+  }
+  return stream;
+}
+
+void ExpectIdenticalReports(const Result<std::optional<AnomalyReport>>& lhs,
+                            const Result<std::optional<AnomalyReport>>& rhs) {
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  ASSERT_EQ(lhs->has_value(), rhs->has_value());
+  if (!lhs->has_value()) return;
+  const AnomalyReport& a = **lhs;
+  const AnomalyReport& b = **rhs;
+  EXPECT_EQ(a.transition, b.transition);
+  EXPECT_EQ(a.nodes, b.nodes);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].pair, b.edges[i].pair);
+    // Bitwise equality: the checkpoint stores IEEE-754 bit patterns and the
+    // restored monitor must retrace the continued monitor exactly.
+    EXPECT_EQ(a.edges[i].score, b.edges[i].score);
+    EXPECT_EQ(a.edges[i].weight_delta, b.edges[i].weight_delta);
+    EXPECT_EQ(a.edges[i].commute_delta, b.edges[i].commute_delta);
+  }
+}
+
+// Feeds `stream` to a monitor, checkpointing after `split` snapshots;
+// restores a second monitor from the checkpoint and verifies the remaining
+// reports are identical to the uninterrupted run's.
+void RunKillAndRestore(const OnlineMonitorOptions& options, size_t split) {
+  const std::vector<WeightedGraph> stream = DriftingStream();
+  ASSERT_LT(split, stream.size());
+
+  OnlineCadMonitor continued(options);
+  for (size_t t = 0; t < split; ++t) {
+    ASSERT_TRUE(continued.Observe(stream[t]).ok());
+  }
+  std::stringstream checkpoint;
+  ASSERT_TRUE(continued.SaveCheckpoint(&checkpoint).ok());
+
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  EXPECT_EQ(restored.num_snapshots(), continued.num_snapshots());
+  EXPECT_EQ(restored.num_transitions(), continued.num_transitions());
+  EXPECT_EQ(restored.current_delta(), continued.current_delta());
+  EXPECT_EQ(restored.history().size(), continued.history().size());
+
+  for (size_t t = split; t < stream.size(); ++t) {
+    auto from_continued = continued.Observe(stream[t]);
+    auto from_restored = restored.Observe(stream[t]);
+    ExpectIdenticalReports(from_continued, from_restored);
+    EXPECT_EQ(restored.current_delta(), continued.current_delta());
+  }
+}
+
+TEST(MonitorCheckpointTest, KillAndRestoreExactEngine) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 2;
+  RunKillAndRestore(options, 5);
+}
+
+TEST(MonitorCheckpointTest, KillAndRestoreApproxWarmStart) {
+  // Warm start is the hard case: the checkpoint must carry the solver
+  // cache's embedding and IC(0) factor, or the resumed CG iterates (and so
+  // the scores) diverge from the uninterrupted run.
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kApprox;
+  options.detector.approx.embedding_dim = 8;
+  options.detector.approx.seed = 3;
+  options.detector.approx.warm_start = true;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 2;
+  RunKillAndRestore(options, 4);
+}
+
+TEST(MonitorCheckpointTest, KillAndRestoreUnderSlidingWindow) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 2;
+  options.max_history = 3;
+  RunKillAndRestore(options, 6);
+}
+
+TEST(MonitorCheckpointTest, SaveBeforeAnySnapshotRestores) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor fresh(options);
+  std::stringstream checkpoint;
+  ASSERT_TRUE(fresh.SaveCheckpoint(&checkpoint).ok());
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  EXPECT_EQ(restored.num_snapshots(), 0u);
+  EXPECT_EQ(restored.num_transitions(), 0u);
+  EXPECT_EQ(restored.current_delta(), 0.0);
+}
+
+TEST(MonitorCheckpointTest, EngineMismatchRejected) {
+  OnlineMonitorOptions exact_options;
+  exact_options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(exact_options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(1.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+
+  OnlineMonitorOptions approx_options;
+  approx_options.detector.engine = CommuteEngine::kApprox;
+  OnlineCadMonitor loader(approx_options);
+  const Status status = loader.LoadCheckpoint(&checkpoint);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // A failed load leaves the monitor untouched.
+  EXPECT_EQ(loader.num_snapshots(), 0u);
+}
+
+TEST(MonitorCheckpointTest, FailedLoadLeavesMonitorUsable) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+
+  std::stringstream garbage;
+  garbage << "definitely not a checkpoint";
+  ASSERT_FALSE(monitor.LoadCheckpoint(&garbage).ok());
+  EXPECT_EQ(monitor.num_snapshots(), 1u);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  EXPECT_EQ(monitor.num_snapshots(), 2u);
+}
+
+TEST(MonitorCheckpointTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/monitor_ckpt_test.bin";
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(2.0)).ok());
+  ASSERT_TRUE(saver.SaveCheckpointFile(path).ok());
+
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpointFile(path).ok());
+  EXPECT_EQ(restored.num_snapshots(), 2u);
+  EXPECT_EQ(restored.num_transitions(), 1u);
+  EXPECT_EQ(restored.current_delta(), saver.current_delta());
+  std::remove(path.c_str());
+}
+
+TEST(MonitorCheckpointTest, MissingFileIsIoError) {
+  OnlineCadMonitor monitor;
+  const Status status =
+      monitor.LoadCheckpointFile("/nonexistent/checkpoint.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad

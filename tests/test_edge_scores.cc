@@ -1,5 +1,7 @@
 #include "core/edge_scores.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "commute/exact_commute.h"
@@ -166,6 +168,85 @@ TEST(SelectAnomalousEdgesTest, ZeroScoreEdgesNeverSelected) {
   // Even with delta <= 0 (impossible to satisfy), zero-score edges must not
   // be flagged.
   EXPECT_EQ(SelectAnomalousEdges(scores, 0.0), (std::vector<size_t>{0}));
+}
+
+TEST(SelectionIndexTest, BuildComputesPositiveCountAndPrefixes) {
+  TransitionScores scores;
+  scores.edges = {
+      ScoredEdge{NodePair{0, 1}, 5.0, 0, 0},
+      ScoredEdge{NodePair{1, 2}, 3.0, 0, 0},  // shares node 1
+      ScoredEdge{NodePair{3, 4}, 1.0, 0, 0},
+      ScoredEdge{NodePair{5, 6}, 0.0, 0, 0},  // zero score: excluded
+  };
+  scores.total_score = 9.0;
+  scores.BuildSelectionIndex();
+  ASSERT_TRUE(scores.has_selection_index());
+  EXPECT_EQ(scores.num_positive, 3u);
+  ASSERT_EQ(scores.remaining_mass.size(), 3u);
+  EXPECT_EQ(scores.remaining_mass[0], 9.0);
+  EXPECT_EQ(scores.remaining_mass[1], 4.0);
+  EXPECT_EQ(scores.remaining_mass[2], 1.0);
+  // prefix_nodes[k] = distinct endpoints among the first k edges.
+  EXPECT_EQ(scores.prefix_nodes,
+            (std::vector<size_t>{0, 2, 3, 5}));
+}
+
+TEST(SelectionIndexTest, ClearRemovesIndex) {
+  TransitionScores scores;
+  scores.edges = {ScoredEdge{NodePair{0, 1}, 2.0, 0, 0}};
+  scores.total_score = 2.0;
+  scores.BuildSelectionIndex();
+  ASSERT_TRUE(scores.has_selection_index());
+  scores.ClearSelectionIndex();
+  EXPECT_FALSE(scores.has_selection_index());
+}
+
+TEST(SelectionIndexTest, ComputeTransitionScoresBuildsIndex) {
+  WeightedGraph before(4);
+  ASSERT_TRUE(before.SetEdge(0, 1, 1.0).ok());
+  WeightedGraph after(4);
+  ASSERT_TRUE(after.SetEdge(0, 1, 2.0).ok());
+  ConstantOracle o1(4, 2.0);
+  ConstantOracle o2(4, 1.0);
+  const TransitionScores scores =
+      ComputeTransitionScores(before, after, o1, o2, EdgeScoreKind::kCad);
+  EXPECT_TRUE(scores.has_selection_index());
+}
+
+TEST(SelectionIndexTest, IndexedSelectionMatchesLegacyPeelBitwise) {
+  // The binary search over remaining_mass must reproduce the legacy peel
+  // loop exactly — same floating-point comparisons, same counts — for any
+  // delta. remaining_mass stores the successive-subtraction values the peel
+  // loop would compute, so this holds bitwise, not just approximately.
+  TransitionScores indexed;
+  indexed.edges = {
+      ScoredEdge{NodePair{0, 1}, 0.3, 0, 0},
+      ScoredEdge{NodePair{1, 2}, 0.1 + 0.2, 0, 0},  // == 0.30000000000000004
+      ScoredEdge{NodePair{2, 3}, 0.1, 0, 0},
+      ScoredEdge{NodePair{3, 4}, 1e-9, 0, 0},
+      ScoredEdge{NodePair{4, 5}, 0.0, 0, 0},
+  };
+  std::sort(indexed.edges.begin(), indexed.edges.end(),
+            [](const ScoredEdge& a, const ScoredEdge& b) {
+              return a.score > b.score;
+            });
+  for (const ScoredEdge& edge : indexed.edges) {
+    indexed.total_score += edge.score;
+  }
+  indexed.BuildSelectionIndex();
+  TransitionScores legacy = indexed;
+  legacy.ClearSelectionIndex();
+
+  for (double delta :
+       {-1.0, 0.0, 1e-12, 1e-9, 0.05, 0.1, 0.3, 0.30000000000000004, 0.4,
+        0.6000000000000001, 0.7, 0.7000000000000001, 1.0, 10.0}) {
+    EXPECT_EQ(CountSelectedEdges(indexed, delta),
+              CountSelectedEdges(legacy, delta))
+        << "delta=" << delta;
+    EXPECT_EQ(SelectAnomalousEdges(indexed, delta),
+              SelectAnomalousEdges(legacy, delta))
+        << "delta=" << delta;
+  }
 }
 
 TEST(EndpointUnionTest, DeduplicatesAndSorts) {

@@ -148,5 +148,234 @@ TEST(ReadEventStreamTest, MissingFile) {
             StatusCode::kIoError);
 }
 
+// Regression: with an explicit start_time past every event and derived
+// num_windows, the span (last - start) is negative; the old code cast it to
+// size_t, wrapping to ~2^64 windows. Must degrade to a single empty window.
+TEST(AggregateEventStreamTest, StartAfterAllEventsDoesNotWrapWindowCount) {
+  const std::vector<TimestampedEvent> events = {Event(0, 1, 0.0),
+                                                Event(0, 1, 2.0)};
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  options.start_time = 100.0;
+  auto sequence = AggregateEventStream(events, options);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->num_snapshots(), 1u);
+  EXPECT_EQ(sequence->Snapshot(0).num_edges(), 0u);
+}
+
+TEST(AggregateEventStreamTest, NonFiniteStartTimeRejected) {
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  options.start_time = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AggregateEventStream({Event(0, 1, 0.0)}, options).ok());
+}
+
+TEST(AggregateEventStreamTest, AbsurdDerivedWindowCountRejected) {
+  // A tiny window over a huge span must be reported, not allocated.
+  const std::vector<TimestampedEvent> events = {Event(0, 1, 0.0),
+                                                Event(0, 1, 2.0e12)};
+  EventAggregationOptions options;
+  options.window_length = 1.0;
+  EXPECT_EQ(AggregateEventStream(events, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EventStreamReaderTest, ReadsEventsIncrementally) {
+  std::istringstream in(
+      "# header comment\n"
+      "0 1 0.5\n"
+      "\n"
+      "2\t3\t1.5\t2.0\n");  // tabs are separators too
+  EventStreamReader reader(&in);
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->u, 0u);
+  EXPECT_EQ(reader.line_number(), 2u);
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->v, 3u);
+  EXPECT_DOUBLE_EQ((*second)->weight, 2.0);
+  auto end = reader.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(EventStreamReaderTest, StrictPolicyReportsLineNumber) {
+  std::istringstream in("0 1 0.5\nnot an event\n");
+  EventStreamReader reader(&in);
+  ASSERT_TRUE(reader.Next().ok());
+  auto bad = reader.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos);
+  EXPECT_EQ(reader.line_number(), 2u);
+}
+
+TEST(EventStreamReaderTest, SkipPolicyCountsRejectedRecords) {
+  std::istringstream in(
+      "0 1 0.5\n"
+      "garbage line\n"
+      "0 1\n"
+      "2 3 1.5 2.0\n"
+      "4 5 nan\n"
+      "6 7 2.0 -1.0\n"
+      "8 9 3.0\n");
+  EventStreamReader reader(&in, EventErrorPolicy::kSkip);
+  std::vector<TimestampedEvent> events;
+  while (true) {
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    events.push_back(**next);
+  }
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].v, 3u);
+  EXPECT_EQ(events[2].u, 8u);
+  EXPECT_EQ(reader.events_rejected(), 4u);
+}
+
+TEST(EventStreamReaderTest, RejectsNonFiniteFields) {
+  for (const char* line : {"0 1 inf\n", "0 1 nan\n", "0 1 1.0 inf\n",
+                           "0 1 1.0 nan\n", "0 1 1.0 -2.0\n"}) {
+    std::istringstream in(line);
+    EventStreamReader reader(&in);
+    EXPECT_FALSE(reader.Next().ok()) << line;
+  }
+}
+
+TEST(ReadEventStreamTest, SkipOverloadReportsRejectedCount) {
+  std::istringstream in("0 1 0.5\nbogus\n2 3 1.5\n");
+  size_t rejected = 0;
+  auto events = ReadEventStream(&in, EventErrorPolicy::kSkip, &rejected);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 2u);
+  EXPECT_EQ(rejected, 1u);
+}
+
+TEST(EventWindowAggregatorTest, CreateValidatesOptions) {
+  EventWindowOptions options;
+  options.num_nodes = 4;
+  options.window_length = 0.0;
+  EXPECT_FALSE(EventWindowAggregator::Create(options).ok());
+  options.window_length = 1.0;
+  options.start_time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(EventWindowAggregator::Create(options).ok());
+  options.start_time = 0.0;
+  options.num_nodes = 0;
+  EXPECT_FALSE(EventWindowAggregator::Create(options).ok());
+  options.num_nodes = 4;
+  EXPECT_TRUE(EventWindowAggregator::Create(options).ok());
+}
+
+TEST(EventWindowAggregatorTest, MatchesBatchAggregation) {
+  const std::vector<TimestampedEvent> events = {
+      Event(0, 1, 0.0),       Event(0, 1, 0.5, 2.0), Event(1, 2, 1.2),
+      Event(0, 2, 2.9),       Event(2, 3, 6.1),  // windows 3-5 are empty
+      Event(0, 3, 6.2, 0.5)};
+  EventAggregationOptions batch_options;
+  batch_options.window_length = 1.0;
+  batch_options.start_time = 0.0;
+  batch_options.num_nodes = 4;
+  auto batch = AggregateEventStream(events, batch_options);
+  ASSERT_TRUE(batch.ok());
+
+  EventWindowOptions stream_options;
+  stream_options.window_length = 1.0;
+  stream_options.start_time = 0.0;
+  stream_options.num_nodes = 4;
+  auto aggregator = EventWindowAggregator::Create(stream_options);
+  ASSERT_TRUE(aggregator.ok());
+  std::vector<WeightedGraph> snapshots;
+  std::vector<WeightedGraph> completed;
+  for (const TimestampedEvent& event : events) {
+    completed.clear();
+    ASSERT_TRUE(aggregator->Add(event, &completed).ok());
+    for (WeightedGraph& snapshot : completed) {
+      snapshots.push_back(std::move(snapshot));
+    }
+  }
+  snapshots.push_back(aggregator->Flush());
+
+  ASSERT_EQ(snapshots.size(), batch->num_snapshots());
+  for (size_t t = 0; t < snapshots.size(); ++t) {
+    EXPECT_TRUE(snapshots[t] == batch->Snapshot(t)) << "window " << t;
+  }
+}
+
+TEST(EventWindowAggregatorTest, EmitsEmptyWindowsForQuietPeriods) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 3;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  std::vector<WeightedGraph> completed;
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 0.5), &completed).ok());
+  EXPECT_TRUE(completed.empty());
+  ASSERT_TRUE(aggregator->Add(Event(1, 2, 3.5), &completed).ok());
+  ASSERT_EQ(completed.size(), 3u);  // windows 0, 1, 2 close
+  EXPECT_EQ(completed[0].EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(completed[1].num_edges(), 0u);
+  EXPECT_EQ(completed[2].num_edges(), 0u);
+  EXPECT_EQ(aggregator->current_window(), 3u);
+}
+
+TEST(EventWindowAggregatorTest, RejectsOutOfOrderAndMalformedEvents) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 4;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  std::vector<WeightedGraph> completed;
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 5.5), &completed).ok());
+  // An event whose window already closed is rejected without side effects.
+  EXPECT_FALSE(aggregator->Add(Event(0, 1, 0.5), &completed).ok());
+  // Self-loops, out-of-range endpoints, bad weights.
+  EXPECT_FALSE(aggregator->Add(Event(2, 2, 5.6), &completed).ok());
+  EXPECT_FALSE(aggregator->Add(Event(0, 9, 5.6), &completed).ok());
+  TimestampedEvent bad = Event(0, 1, 5.6);
+  bad.weight = -1.0;
+  EXPECT_FALSE(aggregator->Add(bad, &completed).ok());
+  // The open window is still usable afterwards.
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 5.9), &completed).ok());
+  EXPECT_EQ(aggregator->Flush().EdgeWeight(0, 1), 2.0);
+}
+
+TEST(EventWindowAggregatorTest, FirstWindowSupportsResumption) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 3;
+  options.first_window = 2;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  EXPECT_EQ(aggregator->current_window(), 2u);
+  auto window = aggregator->WindowIndex(0.5);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(*window, 0u);  // bucketing is unchanged; skipping is the caller's
+  std::vector<WeightedGraph> completed;
+  // Events from already-processed windows are rejected by Add.
+  EXPECT_FALSE(aggregator->Add(Event(0, 1, 0.5), &completed).ok());
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 2.5), &completed).ok());
+  EXPECT_TRUE(completed.empty());
+  EXPECT_EQ(aggregator->Flush().EdgeWeight(0, 1), 1.0);
+}
+
+TEST(EventWindowAggregatorTest, WindowIndexRejectsBadTimestamps) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.start_time = 10.0;
+  options.num_nodes = 2;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  EXPECT_FALSE(aggregator->WindowIndex(9.0).ok());  // before start_time
+  EXPECT_FALSE(
+      aggregator->WindowIndex(std::numeric_limits<double>::quiet_NaN()).ok());
+  EXPECT_FALSE(aggregator->WindowIndex(1e13).ok());  // absurd span
+  auto window = aggregator->WindowIndex(12.5);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(*window, 2u);
+}
+
 }  // namespace
 }  // namespace cad

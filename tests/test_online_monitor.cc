@@ -123,5 +123,90 @@ TEST(OnlineMonitorTest, DeltaUpdatesOverTime) {
   EXPECT_NE(monitor.current_delta(), delta_small_event);
 }
 
+TEST(OnlineMonitorTest, SlidingWindowMatchesUnboundedWhileHistoryFits) {
+  // While the stream is no longer than max_history, the window holds the
+  // full history, so every report and delta must be identical to the
+  // unbounded monitor's (the ISSUE's bit-identity requirement).
+  OnlineMonitorOptions unbounded_options;
+  unbounded_options.detector.engine = CommuteEngine::kExact;
+  unbounded_options.nodes_per_transition = 2.0;
+  unbounded_options.warmup_transitions = 1;
+  OnlineMonitorOptions windowed_options = unbounded_options;
+  windowed_options.max_history = 10;  // stream has 6 transitions
+
+  OnlineCadMonitor unbounded(unbounded_options);
+  OnlineCadMonitor windowed(windowed_options);
+  for (double w : {0.0, 0.0, 0.5, 0.0, 2.0, 0.0, 1.0}) {
+    auto from_unbounded = unbounded.Observe(TwoTeams(w));
+    auto from_windowed = windowed.Observe(TwoTeams(w));
+    ASSERT_TRUE(from_unbounded.ok());
+    ASSERT_TRUE(from_windowed.ok());
+    ASSERT_EQ(from_unbounded->has_value(), from_windowed->has_value());
+    EXPECT_EQ(unbounded.current_delta(), windowed.current_delta());
+    if (!from_unbounded->has_value()) continue;
+    const AnomalyReport& a = **from_unbounded;
+    const AnomalyReport& b = **from_windowed;
+    EXPECT_EQ(a.transition, b.transition);
+    EXPECT_EQ(a.nodes, b.nodes);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      EXPECT_EQ(a.edges[i].pair, b.edges[i].pair);
+      EXPECT_EQ(a.edges[i].score, b.edges[i].score);
+    }
+  }
+  EXPECT_EQ(unbounded.history().size(), windowed.history().size());
+}
+
+TEST(OnlineMonitorTest, SlidingWindowBoundsHistory) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.max_history = 3;
+  OnlineCadMonitor monitor(options);
+  for (int t = 0; t < 8; ++t) {
+    ASSERT_TRUE(monitor.Observe(TwoTeams(t % 2 == 0 ? 0.0 : 0.5)).ok());
+    EXPECT_LE(monitor.history().size(), 3u);
+  }
+  EXPECT_EQ(monitor.history().size(), 3u);
+  // The lifetime transition count is not capped by the window.
+  EXPECT_EQ(monitor.num_transitions(), 7u);
+}
+
+TEST(OnlineMonitorTest, SlidingWindowKeepsGlobalTransitionIndices) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.nodes_per_transition = 1.0;
+  options.warmup_transitions = 2;
+  options.max_history = 2;
+  OnlineCadMonitor monitor(options);
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  }
+  // Transition 4 completes here; its report must say so even though the
+  // retained history only holds the last 2 transitions.
+  auto report = monitor.Observe(TwoTeams(2.0));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->has_value());
+  EXPECT_EQ((*report)->transition, 4u);
+  EXPECT_EQ(monitor.history().size(), 2u);
+}
+
+TEST(OnlineMonitorTest, SlidingWindowForgetsOldEvents) {
+  // After a burst leaves the window, calibration no longer sees its large
+  // scores, so the delta adapts back down to the recent (calm) scale.
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  options.nodes_per_transition = 2.0;
+  options.max_history = 2;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(monitor.Observe(TwoTeams(4.0)).ok());  // burst enters
+  const double delta_during_burst = monitor.current_delta();
+  EXPECT_GT(delta_during_burst, 0.0);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(4.0)).ok());
+  ASSERT_TRUE(monitor.Observe(TwoTeams(4.0)).ok());
+  ASSERT_TRUE(monitor.Observe(TwoTeams(4.0)).ok());  // burst transitions aged out
+  EXPECT_LT(monitor.current_delta(), delta_during_burst);
+}
+
 }  // namespace
 }  // namespace cad

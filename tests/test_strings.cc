@@ -18,6 +18,23 @@ TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
   EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
 }
 
+TEST(SplitTokensTest, SplitsOnWhitespaceRuns) {
+  EXPECT_EQ(SplitTokens("a b c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTokens("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitTokens("0\t1\t2.5"),
+            (std::vector<std::string>{"0", "1", "2.5"}));
+}
+
+TEST(SplitTokensTest, IgnoresLeadingAndTrailingWhitespace) {
+  EXPECT_EQ(SplitTokens("  a b  "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitTokens("\t x \t"), (std::vector<std::string>{"x"}));
+}
+
+TEST(SplitTokensTest, EmptyAndBlankYieldNoTokens) {
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   \t  ").empty());
+}
+
 TEST(JoinTest, RoundTripsWithSplit) {
   const std::vector<std::string> parts = {"x", "y", "z"};
   EXPECT_EQ(Join(parts, ","), "x,y,z");

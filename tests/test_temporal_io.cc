@@ -134,6 +134,30 @@ TEST(TemporalIoTest, ErrorsIncludeLineNumbers) {
   EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
 }
 
+TEST(TemporalIoTest, AcceptsTabAndRepeatedSeparators) {
+  // Real exports mix tabs and aligned columns; tokenization must not
+  // produce empty fields from separator runs.
+  std::istringstream in(
+      "temporal 3 1\n"
+      "snapshot 0\n"
+      "edge\t0\t1\t2.5\n"
+      "edge 1  2   0.5\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 2.5);
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(1, 2), 0.5);
+}
+
+TEST(TemporalIoTest, RejectsNonFiniteWeightWithLineNumber) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    std::istringstream in(std::string("temporal 2 1\nsnapshot 0\nedge 0 1 ") +
+                          bad + "\n");
+    auto parsed = ReadTemporalEdgeList(&in);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+  }
+}
+
 TEST(TemporalIoTest, FileNotFound) {
   auto parsed = ReadTemporalEdgeListFile("/nonexistent/dir/file.txt");
   EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);

@@ -29,6 +29,7 @@ int Run(int argc, char** argv) {
   std::string input;
   std::string events;
   double window = 0.0;
+  std::string error_policy = "strict";
   std::string names_file;
   bool profile = false;
   std::string method = "CAD";
@@ -55,6 +56,9 @@ int Run(int argc, char** argv) {
                   "into windows of --window");
   flags.AddDouble("window", &window,
                   "window length for --events aggregation");
+  flags.AddString("error_policy", &error_policy,
+                  "malformed --events records: strict (fail fast) or skip "
+                  "(drop and count)");
   flags.AddString("names", &names_file,
                   "optional node-name file (one name per line) used in "
                   "Graphviz output");
@@ -118,12 +122,22 @@ int Run(int argc, char** argv) {
     obs::SetTracingEnabled(true);
   }
 
+  EventErrorPolicy policy = EventErrorPolicy::kStrict;
+  if (error_policy == "skip") {
+    policy = EventErrorPolicy::kSkip;
+  } else if (error_policy != "strict") {
+    std::cerr << "unknown --error_policy '" << error_policy << "'\n";
+    return 2;
+  }
+
+  size_t events_rejected = 0;
   Result<TemporalGraphSequence> sequence = [&]() -> Result<TemporalGraphSequence> {
     if (!input.empty()) return ReadTemporalEdgeListFile(input);
     if (window <= 0.0) {
       return Status::InvalidArgument("--events requires a positive --window");
     }
-    Result<std::vector<TimestampedEvent>> stream = ReadEventStreamFile(events);
+    Result<std::vector<TimestampedEvent>> stream =
+        ReadEventStreamFile(events, policy, &events_rejected);
     if (!stream.ok()) return stream.status();
     EventAggregationOptions aggregation;
     aggregation.window_length = window;
@@ -137,6 +151,9 @@ int Run(int argc, char** argv) {
   std::cerr << "read " << sequence->num_snapshots() << " snapshots over "
             << sequence->num_nodes() << " nodes (avg "
             << sequence->AverageEdgesPerSnapshot() << " edges)\n";
+  if (events_rejected > 0) {
+    std::cerr << "skipped " << events_rejected << " malformed event records\n";
+  }
 
   if (profile) {
     PrintTemporalProfile(ProfileSequence(*sequence), &std::cerr);

@@ -1,0 +1,304 @@
+// cad_stream — fault-tolerant streaming anomaly monitor over an event file.
+//
+// Reads timestamped events '<u> <v> <t> [w]' in time order, aggregates them
+// into fixed-length windows, and feeds each completed window to an
+// OnlineCadMonitor, printing one CSV row per reported anomalous edge. Unlike
+// cad_cli --events, the file is never materialized as a whole sequence:
+// memory stays O(window + max_history).
+//
+// Checkpointing makes the stream restartable:
+//
+//   cad_stream --events ev.txt --window 1 --num_nodes 64
+//              --checkpoint ck.bin --checkpoint_every 10 --output run.csv
+//   # ...process dies / is killed...
+//   cad_stream --events ev.txt --window 1 --num_nodes 64
+//              --resume_from ck.bin --output rest.csv
+//
+// The resumed run skips already-processed windows and emits exactly the
+// reports the uninterrupted run would have produced from that point, with
+// no CSV header, so `cat run_killed.csv rest.csv` is byte-identical to the
+// uninterrupted run's output (monitor options must match across runs; they
+// are not stored in the checkpoint).
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/online_monitor.h"
+#include "io/checkpoint.h"
+#include "io/event_stream.h"
+#include "obs/obs.h"
+
+namespace cad {
+namespace {
+
+void WriteReportRows(const AnomalyReport& report, std::ostream* out) {
+  for (const ScoredEdge& edge : report.edges) {
+    (*out) << report.transition << "," << edge.pair.u << "," << edge.pair.v
+           << "," << FormatDouble(edge.score, 9) << ","
+           << FormatDouble(edge.weight_delta, 9) << ","
+           << FormatDouble(edge.commute_delta, 9) << "\n";
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  std::string events;
+  double window = 0.0;
+  int64_t num_nodes = 0;
+  double start_time = 0.0;
+  std::string error_policy = "strict";
+  std::string output = "-";
+  std::string checkpoint;
+  int64_t checkpoint_every = 0;
+  std::string resume_from;
+  int64_t max_snapshots = 0;
+  double l = 5.0;
+  int64_t warmup = 2;
+  int64_t max_history = 0;
+  std::string engine = "auto";
+  int64_t k = 50;
+  int64_t seed = 1;
+  bool warm_start = false;
+  double refactor_threshold = 0.1;
+  flags.AddString("events", &events,
+                  "timestamped event file '<u> <v> <t> [w]', time-ordered");
+  flags.AddDouble("window", &window, "window length in timestamp units");
+  flags.AddInt64("num_nodes", &num_nodes,
+                 "fixed node-set size shared by every window");
+  flags.AddDouble("start_time", &start_time, "timestamp of window 0's start");
+  flags.AddString("error_policy", &error_policy,
+                  "malformed-record handling: strict (fail fast) or skip "
+                  "(drop and count)");
+  flags.AddString("output", &output,
+                  "anomalous-edge CSV destination ('-' for stdout)");
+  flags.AddString("checkpoint", &checkpoint,
+                  "write monitor checkpoints to this file");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "checkpoint after every N observed windows (requires "
+                 "--checkpoint)");
+  flags.AddString("resume_from", &resume_from,
+                  "restore monitor state from this checkpoint before "
+                  "streaming; already-processed windows are skipped");
+  flags.AddInt64("max_snapshots", &max_snapshots,
+                 "stop after observing this many windows (0 = no limit); "
+                 "the in-progress window is not flushed, simulating a kill");
+  flags.AddDouble("l", &l, "target anomalous nodes per transition");
+  flags.AddInt64("warmup", &warmup,
+                 "transitions observed before reports are emitted");
+  flags.AddInt64("max_history", &max_history,
+                 "calibration window in transitions (0 = unbounded)");
+  flags.AddString("engine", &engine,
+                  "commute engine: auto, exact, or approx");
+  flags.AddInt64("k", &k, "embedding dimension for the approximate engine");
+  flags.AddInt64("seed", &seed, "seed for the approximate engine");
+  flags.AddBool("warm_start", &warm_start,
+                "carry each window's embedding and IC(0) factor into the "
+                "next (approximate engine)");
+  flags.AddDouble("refactor_threshold", &refactor_threshold,
+                  "IC(0) staleness trigger under --warm_start");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n" << flags.Usage();
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+  if (events.empty()) {
+    std::cerr << "--events is required\n" << flags.Usage();
+    return 2;
+  }
+  if (window <= 0.0) {
+    std::cerr << "--window must be positive\n";
+    return 2;
+  }
+  if (num_nodes <= 0) {
+    std::cerr << "--num_nodes must be positive\n";
+    return 2;
+  }
+  if (checkpoint_every > 0 && checkpoint.empty()) {
+    std::cerr << "--checkpoint_every requires --checkpoint\n";
+    return 2;
+  }
+  EventErrorPolicy policy = EventErrorPolicy::kStrict;
+  if (error_policy == "skip") {
+    policy = EventErrorPolicy::kSkip;
+  } else if (error_policy != "strict") {
+    std::cerr << "unknown --error_policy '" << error_policy << "'\n";
+    return 2;
+  }
+
+  OnlineMonitorOptions monitor_options;
+  monitor_options.nodes_per_transition = l;
+  monitor_options.warmup_transitions = static_cast<size_t>(warmup);
+  monitor_options.max_history = static_cast<size_t>(max_history);
+  monitor_options.detector.approx.embedding_dim = static_cast<size_t>(k);
+  monitor_options.detector.approx.seed = static_cast<uint64_t>(seed);
+  monitor_options.detector.approx.warm_start = warm_start;
+  monitor_options.detector.approx.refactor_threshold = refactor_threshold;
+  if (engine == "exact") {
+    monitor_options.detector.engine = CommuteEngine::kExact;
+  } else if (engine == "approx") {
+    monitor_options.detector.engine = CommuteEngine::kApprox;
+  } else if (engine != "auto") {
+    std::cerr << "unknown --engine '" << engine << "'\n";
+    return 2;
+  }
+
+  OnlineCadMonitor monitor(monitor_options);
+  const bool resumed = !resume_from.empty();
+  if (resumed) {
+    const Status loaded = monitor.LoadCheckpointFile(resume_from);
+    if (!loaded.ok()) {
+      std::cerr << "resume failed: " << loaded.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "resumed at window " << monitor.num_snapshots() << " ("
+              << monitor.num_transitions() << " transitions, delta="
+              << FormatDouble(monitor.current_delta(), 9) << ")\n";
+  }
+  // Windows before this index were fully observed before the checkpoint was
+  // taken; their events are skipped below using the same bucketing
+  // arithmetic, so resumption never re-feeds or splits a window.
+  const size_t first_window = monitor.num_snapshots();
+
+  std::ofstream output_file;
+  std::ostream* out = &std::cout;
+  if (output != "-") {
+    output_file.open(output);
+    if (!output_file.is_open()) {
+      std::cerr << "cannot open --output " << output << "\n";
+      return 1;
+    }
+    out = &output_file;
+  }
+  // Header only on fresh runs: a resumed run's rows concatenate onto the
+  // killed run's file to reproduce the uninterrupted output byte-for-byte.
+  if (!resumed) {
+    (*out) << "transition,u,v,score,weight_delta,commute_delta\n";
+  }
+
+  std::ifstream events_file(events);
+  if (!events_file.is_open()) {
+    std::cerr << "cannot open --events " << events << "\n";
+    return 1;
+  }
+  EventStreamReader reader(&events_file, policy);
+
+  EventWindowOptions window_options;
+  window_options.window_length = window;
+  window_options.start_time = start_time;
+  window_options.num_nodes = static_cast<size_t>(num_nodes);
+  window_options.first_window = first_window;
+  Result<EventWindowAggregator> aggregator_result =
+      EventWindowAggregator::Create(window_options);
+  if (!aggregator_result.ok()) {
+    std::cerr << aggregator_result.status().ToString() << "\n";
+    return 1;
+  }
+  EventWindowAggregator& aggregator = *aggregator_result;
+
+  const auto observe = [&](WeightedGraph snapshot) -> Result<bool> {
+    Result<std::optional<AnomalyReport>> report =
+        monitor.Observe(snapshot);
+    if (!report.ok()) return report.status();
+    if (report->has_value()) WriteReportRows(**report, out);
+    if (checkpoint_every > 0 &&
+        monitor.num_snapshots() %
+                static_cast<size_t>(checkpoint_every) == 0) {
+      CAD_RETURN_NOT_OK(monitor.SaveCheckpointFile(checkpoint));
+      std::cerr << "checkpoint written at window " << monitor.num_snapshots()
+                << "\n";
+    }
+    return max_snapshots > 0 &&
+           monitor.num_snapshots() >= static_cast<size_t>(max_snapshots);
+  };
+
+  size_t events_fed = 0;
+  size_t events_skipped_resume = 0;
+  bool stopped_early = false;
+  std::vector<WeightedGraph> completed;
+  while (!stopped_early) {
+    Result<std::optional<TimestampedEvent>> next = reader.Next();
+    if (!next.ok()) {
+      std::cerr << next.status().ToString() << "\n";
+      return 1;
+    }
+    if (!next->has_value()) break;
+    const TimestampedEvent& event = **next;
+    Result<size_t> event_window = aggregator.WindowIndex(event.timestamp);
+    if (!event_window.ok()) {
+      // Timestamps before --start_time are dropped, matching the batch
+      // aggregator; anything else (non-finite, absurdly far out) follows
+      // the error policy.
+      if (event.timestamp < start_time) continue;
+      if (policy == EventErrorPolicy::kStrict) {
+        std::cerr << event_window.status().ToString() << "\n";
+        return 1;
+      }
+      CAD_METRIC_INC("io.events_rejected");
+      continue;
+    }
+    if (*event_window < first_window) {
+      ++events_skipped_resume;  // consumed by the run that checkpointed
+      continue;
+    }
+    completed.clear();
+    const Status added = aggregator.Add(event, &completed);
+    if (!added.ok()) {
+      if (policy == EventErrorPolicy::kStrict) {
+        std::cerr << "event at line " << reader.line_number() << ": "
+                  << added.ToString() << "\n";
+        return 1;
+      }
+      CAD_METRIC_INC("io.events_rejected");
+      continue;
+    }
+    ++events_fed;
+    for (WeightedGraph& snapshot : completed) {
+      Result<bool> stop = observe(std::move(snapshot));
+      if (!stop.ok()) {
+        std::cerr << stop.status().ToString() << "\n";
+        return 1;
+      }
+      if (*stop) {
+        stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  // End of stream: close the in-progress window so the final (possibly
+  // partial) snapshot is scored, matching the batch aggregation. A
+  // max_snapshots stop simulates a kill, so nothing is flushed; a resumed
+  // run that added no events has nothing of its own to flush either.
+  if (!stopped_early && (!resumed || events_fed > 0)) {
+    Result<bool> stop = observe(aggregator.Flush());
+    if (!stop.ok()) {
+      std::cerr << stop.status().ToString() << "\n";
+      return 1;
+    }
+  }
+
+  if (!out->good()) {
+    std::cerr << "output write failed\n";
+    return 1;
+  }
+  std::cerr << "processed " << monitor.num_snapshots() << " windows, "
+            << monitor.num_transitions() << " transitions (fed " << events_fed
+            << " events";
+  if (resumed) std::cerr << ", skipped " << events_skipped_resume;
+  if (policy == EventErrorPolicy::kSkip) {
+    std::cerr << ", rejected " << reader.events_rejected();
+  }
+  std::cerr << "), delta=" << FormatDouble(monitor.current_delta(), 9) << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }

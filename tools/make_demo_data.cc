@@ -3,6 +3,7 @@
 //   toy_names.txt  node names b1..b8, r1..r9 for --names
 //   org.tel        an Enron-style simulated organization (48 months)
 //   org_names.txt  role-based employee names
+//   events.txt     org.tel re-expressed as timestamped events (cad_stream)
 //
 //   make_demo_data --output_dir data
 //   cad_cli --input data/toy.tel --method CAD --l 6 --edges_csv -
@@ -23,6 +24,24 @@ Status WriteNames(const std::vector<std::string>& names,
   std::ofstream out(path);
   if (!out.is_open()) return Status::IoError("cannot open " + path);
   for (const std::string& name : names) out << name << "\n";
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+// Re-expresses each snapshot t as events at timestamp t + 0.5, so that
+// aggregating with --window 1 --start_time 0 reproduces the sequence
+// exactly. This is the demo input for cad_stream.
+Status WriteEventFile(const TemporalGraphSequence& sequence,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out << "# timestamped events: <u> <v> <timestamp> <weight>\n";
+  out.precision(17);
+  for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
+    const double timestamp = static_cast<double>(t) + 0.5;
+    for (const Edge& e : sequence.Snapshot(t).Edges()) {
+      out << e.u << " " << e.v << " " << timestamp << " " << e.weight << "\n";
+    }
+  }
   return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
 }
 
@@ -53,8 +72,9 @@ int Run(int argc, char** argv) {
   CAD_CHECK_OK(
       WriteTemporalEdgeListFile(org.sequence, output_dir + "/org.tel"));
   CAD_CHECK_OK(WriteNames(org.node_names, output_dir + "/org_names.txt"));
+  CAD_CHECK_OK(WriteEventFile(org.sequence, output_dir + "/events.txt"));
   std::cout << "wrote " << output_dir << "/org.tel (" << employees
-            << " nodes, " << months << " snapshots)\n";
+            << " nodes, " << months << " snapshots) and events.txt\n";
   std::cout << "ground-truth events in org.tel:\n";
   for (const OrgEvent& event : org.events) {
     std::cout << "  transition " << event.onset_transition << ": "
