@@ -118,6 +118,9 @@ Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
                ? RunCommuteFamily(sequence, options)
                : RunNodeScorer(sequence, options);
   }();
+  if (result.ok() && sequence.vocabulary() != nullptr) {
+    result.ValueOrDie().vocabulary = *sequence.vocabulary();
+  }
   // Attach the registry state so callers (cad_cli, tests) can export it
   // without reaching into the obs singletons themselves.
   if (result.ok() && obs::MetricsEnabled()) {
@@ -128,12 +131,14 @@ Result<PipelineResult> RunAnomalyPipeline(const TemporalGraphSequence& sequence,
 
 Status WriteEdgeReportCsv(const PipelineResult& result, std::ostream* out) {
   CAD_CHECK(out != nullptr);
+  const NodeVocabulary* vocabulary =
+      result.vocabulary.has_value() ? &*result.vocabulary : nullptr;
   CsvWriter writer(out, {"transition", "u", "v", "score", "weight_delta",
                          "commute_delta", "case"});
   for (const ReportedEdge& reported : result.edges) {
     writer.WriteRow({std::to_string(reported.transition),
-                     std::to_string(reported.edge.pair.u),
-                     std::to_string(reported.edge.pair.v),
+                     NodeLabel(vocabulary, reported.edge.pair.u),
+                     NodeLabel(vocabulary, reported.edge.pair.v),
                      FormatDouble(reported.edge.score, 9),
                      FormatDouble(reported.edge.weight_delta, 9),
                      FormatDouble(reported.edge.commute_delta, 9),
@@ -146,12 +151,15 @@ Status WriteEdgeReportCsv(const PipelineResult& result, std::ostream* out) {
 Status WriteNodeScoresCsv(const PipelineResult& result, std::ostream* out,
                           bool only_nonzero) {
   CAD_CHECK(out != nullptr);
+  const NodeVocabulary* vocabulary =
+      result.vocabulary.has_value() ? &*result.vocabulary : nullptr;
   CsvWriter writer(out, {"transition", "node", "score"});
   for (size_t t = 0; t < result.node_scores.size(); ++t) {
     for (size_t node = 0; node < result.node_scores[t].size(); ++node) {
       const double score = result.node_scores[t][node];
       if (only_nonzero && score == 0.0) continue;
-      writer.WriteRow({std::to_string(t), std::to_string(node),
+      writer.WriteRow({std::to_string(t),
+                       NodeLabel(vocabulary, static_cast<NodeId>(node)),
                        FormatDouble(score, 9)});
     }
   }
@@ -162,6 +170,8 @@ Status WriteNodeScoresCsv(const PipelineResult& result, std::ostream* out,
 Status WritePipelineResultJson(const PipelineResult& result,
                                std::ostream* out) {
   CAD_CHECK(out != nullptr);
+  const NodeVocabulary* vocabulary =
+      result.vocabulary.has_value() ? &*result.vocabulary : nullptr;
   JsonWriter json(out);
   json.BeginObject();
   json.Key("method");
@@ -179,7 +189,13 @@ Status WritePipelineResultJson(const PipelineResult& result,
     json.Number(report.transition);
     json.Key("nodes");
     json.BeginArray();
-    for (NodeId node : report.nodes) json.Number(static_cast<size_t>(node));
+    for (NodeId node : report.nodes) {
+      if (vocabulary != nullptr) {
+        json.String(NodeLabel(vocabulary, node));
+      } else {
+        json.Number(static_cast<size_t>(node));
+      }
+    }
     json.EndArray();
     json.Key("edges");
     json.BeginArray();
@@ -187,9 +203,17 @@ Status WritePipelineResultJson(const PipelineResult& result,
       if (reported.transition != report.transition) continue;
       json.BeginObject();
       json.Key("u");
-      json.Number(static_cast<size_t>(reported.edge.pair.u));
+      if (vocabulary != nullptr) {
+        json.String(NodeLabel(vocabulary, reported.edge.pair.u));
+      } else {
+        json.Number(static_cast<size_t>(reported.edge.pair.u));
+      }
       json.Key("v");
-      json.Number(static_cast<size_t>(reported.edge.pair.v));
+      if (vocabulary != nullptr) {
+        json.String(NodeLabel(vocabulary, reported.edge.pair.v));
+      } else {
+        json.Number(static_cast<size_t>(reported.edge.pair.v));
+      }
       json.Key("score");
       json.Number(reported.edge.score);
       json.Key("weight_delta");

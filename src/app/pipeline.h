@@ -2,6 +2,7 @@
 #define CAD_APP_PIPELINE_H_
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/case_classifier.h"
 #include "core/clc_detector.h"
 #include "core/threshold.h"
+#include "graph/node_vocabulary.h"
 #include "graph/temporal_graph.h"
 #include "obs/metrics.h"
 
@@ -74,6 +76,10 @@ struct PipelineResult {
   /// Snapshot of the global metrics registry taken when the pipeline
   /// finished; empty unless metrics recording was enabled (see src/obs/).
   obs::MetricsSnapshot metrics;
+  /// Copied from the input sequence when it carries one (named-node inputs,
+  /// DESIGN.md §8). The CSV/JSON writers then render original names in the
+  /// u/v/node columns; without a vocabulary output is unchanged.
+  std::optional<NodeVocabulary> vocabulary;
 };
 
 /// True if `method` names the commute-based (edge-localizing) family.
@@ -97,7 +103,8 @@ bool IsCommuteBasedMethod(const std::string& method);
 /// \brief Writes the full result as one JSON document:
 /// {method, delta, transitions: [{transition, nodes, edges: [{u, v, score,
 /// weight_delta, commute_delta, case}]}]}. Node scores are omitted (use the
-/// CSV for bulk scores).
+/// CSV for bulk scores). With a vocabulary, u/v and the nodes array are the
+/// original name strings instead of integer ids.
 [[nodiscard]] Status WritePipelineResultJson(const PipelineResult& result,
                                std::ostream* out);
 

@@ -1,15 +1,104 @@
 #include "core/online_monitor.h"
 
+#include "commute/approx_commute.h"
+#include "commute/commute_time.h"
+#include "commute/exact_commute.h"
+#include "graph/components.h"
+#include "linalg/dense_matrix.h"
+
 namespace cad {
+
+namespace {
+
+// Extends a labeling with one singleton component per appended node. New
+// nodes carry the highest ids, and component ids are assigned in order of
+// each component's smallest node, so this matches a fresh labeling of the
+// grown graph exactly.
+ComponentLabeling GrowComponents(const ComponentLabeling& components,
+                                 size_t num_nodes) {
+  ComponentLabeling grown = components;
+  grown.component.reserve(num_nodes);
+  grown.sizes.reserve(grown.num_components +
+                      (num_nodes - grown.component.size()));
+  while (grown.component.size() < num_nodes) {
+    grown.component.push_back(static_cast<uint32_t>(grown.num_components));
+    grown.sizes.push_back(1);
+    ++grown.num_components;
+  }
+  return grown;
+}
+
+// Zero-pads a square matrix (the exact engine's L+) to size n x n. Isolated
+// nodes have l+_ii = 0, so zero rows/columns are exactly what a fresh build
+// produces for them.
+DenseMatrix PadSquare(const DenseMatrix& matrix, size_t n) {
+  DenseMatrix padded(n, n);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      padded(i, j) = matrix(i, j);
+    }
+  }
+  return padded;
+}
+
+// Zero-pads a k x n embedding with columns for the appended nodes. Isolated
+// nodes have no incident edges, so their JL projections are exactly zero.
+DenseMatrix PadColumns(const DenseMatrix& matrix, size_t cols) {
+  DenseMatrix padded(matrix.rows(), cols);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      padded(i, j) = matrix(i, j);
+    }
+  }
+  return padded;
+}
+
+}  // namespace
+
+Status OnlineCadMonitor::GrowPreviousTo(size_t num_nodes) {
+  CAD_RETURN_NOT_OK(previous_snapshot_->GrowTo(num_nodes));
+  // Growing appends isolated nodes, which leave the volume and every
+  // within-component pseudoinverse entry untouched; only the
+  // cross-component sentinel depends on n, and a fresh build would derive
+  // it from the same formula.
+  if (const auto* exact =
+          dynamic_cast<const ExactCommuteTime*>(previous_oracle_.get())) {
+    const double sentinel = CrossComponentSentinel(
+        exact->volume(), num_nodes, options_.detector.exact);
+    previous_oracle_ = std::make_unique<ExactCommuteTime>(
+        ExactCommuteTime::FromParts(
+            PadSquare(exact->laplacian_pseudoinverse(), num_nodes),
+            GrowComponents(exact->components(), num_nodes), exact->volume(),
+            sentinel, exact->use_sentinel()));
+    return Status::OK();
+  }
+  if (const auto* approx = dynamic_cast<const ApproxCommuteEmbedding*>(
+          previous_oracle_.get())) {
+    const double sentinel = CrossComponentSentinel(
+        approx->volume(), num_nodes, options_.detector.approx.commute);
+    previous_oracle_ = std::make_unique<ApproxCommuteEmbedding>(
+        ApproxCommuteEmbedding::FromParts(
+            PadColumns(approx->embedding(), num_nodes),
+            GrowComponents(approx->components(), num_nodes), approx->volume(),
+            sentinel, approx->use_sentinel(), approx->cg_stats()));
+    return Status::OK();
+  }
+  return Status::NotImplemented(
+      "cannot grow an unknown commute-time oracle type");
+}
 
 Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
     const WeightedGraph& snapshot) {
   if (previous_snapshot_.has_value() &&
       snapshot.num_nodes() != previous_snapshot_->num_nodes()) {
-    return Status::InvalidArgument(
-        "snapshot node count " + std::to_string(snapshot.num_nodes()) +
-        " does not match the stream's " +
-        std::to_string(previous_snapshot_->num_nodes()));
+    if (snapshot.num_nodes() < previous_snapshot_->num_nodes()) {
+      return Status::InvalidArgument(
+          "snapshot node count " + std::to_string(snapshot.num_nodes()) +
+          " is below the stream's " +
+          std::to_string(previous_snapshot_->num_nodes()) +
+          "; discovered node sets only grow");
+    }
+    CAD_RETURN_NOT_OK(GrowPreviousTo(snapshot.num_nodes()));
   }
 
   std::unique_ptr<CommuteTimeOracle> oracle;

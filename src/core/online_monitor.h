@@ -10,6 +10,7 @@
 #include "commute/solver_cache.h"
 #include "core/cad_detector.h"
 #include "core/threshold.h"
+#include "graph/node_vocabulary.h"
 
 namespace cad {
 
@@ -52,7 +53,10 @@ class OnlineCadMonitor {
   ///    warmup,
   ///  - otherwise the AnomalyReport for the transition that just completed,
   ///    thresholded at the current online delta.
-  /// The snapshot's node count must match previously observed snapshots.
+  /// The snapshot's node count may exceed the previous snapshot's (a
+  /// discovered node set growing, DESIGN.md §8): the previous snapshot is
+  /// reinterpreted with the new nodes isolated, which leaves its commute
+  /// oracle's scores on existing pairs bit-identical. Shrinking is rejected.
   [[nodiscard]] Result<std::optional<AnomalyReport>> Observe(const WeightedGraph& snapshot);
 
   /// The currently calibrated threshold (0 until the first transition).
@@ -60,6 +64,15 @@ class OnlineCadMonitor {
 
   /// Number of snapshots observed so far.
   size_t num_snapshots() const { return num_snapshots_; }
+
+  /// Node count of the most recently observed snapshot (0 before the first).
+  /// Under node growth this is the high-water mark the next snapshot must
+  /// meet or exceed; stream drivers use it to re-seed their aggregator on
+  /// resume.
+  size_t num_nodes() const {
+    return previous_snapshot_.has_value() ? previous_snapshot_->num_nodes()
+                                          : 0;
+  }
 
   /// Number of completed transitions over the stream's lifetime (not capped
   /// by max_history). AnomalyReport::transition indexes this count, so
@@ -71,6 +84,20 @@ class OnlineCadMonitor {
   const std::vector<TransitionScores>& history() const { return history_; }
 
   const OnlineMonitorOptions& options() const { return options_; }
+
+  /// Attaches the string-id vocabulary of the stream being monitored. The
+  /// monitor never consults it — ids stay dense integers — but SaveCheckpoint
+  /// persists it (format v2) so a resumed run renders the same names.
+  void SetVocabulary(NodeVocabulary vocabulary) {
+    vocabulary_ = std::move(vocabulary);
+  }
+
+  /// The attached vocabulary, or nullptr for integer-id streams.
+  const NodeVocabulary* vocabulary() const {
+    return vocabulary_.has_value() ? &*vocabulary_ : nullptr;
+  }
+
+  void ClearVocabulary() { vocabulary_.reset(); }
 
   /// \brief Serializes the complete monitor state (previous snapshot and
   /// oracle, retained score history, calibrated delta, solver-cache
@@ -90,6 +117,13 @@ class OnlineCadMonitor {
   [[nodiscard]] Status LoadCheckpointFile(const std::string& path);
 
  private:
+  /// Grows the previous snapshot and its oracle to `num_nodes` by appending
+  /// isolated nodes (zero-padded pseudoinverse/embedding rows, singleton
+  /// components, unchanged volume, sentinel recomputed for the new size) —
+  /// exactly what a fresh build of the grown snapshot produces, without
+  /// re-running the solver.
+  [[nodiscard]] Status GrowPreviousTo(size_t num_nodes);
+
   OnlineMonitorOptions options_;
   CadDetector detector_;
   // Streaming timelines are the natural fit for temporal warm-starting: the
@@ -98,6 +132,7 @@ class OnlineCadMonitor {
   CommuteSolverCache solver_cache_{options_.detector.approx.refactor_threshold};
   std::optional<WeightedGraph> previous_snapshot_;
   std::unique_ptr<CommuteTimeOracle> previous_oracle_;
+  std::optional<NodeVocabulary> vocabulary_;
   std::vector<TransitionScores> history_;
   double delta_ = 0.0;
   size_t num_snapshots_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "common/check.h"
 
@@ -15,6 +16,16 @@ Status ValidateInputs(const std::vector<double>& scores,
                       const std::vector<bool>& labels) {
   if (scores.size() != labels.size()) {
     return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  // A NaN score would make the `scores[a] > scores[b]` sort comparator
+  // violate strict weak ordering (UB in std::sort), and the tie-grouping
+  // `==` walk below would never terminate a NaN group correctly. Reject all
+  // non-finite scores up front.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      return Status::InvalidArgument("non-finite score at index " +
+                                     std::to_string(i));
+    }
   }
   const size_t positives =
       static_cast<size_t>(std::count(labels.begin(), labels.end(), true));

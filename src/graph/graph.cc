@@ -23,6 +23,16 @@ Status ValidateEndpoints(NodeId u, NodeId v, size_t num_nodes) {
 
 }  // namespace
 
+Status WeightedGraph::GrowTo(size_t num_nodes) {
+  if (num_nodes < num_nodes_) {
+    return Status::InvalidArgument(
+        "GrowTo cannot shrink the node set: " + std::to_string(num_nodes) +
+        " < " + std::to_string(num_nodes_));
+  }
+  num_nodes_ = num_nodes;
+  return Status::OK();
+}
+
 Status WeightedGraph::SetEdge(NodeId u, NodeId v, double weight) {
   CAD_RETURN_NOT_OK(ValidateEndpoints(u, v, num_nodes_));
   if (weight < 0.0 || !std::isfinite(weight)) {

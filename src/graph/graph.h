@@ -57,6 +57,11 @@ class WeightedGraph {
 
   size_t num_nodes() const { return num_nodes_; }
 
+  /// Grows the node set to `num_nodes`; new nodes are isolated. Shrinking is
+  /// rejected (edges could dangle). Growing never touches existing edges, so
+  /// volume and degrees of existing nodes are unchanged.
+  [[nodiscard]] Status GrowTo(size_t num_nodes);
+
   /// Number of edges with nonzero weight.
   size_t num_edges() const { return weights_.size(); }
 

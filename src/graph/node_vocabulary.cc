@@ -1,0 +1,67 @@
+#include "graph/node_vocabulary.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace cad {
+
+Status NodeVocabulary::ValidateNodeName(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("node name must be non-empty");
+  }
+  if (name.front() == '#') {
+    return Status::InvalidArgument("node name \"" + std::string(name) +
+                                   "\" must not start with '#'");
+  }
+  for (const char c : name) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (byte <= 0x20 || byte == 0x7f) {
+      return Status::InvalidArgument(
+          "node name \"" + std::string(name) +
+          "\" contains whitespace or control characters");
+    }
+  }
+  return Status::OK();
+}
+
+Result<NodeId> NodeVocabulary::Intern(std::string_view name) {
+  CAD_RETURN_NOT_OK(ValidateNodeName(name));
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  if (names_.size() > std::numeric_limits<NodeId>::max()) {
+    return Status::InvalidArgument("node vocabulary exceeds the NodeId range");
+  }
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<NodeId> NodeVocabulary::Find(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<NodeVocabulary> NodeVocabulary::FromNames(
+    const std::vector<std::string>& names) {
+  NodeVocabulary vocabulary;
+  for (size_t i = 0; i < names.size(); ++i) {
+    Result<NodeId> id = vocabulary.Intern(names[i]);
+    if (!id.ok()) return id.status();
+    if (*id != i) {
+      return Status::InvalidArgument("duplicate node name \"" + names[i] +
+                                     "\" at position " + std::to_string(i));
+    }
+  }
+  return vocabulary;
+}
+
+std::string NodeLabel(const NodeVocabulary* vocabulary, NodeId id) {
+  if (vocabulary != nullptr && static_cast<size_t>(id) < vocabulary->size()) {
+    return vocabulary->Name(id);
+  }
+  return std::to_string(id);
+}
+
+}  // namespace cad

@@ -1,0 +1,83 @@
+#ifndef CAD_GRAPH_NODE_VOCABULARY_H_
+#define CAD_GRAPH_NODE_VOCABULARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cad {
+
+/// \brief Bidirectional mapping between external string node ids and the
+/// dense integer `NodeId`s the solvers operate on.
+///
+/// The paper's datasets (Enron email addresses, DBLP author names,
+/// precipitation station codes) are string-keyed and their node sets grow
+/// over time. The vocabulary assigns dense ids in first-appearance order, so
+/// the mapping is deterministic for a given input stream: replaying a prefix
+/// of the stream reproduces a prefix of the vocabulary. That property is what
+/// makes checkpoint/resume of named streams exact (DESIGN.md §8).
+///
+/// Names must be non-empty, contain no whitespace or control characters
+/// (they appear as single tokens in the text formats), and must not start
+/// with '#' (the comment marker).
+class NodeVocabulary {
+ public:
+  NodeVocabulary() = default;
+
+  /// Checks that `name` is well-formed (non-empty, no whitespace/control
+  /// characters, no leading '#') without interning it. Callers that must
+  /// intern several names atomically validate them all first.
+  [[nodiscard]] static Status ValidateNodeName(std::string_view name);
+
+  /// Returns the id for `name`, inserting it at the next dense id if unseen.
+  /// Rejects malformed names (see ValidateNodeName) and overflow past the
+  /// `NodeId` range.
+  [[nodiscard]] Result<NodeId> Intern(std::string_view name);
+
+  /// The id for `name`, or nullopt if it has never been interned.
+  std::optional<NodeId> Find(std::string_view name) const;
+
+  /// The name for a dense id. Bounds-checked.
+  const std::string& Name(NodeId id) const {
+    CAD_CHECK_LT(static_cast<size_t>(id), names_.size());
+    return names_[id];
+  }
+
+  /// Number of interned names; dense ids are [0, size()).
+  size_t size() const { return names_.size(); }
+
+  bool empty() const { return names_.empty(); }
+
+  /// All names in dense-id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Rebuilds a vocabulary from a dense-id-ordered name list (checkpoint
+  /// restore). Rejects malformed or duplicate names.
+  [[nodiscard]] static Result<NodeVocabulary> FromNames(
+      const std::vector<std::string>& names);
+
+  bool operator==(const NodeVocabulary& other) const {
+    return names_ == other.names_;
+  }
+  bool operator!=(const NodeVocabulary& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> ids_;
+};
+
+/// \brief Renders a node id for human-facing output: the vocabulary name when
+/// one covers `id`, otherwise the decimal id. Integer-id runs (no vocabulary)
+/// therefore render exactly as before.
+std::string NodeLabel(const NodeVocabulary* vocabulary, NodeId id);
+
+}  // namespace cad
+
+#endif  // CAD_GRAPH_NODE_VOCABULARY_H_

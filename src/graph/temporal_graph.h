@@ -1,10 +1,12 @@
 #ifndef CAD_GRAPH_TEMPORAL_GRAPH_H_
 #define CAD_GRAPH_TEMPORAL_GRAPH_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/graph.h"
+#include "graph/node_vocabulary.h"
 
 namespace cad {
 
@@ -32,6 +34,29 @@ class TemporalGraphSequence {
 
   /// Appends a snapshot. Its node count must match the sequence's.
   [[nodiscard]] Status Append(WeightedGraph snapshot);
+
+  /// Appends a snapshot, growing whichever side is smaller: a larger snapshot
+  /// grows the sequence (earlier snapshots gain isolated nodes), a smaller
+  /// snapshot is grown to the sequence's node count. This is the ingestion
+  /// path for discovered node sets (DESIGN.md §8); `Append` stays strict so
+  /// fixed-size pipelines keep their node-count invariant.
+  [[nodiscard]] Status AppendGrowing(WeightedGraph snapshot);
+
+  /// Grows the node set to `num_nodes`, including every existing snapshot;
+  /// the new nodes are isolated everywhere. Shrinking is rejected.
+  [[nodiscard]] Status GrowTo(size_t num_nodes);
+
+  /// Attaches a string-id vocabulary covering the node set exactly
+  /// (vocabulary size must equal num_nodes()). Purely a relabeling layer:
+  /// detectors and solvers never look at it.
+  [[nodiscard]] Status SetVocabulary(NodeVocabulary vocabulary);
+
+  /// The attached vocabulary, or nullptr for integer-id sequences.
+  const NodeVocabulary* vocabulary() const {
+    return vocabulary_.has_value() ? &*vocabulary_ : nullptr;
+  }
+
+  void ClearVocabulary() { vocabulary_.reset(); }
 
   /// Snapshot at time t (0-based). Bounds-checked.
   const WeightedGraph& Snapshot(size_t t) const {
@@ -63,6 +88,7 @@ class TemporalGraphSequence {
  private:
   size_t num_nodes_;
   std::vector<WeightedGraph> snapshots_;
+  std::optional<NodeVocabulary> vocabulary_;
 };
 
 }  // namespace cad

@@ -127,6 +127,11 @@ void CheckpointWriter::WriteSizeVec(const std::vector<size_t>& values) {
   for (size_t value : values) WriteU64(value);
 }
 
+void CheckpointWriter::WriteString(std::string_view value) {
+  WriteU64(value.size());
+  WriteBytes(value.data(), value.size());
+}
+
 void CheckpointWriter::WriteDoubleVec(const std::vector<double>& values) {
   WriteU64(values.size());
   for (double value : values) WriteDouble(value);
@@ -216,6 +221,25 @@ Result<std::vector<double>> CheckpointReader::ReadDoubleVec() {
   return values;
 }
 
+Result<std::string> CheckpointReader::ReadString() {
+  uint64_t size = 0;
+  CAD_ASSIGN_OR_RETURN(size, ReadU64());
+  std::string value;
+  value.reserve(static_cast<size_t>(std::min(size, kReserveCap)));
+  // Incremental chunked read: a corrupt length fails at the first missing
+  // byte instead of allocating `size` upfront.
+  char chunk[4096];
+  uint64_t remaining = size;
+  while (remaining > 0) {
+    const auto take =
+        static_cast<std::streamsize>(std::min<uint64_t>(remaining, sizeof(chunk)));
+    if (!in_->read(chunk, take)) return Truncated();
+    value.append(chunk, static_cast<size_t>(take));
+    remaining -= static_cast<uint64_t>(take);
+  }
+  return value;
+}
+
 Status CheckpointReader::ExpectHeader() {
   char magic[kCheckpointMagicSize];
   if (!in_->read(magic, sizeof(magic))) return Truncated();
@@ -224,10 +248,11 @@ Status CheckpointReader::ExpectHeader() {
   }
   uint8_t version = 0;
   CAD_ASSIGN_OR_RETURN(version, ReadU8());
-  if (version != kCheckpointVersion) {
+  if (version < kCheckpointVersionIntegerIds || version > kCheckpointVersion) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
   }
+  version_ = version;
   return Status::OK();
 }
 
@@ -355,6 +380,29 @@ Result<TransitionScores> ReadTransitionScores(CheckpointReader* reader) {
   return scores;
 }
 
+void WriteNodeVocabulary(CheckpointWriter* writer,
+                         const NodeVocabulary& vocabulary) {
+  writer->WriteU64(vocabulary.size());
+  for (const std::string& name : vocabulary.names()) {
+    writer->WriteString(name);
+  }
+}
+
+Result<NodeVocabulary> ReadNodeVocabulary(CheckpointReader* reader) {
+  uint64_t count = 0;
+  CAD_ASSIGN_OR_RETURN(count, reader->ReadU64());
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(std::min(count, kReserveCap)));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    CAD_ASSIGN_OR_RETURN(name, reader->ReadString());
+    names.push_back(std::move(name));
+  }
+  // FromNames re-validates and rejects duplicates, so a corrupt section
+  // cannot yield an inconsistent name <-> id mapping.
+  return NodeVocabulary::FromNames(names);
+}
+
 // --- OnlineCadMonitor checkpointing ----------------------------------------
 // Defined here, next to the format, so the monitor core stays free of
 // serialization detail; as member functions they have the access needed to
@@ -364,7 +412,15 @@ Status OnlineCadMonitor::SaveCheckpoint(std::ostream* out) const {
   CAD_CHECK(out != nullptr);
   CheckpointWriter writer(out);
   writer.WriteBytes(kCheckpointMagic, kCheckpointMagicSize);
-  writer.WriteU8(kCheckpointVersion);
+  // Integer-id monitors keep emitting version 1 so their checkpoint files
+  // stay byte-identical across the vocabulary feature; only named runs pay
+  // the version bump.
+  const bool named = vocabulary_.has_value();
+  writer.WriteU8(named ? kCheckpointVersionNamedNodes
+                       : kCheckpointVersionIntegerIds);
+  if (named) {
+    WriteNodeVocabulary(&writer, *vocabulary_);
+  }
 
   writer.WriteU64(num_snapshots_);
   writer.WriteU64(num_transitions_total_);
@@ -437,6 +493,13 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
   CheckpointReader reader(in);
   CAD_RETURN_NOT_OK(reader.ExpectHeader());
 
+  std::optional<NodeVocabulary> vocabulary;
+  if (reader.version() >= kCheckpointVersionNamedNodes) {
+    NodeVocabulary loaded;
+    CAD_ASSIGN_OR_RETURN(loaded, ReadNodeVocabulary(&reader));
+    vocabulary = std::move(loaded);
+  }
+
   uint64_t num_snapshots = 0;
   uint64_t num_transitions_total = 0;
   double delta = 0.0;
@@ -504,6 +567,12 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
       return Status::InvalidArgument(
           "checkpoint: oracle/snapshot node count mismatch");
     }
+    // The vocabulary may run ahead of the last closed window (names interned
+    // from events still in the open window), but never behind it.
+    if (vocabulary.has_value() && vocabulary->size() < snapshot.num_nodes()) {
+      return Status::InvalidArgument(
+          "checkpoint: vocabulary smaller than the previous snapshot");
+    }
     previous_snapshot = std::move(snapshot);
   }
 
@@ -543,6 +612,7 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
 
   // All sections decoded — only now replace the monitor's state, so a
   // failed load leaves the monitor untouched.
+  vocabulary_ = std::move(vocabulary);
   num_snapshots_ = static_cast<size_t>(num_snapshots);
   num_transitions_total_ = static_cast<size_t>(num_transitions_total);
   delta_ = delta;

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "core/edge_scores.h"
 #include "graph/graph.h"
+#include "graph/node_vocabulary.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/sparse_matrix.h"
 
@@ -28,8 +30,14 @@ namespace cad {
 /// First bytes of every checkpoint file, before the version byte.
 inline constexpr char kCheckpointMagic[] = "CADCKPT";  // 7 significant bytes
 inline constexpr size_t kCheckpointMagicSize = 7;
-/// Current (and only) checkpoint format version.
-inline constexpr uint8_t kCheckpointVersion = 1;
+/// Version 1: integer-id monitor state (the original format).
+inline constexpr uint8_t kCheckpointVersionIntegerIds = 1;
+/// Version 2: version 1 plus a node-vocabulary section immediately after the
+/// header (DESIGN.md §8). Writers emit v2 only when a vocabulary is present,
+/// so integer-id checkpoints remain byte-identical to version 1 files.
+inline constexpr uint8_t kCheckpointVersionNamedNodes = 2;
+/// Highest checkpoint format version this build reads and writes.
+inline constexpr uint8_t kCheckpointVersion = kCheckpointVersionNamedNodes;
 
 /// \brief Little-endian primitive encoder over an ostream. Write calls set
 /// the stream's failbit on error; call Finish() once at the end to collapse
@@ -49,6 +57,8 @@ class CheckpointWriter {
   void WriteU64Vec(const std::vector<uint64_t>& values);
   void WriteSizeVec(const std::vector<size_t>& values);
   void WriteDoubleVec(const std::vector<double>& values);
+  /// u64 byte count, then the raw bytes.
+  void WriteString(std::string_view value);
 
   /// IoError if any prior write failed.
   [[nodiscard]] Status Finish() const;
@@ -72,12 +82,18 @@ class CheckpointReader {
   [[nodiscard]] Result<std::vector<uint32_t>> ReadU32Vec();
   [[nodiscard]] Result<std::vector<size_t>> ReadSizeVec();
   [[nodiscard]] Result<std::vector<double>> ReadDoubleVec();
+  [[nodiscard]] Result<std::string> ReadString();
 
-  /// Consumes and verifies the magic/version header.
+  /// Consumes and verifies the magic/version header. Accepts any version up
+  /// to kCheckpointVersion; the decoded version is available from version().
   [[nodiscard]] Status ExpectHeader();
+
+  /// Format version decoded by ExpectHeader (0 before a successful call).
+  uint8_t version() const { return version_; }
 
  private:
   std::istream* in_;
+  uint8_t version_ = 0;
 };
 
 // Composite serializers used by the monitor checkpoint (exposed for tests;
@@ -96,6 +112,15 @@ void WriteCsrMatrix(CheckpointWriter* writer, const CsrMatrix& matrix);
 void WriteTransitionScores(CheckpointWriter* writer,
                            const TransitionScores& scores);
 [[nodiscard]] Result<TransitionScores> ReadTransitionScores(
+    CheckpointReader* reader);
+
+/// Vocabulary section of version-2 checkpoints: a u64 name count followed by
+/// each name (length-prefixed), in dense-id order. ReadNodeVocabulary
+/// validates names and uniqueness, so a corrupt section cannot produce an
+/// inconsistent mapping.
+void WriteNodeVocabulary(CheckpointWriter* writer,
+                         const NodeVocabulary& vocabulary);
+[[nodiscard]] Result<NodeVocabulary> ReadNodeVocabulary(
     CheckpointReader* reader);
 
 }  // namespace cad

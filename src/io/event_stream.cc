@@ -18,10 +18,20 @@ namespace {
 // length must fail loudly instead of attempting a ~2^64-snapshot allocation.
 constexpr double kMaxDerivedWindows = 1e12;
 
+/// True when `token` parses as a non-negative integer, i.e. a valid dense
+/// node id (used by EventIdMode::kAuto to commit a stream's id mode).
+bool LooksLikeIntegerId(const std::string& token) {
+  Result<int64_t> value = ParseInt64(token);
+  return value.ok() && *value >= 0;
+}
+
 /// Parses one non-comment line of the event format. `line` must already be
-/// stripped and non-empty.
+/// stripped and non-empty. With a vocabulary, endpoint tokens are interned
+/// as names; interning happens only after every other field validates, so
+/// rejected lines never pollute the vocabulary.
 Result<TimestampedEvent> ParseEventLine(std::string_view line,
-                                        size_t line_number) {
+                                        size_t line_number,
+                                        NodeVocabulary* vocabulary) {
   const auto error_at = [line_number](const std::string& message) {
     return Status::InvalidArgument("line " + std::to_string(line_number) +
                                    ": " + message);
@@ -30,18 +40,14 @@ Result<TimestampedEvent> ParseEventLine(std::string_view line,
   if (fields.size() != 3 && fields.size() != 4) {
     return error_at("expected '<u> <v> <timestamp> [weight]'");
   }
-  Result<int64_t> u = ParseInt64(fields[0]);
-  Result<int64_t> v = ParseInt64(fields[1]);
   Result<double> timestamp = ParseDouble(fields[2]);
-  if (!u.ok() || !v.ok() || !timestamp.ok() || *u < 0 || *v < 0) {
+  if (!timestamp.ok()) {
     return error_at("malformed event");
   }
   if (!std::isfinite(*timestamp)) {
     return error_at("non-finite timestamp");
   }
   TimestampedEvent event;
-  event.u = static_cast<NodeId>(*u);
-  event.v = static_cast<NodeId>(*v);
   event.timestamp = *timestamp;
   if (fields.size() == 4) {
     Result<double> weight = ParseDouble(fields[3]);
@@ -52,6 +58,28 @@ Result<TimestampedEvent> ParseEventLine(std::string_view line,
       return error_at("weight must be finite and >= 0");
     }
     event.weight = *weight;
+  }
+  if (vocabulary == nullptr) {
+    Result<int64_t> u = ParseInt64(fields[0]);
+    Result<int64_t> v = ParseInt64(fields[1]);
+    if (!u.ok() || !v.ok() || *u < 0 || *v < 0) {
+      return error_at("malformed event");
+    }
+    event.u = static_cast<NodeId>(*u);
+    event.v = static_cast<NodeId>(*v);
+  } else {
+    // Validate both names before interning either, so a line rejected on
+    // its second endpoint leaves the vocabulary untouched.
+    const Status valid_u = NodeVocabulary::ValidateNodeName(fields[0]);
+    if (!valid_u.ok()) return error_at(valid_u.message());
+    const Status valid_v = NodeVocabulary::ValidateNodeName(fields[1]);
+    if (!valid_v.ok()) return error_at(valid_v.message());
+    Result<NodeId> u = vocabulary->Intern(fields[0]);
+    if (!u.ok()) return error_at(u.status().message());
+    Result<NodeId> v = vocabulary->Intern(fields[1]);
+    if (!v.ok()) return error_at(v.status().message());
+    event.u = *u;
+    event.v = *v;
   }
   return event;
 }
@@ -136,9 +164,13 @@ Result<TemporalGraphSequence> AggregateEventStream(
 }
 
 EventStreamReader::EventStreamReader(std::istream* in,
-                                     EventErrorPolicy policy)
-    : in_(in), policy_(policy) {
+                                     EventErrorPolicy policy,
+                                     NodeVocabulary* vocabulary,
+                                     EventIdMode id_mode)
+    : in_(in), policy_(policy), vocabulary_(vocabulary), id_mode_(id_mode) {
   CAD_CHECK(in != nullptr);
+  // Named interpretation needs somewhere to put the names.
+  if (vocabulary_ == nullptr) id_mode_ = EventIdMode::kInteger;
 }
 
 Result<std::optional<TimestampedEvent>> EventStreamReader::Next() {
@@ -147,14 +179,33 @@ Result<std::optional<TimestampedEvent>> EventStreamReader::Next() {
     ++line_number_;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
-    Result<TimestampedEvent> event = ParseEventLine(stripped, line_number_);
+    bool committed_this_line = false;
+    if (id_mode_ == EventIdMode::kAuto) {
+      // Commit the stream's id mode on its first data line so every later
+      // line is interpreted consistently (a numeric token in a named stream
+      // is a name; an alphabetic token in an integer stream is malformed).
+      const std::vector<std::string> fields = SplitTokens(stripped);
+      id_mode_ = (fields.size() >= 2 && LooksLikeIntegerId(fields[0]) &&
+                  LooksLikeIntegerId(fields[1]))
+                     ? EventIdMode::kInteger
+                     : EventIdMode::kNamed;
+      committed_this_line = true;
+    }
+    Result<TimestampedEvent> event = ParseEventLine(
+        stripped, line_number_,
+        id_mode_ == EventIdMode::kNamed ? vocabulary_ : nullptr);
     if (event.ok()) {
       return std::optional<TimestampedEvent>(*event);
     }
+    // Garbage must not lock the mode: a rejected line never interned
+    // anything (endpoints are validated before interning), so the next
+    // well-formed line should decide.
+    if (committed_this_line) id_mode_ = EventIdMode::kAuto;
     if (policy_ == EventErrorPolicy::kStrict) {
       return event.status();
     }
-    ++events_rejected_;
+    ++events_rejected_parse_;
+    CAD_METRIC_INC("io.events_rejected_parse");
     CAD_METRIC_INC("io.events_rejected");
   }
   // getline stopped: distinguish clean EOF from a mid-file read failure,
@@ -172,7 +223,13 @@ Result<std::vector<TimestampedEvent>> ReadEventStream(std::istream* in) {
 
 Result<std::vector<TimestampedEvent>> ReadEventStream(
     std::istream* in, EventErrorPolicy policy, size_t* events_rejected) {
-  EventStreamReader reader(in, policy);
+  return ReadEventStream(in, policy, events_rejected, nullptr);
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStream(
+    std::istream* in, EventErrorPolicy policy, size_t* events_rejected,
+    NodeVocabulary* vocabulary, EventIdMode id_mode) {
+  EventStreamReader reader(in, policy, vocabulary, id_mode);
   std::vector<TimestampedEvent> events;
   while (true) {
     std::optional<TimestampedEvent> event;
@@ -192,11 +249,17 @@ Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
 Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path, EventErrorPolicy policy,
     size_t* events_rejected) {
+  return ReadEventStreamFile(path, policy, events_rejected, nullptr);
+}
+
+Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path, EventErrorPolicy policy, size_t* events_rejected,
+    NodeVocabulary* vocabulary, EventIdMode id_mode) {
   std::ifstream file(path);
   if (!file.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
-  return ReadEventStream(&file, policy, events_rejected);
+  return ReadEventStream(&file, policy, events_rejected, vocabulary, id_mode);
 }
 
 Result<EventWindowAggregator> EventWindowAggregator::Create(
@@ -208,8 +271,8 @@ Result<EventWindowAggregator> EventWindowAggregator::Create(
   if (!std::isfinite(options.start_time)) {
     return Status::InvalidArgument("start_time must be finite");
   }
-  if (options.num_nodes == 0) {
-    return Status::InvalidArgument("num_nodes must be > 0");
+  if (options.num_nodes == 0 && !options.grow_nodes) {
+    return Status::InvalidArgument("num_nodes must be > 0 unless grow_nodes");
   }
   return EventWindowAggregator(options);
 }
@@ -236,7 +299,8 @@ Status EventWindowAggregator::Add(const TimestampedEvent& event,
     return Status::InvalidArgument("self-loop event at node " +
                                    std::to_string(event.u));
   }
-  if (event.u >= options_.num_nodes || event.v >= options_.num_nodes) {
+  if (!options_.grow_nodes &&
+      (event.u >= current_.num_nodes() || event.v >= current_.num_nodes())) {
     return Status::OutOfRange("event endpoint exceeds num_nodes");
   }
   if (!std::isfinite(event.weight) || event.weight < 0.0) {
@@ -250,16 +314,28 @@ Status EventWindowAggregator::Add(const TimestampedEvent& event,
         " while window " + std::to_string(current_window_) + " is open");
   }
   while (current_window_ < window) {
+    // A snapshot closes at the size the node set had reached; the set never
+    // shrinks, so later windows (and monitors growing their previous
+    // snapshot) see non-decreasing sizes.
+    const size_t nodes_at_close = current_.num_nodes();
     completed->push_back(std::move(current_));
-    current_ = WeightedGraph(options_.num_nodes);
+    current_ = WeightedGraph(nodes_at_close);
     ++current_window_;
+  }
+  if (options_.grow_nodes) {
+    const size_t needed =
+        static_cast<size_t>(std::max(event.u, event.v)) + size_t{1};
+    if (needed > current_.num_nodes()) {
+      CAD_RETURN_NOT_OK(current_.GrowTo(needed));
+    }
   }
   return current_.AddEdgeWeight(event.u, event.v, event.weight);
 }
 
 WeightedGraph EventWindowAggregator::Flush() {
+  const size_t nodes_at_close = current_.num_nodes();
   WeightedGraph closed = std::move(current_);
-  current_ = WeightedGraph(options_.num_nodes);
+  current_ = WeightedGraph(nodes_at_close);
   ++current_window_;
   return closed;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "graph/node_vocabulary.h"
 #include "graph/temporal_graph.h"
 
 namespace cad {
@@ -58,6 +59,19 @@ enum class EventErrorPolicy {
   kSkip,
 };
 
+/// \brief How event endpoint tokens are interpreted (DESIGN.md §8).
+enum class EventIdMode {
+  /// Decide from the first data line: if both endpoint tokens parse as
+  /// non-negative integers the stream is integer-keyed, otherwise named.
+  /// Without a vocabulary the reader is always integer-keyed.
+  kAuto,
+  /// Endpoints are dense integer ids (the historical format).
+  kInteger,
+  /// Every endpoint token — numeric-looking or not — is interned into the
+  /// vocabulary in first-appearance order.
+  kNamed,
+};
+
 /// \brief Incremental reader for the event text format:
 ///
 ///   # comment lines start with '#', blank lines are ignored
@@ -69,10 +83,19 @@ enum class EventErrorPolicy {
 /// whether they abort the read or are counted and skipped. Unlike the bulk
 /// ReadEventStream, the reader holds one record at a time, so arbitrarily
 /// long streams can be consumed in O(1) memory.
+///
+/// With a vocabulary attached, endpoint tokens are interned as string names
+/// per EventIdMode. A line's endpoints are interned only after every other
+/// field validates, so rejected lines never pollute the vocabulary. The
+/// caller owns the vocabulary; replaying a stream prefix reproduces a
+/// vocabulary prefix, which is what makes checkpoint resume of named
+/// streams exact.
 class EventStreamReader {
  public:
-  explicit EventStreamReader(std::istream* in,
-                             EventErrorPolicy policy = EventErrorPolicy::kStrict);
+  explicit EventStreamReader(
+      std::istream* in, EventErrorPolicy policy = EventErrorPolicy::kStrict,
+      NodeVocabulary* vocabulary = nullptr,
+      EventIdMode id_mode = EventIdMode::kAuto);
 
   /// The next well-formed event, or nullopt at end of stream. A mid-file
   /// read failure (stream badbit) reports IoError rather than a silent
@@ -82,14 +105,25 @@ class EventStreamReader {
   /// 1-based line number of the most recently consumed line.
   size_t line_number() const { return line_number_; }
 
-  /// Records dropped so far under EventErrorPolicy::kSkip.
-  size_t events_rejected() const { return events_rejected_; }
+  /// Records dropped so far under EventErrorPolicy::kSkip because they
+  /// failed to parse. (Range rejections happen downstream, at the window
+  /// aggregator; see `io.events_rejected_range`.)
+  size_t events_rejected() const { return events_rejected_parse_; }
+
+  /// Alias for events_rejected(), named for symmetry with the
+  /// `io.events_rejected_parse` metric.
+  size_t events_rejected_parse() const { return events_rejected_parse_; }
+
+  /// The resolved id mode: kAuto until the first data line commits it.
+  EventIdMode id_mode() const { return id_mode_; }
 
  private:
   std::istream* in_;
   EventErrorPolicy policy_;
+  NodeVocabulary* vocabulary_;
+  EventIdMode id_mode_;
   size_t line_number_ = 0;
-  size_t events_rejected_ = 0;
+  size_t events_rejected_parse_ = 0;
 };
 
 /// Text format, one event per line; see EventStreamReader. Strict policy:
@@ -101,6 +135,14 @@ class EventStreamReader {
 [[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStream(
     std::istream* in, EventErrorPolicy policy, size_t* events_rejected);
 
+/// Vocabulary-aware variant: endpoint tokens are interpreted per `id_mode`
+/// (auto-detected from the first data line by default), interning names
+/// into `*vocabulary` in first-appearance order. Integer-keyed streams
+/// leave the vocabulary empty.
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStream(
+    std::istream* in, EventErrorPolicy policy, size_t* events_rejected,
+    NodeVocabulary* vocabulary, EventIdMode id_mode = EventIdMode::kAuto);
+
 /// File variant of ReadEventStream.
 [[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path);
@@ -109,6 +151,11 @@ class EventStreamReader {
 [[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
     const std::string& path, EventErrorPolicy policy, size_t* events_rejected);
 
+/// File variant of the vocabulary-aware read.
+[[nodiscard]] Result<std::vector<TimestampedEvent>> ReadEventStreamFile(
+    const std::string& path, EventErrorPolicy policy, size_t* events_rejected,
+    NodeVocabulary* vocabulary, EventIdMode id_mode = EventIdMode::kAuto);
+
 /// \brief Configuration for EventWindowAggregator.
 struct EventWindowOptions {
   /// Window length in timestamp units. Must be positive and finite.
@@ -116,11 +163,18 @@ struct EventWindowOptions {
   /// Start of window 0. Must be finite (streaming cannot infer it after the
   /// fact; infer from the first event before constructing if needed).
   double start_time = 0.0;
-  /// Fixed node-set size shared by every emitted snapshot. Must be > 0.
+  /// Node-set size of the first emitted snapshot. Must be > 0 unless
+  /// `grow_nodes` is set, in which case 0 means "start empty and discover".
   size_t num_nodes = 0;
   /// Index of the first window to materialize; events in earlier windows
   /// are rejected by Add. Used to resume a stream from a checkpoint.
   size_t first_window = 0;
+  /// When true the node set is discovered rather than declared: an event
+  /// endpoint past the current size grows the open window instead of being
+  /// rejected as out of range. Emitted snapshot sizes are non-decreasing
+  /// (each window keeps the size the node set had when it closed); consumers
+  /// that need a fixed size grow earlier snapshots afterwards.
+  bool grow_nodes = false;
 };
 
 /// \brief Streaming counterpart of AggregateEventStream: feed time-ordered
@@ -132,7 +186,7 @@ struct EventWindowOptions {
 class EventWindowAggregator {
  public:
   /// Validates options. InvalidArgument on a non-positive/non-finite window
-  /// length, non-finite start, or zero node count.
+  /// length, non-finite start, or zero node count without `grow_nodes`.
   [[nodiscard]] static Result<EventWindowAggregator> Create(
       const EventWindowOptions& options);
 
@@ -159,6 +213,9 @@ class EventWindowAggregator {
 
   /// Index of the currently open window.
   size_t current_window() const { return current_window_; }
+
+  /// Current node-set size (grows under EventWindowOptions::grow_nodes).
+  size_t num_nodes() const { return current_.num_nodes(); }
 
  private:
   explicit EventWindowAggregator(const EventWindowOptions& options)

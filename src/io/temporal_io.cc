@@ -13,14 +13,23 @@ namespace cad {
 Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,
                              std::ostream* out) {
   CAD_CHECK(out != nullptr);
+  const NodeVocabulary* vocabulary = sequence.vocabulary();
   (*out) << "# CAD temporal graph sequence\n";
-  (*out) << "temporal " << sequence.num_nodes() << " "
-         << sequence.num_snapshots() << "\n";
+  if (vocabulary == nullptr) {
+    (*out) << "temporal " << sequence.num_nodes() << " "
+           << sequence.num_snapshots() << "\n";
+  } else {
+    (*out) << "temporal ? " << sequence.num_snapshots() << "\n";
+    for (const std::string& name : vocabulary->names()) {
+      (*out) << "node " << name << "\n";
+    }
+  }
   out->precision(17);
   for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
     (*out) << "snapshot " << t << "\n";
     for (const Edge& e : sequence.Snapshot(t).Edges()) {
-      (*out) << "edge " << e.u << " " << e.v << " " << e.weight << "\n";
+      (*out) << "edge " << NodeLabel(vocabulary, e.u) << " "
+             << NodeLabel(vocabulary, e.v) << " " << e.weight << "\n";
     }
   }
   if (!out->good()) {
@@ -43,9 +52,16 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
   CAD_TRACE_SPAN("temporal_load");
   TemporalGraphSequence sequence;
   bool header_seen = false;
+  bool named_mode = false;
   size_t declared_snapshots = 0;
   size_t num_nodes = 0;
   WeightedGraph current(0);
+  NodeVocabulary vocabulary;
+  // Named mode: edges are buffered per snapshot and materialized at EOF once
+  // the full node set is known, so every snapshot is sized to the discovered
+  // vocabulary (earlier snapshots hold later-appearing nodes as isolated).
+  std::vector<Edge> pending_current;
+  std::vector<std::vector<Edge>> pending_snapshots;
   bool in_snapshot = false;
   size_t expected_snapshot = 0;
   size_t line_number = 0;
@@ -66,14 +82,29 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
     if (fields[0] == "temporal") {
       if (header_seen) return error_at("duplicate 'temporal' header");
       if (fields.size() != 3) return error_at("'temporal' needs 2 fields");
-      Result<int64_t> nodes = ParseInt64(fields[1]);
+      if (fields[1] == "?") {
+        named_mode = true;
+      } else {
+        Result<int64_t> nodes = ParseInt64(fields[1]);
+        if (!nodes.ok() || *nodes < 0) return error_at("bad node count");
+        num_nodes = static_cast<size_t>(*nodes);
+        // num_nodes = 0 also means "infer": a declared size of zero admits
+        // no edges anyway, so no previously valid file changes meaning.
+        named_mode = num_nodes == 0;
+      }
       Result<int64_t> snaps = ParseInt64(fields[2]);
-      if (!nodes.ok() || *nodes < 0) return error_at("bad node count");
       if (!snaps.ok() || *snaps < 0) return error_at("bad snapshot count");
-      num_nodes = static_cast<size_t>(*nodes);
       declared_snapshots = static_cast<size_t>(*snaps);
       sequence = TemporalGraphSequence(num_nodes);
       header_seen = true;
+    } else if (fields[0] == "node") {
+      if (!header_seen) return error_at("'node' before 'temporal'");
+      if (!named_mode) {
+        return error_at("'node' records require a 'temporal ?' header");
+      }
+      if (fields.size() != 2) return error_at("'node' needs 1 field");
+      Result<NodeId> id = vocabulary.Intern(fields[1]);
+      if (!id.ok()) return error_at(id.status().message());
     } else if (fields[0] == "snapshot") {
       if (!header_seen) return error_at("'snapshot' before 'temporal'");
       if (fields.size() != 2) return error_at("'snapshot' needs 1 field");
@@ -84,7 +115,12 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
                         std::to_string(expected_snapshot));
       }
       if (in_snapshot) {
-        CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+        if (named_mode) {
+          pending_snapshots.push_back(std::move(pending_current));
+          pending_current.clear();
+        } else {
+          CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+        }
       }
       current = WeightedGraph(num_nodes);
       in_snapshot = true;
@@ -92,19 +128,36 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
     } else if (fields[0] == "edge") {
       if (!in_snapshot) return error_at("'edge' outside a snapshot");
       if (fields.size() != 4) return error_at("'edge' needs 3 fields");
-      Result<int64_t> u = ParseInt64(fields[1]);
-      Result<int64_t> v = ParseInt64(fields[2]);
       Result<double> weight = ParseDouble(fields[3]);
-      if (!u.ok() || !v.ok() || !weight.ok()) {
-        return error_at("malformed edge");
-      }
-      if (*u < 0 || *v < 0) return error_at("negative node id");
+      if (!weight.ok()) return error_at("malformed edge");
       if (!std::isfinite(*weight)) {
         return error_at("non-finite edge weight '" + fields[3] + "'");
       }
-      const Status set = current.SetEdge(static_cast<NodeId>(*u),
-                                         static_cast<NodeId>(*v), *weight);
-      if (!set.ok()) return error_at(set.message());
+      if (named_mode) {
+        if (*weight < 0.0) {
+          return error_at("edge weight must be finite and >= 0, got " +
+                          fields[3]);
+        }
+        Result<NodeId> u = vocabulary.Intern(fields[1]);
+        if (!u.ok()) return error_at(u.status().message());
+        Result<NodeId> v = vocabulary.Intern(fields[2]);
+        if (!v.ok()) return error_at(v.status().message());
+        if (*u == *v) {
+          return error_at("self-loops are not allowed (node '" + fields[1] +
+                          "')");
+        }
+        pending_current.push_back(Edge{*u, *v, *weight});
+      } else {
+        Result<int64_t> u = ParseInt64(fields[1]);
+        Result<int64_t> v = ParseInt64(fields[2]);
+        if (!u.ok() || !v.ok()) return error_at("malformed edge");
+        if (*u < 0 || *v < 0) return error_at("negative node id");
+        // Repeated edge records within one snapshot accumulate (see the
+        // format contract in temporal_io.h).
+        const Status add = current.AddEdgeWeight(
+            static_cast<NodeId>(*u), static_cast<NodeId>(*v), *weight);
+        if (!add.ok()) return error_at(add.message());
+      }
       ++edges_read;
     } else {
       return error_at("unknown record '" + fields[0] + "'");
@@ -118,13 +171,33 @@ Result<TemporalGraphSequence> ReadTemporalEdgeList(std::istream* in) {
     return Status::InvalidArgument("missing 'temporal' header");
   }
   if (in_snapshot) {
-    CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+    if (named_mode) {
+      pending_snapshots.push_back(std::move(pending_current));
+    } else {
+      CAD_RETURN_NOT_OK(sequence.Append(std::move(current)));
+    }
+  }
+  if (named_mode) {
+    sequence = TemporalGraphSequence(vocabulary.size());
+    for (std::vector<Edge>& pending : pending_snapshots) {
+      WeightedGraph snapshot(vocabulary.size());
+      for (const Edge& e : pending) {
+        CAD_RETURN_NOT_OK(snapshot.AddEdgeWeight(e.u, e.v, e.weight));
+      }
+      CAD_RETURN_NOT_OK(sequence.Append(std::move(snapshot)));
+    }
   }
   if (sequence.num_snapshots() != declared_snapshots) {
     return Status::InvalidArgument(
         "snapshot count mismatch: header declares " +
         std::to_string(declared_snapshots) + ", found " +
         std::to_string(sequence.num_snapshots()));
+  }
+  // An inferred file that named no nodes at all (e.g. a legacy
+  // 'temporal 0 0') stays a plain integer sequence: an empty vocabulary
+  // carries no information and would change the write-side roundtrip.
+  if (named_mode && !vocabulary.empty()) {
+    CAD_RETURN_NOT_OK(sequence.SetVocabulary(std::move(vocabulary)));
   }
   CAD_METRIC_ADD("io.snapshots_loaded", sequence.num_snapshots());
   CAD_METRIC_ADD("io.edges_loaded", edges_read);

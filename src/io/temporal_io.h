@@ -19,7 +19,20 @@ namespace cad {
 ///
 /// Snapshots must appear in order 0..T-1; every snapshot header must be
 /// present even if the snapshot has no edges. Weights must be positive
-/// (absent edges are simply not listed).
+/// (absent edges are simply not listed). An `edge` repeated within one
+/// snapshot accumulates: the snapshot's weight is the sum of the repeated
+/// records (both this loader and the event loader define duplicates this
+/// way, so the two ingestion paths agree).
+///
+/// Named mode (DESIGN.md §8): a header of `temporal ? <num_snapshots>` (or
+/// `temporal 0 <num_snapshots>`) means the node set is discovered rather
+/// than declared. Every endpoint token — numeric-looking or not — is
+/// interned as a string name in first-appearance order, and the returned
+/// sequence carries the resulting NodeVocabulary with every snapshot sized
+/// to the full discovered node set (earlier snapshots hold later-appearing
+/// nodes as isolated). Optional `node <name>` records intern a name without
+/// requiring an incident edge; the writer emits one per vocabulary entry in
+/// dense-id order so the name -> id mapping round-trips exactly.
 
 /// Serializes `sequence` into the text format.
 [[nodiscard]] Status WriteTemporalEdgeList(const TemporalGraphSequence& sequence,

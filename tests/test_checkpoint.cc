@@ -410,5 +410,150 @@ TEST(MonitorCheckpointTest, MissingFileIsIoError) {
   EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
+// ---------------------------------------------------------------------------
+// Vocabulary / format versioning (DESIGN.md §8)
+
+TEST(CheckpointPrimitiveTest, StringsRoundTrip) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteString("");
+  writer.WriteString("alice");
+  writer.WriteString(std::string(10000, 'x'));
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto empty = reader.ReadString();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, "");
+  auto alice = reader.ReadString();
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(*alice, "alice");
+  auto big = reader.ReadString();
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->size(), 10000u);
+}
+
+TEST(CheckpointPrimitiveTest, CorruptStringLengthIsIoErrorNotBadAlloc) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU64(1ull << 60);  // claimed length, no bytes follow
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto value = reader.ReadString();
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointCompositeTest, NodeVocabularyRoundTrips) {
+  Result<NodeVocabulary> vocab =
+      NodeVocabulary::FromNames({"alice", "bob", "carol_7"});
+  ASSERT_TRUE(vocab.ok());
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  WriteNodeVocabulary(&writer, *vocab);
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  auto restored = ReadNodeVocabulary(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == *vocab);
+}
+
+TEST(CheckpointCompositeTest, CorruptVocabularyWithDuplicatesRejected) {
+  std::stringstream buffer;
+  CheckpointWriter writer(&buffer);
+  writer.WriteU64(2);
+  writer.WriteString("same");
+  writer.WriteString("same");
+  ASSERT_TRUE(writer.Finish().ok());
+  CheckpointReader reader(&buffer);
+  EXPECT_FALSE(ReadNodeVocabulary(&reader).ok());
+}
+
+TEST(MonitorCheckpointTest, IntegerStreamsStillWriteVersion1) {
+  // Byte-level compatibility: without a vocabulary the checkpoint must be
+  // exactly the v1 format, so existing integer kill/resume byte-diffs hold.
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor monitor(options);
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(monitor.SaveCheckpoint(&checkpoint).ok());
+  const std::string bytes = checkpoint.str();
+  ASSERT_GT(bytes.size(), kCheckpointMagicSize);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[kCheckpointMagicSize]),
+            kCheckpointVersionIntegerIds);
+}
+
+TEST(MonitorCheckpointTest, VocabularyRoundTripsThroughVersion2) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(1.0)).ok());
+  Result<NodeVocabulary> vocab = NodeVocabulary::FromNames(
+      {"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"});
+  ASSERT_TRUE(vocab.ok());
+  saver.SetVocabulary(*vocab);
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+  const std::string bytes = checkpoint.str();
+  EXPECT_EQ(static_cast<uint8_t>(bytes[kCheckpointMagicSize]),
+            kCheckpointVersionNamedNodes);
+
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  ASSERT_NE(restored.vocabulary(), nullptr);
+  EXPECT_TRUE(*restored.vocabulary() == *vocab);
+  EXPECT_EQ(restored.num_snapshots(), 2u);
+}
+
+TEST(MonitorCheckpointTest, VocabularyMayRunAheadOfSnapshot) {
+  // The stream driver's vocabulary can already hold names interned from
+  // open-window events past the checkpointed snapshot; that is legal. It
+  // must never run behind.
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  Result<NodeVocabulary> ahead = NodeVocabulary::FromNames(
+      {"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3", "late_joiner"});
+  ASSERT_TRUE(ahead.ok());
+  saver.SetVocabulary(*ahead);
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  ASSERT_NE(restored.vocabulary(), nullptr);
+  EXPECT_EQ(restored.vocabulary()->size(), 9u);
+
+  OnlineCadMonitor behind_saver(options);
+  ASSERT_TRUE(behind_saver.Observe(TwoTeams(0.0)).ok());
+  Result<NodeVocabulary> behind = NodeVocabulary::FromNames({"only_one"});
+  ASSERT_TRUE(behind.ok());
+  behind_saver.SetVocabulary(*behind);
+  std::stringstream bad_checkpoint;
+  ASSERT_TRUE(behind_saver.SaveCheckpoint(&bad_checkpoint).ok());
+  OnlineCadMonitor rejecting(options);
+  EXPECT_FALSE(rejecting.LoadCheckpoint(&bad_checkpoint).ok());
+}
+
+TEST(MonitorCheckpointTest, Version1CheckpointStillLoads) {
+  // Forward compatibility with pre-vocabulary checkpoints: a v1 byte stream
+  // (which is exactly what a vocabulary-less monitor writes) must load into
+  // the current code with no vocabulary attached.
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(2.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  EXPECT_EQ(restored.vocabulary(), nullptr);
+  EXPECT_EQ(restored.num_snapshots(), 2u);
+  EXPECT_EQ(restored.current_delta(), saver.current_delta());
+}
+
 }  // namespace
 }  // namespace cad

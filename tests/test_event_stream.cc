@@ -361,6 +361,163 @@ TEST(EventWindowAggregatorTest, FirstWindowSupportsResumption) {
   EXPECT_EQ(aggregator->Flush().EdgeWeight(0, 1), 1.0);
 }
 
+TEST(EventStreamReaderTest, AutoModeCommitsIntegerFromFirstLine) {
+  std::istringstream in("0 1 0.5\n2 3 1.0\n");
+  NodeVocabulary vocab;
+  EventStreamReader reader(&in, EventErrorPolicy::kStrict, &vocab);
+  EXPECT_EQ(reader.id_mode(), EventIdMode::kAuto);
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(reader.id_mode(), EventIdMode::kInteger);
+  EXPECT_EQ((*first)->u, 0u);
+  EXPECT_TRUE(vocab.empty());  // integer streams never intern
+}
+
+TEST(EventStreamReaderTest, AutoModeCommitsNamedFromFirstLine) {
+  std::istringstream in(
+      "alice bob 0.5\n"
+      "bob 7 1.0\n");  // '7' is a name once the stream is named
+  NodeVocabulary vocab;
+  EventStreamReader reader(&in, EventErrorPolicy::kStrict, &vocab);
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(reader.id_mode(), EventIdMode::kNamed);
+  EXPECT_EQ((*first)->u, 0u);
+  EXPECT_EQ((*first)->v, 1u);
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->u, 1u);
+  EXPECT_EQ((*second)->v, 2u);
+  ASSERT_EQ(vocab.size(), 3u);
+  EXPECT_EQ(vocab.Name(0), "alice");
+  EXPECT_EQ(vocab.Name(2), "7");
+}
+
+TEST(EventStreamReaderTest, GarbageFirstLineDoesNotLockIdMode) {
+  // A malformed first data line must not commit the stream's id mode; the
+  // next well-formed line decides.
+  std::istringstream in(
+      "0 1\n"       // integer-looking but malformed (missing timestamp)
+      "alice bob 0.5\n");
+  NodeVocabulary vocab;
+  EventStreamReader reader(&in, EventErrorPolicy::kSkip, &vocab);
+  auto event = reader.Next();
+  ASSERT_TRUE(event.ok());
+  ASSERT_TRUE(event->has_value());
+  EXPECT_EQ(reader.id_mode(), EventIdMode::kNamed);
+  EXPECT_EQ(vocab.Name(0), "alice");
+  EXPECT_EQ(reader.events_rejected_parse(), 1u);
+}
+
+TEST(EventStreamReaderTest, RejectedNamedLineDoesNotPolluteVocabulary) {
+  // The second endpoint is invalid, so the first must not be interned.
+  std::istringstream in(
+      "alice bob 0.5\n"
+      "carol #bad 1.0\n"
+      "dave erin 1.5\n");
+  NodeVocabulary vocab;
+  EventStreamReader reader(&in, EventErrorPolicy::kSkip, &vocab);
+  std::vector<TimestampedEvent> events;
+  while (true) {
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    events.push_back(**next);
+  }
+  EXPECT_EQ(events.size(), 2u);
+  ASSERT_EQ(vocab.size(), 4u);
+  EXPECT_FALSE(vocab.Find("carol").has_value());
+  EXPECT_EQ(vocab.Name(2), "dave");
+}
+
+TEST(EventStreamReaderTest, NamedEventsMatchPremappedIntegerEvents) {
+  // The named stream and its hand-mapped integer counterpart must produce
+  // identical event sequences (the ingestion-equivalence contract that the
+  // named-node CI smoke checks end to end).
+  std::istringstream named_in(
+      "alice bob 0.5 2.0\n"
+      "bob carol 1.5\n"
+      "alice carol 2.5\n");
+  NodeVocabulary vocab;
+  EventStreamReader named(&named_in, EventErrorPolicy::kStrict, &vocab);
+  std::istringstream integer_in(
+      "0 1 0.5 2.0\n"
+      "1 2 1.5\n"
+      "0 2 2.5\n");
+  EventStreamReader integer(&integer_in, EventErrorPolicy::kStrict);
+  while (true) {
+    auto a = named.Next();
+    auto b = integer.Next();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->has_value(), b->has_value());
+    if (!a->has_value()) break;
+    EXPECT_EQ((*a)->u, (*b)->u);
+    EXPECT_EQ((*a)->v, (*b)->v);
+    EXPECT_EQ((*a)->timestamp, (*b)->timestamp);
+    EXPECT_EQ((*a)->weight, (*b)->weight);
+  }
+}
+
+TEST(EventStreamReaderTest, ExplicitNamedModeTreatsIntegersAsNames) {
+  std::istringstream in("10 11 0.5\n");
+  NodeVocabulary vocab;
+  EventStreamReader reader(&in, EventErrorPolicy::kStrict, &vocab,
+                           EventIdMode::kNamed);
+  auto event = reader.Next();
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ((*event)->u, 0u);
+  EXPECT_EQ((*event)->v, 1u);
+  EXPECT_EQ(vocab.Name(0), "10");
+}
+
+TEST(EventWindowAggregatorTest, GrowModeDiscoversNodeSet) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 0;
+  options.grow_nodes = true;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok()) << aggregator.status().ToString();
+  EXPECT_EQ(aggregator->num_nodes(), 0u);
+  std::vector<WeightedGraph> completed;
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 0.5), &completed).ok());
+  EXPECT_EQ(aggregator->num_nodes(), 2u);
+  ASSERT_TRUE(aggregator->Add(Event(3, 1, 1.5), &completed).ok());
+  // Window 0 closed at the size the node set had reached then.
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].num_nodes(), 2u);
+  EXPECT_EQ(aggregator->num_nodes(), 4u);
+  const WeightedGraph last = aggregator->Flush();
+  EXPECT_EQ(last.num_nodes(), 4u);
+  EXPECT_EQ(last.EdgeWeight(1, 3), 1.0);
+}
+
+TEST(EventWindowAggregatorTest, GrowModeKeepsSizeAcrossEmptyWindows) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 0;
+  options.grow_nodes = true;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  std::vector<WeightedGraph> completed;
+  ASSERT_TRUE(aggregator->Add(Event(0, 5, 0.5), &completed).ok());
+  ASSERT_TRUE(aggregator->Add(Event(0, 1, 3.5), &completed).ok());
+  ASSERT_EQ(completed.size(), 3u);  // windows 0-2; the quiet ones keep size 6
+  EXPECT_EQ(completed[1].num_nodes(), 6u);
+  EXPECT_EQ(completed[2].num_nodes(), 6u);
+}
+
+TEST(EventWindowAggregatorTest, FixedSizeStillRejectsOutOfRange) {
+  EventWindowOptions options;
+  options.window_length = 1.0;
+  options.num_nodes = 2;
+  auto aggregator = EventWindowAggregator::Create(options);
+  ASSERT_TRUE(aggregator.ok());
+  std::vector<WeightedGraph> completed;
+  const Status status = aggregator->Add(Event(0, 9, 0.5), &completed);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
 TEST(EventWindowAggregatorTest, WindowIndexRejectsBadTimestamps) {
   EventWindowOptions options;
   options.window_length = 1.0;

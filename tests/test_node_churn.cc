@@ -1,0 +1,127 @@
+// Node-churn coverage (DESIGN.md §8): sequences whose node set grows must
+// behave exactly like their full-size counterparts with the late nodes
+// isolated early on — same consistency verdicts, same transition scores
+// under both commute engines, bit for bit.
+
+#include <gtest/gtest.h>
+
+#include "core/cad_detector.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+namespace {
+
+// Snapshot 0 at 6 nodes: a 6-cycle.
+WeightedGraph EarlySnapshot(size_t n) {
+  WeightedGraph g(n);
+  for (NodeId i = 0; i < 5; ++i) CAD_CHECK_OK(g.SetEdge(i, i + 1, 1.0));
+  CAD_CHECK_OK(g.SetEdge(0, 5, 1.0));
+  return g;
+}
+
+// Snapshot 1 at 8 nodes: nodes 6 and 7 appear (attached to the cycle) while
+// node 2 loses all of its edges.
+WeightedGraph LateSnapshot() {
+  WeightedGraph g(8);
+  for (const Edge& e : EarlySnapshot(8).Edges()) {
+    if (e.u == 2 || e.v == 2) continue;
+    CAD_CHECK_OK(g.SetEdge(e.u, e.v, e.weight));
+  }
+  CAD_CHECK_OK(g.SetEdge(5, 6, 2.0));
+  CAD_CHECK_OK(g.SetEdge(6, 7, 1.0));
+  return g;
+}
+
+// The grown sequence: snapshot 0 ingested at 6 nodes, snapshot 1 at 8.
+TemporalGraphSequence GrownSequence() {
+  TemporalGraphSequence seq(6);
+  CAD_CHECK_OK(seq.AppendGrowing(EarlySnapshot(6)));
+  CAD_CHECK_OK(seq.AppendGrowing(LateSnapshot()));
+  return seq;
+}
+
+// The same history declared at the full size up front.
+TemporalGraphSequence PremappedSequence() {
+  TemporalGraphSequence seq(8);
+  CAD_CHECK_OK(seq.Append(EarlySnapshot(8)));
+  CAD_CHECK_OK(seq.Append(LateSnapshot()));
+  return seq;
+}
+
+TEST(NodeChurnTest, AppendGrowingGrowsEarlierSnapshots) {
+  const TemporalGraphSequence seq = GrownSequence();
+  EXPECT_EQ(seq.num_nodes(), 8u);
+  EXPECT_EQ(seq.Snapshot(0).num_nodes(), 8u);  // grown, new nodes isolated
+  EXPECT_EQ(seq.Snapshot(0).EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(seq.Snapshot(0).EdgeWeight(5, 6), 0.0);
+}
+
+TEST(NodeChurnTest, CheckConsistentAcceptsGrownSequences) {
+  CAD_CHECK_OK(GrownSequence().CheckConsistent());
+}
+
+TEST(NodeChurnTest, AppendGrowingGrowsSmallerSnapshotsToo) {
+  TemporalGraphSequence seq(8);
+  CAD_CHECK_OK(seq.Append(EarlySnapshot(8)));
+  CAD_CHECK_OK(seq.AppendGrowing(EarlySnapshot(6)));  // grown to 8 on entry
+  EXPECT_EQ(seq.Snapshot(1).num_nodes(), 8u);
+  CAD_CHECK_OK(seq.CheckConsistent());
+}
+
+TEST(NodeChurnTest, GrowToRejectsShrink) {
+  TemporalGraphSequence seq(8);
+  EXPECT_EQ(seq.GrowTo(4).code(), StatusCode::kInvalidArgument);
+}
+
+void ExpectIdenticalScores(CommuteEngine engine) {
+  CadOptions options;
+  options.engine = engine;
+  options.approx.embedding_dim = 4;
+  options.approx.seed = 3;
+  CadDetector detector(options);
+  auto grown = detector.Analyze(GrownSequence());
+  auto premapped = detector.Analyze(PremappedSequence());
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  ASSERT_TRUE(premapped.ok()) << premapped.status().ToString();
+  ASSERT_EQ(grown->size(), premapped->size());
+  for (size_t t = 0; t < grown->size(); ++t) {
+    const TransitionScores& a = (*grown)[t];
+    const TransitionScores& b = (*premapped)[t];
+    EXPECT_EQ(a.total_score, b.total_score);
+    EXPECT_EQ(a.node_scores, b.node_scores);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      EXPECT_EQ(a.edges[i].pair, b.edges[i].pair);
+      EXPECT_EQ(a.edges[i].score, b.edges[i].score);
+      EXPECT_EQ(a.edges[i].weight_delta, b.edges[i].weight_delta);
+      EXPECT_EQ(a.edges[i].commute_delta, b.edges[i].commute_delta);
+    }
+  }
+}
+
+TEST(NodeChurnTest, GrownScoresMatchPremappedExact) {
+  ExpectIdenticalScores(CommuteEngine::kExact);
+}
+
+TEST(NodeChurnTest, GrownScoresMatchPremappedApprox) {
+  ExpectIdenticalScores(CommuteEngine::kApprox);
+}
+
+TEST(NodeChurnTest, VocabularySizeMustMatchNodeCount) {
+  TemporalGraphSequence seq(2);
+  Result<NodeVocabulary> small = NodeVocabulary::FromNames({"a"});
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(seq.SetVocabulary(*small).ok());
+  Result<NodeVocabulary> exact_size = NodeVocabulary::FromNames({"a", "b"});
+  ASSERT_TRUE(exact_size.ok());
+  CAD_CHECK_OK(seq.SetVocabulary(*exact_size));
+  ASSERT_NE(seq.vocabulary(), nullptr);
+  EXPECT_EQ(seq.vocabulary()->Name(1), "b");
+  // Growing the node set past the vocabulary breaks the covering invariant,
+  // which CheckConsistent reports.
+  CAD_CHECK_OK(seq.GrowTo(3));
+  EXPECT_FALSE(seq.CheckConsistent().ok());
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,96 @@
+#include "graph/node_vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(NodeVocabularyTest, InternAssignsDenseIdsInFirstAppearanceOrder) {
+  NodeVocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  Result<NodeId> alice = vocab.Intern("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(*alice, 0u);
+  Result<NodeId> bob = vocab.Intern("bob");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(*bob, 1u);
+  // Re-interning returns the existing id without growing.
+  Result<NodeId> again = vocab.Intern("alice");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(NodeVocabularyTest, NameAndFindRoundtrip) {
+  NodeVocabulary vocab;
+  CAD_CHECK_OK(vocab.Intern("x").status());
+  CAD_CHECK_OK(vocab.Intern("y").status());
+  EXPECT_EQ(vocab.Name(0), "x");
+  EXPECT_EQ(vocab.Name(1), "y");
+  ASSERT_TRUE(vocab.Find("y").has_value());
+  EXPECT_EQ(*vocab.Find("y"), 1u);
+  EXPECT_FALSE(vocab.Find("z").has_value());
+}
+
+TEST(NodeVocabularyTest, NumericLookingNamesAreJustNames) {
+  // In named mode every token is a name, including numeric-looking ones;
+  // "7" interns to whatever dense id comes next.
+  NodeVocabulary vocab;
+  CAD_CHECK_OK(vocab.Intern("alice").status());
+  Result<NodeId> seven = vocab.Intern("7");
+  ASSERT_TRUE(seven.ok());
+  EXPECT_EQ(*seven, 1u);
+  EXPECT_EQ(vocab.Name(1), "7");
+}
+
+TEST(NodeVocabularyTest, RejectsInvalidNames) {
+  NodeVocabulary vocab;
+  EXPECT_EQ(vocab.Intern("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(vocab.Intern("has space").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vocab.Intern("tab\there").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vocab.Intern("#comment").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vocab.size(), 0u);
+}
+
+TEST(NodeVocabularyTest, ValidateNodeNameMatchesIntern) {
+  EXPECT_TRUE(NodeVocabulary::ValidateNodeName("ok_name.1-x").ok());
+  EXPECT_FALSE(NodeVocabulary::ValidateNodeName("bad name").ok());
+  EXPECT_FALSE(NodeVocabulary::ValidateNodeName("").ok());
+}
+
+TEST(NodeVocabularyTest, FromNamesBuildsAndRejectsDuplicates) {
+  Result<NodeVocabulary> vocab = NodeVocabulary::FromNames({"a", "b", "c"});
+  ASSERT_TRUE(vocab.ok());
+  EXPECT_EQ(vocab->size(), 3u);
+  EXPECT_EQ(vocab->Name(2), "c");
+
+  EXPECT_EQ(NodeVocabulary::FromNames({"a", "b", "a"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NodeVocabulary::FromNames({"a", "bad name"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NodeVocabularyTest, Equality) {
+  Result<NodeVocabulary> a = NodeVocabulary::FromNames({"a", "b"});
+  Result<NodeVocabulary> b = NodeVocabulary::FromNames({"a", "b"});
+  Result<NodeVocabulary> c = NodeVocabulary::FromNames({"b", "a"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_TRUE(*a != *c);  // same names, different ids: not interchangeable
+}
+
+TEST(NodeVocabularyTest, NodeLabelFallsBackToDecimalId) {
+  Result<NodeVocabulary> vocab = NodeVocabulary::FromNames({"a"});
+  ASSERT_TRUE(vocab.ok());
+  EXPECT_EQ(NodeLabel(&*vocab, 0), "a");
+  EXPECT_EQ(NodeLabel(&*vocab, 5), "5");   // beyond the vocabulary
+  EXPECT_EQ(NodeLabel(nullptr, 3), "3");   // integer-id sequence
+}
+
+}  // namespace
+}  // namespace cad

@@ -82,10 +82,77 @@ TEST(OnlineMonitorTest, CalmTransitionsReportNothing) {
   }
 }
 
-TEST(OnlineMonitorTest, RejectsNodeCountChange) {
+TEST(OnlineMonitorTest, AcceptsGrowthRejectsShrink) {
+  // Discovered node sets only grow (DESIGN.md §8): a larger snapshot grows
+  // the stream in place, a smaller one is rejected.
   OnlineCadMonitor monitor;
   ASSERT_TRUE(monitor.Observe(WeightedGraph(5)).ok());
-  EXPECT_FALSE(monitor.Observe(WeightedGraph(6)).ok());
+  ASSERT_TRUE(monitor.Observe(WeightedGraph(6)).ok());
+  EXPECT_EQ(monitor.num_nodes(), 6u);
+  EXPECT_FALSE(monitor.Observe(WeightedGraph(5)).ok());
+}
+
+WeightedGraph PadGraph(const WeightedGraph& g, size_t n) {
+  WeightedGraph padded(n);
+  for (const Edge& e : g.Edges()) {
+    CAD_CHECK_OK(padded.SetEdge(e.u, e.v, e.weight));
+  }
+  return padded;
+}
+
+// A stream whose node set grows mid-way must report exactly what a stream
+// premapped to the final size reports: appended nodes are isolated, and
+// isolated nodes leave commute scores bit-identical (DESIGN.md §8).
+void ExpectGrowingStreamMatchesPremapped(CommuteEngine engine) {
+  OnlineMonitorOptions options;
+  options.detector.engine = engine;
+  options.detector.approx.embedding_dim = 4;
+  options.detector.approx.seed = 11;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 1;
+  OnlineCadMonitor growing(options);
+  OnlineCadMonitor premapped(options);
+
+  // Two 8-node snapshots, then the set grows to 10 (nodes 8, 9 join while
+  // node 2 goes isolated).
+  WeightedGraph early = TwoTeams(0.0);
+  WeightedGraph late(10);
+  for (const Edge& e : early.Edges()) {
+    if (e.u == 2 || e.v == 2) continue;  // node 2 goes quiet
+    CAD_CHECK_OK(late.SetEdge(e.u, e.v, e.weight));
+  }
+  CAD_CHECK_OK(late.SetEdge(7, 8, 1.5));
+  CAD_CHECK_OK(late.SetEdge(8, 9, 1.0));
+
+  const std::vector<WeightedGraph> grown_stream = {early, early, late, late};
+  for (size_t t = 0; t < grown_stream.size(); ++t) {
+    auto from_growing = growing.Observe(grown_stream[t]);
+    auto from_premapped = premapped.Observe(PadGraph(grown_stream[t], 10));
+    ASSERT_TRUE(from_growing.ok()) << from_growing.status().ToString();
+    ASSERT_TRUE(from_premapped.ok());
+    EXPECT_EQ(growing.current_delta(), premapped.current_delta());
+    ASSERT_EQ(from_growing->has_value(), from_premapped->has_value());
+    if (!from_growing->has_value()) continue;
+    const AnomalyReport& a = **from_growing;
+    const AnomalyReport& b = **from_premapped;
+    EXPECT_EQ(a.transition, b.transition);
+    EXPECT_EQ(a.nodes, b.nodes);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (size_t i = 0; i < a.edges.size(); ++i) {
+      EXPECT_EQ(a.edges[i].pair, b.edges[i].pair);
+      EXPECT_EQ(a.edges[i].score, b.edges[i].score);
+      EXPECT_EQ(a.edges[i].commute_delta, b.edges[i].commute_delta);
+    }
+  }
+  EXPECT_EQ(growing.num_nodes(), 10u);
+}
+
+TEST(OnlineMonitorTest, GrowingStreamMatchesPremappedExact) {
+  ExpectGrowingStreamMatchesPremapped(CommuteEngine::kExact);
+}
+
+TEST(OnlineMonitorTest, GrowingStreamMatchesPremappedApprox) {
+  ExpectGrowingStreamMatchesPremapped(CommuteEngine::kApprox);
 }
 
 TEST(OnlineMonitorTest, HistoryMatchesBatchAnalysis) {

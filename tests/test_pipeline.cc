@@ -133,5 +133,58 @@ TEST(PipelineTest, NodeScoresCsvSkipsZeros) {
   EXPECT_LT(std::count(nonzero_csv.begin(), nonzero_csv.end(), '\n'), 18);
 }
 
+// With a vocabulary attached to the input sequence, every writer renders
+// node names instead of integer ids; without one, output is unchanged.
+TEST(PipelineTest, WritersRenderNodeNamesWhenVocabularyPresent) {
+  ToyExample toy = MakeToyExample();
+  std::vector<std::string> names;
+  names.reserve(toy.sequence.num_nodes());
+  for (size_t i = 0; i < toy.sequence.num_nodes(); ++i) {
+    names.push_back("host-" + std::to_string(i));
+  }
+  auto vocabulary = NodeVocabulary::FromNames(names);
+  ASSERT_TRUE(vocabulary.ok());
+  CAD_CHECK_OK(toy.sequence.SetVocabulary(*vocabulary));
+
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->vocabulary.has_value());
+
+  std::ostringstream edges;
+  ASSERT_TRUE(WriteEdgeReportCsv(*result, &edges).ok());
+  const std::string edge_csv = edges.str();
+  EXPECT_NE(edge_csv.find("host-"), std::string::npos);
+
+  std::ostringstream nodes;
+  ASSERT_TRUE(WriteNodeScoresCsv(*result, &nodes, false).ok());
+  const std::string node_csv = nodes.str();
+  EXPECT_NE(node_csv.find("host-0,"), std::string::npos);
+
+  std::ostringstream json;
+  ASSERT_TRUE(WritePipelineResultJson(*result, &json).ok());
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"u\":\"host-"), std::string::npos);
+  EXPECT_NE(json_text.find("\"v\":\"host-"), std::string::npos);
+}
+
+TEST(PipelineTest, WritersKeepIntegerIdsWithoutVocabulary) {
+  const ToyExample toy = MakeToyExample();
+  PipelineOptions options;
+  options.nodes_per_transition = 6.0;
+  options.cad.engine = CommuteEngine::kExact;
+  auto result = RunAnomalyPipeline(toy.sequence, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->vocabulary.has_value());
+
+  std::ostringstream json;
+  ASSERT_TRUE(WritePipelineResultJson(*result, &json).ok());
+  // Integer path: u/v stay JSON numbers, never quoted strings.
+  EXPECT_EQ(json.str().find("\"u\":\""), std::string::npos);
+  EXPECT_EQ(json.str().find("\"v\":\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cad

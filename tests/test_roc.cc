@@ -1,5 +1,7 @@
 #include "eval/roc.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -119,6 +121,36 @@ TEST(AverageRocCurvesTest, MonotoneNonDecreasing) {
     EXPECT_GE(averaged.points[i].true_positive_rate,
               averaged.points[i - 1].true_positive_rate - 1e-12);
   }
+}
+
+// NaN scores used to flow into the sort comparator, which is UB (strict weak
+// ordering is violated). Both entry points must reject them up front.
+TEST(RocTest, RejectsNonFiniteScores) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<bool> labels = {true, false, true, false};
+
+  for (const double bad : {nan, inf, -inf}) {
+    const std::vector<double> scores = {0.9, bad, 0.2, 0.1};
+    const auto curve = ComputeRoc(scores, labels);
+    ASSERT_FALSE(curve.ok());
+    EXPECT_EQ(curve.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(curve.status().message().find("non-finite score at index 1"),
+              std::string::npos)
+        << curve.status().message();
+    const auto auc = ComputeAuc(scores, labels);
+    ASSERT_FALSE(auc.ok());
+    EXPECT_EQ(auc.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(RocTest, FiniteExtremeScoresStillAccepted) {
+  const double big = std::numeric_limits<double>::max();
+  const std::vector<double> scores = {big, 0.8, -big, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  const auto auc = ComputeAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
 }
 
 }  // namespace

@@ -167,5 +167,130 @@ TEST(TemporalIoTest, FileNotFound) {
       StatusCode::kIoError);
 }
 
+TEST(TemporalIoTest, DuplicateEdgeRecordsAccumulate) {
+  // Repeated 'edge u v w' within one snapshot sums the weights (the format
+  // contract); both endpoint orders address the same undirected edge.
+  std::istringstream in(
+      "temporal 3 1\n"
+      "snapshot 0\n"
+      "edge 0 1 1.5\n"
+      "edge 1 0 2.0\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 3.5);
+}
+
+TEST(TemporalIoTest, NamedModeInternsInFirstAppearanceOrder) {
+  std::istringstream in(
+      "temporal ? 2\n"
+      "snapshot 0\n"
+      "edge alice bob 1.0\n"
+      "snapshot 1\n"
+      "edge bob carol 2.0\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  ASSERT_NE(parsed->vocabulary(), nullptr);
+  EXPECT_EQ(parsed->vocabulary()->Name(0), "alice");
+  EXPECT_EQ(parsed->vocabulary()->Name(1), "bob");
+  EXPECT_EQ(parsed->vocabulary()->Name(2), "carol");
+  // Every snapshot is sized to the full discovered node set: carol exists
+  // (isolated) in snapshot 0 even though she first appears in snapshot 1.
+  EXPECT_EQ(parsed->Snapshot(0).num_nodes(), 3u);
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(parsed->Snapshot(1).EdgeWeight(1, 2), 2.0);
+}
+
+TEST(TemporalIoTest, NamedModeDuplicateEdgesAccumulateToo) {
+  // The accumulate contract holds in both loaders' modes.
+  std::istringstream in(
+      "temporal ? 1\n"
+      "snapshot 0\n"
+      "edge a b 1.0\n"
+      "edge b a 0.5\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Snapshot(0).EdgeWeight(0, 1), 1.5);
+}
+
+TEST(TemporalIoTest, ZeroNodeHeaderAlsoMeansInfer) {
+  std::istringstream in(
+      "temporal 0 1\n"
+      "snapshot 0\n"
+      "edge x y 4.0\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), 2u);
+  ASSERT_NE(parsed->vocabulary(), nullptr);
+  EXPECT_EQ(parsed->vocabulary()->Name(0), "x");
+}
+
+TEST(TemporalIoTest, NamedRoundTripPreservesVocabularyExactly) {
+  // Includes a node that never touches an edge: the 'node' records carry it.
+  std::istringstream in(
+      "temporal ? 2\n"
+      "node isolated_one\n"
+      "snapshot 0\n"
+      "edge alice bob 1.25\n"
+      "snapshot 1\n"
+      "edge alice bob 2.0\n");
+  auto original = ReadTemporalEdgeList(&in);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_EQ(original->num_nodes(), 3u);
+  EXPECT_EQ(original->vocabulary()->Name(0), "isolated_one");
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemporalEdgeList(*original, &out).ok());
+  std::istringstream in2(out.str());
+  auto reparsed = ReadTemporalEdgeList(&in2);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_NE(reparsed->vocabulary(), nullptr);
+  EXPECT_TRUE(*reparsed->vocabulary() == *original->vocabulary());
+  ASSERT_EQ(reparsed->num_snapshots(), 2u);
+  EXPECT_TRUE(reparsed->Snapshot(0) == original->Snapshot(0));
+  EXPECT_TRUE(reparsed->Snapshot(1) == original->Snapshot(1));
+
+  // And the second write is byte-identical to the first (stable format).
+  std::ostringstream out2;
+  ASSERT_TRUE(WriteTemporalEdgeList(*reparsed, &out2).ok());
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+TEST(TemporalIoTest, IntegerModeOutputUnchangedByVocabularyLayer) {
+  // Integer sequences must write exactly the historical format: no 'node'
+  // records, no '?' header.
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTemporalEdgeList(SampleSequence(), &out).ok());
+  EXPECT_EQ(out.str().find("node "), std::string::npos);
+  EXPECT_NE(out.str().find("temporal 3 2"), std::string::npos);
+}
+
+TEST(TemporalIoTest, NodeRecordRequiresInferredHeader) {
+  std::istringstream in(
+      "temporal 2 1\n"
+      "node alice\n"
+      "snapshot 0\n"
+      "edge 0 1 1.0\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
+TEST(TemporalIoTest, NamedModeRejectsSelfLoopByName) {
+  std::istringstream in(
+      "temporal ? 1\n"
+      "snapshot 0\n"
+      "edge alice alice 1.0\n");
+  auto parsed = ReadTemporalEdgeList(&in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TemporalIoTest, NamedModeRejectsNegativeWeight) {
+  std::istringstream in(
+      "temporal ? 1\n"
+      "snapshot 0\n"
+      "edge a b -1.0\n");
+  EXPECT_FALSE(ReadTemporalEdgeList(&in).ok());
+}
+
 }  // namespace
 }  // namespace cad

@@ -15,6 +15,7 @@
 
 #include "app/pipeline.h"
 #include "common/flags.h"
+#include "graph/node_vocabulary.h"
 #include "graph/temporal_stats.h"
 #include "io/dot_writer.h"
 #include "io/event_stream.h"
@@ -53,7 +54,8 @@ int Run(int argc, char** argv) {
                   "temporal edge list file (this or --events is required)");
   flags.AddString("events", &events,
                   "timestamped event file '<u> <v> <t> [w]'; aggregated "
-                  "into windows of --window");
+                  "into windows of --window; endpoints may be string names "
+                  "(auto-detected)");
   flags.AddDouble("window", &window,
                   "window length for --events aggregation");
   flags.AddString("error_policy", &error_policy,
@@ -136,12 +138,24 @@ int Run(int argc, char** argv) {
     if (window <= 0.0) {
       return Status::InvalidArgument("--events requires a positive --window");
     }
+    // Auto-detected id mode: integer endpoints behave exactly as before;
+    // string endpoints are interned and the vocabulary is attached to the
+    // sequence so reports render the original names (DESIGN.md §8).
+    NodeVocabulary vocabulary;
     Result<std::vector<TimestampedEvent>> stream =
-        ReadEventStreamFile(events, policy, &events_rejected);
+        ReadEventStreamFile(events, policy, &events_rejected, &vocabulary);
     if (!stream.ok()) return stream.status();
     EventAggregationOptions aggregation;
     aggregation.window_length = window;
-    return AggregateEventStream(*stream, aggregation);
+    Result<TemporalGraphSequence> aggregated =
+        AggregateEventStream(*stream, aggregation);
+    if (aggregated.ok() && !vocabulary.empty()) {
+      // The vocabulary can run ahead of the max referenced id (names from
+      // events outside the aggregation range); the extra nodes are isolated.
+      CAD_RETURN_NOT_OK(aggregated->GrowTo(vocabulary.size()));
+      CAD_RETURN_NOT_OK(aggregated->SetVocabulary(std::move(vocabulary)));
+    }
+    return aggregated;
   }();
   if (!sequence.ok()) {
     std::cerr << "failed to load input: " << sequence.status().ToString()
@@ -173,6 +187,10 @@ int Run(int argc, char** argv) {
                 << sequence->num_nodes() << " nodes\n";
       return 1;
     }
+  }
+  // Named inputs carry their own labels; an explicit --names still wins.
+  if (node_names.empty() && sequence->vocabulary() != nullptr) {
+    node_names = sequence->vocabulary()->names();
   }
 
   PipelineOptions options;

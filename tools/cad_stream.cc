@@ -6,6 +6,12 @@
 // cad_cli --events, the file is never materialized as a whole sequence:
 // memory stays O(window + max_history).
 //
+// Endpoints may be string names instead of integer ids ('alice bob 3.5'):
+// the id mode is auto-detected from the first data line, names are interned
+// in first-appearance order, and report rows render the original names.
+// With --num_nodes 0 the node set is discovered rather than declared — it
+// grows as unseen endpoints arrive (DESIGN.md §8).
+//
 // Checkpointing makes the stream restartable:
 //
 //   cad_stream --events ev.txt --window 1 --num_nodes 64
@@ -20,6 +26,7 @@
 // uninterrupted run's output (monitor options must match across runs; they
 // are not stored in the checkpoint).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -29,6 +36,7 @@
 #include "common/flags.h"
 #include "common/strings.h"
 #include "core/online_monitor.h"
+#include "graph/node_vocabulary.h"
 #include "io/checkpoint.h"
 #include "io/event_stream.h"
 #include "obs/obs.h"
@@ -36,10 +44,12 @@
 namespace cad {
 namespace {
 
-void WriteReportRows(const AnomalyReport& report, std::ostream* out) {
+void WriteReportRows(const AnomalyReport& report,
+                     const NodeVocabulary* vocabulary, std::ostream* out) {
   for (const ScoredEdge& edge : report.edges) {
-    (*out) << report.transition << "," << edge.pair.u << "," << edge.pair.v
-           << "," << FormatDouble(edge.score, 9) << ","
+    (*out) << report.transition << "," << NodeLabel(vocabulary, edge.pair.u)
+           << "," << NodeLabel(vocabulary, edge.pair.v) << ","
+           << FormatDouble(edge.score, 9) << ","
            << FormatDouble(edge.weight_delta, 9) << ","
            << FormatDouble(edge.commute_delta, 9) << "\n";
   }
@@ -69,7 +79,9 @@ int Run(int argc, char** argv) {
                   "timestamped event file '<u> <v> <t> [w]', time-ordered");
   flags.AddDouble("window", &window, "window length in timestamp units");
   flags.AddInt64("num_nodes", &num_nodes,
-                 "fixed node-set size shared by every window");
+                 "fixed node-set size shared by every window; 0 discovers "
+                 "the node set from the events (it grows as unseen "
+                 "endpoints arrive)");
   flags.AddDouble("start_time", &start_time, "timestamp of window 0's start");
   flags.AddString("error_policy", &error_policy,
                   "malformed-record handling: strict (fail fast) or skip "
@@ -115,10 +127,11 @@ int Run(int argc, char** argv) {
     std::cerr << "--window must be positive\n";
     return 2;
   }
-  if (num_nodes <= 0) {
-    std::cerr << "--num_nodes must be positive\n";
+  if (num_nodes < 0) {
+    std::cerr << "--num_nodes must be >= 0 (0 = discover the node set)\n";
     return 2;
   }
+  const bool grow_mode = num_nodes == 0;
   if (checkpoint_every > 0 && checkpoint.empty()) {
     std::cerr << "--checkpoint_every requires --checkpoint\n";
     return 2;
@@ -165,6 +178,15 @@ int Run(int argc, char** argv) {
   // arithmetic, so resumption never re-feeds or splits a window.
   const size_t first_window = monitor.num_snapshots();
 
+  // Working vocabulary: the reader interns string endpoints here in
+  // first-appearance order. On resume it is seeded from the checkpoint, so
+  // replaying the stream prefix re-interns every name to the same id; on an
+  // integer-keyed run it stays empty and nothing changes.
+  NodeVocabulary vocab;
+  if (resumed && monitor.vocabulary() != nullptr) {
+    vocab = *monitor.vocabulary();
+  }
+
   std::ofstream output_file;
   std::ostream* out = &std::cout;
   if (output != "-") {
@@ -186,12 +208,18 @@ int Run(int argc, char** argv) {
     std::cerr << "cannot open --events " << events << "\n";
     return 1;
   }
-  EventStreamReader reader(&events_file, policy);
+  EventStreamReader reader(&events_file, policy, &vocab);
 
   EventWindowOptions window_options;
   window_options.window_length = window;
   window_options.start_time = start_time;
-  window_options.num_nodes = static_cast<size_t>(num_nodes);
+  // In grow mode a resumed run seeds the aggregator at the checkpoint's
+  // high-water mark (events from already-processed windows are skipped, so
+  // they can no longer grow it); the node set then keeps growing from there.
+  window_options.num_nodes =
+      grow_mode ? std::max(vocab.size(), monitor.num_nodes())
+                : static_cast<size_t>(num_nodes);
+  window_options.grow_nodes = grow_mode;
   window_options.first_window = first_window;
   Result<EventWindowAggregator> aggregator_result =
       EventWindowAggregator::Create(window_options);
@@ -205,10 +233,16 @@ int Run(int argc, char** argv) {
     Result<std::optional<AnomalyReport>> report =
         monitor.Observe(snapshot);
     if (!report.ok()) return report.status();
-    if (report->has_value()) WriteReportRows(**report, out);
+    if (report->has_value()) {
+      WriteReportRows(**report, vocab.empty() ? nullptr : &vocab, out);
+    }
     if (checkpoint_every > 0 &&
         monitor.num_snapshots() %
                 static_cast<size_t>(checkpoint_every) == 0) {
+      // Named streams checkpoint in format v2 carrying the vocabulary so a
+      // resumed run renders the same names; integer streams stay v1
+      // byte-identical.
+      if (!vocab.empty()) monitor.SetVocabulary(vocab);
       CAD_RETURN_NOT_OK(monitor.SaveCheckpointFile(checkpoint));
       std::cerr << "checkpoint written at window " << monitor.num_snapshots()
                 << "\n";
@@ -219,6 +253,7 @@ int Run(int argc, char** argv) {
 
   size_t events_fed = 0;
   size_t events_skipped_resume = 0;
+  size_t events_rejected_range = 0;
   bool stopped_early = false;
   std::vector<WeightedGraph> completed;
   while (!stopped_early) {
@@ -253,6 +288,14 @@ int Run(int argc, char** argv) {
         std::cerr << "event at line " << reader.line_number() << ": "
                   << added.ToString() << "\n";
         return 1;
+      }
+      // Endpoints past a declared --num_nodes are data loss of a different
+      // kind than malformed lines; count them separately so a too-small
+      // node set is diagnosable (moot in grow mode, where they grow the
+      // window instead).
+      if (added.code() == StatusCode::kOutOfRange) {
+        ++events_rejected_range;
+        CAD_METRIC_INC("io.events_rejected_range");
       }
       CAD_METRIC_INC("io.events_rejected");
       continue;
@@ -292,7 +335,10 @@ int Run(int argc, char** argv) {
             << " events";
   if (resumed) std::cerr << ", skipped " << events_skipped_resume;
   if (policy == EventErrorPolicy::kSkip) {
-    std::cerr << ", rejected " << reader.events_rejected();
+    std::cerr << ", rejected "
+              << reader.events_rejected_parse() + events_rejected_range
+              << " (parse " << reader.events_rejected_parse() << ", range "
+              << events_rejected_range << ")";
   }
   std::cerr << "), delta=" << FormatDouble(monitor.current_delta(), 9) << "\n";
   return 0;

@@ -4,6 +4,8 @@
 //   org.tel        an Enron-style simulated organization (48 months)
 //   org_names.txt  role-based employee names
 //   events.txt     org.tel re-expressed as timestamped events (cad_stream)
+//   events_named.txt  the same events keyed by employee name instead of id
+//                     (exercises the named-node ingestion path)
 //
 //   make_demo_data --output_dir data
 //   cad_cli --input data/toy.tel --method CAD --l 6 --edges_csv -
@@ -29,8 +31,13 @@ Status WriteNames(const std::vector<std::string>& names,
 
 // Re-expresses each snapshot t as events at timestamp t + 0.5, so that
 // aggregating with --window 1 --start_time 0 reproduces the sequence
-// exactly. This is the demo input for cad_stream.
+// exactly. This is the demo input for cad_stream. With `names`, endpoints
+// are written as the node names instead of integer ids (the named-node
+// ingestion demo: id i maps back to names[i] because ids are interned in
+// first-appearance order and the first snapshot's edges are emitted in
+// ascending id order).
 Status WriteEventFile(const TemporalGraphSequence& sequence,
+                      const std::vector<std::string>& names,
                       const std::string& path) {
   std::ofstream out(path);
   if (!out.is_open()) return Status::IoError("cannot open " + path);
@@ -39,7 +46,12 @@ Status WriteEventFile(const TemporalGraphSequence& sequence,
   for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
     const double timestamp = static_cast<double>(t) + 0.5;
     for (const Edge& e : sequence.Snapshot(t).Edges()) {
-      out << e.u << " " << e.v << " " << timestamp << " " << e.weight << "\n";
+      if (names.empty()) {
+        out << e.u << " " << e.v;
+      } else {
+        out << names[e.u] << " " << names[e.v];
+      }
+      out << " " << timestamp << " " << e.weight << "\n";
     }
   }
   return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
@@ -72,9 +84,12 @@ int Run(int argc, char** argv) {
   CAD_CHECK_OK(
       WriteTemporalEdgeListFile(org.sequence, output_dir + "/org.tel"));
   CAD_CHECK_OK(WriteNames(org.node_names, output_dir + "/org_names.txt"));
-  CAD_CHECK_OK(WriteEventFile(org.sequence, output_dir + "/events.txt"));
+  CAD_CHECK_OK(WriteEventFile(org.sequence, {}, output_dir + "/events.txt"));
+  CAD_CHECK_OK(WriteEventFile(org.sequence, org.node_names,
+                              output_dir + "/events_named.txt"));
   std::cout << "wrote " << output_dir << "/org.tel (" << employees
-            << " nodes, " << months << " snapshots) and events.txt\n";
+            << " nodes, " << months << " snapshots), events.txt, and "
+            << "events_named.txt\n";
   std::cout << "ground-truth events in org.tel:\n";
   for (const OrgEvent& event : org.events) {
     std::cout << "  transition " << event.onset_transition << ": "
