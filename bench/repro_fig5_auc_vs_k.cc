@@ -15,7 +15,7 @@
 #include "core/cad_detector.h"
 #include "datagen/synthetic_gmm.h"
 #include "eval/roc.h"
-#include "io/csv_writer.h"
+#include "common/csv_writer.h"
 #include "report.h"
 
 namespace cad {

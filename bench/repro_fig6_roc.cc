@@ -17,7 +17,7 @@
 #include "core/clc_detector.h"
 #include "datagen/synthetic_gmm.h"
 #include "eval/roc.h"
-#include "io/csv_writer.h"
+#include "common/csv_writer.h"
 #include "report.h"
 
 namespace cad {

@@ -21,7 +21,7 @@
 #include "core/cad_detector.h"
 #include "core/clc_detector.h"
 #include "datagen/random_graphs.h"
-#include "io/json_writer.h"
+#include "common/json_writer.h"
 #include "obs/obs.h"
 #include "report.h"
 

@@ -3,8 +3,8 @@
 #include <ostream>
 
 #include "common/strings.h"
-#include "io/csv_writer.h"
-#include "io/json_writer.h"
+#include "common/csv_writer.h"
+#include "common/json_writer.h"
 #include "obs/obs.h"
 
 namespace cad {

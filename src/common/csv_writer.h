@@ -1,5 +1,5 @@
-#ifndef CAD_IO_CSV_WRITER_H_
-#define CAD_IO_CSV_WRITER_H_
+#ifndef CAD_COMMON_CSV_WRITER_H_
+#define CAD_COMMON_CSV_WRITER_H_
 
 #include <iosfwd>
 #include <string>
@@ -39,4 +39,4 @@ std::string EscapeCsvField(const std::string& field);
 
 }  // namespace cad
 
-#endif  // CAD_IO_CSV_WRITER_H_
+#endif  // CAD_COMMON_CSV_WRITER_H_

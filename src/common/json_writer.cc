@@ -1,4 +1,4 @@
-#include "io/json_writer.h"
+#include "common/json_writer.h"
 
 #include <cmath>
 #include <cstdio>

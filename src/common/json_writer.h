@@ -1,5 +1,5 @@
-#ifndef CAD_IO_JSON_WRITER_H_
-#define CAD_IO_JSON_WRITER_H_
+#ifndef CAD_COMMON_JSON_WRITER_H_
+#define CAD_COMMON_JSON_WRITER_H_
 
 #include <iosfwd>
 #include <string>
@@ -64,4 +64,4 @@ std::string EscapeJsonString(const std::string& text);
 
 }  // namespace cad
 
-#endif  // CAD_IO_JSON_WRITER_H_
+#endif  // CAD_COMMON_JSON_WRITER_H_

@@ -6,33 +6,66 @@
 #include <vector>
 
 #include "common/timer.h"
-#include "obs/obs.h"
 
 namespace cad {
+namespace {
+
+std::atomic<const ParallelHooks*> g_hooks{nullptr};
+
+/// Pairs call_begin/call_end around every exit path of ParallelFor.
+class HookScope {
+ public:
+  HookScope(const ParallelHooks* hooks, size_t count) : hooks_(hooks) {
+    if (hooks_ != nullptr && hooks_->call_begin != nullptr) {
+      cookie_ = hooks_->call_begin(count);
+    }
+  }
+  ~HookScope() {
+    if (hooks_ != nullptr && hooks_->call_end != nullptr) {
+      hooks_->call_end(cookie_);
+    }
+  }
+
+  HookScope(const HookScope&) = delete;
+  HookScope& operator=(const HookScope&) = delete;
+
+ private:
+  const ParallelHooks* hooks_;
+  void* cookie_ = nullptr;
+};
+
+}  // namespace
+
+void SetParallelHooks(const ParallelHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
 
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  CAD_TRACE_SPAN("parallel_for");
-  CAD_METRIC_INC("parallel.calls");
-  CAD_METRIC_ADD("parallel.tasks", count);
+  const ParallelHooks* hooks = g_hooks.load(std::memory_order_acquire);
+  HookScope scope(hooks, count);
   // Latch the switch once per call so a mid-call toggle cannot split the
   // accounting; instrumentation only observes, so `fn`'s results (and their
   // bit patterns) are untouched either way.
-  const bool observe = obs::MetricsEnabled();
+  const bool observe = hooks != nullptr && hooks->observe_tasks != nullptr &&
+                       hooks->task_time_ns != nullptr && hooks->observe_tasks();
+  const auto run_task = [&](size_t i) {
+    if (observe) {
+      // Per-task wall time is a "timer" metric: the only CSV kind allowed
+      // to vary between same-seed runs (see the determinism contract).
+      const Timer task_timer;
+      fn(i);
+      hooks->task_time_ns(task_timer.ElapsedNanos());
+    } else {
+      fn(i);
+    }
+  };
 
   num_threads = std::min(num_threads, count);
   if (num_threads <= 1) {
     for (size_t i = 0; i < count; ++i) {
-      if (observe) {
-        // Per-task wall time is a "timer" metric: the only CSV kind allowed
-        // to vary between same-seed runs (see the determinism contract).
-        const Timer task_timer;
-        fn(i);
-        CAD_METRIC_TIME_NS("parallel.task", task_timer.ElapsedNanos());
-      } else {
-        fn(i);
-      }
+      run_task(i);
     }
     return;
   }
@@ -42,13 +75,7 @@ void ParallelFor(size_t count, size_t num_threads,
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
-      if (observe) {
-        const Timer task_timer;
-        fn(i);
-        CAD_METRIC_TIME_NS("parallel.task", task_timer.ElapsedNanos());
-      } else {
-        fn(i);
-      }
+      run_task(i);
     }
   };
   std::vector<std::thread> threads;

@@ -1,4 +1,4 @@
-#include "io/checkpoint.h"
+#include "core/checkpoint.h"
 
 #include <algorithm>
 #include <bit>

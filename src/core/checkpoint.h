@@ -1,5 +1,5 @@
-#ifndef CAD_IO_CHECKPOINT_H_
-#define CAD_IO_CHECKPOINT_H_
+#ifndef CAD_CORE_CHECKPOINT_H_
+#define CAD_CORE_CHECKPOINT_H_
 
 #include <cstdint>
 #include <iosfwd>
@@ -125,4 +125,4 @@ void WriteNodeVocabulary(CheckpointWriter* writer,
 
 }  // namespace cad
 
-#endif  // CAD_IO_CHECKPOINT_H_
+#endif  // CAD_CORE_CHECKPOINT_H_

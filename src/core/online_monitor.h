@@ -101,7 +101,7 @@ class OnlineCadMonitor {
 
   /// \brief Serializes the complete monitor state (previous snapshot and
   /// oracle, retained score history, calibrated delta, solver-cache
-  /// contents) in the versioned binary format of io/checkpoint.h. A monitor
+  /// contents) in the versioned binary format of core/checkpoint.h. A monitor
   /// restored from the checkpoint produces byte-identical reports for the
   /// remaining stream.
   [[nodiscard]] Status SaveCheckpoint(std::ostream* out) const;
@@ -112,7 +112,7 @@ class OnlineCadMonitor {
   /// constructed with the same options as the one that saved (the stream
   /// driver re-supplies its configuration on resume); a mismatched engine
   /// kind is detected and rejected, other mismatches silently change future
-  /// reports. Defined in io/checkpoint.cc alongside the format.
+  /// reports. Defined in core/checkpoint.cc alongside the format.
   [[nodiscard]] Status LoadCheckpoint(std::istream* in);
   [[nodiscard]] Status LoadCheckpointFile(const std::string& path);
 

@@ -1,0 +1,289 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/lexer.h"
+
+namespace cad {
+namespace lint {
+namespace {
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// True when a comment token on `line` carries `cad-lint: allow(<rule>)`.
+bool LineAllows(const std::vector<Token>& tokens, size_t line,
+                std::string_view rule) {
+  const std::string needle_open = "cad-lint: allow(";
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kLineComment &&
+        token.kind != TokenKind::kBlockComment) {
+      continue;
+    }
+    if (line < token.line || line > token.end_line) continue;
+    size_t pos = 0;
+    while ((pos = token.text.find(needle_open, pos)) != std::string::npos) {
+      const size_t start = pos + needle_open.size();
+      const size_t close = token.text.find(')', start);
+      if (close == std::string::npos) break;
+      const std::string_view list =
+          std::string_view(token.text).substr(start, close - start);
+      size_t item = 0;
+      while (item < list.size()) {
+        while (item < list.size() && (list[item] == ' ' || list[item] == ','))
+          ++item;
+        size_t end = item;
+        while (end < list.size() && list[end] != ',' && list[end] != ' ') ++end;
+        if (list.substr(item, end - item) == rule) return true;
+        item = end;
+      }
+      pos = close + 1;
+    }
+  }
+  return false;
+}
+
+/// The directory portion of a path ("" when there is none).
+std::string DirName(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+const char* LayerName(int layer) {
+  switch (layer) {
+    case 0: return "common";
+    case 1: return "linalg/obs/lint";
+    case 2: return "graph/commute/io";
+    case 3: return "core/eval/datagen";
+    case 4: return "app";
+    case 5: return "tools/bench/tests/examples";
+    default: return "unlayered";
+  }
+}
+
+struct FileRecord {
+  std::vector<Token> tokens;
+  std::vector<IncludeEdge> includes;
+  /// Resolved repo-relative path per quoted include (empty = external).
+  std::vector<std::string> resolved;
+};
+
+}  // namespace
+
+int LayerOf(std::string_view rel_path) {
+  static const std::vector<std::pair<const char*, int>>* prefixes =
+      new std::vector<std::pair<const char*, int>>{
+          {"src/common/", 0},  {"src/linalg/", 1}, {"src/obs/", 1},
+          {"src/lint/", 1},    {"src/graph/", 2},  {"src/commute/", 2},
+          {"src/io/", 2},      {"src/core/", 3},   {"src/eval/", 3},
+          {"src/datagen/", 3}, {"src/app/", 4},    {"tools/", 5},
+          {"bench/", 5},       {"tests/", 5},      {"examples/", 5},
+      };
+  for (const auto& [prefix, layer] : *prefixes) {
+    if (StartsWith(rel_path, prefix)) return layer;
+  }
+  return -1;
+}
+
+std::vector<IncludeEdge> ExtractIncludes(std::string_view content) {
+  std::vector<IncludeEdge> includes;
+  const std::vector<Token> tokens = LexCpp(content);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& hash = tokens[i];
+    if (hash.kind != TokenKind::kPunct || hash.text != "#" ||
+        !hash.in_directive || !hash.at_line_start) {
+      continue;
+    }
+    // First non-comment token after '#'.
+    size_t j = i + 1;
+    while (j < tokens.size() && tokens[j].in_directive &&
+           (tokens[j].kind == TokenKind::kLineComment ||
+            tokens[j].kind == TokenKind::kBlockComment)) {
+      ++j;
+    }
+    if (j >= tokens.size() || !tokens[j].in_directive ||
+        tokens[j].kind != TokenKind::kIdentifier ||
+        (tokens[j].text != "include" && tokens[j].text != "include_next")) {
+      continue;
+    }
+    size_t k = j + 1;
+    while (k < tokens.size() && tokens[k].in_directive &&
+           (tokens[k].kind == TokenKind::kLineComment ||
+            tokens[k].kind == TokenKind::kBlockComment)) {
+      ++k;
+    }
+    if (k >= tokens.size() || !tokens[k].in_directive) continue;
+    const Token& operand = tokens[k];
+    IncludeEdge edge;
+    edge.line = hash.line;
+    if (operand.kind == TokenKind::kString && operand.text.size() >= 2) {
+      edge.angled = false;
+      edge.target = operand.text.substr(1, operand.text.size() - 2);
+    } else if (operand.kind == TokenKind::kHeaderName &&
+               operand.text.size() >= 2) {
+      edge.angled = true;
+      const bool closed = operand.text.back() == '>';
+      edge.target =
+          operand.text.substr(1, operand.text.size() - (closed ? 2 : 1));
+    } else {
+      continue;  // computed include (macro operand); out of scope
+    }
+    includes.push_back(std::move(edge));
+  }
+  return includes;
+}
+
+std::vector<Finding> AnalyzeIncludeGraph(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  std::set<std::string> known_paths;
+  for (const SourceFile& file : files) known_paths.insert(file.path);
+
+  // Quoted includes resolve the way the build does (-I src plus the repo
+  // root and the includer's own directory), restricted to scanned files.
+  const auto resolve = [&known_paths](const std::string& from,
+                                      const std::string& target) {
+    for (const std::string& candidate :
+         {"src/" + target, target, DirName(from).empty()
+                                       ? target
+                                       : DirName(from) + "/" + target}) {
+      if (known_paths.count(candidate) > 0) return candidate;
+    }
+    return std::string();
+  };
+
+  std::map<std::string, FileRecord> records;
+  for (const SourceFile& file : files) {
+    FileRecord record;
+    record.tokens = LexCpp(file.content);
+    record.includes = ExtractIncludes(file.content);
+    for (const IncludeEdge& edge : record.includes) {
+      record.resolved.push_back(
+          edge.angled ? std::string() : resolve(file.path, edge.target));
+    }
+    records.emplace(file.path, std::move(record));
+  }
+
+  // --- per-edge rules: duplicate-include, self-include, layering ----------
+  for (const auto& [path, record] : records) {
+    std::map<std::string, size_t> first_seen;  // normalized target -> line
+    const int from_layer = LayerOf(path);
+    for (size_t i = 0; i < record.includes.size(); ++i) {
+      const IncludeEdge& edge = record.includes[i];
+      const std::string& resolved = record.resolved[i];
+      const std::string normalized = resolved.empty() ? edge.target : resolved;
+
+      const auto [it, inserted] = first_seen.emplace(normalized, edge.line);
+      if (!inserted && !LineAllows(record.tokens, edge.line,
+                                   "duplicate-include")) {
+        findings.push_back(Finding{
+            path, edge.line, "duplicate-include",
+            "'" + edge.target + "' is already included on line " +
+                std::to_string(it->second)});
+      }
+      if (resolved.empty()) continue;
+      if (resolved == path &&
+          !LineAllows(record.tokens, edge.line, "self-include")) {
+        findings.push_back(Finding{path, edge.line, "self-include",
+                                   "file includes itself"});
+      }
+      const int target_layer = LayerOf(resolved);
+      if (from_layer >= 0 && target_layer > from_layer &&
+          !LineAllows(record.tokens, edge.line, "layering")) {
+        findings.push_back(Finding{
+            path, edge.line, "layering",
+            "include of '" + resolved + "' (layer " +
+                std::to_string(target_layer) + ": " + LayerName(target_layer) +
+                ") from layer " + std::to_string(from_layer) + " (" +
+                LayerName(from_layer) +
+                ") points up the declared DAG; invert the dependency or move "
+                "the file"});
+      }
+    }
+  }
+
+  // --- include-cycle: strongly connected components of the resolved graph.
+  // Kosaraju over deterministically sorted adjacency lists.
+  std::map<std::string, std::set<std::string>> forward;
+  std::map<std::string, std::set<std::string>> reverse;
+  for (const auto& [path, record] : records) {
+    for (const std::string& target : record.resolved) {
+      if (target.empty() || target == path) continue;
+      forward[path].insert(target);
+      reverse[target].insert(path);
+    }
+  }
+
+  std::vector<std::string> finish_order;
+  std::set<std::string> visited;
+  for (const auto& [root, record] : records) {
+    (void)record;
+    if (visited.count(root) > 0) continue;
+    // Iterative post-order DFS.
+    std::vector<std::pair<std::string, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+      auto [node, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        finish_order.push_back(node);
+        continue;
+      }
+      if (visited.count(node) > 0) continue;
+      visited.insert(node);
+      stack.emplace_back(node, true);
+      const auto it = forward.find(node);
+      if (it == forward.end()) continue;
+      for (auto target = it->second.rbegin(); target != it->second.rend();
+           ++target) {
+        if (visited.count(*target) == 0) stack.emplace_back(*target, false);
+      }
+    }
+  }
+
+  std::set<std::string> assigned;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    if (assigned.count(*it) > 0) continue;
+    std::vector<std::string> component;
+    std::vector<std::string> stack{*it};
+    while (!stack.empty()) {
+      const std::string node = stack.back();
+      stack.pop_back();
+      if (assigned.count(node) > 0) continue;
+      assigned.insert(node);
+      component.push_back(node);
+      const auto rev = reverse.find(node);
+      if (rev == reverse.end()) continue;
+      for (const std::string& source : rev->second) {
+        if (assigned.count(source) == 0) stack.push_back(source);
+      }
+    }
+    if (component.size() < 2) continue;
+    std::sort(component.begin(), component.end());
+    // Anchor the finding at the smallest member's include of another member.
+    const std::string& anchor = component.front();
+    const FileRecord& record = records.at(anchor);
+    size_t line = 0;
+    for (size_t i = 0; i < record.includes.size(); ++i) {
+      if (std::find(component.begin(), component.end(), record.resolved[i]) !=
+          component.end()) {
+        line = record.includes[i].line;
+        break;
+      }
+    }
+    if (LineAllows(record.tokens, line, "include-cycle")) continue;
+    std::string message = "include cycle through:";
+    for (const std::string& member : component) message += " " + member;
+    findings.push_back(Finding{anchor, line, "include-cycle", message});
+  }
+
+  SortFindings(&findings);
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace cad

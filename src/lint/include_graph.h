@@ -1,0 +1,64 @@
+#ifndef CAD_LINT_INCLUDE_GRAPH_H_
+#define CAD_LINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace cad {
+namespace lint {
+
+/// \brief Cross-file analysis stage (DESIGN.md §9): parses `#include`
+/// directives across the whole repo with the lint lexer, builds the
+/// quoted-include graph, and enforces the declared layer DAG:
+///
+///   layer 0: src/common
+///   layer 1: src/linalg, src/obs, src/lint
+///   layer 2: src/graph, src/commute, src/io
+///   layer 3: src/core, src/eval, src/datagen
+///   layer 4: src/app
+///   layer 5: tools, bench, tests, examples
+///
+/// A file may include targets in its own layer or below; an include that
+/// points strictly upward is a `layering` finding. The pass also reports
+/// `include-cycle` (a cycle in the resolved quoted-include graph),
+/// `self-include`, and `duplicate-include`. Angle-bracket includes and
+/// quoted includes that resolve to nothing in the scanned set (system and
+/// third-party headers) are exempt from all four rules.
+
+/// One file handed to the analyzer: repo-relative path (forward slashes)
+/// plus its full contents.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Layer index of `rel_path` per the DAG above, or -1 when the path is
+/// outside the layered tree (such files are exempt from the layering rule
+/// but still participate in cycle detection).
+int LayerOf(std::string_view rel_path);
+
+/// One parsed quoted include directive (exposed for tests).
+struct IncludeEdge {
+  /// 1-based line of the #include in the including file.
+  size_t line = 0;
+  /// The include operand as written, without quotes, e.g. "common/status.h".
+  std::string target;
+  /// True for <...> includes (always treated as external).
+  bool angled = false;
+};
+
+/// Extracts the include directives of one file in order of appearance.
+std::vector<IncludeEdge> ExtractIncludes(std::string_view content);
+
+/// Runs the whole cross-file pass over `files` and returns the findings in
+/// deterministic sorted order. Inline `cad-lint: allow(<rule>)` comments on
+/// the offending #include line suppress findings as usual.
+std::vector<Finding> AnalyzeIncludeGraph(const std::vector<SourceFile>& files);
+
+}  // namespace lint
+}  // namespace cad
+
+#endif  // CAD_LINT_INCLUDE_GRAPH_H_

@@ -1,0 +1,365 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace cad {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Walks the input one byte at a time, transparently consuming line splices
+/// (backslash immediately followed by newline) everywhere except inside raw
+/// string literals, where the standard says splices are reverted.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view content) : content_(content) {}
+
+  bool AtEnd() const { return pos_ >= content_.size(); }
+  size_t line() const { return line_; }
+  size_t pos() const { return pos_; }
+
+  /// Consumes backslash-newline sequences at the cursor. Returns true if at
+  /// least one splice was consumed.
+  bool SkipSplices() {
+    bool skipped = false;
+    while (pos_ < content_.size() && content_[pos_] == '\\') {
+      size_t next = pos_ + 1;
+      if (next < content_.size() && content_[next] == '\r') ++next;
+      if (next < content_.size() && content_[next] == '\n') {
+        pos_ = next + 1;
+        ++line_;
+        skipped = true;
+      } else {
+        break;
+      }
+    }
+    return skipped;
+  }
+
+  /// Current byte after splice removal; '\0' at end of input.
+  char Peek() {
+    SkipSplices();
+    return AtEnd() ? '\0' : content_[pos_];
+  }
+
+  /// Byte after the current one (post-splice for the current position only;
+  /// good enough for two-character operator detection).
+  char PeekNext() {
+    SkipSplices();
+    return pos_ + 1 < content_.size() ? content_[pos_ + 1] : '\0';
+  }
+
+  /// Consumes and returns the current byte, tracking line numbers.
+  char Take() {
+    SkipSplices();
+    if (AtEnd()) return '\0';
+    const char c = content_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Consumes the current byte without splice processing (raw strings).
+  char TakeRaw() {
+    if (AtEnd()) return '\0';
+    const char c = content_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  char PeekRaw() const { return AtEnd() ? '\0' : content_[pos_]; }
+
+ private:
+  std::string_view content_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+/// True when `prefix` (an identifier already lexed) is a valid string or
+/// raw-string encoding prefix.
+bool IsStringPrefix(const std::string& prefix, bool* raw) {
+  if (prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
+      prefix == "LR") {
+    *raw = true;
+    return true;
+  }
+  if (prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L") {
+    *raw = false;
+    return true;
+  }
+  return false;
+}
+
+bool IsCharPrefix(const std::string& prefix) {
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : cursor_(content) {}
+
+  std::vector<Token> Run() {
+    while (SkipWhitespace(), !cursor_.AtEnd()) {
+      LexToken();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  /// Skips spaces, tabs, and newlines; newlines end the current physical
+  /// line (resetting at_line_start tracking) and any open directive. Line
+  /// splices are whitespace-like but do NOT end a directive.
+  void SkipWhitespace() {
+    for (;;) {
+      if (cursor_.SkipSplices()) continue;
+      const char c = cursor_.PeekRaw();
+      if (c == '\n') {
+        cursor_.TakeRaw();
+        line_has_token_ = false;
+        in_directive_ = false;
+        expect_ = Expect::kNone;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        cursor_.TakeRaw();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void Emit(TokenKind kind, std::string text, size_t start_line) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = start_line;
+    token.end_line = cursor_.line();
+    token.at_line_start = !line_has_token_;
+    token.in_directive = in_directive_;
+    line_has_token_ = true;
+
+    // Directive-structure tracking: `#` at line start opens a directive;
+    // `# include` makes a following `<` begin a header-name token.
+    if (kind == TokenKind::kPunct && token.text == "#" && token.at_line_start) {
+      in_directive_ = true;
+      token.in_directive = true;
+      expect_ = Expect::kDirectiveKeyword;
+    } else if (expect_ == Expect::kDirectiveKeyword &&
+               kind == TokenKind::kIdentifier) {
+      expect_ = (token.text == "include" || token.text == "include_next")
+                    ? Expect::kHeaderName
+                    : Expect::kNone;
+    } else if (kind != TokenKind::kLineComment &&
+               kind != TokenKind::kBlockComment) {
+      expect_ = Expect::kNone;
+    }
+    tokens_.push_back(std::move(token));
+  }
+
+  void LexToken() {
+    const size_t start_line = cursor_.line();
+    const char c = cursor_.Peek();
+
+    if (c == '/' && cursor_.PeekNext() == '/') {
+      LexLineComment(start_line);
+      return;
+    }
+    if (c == '/' && cursor_.PeekNext() == '*') {
+      LexBlockComment(start_line);
+      return;
+    }
+    if (expect_ == Expect::kHeaderName && c == '<') {
+      LexHeaderName(start_line);
+      return;
+    }
+    if (c == '"') {
+      LexString(start_line, /*prefix=*/"", /*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      LexCharLiteral(start_line, /*prefix=*/"");
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentifierOrPrefixedLiteral(start_line);
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(cursor_.PeekNext()))) {
+      LexNumber(start_line);
+      return;
+    }
+    LexPunct(start_line);
+  }
+
+  void LexLineComment(size_t start_line) {
+    std::string text;
+    // A splice inside a line comment extends it to the next physical line.
+    while (!cursor_.AtEnd()) {
+      if (cursor_.SkipSplices()) continue;
+      if (cursor_.PeekRaw() == '\n') break;
+      text.push_back(cursor_.TakeRaw());
+    }
+    Emit(TokenKind::kLineComment, std::move(text), start_line);
+  }
+
+  void LexBlockComment(size_t start_line) {
+    std::string text;
+    text.push_back(cursor_.TakeRaw());  // '/'
+    text.push_back(cursor_.TakeRaw());  // '*'
+    while (!cursor_.AtEnd()) {
+      const char c = cursor_.TakeRaw();
+      text.push_back(c);
+      if (c == '*' && cursor_.PeekRaw() == '/') {
+        text.push_back(cursor_.TakeRaw());
+        break;
+      }
+    }
+    Emit(TokenKind::kBlockComment, std::move(text), start_line);
+  }
+
+  void LexHeaderName(size_t start_line) {
+    std::string text;
+    text.push_back(cursor_.Take());  // '<'
+    while (!cursor_.AtEnd()) {
+      if (cursor_.PeekRaw() == '\n') break;  // unterminated: stop at EOL
+      const char c = cursor_.Take();
+      text.push_back(c);
+      if (c == '>') break;
+    }
+    Emit(TokenKind::kHeaderName, std::move(text), start_line);
+  }
+
+  void LexString(size_t start_line, const std::string& prefix, bool raw) {
+    std::string text = prefix;
+    if (raw) {
+      LexRawStringBody(&text);
+    } else {
+      text.push_back(cursor_.Take());  // opening '"'
+      LexQuotedBody(&text, '"');
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexCharLiteral(size_t start_line, const std::string& prefix) {
+    std::string text = prefix;
+    text.push_back(cursor_.Take());  // opening '\''
+    LexQuotedBody(&text, '\'');
+    Emit(TokenKind::kCharLiteral, std::move(text), start_line);
+  }
+
+  /// Body of a non-raw string or char literal, up to and including the
+  /// closing quote. An unescaped newline ends the (ill-formed) literal.
+  void LexQuotedBody(std::string* text, char quote) {
+    while (!cursor_.AtEnd()) {
+      if (cursor_.SkipSplices()) continue;
+      const char c = cursor_.PeekRaw();
+      if (c == '\n') return;  // unterminated
+      if (c == '\\') {
+        text->push_back(cursor_.TakeRaw());  // backslash
+        if (!cursor_.AtEnd() && cursor_.PeekRaw() != '\n') {
+          text->push_back(cursor_.TakeRaw());  // escaped character
+        }
+        continue;
+      }
+      text->push_back(cursor_.TakeRaw());
+      if (c == quote) return;
+    }
+  }
+
+  /// R"delim( ... )delim" — splices are NOT processed inside the raw body.
+  void LexRawStringBody(std::string* text) {
+    text->push_back(cursor_.TakeRaw());  // opening '"'
+    std::string delim;
+    while (!cursor_.AtEnd() && cursor_.PeekRaw() != '(' &&
+           cursor_.PeekRaw() != '\n' && delim.size() <= 16) {
+      delim.push_back(cursor_.TakeRaw());
+    }
+    text->append(delim);
+    if (cursor_.PeekRaw() != '(') return;  // ill-formed; bail out
+    text->push_back(cursor_.TakeRaw());    // '('
+    const std::string terminator = ")" + delim + "\"";
+    std::string window;
+    while (!cursor_.AtEnd()) {
+      text->push_back(cursor_.TakeRaw());
+      window.push_back(text->back());
+      if (window.size() > terminator.size()) {
+        window.erase(window.begin());
+      }
+      if (window == terminator) return;
+    }
+  }
+
+  void LexIdentifierOrPrefixedLiteral(size_t start_line) {
+    std::string text;
+    while (IsIdentChar(cursor_.Peek())) {
+      text.push_back(cursor_.Take());
+    }
+    bool raw = false;
+    if (cursor_.Peek() == '"' && IsStringPrefix(text, &raw)) {
+      LexString(start_line, text, raw);
+      return;
+    }
+    if (cursor_.Peek() == '\'' && IsCharPrefix(text)) {
+      LexCharLiteral(start_line, text);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  /// pp-number: digits, identifier characters, digit separators, dots, and
+  /// sign characters directly after an exponent marker.
+  void LexNumber(size_t start_line) {
+    std::string text;
+    for (;;) {
+      const char c = cursor_.Peek();
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        text.push_back(cursor_.Take());
+        const char last = text.back();
+        if (last == 'e' || last == 'E' || last == 'p' || last == 'P') {
+          const char sign = cursor_.Peek();
+          if (sign == '+' || sign == '-') text.push_back(cursor_.Take());
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexPunct(size_t start_line) {
+    const char c = cursor_.Take();
+    std::string text(1, c);
+    // `::` and `->` are the only multi-character operators the rules need
+    // as single tokens (qualification and member access).
+    if ((c == ':' && cursor_.Peek() == ':') ||
+        (c == '-' && cursor_.Peek() == '>')) {
+      text.push_back(cursor_.Take());
+    }
+    Emit(TokenKind::kPunct, std::move(text), start_line);
+  }
+
+  enum class Expect { kNone, kDirectiveKeyword, kHeaderName };
+
+  Cursor cursor_;
+  std::vector<Token> tokens_;
+  bool line_has_token_ = false;
+  bool in_directive_ = false;
+  Expect expect_ = Expect::kNone;
+};
+
+}  // namespace
+
+std::vector<Token> LexCpp(std::string_view content) {
+  return Lexer(content).Run();
+}
+
+}  // namespace lint
+}  // namespace cad

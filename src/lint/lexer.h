@@ -1,0 +1,64 @@
+#ifndef CAD_LINT_LEXER_H_
+#define CAD_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad {
+namespace lint {
+
+/// \brief Token kinds produced by the linter's C++ lexer (DESIGN.md §9).
+///
+/// The lexer is deterministic, dependency-free, and deliberately smaller
+/// than a compiler front end: it classifies exactly the categories the lint
+/// rules need to distinguish, so that rule matching can skip comments and
+/// string literals instead of pattern-matching inside them. Digraphs and
+/// trigraphs are not decoded (the repo's corpus is digraph-free); universal
+/// character names pass through as punctuation + identifier characters.
+enum class TokenKind {
+  kIdentifier,    ///< Identifiers and keywords: [A-Za-z_][A-Za-z0-9_]*.
+  kNumber,        ///< pp-number: 0x1Fu, 1'000, 6.02e23, .5f, ...
+  kString,        ///< "..." including raw strings and encoding prefixes.
+  kCharLiteral,   ///< '...' including prefixes (L'a', u8'x').
+  kLineComment,   ///< // to end of line (line splices extend it).
+  kBlockComment,  ///< /* ... */ possibly spanning lines.
+  kHeaderName,    ///< <...> operand of an #include directive only.
+  kPunct,         ///< Operators and punctuation; `::` and `->` are single
+                  ///< tokens, everything else is one character per token.
+};
+
+/// \brief One lexed token. `text` is the token's spelling with line splices
+/// (backslash-newline) removed; comments keep their `//` / `/*` markers and
+/// string tokens keep their quotes and prefixes, so rules can re-inspect
+/// the raw spelling when they need to.
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  /// 1-based physical line of the token's first character.
+  size_t line = 0;
+  /// 1-based physical line of the token's last character (block comments
+  /// and raw strings may span lines; otherwise equals `line`).
+  size_t end_line = 0;
+  /// True when this is the first token on its physical line (comments
+  /// count as tokens for this purpose). `#` tokens only introduce a
+  /// preprocessor directive when at_line_start is true.
+  bool at_line_start = false;
+  /// True for tokens belonging to a preprocessor directive's logical line
+  /// (from the introducing `#` through the next unspliced newline).
+  bool in_directive = false;
+
+  bool operator==(const Token& other) const = default;
+};
+
+/// \brief Lexes `content` into a token stream. Never fails: unterminated
+/// literals and comments extend to end of input, and bytes that fit no
+/// category become single-character kPunct tokens. Whitespace is not
+/// emitted. The concatenation of token texts plus whitespace reproduces the
+/// input up to line splices (which are removed from token spellings).
+std::vector<Token> LexCpp(std::string_view content);
+
+}  // namespace lint
+}  // namespace cad
+
+#endif  // CAD_LINT_LEXER_H_

@@ -1,8 +1,14 @@
 #include "lint/lint.h"
 
+#include <algorithm>
 #include <cctype>
-#include <regex>
+#include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
+
+#include "common/json_writer.h"
+#include "lint/lexer.h"
 
 namespace cad {
 namespace lint {
@@ -17,210 +23,510 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
          text.substr(text.size() - suffix.size()) == suffix;
 }
 
-/// Splits on '\n'; a trailing newline does not produce an empty final line.
-std::vector<std::string_view> SplitLines(std::string_view content) {
-  std::vector<std::string_view> lines;
-  size_t start = 0;
-  while (start <= content.size()) {
-    const size_t end = content.find('\n', start);
-    if (end == std::string_view::npos) {
-      if (start < content.size()) lines.push_back(content.substr(start));
-      break;
+/// Per-line escape hatches harvested from comment tokens. A comment
+/// containing `cad-lint: allow(rule-a, rule-b)` suppresses those rules on
+/// every physical line the comment touches.
+class AllowSet {
+ public:
+  static AllowSet FromTokens(const std::vector<Token>& tokens) {
+    AllowSet allows;
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kLineComment &&
+          token.kind != TokenKind::kBlockComment) {
+        continue;
+      }
+      static constexpr std::string_view kMarker = "cad-lint: allow(";
+      size_t pos = 0;
+      while ((pos = token.text.find(kMarker, pos)) != std::string::npos) {
+        pos += kMarker.size();
+        const size_t close = token.text.find(')', pos);
+        if (close == std::string::npos) break;
+        std::string rule;
+        for (size_t i = pos; i <= close; ++i) {
+          const char c = i < close ? token.text[i] : ',';
+          if (c == ',' || c == ' ') {
+            if (!rule.empty()) {
+              for (size_t line = token.line; line <= token.end_line; ++line) {
+                allows.by_line_[line].insert(rule);
+              }
+              rule.clear();
+            }
+          } else {
+            rule.push_back(c);
+          }
+        }
+        pos = close + 1;
+      }
     }
-    lines.push_back(content.substr(start, end - start));
-    start = end + 1;
+    return allows;
   }
-  return lines;
-}
 
-/// True when `line` carries the inline escape hatch for `rule`.
-bool HasAllowAnnotation(std::string_view line, std::string_view rule) {
-  const std::string needle =
-      std::string("cad-lint: allow(") + std::string(rule) + ")";
-  return line.find(needle) != std::string_view::npos;
-}
-
-std::string_view TrimmedPrefix(std::string_view line) {
-  size_t i = 0;
-  while (i < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
-    ++i;
+  bool Allows(size_t line, std::string_view rule) const {
+    const auto it = by_line_.find(line);
+    return it != by_line_.end() &&
+           it->second.count(std::string(rule)) > 0;
   }
-  return line.substr(i);
-}
 
-bool IsCommentLine(std::string_view line) {
-  const std::string_view body = TrimmedPrefix(line);
-  return StartsWith(body, "//") || StartsWith(body, "*") ||
-         StartsWith(body, "/*");
-}
-
-/// Code portion of a line: everything before a trailing `//` comment. Naive
-/// about `//` inside string literals, which the rule regexes tolerate.
-std::string_view CodePortion(std::string_view line) {
-  const size_t pos = line.find("//");
-  return pos == std::string_view::npos ? line : line.substr(0, pos);
-}
-
-struct PatternRule {
-  const char* rule;
-  std::regex pattern;
-  const char* message;
+ private:
+  std::map<size_t, std::set<std::string>> by_line_;
 };
 
-/// Raw fail-fast calls that bypass Status/CAD_CHECK. `std::abort` stays legal
-/// (CheckFailure's own primitive), hence the `:` exclusion before abort.
-const std::vector<PatternRule>& BannedCallRules() {
-  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
-      {"banned-call",
-       std::regex(R"((^|[^A-Za-z0-9_:])(assert|abort)\s*\()"),
-       "raw assert/abort call in src/; use CAD_CHECK or return a Status"},
-      {"banned-call",
-       std::regex(R"((^|[^A-Za-z0-9_])(printf|fprintf|sprintf|vprintf)\s*\()"),
-       "printf-family call in src/; use iostreams (std::snprintf is exempt)"},
-      {"banned-call",
-       std::regex(R"((^|[^A-Za-z0-9_:])(std\s*::\s*)?rand\s*\()"),
-       "std::rand/rand in src/; use cad::Rng (src/common/rng.h)"},
-  };
-  return *rules;
-}
+/// One parsed preprocessor directive: `# keyword args...` with comments
+/// stripped and line splices already resolved by the lexer.
+struct Directive {
+  std::string keyword;
+  std::vector<const Token*> args;
+  size_t line = 0;
+};
 
-/// Nondeterminism sources; only src/common/rng.* may own entropy or wall
-/// clocks, so that every pipeline run is replayable.
-const std::vector<PatternRule>& NondeterminismRules() {
-  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
-      {"nondeterminism",
-       std::regex(R"((^|[^A-Za-z0-9_.>])(time|localtime|gmtime)\s*\()"),
-       "wall-clock time call outside src/common/rng.*; inject timestamps "
-       "explicitly"},
-      {"nondeterminism",
-       std::regex("random_device"),  // cad-lint: allow(nondeterminism)
-       "uncontrolled entropy source outside src/common/rng.*; use seeded "
-       "cad::Rng"},
-  };
-  return *rules;
-}
-
-/// Raw monotonic-clock access. src/common/timer.h is the single owner of
-/// the clock (Timer / Timer::NowNanos) so instrumented timings all share one
-/// time source; src/obs/ is exempt as the layer built directly on it. Unlike
-/// the rules above this applies to every scanned file, benches and tests
-/// included.
-const std::vector<PatternRule>& RawClockRules() {
-  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
-      {"raw-clock",
-       std::regex(
-           R"(std\s*::\s*chrono\s*::\s*(steady_clock|high_resolution_clock))"),
-       "raw std::chrono clock outside src/common/timer.h and src/obs/; use "
-       "cad::Timer (Timer::NowNanos for raw timestamps)"},
-  };
-  return *rules;
-}
-
-/// A declaration whose return type is Status or Result<...> and which is
-/// missing [[nodiscard]]. Line-oriented heuristic: this repo declares the
-/// return type, name, and opening paren on one line.
-const std::regex& NodiscardDeclPattern() {
-  static const std::regex* pattern = new std::regex(
-      R"(^\s*((static|virtual|inline|constexpr|explicit|friend)\s+)*(Status|Result\s*<.+>)\s+[A-Za-z_][A-Za-z0-9_]*\s*\()");
-  return *pattern;
-}
-
-void CheckIncludeGuard(std::string_view rel_path,
-                       const std::vector<std::string_view>& lines,
-                       std::vector<Finding>* findings) {
-  static const std::regex* ifndef_pattern =
-      new std::regex(R"(^#ifndef\s+([A-Za-z0-9_]+))");
-  static const std::regex* define_pattern =
-      new std::regex(R"(^#define\s+([A-Za-z0-9_]+))");
-
-  const std::string expected = ExpectedIncludeGuard(rel_path);
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::match_results<std::string_view::const_iterator> match;
-    if (!std::regex_search(lines[i].begin(), lines[i].end(), match,
-                           *ifndef_pattern)) {
+std::vector<Directive> CollectDirectives(const std::vector<Token>& tokens) {
+  std::vector<Directive> directives;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& hash = tokens[i];
+    if (hash.kind != TokenKind::kPunct || hash.text != "#" ||
+        !hash.in_directive || !hash.at_line_start) {
       continue;
     }
-    if (HasAllowAnnotation(lines[i], "include-guard")) return;
-    const std::string guard = match[1].str();
-    if (guard != expected) {
-      findings->push_back(Finding{
-          std::string(rel_path), i + 1, "include-guard",
-          "include guard '" + guard + "' should be '" + expected + "'"});
+    Directive directive;
+    directive.line = hash.line;
+    size_t j = i + 1;
+    for (; j < tokens.size() && tokens[j].in_directive; ++j) {
+      const Token& tok = tokens[j];
+      if (tok.kind == TokenKind::kLineComment ||
+          tok.kind == TokenKind::kBlockComment) {
+        continue;
+      }
+      if (tok.kind == TokenKind::kPunct && tok.text == "#" &&
+          tok.at_line_start) {
+        break;  // next directive begins
+      }
+      if (directive.keyword.empty() && tok.kind == TokenKind::kIdentifier) {
+        directive.keyword = tok.text;
+      } else {
+        directive.args.push_back(&tok);
+      }
+    }
+    directives.push_back(std::move(directive));
+    i = j - 1;
+  }
+  return directives;
+}
+
+/// Where each per-file rule applies, derived from the repo-relative path.
+struct FileScope {
+  bool is_header = false;
+  bool banned_assert = false;  // assert/abort and rand
+  bool banned_printf = false;  // printf family
+  bool nondeterminism = false;
+  bool raw_clock = false;
+};
+
+FileScope ScopeFor(std::string_view rel_path) {
+  const bool in_src = StartsWith(rel_path, "src/");
+  const bool in_tools = StartsWith(rel_path, "tools/");
+  const bool in_examples = StartsWith(rel_path, "examples/");
+  const bool rng_exempt = StartsWith(rel_path, "src/common/rng.");
+  const bool clock_exempt =
+      rel_path == "src/common/timer.h" || StartsWith(rel_path, "src/obs/");
+
+  FileScope scope;
+  scope.is_header = EndsWith(rel_path, ".h");
+  scope.banned_assert = true;  // repo-wide: tests must not bypass gtest/CHECK
+  scope.banned_printf = in_src || in_tools || in_examples;
+  scope.nondeterminism = (in_src && !rng_exempt) || in_tools || in_examples;
+  scope.raw_clock = !clock_exempt;
+  return scope;
+}
+
+/// Rule engine over the token stream. `code_` holds indices of tokens that
+/// participate in code matching (comments excluded); neighbor lookups use
+/// that sequence so constructs split across lines or interleaved with
+/// comments still match.
+class Linter {
+ public:
+  Linter(std::string_view rel_path, const std::vector<Token>& tokens)
+      : rel_path_(rel_path),
+        tokens_(tokens),
+        allows_(AllowSet::FromTokens(tokens)),
+        scope_(ScopeFor(rel_path)) {
+    code_.reserve(tokens.size());
+    size_t last_line = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind == TokenKind::kLineComment ||
+          tokens[i].kind == TokenKind::kBlockComment) {
+        continue;
+      }
+      code_.push_back(i);
+      line_first_.push_back(tokens[i].line != last_line);
+      last_line = tokens[i].end_line;
+    }
+  }
+
+  std::vector<Finding> Run() {
+    if (scope_.is_header) {
+      CheckIncludeGuard();
+      CheckUsingNamespace();
+      CheckNodiscard();
+      CheckStaticMutableHeader();
+    }
+    CheckCalls();
+    SortFindings(&findings_);
+    return std::move(findings_);
+  }
+
+ private:
+  const Token& Code(size_t k) const { return tokens_[code_[k]]; }
+
+  /// Text of code token k, or "" when k is out of range.
+  std::string_view CodeText(size_t k) const {
+    return k < code_.size() ? std::string_view(Code(k).text)
+                            : std::string_view();
+  }
+
+  bool IsIdent(size_t k, std::string_view text) const {
+    return k < code_.size() && Code(k).kind == TokenKind::kIdentifier &&
+           Code(k).text == text;
+  }
+
+  void Report(size_t line, const char* rule, std::string message) {
+    if (allows_.Allows(line, rule)) return;
+    findings_.push_back(
+        Finding{std::string(rel_path_), line, rule, std::move(message)});
+  }
+
+  // --- include-guard ------------------------------------------------------
+
+  void CheckIncludeGuard() {
+    const std::string expected = ExpectedIncludeGuard(rel_path_);
+    const std::vector<Directive> directives = CollectDirectives(tokens_);
+    const Directive* ifndef = nullptr;
+    for (const Directive& directive : directives) {
+      if (directive.keyword == "ifndef" && !directive.args.empty()) {
+        ifndef = &directive;
+        break;
+      }
+    }
+    if (ifndef == nullptr) {
+      Report(1, "include-guard",
+             "header is missing include guard '" + expected + "'");
       return;
     }
-    // The guard's #define must immediately follow the #ifndef.
-    std::match_results<std::string_view::const_iterator> define_match;
-    if (i + 1 >= lines.size() ||
-        !std::regex_search(lines[i + 1].begin(), lines[i + 1].end(),
-                           define_match, *define_pattern) ||
-        define_match[1].str() != expected) {
-      findings->push_back(Finding{
-          std::string(rel_path), i + 2, "include-guard",
-          "expected '#define " + expected + "' directly after the #ifndef"});
+    if (allows_.Allows(ifndef->line, "include-guard")) return;
+    const std::string& guard = ifndef->args[0]->text;
+    if (guard != expected) {
+      Report(ifndef->line, "include-guard",
+             "include guard '" + guard + "' should be '" + expected + "'");
+      return;
     }
-    return;
+    // The guard's #define must sit directly on the next line.
+    for (const Directive& directive : directives) {
+      if (directive.keyword == "define" && directive.line == ifndef->line + 1 &&
+          !directive.args.empty() && directive.args[0]->text == expected) {
+        return;
+      }
+    }
+    Report(ifndef->line + 1, "include-guard",
+           "expected '#define " + expected + "' directly after the #ifndef");
   }
-  if (!lines.empty() && HasAllowAnnotation(lines[0], "include-guard")) return;
-  findings->push_back(Finding{std::string(rel_path), 1, "include-guard",
-                              "header is missing include guard '" + expected +
-                                  "'"});
-}
 
-void ApplyPatternRules(std::string_view rel_path,
-                       const std::vector<std::string_view>& lines,
-                       const std::vector<PatternRule>& rules,
-                       std::vector<Finding>* findings) {
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (IsCommentLine(lines[i])) continue;
-    const std::string_view code = CodePortion(lines[i]);
-    for (const PatternRule& rule : rules) {
-      if (!std::regex_search(code.begin(), code.end(), rule.pattern)) continue;
-      if (HasAllowAnnotation(lines[i], rule.rule)) continue;
-      findings->push_back(
-          Finding{std::string(rel_path), i + 1, rule.rule, rule.message});
-    }
-  }
-}
+  // --- using-namespace-header ---------------------------------------------
 
-void CheckUsingNamespace(std::string_view rel_path,
-                         const std::vector<std::string_view>& lines,
-                         std::vector<Finding>* findings) {
-  static const std::regex* pattern =
-      new std::regex(R"((^|[^A-Za-z0-9_])using\s+namespace\s)");
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (IsCommentLine(lines[i])) continue;
-    const std::string_view code = CodePortion(lines[i]);
-    if (!std::regex_search(code.begin(), code.end(), *pattern)) continue;
-    if (HasAllowAnnotation(lines[i], "using-namespace-header")) continue;
-    findings->push_back(Finding{
-        std::string(rel_path), i + 1, "using-namespace-header",
-        "'using namespace' in a header leaks into every includer"});
+  void CheckUsingNamespace() {
+    for (size_t k = 0; k < code_.size(); ++k) {
+      if (!IsIdent(k, "using") || Code(k).in_directive) continue;
+      if (!IsIdent(k + 1, "namespace")) continue;
+      Report(Code(k).line, "using-namespace-header",
+             "'using namespace' in a header leaks into every includer");
+    }
   }
-}
 
-void CheckNodiscard(std::string_view rel_path,
-                    const std::vector<std::string_view>& lines,
-                    std::vector<Finding>* findings) {
-  for (size_t i = 0; i < lines.size(); ++i) {
-    if (IsCommentLine(lines[i])) continue;
-    const std::string_view code = CodePortion(lines[i]);
-    if (!std::regex_search(code.begin(), code.end(), NodiscardDeclPattern())) {
-      continue;
+  // --- nodiscard-status ---------------------------------------------------
+
+  bool HasNodiscardNear(size_t line) const {
+    for (const size_t idx : code_) {
+      const Token& tok = tokens_[idx];
+      if (tok.kind == TokenKind::kIdentifier && tok.text == "nodiscard" &&
+          (tok.line == line || tok.line + 1 == line)) {
+        return true;
+      }
     }
-    if (code.find("[[nodiscard]]") != std::string_view::npos) continue;
-    if (i > 0 &&
-        lines[i - 1].find("[[nodiscard]]") != std::string_view::npos) {
-      continue;
-    }
-    if (HasAllowAnnotation(lines[i], "nodiscard-status")) continue;
-    findings->push_back(Finding{
-        std::string(rel_path), i + 1, "nodiscard-status",
-        "function returning Status/Result<T> must be [[nodiscard]]"});
+    return false;
   }
+
+  void CheckNodiscard() {
+    static const std::set<std::string>* specifiers = new std::set<std::string>{
+        "static", "virtual", "inline", "constexpr", "explicit", "friend"};
+    for (size_t k = 0; k < code_.size(); ++k) {
+      // Declarations start at the first code token of a physical line (the
+      // repo declares return type, name, and opening paren together).
+      if (!line_first_[k] || Code(k).kind != TokenKind::kIdentifier ||
+          Code(k).in_directive) {
+        continue;
+      }
+      size_t j = k;
+      while (j < code_.size() && Code(j).kind == TokenKind::kIdentifier &&
+             specifiers->count(Code(j).text) > 0) {
+        ++j;
+      }
+      size_t name = 0;
+      if (IsIdent(j, "Status")) {
+        name = j + 1;
+      } else if (IsIdent(j, "Result") && CodeText(j + 1) == "<") {
+        size_t depth = 1;
+        size_t m = j + 2;
+        for (; m < code_.size() && depth > 0; ++m) {
+          if (CodeText(m) == "<") ++depth;
+          if (CodeText(m) == ">") --depth;
+        }
+        if (depth != 0) continue;
+        name = m;
+      } else {
+        continue;
+      }
+      if (name == 0 || name >= code_.size() ||
+          Code(name).kind != TokenKind::kIdentifier ||
+          CodeText(name + 1) != "(") {
+        continue;
+      }
+      const size_t line = Code(k).line;
+      if (HasNodiscardNear(line)) continue;
+      Report(line, "nodiscard-status",
+             "function returning Status/Result<T> must be [[nodiscard]]");
+    }
+  }
+
+  // --- static-mutable-header ----------------------------------------------
+
+  void CheckStaticMutableHeader() {
+    enum class Scope { kNamespace, kClass, kBlock };
+    std::vector<Scope> stack{Scope::kNamespace};
+    bool pending_class = false;
+    bool pending_namespace = false;
+    std::vector<const Token*> statement;
+
+    const auto analyze = [&]() {
+      if (statement.empty()) return;
+      const std::string& head = statement.front()->text;
+      if (head != "static" && head != "inline" && head != "thread_local") {
+        return;
+      }
+      bool saw_assign = false;
+      bool saw_paren_before_assign = false;
+      for (const Token* tok : statement) {
+        const std::string& text = tok->text;
+        if (text == "const" || text == "constexpr" || text == "constinit" ||
+            text == "using" || text == "typedef" || text == "template" ||
+            text == "friend" || text == "extern" || text == "operator" ||
+            text == "namespace" || text == "class" || text == "struct" ||
+            text == "union" || text == "enum") {
+          return;  // const-qualified, or not a variable definition
+        }
+        if (text == "=") saw_assign = true;
+        if (text == "(" && !saw_assign) saw_paren_before_assign = true;
+      }
+      if (saw_paren_before_assign) return;  // function declaration
+      Report(statement.front()->line, "static-mutable-header",
+             "non-const namespace-scope '" + head +
+                 "' variable in a header: every translation unit gets its "
+                 "own mutable copy; move it to a .cc or mark it "
+                 "constexpr/const");
+    };
+
+    for (const size_t idx : code_) {
+      const Token& tok = tokens_[idx];
+      if (tok.in_directive) continue;
+      const std::string& text = tok.text;
+      if (text == "{") {
+        if (stack.back() == Scope::kNamespace) analyze();
+        statement.clear();
+        if (pending_namespace) {
+          stack.push_back(Scope::kNamespace);
+        } else if (pending_class) {
+          stack.push_back(Scope::kClass);
+        } else {
+          stack.push_back(Scope::kBlock);
+        }
+        pending_class = pending_namespace = false;
+        continue;
+      }
+      if (text == "}") {
+        if (stack.size() > 1) stack.pop_back();
+        statement.clear();
+        pending_class = pending_namespace = false;
+        continue;
+      }
+      if (text == ";") {
+        if (stack.back() == Scope::kNamespace) analyze();
+        statement.clear();
+        pending_class = pending_namespace = false;
+        continue;
+      }
+      if (stack.back() != Scope::kNamespace) continue;
+      if (tok.kind == TokenKind::kIdentifier) {
+        if (text == "class" || text == "struct" || text == "union" ||
+            text == "enum") {
+          pending_class = true;
+        } else if (text == "namespace") {
+          pending_namespace = true;
+        }
+      }
+      statement.push_back(&tok);
+    }
+  }
+
+  // --- call-shaped rules: banned-call, nondeterminism, raw-clock,
+  //     lock-discipline ----------------------------------------------------
+
+  /// True when code token k is an identifier called as a plain function:
+  /// followed by `(`, not written as a member access, and (optionally) only
+  /// qualified as `std::`.
+  bool IsCall(size_t k, bool allow_std_qualifier,
+              bool* std_qualified = nullptr) const {
+    if (CodeText(k + 1) != "(") return false;
+    const std::string_view prev = k > 0 ? CodeText(k - 1) : std::string_view();
+    if (prev == "." || prev == "->") return false;
+    if (prev == "::") {
+      const bool is_std = k >= 2 && IsIdent(k - 2, "std");
+      if (std_qualified != nullptr) *std_qualified = is_std;
+      return allow_std_qualifier && is_std;
+    }
+    if (std_qualified != nullptr) *std_qualified = false;
+    return true;
+  }
+
+  void CheckCalls() {
+    static const std::set<std::string>* printf_family =
+        new std::set<std::string>{"printf", "fprintf", "sprintf", "vprintf"};
+    static const std::set<std::string>* wall_clock =
+        new std::set<std::string>{"time", "localtime", "gmtime"};
+    static const std::set<std::string>* raw_clocks =
+        new std::set<std::string>{"steady_clock", "high_resolution_clock"};
+
+    for (size_t k = 0; k < code_.size(); ++k) {
+      const Token& tok = Code(k);
+      if (tok.kind != TokenKind::kIdentifier || tok.in_directive) continue;
+      const std::string& text = tok.text;
+
+      if (scope_.banned_assert && (text == "assert" || text == "abort") &&
+          IsCall(k, /*allow_std_qualifier=*/false)) {
+        // std::abort stays legal: it is CheckFailure's own primitive.
+        Report(tok.line, "banned-call",
+               "raw " + text +
+                   " call; use CAD_CHECK or return a Status (std::abort is "
+                   "the sanctioned fail-fast primitive)");
+      }
+      if (scope_.banned_printf && printf_family->count(text) > 0 &&
+          CodeText(k + 1) == "(" && CodeText(k - 1) != "." &&
+          CodeText(k - 1) != "->") {
+        Report(tok.line, "banned-call",
+               "printf-family call; use iostreams (std::snprintf is exempt)");
+      }
+      if (scope_.banned_assert && text == "rand" &&
+          IsCall(k, /*allow_std_qualifier=*/true)) {
+        Report(tok.line, "banned-call",
+               "std::rand/rand; use cad::Rng (src/common/rng.h)");
+      }
+      if (scope_.nondeterminism && wall_clock->count(text) > 0 &&
+          IsCall(k, /*allow_std_qualifier=*/true)) {
+        Report(tok.line, "nondeterminism",
+               "wall-clock time call outside src/common/rng.*; inject "
+               "timestamps explicitly");
+      }
+      if (scope_.nondeterminism && text == "random_device") {
+        Report(tok.line, "nondeterminism",
+               "uncontrolled entropy source outside src/common/rng.*; use "
+               "seeded cad::Rng");
+      }
+      if (scope_.raw_clock && raw_clocks->count(text) > 0 &&
+          CodeText(k - 1) == "::" && IsIdent(k - 2, "chrono")) {
+        Report(tok.line, "raw-clock",
+               "raw std::chrono clock outside src/common/timer.h and "
+               "src/obs/; use cad::Timer (Timer::NowNanos for raw "
+               "timestamps)");
+      }
+      if ((text == "lock" || text == "unlock") &&
+          (CodeText(k - 1) == "." || CodeText(k - 1) == "->") &&
+          CodeText(k + 1) == "(" && CodeText(k + 2) == ")") {
+        Report(tok.line, "lock-discipline",
+               "raw ." + text +
+                   "() call; hold mutexes through std::lock_guard/"
+                   "std::scoped_lock/std::unique_lock so unlock is "
+                   "exception-safe");
+      }
+    }
+  }
+
+  std::string_view rel_path_;
+  const std::vector<Token>& tokens_;
+  AllowSet allows_;
+  FileScope scope_;
+  /// Indices into tokens_ of non-comment tokens, in order.
+  std::vector<size_t> code_;
+  /// line_first_[k]: code token k is the first code token on its line.
+  std::vector<bool> line_first_;
+  std::vector<Finding> findings_;
+};
+
+std::string EscapeGithubValue(std::string_view text, bool is_property) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      case ',': out += is_property ? "%2C" : std::string(1, c); break;
+      case ':': out += is_property ? "%3A" : std::string(1, c); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo>* catalog = new std::vector<RuleInfo>{
+      {"banned-call",
+       "assert/abort/rand: everywhere; printf family: src/, tools/, examples/",
+       "raw assert/abort/printf-family/rand calls bypass Status/CAD_CHECK "
+       "and seeded cad::Rng"},
+      {"duplicate-include", "every scanned file",
+       "the same header is #included twice in one file"},
+      {"include-cycle", "every scanned file (cross-file pass)",
+       "the quoted-include graph contains a cycle"},
+      {"include-guard", "headers",
+       "#ifndef/#define guard must spell CAD_<PATH>_H_"},
+      {"layering", "every scanned file (cross-file pass)",
+       "an #include points at a higher layer of the declared DAG "
+       "(common -> linalg/obs/lint -> graph/commute/io -> "
+       "core/eval/datagen -> app -> tools/bench/tests/examples)"},
+      {"lock-discipline", "everywhere",
+       "raw .lock()/.unlock() member calls; use RAII "
+       "(lock_guard/scoped_lock/unique_lock)"},
+      {"nodiscard-status", "headers",
+       "functions returning Status/Result<T> must be [[nodiscard]]"},
+      {"nondeterminism", "src/ (except src/common/rng.*), tools/, examples/",
+       "wall-clock time()/localtime()/gmtime() and std::random_device "
+       "outside the rng module"},
+      {"raw-clock", "everywhere except src/common/timer.h and src/obs/",
+       "raw std::chrono::steady_clock/high_resolution_clock; use cad::Timer"},
+      {"self-include", "every scanned file (cross-file pass)",
+       "a file #includes itself"},
+      {"static-mutable-header", "headers",
+       "non-const namespace-scope static/inline variables in headers"},
+      {"using-namespace-header", "headers",
+       "'using namespace' at header scope leaks into every includer"},
+  };
+  return *catalog;
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const RuleInfo& rule : RuleCatalog()) {
+    if (id == rule.id) return true;
+  }
+  return false;
+}
 
 std::string ExpectedIncludeGuard(std::string_view rel_path) {
   std::string_view trimmed = rel_path;
@@ -240,29 +546,15 @@ std::string ExpectedIncludeGuard(std::string_view rel_path) {
 
 std::vector<Finding> LintContent(std::string_view rel_path,
                                  std::string_view content) {
-  const std::vector<std::string_view> lines = SplitLines(content);
-  const bool is_header = EndsWith(rel_path, ".h");
-  const bool in_src = StartsWith(rel_path, "src/");
-  const bool rng_exempt = StartsWith(rel_path, "src/common/rng.");
-  const bool clock_exempt =
-      rel_path == "src/common/timer.h" || StartsWith(rel_path, "src/obs/");
+  return Linter(rel_path, LexCpp(content)).Run();
+}
 
-  std::vector<Finding> findings;
-  if (is_header) {
-    CheckIncludeGuard(rel_path, lines, &findings);
-    CheckUsingNamespace(rel_path, lines, &findings);
-    CheckNodiscard(rel_path, lines, &findings);
-  }
-  if (in_src) {
-    ApplyPatternRules(rel_path, lines, BannedCallRules(), &findings);
-    if (!rng_exempt) {
-      ApplyPatternRules(rel_path, lines, NondeterminismRules(), &findings);
-    }
-  }
-  if (!clock_exempt) {
-    ApplyPatternRules(rel_path, lines, RawClockRules(), &findings);
-  }
-  return findings;
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
 }
 
 std::string FormatFinding(const Finding& finding) {
@@ -271,6 +563,38 @@ std::string FormatFinding(const Finding& finding) {
   if (finding.line > 0) out << ":" << finding.line;
   out << ": [" << finding.rule << "] " << finding.message;
   return out.str();
+}
+
+std::string FormatFindingGithub(const Finding& finding) {
+  std::ostringstream out;
+  out << "::error file=" << EscapeGithubValue(finding.file, true);
+  if (finding.line > 0) out << ",line=" << finding.line;
+  out << ",title=" << EscapeGithubValue("cad_lint " + finding.rule, true)
+      << "::" << EscapeGithubValue(finding.message, false);
+  return out.str();
+}
+
+void WriteFindingsJson(const std::vector<Finding>& findings,
+                       std::ostream* out) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("findings");
+  json.BeginArray();
+  for (const Finding& finding : findings) {
+    json.BeginObject();
+    json.Key("file");
+    json.String(finding.file);
+    json.Key("line");
+    json.Number(finding.line);
+    json.Key("rule");
+    json.String(finding.rule);
+    json.Key("message");
+    json.String(finding.message);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  *out << "\n";
 }
 
 }  // namespace lint

@@ -1,6 +1,7 @@
 #ifndef CAD_LINT_LINT_H_
 #define CAD_LINT_LINT_H_
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,7 +13,7 @@ namespace lint {
 struct Finding {
   /// Repo-relative path with forward slashes, e.g. "src/linalg/cholesky.h".
   std::string file;
-  /// 1-based line number; 0 for whole-file findings (e.g. a missing guard).
+  /// 1-based line number; 0 for whole-file findings.
   size_t line = 0;
   /// Stable kebab-case rule id, e.g. "include-guard". Usable in the inline
   /// escape hatch: `// cad-lint: allow(include-guard)`.
@@ -23,30 +24,69 @@ struct Finding {
   bool operator==(const Finding& other) const = default;
 };
 
+/// \brief Rule metadata: id, where the rule applies, and a one-line summary.
+/// The catalog is the single source of truth for `--disable`/`--only`
+/// validation in the cad_lint driver and for the README rule table.
+struct RuleInfo {
+  const char* id;
+  const char* scope;
+  const char* summary;
+};
+
+/// All rules, per-file and cross-file, in stable (alphabetical) order.
+const std::vector<RuleInfo>& RuleCatalog();
+
+/// True when `id` names a rule in the catalog.
+bool IsKnownRule(std::string_view id);
+
 /// \brief The include guard a header at `rel_path` must use:
 /// `CAD_<PATH>_H_` with the leading `src/` dropped and every separator
 /// mapped to `_`. Example: "src/linalg/cholesky.h" -> "CAD_LINALG_CHOLESKY_H_",
 /// "bench/report.h" -> "CAD_BENCH_REPORT_H_".
 std::string ExpectedIncludeGuard(std::string_view rel_path);
 
-/// \brief Lints a single file's contents against every rule that applies to
-/// its location. `rel_path` is the repo-relative path (forward slashes);
-/// rule scoping keys off it:
-///  - include-guard, using-namespace-header, nodiscard-status: headers only.
-///  - banned-call (raw assert/abort/printf-family/rand): `src/` only.
-///  - nondeterminism (time()/std::random_device): `src/` except
-///    `src/common/rng.*`.
+/// \brief Lints a single file's contents against every per-file rule that
+/// applies to its location. Matching runs on the token stream produced by
+/// lint/lexer.h, so comments and string literals can never trigger a rule
+/// and constructs split across physical lines are still caught.
+///
+/// `rel_path` is the repo-relative path (forward slashes); rule scoping
+/// keys off it:
+///  - include-guard, using-namespace-header, nodiscard-status,
+///    static-mutable-header: headers only.
+///  - banned-call: assert/abort/rand everywhere; the printf family only in
+///    src/, tools/, and examples/ (bench mains and tests may print).
+///  - nondeterminism (time()/std::random_device): src/, tools/, examples/,
+///    except src/common/rng.* (the sanctioned entropy owner).
 ///  - raw-clock (std::chrono::steady_clock / high_resolution_clock): every
-///    scanned file except `src/common/timer.h` (the clock's single owner)
-///    and `src/obs/` — go through cad::Timer instead.
-/// A finding on line L is suppressed when line L contains
-/// `cad-lint: allow(<rule>)`.
+///    scanned file except src/common/timer.h (the clock's single owner)
+///    and src/obs/ — go through cad::Timer instead.
+///  - lock-discipline (raw .lock()/.unlock() member calls): everywhere —
+///    hold mutexes through std::lock_guard/scoped_lock/unique_lock.
+/// The cross-file rules (layering, include-cycle, self-include,
+/// duplicate-include) live in lint/include_graph.h.
+///
+/// A finding on line L is suppressed when a comment on line L contains
+/// `cad-lint: allow(<rule>)` (comma-separated rule lists are accepted).
 std::vector<Finding> LintContent(std::string_view rel_path,
                                  std::string_view content);
+
+/// \brief Deterministic output order: (file, line, rule, message).
+void SortFindings(std::vector<Finding>* findings);
 
 /// \brief Renders a finding as "file:line: [rule] message" (the line is
 /// omitted for whole-file findings).
 std::string FormatFinding(const Finding& finding);
+
+/// \brief Renders a finding as a GitHub Actions workflow command
+/// (`::error file=...,line=...,title=...::message`) so CI findings
+/// annotate the PR diff.
+std::string FormatFindingGithub(const Finding& finding);
+
+/// \brief Writes `{"findings": [{file, line, rule, message}, ...]}` for
+/// machine consumption; order is the caller's (use SortFindings first).
+void WriteFindingsJson(const std::vector<Finding>& findings,
+                       std::ostream* out);
 
 }  // namespace lint
 }  // namespace cad

@@ -6,9 +6,11 @@
 #include <ostream>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
-#include "io/csv_writer.h"
-#include "io/json_writer.h"
+#include "common/csv_writer.h"
+#include "common/json_writer.h"
+#include "obs/trace.h"
 
 namespace cad {
 namespace obs {
@@ -273,6 +275,36 @@ Status WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream* out) {
   if (!out->good()) return Status::IoError("metrics JSON write failed");
   return Status::OK();
 }
+
+
+namespace {
+
+/// ParallelFor instrumentation (common/parallel.h). common/ cannot call up
+/// into obs/, so the hooks live here and are installed at static-init time;
+/// metrics.cc is linked into anything that consumes metrics, so every
+/// observable binary gets them.
+void* ParallelCallBegin(size_t task_count) {
+  CAD_METRIC_INC("parallel.calls");
+  CAD_METRIC_ADD("parallel.tasks", task_count);
+  if (!TracingEnabled() && !MetricsEnabled()) return nullptr;
+  return new TraceSpan("parallel_for");
+}
+
+void ParallelCallEnd(void* cookie) { delete static_cast<TraceSpan*>(cookie); }
+
+void ParallelTaskTimeNs(uint64_t nanos) {
+  CAD_METRIC_TIME_NS("parallel.task", nanos);
+}
+
+const ParallelHooks kParallelHooks{&ParallelCallBegin, &ParallelCallEnd,
+                                   &MetricsEnabled, &ParallelTaskTimeNs};
+
+[[maybe_unused]] const bool g_parallel_hooks_installed = [] {
+  SetParallelHooks(&kParallelHooks);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace obs
 }  // namespace cad

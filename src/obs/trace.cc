@@ -8,7 +8,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "io/json_writer.h"
+#include "common/json_writer.h"
 #include "obs/metrics.h"
 
 namespace cad {

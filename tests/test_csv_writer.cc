@@ -1,4 +1,4 @@
-#include "io/csv_writer.h"
+#include "common/csv_writer.h"
 
 #include <sstream>
 

@@ -1,0 +1,208 @@
+// Unit tests for the cross-file include-graph pass (src/lint/include_graph):
+// layer assignment, include extraction, and the four repo-wide rules
+// (layering, include-cycle, self-include, duplicate-include) over synthetic
+// file sets.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.h"
+
+namespace cad {
+namespace lint {
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& finding : findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+TEST(LayerOfTest, MatchesDeclaredDag) {
+  EXPECT_EQ(LayerOf("src/common/status.h"), 0);
+  EXPECT_EQ(LayerOf("src/linalg/cholesky.h"), 1);
+  EXPECT_EQ(LayerOf("src/obs/metrics.cc"), 1);
+  EXPECT_EQ(LayerOf("src/lint/lexer.h"), 1);
+  EXPECT_EQ(LayerOf("src/graph/snapshot.h"), 2);
+  EXPECT_EQ(LayerOf("src/commute/solver.h"), 2);
+  EXPECT_EQ(LayerOf("src/io/temporal_io.h"), 2);
+  EXPECT_EQ(LayerOf("src/core/cad_detector.h"), 3);
+  EXPECT_EQ(LayerOf("src/eval/metrics.h"), 3);
+  EXPECT_EQ(LayerOf("src/datagen/synthetic.h"), 3);
+  EXPECT_EQ(LayerOf("src/app/pipeline.h"), 4);
+  EXPECT_EQ(LayerOf("tools/cad_cli.cc"), 5);
+  EXPECT_EQ(LayerOf("bench/micro_kernels.cc"), 5);
+  EXPECT_EQ(LayerOf("tests/test_lint.cc"), 5);
+  EXPECT_EQ(LayerOf("examples/quickstart.cpp"), 5);
+  EXPECT_EQ(LayerOf("README.md"), -1);
+  EXPECT_EQ(LayerOf("src/unknown/x.h"), -1);
+}
+
+TEST(ExtractIncludesTest, ParsesQuotedAndAngledForms) {
+  const std::vector<IncludeEdge> includes = ExtractIncludes(
+      "// header\n"
+      "#include <vector>\n"
+      "#include \"common/status.h\"\n"
+      "  #  include   \"graph/snapshot.h\"\n"
+      "#define X include\n"
+      "int include = 0;  // not a directive\n");
+  ASSERT_EQ(includes.size(), 3u);
+  EXPECT_TRUE(includes[0].angled);
+  EXPECT_EQ(includes[0].target, "vector");
+  EXPECT_EQ(includes[0].line, 2u);
+  EXPECT_FALSE(includes[1].angled);
+  EXPECT_EQ(includes[1].target, "common/status.h");
+  EXPECT_EQ(includes[2].target, "graph/snapshot.h");
+  EXPECT_EQ(includes[2].line, 4u);
+}
+
+TEST(ExtractIncludesTest, IgnoresCommentedAndStringEmbeddedDirectives) {
+  const std::vector<IncludeEdge> includes = ExtractIncludes(
+      "// #include \"not/real.h\"\n"
+      "/* #include \"also/not.h\" */\n"
+      "const char* s = \"#include \\\"nor/this.h\\\"\";\n"
+      "#include \"yes/real.h\"\n");
+  ASSERT_EQ(includes.size(), 1u);
+  EXPECT_EQ(includes[0].target, "yes/real.h");
+  EXPECT_EQ(includes[0].line, 4u);
+}
+
+TEST(IncludeGraphTest, CleanLayeringProducesNoFindings) {
+  const std::vector<SourceFile> files = {
+      {"src/common/status.h", ""},
+      {"src/graph/snapshot.h", "#include \"common/status.h\"\n"},
+      {"src/core/detector.h",
+       "#include \"common/status.h\"\n#include \"graph/snapshot.h\"\n"},
+      {"tools/cli.cc", "#include \"core/detector.h\"\n"},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(files).empty());
+}
+
+TEST(IncludeGraphTest, UpwardIncludeIsALayeringFinding) {
+  // Seeded violation: common (layer 0) reaching into core (layer 3).
+  const std::vector<SourceFile> files = {
+      {"src/common/util.cc", "#include \"core/detector.h\"\n"},
+      {"src/core/detector.h", ""},
+  };
+  const std::vector<Finding> findings = AnalyzeIncludeGraph(files);
+  ASSERT_EQ(RuleNames(findings), std::vector<std::string>{"layering"});
+  EXPECT_EQ(findings[0].file, "src/common/util.cc");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("src/core/detector.h"),
+            std::string::npos);
+}
+
+TEST(IncludeGraphTest, SameLayerAndDownwardIncludesPass) {
+  const std::vector<SourceFile> files = {
+      {"src/graph/snapshot.h", ""},
+      {"src/io/reader.cc", "#include \"graph/snapshot.h\"\n"},  // same layer
+      {"src/obs/metrics.cc", "#include \"common/csv_writer.h\"\n"},
+      {"src/common/csv_writer.h", ""},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(files).empty());
+}
+
+TEST(IncludeGraphTest, UnresolvedAndAngledIncludesAreExempt) {
+  const std::vector<SourceFile> files = {
+      {"src/common/util.cc",
+       "#include <core/detector.h>\n#include \"third_party/x.h\"\n"},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(files).empty());
+}
+
+TEST(IncludeGraphTest, DetectsSeededCycle) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#include \"core/a.h\"\n"},
+      {"src/core/acyclic.h", "#include \"core/a.h\"\n"},
+  };
+  const std::vector<Finding> findings = AnalyzeIncludeGraph(files);
+  ASSERT_EQ(RuleNames(findings), std::vector<std::string>{"include-cycle"});
+  // Anchored at the lexicographically smallest member, one finding per cycle.
+  EXPECT_EQ(findings[0].file, "src/core/a.h");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("src/core/b.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/core/c.h"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, TwoFileCycleAndDeterministicOrder) {
+  const std::vector<SourceFile> files = {
+      {"src/graph/x.h", "#include \"graph/y.h\"\n"},
+      {"src/graph/y.h", "#include \"graph/x.h\"\n"},
+  };
+  const std::vector<Finding> first = AnalyzeIncludeGraph(files);
+  // Same inputs in reversed order must produce identical findings.
+  const std::vector<SourceFile> reversed = {files[1], files[0]};
+  EXPECT_EQ(first, AnalyzeIncludeGraph(reversed));
+  ASSERT_EQ(RuleNames(first), std::vector<std::string>{"include-cycle"});
+  EXPECT_EQ(first[0].file, "src/graph/x.h");
+}
+
+TEST(IncludeGraphTest, FlagsSelfInclude) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/a.h\"\n"},
+  };
+  const std::vector<Finding> findings = AnalyzeIncludeGraph(files);
+  ASSERT_EQ(RuleNames(findings), std::vector<std::string>{"self-include"});
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(IncludeGraphTest, FlagsDuplicateIncludeAtSecondOccurrence) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cc",
+       "#include \"core/b.h\"\n#include <vector>\n#include \"core/b.h\"\n"
+       "#include <vector>\n"},
+      {"src/core/b.h", ""},
+  };
+  const std::vector<Finding> findings = AnalyzeIncludeGraph(files);
+  ASSERT_EQ(RuleNames(findings),
+            (std::vector<std::string>{"duplicate-include",
+                                      "duplicate-include"}));
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("line 1"), std::string::npos);
+  EXPECT_EQ(findings[1].line, 4u);  // angled duplicates count too
+}
+
+TEST(IncludeGraphTest, SameDirectoryResolutionWithoutPrefix) {
+  // `#include "b.h"` from src/core/a.cc resolves against the includer's own
+  // directory, so the cycle and layering logic still see the edge.
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cc", "#include \"b.h\"\n#include \"core/b.h\"\n"},
+      {"src/core/b.h", ""},
+  };
+  const std::vector<Finding> findings = AnalyzeIncludeGraph(files);
+  // Both spellings resolve to the same file: the second is a duplicate.
+  ASSERT_EQ(RuleNames(findings),
+            std::vector<std::string>{"duplicate-include"});
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(IncludeGraphTest, AllowAnnotationSuppressesEachRule) {
+  const std::vector<SourceFile> layering = {
+      {"src/common/util.cc",
+       "#include \"core/detector.h\"  // cad-lint: allow(layering)\n"},
+      {"src/core/detector.h", ""},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(layering).empty());
+  const std::vector<SourceFile> cycle = {
+      {"src/core/a.h",
+       "#include \"core/b.h\"  // cad-lint: allow(include-cycle)\n"},
+      {"src/core/b.h", "#include \"core/a.h\"\n"},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(cycle).empty());
+  const std::vector<SourceFile> dup = {
+      {"src/core/a.cc",
+       "#include \"core/b.h\"\n"
+       "#include \"core/b.h\"  // cad-lint: allow(duplicate-include)\n"},
+      {"src/core/b.h", ""},
+  };
+  EXPECT_TRUE(AnalyzeIncludeGraph(dup).empty());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cad

@@ -1,0 +1,175 @@
+// Golden tests for the lint lexer (src/lint/lexer.h): token classification
+// over raw strings, line splices, preprocessor directives, prefixed
+// literals, and the edge cases that motivated replacing the regex linter.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace cad {
+namespace lint {
+namespace {
+
+// Compact golden form: one "<kind>:<text>" per token.
+std::string KindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "id";
+    case TokenKind::kNumber: return "num";
+    case TokenKind::kString: return "str";
+    case TokenKind::kCharLiteral: return "chr";
+    case TokenKind::kLineComment: return "lc";
+    case TokenKind::kBlockComment: return "bc";
+    case TokenKind::kHeaderName: return "hdr";
+    case TokenKind::kPunct: return "p";
+  }
+  return "?";
+}
+
+std::vector<std::string> Golden(std::string_view content) {
+  std::vector<std::string> out;
+  for (const Token& token : LexCpp(content)) {
+    out.push_back(KindName(token.kind) + ":" + token.text);
+  }
+  return out;
+}
+
+TEST(LexerGoldenTest, BasicStatement) {
+  EXPECT_EQ(Golden("int x = 42;  // done\n"),
+            (std::vector<std::string>{"id:int", "id:x", "p:=", "num:42", "p:;",
+                                      "lc:// done"}));
+}
+
+TEST(LexerGoldenTest, StringsAreSingleTokens) {
+  EXPECT_EQ(Golden("f(\"a // b\", 'c');\n"),
+            (std::vector<std::string>{"id:f", "p:(", "str:\"a // b\"", "p:,",
+                                      "chr:'c'", "p:)", "p:;"}));
+  // Escaped quotes and backslashes do not end the literal early.
+  EXPECT_EQ(Golden("\"a\\\"b\" '\\''"),
+            (std::vector<std::string>{"str:\"a\\\"b\"", "chr:'\\''"}));
+}
+
+TEST(LexerGoldenTest, RawStrings) {
+  EXPECT_EQ(Golden("auto s = R\"(no \\ escapes \" here)\";\n"),
+            (std::vector<std::string>{"id:auto", "id:s", "p:=",
+                                      "str:R\"(no \\ escapes \" here)\"",
+                                      "p:;"}));
+  // Custom delimiter: an inner )" must not terminate the literal.
+  const std::string content = "R\"gold(a )\" b)gold\"";
+  EXPECT_EQ(Golden(content), (std::vector<std::string>{"str:" + content}));
+  // Encoding prefixes stay attached; a raw string can span lines.
+  const std::vector<Token> tokens = LexCpp("u8R\"(line1\nline2)\" x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].end_line, 2u);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[1].line, 2u);
+}
+
+TEST(LexerGoldenTest, RawStringBodyKeepsSplices) {
+  // Inside a raw string a backslash-newline is content, not a splice.
+  const std::string content = "R\"(a\\\nb)\"";
+  EXPECT_EQ(Golden(content), (std::vector<std::string>{"str:" + content}));
+}
+
+TEST(LexerGoldenTest, LineSplices) {
+  // A splice glues an identifier back together and vanishes from the text.
+  EXPECT_EQ(Golden("as\\\nsert(1);"),
+            (std::vector<std::string>{"id:assert", "p:(", "num:1", "p:)",
+                                      "p:;"}));
+  // A spliced line comment swallows the next physical line.
+  EXPECT_EQ(Golden("// comment \\\nint x = 1;\nint y;\n"),
+            (std::vector<std::string>{"lc:// comment int x = 1;", "id:int",
+                                      "id:y", "p:;"}));
+  // A splice inside a string literal continues it across lines.
+  const std::vector<Token> spliced = LexCpp("\"ab\\\ncd\" x");
+  ASSERT_EQ(spliced.size(), 2u);
+  EXPECT_EQ(spliced[0].text, "\"abcd\"");
+  EXPECT_EQ(spliced[0].line, 1u);
+  EXPECT_EQ(spliced[0].end_line, 2u);
+}
+
+TEST(LexerGoldenTest, BlockComments) {
+  EXPECT_EQ(Golden("a /* x\ny */ b"),
+            (std::vector<std::string>{"id:a", "bc:/* x\ny */", "id:b"}));
+  const std::vector<Token> tokens = LexCpp("/* assert(1)\n abort() */\n");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBlockComment);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].end_line, 2u);
+}
+
+TEST(LexerGoldenTest, PreprocessorDirectives) {
+  const std::vector<Token> tokens =
+      LexCpp("#include <vector>\n#include \"common/status.h\"\nint x;\n");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].text, "#");
+  EXPECT_TRUE(tokens[0].in_directive);
+  EXPECT_TRUE(tokens[0].at_line_start);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kHeaderName);
+  EXPECT_EQ(tokens[2].text, "<vector>");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "\"common/status.h\"");
+  EXPECT_TRUE(tokens[5].in_directive);
+  EXPECT_FALSE(tokens[6].in_directive);  // `int` after the directive ends
+}
+
+TEST(LexerGoldenTest, LessThanIsNotAHeaderNameOutsideInclude) {
+  // `a < b > c` must not lex `< b >` as a header-name, and `#if x < 2` must
+  // stay ordinary punctuation inside a non-include directive.
+  EXPECT_EQ(Golden("a < b > c"),
+            (std::vector<std::string>{"id:a", "p:<", "id:b", "p:>", "id:c"}));
+  EXPECT_EQ(Golden("#if x < 2\n#endif\n"),
+            (std::vector<std::string>{"p:#", "id:if", "id:x", "p:<", "num:2",
+                                      "p:#", "id:endif"}));
+}
+
+TEST(LexerGoldenTest, NumbersAndDigitSeparators) {
+  EXPECT_EQ(Golden("1'000'000 0x1Fu 1e-9 3.14f .5"),
+            (std::vector<std::string>{"num:1'000'000", "num:0x1Fu", "num:1e-9",
+                                      "num:3.14f", "num:.5"}));
+}
+
+TEST(LexerGoldenTest, QualificationAndMemberAccessPunct) {
+  EXPECT_EQ(Golden("std::chrono::x p->lock() a.b"),
+            (std::vector<std::string>{"id:std", "p:::", "id:chrono", "p:::",
+                                      "id:x", "id:p", "p:->", "id:lock", "p:(",
+                                      "p:)", "id:a", "p:.", "id:b"}));
+}
+
+TEST(LexerGoldenTest, PrefixedLiteralsAndPlainIdentifiers) {
+  EXPECT_EQ(Golden("L\"wide\" u8'c' R2D2  Really \"s\""),
+            (std::vector<std::string>{"str:L\"wide\"", "chr:u8'c'", "id:R2D2",
+                                      "id:Really", "str:\"s\""}));
+}
+
+TEST(LexerGoldenTest, UnterminatedConstructsDoNotLoopOrThrow) {
+  EXPECT_EQ(Golden("\"unterminated\nint x;\n"),
+            (std::vector<std::string>{"str:\"unterminated", "id:int", "id:x",
+                                      "p:;"}));
+  const std::vector<Token> block = LexCpp("/* never closed\nint x;\n");
+  ASSERT_EQ(block.size(), 1u);
+  EXPECT_EQ(block[0].kind, TokenKind::kBlockComment);
+  const std::vector<Token> raw = LexCpp("R\"(never closed\n");
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].kind, TokenKind::kString);
+  EXPECT_TRUE(LexCpp("").empty());
+}
+
+TEST(LexerGoldenTest, LineNumbersAndLineStartFlags) {
+  const std::vector<Token> tokens = LexCpp("int x;\n  y = 1;\n");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_TRUE(tokens[0].at_line_start);
+  EXPECT_FALSE(tokens[1].at_line_start);
+  EXPECT_EQ(tokens[3].text, "y");
+  EXPECT_EQ(tokens[3].line, 2u);
+  EXPECT_TRUE(tokens[3].at_line_start);  // indentation does not count
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cad

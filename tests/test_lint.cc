@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -121,12 +122,24 @@ TEST(BannedCallRuleTest, FlagsRandButNotSrandSubstring) {
   EXPECT_TRUE(LintContent("src/core/foo.cc", "int x = grand();\n").empty());
 }
 
-TEST(BannedCallRuleTest, ScopedToSrcOnly) {
-  const std::string content = "void F() { assert(1); printf(\"x\"); }\n";
-  EXPECT_FALSE(LintContent("src/core/foo.cc", content).empty());
-  EXPECT_TRUE(LintContent("tests/test_foo.cc", content).empty());
-  EXPECT_TRUE(LintContent("bench/bench_foo.cc", content).empty());
-  EXPECT_TRUE(LintContent("tools/tool_foo.cc", content).empty());
+TEST(BannedCallRuleTest, AssertBannedEverywherePrintfScoped) {
+  // assert/abort/rand are portable hazards: banned in every scanned tree.
+  const std::string asserts = "void F() { assert(1); }\n";
+  for (const char* path : {"src/core/foo.cc", "tests/test_foo.cc",
+                           "bench/bench_foo.cc", "tools/tool_foo.cc",
+                           "examples/demo.cpp"}) {
+    EXPECT_EQ(RuleNames(LintContent(path, asserts)),
+              std::vector<std::string>{"banned-call"})
+        << path;
+  }
+  // The printf family is only banned where stdout is not the product:
+  // bench mains and tests print results and tables freely.
+  const std::string prints = "void F() { printf(\"x\"); }\n";
+  EXPECT_FALSE(LintContent("src/core/foo.cc", prints).empty());
+  EXPECT_FALSE(LintContent("tools/tool_foo.cc", prints).empty());
+  EXPECT_FALSE(LintContent("examples/demo.cpp", prints).empty());
+  EXPECT_TRUE(LintContent("tests/test_foo.cc", prints).empty());
+  EXPECT_TRUE(LintContent("bench/bench_foo.cc", prints).empty());
 }
 
 TEST(BannedCallRuleTest, CommentsAndAllowAnnotationsSuppress) {
@@ -260,18 +273,18 @@ TEST(RawClockRuleTest, FlagsSteadyAndHighResolutionClocks) {
   EXPECT_EQ(
       RuleNames(LintContent(
           "src/core/foo.cc",
-          "auto t = std::chrono::steady_clock::now();\n")),  // cad-lint: allow(raw-clock)
+          "auto t = std::chrono::steady_clock::now();\n")),
       (std::vector<std::string>{"raw-clock"}));
   EXPECT_EQ(
       RuleNames(LintContent(
           "src/core/foo.cc",
-          "auto t = std::chrono::high_resolution_clock::now();\n")),  // cad-lint: allow(raw-clock)
+          "auto t = std::chrono::high_resolution_clock::now();\n")),
       (std::vector<std::string>{"raw-clock"}));
 }
 
 TEST(RawClockRuleTest, AppliesOutsideSrcToo) {
   const std::string content =
-      "auto t = std::chrono::steady_clock::now();\n";  // cad-lint: allow(raw-clock)
+      "auto t = std::chrono::steady_clock::now();\n";
   EXPECT_EQ(RuleNames(LintContent("bench/bench_foo.cc", content)),
             (std::vector<std::string>{"raw-clock"}));
   EXPECT_EQ(RuleNames(LintContent("tests/test_foo.cc", content)),
@@ -284,7 +297,7 @@ TEST(RawClockRuleTest, TimerAndObsAreExempt) {
   // The header fixtures still trip unrelated rules (no include guard), so
   // assert specifically that raw-clock is absent rather than findings-empty.
   const std::string content =
-      "auto t = std::chrono::steady_clock::now();\n";  // cad-lint: allow(raw-clock)
+      "auto t = std::chrono::steady_clock::now();\n";
   for (const char* path :
        {"src/common/timer.h", "src/obs/trace.cc", "src/obs/metrics.h"}) {
     for (const std::string& rule : RuleNames(LintContent(path, content))) {
@@ -300,11 +313,173 @@ TEST(RawClockRuleTest, SystemClockAndAllowAnnotationPass) {
                           "auto t = std::chrono::system_clock::now();\n")
                   .empty());
   // NOLINT-style escape: the annotation must sit on the same physical line
-  // as the clock use (kept as one literal so the self-scan sees it too).
+  // as the clock use.
   EXPECT_TRUE(
       LintContent("src/core/foo.cc",
                   "auto t = std::chrono::steady_clock::now();  // cad-lint: allow(raw-clock)\n")
           .empty());
+}
+
+// --- false-positive corpus: strings and comments --------------------------
+
+// The regex-era linter matched raw text, so banned spellings inside string
+// literals or block comments produced false findings. The token lexer
+// classifies those regions, so the rules never see them.
+TEST(FalsePositiveCorpusTest, BannedSpellingsInStringLiteralsAreIgnored) {
+  const std::string content =
+      "const char* a = \"assert(x) and abort() and printf(fmt)\";\n"
+      "const char* b = \"std::chrono::steady_clock::now()\";\n"
+      "const char* c = \"// not a comment: time(nullptr)\";\n"
+      "const char* d = \"m.lock(); m.unlock();\";\n"
+      "char e = \'\\'\';  // a quote char cannot derail the lexer\n";
+  EXPECT_TRUE(LintContent("src/core/foo.cc", content).empty());
+}
+
+TEST(FalsePositiveCorpusTest, BannedSpellingsInBlockCommentsAreIgnored) {
+  const std::string content =
+      "/* historical code:\n"
+      "   assert(x > 0);\n"
+      "   auto t = std::chrono::steady_clock::now();\n"
+      "   std::random_device rd;  rand();\n"
+      "*/\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(LintContent("src/core/foo.cc", content).empty());
+}
+
+TEST(FalsePositiveCorpusTest, RawStringsAreIgnored) {
+  const std::string content =
+      "const char* sql = R\"(assert(1); abort(); printf(\"x\"))\";\n"
+      "const char* gold = R\"gold(\n"
+      "  std::chrono::steady_clock::now();\n"
+      "  time(nullptr);\n"
+      ")gold\";\n";
+  EXPECT_TRUE(LintContent("src/core/foo.cc", content).empty());
+}
+
+TEST(FalsePositiveCorpusTest, CallsSplitAcrossLinesAreStillCaught) {
+  // The flip side: physical-line regexes missed constructs broken across
+  // lines; the token stream does not.
+  const std::vector<Finding> split_assert = LintContent(
+      "src/core/foo.cc", "void F() {\n  assert\n      (x > 0);\n}\n");
+  EXPECT_EQ(RuleNames(split_assert), std::vector<std::string>{"banned-call"});
+  const std::vector<Finding> spliced = LintContent(
+      "src/core/foo.cc", "void F() { as\\\nsert(1); }\n");
+  EXPECT_EQ(RuleNames(spliced), std::vector<std::string>{"banned-call"});
+  const std::vector<Finding> split_clock = LintContent(
+      "src/core/foo.cc",
+      "auto t = std::chrono::\n    steady_clock::now();\n");
+  EXPECT_EQ(RuleNames(split_clock), std::vector<std::string>{"raw-clock"});
+}
+
+TEST(FalsePositiveCorpusTest, LineCommentLooksLikeDirectiveIsIgnored) {
+  // `// #include "x.h"` must not register as an include, and a commented
+  // `#ifndef` must not satisfy the include-guard rule.
+  const std::string header =
+      "// #ifndef WRONG_GUARD_H\n"
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "#endif  // CAD_CORE_FOO_H_\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+// --- lock-discipline -------------------------------------------------------
+
+TEST(LockDisciplineRuleTest, FlagsRawLockAndUnlock) {
+  const std::vector<Finding> findings = LintContent(
+      "src/core/foo.cc",
+      "void F() {\n  mu_.lock();\n  work();\n  mu_.unlock();\n}\n");
+  EXPECT_EQ(RuleNames(findings),
+            (std::vector<std::string>{"lock-discipline", "lock-discipline"}));
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[1].line, 4u);
+  // Pointer access and everywhere-scoping (tests included) are covered too.
+  EXPECT_EQ(RuleNames(LintContent("tests/test_foo.cc",
+                                  "void F() { mu->lock(); }\n")),
+            std::vector<std::string>{"lock-discipline"});
+}
+
+TEST(LockDisciplineRuleTest, RaiiAndNonMemberUsesPass) {
+  const std::string content =
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  std::unique_lock<std::mutex> u(mu_);\n"
+      "  std::scoped_lock all(a_, b_);\n"
+      "  lock();  // free function named lock is not a mutex member call\n"
+      "  m.try_lock_shared();\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/core/foo.cc", content).empty());
+  // .lock() with arguments is something else (e.g. weak_ptr has none, but a
+  // custom API might); only the zero-argument member spelling is the smell.
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "void F() { w.lock(fallback); }\n")
+          .empty());
+}
+
+TEST(LockDisciplineRuleTest, AllowAnnotationSuppresses) {
+  EXPECT_TRUE(LintContent("src/core/foo.cc",
+                          "void F() { mu_.lock(); }  "
+                          "// cad-lint: allow(lock-discipline)\n")
+                  .empty());
+}
+
+// --- static-mutable-header -------------------------------------------------
+
+TEST(StaticMutableHeaderRuleTest, FlagsNamespaceScopeMutableStatics) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "static int counter = 0;\n"
+      "inline int hits = 0;\n"
+      "static double table[] = {1.0, 2.0};\n"
+      "#endif  // CAD_CORE_FOO_H_\n";
+  const std::vector<Finding> findings = LintContent("src/core/foo.h", header);
+  EXPECT_EQ(RuleNames(findings),
+            (std::vector<std::string>{"static-mutable-header",
+                                      "static-mutable-header",
+                                      "static-mutable-header"}));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(StaticMutableHeaderRuleTest, ConstFunctionsAndMembersPass) {
+  const std::string header =
+      "#ifndef CAD_CORE_FOO_H_\n"
+      "#define CAD_CORE_FOO_H_\n"
+      "static constexpr int kMax = 8;\n"
+      "inline const char* kName = \"cad\";\n"
+      "static int Helper() { return 1; }\n"
+      "inline int Twice(int x) { return 2 * x; }\n"
+      "class Foo {\n"
+      "  static int instances_;  // class member: different rule territory\n"
+      "  mutable std::mutex mu_;\n"
+      "};\n"
+      "void Body();\n"
+      "#endif  // CAD_CORE_FOO_H_\n";
+  EXPECT_TRUE(LintContent("src/core/foo.h", header).empty());
+}
+
+TEST(StaticMutableHeaderRuleTest, SourceFilesAreExempt) {
+  // File-local statics in a .cc are the sanctioned pattern.
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "static int counter = 0;\n").empty());
+}
+
+// --- rule catalog ----------------------------------------------------------
+
+TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  ASSERT_FALSE(catalog.empty());
+  for (size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(std::string(catalog[i - 1].id), std::string(catalog[i].id));
+  }
+  for (const char* id :
+       {"banned-call", "duplicate-include", "include-cycle", "include-guard",
+        "layering", "lock-discipline", "nodiscard-status", "nondeterminism",
+        "raw-clock", "self-include", "static-mutable-header",
+        "using-namespace-header"}) {
+    EXPECT_TRUE(IsKnownRule(id)) << id;
+  }
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+  EXPECT_FALSE(IsKnownRule(""));
 }
 
 // --- formatting -----------------------------------------------------------
@@ -316,6 +491,50 @@ TEST(FormatFindingTest, RendersFileLineRuleMessage) {
   const Finding whole_file{"src/core/foo.h", 0, "include-guard", "missing"};
   EXPECT_EQ(FormatFinding(whole_file),
             "src/core/foo.h: [include-guard] missing");
+}
+
+TEST(FormatFindingTest, GithubFormatEscapesWorkflowCommandCharacters) {
+  const Finding finding{"src/core/foo.cc", 12, "banned-call",
+                        "bad: line1\nline2, 100%"};
+  // Only %, CR, and LF need escaping in the message part; colons and commas
+  // are only special inside the property list before the `::`.
+  EXPECT_EQ(FormatFindingGithub(finding),
+            "::error file=src/core/foo.cc,line=12,title=cad_lint "
+            "banned-call::bad: line1%0Aline2, 100%25");
+}
+
+TEST(WriteFindingsJsonTest, SnapshotMatches) {
+  std::vector<Finding> findings = {
+      {"src/core/foo.cc", 12, "banned-call", "raw \"assert\" call"},
+      {"src/core/foo.h", 0, "include-guard", "missing"},
+  };
+  std::ostringstream out;
+  WriteFindingsJson(findings, &out);
+  EXPECT_EQ(out.str(),
+            "{\"findings\":[{\"file\":\"src/core/foo.cc\",\"line\":12,"
+            "\"rule\":\"banned-call\",\"message\":\"raw \\\"assert\\\" "
+            "call\"},{\"file\":\"src/core/foo.h\",\"line\":0,"
+            "\"rule\":\"include-guard\",\"message\":\"missing\"}]}\n");
+}
+
+TEST(WriteFindingsJsonTest, EmptyFindingsStillWellFormed) {
+  std::ostringstream out;
+  WriteFindingsJson({}, &out);
+  EXPECT_EQ(out.str(), "{\"findings\":[]}\n");
+}
+
+TEST(SortFindingsTest, OrdersByFileLineRule) {
+  std::vector<Finding> findings = {
+      {"b.cc", 1, "x", "m"},
+      {"a.cc", 9, "x", "m"},
+      {"a.cc", 2, "z", "m"},
+      {"a.cc", 2, "y", "m"},
+  };
+  SortFindings(&findings);
+  EXPECT_EQ(findings[0], (Finding{"a.cc", 2, "y", "m"}));
+  EXPECT_EQ(findings[1], (Finding{"a.cc", 2, "z", "m"}));
+  EXPECT_EQ(findings[2], (Finding{"a.cc", 9, "x", "m"}));
+  EXPECT_EQ(findings[3], (Finding{"b.cc", 1, "x", "m"}));
 }
 
 }  // namespace

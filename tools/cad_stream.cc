@@ -37,7 +37,7 @@
 #include "common/strings.h"
 #include "core/online_monitor.h"
 #include "graph/node_vocabulary.h"
-#include "io/checkpoint.h"
+#include "core/checkpoint.h"
 #include "io/event_stream.h"
 #include "obs/obs.h"
 
