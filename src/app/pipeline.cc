@@ -11,6 +11,13 @@ namespace cad {
 
 namespace {
 
+/// Ticks the optional heartbeat reporter after a pipeline stage completes.
+Status TickStats(const PipelineOptions& options) {
+  if (options.stats == nullptr) return Status::OK();
+  const Result<bool> emitted = options.stats->Tick();
+  return emitted.status();
+}
+
 Result<EdgeScoreKind> KindFromName(const std::string& method) {
   if (method == "CAD") return EdgeScoreKind::kCad;
   if (method == "ADJ") return EdgeScoreKind::kAdj;
@@ -40,16 +47,19 @@ Result<PipelineResult> RunCommuteFamily(const TemporalGraphSequence& sequence,
   for (const TransitionScores& scores : analyses) {
     result.node_scores.push_back(scores.node_scores);
   }
+  CAD_RETURN_NOT_OK(TickStats(options));
 
   {
     CAD_TRACE_SPAN("pipeline_threshold");
     result.delta = CalibrateDelta(analyses, options.nodes_per_transition);
     CAD_METRIC_SET("pipeline.delta", result.delta);
   }
+  CAD_RETURN_NOT_OK(TickStats(options));
   {
     CAD_TRACE_SPAN("pipeline_localize");
     result.reports = ApplyThreshold(analyses, result.delta);
   }
+  CAD_RETURN_NOT_OK(TickStats(options));
 
   CAD_TRACE_SPAN("pipeline_classify");
   for (const AnomalyReport& report : result.reports) {
@@ -73,6 +83,7 @@ Result<PipelineResult> RunCommuteFamily(const TemporalGraphSequence& sequence,
     }
   }
   CAD_METRIC_ADD("pipeline.reported_edges", result.edges.size());
+  CAD_RETURN_NOT_OK(TickStats(options));
   return result;
 }
 
@@ -94,6 +105,7 @@ Result<PipelineResult> RunNodeScorer(const TemporalGraphSequence& sequence,
         "unknown method '" + options.method +
         "'; expected CAD, ADJ, COM, SUM, ACT, CLC, or AFM");
   }
+  CAD_RETURN_NOT_OK(TickStats(options));
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "graph/node_vocabulary.h"
 #include "graph/temporal_graph.h"
 #include "obs/metrics.h"
+#include "obs/stats_reporter.h"
 
 namespace cad {
 
@@ -52,6 +53,12 @@ struct PipelineOptions {
   /// Advance the k CG systems in lockstep through shared SpMM sweeps
   /// (see CgOptions::use_block_solver). Bit-identical results either way.
   bool block_solver = false;
+  /// Optional heartbeat reporter (not owned; must outlive the run). The
+  /// pipeline ticks it once per completed stage (score, threshold, localize,
+  /// classify for the commute family; score for the node-score baselines),
+  /// so a StatsReporter(out, 1) emits a progress record after every stage of
+  /// a long batch run. nullptr disables the heartbeat.
+  obs::StatsReporter* stats = nullptr;
 };
 
 /// \brief One classified anomalous edge in the pipeline output.

@@ -3,8 +3,10 @@
 #include "commute/approx_commute.h"
 #include "commute/commute_time.h"
 #include "commute/exact_commute.h"
+#include "common/timer.h"
 #include "graph/components.h"
 #include "linalg/dense_matrix.h"
+#include "obs/obs.h"
 
 namespace cad {
 
@@ -89,6 +91,36 @@ Status OnlineCadMonitor::GrowPreviousTo(size_t num_nodes) {
 
 Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
     const WeightedGraph& snapshot) {
+  const uint64_t start_ns = Timer::NowNanos();
+  Result<std::optional<AnomalyReport>> result = ObserveImpl(snapshot);
+  // Wall time is volatile, so it goes into a timer histogram (exported under
+  // kind "timer", outside the deterministic-row contract) where mid-run
+  // quantiles stay computable.
+  CAD_METRIC_TIME_HIST_NS("monitor.window_latency",
+                          Timer::NowNanos() - start_ns);
+  if (!result.ok()) {
+    CAD_METRIC_INC("monitor.windows_failed");
+    CAD_FLIGHT_NOTE("monitor.observe_failed",
+                    static_cast<double>(num_snapshots_));
+    return result;
+  }
+  CAD_METRIC_INC("monitor.windows");
+  CAD_METRIC_SET("monitor.delta", delta_);
+  CAD_METRIC_SET("monitor.history_depth", history_.size());
+  CAD_METRIC_SET("monitor.cache_staleness",
+                 solver_cache_.last_relative_change());
+  CAD_FLIGHT_NOTE("monitor.observe", static_cast<double>(num_snapshots_));
+  if (stats_ != nullptr) {
+    // Count-based heartbeat: one tick per window keeps emission deterministic
+    // across thread counts and runs.
+    const Result<bool> emitted = stats_->Tick();
+    if (!emitted.ok()) return emitted.status();
+  }
+  return result;
+}
+
+Result<std::optional<AnomalyReport>> OnlineCadMonitor::ObserveImpl(
+    const WeightedGraph& snapshot) {
   if (previous_snapshot_.has_value() &&
       snapshot.num_nodes() != previous_snapshot_->num_nodes()) {
     if (snapshot.num_nodes() < previous_snapshot_->num_nodes()) {
@@ -98,6 +130,8 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
           std::to_string(previous_snapshot_->num_nodes()) +
           "; discovered node sets only grow");
     }
+    CAD_METRIC_ADD("monitor.nodes_grown",
+                   snapshot.num_nodes() - previous_snapshot_->num_nodes());
     CAD_RETURN_NOT_OK(GrowPreviousTo(snapshot.num_nodes()));
   }
 
@@ -118,6 +152,7 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
       *previous_snapshot_, snapshot, *previous_oracle_, *oracle,
       options_.detector.score_kind));
   ++num_transitions_total_;
+  CAD_METRIC_INC("monitor.transitions");
   previous_snapshot_ = snapshot;
   previous_oracle_ = std::move(oracle);
 

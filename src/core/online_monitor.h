@@ -14,6 +14,10 @@
 
 namespace cad {
 
+namespace obs {
+class StatsReporter;
+}  // namespace obs
+
 /// \brief Options for the streaming CAD monitor.
 struct OnlineMonitorOptions {
   /// Detector configuration (engine, score kind, embedding dimension).
@@ -57,6 +61,12 @@ class OnlineCadMonitor {
   /// discovered node set growing, DESIGN.md §8): the previous snapshot is
   /// reinterpreted with the new nodes isolated, which leaves its commute
   /// oracle's scores on existing pairs bit-identical. Shrinking is rejected.
+  ///
+  /// Instrumented (DESIGN.md §10): each call records its wall time into the
+  /// `monitor.window_latency` timer histogram, bumps `monitor.windows` /
+  /// `monitor.transitions`, refreshes the `monitor.delta`,
+  /// `monitor.history_depth`, and `monitor.cache_staleness` gauges, and — if
+  /// a StatsReporter is attached — ticks it once per successful call.
   [[nodiscard]] Result<std::optional<AnomalyReport>> Observe(const WeightedGraph& snapshot);
 
   /// The currently calibrated threshold (0 until the first transition).
@@ -99,6 +109,12 @@ class OnlineCadMonitor {
 
   void ClearVocabulary() { vocabulary_.reset(); }
 
+  /// Attaches a heartbeat reporter (not owned; must outlive the monitor or
+  /// be detached with nullptr). Observe ticks it after every successful
+  /// window, so with StatsReporter(out, N) one heartbeat line is emitted per
+  /// N windows. A heartbeat write failure is reported as the Observe error.
+  void SetStatsReporter(obs::StatsReporter* reporter) { stats_ = reporter; }
+
   /// \brief Serializes the complete monitor state (previous snapshot and
   /// oracle, retained score history, calibrated delta, solver-cache
   /// contents) in the versioned binary format of core/checkpoint.h. A monitor
@@ -124,6 +140,11 @@ class OnlineCadMonitor {
   /// re-running the solver.
   [[nodiscard]] Status GrowPreviousTo(size_t num_nodes);
 
+  /// The actual Observe body; the public wrapper adds the window-latency
+  /// timing, metric updates, flight-recorder notes, and heartbeat tick.
+  [[nodiscard]] Result<std::optional<AnomalyReport>> ObserveImpl(
+      const WeightedGraph& snapshot);
+
   OnlineMonitorOptions options_;
   CadDetector detector_;
   // Streaming timelines are the natural fit for temporal warm-starting: the
@@ -134,6 +155,7 @@ class OnlineCadMonitor {
   std::unique_ptr<CommuteTimeOracle> previous_oracle_;
   std::optional<NodeVocabulary> vocabulary_;
   std::vector<TransitionScores> history_;
+  obs::StatsReporter* stats_ = nullptr;
   double delta_ = 0.0;
   size_t num_snapshots_ = 0;
   size_t num_transitions_total_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace cad {
 
@@ -67,7 +68,8 @@ double CalibrateDelta(const std::vector<TransitionScores>& scores,
   double best_delta = hi;
   double best_gap = std::fabs(
       static_cast<double>(CountAnomalousNodes(scores, hi)) - target);
-  for (int iter = 0; iter < 100 && best_gap > 0.0; ++iter) {
+  int iterations = 0;
+  for (; iterations < 100 && best_gap > 0.0; ++iterations) {
     const double mid = 0.5 * (lo + hi);
     const size_t count = CountAnomalousNodes(scores, mid);
     const double gap = std::fabs(static_cast<double>(count) - target);
@@ -82,6 +84,11 @@ double CalibrateDelta(const std::vector<TransitionScores>& scores,
       hi = mid;  // too few: lower delta
     }
   }
+  // The probe count depends only on the score multiset, so these counters
+  // stay on the deterministic side of the metrics contract; heartbeat deltas
+  // expose how much bisection work each window cost.
+  CAD_METRIC_INC("threshold.calibrations");
+  CAD_METRIC_ADD("threshold.calibration_iterations", iterations);
   return best_delta;
 }
 

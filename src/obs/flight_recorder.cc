@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+#include "common/timer.h"
+
+namespace cad {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_flight_recorder_enabled{false};
+
+}  // namespace
+
+void FlightRecorder::Record(const char* name, uint64_t start_ns,
+                            uint64_t end_ns, double value) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kCapacity];
+  // Seqlock write: unpublish, write fields, publish with the new sequence.
+  // Readers that observe different sequence words before/after their field
+  // reads discard the slot, so field stores can all be relaxed.
+  slot.seq.store(0, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void FlightRecorder::Reset() {
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::Collect() const {
+  std::vector<FlightEvent> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0) continue;  // empty or mid-write
+    FlightEvent event;
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    event.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+    event.value = slot.value.load(std::memory_order_relaxed);
+    const uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before) continue;  // overwritten while reading
+    event.ticket = seq_before - 1;
+    events.push_back(event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.ticket < b.ticket;
+            });
+  return events;
+}
+
+FlightRecorder& GlobalFlightRecorder() {
+  // Leaked so failure-path dumps work at any point of process shutdown.
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+bool FlightRecorderEnabled() {
+  return g_flight_recorder_enabled.load(std::memory_order_relaxed);
+}
+
+void SetFlightRecorderEnabled(bool enabled) {
+  g_flight_recorder_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetFlightRecorder() { GlobalFlightRecorder().Reset(); }
+
+void FlightNote(const char* name, double value) {
+  if (!FlightRecorderEnabled()) return;
+  const uint64_t now = Timer::NowNanos();
+  GlobalFlightRecorder().Record(name, now, now, value);
+}
+
+std::vector<FlightEvent> CollectFlightRecorder() {
+  return GlobalFlightRecorder().Collect();
+}
+
+Status WriteFlightRecorderJson(std::ostream* out) {
+  CAD_CHECK(out != nullptr);
+  const FlightRecorder& recorder = GlobalFlightRecorder();
+  const std::vector<FlightEvent> events = recorder.Collect();
+  const uint64_t total = recorder.total_recorded();
+  const uint64_t dropped =
+      total >= events.size() ? total - events.size() : 0;
+
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("total_recorded");
+  json.Number(static_cast<size_t>(total));
+  json.Key("dropped");
+  json.Number(static_cast<size_t>(dropped));
+  json.Key("events");
+  json.BeginArray();
+  for (const FlightEvent& event : events) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(event.name != nullptr ? event.name : "");
+    json.Key("start_ns");
+    json.Number(static_cast<size_t>(event.start_ns));
+    json.Key("end_ns");
+    json.Number(static_cast<size_t>(event.end_ns));
+    json.Key("duration_ns");
+    json.Number(static_cast<size_t>(
+        event.end_ns >= event.start_ns ? event.end_ns - event.start_ns : 0));
+    json.Key("value");
+    json.Number(event.value);
+    json.Key("ticket");
+    json.Number(static_cast<size_t>(event.ticket));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  (*out) << "\n";
+  if (!out->good()) return Status::IoError("flight recorder write failed");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cad

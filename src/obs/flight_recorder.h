@@ -1,0 +1,139 @@
+#ifndef CAD_OBS_FLIGHT_RECORDER_H_
+#define CAD_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad {
+namespace obs {
+
+/// \brief Bounded lock-free ring of recent trace spans and point events
+/// (DESIGN.md §10).
+///
+/// Long-running monitors cannot afford full-run tracing (the per-thread span
+/// logs grow without bound), but when a window fails mid-stream the last few
+/// hundred spans are exactly what a postmortem needs. The flight recorder
+/// keeps a fixed-size ring of the most recent events; writers overwrite the
+/// oldest slots and never block, so the steady-state cost is a handful of
+/// relaxed atomic stores per span. Runtime-off by default (one relaxed load
+/// per call site when disabled); compiled under the same CAD_OBS switch as
+/// the rest of the layer.
+///
+/// When enabled, every TraceSpan (CAD_TRACE_SPAN) records itself into the
+/// ring on destruction, and CAD_FLIGHT_NOTE records zero-duration point
+/// events carrying one numeric payload (a window index, an input line
+/// number). On failure, WriteFlightRecorderJson() dumps the surviving events
+/// in record order.
+
+/// One recovered ring entry. `name` points at static storage (call sites
+/// pass string literals); `ticket` is the global record sequence number
+/// (0-based), so gaps reveal overwritten history.
+struct FlightEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Point-event payload (CAD_FLIGHT_NOTE); 0 for spans.
+  double value = 0.0;
+  uint64_t ticket = 0;
+};
+
+/// \brief The ring itself. Thread-safe: writers claim slots with a single
+/// fetch_add and publish via a per-slot sequence word (seqlock); readers
+/// discard slots whose sequence changed mid-read. Every slot field is an
+/// atomic, so concurrent overwrite is a stale-data problem (filtered by the
+/// sequence check), never a data race.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  /// Records one event; never blocks. `name` must outlive the recorder
+  /// (pass a literal).
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns,
+              double value);
+
+  /// Drops all recorded events and restarts the ticket sequence. Not safe
+  /// against concurrent writers (callers quiesce first, as tests do).
+  void Reset();
+
+  /// \brief Recovers the surviving events, oldest first (ticket order).
+  /// Slots being overwritten during collection are skipped, so a concurrent
+  /// collect under-reports rather than returning torn entries.
+  std::vector<FlightEvent> Collect() const;
+
+  /// Total events ever recorded (>= Collect().size(); the difference is the
+  /// overwritten/dropped count).
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written / write in progress; ticket+1 once published.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> end_ns{0};
+    std::atomic<double> value{0.0};
+  };
+
+  Slot slots_[kCapacity];
+  std::atomic<uint64_t> head_{0};
+};
+
+/// The process-wide ring used by CAD_FLIGHT_NOTE and TraceSpan.
+FlightRecorder& GlobalFlightRecorder();
+
+/// Runtime switch; disabled by default. Enabling does not clear the ring
+/// (call ResetFlightRecorder() for a fresh epoch).
+bool FlightRecorderEnabled();
+void SetFlightRecorderEnabled(bool enabled);
+
+/// Clears the global ring.
+void ResetFlightRecorder();
+
+/// Records a zero-duration point event at the current time into the global
+/// ring (no-op when disabled). Prefer the CAD_FLIGHT_NOTE macro, which
+/// compiles away under -DCAD_OBS=OFF.
+void FlightNote(const char* name, double value);
+
+/// Surviving events from the global ring, oldest first.
+std::vector<FlightEvent> CollectFlightRecorder();
+
+/// \brief Dumps the global ring as one JSON object:
+/// {"total_recorded": N, "dropped": D, "events": [{"name", "start_ns",
+/// "end_ns", "duration_ns", "value", "ticket"}, ...]} followed by a newline.
+/// Written on failure paths, so it must not itself CHECK on odd state.
+[[nodiscard]] Status WriteFlightRecorderJson(std::ostream* out);
+
+}  // namespace obs
+}  // namespace cad
+
+#ifndef CAD_OBS_DISABLED
+
+/// Records a named point event with one numeric payload when the flight
+/// recorder is enabled. `name` must be a string literal.
+#define CAD_FLIGHT_NOTE(name, value)                     \
+  do {                                                   \
+    if (::cad::obs::FlightRecorderEnabled()) {           \
+      ::cad::obs::FlightNote(name,                       \
+                             static_cast<double>(value)); \
+    }                                                    \
+  } while (false)
+
+#else  // CAD_OBS_DISABLED
+
+#define CAD_FLIGHT_NOTE(name, value) \
+  do {                               \
+    if (false) {                     \
+      (void)(name);                  \
+      (void)(value);                 \
+    }                                \
+  } while (false)
+
+#endif  // CAD_OBS_DISABLED
+
+#endif  // CAD_OBS_FLIGHT_RECORDER_H_

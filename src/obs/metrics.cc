@@ -82,6 +82,113 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
 }
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const auto& [upper, bucket_count] : buckets) {
+    const uint64_t next = cumulative + bucket_count;
+    if (rank <= static_cast<double>(next) || next == count) {
+      if (std::isinf(upper)) return max;  // overflow bucket: only max is known
+      // Log2 buckets span (upper/2, upper]; the first spans [0, 1].
+      const double lower = upper == 1.0 ? 0.0 : upper / 2.0;
+      const double fraction =
+          bucket_count == 0
+              ? 1.0
+              : (rank - static_cast<double>(cumulative)) /
+                    static_cast<double>(bucket_count);
+      const double value = lower + fraction * (upper - lower);
+      return std::min(std::max(value, min), max);
+    }
+    cumulative = next;
+  }
+  return max;  // unreachable for a consistent snapshot
+}
+
+namespace {
+
+/// Merge-walks two name-sorted vectors; `previous` may be missing names
+/// (instruments registered after it was taken).
+template <typename T, typename Diff>
+std::vector<std::pair<std::string, T>> DiffSorted(
+    const std::vector<std::pair<std::string, T>>& current,
+    const std::vector<std::pair<std::string, T>>& previous, Diff diff) {
+  std::vector<std::pair<std::string, T>> result;
+  result.reserve(current.size());
+  size_t p = 0;
+  for (const auto& [name, value] : current) {
+    while (p < previous.size() && previous[p].first < name) ++p;
+    const T* before =
+        (p < previous.size() && previous[p].first == name) ? &previous[p].second
+                                                           : nullptr;
+    result.emplace_back(name, diff(value, before));
+  }
+  return result;
+}
+
+uint64_t MonotoneDelta(uint64_t current, uint64_t previous) {
+  CAD_DCHECK_GE(current, previous)
+      << "metric went backwards between snapshots (mismatched registries or "
+         "an interleaved Reset)";
+  return current >= previous ? current - previous : 0;
+}
+
+HistogramData DiffHistogram(const HistogramData& current,
+                            const HistogramData* previous) {
+  if (previous == nullptr) return current;
+  HistogramData delta;
+  delta.count = MonotoneDelta(current.count, previous->count);
+  delta.sum = current.sum - previous->sum;
+  // Per-interval extrema are not recoverable from buckets: carry the
+  // lifetime min/max (still valid bounds for every interval observation).
+  delta.min = current.min;
+  delta.max = current.max;
+  size_t p = 0;
+  for (const auto& [bound, bucket_count] : current.buckets) {
+    while (p < previous->buckets.size() && previous->buckets[p].first < bound) {
+      ++p;
+    }
+    const uint64_t before =
+        (p < previous->buckets.size() && previous->buckets[p].first == bound)
+            ? previous->buckets[p].second
+            : 0;
+    const uint64_t bucket_delta = MonotoneDelta(bucket_count, before);
+    if (bucket_delta > 0) delta.buckets.emplace_back(bound, bucket_delta);
+  }
+  return delta;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& previous) const {
+  MetricsSnapshot delta;
+  delta.counters = DiffSorted(
+      counters, previous.counters, [](uint64_t value, const uint64_t* before) {
+        return before == nullptr ? value : MonotoneDelta(value, *before);
+      });
+  // Gauges are last-write instruments; the interval delta is the value.
+  delta.gauges = gauges;
+  const auto diff_histogram = [](const HistogramData& value,
+                                 const HistogramData* before) {
+    return DiffHistogram(value, before);
+  };
+  delta.histograms = DiffSorted(histograms, previous.histograms,
+                                diff_histogram);
+  delta.timer_histograms = DiffSorted(timer_histograms,
+                                      previous.timer_histograms,
+                                      diff_histogram);
+  delta.timers = DiffSorted(
+      timers, previous.timers, [](const TimerData& value,
+                                  const TimerData* before) {
+        if (before == nullptr) return value;
+        return TimerData{MonotoneDelta(value.count, before->count),
+                         MonotoneDelta(value.total_ns, before->total_ns)};
+      });
+  return delta;
+}
+
 void MetricsRegistry::CheckKind(const std::string& name, Kind kind) {
   const auto [it, inserted] = kinds_.emplace(name, kind);
   CAD_CHECK(it->second == kind)
@@ -121,13 +228,40 @@ TimerMetric* MetricsRegistry::GetTimer(const std::string& name) {
   return slot.get();
 }
 
+Histogram* MetricsRegistry::GetTimerHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CheckKind(name, Kind::kTimerHistogram);
+  std::unique_ptr<Histogram>& slot = timer_histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
 void MetricsRegistry::Reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, histogram] : timer_histograms_) histogram->Reset();
   for (auto& [name, timer] : timers_) timer->Reset();
 }
+
+namespace {
+
+HistogramData SnapshotHistogram(const Histogram& histogram) {
+  HistogramData data;
+  data.count = histogram.count();
+  data.sum = histogram.Sum();
+  data.min = histogram.Min();
+  data.max = histogram.Max();
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t bucket_count = histogram.bucket_count(b);
+    if (bucket_count == 0) continue;
+    data.buckets.emplace_back(Histogram::BucketUpperBound(b), bucket_count);
+  }
+  return data;
+}
+
+}  // namespace
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -140,17 +274,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snapshot.gauges.emplace_back(name, gauge->Value());
   }
   for (const auto& [name, histogram] : histograms_) {
-    HistogramData data;
-    data.count = histogram->count();
-    data.sum = histogram->Sum();
-    data.min = histogram->Min();
-    data.max = histogram->Max();
-    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-      const uint64_t bucket_count = histogram->bucket_count(b);
-      if (bucket_count == 0) continue;
-      data.buckets.emplace_back(Histogram::BucketUpperBound(b), bucket_count);
-    }
-    snapshot.histograms.emplace_back(name, std::move(data));
+    snapshot.histograms.emplace_back(name, SnapshotHistogram(*histogram));
+  }
+  for (const auto& [name, histogram] : timer_histograms_) {
+    snapshot.timer_histograms.emplace_back(name, SnapshotHistogram(*histogram));
   }
   for (const auto& [name, timer] : timers_) {
     snapshot.timers.emplace_back(name,
@@ -202,6 +329,24 @@ Status WriteMetricsCsv(const MetricsSnapshot& snapshot, std::ostream* out) {
     writer.WriteRow({"timer", name, "count", std::to_string(data.count)});
     writer.WriteRow({"timer", name, "total_ms",
                      FormatDouble(static_cast<double>(data.total_ns) / 1e6, 6)});
+  }
+  // Timer histograms record nanosecond durations; like plain timers they are
+  // wall-clock-dependent, so they export under kind "timer" to stay out of
+  // the deterministic non-timer row contract.
+  for (const auto& [name, data] : snapshot.timer_histograms) {
+    writer.WriteRow({"timer", name, "count", std::to_string(data.count)});
+    writer.WriteRow({"timer", name, "total_ms",
+                     FormatDouble(data.sum / 1e6, 6)});
+    if (data.count > 0) {
+      writer.WriteRow(
+          {"timer", name, "p50_ms", FormatDouble(data.Quantile(0.5) / 1e6, 6)});
+      writer.WriteRow(
+          {"timer", name, "p90_ms", FormatDouble(data.Quantile(0.9) / 1e6, 6)});
+      writer.WriteRow({"timer", name, "p99_ms",
+                       FormatDouble(data.Quantile(0.99) / 1e6, 6)});
+      writer.WriteRow({"timer", name, "max_ms",
+                       FormatDouble(data.max / 1e6, 6)});
+    }
   }
   if (!out->good()) return Status::IoError("metrics CSV write failed");
   return Status::OK();
@@ -267,6 +412,28 @@ Status WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream* out) {
     json.Number(static_cast<size_t>(data.count));
     json.Key("total_ms");
     json.Number(static_cast<double>(data.total_ns) / 1e6);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("timer_histograms");
+  json.BeginObject();
+  for (const auto& [name, data] : snapshot.timer_histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("total_ms");
+    json.Number(data.sum / 1e6);
+    if (data.count > 0) {
+      json.Key("p50_ms");
+      json.Number(data.Quantile(0.5) / 1e6);
+      json.Key("p90_ms");
+      json.Number(data.Quantile(0.9) / 1e6);
+      json.Key("p99_ms");
+      json.Number(data.Quantile(0.99) / 1e6);
+      json.Key("max_ms");
+      json.Number(data.max / 1e6);
+    }
     json.EndObject();
   }
   json.EndObject();

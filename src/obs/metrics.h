@@ -33,6 +33,11 @@ namespace obs {
 ///  - TimerMetric: count + total nanoseconds of wall time. Exported under
 ///    kind "timer" so deterministic diffing can filter it out
 ///    (`grep -v '^timer' metrics.csv` is byte-stable across runs).
+///  - Timer histogram (GetTimerHistogram / CAD_METRIC_TIME_HIST_NS): a
+///    Histogram whose observations are nanosecond durations, so quantiles
+///    (p50/p90/p99) of per-window latency are computable mid-run. Exported
+///    under kind "timer" — wall time stays on the volatile side of the
+///    determinism contract.
 ///
 /// Exports are sorted by instrument name, so two identical workloads produce
 /// byte-identical CSV/JSON regardless of registration or scheduling order.
@@ -129,6 +134,16 @@ struct HistogramData {
   /// (upper bound, count) for every non-empty bucket, in bound order. The
   /// overflow bucket reports an upper bound of +inf.
   std::vector<std::pair<double, uint64_t>> buckets;
+
+  /// \brief Interpolated quantile estimate from the bucket counts
+  /// (DESIGN.md §10). `q` is clamped to [0, 1]; an empty histogram returns
+  /// NaN. The target rank q*count is located in the cumulative bucket
+  /// counts and linearly interpolated across that bucket's [lower, upper)
+  /// span (lower = upper/2 for log2 buckets, 0 for the first); the result
+  /// is clamped into [min, max], so a single-sample histogram reports the
+  /// exact observation and ranks landing in the +inf overflow bucket
+  /// report max. Deterministic given identical bucket counts.
+  double Quantile(double q) const;
 };
 
 struct TimerData {
@@ -143,11 +158,33 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramData>> histograms;
   std::vector<std::pair<std::string, TimerData>> timers;
+  /// Histograms of wall-time observations (CAD_METRIC_TIME_HIST_NS).
+  /// Exported under CSV kind "timer" so the determinism contract's
+  /// `grep -v '^timer'` filter strips them like plain timers.
+  std::vector<std::pair<std::string, HistogramData>> timer_histograms;
 
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty() &&
-           timers.empty();
+           timers.empty() && timer_histograms.empty();
   }
+
+  /// \brief Delta view since `previous` (taken earlier from the same
+  /// registry): counters, timers, and histogram counts/sums/buckets become
+  /// differences, so rates over the interval fall out directly. Rules:
+  ///  - Counters/timers: current minus previous. Registered instruments are
+  ///    monotone, so a current value below the previous one is a caller bug
+  ///    (snapshots from different registries, or a Reset in between) —
+  ///    CAD_DCHECK fires, release builds clamp the delta to 0.
+  ///  - Instruments absent from `previous` (registered in between) report
+  ///    their full current value.
+  ///  - Gauges are last-write instruments: the delta carries the current
+  ///    value unchanged.
+  ///  - Histogram min/max cannot be recovered per interval from buckets, so
+  ///    the delta carries the lifetime min/max; zero-delta buckets are
+  ///    omitted. Quantile() on a delta therefore interpolates the
+  ///    interval's observations, clamped to lifetime extrema.
+  /// Entries whose delta is zero are kept (callers filter as needed).
+  MetricsSnapshot DiffSince(const MetricsSnapshot& previous) const;
 };
 
 /// \brief Owns instruments by name. Handles returned by the Get* methods are
@@ -159,6 +196,11 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
   TimerMetric* GetTimer(const std::string& name);
+  /// A histogram of wall-time observations (nanoseconds). Same storage as
+  /// GetHistogram but exported under CSV kind "timer": durations may vary
+  /// between runs, so they must live on the volatile side of the
+  /// determinism contract while still supporting Quantile().
+  Histogram* GetTimerHistogram(const std::string& name);
 
   /// Zeroes every registered instrument (handles stay valid).
   void Reset();
@@ -166,7 +208,7 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kTimer };
+  enum class Kind { kCounter, kGauge, kHistogram, kTimer, kTimerHistogram };
   void CheckKind(const std::string& name, Kind kind);
 
   mutable std::mutex mutex_;
@@ -175,6 +217,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<TimerMetric>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> timer_histograms_;
 };
 
 /// The process-wide registry used by the CAD_METRIC_* macros.
@@ -192,10 +235,12 @@ void ResetMetrics();
 MetricsSnapshot SnapshotMetrics();
 
 /// \brief Writes a snapshot as CSV with header `kind,name,field,value`.
-/// Rows are emitted counters, gauges, histograms, then timers, each block
-/// sorted by name; histogram buckets appear as `bucket_le_<bound>` fields in
-/// bound order (empty buckets omitted). All rows except kind "timer" are
-/// byte-identical across reruns of a deterministic workload.
+/// Rows are emitted counters, gauges, histograms, then timers and timer
+/// histograms (the latter two under kind "timer", with p50/p90/p99/max
+/// quantile fields in milliseconds), each block sorted by name; histogram
+/// buckets appear as `bucket_le_<bound>` fields in bound order (empty
+/// buckets omitted). All rows except kind "timer" are byte-identical across
+/// reruns of a deterministic workload.
 [[nodiscard]] Status WriteMetricsCsv(const MetricsSnapshot& snapshot,
                                      std::ostream* out);
 
@@ -257,6 +302,15 @@ MetricsSnapshot SnapshotMetrics();
     }                                                                   \
   } while (false)
 
+#define CAD_METRIC_TIME_HIST_NS(name, nanos)                            \
+  do {                                                                  \
+    if (::cad::obs::MetricsEnabled()) {                                 \
+      static ::cad::obs::Histogram* _cad_metric_handle =                \
+          ::cad::obs::GlobalMetrics().GetTimerHistogram(name);          \
+      _cad_metric_handle->Observe(static_cast<double>(nanos));          \
+    }                                                                   \
+  } while (false)
+
 #else  // CAD_OBS_DISABLED
 
 #define CAD_METRIC_ADD(name, delta) \
@@ -270,6 +324,7 @@ MetricsSnapshot SnapshotMetrics();
 #define CAD_METRIC_SET(name, value) CAD_METRIC_ADD(name, value)
 #define CAD_METRIC_OBSERVE(name, value) CAD_METRIC_ADD(name, value)
 #define CAD_METRIC_TIME_NS(name, nanos) CAD_METRIC_ADD(name, nanos)
+#define CAD_METRIC_TIME_HIST_NS(name, nanos) CAD_METRIC_ADD(name, nanos)
 
 #endif  // CAD_OBS_DISABLED
 

@@ -2,7 +2,9 @@
 #define CAD_OBS_OBS_H_
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/stats_reporter.h"
 #include "obs/trace.h"
 
 namespace cad {
@@ -36,6 +38,24 @@ class ScopedMetricsEnable {
 
   ScopedMetricsEnable(const ScopedMetricsEnable&) = delete;
   ScopedMetricsEnable& operator=(const ScopedMetricsEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Test helper: clears and enables the flight recorder on entry, restores
+/// the previous enabled state on exit (the ring is left for inspection).
+class ScopedFlightRecorderEnable {
+ public:
+  ScopedFlightRecorderEnable() : previous_(FlightRecorderEnabled()) {
+    ResetFlightRecorder();
+    SetFlightRecorderEnabled(true);
+  }
+  ~ScopedFlightRecorderEnable() { SetFlightRecorderEnabled(previous_); }
+
+  ScopedFlightRecorderEnable(const ScopedFlightRecorderEnable&) = delete;
+  ScopedFlightRecorderEnable& operator=(const ScopedFlightRecorderEnable&) =
+      delete;
 
  private:
   bool previous_;

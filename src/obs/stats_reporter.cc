@@ -1,0 +1,145 @@
+#include "obs/stats_reporter.h"
+
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cad {
+namespace obs {
+
+StatsReporter::StatsReporter(std::ostream* out, uint64_t every)
+    : out_(out), every_(every), previous_(SnapshotMetrics()) {
+  CAD_CHECK(out != nullptr);
+  CAD_CHECK_GE(every, uint64_t{1}) << "stats_every must be >= 1";
+}
+
+Result<bool> StatsReporter::Tick() {
+  ++ticks_;
+  if (ticks_ % every_ != 0) return false;
+  CAD_RETURN_NOT_OK(EmitRecord());
+  return true;
+}
+
+Status StatsReporter::EmitRecord() {
+  MetricsSnapshot current = SnapshotMetrics();
+  const MetricsSnapshot delta = current.DiffSince(previous_);
+  previous_ = std::move(current);
+
+  JsonWriter json(out_);
+  json.BeginObject();
+  json.Key("v");
+  json.Number(size_t{1});
+  json.Key("seq");
+  json.Number(static_cast<size_t>(records_));
+  json.Key("window");
+  json.Number(static_cast<size_t>(ticks_));
+
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : delta.counters) {
+    if (value == 0) continue;  // keep heartbeats compact
+    json.Key(name);
+    json.Number(static_cast<size_t>(value));
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : delta.gauges) {
+    json.Key(name);
+    json.Number(value);
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, data] : delta.histograms) {
+    if (data.count == 0) continue;
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("sum");
+    json.Number(data.sum);
+    json.Key("p50");
+    json.Number(data.Quantile(0.5));
+    json.Key("p90");
+    json.Number(data.Quantile(0.9));
+    json.Key("p99");
+    json.Number(data.Quantile(0.99));
+    json.Key("max");
+    json.Number(data.max);
+    json.EndObject();
+  }
+  json.EndObject();
+
+  // The volatile wall-clock section. Keep this key LAST: the determinism
+  // contract lets consumers strip it by truncating at `,"timer":`.
+  json.Key("timer");
+  json.BeginObject();
+  json.Key("timers");
+  json.BeginObject();
+  for (const auto& [name, data] : delta.timers) {
+    if (data.count == 0) continue;
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("total_ms");
+    json.Number(static_cast<double>(data.total_ns) / 1e6);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, data] : delta.timer_histograms) {
+    if (data.count == 0) continue;
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(static_cast<size_t>(data.count));
+    json.Key("p50_ms");
+    json.Number(data.Quantile(0.5) / 1e6);
+    json.Key("p90_ms");
+    json.Number(data.Quantile(0.9) / 1e6);
+    json.Key("p99_ms");
+    json.Number(data.Quantile(0.99) / 1e6);
+    json.Key("max_ms");
+    json.Number(data.max / 1e6);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.Key("peak_rss_bytes");
+  json.Number(static_cast<size_t>(PeakRssBytes()));
+  json.EndObject();  // timer
+
+  json.EndObject();
+  (*out_) << "\n";
+  out_->flush();
+  if (!out_->good()) return Status::IoError("heartbeat write failed");
+  ++records_;
+  return Status::OK();
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace obs
+}  // namespace cad

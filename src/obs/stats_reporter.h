@@ -1,0 +1,84 @@
+#ifndef CAD_OBS_STATS_REPORTER_H_
+#define CAD_OBS_STATS_REPORTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cad {
+namespace obs {
+
+/// \brief Count-based heartbeat emitter for long-running monitors
+/// (DESIGN.md §10).
+///
+/// A StatsReporter is ticked once per unit of work (a stream window, a
+/// pipeline stage); every `every`-th tick it writes one line-delimited JSON
+/// record to the configured stream: counter deltas since the previous
+/// heartbeat, current gauges, histogram deltas with interpolated quantiles,
+/// and a trailing volatile `"timer"` object (wall-time instruments plus the
+/// process peak RSS).
+///
+/// Determinism contract (mirrors the metrics-CSV contract): emission is
+/// count-based, never wall-clock-based, and every field outside the `"timer"`
+/// key is byte-identical across same-seed runs at any thread count. The
+/// `"timer"` key is always the LAST key of the record, so consumers strip the
+/// volatile part by truncating the line at `,"timer":` (or by deleting the
+/// key after parsing).
+///
+/// Record schema (one object per line, fixed key order):
+/// \code
+///   {"v":1,"seq":<heartbeat index>,"window":<tick count>,
+///    "counters":{<name>:<delta>, ...},            // zero deltas omitted
+///    "gauges":{<name>:<current value>, ...},
+///    "histograms":{<name>:{"count":..,"sum":..,"p50":..,"p90":..,
+///                          "p99":..,"max":..}, ...},  // interval deltas
+///    "timer":{"timers":{<name>:{"count":..,"total_ms":..}, ...},
+///             "histograms":{<name>:{"count":..,"p50_ms":..,"p90_ms":..,
+///                                   "p99_ms":..,"max_ms":..}, ...},
+///             "peak_rss_bytes":<n>}}
+/// \endcode
+class StatsReporter {
+ public:
+  /// Emits to `*out` (not owned; must outlive the reporter) every `every`
+  /// ticks. `every` must be >= 1. The metrics baseline for the first
+  /// heartbeat's deltas is taken here, so construct the reporter after
+  /// enabling metrics and before the monitored work starts.
+  StatsReporter(std::ostream* out, uint64_t every);
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// \brief Advances the work counter; on every `every`-th call snapshots the
+  /// global metrics registry, emits one heartbeat line, and flushes. Returns
+  /// true when a record was written, false otherwise; IoError if the sink
+  /// rejected the write.
+  [[nodiscard]] Result<bool> Tick();
+
+  /// Ticks seen so far.
+  uint64_t ticks() const { return ticks_; }
+  /// Heartbeat records written so far.
+  uint64_t records_emitted() const { return records_; }
+
+ private:
+  [[nodiscard]] Status EmitRecord();
+
+  std::ostream* out_;
+  uint64_t every_;
+  uint64_t ticks_ = 0;
+  uint64_t records_ = 0;
+  /// Baseline for the next heartbeat's deltas.
+  MetricsSnapshot previous_;
+};
+
+/// \brief Peak resident set size of this process in bytes (getrusage on
+/// POSIX; 0 where unsupported). Schedule-dependent, so it is only ever
+/// reported inside the heartbeat's volatile "timer" object.
+uint64_t PeakRssBytes();
+
+}  // namespace obs
+}  // namespace cad
+
+#endif  // CAD_OBS_STATS_REPORTER_H_

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "common/json_writer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace cad {
@@ -169,7 +170,7 @@ Status WriteChromeTraceJson(std::ostream* out) {
 
 TraceSpan::TraceSpan(const char* name) {
   tracing_ = TracingEnabled();
-  if (!tracing_ && !MetricsEnabled()) return;
+  if (!tracing_ && !MetricsEnabled() && !FlightRecorderEnabled()) return;
   name_ = name;
   if (tracing_) ++LocalLog().depth;
   start_ns_ = Timer::NowNanos();
@@ -191,6 +192,11 @@ TraceSpan::~TraceSpan() {
     GlobalMetrics()
         .GetTimer(std::string("span.") + name_)
         ->AddNanos(end_ns - start_ns_);
+  }
+  // Feed the flight recorder's bounded ring so a failure dump shows the last
+  // spans leading up to the error without full-run tracing.
+  if (FlightRecorderEnabled()) {
+    GlobalFlightRecorder().Record(name_, start_ns_, end_ns, 0.0);
   }
 }
 

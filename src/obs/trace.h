@@ -21,11 +21,13 @@ namespace obs {
 /// tree per thread; in the Chrome trace viewer the trees reconstruct
 /// themselves from interval containment.
 ///
-/// Disabled by default: an inactive span costs two relaxed atomic loads.
-/// Spans activate when tracing OR metrics recording is on: with metrics
-/// enabled, every completed span also accumulates into the timer metric
-/// `span.<name>`, which is how per-stage wall times reach the metrics CSV
-/// even when no trace is being captured.
+/// Disabled by default: an inactive span costs a few relaxed atomic loads.
+/// Spans activate when tracing, metrics recording, OR the flight recorder
+/// (obs/flight_recorder.h) is on: with metrics enabled, every completed span
+/// also accumulates into the timer metric `span.<name>`, which is how
+/// per-stage wall times reach the metrics CSV even when no trace is being
+/// captured; with the flight recorder enabled, completed spans land in its
+/// bounded ring for failure-path postmortems.
 
 /// One completed span. `name` points at static storage (the macro passes
 /// string literals); events never own memory.

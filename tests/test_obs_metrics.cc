@@ -133,6 +133,215 @@ TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
   EXPECT_EQ(snapshot.counters[2].first, "zeta");
 }
 
+// --- quantile interpolation -------------------------------------------------
+
+TEST(QuantileTest, EmptyHistogramReturnsNaN) {
+  const HistogramData empty;
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(empty.Quantile(1.0)));
+}
+
+TEST(QuantileTest, SingleSampleReportsTheExactObservation) {
+  MetricsRegistry registry;  // route through a snapshot for the Data form
+  registry.GetHistogram("single")->Observe(3.0);
+  const HistogramData* data =
+      FindHistogram(registry.Snapshot(), "single");
+  ASSERT_NE(data, nullptr);
+  // The [min, max] clamp pins every rank of a one-sample histogram to the
+  // observation itself.
+  EXPECT_DOUBLE_EQ(data->Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(data->Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(data->Quantile(0.99), 3.0);
+  EXPECT_DOUBLE_EQ(data->Quantile(1.0), 3.0);
+}
+
+/// One observation per bucket at the bucket upper bounds 1, 2, 4, 8.
+HistogramData PowerOfTwoLadder() {
+  HistogramData data;
+  data.count = 4;
+  data.sum = 15.0;
+  data.min = 1.0;
+  data.max = 8.0;
+  data.buckets = {{1.0, 1}, {2.0, 1}, {4.0, 1}, {8.0, 1}};
+  return data;
+}
+
+TEST(QuantileTest, ExactBucketBoundariesInterpolateToTheBound) {
+  const HistogramData data = PowerOfTwoLadder();
+  // Rank q*count lands exactly on each bucket's cumulative edge, and linear
+  // interpolation across [lower, upper] reaches the upper bound exactly.
+  EXPECT_DOUBLE_EQ(data.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(1.0), 8.0);
+}
+
+TEST(QuantileTest, MidBucketRanksInterpolateLinearly) {
+  const HistogramData data = PowerOfTwoLadder();
+  // Rank 2.5 is halfway through the (2, 4] bucket: 2 + 0.5 * (4 - 2).
+  EXPECT_DOUBLE_EQ(data.Quantile(0.625), 3.0);
+  // Rank 0.5 is halfway through [0, 1] -> 0.5, clamped up to min = 1.
+  EXPECT_DOUBLE_EQ(data.Quantile(0.125), 1.0);
+}
+
+TEST(QuantileTest, QIsClampedToUnitInterval) {
+  const HistogramData data = PowerOfTwoLadder();
+  EXPECT_DOUBLE_EQ(data.Quantile(-3.0), data.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(data.Quantile(7.0), data.Quantile(1.0));
+}
+
+TEST(QuantileTest, OverflowBucketReportsMax) {
+  HistogramData data;
+  data.count = 2;
+  data.min = 1e12;
+  data.max = 9e12;
+  data.buckets = {{std::numeric_limits<double>::infinity(), 2}};
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 9e12);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.99), 9e12);
+}
+
+TEST(QuantileTest, DeterministicGivenIdenticalBucketCounts) {
+  // Two histograms built in different observation orders have identical
+  // bucket counts, so every quantile matches bit-for-bit.
+  MetricsRegistry first;
+  MetricsRegistry second;
+  for (double v : {5.0, 100.0, 3.0, 17.0}) {
+    first.GetHistogram("h")->Observe(v);
+  }
+  for (double v : {17.0, 3.0, 100.0, 5.0}) {
+    second.GetHistogram("h")->Observe(v);
+  }
+  const HistogramData* a = FindHistogram(first.Snapshot(), "h");
+  const HistogramData* b = FindHistogram(second.Snapshot(), "h");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a->Quantile(q), b->Quantile(q)) << "q=" << q;
+  }
+}
+
+// --- delta snapshots --------------------------------------------------------
+
+TEST(DiffSinceTest, CountersAndTimersBecomeDeltas) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(5);
+  registry.GetTimer("t")->AddNanos(100);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("c")->Add(3);
+  registry.GetTimer("t")->AddNanos(250);
+  const MetricsSnapshot delta = registry.Snapshot().DiffSince(before);
+  uint64_t value = 0;
+  ASSERT_TRUE(FindCounter(delta, "c", &value));
+  EXPECT_EQ(value, 3u);
+  ASSERT_EQ(delta.timers.size(), 1u);
+  EXPECT_EQ(delta.timers[0].second.count, 1u);
+  EXPECT_EQ(delta.timers[0].second.total_ns, 250u);
+}
+
+TEST(DiffSinceTest, MetricAppearingBetweenSnapshotsReportsFullValue) {
+  MetricsRegistry registry;
+  registry.GetCounter("old")->Add(1);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("appeared")->Add(7);
+  registry.GetHistogram("appeared_hist")->Observe(2.0);
+  const MetricsSnapshot delta = registry.Snapshot().DiffSince(before);
+  uint64_t value = 0;
+  ASSERT_TRUE(FindCounter(delta, "appeared", &value));
+  EXPECT_EQ(value, 7u);
+  const HistogramData* hist = FindHistogram(delta, "appeared_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  // Unchanged instruments report a zero delta but stay listed.
+  ASSERT_TRUE(FindCounter(delta, "old", &value));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(DiffSinceTest, GaugesCarryTheCurrentValue) {
+  MetricsRegistry registry;
+  registry.GetGauge("g")->Set(1.5);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetGauge("g")->Set(9.0);
+  const MetricsSnapshot delta = registry.Snapshot().DiffSince(before);
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.gauges[0].second, 9.0);
+}
+
+TEST(DiffSinceTest, HistogramDeltaOmitsUnchangedBucketsKeepsLifetimeMinMax) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h")->Observe(1.0);    // bucket_le_1
+  registry.GetHistogram("h")->Observe(100.0);  // bucket_le_128
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetHistogram("h")->Observe(100.0);
+  const MetricsSnapshot delta = registry.Snapshot().DiffSince(before);
+  const HistogramData* hist = FindHistogram(delta, "h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_DOUBLE_EQ(hist->sum, 100.0);
+  // Only the bucket that grew survives; min/max are the lifetime extrema.
+  ASSERT_EQ(hist->buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(hist->buckets[0].first, 128.0);
+  EXPECT_EQ(hist->buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(hist->min, 1.0);
+  EXPECT_DOUBLE_EQ(hist->max, 100.0);
+}
+
+TEST(DiffSinceTest, BackwardsCounterIsACallerBug) {
+  MetricsRegistry ahead;
+  ahead.GetCounter("c")->Add(10);
+  const MetricsSnapshot newer = ahead.Snapshot();
+  MetricsRegistry behind;
+  behind.GetCounter("c")->Add(4);
+  const MetricsSnapshot older = behind.Snapshot();
+#ifdef CAD_ENABLE_DCHECK
+  EXPECT_DEATH((void)older.DiffSince(newer), "went backwards");
+#else
+  // Release builds clamp the impossible negative delta to zero.
+  const MetricsSnapshot delta = older.DiffSince(newer);
+  uint64_t value = 99;
+  ASSERT_TRUE(FindCounter(delta, "c", &value));
+  EXPECT_EQ(value, 0u);
+#endif
+}
+
+// --- timer histograms -------------------------------------------------------
+
+TEST(TimerHistogramTest, RegisteredSeparatelyAndExportedUnderTimerKind) {
+  MetricsRegistry registry;
+  registry.GetTimerHistogram("latency")->Observe(1.5e6);
+  registry.GetTimerHistogram("latency")->Observe(3.0e6);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.histograms.empty());
+  ASSERT_EQ(snapshot.timer_histograms.size(), 1u);
+  EXPECT_EQ(snapshot.timer_histograms[0].second.count, 2u);
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMetricsCsv(snapshot, &out).ok());
+  const std::string csv = out.str();
+  // Rows carry kind "timer" (so `grep -v '^timer'` strips them) with
+  // millisecond quantile fields.
+  EXPECT_NE(csv.find("timer,latency,count,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("timer,latency,p50_ms,"), std::string::npos);
+  EXPECT_NE(csv.find("timer,latency,p90_ms,"), std::string::npos);
+  EXPECT_NE(csv.find("timer,latency,p99_ms,"), std::string::npos);
+  EXPECT_NE(csv.find("timer,latency,max_ms,3\n"), std::string::npos);
+  EXPECT_EQ(csv.find("histogram,latency"), std::string::npos);
+}
+
+TEST(TimerHistogramTest, ResetZeroesAndDiffSinceDeltas) {
+  MetricsRegistry registry;
+  registry.GetTimerHistogram("latency")->Observe(10.0);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetTimerHistogram("latency")->Observe(20.0);
+  const MetricsSnapshot delta = registry.Snapshot().DiffSince(before);
+  ASSERT_EQ(delta.timer_histograms.size(), 1u);
+  EXPECT_EQ(delta.timer_histograms[0].second.count, 1u);
+  registry.Reset();
+  const MetricsSnapshot cleared = registry.Snapshot();
+  ASSERT_EQ(cleared.timer_histograms.size(), 1u);
+  EXPECT_EQ(cleared.timer_histograms[0].second.count, 0u);
+}
+
 // --- exports ----------------------------------------------------------------
 
 /// Builds the same small registry twice; exports must agree byte-for-byte
@@ -271,6 +480,21 @@ TEST(MetricMacroTest, ConcurrentIncrementsAreExact) {
   EXPECT_DOUBLE_EQ(hist->sum, expected_sum);
   EXPECT_DOUBLE_EQ(hist->min, 1.0);
   EXPECT_DOUBLE_EQ(hist->max, 7.0);
+}
+
+TEST(MetricMacroTest, TimeHistMacroRecordsIntoTimerHistograms) {
+  const ScopedMetricsEnable enable;
+  CAD_METRIC_TIME_HIST_NS("test.obs_metrics.latency_hist", 1000);
+  CAD_METRIC_TIME_HIST_NS("test.obs_metrics.latency_hist", 3000);
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  const HistogramData* found = nullptr;
+  for (const auto& [name, data] : snapshot.timer_histograms) {
+    if (name == "test.obs_metrics.latency_hist") found = &data;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 2u);
+  // Not registered as a plain (deterministic-contract) histogram.
+  EXPECT_EQ(FindHistogram(snapshot, "test.obs_metrics.latency_hist"), nullptr);
 }
 
 TEST(MetricMacroTest, RepeatedRunsExportIdenticalNonTimerCsv) {

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "datagen/toy_example.h"
+#include "obs/obs.h"
 
 namespace cad {
 namespace {
@@ -255,6 +260,67 @@ TEST(OnlineMonitorTest, SlidingWindowKeepsGlobalTransitionIndices) {
   ASSERT_TRUE(report->has_value());
   EXPECT_EQ((*report)->transition, 4u);
   EXPECT_EQ(monitor.history().size(), 2u);
+}
+
+// Runs a fixed-seed approx-engine stream with an attached StatsReporter and
+// returns the emitted heartbeats with the volatile trailing "timer" object
+// stripped from each line.
+std::vector<std::string> HeartbeatsForThreads(size_t num_threads) {
+  const obs::ScopedMetricsEnable metrics;
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kApprox;
+  options.detector.approx.embedding_dim = 4;
+  options.detector.approx.seed = 11;
+  options.detector.analysis_threads = num_threads;
+  options.detector.approx.cg.num_threads = num_threads;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 1;
+  OnlineCadMonitor monitor(options);
+  std::ostringstream out;
+  obs::StatsReporter reporter(&out, 4);
+  monitor.SetStatsReporter(&reporter);
+  for (double w : {0.0, 0.0, 0.5, 0.0, 2.0, 0.0, 1.0, 0.0}) {
+    CAD_CHECK_OK(monitor.Observe(TwoTeams(w)).status());
+  }
+  EXPECT_EQ(reporter.records_emitted(), 2u);
+  std::vector<std::string> stripped;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t cut = line.find(",\"timer\":");
+    EXPECT_NE(cut, std::string::npos) << line;
+    stripped.push_back(line.substr(0, cut));
+  }
+  return stripped;
+}
+
+TEST(OnlineMonitorTest, HeartbeatsAreDeterministicAcrossThreadCounts) {
+  // The acceptance bar for the observability layer: the non-timer fields of
+  // every heartbeat are byte-identical across same-seed runs regardless of
+  // thread count. Wall-clock data lives only in the stripped "timer" object.
+  const std::vector<std::string> one_thread = HeartbeatsForThreads(1);
+  const std::vector<std::string> eight_threads = HeartbeatsForThreads(8);
+  ASSERT_EQ(one_thread.size(), 2u);
+  EXPECT_EQ(one_thread, eight_threads);
+  // The monitor's own instrumentation is present in the deterministic part.
+  EXPECT_NE(one_thread[0].find("\"monitor.windows\":4"), std::string::npos);
+  EXPECT_NE(one_thread[0].find("\"monitor.delta\":"), std::string::npos);
+}
+
+TEST(OnlineMonitorTest, WindowLatencyHistogramTracksEveryObserve) {
+  const obs::ScopedMetricsEnable metrics;
+  OnlineCadMonitor monitor;
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  }
+  const obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  const obs::HistogramData* latency = nullptr;
+  for (const auto& [name, data] : snapshot.timer_histograms) {
+    if (name == "monitor.window_latency") latency = &data;
+  }
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 5u);
+  EXPECT_GT(latency->Quantile(0.5), 0.0);
 }
 
 TEST(OnlineMonitorTest, SlidingWindowForgetsOldEvents) {

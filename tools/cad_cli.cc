@@ -12,6 +12,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "app/pipeline.h"
 #include "common/flags.h"
@@ -41,6 +42,8 @@ int Run(int argc, char** argv) {
   std::string dot_dir;
   std::string metrics_csv;
   std::string trace_json;
+  std::string stats_json;
+  int64_t stats_every = 0;
   double l = 5.0;
   int64_t k = 50;
   int64_t seed = 1;
@@ -102,6 +105,12 @@ int Run(int argc, char** argv) {
   flags.AddString("trace_json", &trace_json,
                   "record trace spans and write Chrome trace JSON here "
                   "(open in chrome://tracing; '-' for stdout)");
+  flags.AddString("stats_json", &stats_json,
+                  "write heartbeat JSON lines here ('-' for stdout); "
+                  "requires --stats_every");
+  flags.AddInt64("stats_every", &stats_every,
+                 "emit one heartbeat record per N completed pipeline stages "
+                 "(0 disables; enables metrics recording)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.ToString() << "\n" << flags.Usage();
@@ -114,8 +123,17 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  if (stats_every < 0) {
+    std::cerr << "--stats_every must be >= 0\n";
+    return 2;
+  }
+  if ((stats_every > 0) != !stats_json.empty()) {
+    std::cerr << "--stats_every and --stats_json must be used together\n";
+    return 2;
+  }
+
   // Turn observability on before loading so the input stage is covered too.
-  if (!metrics_csv.empty()) {
+  if (!metrics_csv.empty() || stats_every > 0) {
     obs::ResetMetrics();
     obs::SetMetricsEnabled(true);
   }
@@ -229,6 +247,24 @@ int Run(int argc, char** argv) {
   } else if (engine != "auto") {
     std::cerr << "unknown --engine '" << engine << "'\n";
     return 2;
+  }
+
+  // Heartbeat sink + reporter must outlive the pipeline run.
+  std::ofstream stats_file;
+  std::unique_ptr<obs::StatsReporter> stats;
+  if (stats_every > 0) {
+    std::ostream* stats_out = &std::cout;
+    if (stats_json != "-") {
+      stats_file.open(stats_json);
+      if (!stats_file.is_open()) {
+        std::cerr << "cannot open --stats_json file " << stats_json << "\n";
+        return 1;
+      }
+      stats_out = &stats_file;
+    }
+    stats = std::make_unique<obs::StatsReporter>(
+        stats_out, static_cast<uint64_t>(stats_every));
+    options.stats = stats.get();
   }
 
   Result<PipelineResult> result = RunAnomalyPipeline(*sequence, options);

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,8 +74,14 @@ int Run(int argc, char** argv) {
   std::string engine = "auto";
   int64_t k = 50;
   int64_t seed = 1;
+  int64_t threads = 1;
   bool warm_start = false;
   double refactor_threshold = 0.1;
+  std::string stats_json;
+  int64_t stats_every = 0;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string flight_recorder;
   flags.AddString("events", &events,
                   "timestamped event file '<u> <v> <t> [w]', time-ordered");
   flags.AddDouble("window", &window, "window length in timestamp units");
@@ -113,6 +120,23 @@ int Run(int argc, char** argv) {
                 "next (approximate engine)");
   flags.AddDouble("refactor_threshold", &refactor_threshold,
                   "IC(0) staleness trigger under --warm_start");
+  flags.AddInt64("threads", &threads,
+                 "worker threads for the per-window Laplacian solves");
+  flags.AddString("stats_json", &stats_json,
+                  "write one heartbeat JSON line per --stats_every windows "
+                  "here ('-' for stdout); see DESIGN.md §10 for the schema");
+  flags.AddInt64("stats_every", &stats_every,
+                 "emit a heartbeat after every N observed windows "
+                 "(0 disables; enables metrics recording)");
+  flags.AddString("metrics_csv", &metrics_csv,
+                  "record runtime metrics and write them as CSV here at "
+                  "exit ('-' for stdout)");
+  flags.AddString("trace_json", &trace_json,
+                  "record trace spans and write Chrome trace JSON here at "
+                  "exit (open in chrome://tracing; '-' for stdout)");
+  flags.AddString("flight_recorder", &flight_recorder,
+                  "keep a bounded ring of recent spans/events and dump it "
+                  "as JSON to this file if the stream fails");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.ToString() << "\n" << flags.Usage();
@@ -143,6 +167,53 @@ int Run(int argc, char** argv) {
     std::cerr << "unknown --error_policy '" << error_policy << "'\n";
     return 2;
   }
+  if (threads < 1) {
+    std::cerr << "--threads must be >= 1\n";
+    return 2;
+  }
+  if (stats_every < 0) {
+    std::cerr << "--stats_every must be >= 0\n";
+    return 2;
+  }
+  if ((stats_every > 0) != !stats_json.empty()) {
+    std::cerr << "--stats_every and --stats_json must be used together\n";
+    return 2;
+  }
+
+  // Turn observability on before the monitor is built so every window is
+  // covered. The heartbeat contract (one record per N windows, non-timer
+  // fields byte-identical across same-seed runs at any thread count) needs
+  // metrics recording on.
+  if (!metrics_csv.empty() || stats_every > 0) {
+    obs::ResetMetrics();
+    obs::SetMetricsEnabled(true);
+  }
+  if (!trace_json.empty()) {
+    obs::ResetTracing();
+    obs::SetTracingEnabled(true);
+  }
+  if (!flight_recorder.empty()) {
+    obs::ResetFlightRecorder();
+    obs::SetFlightRecorderEnabled(true);
+  }
+  // On any failure path, dump the flight-recorder ring (last spans and
+  // events before the error) for the postmortem. `line` is the input line
+  // being processed, or 0 when the failure was not tied to one.
+  const auto dump_flight = [&](double line) {
+    if (flight_recorder.empty()) return;
+    CAD_FLIGHT_NOTE("stream.failure", line);
+    std::ofstream ring_out(flight_recorder);
+    if (!ring_out.is_open()) {
+      std::cerr << "cannot open --flight_recorder " << flight_recorder << "\n";
+      return;
+    }
+    const Status written = obs::WriteFlightRecorderJson(&ring_out);
+    if (written.ok()) {
+      std::cerr << "flight recorder dumped to " << flight_recorder << "\n";
+    } else {
+      std::cerr << written.ToString() << "\n";
+    }
+  };
 
   OnlineMonitorOptions monitor_options;
   monitor_options.nodes_per_transition = l;
@@ -152,6 +223,8 @@ int Run(int argc, char** argv) {
   monitor_options.detector.approx.seed = static_cast<uint64_t>(seed);
   monitor_options.detector.approx.warm_start = warm_start;
   monitor_options.detector.approx.refactor_threshold = refactor_threshold;
+  monitor_options.detector.analysis_threads = static_cast<size_t>(threads);
+  monitor_options.detector.approx.cg.num_threads = static_cast<size_t>(threads);
   if (engine == "exact") {
     monitor_options.detector.engine = CommuteEngine::kExact;
   } else if (engine == "approx") {
@@ -162,11 +235,33 @@ int Run(int argc, char** argv) {
   }
 
   OnlineCadMonitor monitor(monitor_options);
+
+  // Heartbeat sink + reporter must outlive the monitor loop. Constructed
+  // before any window is observed, so the first record's deltas cover the
+  // stream from its very first event.
+  std::ofstream stats_file;
+  std::unique_ptr<obs::StatsReporter> stats;
+  if (stats_every > 0) {
+    std::ostream* stats_out = &std::cout;
+    if (stats_json != "-") {
+      stats_file.open(stats_json);
+      if (!stats_file.is_open()) {
+        std::cerr << "cannot open --stats_json file " << stats_json << "\n";
+        return 1;
+      }
+      stats_out = &stats_file;
+    }
+    stats = std::make_unique<obs::StatsReporter>(
+        stats_out, static_cast<uint64_t>(stats_every));
+    monitor.SetStatsReporter(stats.get());
+  }
+
   const bool resumed = !resume_from.empty();
   if (resumed) {
     const Status loaded = monitor.LoadCheckpointFile(resume_from);
     if (!loaded.ok()) {
       std::cerr << "resume failed: " << loaded.ToString() << "\n";
+      dump_flight(0.0);
       return 1;
     }
     std::cerr << "resumed at window " << monitor.num_snapshots() << " ("
@@ -244,6 +339,9 @@ int Run(int argc, char** argv) {
       // byte-identical.
       if (!vocab.empty()) monitor.SetVocabulary(vocab);
       CAD_RETURN_NOT_OK(monitor.SaveCheckpointFile(checkpoint));
+      CAD_METRIC_INC("stream.checkpoints");
+      CAD_FLIGHT_NOTE("stream.checkpoint",
+                      static_cast<double>(monitor.num_snapshots()));
       std::cerr << "checkpoint written at window " << monitor.num_snapshots()
                 << "\n";
     }
@@ -260,6 +358,7 @@ int Run(int argc, char** argv) {
     Result<std::optional<TimestampedEvent>> next = reader.Next();
     if (!next.ok()) {
       std::cerr << next.status().ToString() << "\n";
+      dump_flight(static_cast<double>(reader.line_number()));
       return 1;
     }
     if (!next->has_value()) break;
@@ -272,6 +371,7 @@ int Run(int argc, char** argv) {
       if (event.timestamp < start_time) continue;
       if (policy == EventErrorPolicy::kStrict) {
         std::cerr << event_window.status().ToString() << "\n";
+        dump_flight(static_cast<double>(reader.line_number()));
         return 1;
       }
       CAD_METRIC_INC("io.events_rejected");
@@ -287,6 +387,7 @@ int Run(int argc, char** argv) {
       if (policy == EventErrorPolicy::kStrict) {
         std::cerr << "event at line " << reader.line_number() << ": "
                   << added.ToString() << "\n";
+        dump_flight(static_cast<double>(reader.line_number()));
         return 1;
       }
       // Endpoints past a declared --num_nodes are data loss of a different
@@ -301,10 +402,15 @@ int Run(int argc, char** argv) {
       continue;
     }
     ++events_fed;
+    // Windows completed by this event but not yet fed to the monitor: the
+    // backlog an out-of-order burst creates. Deterministic (a function of
+    // the event data alone), so it is a plain gauge.
+    CAD_METRIC_SET("stream.queue_depth", completed.size());
     for (WeightedGraph& snapshot : completed) {
       Result<bool> stop = observe(std::move(snapshot));
       if (!stop.ok()) {
         std::cerr << stop.status().ToString() << "\n";
+        dump_flight(static_cast<double>(reader.line_number()));
         return 1;
       }
       if (*stop) {
@@ -322,13 +428,42 @@ int Run(int argc, char** argv) {
     Result<bool> stop = observe(aggregator.Flush());
     if (!stop.ok()) {
       std::cerr << stop.status().ToString() << "\n";
+      dump_flight(0.0);
       return 1;
     }
   }
 
   if (!out->good()) {
     std::cerr << "output write failed\n";
+    dump_flight(0.0);
     return 1;
+  }
+
+  // Exit-time observability exports (mirrors cad_cli).
+  const auto write_export = [&](const std::string& target,
+                                auto writer) -> Status {
+    if (target == "-") return writer(&std::cout);
+    std::ofstream file(target);
+    if (!file.is_open()) return Status::IoError("cannot open " + target);
+    return writer(&file);
+  };
+  if (!metrics_csv.empty()) {
+    const Status written = write_export(metrics_csv, [](std::ostream* sink) {
+      return obs::WriteMetricsCsv(obs::SnapshotMetrics(), sink);
+    });
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!trace_json.empty()) {
+    const Status written = write_export(trace_json, [](std::ostream* sink) {
+      return obs::WriteChromeTraceJson(sink);
+    });
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
   }
   std::cerr << "processed " << monitor.num_snapshots() << " windows, "
             << monitor.num_transitions() << " transitions (fed " << events_fed
