@@ -6,8 +6,10 @@
 //
 // Beyond the usual google-benchmark flags, `--check_spmm` runs the kernel
 // equivalence checks instead of timing: MultiplyBlock against k per-column
-// SpMVs and IncompleteCholesky::ApplyBlock against k per-column applies,
-// both to 0 ULP. CI's perf-smoke job gates on it.
+// SpMVs, IncompleteCholesky::ApplyBlock against k per-column applies, the
+// cache-blocked (tiled) SpMM against the plain block kernel, and the
+// degree-relabeled SpMM against the permuted plain product — all to 0 ULP.
+// CI's perf-smoke job gates on it.
 
 #include <benchmark/benchmark.h>
 
@@ -22,7 +24,9 @@
 #include "commute/exact_commute.h"
 #include "core/edge_scores.h"
 #include "datagen/random_graphs.h"
+#include "datagen/rmat.h"
 #include "graph/centrality.h"
+#include "graph/relabel.h"
 #include "linalg/conjugate_gradient.h"
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/lanczos.h"
@@ -111,6 +115,72 @@ BENCHMARK(BM_CsrSpMMBlock)
     ->Args({10000, 32})
     ->Args({100000, 8})
     ->Args({100000, 32});
+
+/// A power-law R-MAT graph: the degree distribution where relabeling and
+/// cache blocking actually matter (BenchGraph's ER graphs have no hubs).
+WeightedGraph BenchRmatGraph(size_t n, size_t edge_factor = 8) {
+  RmatOptions options;
+  options.num_nodes = n;
+  options.num_edges = n * edge_factor;
+  options.seed = 777 + n;
+  auto graph = MakeRmatGraph(options);
+  CAD_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).ValueOrDie();
+}
+
+void BM_DegreeOrderRelabel(benchmark::State& state) {
+  // The reorder pass itself: degree sort + inverse permutation + stored-
+  // order-preserving CSR permutation. Paid once per snapshot, amortized
+  // over the CG iterations that follow.
+  const auto n = static_cast<size_t>(state.range(0));
+  const WeightedGraph g = BenchRmatGraph(n);
+  const CsrMatrix l = g.ToLaplacianCsr(1e-6 * g.Volume());
+  for (auto _ : state) {
+    const Relabeling relabeling = DegreeOrderRelabeling(g);
+    const CsrMatrix permuted = PermuteCsrRows(l, relabeling);
+    benchmark::DoNotOptimize(permuted.values().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(l.nnz()));
+}
+BENCHMARK(BM_DegreeOrderRelabel)->Arg(100000)->Arg(1000000);
+
+void BM_LaplacianSpMM(benchmark::State& state) {
+  // The CG hot sweep on a power-law Laplacian, in its three layouts:
+  // range(2) = 0 plain CSR, 1 cache-blocked tile plan, 2 degree-relabeled
+  // rows (plain kernel, hub-prefix gather locality).
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto k = static_cast<size_t>(state.range(1));
+  const int mode = static_cast<int>(state.range(2));
+  const WeightedGraph g = BenchRmatGraph(n);
+  CsrMatrix l = g.ToLaplacianCsr(1e-6 * g.Volume());
+  if (mode == 2) l = PermuteCsrRows(l, DegreeOrderRelabeling(g));
+  const CsrTilePlan plan = mode == 1 ? CsrTilePlan::Build(l, k)
+                                     : CsrTilePlan();
+  const DenseMatrix x = BenchBlock(n, k);
+  DenseMatrix y(n, k);
+  for (auto _ : state) {
+    std::fill(y.mutable_data().begin(), y.mutable_data().end(), 0.0);
+    if (mode == 1) {
+      l.MultiplyAccumulateBlockTiled(1.0, x, &y, plan);
+    } else {
+      l.MultiplyAccumulateBlock(1.0, x, &y);
+    }
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(l.nnz() * k));
+}
+BENCHMARK(BM_LaplacianSpMM)
+    ->Args({100000, 8, 0})
+    ->Args({100000, 8, 1})
+    ->Args({100000, 8, 2})
+    ->Args({100000, 32, 0})
+    ->Args({100000, 32, 1})
+    ->Args({100000, 32, 2})
+    ->Args({1000000, 16, 0})
+    ->Args({1000000, 16, 1})
+    ->Args({1000000, 16, 2});
 
 void BM_IcApplyxK(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
@@ -343,6 +413,39 @@ size_t RunSpmmCheck() {
         const std::vector<double> expected = ic->Apply(x_col);
         for (size_t i = 0; i < n; ++i) {
           expect_identical(expected[i], z(i, c), "IC apply", i, c);
+        }
+      }
+
+      // Tiled SpMM vs the plain block kernel, with small tiles so the check
+      // crosses many row-block and band boundaries even at n=500.
+      DenseMatrix y_plain(n, k);
+      l.MultiplyAccumulateBlock(1.0, x, &y_plain);
+      const CsrTilePlan plan = CsrTilePlan::Build(l, k, 32, 64);
+      DenseMatrix y_tiled(n, k);
+      l.MultiplyAccumulateBlockTiled(1.0, x, &y_tiled, plan);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          expect_identical(y_plain(i, c), y_tiled(i, c), "tiled SpMM", i, c);
+        }
+      }
+
+      // Degree-relabeled SpMM: the permuted product must be the permuted
+      // plain product, bit for bit (row p of P L P^T (P x) = row old(p) of
+      // L x, same entries in the same stored order).
+      const Relabeling relabeling = DegreeOrderRelabeling(g);
+      const CsrMatrix permuted = PermuteCsrRows(l, relabeling);
+      DenseMatrix x_perm(n, k);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          x_perm(relabeling.new_id[i], c) = x(i, c);
+        }
+      }
+      DenseMatrix y_perm(n, k);
+      permuted.MultiplyAccumulateBlock(1.0, x_perm, &y_perm);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          expect_identical(y_plain(i, c), y_perm(relabeling.new_id[i], c),
+                           "relabeled SpMM", i, c);
         }
       }
       std::printf("check_spmm n=%zu k=%zu: OK\n", n, k);

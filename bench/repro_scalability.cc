@@ -1,6 +1,10 @@
-// Reproduces the scalability study of §4.1.3: per-transition processing time
-// of CAD, COM, ADJ, ACT and CLC on sparse random graphs (m = O(n)) of
-// increasing size, with k = 10 for the commute-time embedding.
+// Reproduces the scalability study of §4.1.3 — per-transition processing
+// time of CAD, COM, ADJ, ACT and CLC on graphs of increasing size — and
+// doubles as the million-node scale harness: `--generator rmat` drives the
+// sweep with power-law R-MAT graphs (the regime where the approximate
+// engine is the only tractable one), and the optimization flags
+// (--relabel/--tiled_spmm/--arena/--block_solver) exercise the solver
+// hot-path attacks against the default path.
 //
 // Expected shape (paper, on 1e7 nodes): ADJ fastest, then ACT, then CLC
 // (~1/3 of CAD; degrades with density), with CAD ~ COM the slowest but still
@@ -8,20 +12,35 @@
 //
 // Besides the human-readable table, the run is summarized into a
 // machine-readable JSON file (--solver_json, default BENCH_solver.json):
-// per-size wall times plus the total CG iterations behind each CAD pass, so
-// solver changes can be tracked across commits without scraping stdout.
+// one row per (size, thread-count) pair with wall times, CG iteration
+// counts, and — under --compare_baseline — the solve-stage speedup of the
+// optimized configuration over the default path, plus a bitwise-equality
+// verdict for the two embeddings (the optimizations are contractually
+// bit-identical, so anything but `true` is a bug). CI's perf-smoke job
+// parses this file on every run.
+//
+// Scale tiers:
+//   PR CI:    --sizes 1000,10000 --threads_list 1,4   (seconds)
+//   nightly:  --sizes 10000,100000,1000000 --threads_list 1,4,8
+//             --generator rmat --full_detectors=false --compare_baseline=false
+//             (the 1M x 10M R-MAT tier; minutes)
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "commute/approx_commute.h"
+#include "commute/solver_cache.h"
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "core/act_detector.h"
 #include "core/cad_detector.h"
 #include "core/clc_detector.h"
 #include "datagen/random_graphs.h"
-#include "common/json_writer.h"
+#include "datagen/rmat.h"
 #include "obs/obs.h"
 #include "report.h"
 
@@ -36,110 +55,268 @@ uint64_t PcgIterationCounter() {
   return 0;
 }
 
-struct SizeResult {
+std::vector<int64_t> ParseSizeList(const std::string& text,
+                                   const char* flag_name) {
+  std::vector<int64_t> sizes;
+  for (const std::string& field : Split(text, ',')) {
+    if (field.empty()) continue;
+    Result<int64_t> value = ParseInt64(field);
+    CAD_CHECK(value.ok() && *value > 0)
+        << "--" << flag_name << ": bad entry '" << field << "'";
+    sizes.push_back(*value);
+  }
+  CAD_CHECK(!sizes.empty()) << "--" << flag_name << " is empty";
+  return sizes;
+}
+
+struct RunResult {
   int64_t n = 0;
   size_t m = 0;
+  int64_t threads = 1;
   double cad_seconds = 0.0;
+  uint64_t cad_pcg_iterations = 0;
+  // Solve stage: the k-system Laplacian solves behind one embedding build
+  // per snapshot, timed with the optimization flags on and (optionally)
+  // off. This isolates what relabel/tiling/arena actually touch from the
+  // scoring and generation around it.
+  double solve_seconds = 0.0;
+  double solve_baseline_seconds = 0.0;
+  bool compared = false;
+  bool bit_identical = true;
+  // Baseline detectors (only when --full_detectors).
+  bool full_detectors = false;
   double com_seconds = 0.0;
   double adj_seconds = 0.0;
   double act_seconds = 0.0;
   double clc_seconds = 0.0;
-  uint64_t cad_pcg_iterations = 0;
 };
+
+/// Builds the embedding for every snapshot through one shared cache (the
+/// arena pool persists across snapshots, as in the detector loop) and
+/// returns the best wall time over `reps` repetitions (best-of-N filters
+/// the scheduler noise of shared machines; the work is deterministic, so
+/// the minimum is the cleanest estimate of the true cost). The last
+/// embedding is copied into *last.
+double TimeSolveStage(const TemporalGraphSequence& sequence,
+                      const ApproxCommuteOptions& options, int64_t reps,
+                      DenseMatrix* last) {
+  double best = 0.0;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    CommuteSolverCache cache;
+    Timer timer;
+    for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
+      auto oracle =
+          ApproxCommuteEmbedding::Build(sequence.Snapshot(t), options, &cache);
+      CAD_CHECK(oracle.ok()) << oracle.status().ToString();
+      if (t + 1 == sequence.num_snapshots()) *last = oracle->embedding();
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+bool BitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
 
 int Run(int argc, char** argv) {
   FlagParser flags;
-  int64_t max_n = 100000;
+  std::string sizes_flag = "1000,10000";
+  std::string threads_flag = "1";
+  std::string generator = "er";
   int64_t k = 10;
   int64_t clc_samples = 32;
-  int64_t threads = 1;
+  int64_t edge_factor = 10;
   double average_degree = 2.0;
-  bool block_solver = false;
+  double tolerance = 1e-8;
+  bool relabel = true;
+  bool tiled_spmm = true;
+  bool arena = true;
+  bool block_solver = true;
+  bool compare_baseline = true;
+  bool full_detectors = true;
+  int64_t solve_reps = 1;
   std::string solver_json = "BENCH_solver.json";
-  flags.AddInt64("max_n", &max_n,
-                 "largest graph size (raise toward 1e7 for paper scale)");
+  flags.AddString("sizes", &sizes_flag,
+                  "comma-separated node counts (e.g. 10000,100000,1000000)");
+  flags.AddString("threads_list", &threads_flag,
+                  "comma-separated worker-thread counts per size");
+  flags.AddString("generator", &generator,
+                  "graph family: 'er' (sparse Erdos-Renyi, paper setup) or "
+                  "'rmat' (power-law, the 1M-node harness)");
   flags.AddInt64("k", &k, "embedding dimension (paper: 10)");
   flags.AddInt64("clc_samples", &clc_samples,
                  "pivot count for sampled closeness centrality");
-  flags.AddInt64("threads", &threads,
-                 "worker threads for the k Laplacian solves (CAD/COM)");
+  flags.AddInt64("edge_factor", &edge_factor,
+                 "rmat only: edges = edge_factor * n (10 -> 1M nodes/10M "
+                 "edges)");
   flags.AddDouble("avg_degree", &average_degree,
-                  "average degree (paper's sparsity 1/n ~ degree 2)");
+                  "er only: average degree (paper's sparsity ~ degree 2)");
+  flags.AddDouble("tolerance", &tolerance, "CG relative-residual target");
+  flags.AddBool("relabel", &relabel,
+                "optimized config: degree-ordered solver relabeling");
+  flags.AddBool("tiled_spmm", &tiled_spmm,
+                "optimized config: cache-blocked SpMM sweeps (no-op when "
+                "relabel already reorders rows)");
+  flags.AddBool("arena", &arena,
+                "optimized config: pooled dense buffers across snapshots");
   flags.AddBool("block_solver", &block_solver,
-                "solve the k systems in lockstep (shared SpMM sweeps)");
+                "optimized config: lockstep block solver");
+  flags.AddBool("compare_baseline", &compare_baseline,
+                "also time the default solver path and verify the optimized "
+                "embeddings are bit-identical to it");
+  flags.AddBool("full_detectors", &full_detectors,
+                "run the COM/ADJ/ACT/CLC baselines too (turn off for the "
+                "1M tier, where only CAD is under test)");
+  flags.AddInt64("solve_reps", &solve_reps,
+                 "repetitions per solve-stage timing; the best run is "
+                 "reported (use 3+ on noisy shared machines)");
   flags.AddString("solver_json", &solver_json,
                   "write the machine-readable summary here (empty to skip)");
   CAD_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) return 0;
 
+  const std::vector<int64_t> sizes = ParseSizeList(sizes_flag, "sizes");
+  const std::vector<int64_t> thread_counts =
+      ParseSizeList(threads_flag, "threads_list");
+  const bool rmat = generator == "rmat";
+  CAD_CHECK(rmat || generator == "er")
+      << "--generator must be 'er' or 'rmat', got '" << generator << "'";
+
   bench::Banner("Scalability (paper §4.1.3): per-transition runtime vs n");
-  std::cout << "  k = " << k << ", average degree = " << average_degree
-            << ", CLC pivots = " << clc_samples << ", threads = " << threads
-            << ", block solver = " << (block_solver ? "on" : "off") << "\n";
+  std::cout << "  generator = " << generator << ", k = " << k
+            << ", tolerance = " << tolerance << "\n  optimized config:"
+            << " relabel=" << (relabel ? "on" : "off")
+            << " tiled_spmm=" << (tiled_spmm ? "on" : "off")
+            << " arena=" << (arena ? "on" : "off")
+            << " block_solver=" << (block_solver ? "on" : "off") << "\n";
 
   const obs::ScopedMetricsEnable metrics_enable;
 
-  std::vector<SizeResult> results;
-  bench::Table table({"n", "m", "CAD (s)", "CAD pcg iters", "COM (s)",
-                      "ADJ (s)", "ACT (s)", "CLC (s)"});
-  for (int64_t n = 1000; n <= max_n; n *= 10) {
-    RandomGraphOptions gen;
-    gen.num_nodes = static_cast<size_t>(n);
-    gen.average_degree = average_degree;
-    gen.seed = static_cast<uint64_t>(n);
-    const TemporalGraphSequence sequence = MakeRandomTransition(gen, 0.1, 0.01);
-    SizeResult result;
-    result.n = n;
-    result.m = sequence.Snapshot(0).num_edges();
+  std::vector<RunResult> results;
+  bench::Table table({"n", "m", "threads", "CAD (s)", "pcg iters",
+                      "solve (s)", "baseline (s)", "speedup", "bit-id"});
+  for (const int64_t n : sizes) {
+    // One transition per size, shared across thread counts so rows within a
+    // size are directly comparable.
+    TemporalGraphSequence sequence;
+    if (rmat) {
+      RmatTemporalOptions gen;
+      gen.base.num_nodes = static_cast<size_t>(n);
+      gen.base.num_edges = static_cast<size_t>(n * edge_factor);
+      gen.base.seed = static_cast<uint64_t>(n);
+      gen.num_snapshots = 2;
+      gen.anomaly_snapshot = 1;
+      auto made = MakeRmatTemporalSequence(gen);
+      CAD_CHECK(made.ok()) << made.status().ToString();
+      sequence = std::move(made).ValueOrDie();
+    } else {
+      RandomGraphOptions gen;
+      gen.num_nodes = static_cast<size_t>(n);
+      gen.average_degree = average_degree;
+      gen.seed = static_cast<uint64_t>(n);
+      sequence = MakeRandomTransition(gen, 0.1, 0.01);
+    }
 
-    const auto time_scorer = [&sequence](NodeScorer* scorer) {
-      Timer timer;
-      auto scores = scorer->ScoreTransitions(sequence);
-      CAD_CHECK(scores.ok()) << scorer->name() << ": "
-                             << scores.status().ToString();
-      return timer.ElapsedSeconds();
-    };
+    for (const int64_t threads : thread_counts) {
+      RunResult result;
+      result.n = n;
+      result.m = sequence.Snapshot(0).num_edges();
+      result.threads = threads;
 
-    CadOptions cad_options;
-    cad_options.engine = CommuteEngine::kApprox;
-    cad_options.approx.embedding_dim = static_cast<size_t>(k);
-    cad_options.approx.cg.num_threads = static_cast<size_t>(threads);
-    cad_options.approx.cg.use_block_solver = block_solver;
-    CadDetector cad(cad_options);
-    CadOptions com_options = cad_options;
-    com_options.score_kind = EdgeScoreKind::kCom;
-    CadDetector com(com_options);
-    CadOptions adj_options;
-    adj_options.score_kind = EdgeScoreKind::kAdj;
-    adj_options.engine = CommuteEngine::kApprox;
-    adj_options.approx.embedding_dim = 1;  // ADJ ignores commute times; use
-                                           // the cheapest possible oracle
-    CadDetector adj(adj_options);
-    ActDetector act;
-    ClosenessOptions clc_options;
-    clc_options.num_samples = static_cast<size_t>(clc_samples);
-    ClcDetector clc(clc_options);
+      ApproxCommuteOptions optimized;
+      optimized.embedding_dim = static_cast<size_t>(k);
+      optimized.cg.tolerance = tolerance;
+      optimized.cg.num_threads = static_cast<size_t>(threads);
+      optimized.cg.use_block_solver = block_solver;
+      optimized.cg.tiled_spmm = tiled_spmm;
+      optimized.relabel = relabel;
+      optimized.use_arena = arena;
 
-    const uint64_t iterations_before = PcgIterationCounter();
-    result.cad_seconds = time_scorer(&cad);
-    result.cad_pcg_iterations = PcgIterationCounter() - iterations_before;
-    result.com_seconds = time_scorer(&com);
-    result.adj_seconds = time_scorer(&adj);
-    result.act_seconds = time_scorer(&act);
-    result.clc_seconds = time_scorer(&clc);
+      // Solve stage: embedding builds only, optimized vs default path.
+      DenseMatrix optimized_embedding;
+      result.solve_seconds =
+          TimeSolveStage(sequence, optimized, solve_reps, &optimized_embedding);
+      if (compare_baseline) {
+        ApproxCommuteOptions baseline;
+        baseline.embedding_dim = static_cast<size_t>(k);
+        baseline.cg.tolerance = tolerance;
+        baseline.cg.num_threads = static_cast<size_t>(threads);
+        DenseMatrix baseline_embedding;
+        result.solve_baseline_seconds =
+            TimeSolveStage(sequence, baseline, solve_reps, &baseline_embedding);
+        result.compared = true;
+        result.bit_identical =
+            BitIdentical(optimized_embedding, baseline_embedding);
+        CAD_CHECK(result.bit_identical)
+            << "optimized solve is NOT bit-identical to the default path at "
+            << "n=" << n << " threads=" << threads
+            << " — the relabel/tiling/arena contract is broken";
+      }
 
-    table.AddRow({std::to_string(result.n), std::to_string(result.m),
-                  bench::Fixed(result.cad_seconds, 3),
-                  std::to_string(result.cad_pcg_iterations),
-                  bench::Fixed(result.com_seconds, 3),
-                  bench::Fixed(result.adj_seconds, 3),
-                  bench::Fixed(result.act_seconds, 3),
-                  bench::Fixed(result.clc_seconds, 3)});
-    results.push_back(result);
+      // Full CAD pass (generation-to-report) with the optimized config.
+      CadOptions cad_options;
+      cad_options.engine = CommuteEngine::kApprox;
+      cad_options.approx = optimized;
+      CadDetector cad(cad_options);
+      const auto time_scorer = [&sequence](NodeScorer* scorer) {
+        Timer timer;
+        auto scores = scorer->ScoreTransitions(sequence);
+        CAD_CHECK(scores.ok())
+            << scorer->name() << ": " << scores.status().ToString();
+        return timer.ElapsedSeconds();
+      };
+      const uint64_t iterations_before = PcgIterationCounter();
+      result.cad_seconds = time_scorer(&cad);
+      result.cad_pcg_iterations = PcgIterationCounter() - iterations_before;
+
+      if (full_detectors) {
+        result.full_detectors = true;
+        CadOptions com_options = cad_options;
+        com_options.score_kind = EdgeScoreKind::kCom;
+        CadDetector com(com_options);
+        CadOptions adj_options;
+        adj_options.score_kind = EdgeScoreKind::kAdj;
+        adj_options.engine = CommuteEngine::kApprox;
+        adj_options.approx.embedding_dim = 1;  // ADJ ignores commute times;
+                                               // use the cheapest oracle
+        CadDetector adj(adj_options);
+        ActDetector act;
+        ClosenessOptions clc_options;
+        clc_options.num_samples = static_cast<size_t>(clc_samples);
+        ClcDetector clc(clc_options);
+        result.com_seconds = time_scorer(&com);
+        result.adj_seconds = time_scorer(&adj);
+        result.act_seconds = time_scorer(&act);
+        result.clc_seconds = time_scorer(&clc);
+      }
+
+      const double speedup =
+          result.compared && result.solve_seconds > 0.0
+              ? result.solve_baseline_seconds / result.solve_seconds
+              : 0.0;
+      table.AddRow({std::to_string(result.n), std::to_string(result.m),
+                    std::to_string(result.threads),
+                    bench::Fixed(result.cad_seconds, 3),
+                    std::to_string(result.cad_pcg_iterations),
+                    bench::Fixed(result.solve_seconds, 3),
+                    result.compared
+                        ? bench::Fixed(result.solve_baseline_seconds, 3)
+                        : "-",
+                    result.compared ? bench::Fixed(speedup, 2) + "x" : "-",
+                    result.compared ? (result.bit_identical ? "yes" : "NO")
+                                    : "-"});
+      results.push_back(result);
+    }
   }
   table.Print();
-  std::cout << "  (expected ordering per the paper: ADJ < ACT <= CLC < CAD"
-            << " ~= COM, all near-linear in n)\n";
+  if (full_detectors) {
+    std::cout << "  (expected ordering per the paper: ADJ < ACT <= CLC < CAD"
+              << " ~= COM, all near-linear in n)\n";
+  }
   bench::PrintSolverMetrics(obs::SnapshotMetrics());
 
   if (!solver_json.empty()) {
@@ -152,34 +329,59 @@ int Run(int argc, char** argv) {
     json.BeginObject();
     json.Key("bench");
     json.String("repro_scalability");
+    json.Key("generator");
+    json.String(generator);
     json.Key("k");
     json.Number(k);
-    json.Key("avg_degree");
-    json.Number(average_degree);
-    json.Key("threads");
-    json.Number(threads);
+    json.Key("tolerance");
+    json.Number(tolerance);
+    json.Key("optimized");
+    json.BeginObject();
+    json.Key("relabel");
+    json.Bool(relabel);
+    json.Key("tiled_spmm");
+    json.Bool(tiled_spmm);
+    json.Key("arena");
+    json.Bool(arena);
     json.Key("block_solver");
     json.Bool(block_solver);
-    json.Key("sizes");
+    json.EndObject();
+    json.Key("rows");
     json.BeginArray();
-    for (const SizeResult& result : results) {
+    for (const RunResult& result : results) {
       json.BeginObject();
       json.Key("n");
       json.Number(result.n);
       json.Key("m");
       json.Number(result.m);
+      json.Key("threads");
+      json.Number(result.threads);
       json.Key("cad_seconds");
       json.Number(result.cad_seconds);
       json.Key("cad_pcg_iterations");
       json.Number(static_cast<size_t>(result.cad_pcg_iterations));
-      json.Key("com_seconds");
-      json.Number(result.com_seconds);
-      json.Key("adj_seconds");
-      json.Number(result.adj_seconds);
-      json.Key("act_seconds");
-      json.Number(result.act_seconds);
-      json.Key("clc_seconds");
-      json.Number(result.clc_seconds);
+      json.Key("solve_seconds");
+      json.Number(result.solve_seconds);
+      if (result.compared) {
+        json.Key("solve_baseline_seconds");
+        json.Number(result.solve_baseline_seconds);
+        json.Key("solve_speedup");
+        json.Number(result.solve_seconds > 0.0
+                        ? result.solve_baseline_seconds / result.solve_seconds
+                        : 0.0);
+        json.Key("bit_identical");
+        json.Bool(result.bit_identical);
+      }
+      if (result.full_detectors) {
+        json.Key("com_seconds");
+        json.Number(result.com_seconds);
+        json.Key("adj_seconds");
+        json.Number(result.adj_seconds);
+        json.Key("act_seconds");
+        json.Number(result.act_seconds);
+        json.Key("clc_seconds");
+        json.Number(result.clc_seconds);
+      }
       json.EndObject();
     }
     json.EndArray();

@@ -1,6 +1,7 @@
 #ifndef CAD_COMMUTE_SOLVER_CACHE_H_
 #define CAD_COMMUTE_SOLVER_CACHE_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "linalg/dense_matrix.h"
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/sparse_matrix.h"
+#include "linalg/workspace.h"
 
 namespace cad {
 
@@ -70,6 +72,13 @@ class CommuteSolverCache {
   State ExportState() const;
   void RestoreState(State state);
 
+  /// Buffer pool shared by consecutive snapshots' builds (the arena path in
+  /// ApproxCommuteOptions::use_arena). Created lazily on first use; the
+  /// pooled buffers live exactly as long as the cache. Not part of
+  /// ExportState — pooling is a memory-layout concern, never observable in
+  /// results.
+  DenseWorkspace* workspace();
+
   double refactor_threshold() const { return refactor_threshold_; }
   /// How often FactorFor served the cached factor / had to refactorize.
   size_t factor_reuses() const { return factor_reuses_; }
@@ -83,6 +92,7 @@ class CommuteSolverCache {
   std::optional<DenseMatrix> embedding_;
   std::optional<IncompleteCholesky> factor_;
   std::vector<double> factor_diagonal_;  // diagonal the factor was built from
+  std::unique_ptr<DenseWorkspace> workspace_;  // lazy; keeps the class movable
   size_t factor_reuses_ = 0;
   size_t refactorizations_ = 0;
   double last_relative_change_ = 0.0;

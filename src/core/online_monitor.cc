@@ -136,8 +136,10 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::ObserveImpl(
   }
 
   std::unique_ptr<CommuteTimeOracle> oracle;
-  CommuteSolverCache* cache =
-      options_.detector.approx.warm_start ? &solver_cache_ : nullptr;
+  CommuteSolverCache* cache = options_.detector.approx.warm_start ||
+                                      options_.detector.approx.use_arena
+                                  ? &solver_cache_
+                                  : nullptr;
   CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot, cache));
   ++num_snapshots_;
 

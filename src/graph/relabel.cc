@@ -1,0 +1,54 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cad {
+
+Relabeling DegreeOrderRelabeling(const WeightedGraph& graph) {
+  const size_t n = graph.num_nodes();
+  const std::vector<size_t> degrees = graph.Degrees();
+  Relabeling relabeling;
+  relabeling.old_id.resize(n);
+  std::iota(relabeling.old_id.begin(), relabeling.old_id.end(), 0u);
+  std::stable_sort(relabeling.old_id.begin(), relabeling.old_id.end(),
+                   [&degrees](uint32_t a, uint32_t b) {
+                     return degrees[a] > degrees[b];
+                   });
+  relabeling.new_id.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    relabeling.new_id[relabeling.old_id[p]] = static_cast<uint32_t>(p);
+  }
+  return relabeling;
+}
+
+CsrMatrix PermuteCsrRows(const CsrMatrix& matrix,
+                         const Relabeling& relabeling) {
+  const size_t n = matrix.rows();
+  CAD_CHECK_EQ(matrix.cols(), n);
+  CAD_CHECK_EQ(relabeling.size(), n);
+
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t p = 0; p < n; ++p) {
+    const uint32_t i = relabeling.old_id[p];
+    offsets[p + 1] = offsets[p] + (matrix.RowEnd(i) - matrix.RowBegin(i));
+  }
+  std::vector<uint32_t> cols(matrix.nnz());
+  std::vector<double> vals(matrix.nnz());
+  const std::vector<uint32_t>& src_cols = matrix.col_indices();
+  const std::vector<double>& src_vals = matrix.values();
+  for (size_t p = 0; p < n; ++p) {
+    const uint32_t i = relabeling.old_id[p];
+    size_t out = offsets[p];
+    for (size_t q = matrix.RowBegin(i); q < matrix.RowEnd(i); ++q, ++out) {
+      cols[out] = relabeling.new_id[src_cols[q]];
+      vals[out] = src_vals[q];
+    }
+  }
+  return CsrMatrix(n, n, std::move(offsets), std::move(cols), std::move(vals),
+                   CsrMatrix::UnsortedRowsTag());
+}
+
+}  // namespace cad

@@ -209,14 +209,14 @@ Result<CgSummary> SolveWithPreconditioner(const CsrMatrix& a,
   return summary;
 }
 
-/// Copies columns [begin, end) of `m` into a contiguous block.
-DenseMatrix CopyColumns(const DenseMatrix& m, size_t begin, size_t end) {
-  DenseMatrix out(m.rows(), end - begin);
+/// Copies columns [begin, end) of `m` into *out, already shaped
+/// m.rows() x (end - begin) (possibly a pooled buffer).
+void CopyColumnsInto(const DenseMatrix& m, size_t begin, size_t end,
+                     DenseMatrix* out) {
   for (size_t i = 0; i < m.rows(); ++i) {
     const double* src = m.row(i) + begin;
-    std::copy(src, src + (end - begin), out.mutable_row(i));
+    std::copy(src, src + (end - begin), out->mutable_row(i));
   }
-  return out;
 }
 
 /// The lockstep kernel behind SolveBlock: advances all columns of B through
@@ -225,21 +225,56 @@ DenseMatrix CopyColumns(const DenseMatrix& m, size_t begin, size_t end) {
 /// floating-point operation touching column c happens in exactly the order
 /// SolveWithPreconditioner would execute it for that column alone, so the
 /// results (and iteration counts) are bit-identical to k serial solves.
+///
+/// `order` (when non-null) redirects the cross-row reductions — ||b||,
+/// ||r||, r^T z, p^T Ap — to visit rows in the given permutation while the
+/// elementwise sweeps stay layout-order. A degree-relabeled system passes
+/// original-id order here, which restores the exact scalar sequence of the
+/// unrelabeled solve (see CgSolveContext::reduction_order).
+/// `tile_plan` (when non-null) routes the SpMM sweeps through the
+/// cache-blocked kernel; `ws` pools the four n x k temporaries.
 Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
                                              const DenseMatrix& b,
                                              const BlockPreconditioner& precond,
                                              const CgOptions& options,
                                              const DenseMatrix* x0,
-                                             DenseMatrix* x) {
+                                             DenseMatrix* x,
+                                             const CsrTilePlan* tile_plan,
+                                             const uint32_t* order,
+                                             DenseWorkspace* ws) {
   const size_t n = a.rows();
   const size_t k = b.cols();
   std::vector<CgSummary> summaries(k);
-  *x = DenseMatrix(n, k);
+  // The solution block leaves this function, so it is acquired (not
+  // scoped); the caller hands it back to the pool when done.
+  *x = ws != nullptr ? ws->Acquire(n, k) : DenseMatrix(n, k);
+  const auto spmm = [&](double alpha, const DenseMatrix& in,
+                        DenseMatrix* out) {
+    if (tile_plan != nullptr) {
+      a.MultiplyAccumulateBlockTiled(alpha, in, out, *tile_plan);
+    } else {
+      a.MultiplyAccumulateBlock(alpha, in, out);
+    }
+  };
+  // Overwrite form for the per-iteration product AP: bitwise equal to
+  // zero-filling the output and accumulating (MultiplyOverwriteBlock writes
+  // `0.0 + alpha * sum`), but skips the fill pass over n*k doubles. The
+  // tiled kernel has no overwrite variant, so that path keeps the fill.
+  const auto spmm_overwrite = [&](double alpha, const DenseMatrix& in,
+                                  DenseMatrix* out) {
+    if (tile_plan != nullptr) {
+      std::fill(out->mutable_data().begin(), out->mutable_data().end(), 0.0);
+      a.MultiplyAccumulateBlockTiled(alpha, in, out, *tile_plan);
+    } else {
+      a.MultiplyOverwriteBlock(alpha, in, out);
+    }
+  };
 
-  // Per-column ||b||, accumulated in the same ascending-i order as Norm2.
+  // Per-column ||b||, accumulated in the same ascending-i order as Norm2
+  // (under `order`, in the caller's original row order).
   std::vector<double> accum(k, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const double* bi = b.row(i);
+  for (size_t j = 0; j < n; ++j) {
+    const double* bi = b.row(order != nullptr ? order[j] : j);
     for (size_t c = 0; c < k; ++c) accum[c] += bi[c] * bi[c];
   }
   std::vector<double> b_norm(k, 0.0);
@@ -256,7 +291,9 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
     }
   }
 
-  DenseMatrix r = b;
+  PooledDense r_pool(ws, n, k);
+  DenseMatrix& r = r_pool.get();
+  std::copy(b.data().begin(), b.data().end(), r.mutable_data().begin());
   if (x0 != nullptr && !active.empty()) {
     *x = *x0;
     // Zero-rhs columns keep the serial contract x = 0 regardless of guess.
@@ -264,10 +301,10 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
       if (b_norm[c] != 0.0) continue;
       for (size_t i = 0; i < n; ++i) (*x)(i, c) = 0.0;
     }
-    a.MultiplyAccumulateBlock(-1.0, *x0, &r);  // R = B - A X0
+    spmm(-1.0, *x0, &r);  // R = B - A X0
     std::fill(accum.begin(), accum.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const double* ri = r.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* ri = r.row(order != nullptr ? order[j] : j);
       for (const uint32_t c : active) accum[c] += ri[c] * ri[c];
     }
     size_t w = 0;
@@ -284,12 +321,17 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
   }
   if (active.empty()) return summaries;
 
-  DenseMatrix z(n, k);
+  PooledDense z_pool(ws, n, k);
+  DenseMatrix& z = z_pool.get();
   precond.Apply(r, &z);
-  DenseMatrix p = z;
-  DenseMatrix ap(n, k);
+  PooledDense p_pool(ws, n, k);
+  DenseMatrix& p = p_pool.get();
+  std::copy(z.data().begin(), z.data().end(), p.mutable_data().begin());
+  PooledDense ap_pool(ws, n, k);
+  DenseMatrix& ap = ap_pool.get();
   std::vector<double> rz(k, 0.0);
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t j = 0; j < n; ++j) {
+    const size_t i = order != nullptr ? order[j] : j;
     const double* ri = r.row(i);
     const double* zi = z.row(i);
     for (const uint32_t c : active) rz[c] += ri[c] * zi[c];
@@ -299,12 +341,13 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
   const size_t max_iters =
       options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
 
+  // cad-lint: hot-path begin (per-iteration loop: no buffer growth allowed)
   for (size_t iter = 0; iter < max_iters && !active.empty(); ++iter) {
-    std::fill(ap.mutable_data().begin(), ap.mutable_data().end(), 0.0);
-    a.MultiplyAccumulateBlock(1.0, p, &ap);
+    spmm_overwrite(1.0, p, &ap);
 
     std::fill(scalars.begin(), scalars.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const size_t i = order != nullptr ? order[j] : j;
       const double* pi = p.row(i);
       const double* api = ap.row(i);
       for (const uint32_t c : active) scalars[c] += pi[c] * api[c];
@@ -319,8 +362,14 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
     }
     // scalars now holds p^T A p; turn it into alpha = rz / pap per column.
     for (const uint32_t c : active) scalars[c] = rz[c] / scalars[c];
+    // X/R update fused with the ||r|| reduction in one sweep. The updates
+    // are elementwise, so visiting rows in reduction order (`order[j]`)
+    // instead of layout order changes nothing; the reduction itself still
+    // accumulates each column in the exact ascending-original-id sequence
+    // Norm2 uses, so convergence decisions stay bit-identical.
     std::fill(accum.begin(), accum.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const size_t i = order != nullptr ? order[j] : j;
       double* xi = x->mutable_row(i);
       double* ri = r.mutable_row(i);
       const double* pi = p.row(i);
@@ -328,13 +377,10 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
       for (const uint32_t c : active) {
         const double alpha = scalars[c];
         xi[c] += alpha * pi[c];
-        ri[c] -= alpha * api[c];
+        const double rv = ri[c] - alpha * api[c];
+        ri[c] = rv;
+        accum[c] += rv * rv;
       }
-    }
-    // ||r|| per column, in a second ascending-i sweep exactly like Norm2.
-    for (size_t i = 0; i < n; ++i) {
-      const double* ri = r.row(i);
-      for (const uint32_t c : active) accum[c] += ri[c] * ri[c];
     }
     size_t w = 0;
     for (const uint32_t c : active) {
@@ -347,15 +393,39 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
         active[w++] = c;
       }
     }
-    active.resize(w);
+    active.resize(w);  // shrink only, never reallocates  // cad-lint: allow(hot-alloc)
     if (active.empty()) break;
 
-    precond.Apply(r, &z);
     std::fill(scalars.begin(), scalars.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const double* ri = r.row(i);
-      const double* zi = z.row(i);
-      for (const uint32_t c : active) scalars[c] += ri[c] * zi[c];
+    if (precond.kind == CgPreconditioner::kIncompleteCholesky) {
+      // IC(0) apply is a triangular solve with its own row ordering; keep
+      // the generic two-pass form.
+      precond.Apply(r, &z);
+      for (size_t j = 0; j < n; ++j) {
+        const size_t i = order != nullptr ? order[j] : j;
+        const double* ri = r.row(i);
+        const double* zi = z.row(i);
+        for (const uint32_t c : active) scalars[c] += ri[c] * zi[c];
+      }
+    } else {
+      // Jacobi/identity applies are elementwise, so the apply fuses with
+      // the r^T z reduction: z rows are written with the exact expressions
+      // BlockPreconditioner::Apply uses (z = r, or z = inv_diag * r), and
+      // the reduction still sweeps columns in ascending-original-id order.
+      // Only active columns of z are refreshed; frozen columns are never
+      // read again.
+      const bool jacobi = precond.kind == CgPreconditioner::kJacobi;
+      for (size_t j = 0; j < n; ++j) {
+        const size_t i = order != nullptr ? order[j] : j;
+        const double d = jacobi ? precond.inv_diag[i] : 1.0;
+        const double* ri = r.row(i);
+        double* zi = z.mutable_row(i);
+        for (const uint32_t c : active) {
+          const double zv = d * ri[c];
+          zi[c] = zv;
+          scalars[c] += ri[c] * zv;
+        }
+      }
     }
     for (const uint32_t c : active) {
       const double rz_next = scalars[c];
@@ -369,6 +439,7 @@ Result<std::vector<CgSummary>> LockstepSolve(const CsrMatrix& a,
       for (const uint32_t c : active) pi[c] = zi[c] + scalars[c] * pi[c];
     }
   }
+  // cad-lint: hot-path end
   // Iteration cap reached: same convergence call as the serial tail.
   for (const uint32_t c : active) {
     summaries[c].converged =
@@ -521,17 +592,20 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveMany(
     // Pack the right-hand sides into a node-major block, solve in lockstep,
     // and unpack. The kernel is bit-identical per system, so callers cannot
     // observe the dispatch beyond speed (and the pcg.block_solves counter).
-    DenseMatrix b(n, k);
+    PooledDense b(context.workspace, n, k);
     for (size_t c = 0; c < k; ++c) {
-      for (size_t i = 0; i < n; ++i) b(i, c) = rhs[c][i];
+      for (size_t i = 0; i < n; ++i) b.get()(i, c) = rhs[c][i];
     }
     DenseMatrix x;
     std::vector<CgSummary> summaries;
-    CAD_ASSIGN_OR_RETURN(summaries, SolveBlock(a, b, &x, context));
+    CAD_ASSIGN_OR_RETURN(summaries, SolveBlock(a, b.get(), &x, context));
     solutions->assign(k, std::vector<double>());
     for (size_t c = 0; c < k; ++c) {
       (*solutions)[c].resize(n);
       for (size_t i = 0; i < n; ++i) (*solutions)[c][i] = x(i, c);
+    }
+    if (context.workspace != nullptr) {
+      context.workspace->Release(std::move(x));
     }
     return summaries;
   }
@@ -599,7 +673,34 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveBlock(
     return Status::InvalidArgument("CG: rhs block row count mismatch");
   }
   CAD_RETURN_NOT_OK(ValidateContext(context, b.rows(), b.cols()));
+  if (context.reduction_order != nullptr &&
+      context.reduction_order->size() != a.rows()) {
+    return Status::InvalidArgument(
+        "CG: reduction_order size " +
+        std::to_string(context.reduction_order->size()) +
+        " does not match system size " + std::to_string(a.rows()));
+  }
+  if (!a.sorted_rows() &&
+      options_.preconditioner == CgPreconditioner::kIncompleteCholesky) {
+    // IC(0) elimination depends on the stored entry order, so a factor of
+    // the relabeled matrix would not reproduce the unrelabeled
+    // preconditioner. Order-free preconditioners (none/Jacobi) only.
+    return Status::InvalidArgument(
+        "CG: kIncompleteCholesky is incompatible with unsorted-row "
+        "(relabeled) matrices; use kJacobi or kNone");
+  }
   CAD_DCHECK_OK(a.CheckValid(CsrValidateOptions{.require_symmetric = true}));
+
+  // The cache-blocking plan re-bands sorted rows only; a relabeled matrix's
+  // stored order *is* its bit-identity contract, so it runs untiled.
+  std::optional<CsrTilePlan> tile_plan;
+  if (options_.tiled_spmm && a.sorted_rows() && a.rows() > 0) {
+    CAD_TRACE_SPAN("pcg_tile_plan");
+    const Timer plan_timer;
+    tile_plan.emplace(CsrTilePlan::Build(a, b.cols()));
+    CAD_METRIC_TIME_NS("pcg.tile_plan_build", plan_timer.ElapsedNanos());
+    CAD_METRIC_INC("pcg.tiled_solves");
+  }
 
   BlockPreconditioner precond;
   {
@@ -613,7 +714,10 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveBlock(
 
   const size_t n = a.rows();
   const size_t k = b.cols();
-  *x = DenseMatrix(n, k);
+  // Acquired, not scoped: the solution block is returned to the caller,
+  // who releases it back into the workspace once unpacked.
+  *x = context.workspace != nullptr ? context.workspace->Acquire(n, k)
+                                    : DenseMatrix(n, k);
   std::vector<CgSummary> summaries(k);
   // Column chunking: each chunk runs the lockstep kernel over a contiguous
   // column range. Chunking only regroups which columns share a sweep; it
@@ -627,18 +731,28 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveBlock(
     CAD_TRACE_SPAN("pcg_block_chunk");
     const size_t begin = chunk * k / num_chunks;
     const size_t end = (chunk + 1) * k / num_chunks;
-    DenseMatrix chunk_b = CopyColumns(b, begin, end);
-    DenseMatrix chunk_x0;
+    PooledDense chunk_b(context.workspace, n, end - begin);
+    CopyColumnsInto(b, begin, end, &chunk_b.get());
+    PooledDense chunk_x0(context.workspace,
+                         context.initial_guess != nullptr ? n : 0,
+                         context.initial_guess != nullptr ? end - begin : 0);
     const DenseMatrix* x0 = nullptr;
     if (context.initial_guess != nullptr) {
-      chunk_x0 = CopyColumns(*context.initial_guess, begin, end);
-      x0 = &chunk_x0;
+      CopyColumnsInto(*context.initial_guess, begin, end, &chunk_x0.get());
+      x0 = &chunk_x0.get();
     }
     DenseMatrix chunk_x;
-    Result<std::vector<CgSummary>> chunk_summaries =
-        LockstepSolve(a, chunk_b, precond, options_, x0, &chunk_x);
+    Result<std::vector<CgSummary>> chunk_summaries = LockstepSolve(
+        a, chunk_b.get(), precond, options_, x0, &chunk_x,
+        tile_plan.has_value() ? &*tile_plan : nullptr,
+        context.reduction_order != nullptr ? context.reduction_order->data()
+                                           : nullptr,
+        context.workspace);
     if (!chunk_summaries.ok()) {
       statuses[chunk] = chunk_summaries.status();
+      if (context.workspace != nullptr && chunk_x.rows() > 0) {
+        context.workspace->Release(std::move(chunk_x));
+      }
       return;
     }
     for (size_t i = 0; i < n; ++i) {
@@ -647,6 +761,9 @@ Result<std::vector<CgSummary>> ConjugateGradientSolver::SolveBlock(
     }
     for (size_t c = begin; c < end; ++c) {
       summaries[c] = (*chunk_summaries)[c - begin];
+    }
+    if (context.workspace != nullptr) {
+      context.workspace->Release(std::move(chunk_x));
     }
   });
   for (const Status& status : statuses) {

@@ -7,6 +7,7 @@
 #include "linalg/dense_matrix.h"
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/sparse_matrix.h"
+#include "linalg/workspace.h"
 
 namespace cad {
 
@@ -39,6 +40,14 @@ struct CgOptions {
   /// SpMV-at-a-time solves. Solutions and iteration counts are bit-identical
   /// to the per-RHS path; only the memory-access pattern changes.
   bool use_block_solver = false;
+  /// Run SolveBlock's SpMM sweeps through a precomputed cache-blocking plan
+  /// (CsrTilePlan): row-block accumulator tiles plus column bands that keep
+  /// the gather working set cache-resident. The plan visits each row's
+  /// nonzeros in their sorted storage order, so results stay bit-identical;
+  /// the plan build (O(nnz), once per SolveBlock) is amortized over the CG
+  /// iterations. Ignored for unsorted-row (relabeled) matrices, whose
+  /// stored order must not be re-banded.
+  bool tiled_spmm = false;
 };
 
 /// \brief Optional cross-call state for a solve: an initial-guess block and
@@ -53,6 +62,20 @@ struct CgSolveContext {
   /// options.preconditioner == kIncompleteCholesky; see
   /// commute/solver_cache.h for the staleness policy that feeds it.
   const IncompleteCholesky* cached_factor = nullptr;
+  /// Row visitation order for SolveBlock's cross-row reductions (norms and
+  /// dot products): when set (size n, a permutation), reduction j reads row
+  /// (*reduction_order)[j] instead of row j. The degree-relabeled solve
+  /// passes its original-id -> solver-row map here so every reduction
+  /// accumulates in *original node order*, replaying the unrelabeled FP
+  /// sequence exactly — this is what makes relabeling bit-invisible.
+  /// Elementwise sweeps (axpy, Jacobi) are row-independent and ignore it.
+  /// Only honored by SolveBlock; leave unset for identity layouts.
+  const std::vector<uint32_t>* reduction_order = nullptr;
+  /// Buffer pool for the solve's dense temporaries (residual/direction/
+  /// product blocks and per-chunk staging). nullptr allocates per call.
+  /// Pooled buffers are re-zeroed on acquire, so results are bitwise
+  /// independent of whether a pool is supplied.
+  DenseWorkspace* workspace = nullptr;
 };
 
 /// \brief Outcome of a CG solve.

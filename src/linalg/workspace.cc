@@ -1,0 +1,71 @@
+#include "linalg/workspace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace cad {
+
+DenseMatrix DenseWorkspace::Acquire(size_t rows, size_t cols) {
+  const size_t need = rows * cols;
+  std::vector<double> buffer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    // Retired buffers are kept sorted by capacity (Release inserts in
+    // order); best fit is the first one that's big enough.
+    const auto it = std::lower_bound(
+        retired_.begin(), retired_.end(), need,
+        [](const std::vector<double>& held, size_t capacity) {
+          return held.capacity() < capacity;
+        });
+    if (it != retired_.end()) {
+      buffer = std::move(*it);
+      retired_.erase(it);
+      ++pool_hits_;
+      CAD_METRIC_INC("workspace.pool_hits");
+    }
+    CAD_METRIC_INC("workspace.acquires");
+  }
+  buffer.assign(need, 0.0);
+  return DenseMatrix(rows, cols, std::move(buffer));
+}
+
+void DenseWorkspace::Release(DenseMatrix&& matrix) {
+  std::vector<double> buffer = std::move(matrix.mutable_data());
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto at = std::upper_bound(
+      retired_.begin(), retired_.end(), buffer.capacity(),
+      [](size_t capacity, const std::vector<double>& held) {
+        return capacity < held.capacity();
+      });
+  retired_.insert(at, std::move(buffer));
+}
+
+void DenseWorkspace::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_.clear();
+}
+
+size_t DenseWorkspace::acquires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return acquires_;
+}
+
+size_t DenseWorkspace::pool_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_hits_;
+}
+
+size_t DenseWorkspace::retired_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const std::vector<double>& buffer : retired_) {
+    total += buffer.capacity();
+  }
+  return total;
+}
+
+}  // namespace cad

@@ -1,0 +1,85 @@
+#ifndef CAD_LINALG_WORKSPACE_H_
+#define CAD_LINALG_WORKSPACE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief A pool of reusable dense-matrix backing buffers.
+///
+/// The per-snapshot hot path allocates the same handful of n x k blocks
+/// (JL right-hand sides, CG residual/direction/product temporaries,
+/// solution staging) every window, churning hundreds of megabytes through
+/// the allocator at the million-node scale. The workspace retires those
+/// buffers instead and re-issues them on the next Acquire.
+///
+/// Acquire returns a zero-filled matrix — byte-for-byte the state a fresh
+/// `DenseMatrix(rows, cols)` starts in — so a pooled computation produces
+/// bitwise-identical results to the malloc path; only where the bytes live
+/// changes. Release accepts any matrix (shape-independent: the flat buffer
+/// is what's recycled).
+///
+/// Thread-safe: Acquire/Release take an internal mutex. Calls happen at
+/// solve boundaries (a handful per window), never inside iteration loops,
+/// so contention is nil.
+class DenseWorkspace {
+ public:
+  DenseWorkspace() = default;
+  DenseWorkspace(const DenseWorkspace&) = delete;
+  DenseWorkspace& operator=(const DenseWorkspace&) = delete;
+
+  /// A zero-filled rows x cols matrix, backed by a retired buffer when one
+  /// of sufficient capacity exists (largest-first), freshly allocated
+  /// otherwise.
+  DenseMatrix Acquire(size_t rows, size_t cols);
+
+  /// Retires a matrix's buffer into the pool. The matrix is consumed.
+  void Release(DenseMatrix&& matrix);
+
+  /// Drops all retired buffers (e.g. after a node-count change makes the
+  /// old capacity class useless).
+  void Clear();
+
+  /// Lifetime counters, for tests and the obs layer.
+  size_t acquires() const;
+  size_t pool_hits() const;
+  /// Total doubles currently held by retired buffers.
+  size_t retired_capacity() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> retired_;
+  size_t acquires_ = 0;
+  size_t pool_hits_ = 0;
+};
+
+/// \brief RAII handle: acquires from a workspace when one is given, falls
+/// back to a plain allocation otherwise, and releases on destruction. Keeps
+/// call sites free of nullptr plumbing.
+class PooledDense {
+ public:
+  PooledDense(DenseWorkspace* workspace, size_t rows, size_t cols)
+      : workspace_(workspace),
+        matrix_(workspace != nullptr ? workspace->Acquire(rows, cols)
+                                     : DenseMatrix(rows, cols)) {}
+  ~PooledDense() {
+    if (workspace_ != nullptr) workspace_->Release(std::move(matrix_));
+  }
+  PooledDense(const PooledDense&) = delete;
+  PooledDense& operator=(const PooledDense&) = delete;
+
+  DenseMatrix& get() { return matrix_; }
+  const DenseMatrix& get() const { return matrix_; }
+
+ private:
+  DenseWorkspace* workspace_;
+  DenseMatrix matrix_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_WORKSPACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -69,6 +70,55 @@ class AllowSet {
 
  private:
   std::map<size_t, std::set<std::string>> by_line_;
+};
+
+/// Line ranges bracketed by hot-path marker comments: the "cad-lint:"
+/// prefix followed by "hot-path begin" / "hot-path end" (spelled out
+/// piecewise here so this very comment doesn't open a region). Code inside
+/// a range is a declared allocation-free zone (iteration loops the perf
+/// work keeps clean); the hot-alloc rule flags growth calls there. An
+/// unmatched begin extends to the end of the file — better to over-report
+/// than to silently drop the zone.
+class HotPathRanges {
+ public:
+  static HotPathRanges FromTokens(const std::vector<Token>& tokens) {
+    HotPathRanges ranges;
+    size_t open_line = 0;
+    bool open = false;
+    for (const Token& token : tokens) {
+      if (token.kind != TokenKind::kLineComment &&
+          token.kind != TokenKind::kBlockComment) {
+        continue;
+      }
+      if (token.text.find("cad-lint: hot-path begin") != std::string::npos) {
+        if (!open) {
+          open = true;
+          open_line = token.line;
+        }
+      } else if (token.text.find("cad-lint: hot-path end") !=
+                 std::string::npos) {
+        if (open) {
+          ranges.ranges_.emplace_back(open_line, token.end_line);
+          open = false;
+        }
+      }
+    }
+    if (open) {
+      ranges.ranges_.emplace_back(open_line,
+                                  std::numeric_limits<size_t>::max());
+    }
+    return ranges;
+  }
+
+  bool Contains(size_t line) const {
+    for (const auto& [begin, end] : ranges_) {
+      if (line >= begin && line <= end) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<size_t, size_t>> ranges_;
 };
 
 /// One parsed preprocessor directive: `# keyword args...` with comments
@@ -148,6 +198,7 @@ class Linter {
       : rel_path_(rel_path),
         tokens_(tokens),
         allows_(AllowSet::FromTokens(tokens)),
+        hot_paths_(HotPathRanges::FromTokens(tokens)),
         scope_(ScopeFor(rel_path)) {
     code_.reserve(tokens.size());
     size_t last_line = 0;
@@ -444,6 +495,18 @@ class Linter {
                "src/obs/; use cad::Timer (Timer::NowNanos for raw "
                "timestamps)");
       }
+      if (hot_paths_.Contains(tok.line) &&
+          (text == "resize" || text == "push_back" ||
+           text == "emplace_back" || text == "reserve") &&
+          (CodeText(k - 1) == "." || CodeText(k - 1) == "->") &&
+          CodeText(k + 1) == "(") {
+        Report(tok.line, "hot-alloc",
+               "." + text +
+                   "() inside a 'cad-lint: hot-path' region can grow a "
+                   "buffer mid-loop; preallocate outside the region, or "
+                   "annotate a provably non-growing call with "
+                   "'cad-lint: allow(hot-alloc)'");
+      }
       if ((text == "lock" || text == "unlock") &&
           (CodeText(k - 1) == "." || CodeText(k - 1) == "->") &&
           CodeText(k + 1) == "(" && CodeText(k + 2) == ")") {
@@ -459,6 +522,7 @@ class Linter {
   std::string_view rel_path_;
   const std::vector<Token>& tokens_;
   AllowSet allows_;
+  HotPathRanges hot_paths_;
   FileScope scope_;
   /// Indices into tokens_ of non-comment tokens, in order.
   std::vector<size_t> code_;
@@ -493,6 +557,11 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "and seeded cad::Rng"},
       {"duplicate-include", "every scanned file",
        "the same header is #included twice in one file"},
+      {"hot-alloc",
+       "regions between 'cad-lint: hot-path begin' and 'cad-lint: hot-path "
+       "end' comments",
+       ".resize()/.push_back()/.emplace_back()/.reserve() calls inside a "
+       "declared allocation-free hot-path region"},
       {"include-cycle", "every scanned file (cross-file pass)",
        "the quoted-include graph contains a cycle"},
       {"include-guard", "headers",

@@ -422,6 +422,72 @@ TEST(LockDisciplineRuleTest, AllowAnnotationSuppresses) {
                   .empty());
 }
 
+// --- hot-alloc -------------------------------------------------------------
+
+TEST(HotAllocRuleTest, FlagsGrowthCallsInsideMarkedRegion) {
+  const std::string content =
+      "void F(std::vector<int>& v) {\n"
+      "  // cad-lint: hot-path begin\n"
+      "  v.resize(10);\n"
+      "  v.push_back(1);\n"
+      "  v.emplace_back(2);\n"
+      "  ptr->reserve(3);\n"
+      "  // cad-lint: hot-path end\n"
+      "}\n";
+  EXPECT_EQ(RuleNames(LintContent("src/linalg/foo.cc", content)),
+            (std::vector<std::string>{"hot-alloc", "hot-alloc", "hot-alloc",
+                                      "hot-alloc"}));
+}
+
+TEST(HotAllocRuleTest, IgnoresGrowthOutsideRegionsAndNonMemberSpellings) {
+  const std::string content =
+      "void F(std::vector<int>& v) {\n"
+      "  v.resize(10);  // before the region: preallocation is the point\n"
+      "  // cad-lint: hot-path begin\n"
+      "  resize(10);    // free function, not a member growth call\n"
+      "  v.size();\n"
+      "  // cad-lint: hot-path end\n"
+      "  v.push_back(1);  // after the region\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/linalg/foo.cc", content).empty());
+}
+
+TEST(HotAllocRuleTest, AllowAnnotationSuppresses) {
+  const std::string content =
+      "void F(std::vector<int>& v) {\n"
+      "  // cad-lint: hot-path begin\n"
+      "  v.resize(w);  // shrink only  // cad-lint: allow(hot-alloc)\n"
+      "  // cad-lint: hot-path end\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/linalg/foo.cc", content).empty());
+}
+
+TEST(HotAllocRuleTest, UnmatchedBeginExtendsToEndOfFile) {
+  const std::string content =
+      "void F(std::vector<int>& v) {\n"
+      "  // cad-lint: hot-path begin\n"
+      "  v.push_back(1);\n"
+      "}\n";
+  EXPECT_EQ(RuleNames(LintContent("src/linalg/foo.cc", content)),
+            std::vector<std::string>{"hot-alloc"});
+}
+
+TEST(HotAllocRuleTest, AppliesInEveryDirectory) {
+  const std::string content =
+      "void F(std::vector<int>& v) {\n"
+      "  // cad-lint: hot-path begin\n"
+      "  v.push_back(1);\n"
+      "  // cad-lint: hot-path end\n"
+      "}\n";
+  for (const char* path :
+       {"src/core/foo.cc", "tools/tool_foo.cc", "bench/bench_foo.cc",
+        "tests/test_foo.cc"}) {
+    EXPECT_EQ(RuleNames(LintContent(path, content)),
+              std::vector<std::string>{"hot-alloc"})
+        << path;
+  }
+}
+
 // --- static-mutable-header -------------------------------------------------
 
 TEST(StaticMutableHeaderRuleTest, FlagsNamespaceScopeMutableStatics) {
@@ -473,6 +539,7 @@ TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
   }
   for (const char* id :
        {"banned-call", "duplicate-include", "include-cycle", "include-guard",
+        "hot-alloc",
         "layering", "lock-discipline", "nodiscard-status", "nondeterminism",
         "raw-clock", "self-include", "static-mutable-header",
         "using-namespace-header"}) {

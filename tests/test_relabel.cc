@@ -1,0 +1,170 @@
+#include "graph/relabel.h"
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "commute/approx_commute.h"
+#include "datagen/rmat.h"
+#include "graph/graph.h"
+#include "linalg/sparse_matrix.h"
+
+namespace cad {
+namespace {
+
+WeightedGraph StarPlusPath() {
+  // Node 0 is the hub (degree 5); 1..5 hang off it and 4-5-6 form a path.
+  WeightedGraph g(7);
+  for (NodeId v = 1; v <= 5; ++v) CAD_CHECK_OK(g.SetEdge(0, v, 1.0 + v));
+  CAD_CHECK_OK(g.SetEdge(4, 5, 0.5));
+  CAD_CHECK_OK(g.SetEdge(5, 6, 0.25));
+  return g;
+}
+
+WeightedGraph PowerLawGraph() {
+  RmatOptions options;
+  options.num_nodes = 400;
+  options.num_edges = 1600;
+  options.seed = 7;
+  Result<WeightedGraph> graph = MakeRmatGraph(options);
+  CAD_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(graph).ValueOrDie();
+}
+
+TEST(RelabelTest, PermutationIsAValidInverse) {
+  const Relabeling relabeling = DegreeOrderRelabeling(PowerLawGraph());
+  ASSERT_EQ(relabeling.new_id.size(), relabeling.old_id.size());
+  for (size_t i = 0; i < relabeling.size(); ++i) {
+    EXPECT_EQ(relabeling.old_id[relabeling.new_id[i]], i);
+  }
+}
+
+TEST(RelabelTest, OrdersByDescendingDegreeWithIdTiebreak) {
+  const WeightedGraph graph = StarPlusPath();
+  const Relabeling relabeling = DegreeOrderRelabeling(graph);
+  const std::vector<size_t> degrees = graph.Degrees();
+  for (size_t p = 0; p + 1 < relabeling.old_id.size(); ++p) {
+    const size_t da = degrees[relabeling.old_id[p]];
+    const size_t db = degrees[relabeling.old_id[p + 1]];
+    EXPECT_TRUE(da > db ||
+                (da == db && relabeling.old_id[p] < relabeling.old_id[p + 1]))
+        << "position " << p;
+  }
+  // The hub must land first.
+  EXPECT_EQ(relabeling.old_id[0], 0u);
+  EXPECT_EQ(relabeling.new_id[0], 0u);
+}
+
+TEST(RelabelTest, PermuteCsrRowsMatchesDensePermutation) {
+  const WeightedGraph graph = StarPlusPath();
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-6);
+  const Relabeling relabeling = DegreeOrderRelabeling(graph);
+  const CsrMatrix permuted = PermuteCsrRows(laplacian, relabeling);
+  ASSERT_TRUE(permuted.CheckValid().ok());
+  const DenseMatrix original = laplacian.ToDense();
+  const DenseMatrix dense = permuted.ToDense();
+  for (size_t i = 0; i < graph.num_nodes(); ++i) {
+    for (size_t j = 0; j < graph.num_nodes(); ++j) {
+      EXPECT_EQ(dense(relabeling.new_id[i], relabeling.new_id[j]),
+                original(i, j));
+    }
+  }
+}
+
+TEST(RelabelTest, PermutedRowsKeepStoredOrder) {
+  // The permuted matrix advertises unsorted rows (stored order preserved),
+  // and a row-sweep product over it must be bitwise the original sweep of
+  // the corresponding original row: same entries, same sequence.
+  const WeightedGraph graph = PowerLawGraph();
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(1e-6);
+  const Relabeling relabeling = DegreeOrderRelabeling(graph);
+  const CsrMatrix permuted = PermuteCsrRows(laplacian, relabeling);
+  EXPECT_FALSE(permuted.sorted_rows());
+
+  const size_t n = graph.num_nodes();
+  const size_t k = 3;
+  DenseMatrix x(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      x(i, c) = std::sin(static_cast<double>(i * k + c + 1));
+    }
+  }
+  DenseMatrix x_perm(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < k; ++c) x_perm(relabeling.new_id[i], c) = x(i, c);
+  }
+  DenseMatrix y(n, k);
+  DenseMatrix y_perm(n, k);
+  laplacian.MultiplyAccumulateBlock(1.0, x, &y);
+  permuted.MultiplyAccumulateBlock(1.0, x_perm, &y_perm);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      const double a = y(i, c);
+      const double b = y_perm(relabeling.new_id[i], c);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(RelabelTest, RelabeledEmbeddingIsBitIdentical) {
+  const WeightedGraph graph = PowerLawGraph();
+  ApproxCommuteOptions options;
+  options.embedding_dim = 6;
+  options.cg.tolerance = 1e-10;
+
+  Result<ApproxCommuteEmbedding> plain =
+      ApproxCommuteEmbedding::Build(graph, options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  options.relabel = true;
+  Result<ApproxCommuteEmbedding> relabeled =
+      ApproxCommuteEmbedding::Build(graph, options);
+  ASSERT_TRUE(relabeled.ok()) << relabeled.status().ToString();
+
+  const DenseMatrix& a = plain->embedding();
+  const DenseMatrix& b = relabeled->embedding();
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(double)),
+            0);
+  EXPECT_EQ(plain->total_cg_iterations(), relabeled->total_cg_iterations());
+}
+
+TEST(RelabelTest, RelabeledBlockSolverIsBitIdenticalToo) {
+  const WeightedGraph graph = PowerLawGraph();
+  ApproxCommuteOptions options;
+  options.embedding_dim = 6;
+  options.cg.use_block_solver = true;
+
+  Result<ApproxCommuteEmbedding> plain =
+      ApproxCommuteEmbedding::Build(graph, options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  options.relabel = true;
+  Result<ApproxCommuteEmbedding> relabeled =
+      ApproxCommuteEmbedding::Build(graph, options);
+  ASSERT_TRUE(relabeled.ok()) << relabeled.status().ToString();
+
+  const DenseMatrix& a = plain->embedding();
+  const DenseMatrix& b = relabeled->embedding();
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(double)),
+            0);
+}
+
+TEST(RelabelTest, RelabelRejectsIncompleteCholesky) {
+  ApproxCommuteOptions options;
+  options.embedding_dim = 4;
+  options.relabel = true;
+  options.cg.preconditioner = CgPreconditioner::kIncompleteCholesky;
+  Result<ApproxCommuteEmbedding> build =
+      ApproxCommuteEmbedding::Build(StarPlusPath(), options);
+  EXPECT_FALSE(build.ok());
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,172 @@
+#include "datagen/rmat.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+
+namespace cad {
+namespace {
+
+RmatOptions SmallOptions() {
+  RmatOptions options;
+  options.num_nodes = 300;
+  options.num_edges = 1200;
+  options.seed = 42;
+  return options;
+}
+
+bool SameEdges(const std::vector<Edge>& a, const std::vector<Edge>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].u != b[i].u || a[i].v != b[i].v) return false;
+    // Byte comparison: determinism means identical doubles, not close ones.
+    if (std::memcmp(&a[i].weight, &b[i].weight, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(RmatTest, EdgeSamplesAreCanonicalAndInRange) {
+  const std::vector<Edge> samples = RmatEdgeSamples(SmallOptions(), 500);
+  ASSERT_EQ(samples.size(), 500u);
+  for (const Edge& e : samples) {
+    EXPECT_LT(e.u, e.v);  // canonical, and no self-loops
+    EXPECT_LT(e.v, 300u);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(RmatTest, SameSeedGivesByteIdenticalSampleStream) {
+  const std::vector<Edge> first = RmatEdgeSamples(SmallOptions(), 2000);
+  const std::vector<Edge> second = RmatEdgeSamples(SmallOptions(), 2000);
+  EXPECT_TRUE(SameEdges(first, second));
+}
+
+TEST(RmatTest, DifferentSeedsGiveDifferentStreams) {
+  RmatOptions other = SmallOptions();
+  other.seed = 43;
+  const std::vector<Edge> first = RmatEdgeSamples(SmallOptions(), 2000);
+  const std::vector<Edge> second = RmatEdgeSamples(other, 2000);
+  EXPECT_FALSE(SameEdges(first, second));
+}
+
+TEST(RmatTest, GraphHasExactDistinctEdgeCount) {
+  Result<WeightedGraph> graph = MakeRmatGraph(SmallOptions());
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 300u);
+  EXPECT_EQ(graph->num_edges(), 1200u);
+}
+
+TEST(RmatTest, GraphBuildIsDeterministic) {
+  Result<WeightedGraph> first = MakeRmatGraph(SmallOptions());
+  Result<WeightedGraph> second = MakeRmatGraph(SmallOptions());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(SameEdges(first->Edges(), second->Edges()));
+}
+
+TEST(RmatTest, PowerLawSkew) {
+  // The Graph500 parameters concentrate mass in the low-id quadrant, so the
+  // top decile of nodes by degree should hold well over a uniform share of
+  // the volume. A coarse structural check, not a distribution fit.
+  RmatOptions options = SmallOptions();
+  options.num_nodes = 2000;
+  options.num_edges = 10000;
+  Result<WeightedGraph> graph = MakeRmatGraph(options);
+  ASSERT_TRUE(graph.ok());
+  std::vector<size_t> degrees = graph->Degrees();
+  std::sort(degrees.begin(), degrees.end(), std::greater<size_t>());
+  size_t top = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    if (i < degrees.size() / 10) top += degrees[i];
+    total += degrees[i];
+  }
+  EXPECT_GT(static_cast<double>(top), 0.3 * static_cast<double>(total));
+}
+
+TEST(RmatTest, RejectsMalformedOptions) {
+  RmatOptions options = SmallOptions();
+  options.a = 0.9;
+  options.b = 0.9;  // a + b + c > 1
+  EXPECT_FALSE(MakeRmatGraph(options).ok());
+
+  options = SmallOptions();
+  options.num_nodes = 1;  // no canonical edge exists
+  EXPECT_FALSE(MakeRmatGraph(options).ok());
+
+  options = SmallOptions();
+  options.num_edges = 300ull * 299ull;  // more than n*(n-1)/2 distinct edges
+  EXPECT_FALSE(MakeRmatGraph(options).ok());
+
+  options = SmallOptions();
+  options.min_weight = 2.0;
+  options.max_weight = 1.0;  // inverted weight range
+  EXPECT_FALSE(MakeRmatGraph(options).ok());
+}
+
+TEST(RmatTest, TemporalSequenceShape) {
+  RmatTemporalOptions options;
+  options.base = SmallOptions();
+  options.num_snapshots = 5;
+  Result<TemporalGraphSequence> sequence = MakeRmatTemporalSequence(options);
+  ASSERT_TRUE(sequence.ok()) << sequence.status().ToString();
+  EXPECT_EQ(sequence->num_snapshots(), 5u);
+  for (size_t t = 0; t < sequence->num_snapshots(); ++t) {
+    EXPECT_EQ(sequence->Snapshot(t).num_nodes(), 300u);
+  }
+}
+
+TEST(RmatTest, TemporalSequenceIsDeterministic) {
+  RmatTemporalOptions options;
+  options.base = SmallOptions();
+  Result<TemporalGraphSequence> first = MakeRmatTemporalSequence(options);
+  Result<TemporalGraphSequence> second = MakeRmatTemporalSequence(options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->num_snapshots(), second->num_snapshots());
+  for (size_t t = 0; t < first->num_snapshots(); ++t) {
+    EXPECT_TRUE(SameEdges(first->Snapshot(t).Edges(),
+                          second->Snapshot(t).Edges()))
+        << "snapshot " << t;
+  }
+}
+
+TEST(RmatTest, AnomalyInjectionReportsGroundTruth) {
+  RmatTemporalOptions options;
+  options.base = SmallOptions();
+  options.num_snapshots = 4;
+  options.anomaly_snapshot = 2;
+  options.anomaly_fraction = 0.05;
+  std::vector<Edge> injected;
+  Result<TemporalGraphSequence> sequence =
+      MakeRmatTemporalSequence(options, &injected);
+  ASSERT_TRUE(sequence.ok()) << sequence.status().ToString();
+  EXPECT_FALSE(injected.empty());
+  for (const Edge& e : injected) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 300u);
+  }
+}
+
+TEST(RmatTest, DisabledAnomalyInjectsNothing) {
+  RmatTemporalOptions options;
+  options.base = SmallOptions();
+  options.num_snapshots = 3;
+  options.anomaly_snapshot = 99;  // >= num_snapshots disables injection
+  std::vector<Edge> injected;
+  Result<TemporalGraphSequence> sequence =
+      MakeRmatTemporalSequence(options, &injected);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_TRUE(injected.empty());
+}
+
+}  // namespace
+}  // namespace cad

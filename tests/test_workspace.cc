@@ -1,0 +1,168 @@
+#include "linalg/workspace.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "commute/approx_commute.h"
+#include "commute/solver_cache.h"
+#include "datagen/rmat.h"
+#include "graph/graph.h"
+
+namespace cad {
+namespace {
+
+TEST(DenseWorkspaceTest, FirstAcquireAllocatesFresh) {
+  DenseWorkspace workspace;
+  DenseMatrix m = workspace.Acquire(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(workspace.acquires(), 1u);
+  EXPECT_EQ(workspace.pool_hits(), 0u);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DenseWorkspaceTest, ReleasedBufferIsReusedAndRezeroed) {
+  DenseWorkspace workspace;
+  DenseMatrix m = workspace.Acquire(5, 5);
+  m(2, 2) = 123.0;  // dirty the buffer before retiring it
+  workspace.Release(std::move(m));
+  EXPECT_EQ(workspace.retired_capacity(), 25u);
+
+  DenseMatrix again = workspace.Acquire(5, 5);
+  EXPECT_EQ(workspace.acquires(), 2u);
+  EXPECT_EQ(workspace.pool_hits(), 1u);
+  EXPECT_EQ(workspace.retired_capacity(), 0u);
+  // Pooled reuse must be indistinguishable from a fresh zero matrix.
+  for (double v : again.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DenseWorkspaceTest, SmallerShapeReusesLargerBuffer) {
+  DenseWorkspace workspace;
+  workspace.Release(workspace.Acquire(10, 10));
+  DenseMatrix small = workspace.Acquire(3, 3);
+  EXPECT_EQ(workspace.pool_hits(), 1u);
+  EXPECT_EQ(small.rows(), 3u);
+  EXPECT_EQ(small.cols(), 3u);
+}
+
+TEST(DenseWorkspaceTest, TooSmallBufferIsNotAHit) {
+  DenseWorkspace workspace;
+  workspace.Release(workspace.Acquire(2, 2));
+  DenseMatrix big = workspace.Acquire(8, 8);
+  EXPECT_EQ(big.rows(), 8u);
+  EXPECT_EQ(workspace.pool_hits(), 0u);
+}
+
+TEST(DenseWorkspaceTest, ClearDropsRetiredBuffers) {
+  DenseWorkspace workspace;
+  workspace.Release(workspace.Acquire(6, 6));
+  EXPECT_GT(workspace.retired_capacity(), 0u);
+  workspace.Clear();
+  EXPECT_EQ(workspace.retired_capacity(), 0u);
+  workspace.Acquire(6, 6);
+  EXPECT_EQ(workspace.pool_hits(), 0u);
+}
+
+TEST(PooledDenseTest, FallsBackToPlainAllocationWithoutWorkspace) {
+  PooledDense pooled(nullptr, 3, 2);
+  EXPECT_EQ(pooled.get().rows(), 3u);
+  EXPECT_EQ(pooled.get().cols(), 2u);
+  for (double v : pooled.get().data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(PooledDenseTest, ReturnsBufferOnDestruction) {
+  DenseWorkspace workspace;
+  {
+    PooledDense pooled(&workspace, 4, 4);
+    pooled.get()(0, 0) = 1.0;
+  }
+  EXPECT_EQ(workspace.retired_capacity(), 16u);
+}
+
+TEST(SolverCacheWorkspaceTest, WorkspaceIsLazyAndStable) {
+  CommuteSolverCache cache;
+  DenseWorkspace* first = cache.workspace();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first, cache.workspace());
+}
+
+/// The arena is a memory-layout concern only: embeddings built through the
+/// pooled path must be byte-for-byte what the malloc path produces.
+TEST(ArenaTest, ArenaEmbeddingsAreBitIdentical) {
+  RmatOptions graph_options;
+  graph_options.num_nodes = 250;
+  graph_options.num_edges = 1000;
+  graph_options.seed = 11;
+  Result<WeightedGraph> graph = MakeRmatGraph(graph_options);
+  ASSERT_TRUE(graph.ok());
+
+  ApproxCommuteOptions options;
+  options.embedding_dim = 5;
+  options.cg.use_block_solver = true;
+
+  Result<ApproxCommuteEmbedding> plain =
+      ApproxCommuteEmbedding::Build(*graph, options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  options.use_arena = true;
+  CommuteSolverCache cache;
+  // Two pooled builds through one cache: the second run draws retired
+  // buffers from the first, which is exactly the cross-snapshot reuse the
+  // detector loop performs.
+  Result<ApproxCommuteEmbedding> pooled_first =
+      ApproxCommuteEmbedding::Build(*graph, options, &cache);
+  ASSERT_TRUE(pooled_first.ok()) << pooled_first.status().ToString();
+  Result<ApproxCommuteEmbedding> pooled_second =
+      ApproxCommuteEmbedding::Build(*graph, options, &cache);
+  ASSERT_TRUE(pooled_second.ok()) << pooled_second.status().ToString();
+  EXPECT_GT(cache.workspace()->pool_hits(), 0u);
+
+  for (const ApproxCommuteEmbedding* pooled :
+       {&*pooled_first, &*pooled_second}) {
+    const DenseMatrix& a = plain->embedding();
+    const DenseMatrix& b = pooled->embedding();
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                          a.data().size() * sizeof(double)),
+              0);
+  }
+}
+
+/// Every optimization flag at once (the bench's "optimized" configuration)
+/// must still match the all-defaults build bit for bit.
+TEST(ArenaTest, FullyOptimizedConfigIsBitIdentical) {
+  RmatOptions graph_options;
+  graph_options.num_nodes = 250;
+  graph_options.num_edges = 1000;
+  graph_options.seed = 12;
+  Result<WeightedGraph> graph = MakeRmatGraph(graph_options);
+  ASSERT_TRUE(graph.ok());
+
+  ApproxCommuteOptions defaults;
+  defaults.embedding_dim = 5;
+  Result<ApproxCommuteEmbedding> reference =
+      ApproxCommuteEmbedding::Build(*graph, defaults);
+  ASSERT_TRUE(reference.ok());
+
+  ApproxCommuteOptions optimized = defaults;
+  optimized.cg.use_block_solver = true;
+  optimized.cg.tiled_spmm = true;
+  optimized.relabel = true;
+  optimized.use_arena = true;
+  CommuteSolverCache cache;
+  Result<ApproxCommuteEmbedding> tuned =
+      ApproxCommuteEmbedding::Build(*graph, optimized, &cache);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
+
+  const DenseMatrix& a = reference->embedding();
+  const DenseMatrix& b = tuned->embedding();
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(double)),
+            0);
+}
+
+}  // namespace
+}  // namespace cad

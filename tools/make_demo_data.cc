@@ -6,6 +6,10 @@
 //   events.txt     org.tel re-expressed as timestamped events (cad_stream)
 //   events_named.txt  the same events keyed by employee name instead of id
 //                     (exercises the named-node ingestion path)
+//   rmat_events.txt   a raw R-MAT edge-sample stream with power-law
+//                     structure (duplicates kept; ingestion accumulates
+//                     weight), spread over --rmat_snapshots windows — the
+//                     small-scale stand-in for the million-node harness
 //
 //   make_demo_data --output_dir data
 //   cad_cli --input data/toy.tel --method CAD --l 6 --edges_csv -
@@ -15,6 +19,7 @@
 
 #include "common/flags.h"
 #include "datagen/enron_sim.h"
+#include "datagen/rmat.h"
 #include "datagen/toy_example.h"
 #include "io/temporal_io.h"
 
@@ -57,16 +62,44 @@ Status WriteEventFile(const TemporalGraphSequence& sequence,
   return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
 }
 
+// Emits `samples` raw R-MAT draws split evenly across `snapshots` windows,
+// each draw stamped mid-window (t + 0.5) like WriteEventFile. Duplicate
+// draws are intentional: the event reader folds them by accumulating
+// weight, which is exactly the raw-stream shape RmatEdgeSamples documents.
+Status WriteRmatEventFile(const RmatOptions& options, size_t samples,
+                          size_t snapshots, const std::string& path) {
+  const std::vector<Edge> draws = RmatEdgeSamples(options, samples);
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out << "# timestamped events: <u> <v> <timestamp> <weight>\n";
+  out.precision(17);
+  const size_t per_snapshot = (draws.size() + snapshots - 1) / snapshots;
+  for (size_t i = 0; i < draws.size(); ++i) {
+    const double timestamp = static_cast<double>(i / per_snapshot) + 0.5;
+    out << draws[i].u << " " << draws[i].v << " " << timestamp << " "
+        << draws[i].weight << "\n";
+  }
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   std::string output_dir = "data";
   int64_t employees = 151;
   int64_t months = 48;
   int64_t seed = 7;
+  int64_t rmat_nodes = 200;
+  int64_t rmat_samples = 4000;
+  int64_t rmat_snapshots = 6;
   flags.AddString("output_dir", &output_dir, "directory to write into");
   flags.AddInt64("employees", &employees, "organization size for org.tel");
   flags.AddInt64("months", &months, "months for org.tel");
   flags.AddInt64("seed", &seed, "simulator seed");
+  flags.AddInt64("rmat_nodes", &rmat_nodes, "node count for rmat_events.txt");
+  flags.AddInt64("rmat_samples", &rmat_samples,
+                 "raw R-MAT draws in rmat_events.txt (duplicates kept)");
+  flags.AddInt64("rmat_snapshots", &rmat_snapshots,
+                 "windows the R-MAT draws are spread over");
   CAD_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) return 0;
 
@@ -95,6 +128,17 @@ int Run(int argc, char** argv) {
     std::cout << "  transition " << event.onset_transition << ": "
               << event.description << "\n";
   }
+
+  RmatOptions rmat;
+  rmat.num_nodes = static_cast<size_t>(rmat_nodes);
+  rmat.num_edges = static_cast<size_t>(rmat_samples);  // validation bound only
+  rmat.seed = static_cast<uint64_t>(seed);
+  CAD_CHECK_OK(WriteRmatEventFile(rmat, static_cast<size_t>(rmat_samples),
+                                  static_cast<size_t>(rmat_snapshots),
+                                  output_dir + "/rmat_events.txt"));
+  std::cout << "wrote " << output_dir << "/rmat_events.txt (" << rmat_nodes
+            << " nodes, " << rmat_samples << " draws, " << rmat_snapshots
+            << " windows)\n";
   return 0;
 }
 
