@@ -41,6 +41,7 @@
 #include "core/clc_detector.h"
 #include "datagen/random_graphs.h"
 #include "datagen/rmat.h"
+#include "graph/edge_delta.h"
 #include "obs/obs.h"
 #include "report.h"
 
@@ -116,6 +117,95 @@ double TimeSolveStage(const TemporalGraphSequence& sequence,
   return best;
 }
 
+/// Per-size incremental-maintenance cost measurement (DESIGN.md §12): a
+/// low-churn R-MAT stream is pushed through (a) the incremental chain —
+/// full build on window 0, then DiffSnapshots + BuildIncremental per
+/// window, falling back to a full build when the state is inapplicable,
+/// exactly as the detector does — and (b) the warm-start rebuild chain the
+/// incremental path must beat, a full Build per window through its own
+/// cache. Reported per stream: RHS columns re-solved vs total across the
+/// incremental windows, and both chains' wall-clock (best of `reps`).
+struct IncrementalResult {
+  int64_t n = 0;
+  size_t m = 0;
+  size_t windows = 0;
+  double churn_fraction = 0.0;
+  size_t rhs_resolved = 0;
+  size_t rhs_total = 0;
+  size_t fallbacks = 0;
+  double incremental_seconds = 0.0;
+  double rebuild_seconds = 0.0;
+  double resolved_fraction() const {
+    return rhs_total > 0 ? static_cast<double>(rhs_resolved) /
+                               static_cast<double>(rhs_total)
+                         : 0.0;
+  }
+  double speedup() const {
+    return incremental_seconds > 0.0 ? rebuild_seconds / incremental_seconds
+                                     : 0.0;
+  }
+};
+
+IncrementalResult TimeIncrementalStage(const TemporalGraphSequence& sequence,
+                                       ApproxCommuteOptions options,
+                                       int64_t reps) {
+  // Incremental maintenance requires the edge-keyed JL draws and is
+  // incompatible with relabel's solver-space RHS layout.
+  options.warm_start = true;
+  options.relabel = false;
+  const size_t k = options.embedding_dim;
+
+  IncrementalResult result;
+  result.windows = sequence.num_snapshots();
+
+  ApproxCommuteOptions incremental = options;
+  incremental.incremental = true;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    CommuteSolverCache cache;
+    size_t fallbacks = 0;
+    size_t fallback_columns = 0;
+    Timer timer;
+    for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
+      if (t > 0) {
+        const EdgeDelta delta =
+            DiffSnapshots(sequence.Snapshot(t - 1), sequence.Snapshot(t));
+        auto oracle = ApproxCommuteEmbedding::BuildIncremental(
+            sequence.Snapshot(t), delta, incremental, &cache);
+        if (oracle.ok()) continue;
+        ++fallbacks;
+        fallback_columns += k;
+      }
+      auto full = ApproxCommuteEmbedding::Build(sequence.Snapshot(t),
+                                                incremental, &cache);
+      CAD_CHECK(full.ok()) << full.status().ToString();
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    if (rep == 0 || elapsed < result.incremental_seconds) {
+      result.incremental_seconds = elapsed;
+    }
+    // The work is deterministic, so the counters agree across reps.
+    result.rhs_resolved = cache.rhs_resolved() + fallback_columns;
+    result.rhs_total = cache.rhs_resolved() + cache.rhs_reused() +
+                       fallback_columns;
+    result.fallbacks = fallbacks;
+  }
+
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    CommuteSolverCache cache;
+    Timer timer;
+    for (size_t t = 0; t < sequence.num_snapshots(); ++t) {
+      auto oracle = ApproxCommuteEmbedding::Build(sequence.Snapshot(t),
+                                                  options, &cache);
+      CAD_CHECK(oracle.ok()) << oracle.status().ToString();
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    if (rep == 0 || elapsed < result.rebuild_seconds) {
+      result.rebuild_seconds = elapsed;
+    }
+  }
+  return result;
+}
+
 bool BitIdentical(const DenseMatrix& a, const DenseMatrix& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
   return std::memcmp(a.data().data(), b.data().data(),
@@ -139,6 +229,9 @@ int Run(int argc, char** argv) {
   bool compare_baseline = true;
   bool full_detectors = true;
   int64_t solve_reps = 1;
+  int64_t stream_windows = 0;
+  double churn_fraction = 0.001;
+  double incremental_tolerance = 0.15;
   std::string solver_json = "BENCH_solver.json";
   flags.AddString("sizes", &sizes_flag,
                   "comma-separated node counts (e.g. 10000,100000,1000000)");
@@ -174,6 +267,17 @@ int Run(int argc, char** argv) {
   flags.AddInt64("solve_reps", &solve_reps,
                  "repetitions per solve-stage timing; the best run is "
                  "reported (use 3+ on noisy shared machines)");
+  flags.AddInt64("stream_windows", &stream_windows,
+                 "incremental stage: per size, push an R-MAT stream of this "
+                 "many low-churn windows through the incremental chain vs "
+                 "the warm-start rebuild chain and report per-window cost "
+                 "(0 skips the stage)");
+  flags.AddDouble("churn_fraction", &churn_fraction,
+                  "incremental stage: fraction of edges changed per window "
+                  "(0.001 = the 0.1%-churn regime of DESIGN.md §12)");
+  flags.AddDouble("incremental_tolerance", &incremental_tolerance,
+                  "incremental stage: relative-residual bound for reusing a "
+                  "cached embedding column");
   flags.AddString("solver_json", &solver_json,
                   "write the machine-readable summary here (empty to skip)");
   CAD_CHECK_OK(flags.Parse(argc, argv));
@@ -317,6 +421,55 @@ int Run(int argc, char** argv) {
     std::cout << "  (expected ordering per the paper: ADJ < ACT <= CLC < CAD"
               << " ~= COM, all near-linear in n)\n";
   }
+
+  std::vector<IncrementalResult> incremental_results;
+  if (stream_windows > 0) {
+    bench::Banner("Incremental maintenance (DESIGN.md §12): per-window cost");
+    std::cout << "  windows = " << stream_windows
+              << ", churn/window = " << churn_fraction
+              << ", tolerance = " << incremental_tolerance << "\n";
+    bench::Table inc_table({"n", "m", "windows", "rhs resolved", "rhs total",
+                            "fraction", "incr (s)", "rebuild (s)", "speedup"});
+    for (const int64_t n : sizes) {
+      // Dedicated low-churn stream: jitter touches every edge's weight, so
+      // it must be off for the delta to stay sparse; each rewire changes
+      // two edges (one deleted, one inserted), hence the halved fraction.
+      RmatTemporalOptions gen;
+      gen.base.num_nodes = static_cast<size_t>(n);
+      gen.base.num_edges = static_cast<size_t>(n * edge_factor);
+      gen.base.seed = static_cast<uint64_t>(n);
+      gen.num_snapshots = static_cast<size_t>(stream_windows);
+      gen.jitter = 0.0;
+      gen.rewire_fraction = churn_fraction / 2.0;
+      gen.anomaly_snapshot = gen.num_snapshots;  // no burst
+      auto made = MakeRmatTemporalSequence(gen);
+      CAD_CHECK(made.ok()) << made.status().ToString();
+      const TemporalGraphSequence stream = std::move(made).ValueOrDie();
+
+      ApproxCommuteOptions options;
+      options.embedding_dim = static_cast<size_t>(k);
+      options.cg.tolerance = tolerance;
+      options.cg.num_threads = static_cast<size_t>(thread_counts.front());
+      options.cg.use_block_solver = block_solver;
+      options.cg.tiled_spmm = tiled_spmm;
+      options.use_arena = arena;
+      options.incremental_tolerance = incremental_tolerance;
+      IncrementalResult inc = TimeIncrementalStage(stream, options, solve_reps);
+      inc.n = n;
+      inc.m = stream.Snapshot(0).num_edges();
+      inc.churn_fraction = churn_fraction;
+      inc_table.AddRow({std::to_string(inc.n), std::to_string(inc.m),
+                        std::to_string(inc.windows),
+                        std::to_string(inc.rhs_resolved),
+                        std::to_string(inc.rhs_total),
+                        bench::Fixed(inc.resolved_fraction(), 3),
+                        bench::Fixed(inc.incremental_seconds, 3),
+                        bench::Fixed(inc.rebuild_seconds, 3),
+                        bench::Fixed(inc.speedup(), 2) + "x"});
+      incremental_results.push_back(inc);
+    }
+    inc_table.Print();
+  }
   bench::PrintSolverMetrics(obs::SnapshotMetrics());
 
   if (!solver_json.empty()) {
@@ -385,6 +538,37 @@ int Run(int argc, char** argv) {
       json.EndObject();
     }
     json.EndArray();
+    if (!incremental_results.empty()) {
+      json.Key("incremental_rows");
+      json.BeginArray();
+      for (const IncrementalResult& inc : incremental_results) {
+        json.BeginObject();
+        json.Key("n");
+        json.Number(inc.n);
+        json.Key("m");
+        json.Number(inc.m);
+        json.Key("windows");
+        json.Number(inc.windows);
+        json.Key("churn_fraction");
+        json.Number(inc.churn_fraction);
+        json.Key("rhs_resolved");
+        json.Number(inc.rhs_resolved);
+        json.Key("rhs_total");
+        json.Number(inc.rhs_total);
+        json.Key("resolved_fraction");
+        json.Number(inc.resolved_fraction());
+        json.Key("fallbacks");
+        json.Number(inc.fallbacks);
+        json.Key("incremental_seconds");
+        json.Number(inc.incremental_seconds);
+        json.Key("rebuild_seconds");
+        json.Number(inc.rebuild_seconds);
+        json.Key("incremental_speedup");
+        json.Number(inc.speedup());
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
     out << "\n";
     std::cout << "  solver summary written to " << solver_json << "\n";

@@ -50,6 +50,17 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
         "preconditioner (its elimination order would change under the "
         "permutation); use kJacobi or kNone");
   }
+  if (options.incremental && !options.warm_start) {
+    return Status::InvalidArgument(
+        "ApproxCommuteEmbedding: incremental requires warm_start (the "
+        "edge-keyed JL draws are what make the cached right-hand sides "
+        "updatable under churn)");
+  }
+  if (options.incremental && options.relabel) {
+    return Status::InvalidArgument(
+        "ApproxCommuteEmbedding: incremental is incompatible with relabel "
+        "(the cached right-hand-side block is kept in original node order)");
+  }
   const double volume = graph.Volume();
   const double sentinel = CrossComponentSentinel(volume, n, options.commute);
   ComponentLabeling components = ConnectedComponents(graph);
@@ -200,7 +211,172 @@ Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::Build(
     }
   }
   if (options.warm_start && cache != nullptr) cache->StoreEmbedding(z);
+  // Incremental mode: persist the (original-layout) RHS block so the next
+  // window can update it in O(churn * k) instead of rebuilding it.
+  if (options.incremental && cache != nullptr) cache->StoreIncrementalRhs(b);
 
+  return ApproxCommuteEmbedding(std::move(z), std::move(components), volume,
+                                sentinel,
+                                options.commute.use_cross_component_sentinel,
+                                cg_stats);
+}
+
+Result<ApproxCommuteEmbedding> ApproxCommuteEmbedding::BuildIncremental(
+    const WeightedGraph& graph, const EdgeDelta& delta,
+    const ApproxCommuteOptions& options, CommuteSolverCache* cache) {
+  CAD_TRACE_SPAN("approx_commute_build_incremental");
+  const size_t n = graph.num_nodes();
+  const size_t k = options.embedding_dim;
+  if (k == 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (!options.incremental || !options.warm_start) {
+    return Status::InvalidArgument(
+        "ApproxCommuteEmbedding::BuildIncremental requires "
+        "options.incremental and options.warm_start");
+  }
+  if (options.relabel) {
+    return Status::InvalidArgument(
+        "ApproxCommuteEmbedding::BuildIncremental: incremental is "
+        "incompatible with relabel");
+  }
+  if (cache == nullptr) {
+    return Status::FailedPrecondition(
+        "ApproxCommuteEmbedding::BuildIncremental: no cache to hold the "
+        "incremental state");
+  }
+  DenseMatrix* rhs = cache->MutableIncrementalRhs(n, k);
+  const DenseMatrix* previous = cache->PreviousEmbedding(k, n);
+  if (rhs == nullptr || previous == nullptr) {
+    return Status::FailedPrecondition(
+        "ApproxCommuteEmbedding::BuildIncremental: cached incremental state "
+        "missing or of the wrong shape (first window, node growth, or a "
+        "k change); run a full build to seed it");
+  }
+  for (const ChangedEdge& change : delta.changes) {
+    if (change.u >= n || change.v >= n) {
+      return Status::FailedPrecondition(
+          "ApproxCommuteEmbedding::BuildIncremental: delta references node " +
+          std::to_string(std::max(change.u, change.v)) +
+          " outside the snapshot (n = " + std::to_string(n) + ")");
+    }
+  }
+
+  // Step 1: fold the delta into the cached RHS block. Each changed edge's
+  // JL column is redrawn from its identity-keyed generator — the same draws
+  // the full build would make — so only the sqrt-weight scale differs, and
+  // two row updates per edge bring the block to the new snapshot's Y.
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+  for (const ChangedEdge& change : delta.changes) {
+    Rng rng(EdgeJlSeed(options.seed, change.u, change.v));
+    const double scale = (std::sqrt(change.weight_after) -
+                          std::sqrt(change.weight_before)) *
+                         inv_sqrt_k;
+    double* bu = rhs->mutable_row(change.u);
+    double* bv = rhs->mutable_row(change.v);
+    for (size_t r = 0; r < k; ++r) {
+      const double q = rng.Rademacher() * scale;
+      bu[r] += q;
+      bv[r] -= q;
+    }
+  }
+
+  const double volume = graph.Volume();
+  const double sentinel = CrossComponentSentinel(volume, n, options.commute);
+  ComponentLabeling components = ConnectedComponents(graph);
+  const double epsilon =
+      options.commute.regularization_scale * std::max(volume, 1.0);
+  const CsrMatrix laplacian = graph.ToLaplacianCsr(epsilon);
+
+  // Step 2: residual gate. One SpMM against the cached embedding gives
+  // every column's exact residual under the *new* regularized Laplacian, so
+  // reuse is decided on ground truth rather than on which nodes the delta
+  // touched — columns that the churn barely perturbed are kept even when
+  // their generator overlapped a changed edge, and epsilon drift (volume
+  // changes move the regularizer) is accounted for automatically.
+  DenseMatrix x0(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = x0.mutable_row(i);
+    for (size_t r = 0; r < k; ++r) row[r] = (*previous)(r, i);
+  }
+  DenseMatrix lz;
+  laplacian.MultiplyBlock(x0, &lz);
+  const double tol = std::max(options.incremental_tolerance, 0.0);
+  std::vector<size_t> resolve;
+  for (size_t r = 0; r < k; ++r) {
+    double residual2 = 0.0;
+    double norm2 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double y = (*rhs)(i, r);
+      const double d = y - lz(i, r);
+      residual2 += d * d;
+      norm2 += y * y;
+    }
+    if (residual2 > tol * tol * norm2) resolve.push_back(r);
+  }
+
+  // Step 3: re-solve only the gated columns, warm-started from the cached
+  // embedding; everything else is reused verbatim.
+  std::vector<CgSummary> summaries;
+  DenseMatrix z = *previous;
+  if (!resolve.empty()) {
+    const size_t s = resolve.size();
+    DenseMatrix bs(n, s);
+    DenseMatrix x0s(n, s);
+    for (size_t i = 0; i < n; ++i) {
+      const double* rhs_row = rhs->row(i);
+      const double* x0_row = x0.row(i);
+      double* bs_row = bs.mutable_row(i);
+      double* x0s_row = x0s.mutable_row(i);
+      for (size_t idx = 0; idx < s; ++idx) {
+        bs_row[idx] = rhs_row[resolve[idx]];
+        x0s_row[idx] = x0_row[resolve[idx]];
+      }
+    }
+    CgSolveContext context;
+    context.initial_guess = &x0s;
+    context.workspace = options.use_arena ? cache->workspace() : nullptr;
+    if (options.cg.preconditioner == CgPreconditioner::kIncompleteCholesky) {
+      CAD_ASSIGN_OR_RETURN(context.cached_factor, cache->FactorFor(laplacian));
+    }
+    const ConjugateGradientSolver solver(options.cg);
+    if (options.cg.use_block_solver) {
+      DenseMatrix x;
+      CAD_ASSIGN_OR_RETURN(summaries,
+                           solver.SolveBlock(laplacian, bs, &x, context));
+      for (size_t idx = 0; idx < s; ++idx) {
+        double* z_row = z.mutable_row(resolve[idx]);
+        for (size_t i = 0; i < n; ++i) z_row[i] = x(i, idx);
+      }
+    } else {
+      std::vector<std::vector<double>> rhs_cols(s);
+      for (size_t idx = 0; idx < s; ++idx) {
+        rhs_cols[idx].resize(n);
+        for (size_t i = 0; i < n; ++i) rhs_cols[idx][i] = bs(i, idx);
+      }
+      std::vector<std::vector<double>> solutions;
+      CAD_ASSIGN_OR_RETURN(
+          summaries, solver.SolveMany(laplacian, rhs_cols, &solutions,
+                                      context));
+      for (size_t idx = 0; idx < s; ++idx) {
+        double* z_row = z.mutable_row(resolve[idx]);
+        for (size_t i = 0; i < n; ++i) z_row[i] = solutions[idx][i];
+      }
+    }
+    for (size_t idx = 0; idx < s; ++idx) {
+      if (options.require_convergence && !summaries[idx].converged) {
+        return Status::NumericalError(
+            "ApproxCommuteEmbedding::BuildIncremental: CG did not converge "
+            "on system " + std::to_string(resolve[idx]) +
+            " (relative residual " +
+            std::to_string(summaries[idx].relative_residual) + ")");
+      }
+    }
+  }
+
+  cache->StoreEmbedding(z);
+  cache->RecordIncrementalBuild(resolve.size(), k);
+  const CgBatchStats cg_stats = SummarizeCgBatch(summaries);
   return ApproxCommuteEmbedding(std::move(z), std::move(components), volume,
                                 sentinel,
                                 options.commute.use_cross_component_sentinel,

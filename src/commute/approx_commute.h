@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "commute/commute_time.h"
 #include "graph/components.h"
+#include "graph/edge_delta.h"
 #include "linalg/conjugate_gradient.h"
 #include "linalg/dense_matrix.h"
 
@@ -60,6 +61,30 @@ struct ApproxCommuteOptions {
   /// Requires a cache at Build; bitwise-identical results either way
   /// (pooled buffers are re-zeroed on acquire).
   bool use_arena = false;
+  /// Incremental maintenance (opt-in; requires warm_start for the
+  /// edge-keyed JL draws and a cache to hold the state, and is incompatible
+  /// with relabel, whose solver-space RHS layout the cached block cannot
+  /// share). Full builds additionally persist the JL right-hand-side block
+  /// in the cache; BuildIncremental then updates that block in
+  /// O(churn * k), re-solves only the columns whose exact residual against
+  /// the new Laplacian exceeds incremental_tolerance, and reuses the rest
+  /// of the cached embedding verbatim. See DESIGN.md §12.
+  bool incremental = false;
+  /// Relative-residual bound under which a cached embedding column is
+  /// reused without a re-solve: column r is kept when
+  /// ||y_r - L z_r|| <= incremental_tolerance * ||y_r||. Every column of an
+  /// incremental build therefore satisfies the residual contract
+  /// max(incremental_tolerance, cg.tolerance) by construction. Calibration:
+  /// the JL construction spreads each edge across all k columns, so churning
+  /// a (weight) fraction c of the edge set since a column's last solve moves
+  /// its relative residual to ~sqrt(c); a column therefore re-solves about
+  /// every tolerance^2 / c_window windows. The default 0.15 amortizes to
+  /// <5% of columns re-solved per window at 0.1% churn — and stays well
+  /// inside the embedding's own JL error, sqrt(log n / k) ~= 0.4 at the
+  /// paper's k = 50 — while an anomalous burst (heavy churn) immediately
+  /// pushes every column past the gate, so quality reverts to a full
+  /// re-solve exactly when the window matters.
+  double incremental_tolerance = 0.15;
 };
 
 /// \brief Approximate commute-time distances via the Khoa-Chawla / Spielman-
@@ -98,6 +123,19 @@ class ApproxCommuteEmbedding : public CommuteTimeOracle {
   [[nodiscard]] static Result<ApproxCommuteEmbedding> Build(
       const WeightedGraph& graph, const ApproxCommuteOptions& options,
       CommuteSolverCache* cache);
+
+  /// Incremental build from the cache's previous-snapshot state (embedding
+  /// + JL right-hand-side block) and the edge delta to this snapshot:
+  /// updates the cached RHS in O(churn * k), computes every column's exact
+  /// residual against the new regularized Laplacian with one SpMM, re-solves
+  /// (warm-started) only the columns above incremental_tolerance, and reuses
+  /// the rest verbatim. Requires options.incremental && options.warm_start
+  /// and a cache holding state of matching shape; returns FailedPrecondition
+  /// when the state is missing or mismatched (caller falls back to the full
+  /// Build, which re-seeds the state).
+  [[nodiscard]] static Result<ApproxCommuteEmbedding> BuildIncremental(
+      const WeightedGraph& graph, const EdgeDelta& delta,
+      const ApproxCommuteOptions& options, CommuteSolverCache* cache);
 
   /// Reassembles an oracle from previously exported internals (see the
   /// accessors below); used by checkpoint restore, which must reproduce a

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/cholesky.h"
+#include "linalg/woodbury.h"
 #include "obs/obs.h"
 
 namespace cad {
@@ -68,6 +69,45 @@ Result<ExactCommuteTime> ExactCommuteTime::Build(
     }
   }
 
+  return ExactCommuteTime(std::move(lplus), std::move(components), volume,
+                          sentinel, options.use_cross_component_sentinel);
+}
+
+Result<ExactCommuteTime> ExactCommuteTime::BuildIncremental(
+    const WeightedGraph& graph, const ExactCommuteTime& previous,
+    const EdgeDelta& delta, const CommuteTimeOptions& options) {
+  CAD_TRACE_SPAN("exact_commute_build_incremental");
+  const size_t n = graph.num_nodes();
+  if (n != previous.num_nodes()) {
+    return Status::FailedPrecondition(
+        "ExactCommuteTime::BuildIncremental: node count changed (" +
+        std::to_string(previous.num_nodes()) + " -> " + std::to_string(n) +
+        "); a grown node set needs a full rebuild");
+  }
+  // The Woodbury identity on the pseudoinverse requires the update to stay
+  // within the existing component structure: equality of the (canonical)
+  // component labelings guarantees every changed edge is range-compatible
+  // with the cached L+ in both update passes.
+  ComponentLabeling components = ConnectedComponents(graph);
+  if (components.num_components != previous.components().num_components ||
+      components.component != previous.components().component) {
+    return Status::FailedPrecondition(
+        "ExactCommuteTime::BuildIncremental: connected-component structure "
+        "changed; the pseudoinverse update is not defined across a "
+        "merge/split");
+  }
+
+  std::vector<IncidenceUpdate> updates;
+  updates.reserve(delta.rank());
+  for (const ChangedEdge& change : delta.changes) {
+    updates.push_back(IncidenceUpdate{change.u, change.v, change.delta()});
+  }
+  DenseMatrix lplus = previous.laplacian_pseudoinverse();
+  CAD_RETURN_NOT_OK(ApplyWoodburyUpdate(updates, &lplus));
+  CAD_METRIC_INC("commute.exact_incremental_builds");
+
+  const double volume = graph.Volume();
+  const double sentinel = CrossComponentSentinel(volume, n, options);
   return ExactCommuteTime(std::move(lplus), std::move(components), volume,
                           sentinel, options.use_cross_component_sentinel);
 }

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "commute/commute_time.h"
 #include "graph/components.h"
+#include "graph/edge_delta.h"
 #include "linalg/dense_matrix.h"
 
 namespace cad {
@@ -33,6 +34,23 @@ class ExactCommuteTime : public CommuteTimeOracle {
   /// (which would indicate a malformed Laplacian).
   [[nodiscard]] static Result<ExactCommuteTime> Build(
       const WeightedGraph& graph,
+      const CommuteTimeOptions& options = CommuteTimeOptions());
+
+  /// Builds the oracle for `graph` from the previous snapshot's oracle and
+  /// the edge delta between them, via a rank-k Sherman–Morrison–Woodbury
+  /// update of the cached pseudoinverse — O(n^2 k) against Build's O(n^3)
+  /// (DESIGN.md §12).
+  ///
+  /// Valid only when the node count and the connected-component structure
+  /// are unchanged between the snapshots; returns FailedPrecondition
+  /// otherwise, and NumericalError when the decrement pass breaks down
+  /// (a capacitance matrix that is not positive definite). Callers fall
+  /// back to a full Build on any failure. Within validity the result
+  /// matches Build to floating-point accumulation error (the tolerance
+  /// contract in DESIGN.md §12, asserted by tests at 1e-8 relative).
+  [[nodiscard]] static Result<ExactCommuteTime> BuildIncremental(
+      const WeightedGraph& graph, const ExactCommuteTime& previous,
+      const EdgeDelta& delta,
       const CommuteTimeOptions& options = CommuteTimeOptions());
 
   /// Reassembles an oracle from previously exported internals (see the

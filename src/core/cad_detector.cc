@@ -31,6 +31,94 @@ Result<std::unique_ptr<CommuteTimeOracle>> CadDetector::BuildOracle(
       new ApproxCommuteEmbedding(std::move(oracle).ValueOrDie()));
 }
 
+Result<std::unique_ptr<CommuteTimeOracle>> CadDetector::BuildOracleIncremental(
+    const WeightedGraph& graph, const WeightedGraph& previous_graph,
+    const CommuteTimeOracle* previous_oracle,
+    CommuteSolverCache* cache) const {
+  const bool use_exact =
+      options_.engine == CommuteEngine::kExact ||
+      (options_.engine == CommuteEngine::kAuto &&
+       graph.num_nodes() <= options_.exact_node_limit);
+  // The approximate paths (incremental and its full-rebuild fallbacks) run
+  // with incremental mode forced on, so every full build re-seeds the
+  // cache's RHS block and the next window can try the update again.
+  ApproxCommuteOptions approx = options_.approx;
+  approx.incremental = true;
+  approx.warm_start = true;
+  approx.relabel = false;
+  const auto full_build =
+      [&]() -> Result<std::unique_ptr<CommuteTimeOracle>> {
+    if (use_exact) return BuildOracle(graph, cache);
+    Result<ApproxCommuteEmbedding> oracle =
+        ApproxCommuteEmbedding::Build(graph, approx, cache);
+    if (!oracle.ok()) return oracle.status();
+    return std::unique_ptr<CommuteTimeOracle>(
+        new ApproxCommuteEmbedding(std::move(oracle).ValueOrDie()));
+  };
+  if (previous_oracle == nullptr ||
+      graph.num_nodes() != previous_graph.num_nodes()) {
+    // First window of a stream, or node-set growth: nothing valid to update.
+    CAD_METRIC_INC("commute.incremental_rebuild_structure");
+    return full_build();
+  }
+  const EdgeDelta delta = DiffSnapshots(previous_graph, graph);
+  const bool admitted =
+      cache != nullptr
+          ? cache->AdmitChurn(delta.ChurnRatio(), options_.churn_threshold)
+          : delta.ChurnRatio() <= options_.churn_threshold;
+  if (!admitted) {
+    CAD_METRIC_INC("commute.incremental_rebuild_churn");
+    return full_build();
+  }
+  if (use_exact) {
+    const auto* previous =
+        dynamic_cast<const ExactCommuteTime*>(previous_oracle);
+    if (previous == nullptr) {
+      // Engine switched (auto crossover) since the previous window.
+      CAD_METRIC_INC("commute.incremental_rebuild_structure");
+      return full_build();
+    }
+    // The Woodbury update also has to beat the O(n^3) rebuild on cost: its
+    // O(n^2 k) only wins while k is a fraction of n.
+    if (4 * delta.rank() > graph.num_nodes()) {
+      CAD_METRIC_INC("commute.incremental_rebuild_churn");
+      return full_build();
+    }
+    Result<ExactCommuteTime> oracle = ExactCommuteTime::BuildIncremental(
+        graph, *previous, delta, options_.exact);
+    if (!oracle.ok()) {
+      if (oracle.status().code() == StatusCode::kNumericalError) {
+        CAD_METRIC_INC("commute.incremental_rebuild_breakdown");
+      } else {
+        CAD_METRIC_INC("commute.incremental_rebuild_structure");
+      }
+      return full_build();
+    }
+    if (cache != nullptr) {
+      cache->RecordIncrementalBuild(0, 0);
+    }
+    return std::unique_ptr<CommuteTimeOracle>(
+        new ExactCommuteTime(std::move(oracle).ValueOrDie()));
+  }
+  Result<ApproxCommuteEmbedding> oracle =
+      ApproxCommuteEmbedding::BuildIncremental(graph, delta, approx, cache);
+  if (!oracle.ok()) {
+    if (oracle.status().code() == StatusCode::kInvalidArgument) {
+      // A genuinely unusable configuration (k == 0), not a missing cache:
+      // surface it instead of silently rebuilding every window.
+      return oracle.status();
+    }
+    if (oracle.status().code() == StatusCode::kNumericalError) {
+      CAD_METRIC_INC("commute.incremental_rebuild_breakdown");
+    } else {
+      CAD_METRIC_INC("commute.incremental_rebuild_structure");
+    }
+    return full_build();
+  }
+  return std::unique_ptr<CommuteTimeOracle>(
+      new ApproxCommuteEmbedding(std::move(oracle).ValueOrDie()));
+}
+
 Result<std::vector<TransitionScores>> CadDetector::Analyze(
     const TemporalGraphSequence& sequence) const {
   if (sequence.num_snapshots() < 2) {

@@ -36,6 +36,12 @@ struct CadOptions {
   ApproxCommuteOptions approx;
   /// Exact-engine numerical settings.
   CommuteTimeOptions exact;
+  /// Churn ratio (changed edges / larger edge set; see EdgeDelta) above
+  /// which BuildOracleIncremental gives up on the incremental paths and
+  /// runs a full rebuild — low-rank updates stop paying off once the delta
+  /// is a sizable fraction of the graph. Only read by
+  /// BuildOracleIncremental.
+  double churn_threshold = 0.25;
   /// Worker threads for Analyze(): snapshot oracles are built and
   /// transitions scored concurrently (results are bit-identical to the
   /// serial pass). 1 = serial. NOTE: with threads > 1 all T oracles are
@@ -89,6 +95,22 @@ class CadDetector : public NodeScorer {
   /// degrades to the stateless build.
   [[nodiscard]] Result<std::unique_ptr<CommuteTimeOracle>> BuildOracle(
       const WeightedGraph& graph, CommuteSolverCache* cache) const;
+
+  /// BuildOracle via the incremental maintenance paths (DESIGN.md §12):
+  /// diffs `previous_graph` -> `graph`, and when the churn ratio stays
+  /// within churn_threshold updates the previous state instead of
+  /// rebuilding — a Woodbury update of `previous_oracle`'s pseudoinverse
+  /// for the exact engine, churn-scoped re-solves of the cache's embedding
+  /// for the approximate one. Any inapplicability (first window, node
+  /// growth, component change, engine switch, excessive churn, numerical
+  /// breakdown) falls back to the full BuildOracle, so the result is always
+  /// a valid oracle for `graph`; fallbacks are counted under
+  /// commute.incremental_rebuild_*.
+  [[nodiscard]] Result<std::unique_ptr<CommuteTimeOracle>>
+  BuildOracleIncremental(const WeightedGraph& graph,
+                         const WeightedGraph& previous_graph,
+                         const CommuteTimeOracle* previous_oracle,
+                         CommuteSolverCache* cache) const;
 
  private:
   CadOptions options_;

@@ -414,10 +414,18 @@ Status OnlineCadMonitor::SaveCheckpoint(std::ostream* out) const {
   writer.WriteBytes(kCheckpointMagic, kCheckpointMagicSize);
   // Integer-id monitors keep emitting version 1 so their checkpoint files
   // stay byte-identical across the vocabulary feature; only named runs pay
-  // the version bump.
+  // the v2 bump, and only incremental monitors (whose cache state the resume
+  // must carry) pay the v3 one. In v3 the vocabulary gets a presence byte —
+  // names and incremental state are independent features.
   const bool named = vocabulary_.has_value();
-  writer.WriteU8(named ? kCheckpointVersionNamedNodes
-                       : kCheckpointVersionIntegerIds);
+  const bool incremental = options_.incremental;
+  const uint8_t version = incremental ? kCheckpointVersionIncremental
+                          : named     ? kCheckpointVersionNamedNodes
+                                      : kCheckpointVersionIntegerIds;
+  writer.WriteU8(version);
+  if (version >= kCheckpointVersionIncremental) {
+    writer.WriteU8(named ? 1 : 0);
+  }
   if (named) {
     WriteNodeVocabulary(&writer, *vocabulary_);
   }
@@ -477,6 +485,20 @@ Status OnlineCadMonitor::SaveCheckpoint(std::ostream* out) const {
   writer.WriteU64(cache.refactorizations);
   writer.WriteDouble(cache.last_relative_change);
 
+  if (version >= kCheckpointVersionIncremental) {
+    writer.WriteU8(cache.incremental_rhs.has_value() ? 1 : 0);
+    if (cache.incremental_rhs.has_value()) {
+      WriteDenseMatrix(&writer, *cache.incremental_rhs);
+    }
+    writer.WriteU64(cache.incremental_builds);
+    writer.WriteU64(cache.rhs_resolved);
+    writer.WriteU64(cache.rhs_reused);
+    writer.WriteDouble(cache.last_resolved_fraction);
+    writer.WriteDouble(cache.last_churn_ratio);
+    writer.WriteU64(cache.dimension_invalidations);
+    writer.WriteU64(cache.churn_rejections);
+  }
+
   return writer.Finish();
 }
 
@@ -494,7 +516,13 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
   CAD_RETURN_NOT_OK(reader.ExpectHeader());
 
   std::optional<NodeVocabulary> vocabulary;
-  if (reader.version() >= kCheckpointVersionNamedNodes) {
+  bool has_vocabulary = reader.version() == kCheckpointVersionNamedNodes;
+  if (reader.version() >= kCheckpointVersionIncremental) {
+    uint8_t flag = 0;
+    CAD_ASSIGN_OR_RETURN(flag, reader.ReadU8());
+    has_vocabulary = flag != 0;
+  }
+  if (has_vocabulary) {
     NodeVocabulary loaded;
     CAD_ASSIGN_OR_RETURN(loaded, ReadNodeVocabulary(&reader));
     vocabulary = std::move(loaded);
@@ -609,9 +637,33 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
   CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
   cache.refactorizations = static_cast<size_t>(counter);
   CAD_ASSIGN_OR_RETURN(cache.last_relative_change, reader.ReadDouble());
+  if (reader.version() >= kCheckpointVersionIncremental) {
+    uint8_t has_rhs = 0;
+    CAD_ASSIGN_OR_RETURN(has_rhs, reader.ReadU8());
+    if (has_rhs != 0) {
+      DenseMatrix rhs;
+      CAD_ASSIGN_OR_RETURN(rhs, ReadDenseMatrix(&reader));
+      cache.incremental_rhs = std::move(rhs);
+    }
+    CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+    cache.incremental_builds = static_cast<size_t>(counter);
+    CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+    cache.rhs_resolved = static_cast<size_t>(counter);
+    CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+    cache.rhs_reused = static_cast<size_t>(counter);
+    CAD_ASSIGN_OR_RETURN(cache.last_resolved_fraction, reader.ReadDouble());
+    CAD_ASSIGN_OR_RETURN(cache.last_churn_ratio, reader.ReadDouble());
+    CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+    cache.dimension_invalidations = static_cast<size_t>(counter);
+    CAD_ASSIGN_OR_RETURN(counter, reader.ReadU64());
+    cache.churn_rejections = static_cast<size_t>(counter);
+  }
 
-  // All sections decoded — only now replace the monitor's state, so a
+  // All sections decoded — validate and install the solver cache first
+  // (RestoreState rejects mutually inconsistent factor state, the
+  // corrupted-checkpoint hazard), then replace the rest of the monitor; a
   // failed load leaves the monitor untouched.
+  CAD_RETURN_NOT_OK(solver_cache_.RestoreState(std::move(cache)));
   vocabulary_ = std::move(vocabulary);
   num_snapshots_ = static_cast<size_t>(num_snapshots);
   num_transitions_total_ = static_cast<size_t>(num_transitions_total);
@@ -619,7 +671,6 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
   previous_snapshot_ = std::move(previous_snapshot);
   previous_oracle_ = std::move(previous_oracle);
   history_ = std::move(history);
-  solver_cache_.RestoreState(std::move(cache));
   return Status::OK();
 }
 

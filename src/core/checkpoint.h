@@ -36,8 +36,17 @@ inline constexpr uint8_t kCheckpointVersionIntegerIds = 1;
 /// header (DESIGN.md §8). Writers emit v2 only when a vocabulary is present,
 /// so integer-id checkpoints remain byte-identical to version 1 files.
 inline constexpr uint8_t kCheckpointVersionNamedNodes = 2;
+/// Version 3: the vocabulary section moves behind a presence byte (it is
+/// independent of the new state) and an incremental-maintenance section —
+/// the solver cache's JL right-hand-side block plus churn/reuse counters
+/// (DESIGN.md §12) — follows the solver-cache section. Writers emit v3 only
+/// for monitors running with OnlineMonitorOptions::incremental, so
+/// non-incremental runs keep producing byte-identical v1/v2 files; v1/v2
+/// checkpoints still load into incremental monitors (the first resumed
+/// window full-rebuilds to re-seed the state).
+inline constexpr uint8_t kCheckpointVersionIncremental = 3;
 /// Highest checkpoint format version this build reads and writes.
-inline constexpr uint8_t kCheckpointVersion = kCheckpointVersionNamedNodes;
+inline constexpr uint8_t kCheckpointVersion = kCheckpointVersionIncremental;
 
 /// \brief Little-endian primitive encoder over an ostream. Write calls set
 /// the stream's failbit on error; call Finish() once at the end to collapse

@@ -57,6 +57,15 @@ DenseMatrix PadColumns(const DenseMatrix& matrix, size_t cols) {
 
 }  // namespace
 
+OnlineMonitorOptions OnlineCadMonitor::NormalizeOptions(
+    OnlineMonitorOptions options) {
+  if (options.incremental) {
+    options.detector.approx.warm_start = true;
+    options.detector.approx.incremental = true;
+  }
+  return options;
+}
+
 Status OnlineCadMonitor::GrowPreviousTo(size_t num_nodes) {
   CAD_RETURN_NOT_OK(previous_snapshot_->GrowTo(num_nodes));
   // Growing appends isolated nodes, which leave the volume and every
@@ -109,6 +118,11 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
   CAD_METRIC_SET("monitor.history_depth", history_.size());
   CAD_METRIC_SET("monitor.cache_staleness",
                  solver_cache_.last_relative_change());
+  if (options_.incremental) {
+    CAD_METRIC_SET("monitor.churn_ratio", solver_cache_.last_churn_ratio());
+    CAD_METRIC_SET("monitor.rhs_resolved_fraction",
+                   solver_cache_.last_resolved_fraction());
+  }
   CAD_FLIGHT_NOTE("monitor.observe", static_cast<double>(num_snapshots_));
   if (stats_ != nullptr) {
     // Count-based heartbeat: one tick per window keeps emission deterministic
@@ -137,10 +151,23 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::ObserveImpl(
 
   std::unique_ptr<CommuteTimeOracle> oracle;
   CommuteSolverCache* cache = options_.detector.approx.warm_start ||
-                                      options_.detector.approx.use_arena
+                                      options_.detector.approx.use_arena ||
+                                      options_.incremental
                                   ? &solver_cache_
                                   : nullptr;
-  CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot, cache));
+  if (options_.incremental && previous_snapshot_.has_value()) {
+    // Incremental path: update the previous window's oracle under the edge
+    // delta. (After GrowPreviousTo the node counts already match; growth
+    // windows then typically fall back inside BuildOracleIncremental when
+    // the new nodes change the component structure or invalidate the
+    // cached embedding shape.)
+    CAD_ASSIGN_OR_RETURN(
+        oracle, detector_.BuildOracleIncremental(
+                    snapshot, *previous_snapshot_, previous_oracle_.get(),
+                    cache));
+  } else {
+    CAD_ASSIGN_OR_RETURN(oracle, detector_.BuildOracle(snapshot, cache));
+  }
   ++num_snapshots_;
 
   if (!previous_snapshot_.has_value()) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "commute/solver_cache.h"
@@ -38,6 +39,16 @@ struct OnlineMonitorOptions {
   /// the average over that window — which is the production setting for
   /// unbounded streams.
   size_t max_history = 0;
+  /// Per-window incremental maintenance (DESIGN.md §12): each Observe diffs
+  /// the snapshot against the previous one and updates the previous oracle
+  /// (Woodbury on the exact pseudoinverse, churn-scoped re-solves of the
+  /// approximate embedding) instead of rebuilding, while the churn ratio
+  /// stays within detector.churn_threshold; any inapplicable window falls
+  /// back to a full rebuild that re-seeds the state. Implies
+  /// detector.approx.warm_start (edge-keyed JL draws). Checkpoints written
+  /// with this flag use format v3; v1/v2 checkpoints still load, with the
+  /// first resumed window rebuilding to re-seed.
+  bool incremental = false;
 };
 
 /// \brief Streaming variant of CAD: feed snapshots one at a time and receive
@@ -50,7 +61,8 @@ struct OnlineMonitorOptions {
 class OnlineCadMonitor {
  public:
   explicit OnlineCadMonitor(OnlineMonitorOptions options = {})
-      : options_(options), detector_(options.detector) {}
+      : options_(NormalizeOptions(std::move(options))),
+        detector_(options_.detector) {}
 
   /// Feeds the next snapshot. Returns:
   ///  - nullopt for the first snapshot (no transition yet) and during
@@ -133,6 +145,11 @@ class OnlineCadMonitor {
   [[nodiscard]] Status LoadCheckpointFile(const std::string& path);
 
  private:
+  /// Applies option implications: incremental forces the approximate
+  /// engine's warm-start + incremental modes (the cached RHS block and
+  /// edge-keyed draws are what make per-window updates well-defined).
+  static OnlineMonitorOptions NormalizeOptions(OnlineMonitorOptions options);
+
   /// Grows the previous snapshot and its oracle to `num_nodes` by appending
   /// isolated nodes (zero-padded pseudoinverse/embedding rows, singleton
   /// components, unchanged volume, sentinel recomputed for the new size) —

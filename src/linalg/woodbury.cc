@@ -1,0 +1,99 @@
+#include "linalg/woodbury.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+
+namespace cad {
+
+namespace {
+
+/// Applies one same-sign pass: L+ <- L+ -/+ U C^{-1} U^T with
+/// C = diag(1/|w_j|) -/+ V. `sign` is +1 for increments (subtract the
+/// correction), -1 for decrements (add it).
+Status ApplyPass(const std::vector<IncidenceUpdate>& terms, double sign,
+                 DenseMatrix* lplus) {
+  const size_t k = terms.size();
+  if (k == 0) return Status::OK();
+  const size_t n = lplus->rows();
+
+  // U = L+ B, gathered column-pair differences. Row i of U reads two entries
+  // of row i of L+ per term, so the sweep is row-major friendly on both
+  // sides.
+  DenseMatrix u(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    const double* lrow = lplus->row(i);
+    double* urow = u.mutable_row(i);
+    for (size_t j = 0; j < k; ++j) {
+      urow[j] = lrow[terms[j].u] - lrow[terms[j].v];
+    }
+  }
+
+  // Capacitance C = diag(1/|w|) + sign * V with V = B^T U; V(a, b) is the
+  // (u_a - v_a) difference of column b of U. SPD whenever the update keeps
+  // the component structure; a failed Cholesky is the breakdown signal.
+  DenseMatrix c(k, k);
+  for (size_t a = 0; a < k; ++a) {
+    const double* ru = u.row(terms[a].u);
+    const double* rv = u.row(terms[a].v);
+    double* crow = c.mutable_row(a);
+    for (size_t b = 0; b < k; ++b) crow[b] = sign * (ru[b] - rv[b]);
+    crow[a] += 1.0 / std::fabs(terms[a].weight_delta);
+  }
+  Result<CholeskyFactorization> factor = CholeskyFactorization::Factor(c);
+  if (!factor.ok()) {
+    return Status::NumericalError(
+        "ApplyWoodburyUpdate: capacitance matrix is not positive definite "
+        "(the update likely changes the component structure): " +
+        factor.status().message());
+  }
+
+  // X = C^{-1} U^T (k x n), then the rank-k correction
+  // L+ <- L+ - sign * U X, accumulated row by row.
+  DenseMatrix ut(k, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* urow = u.row(i);
+    for (size_t j = 0; j < k; ++j) ut(j, i) = urow[j];
+  }
+  const DenseMatrix x = factor->SolveMatrix(ut);
+  for (size_t i = 0; i < n; ++i) {
+    const double* urow = u.row(i);
+    double* lrow = lplus->mutable_row(i);
+    for (size_t j = 0; j < k; ++j) {
+      const double scale = -sign * urow[j];
+      const double* xrow = x.row(j);
+      for (size_t t = 0; t < n; ++t) lrow[t] += scale * xrow[t];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyWoodburyUpdate(const std::vector<IncidenceUpdate>& updates,
+                           DenseMatrix* lplus) {
+  CAD_CHECK(lplus != nullptr);
+  CAD_CHECK(lplus->rows() == lplus->cols());
+  const size_t n = lplus->rows();
+  std::vector<IncidenceUpdate> increments;
+  std::vector<IncidenceUpdate> decrements;
+  for (const IncidenceUpdate& term : updates) {
+    CAD_CHECK(term.u < n && term.v < n && term.u != term.v);
+    if (term.weight_delta > 0.0) {
+      increments.push_back(term);
+    } else if (term.weight_delta < 0.0) {
+      decrements.push_back(term);
+    }
+  }
+  // Increments first: the intermediate matrix then corresponds to the graph
+  // with all strengthened/new edges present, which keeps every decrement
+  // within a still-connected component (given the caller's component-
+  // equality precondition) until the final matrix is reached.
+  CAD_RETURN_NOT_OK(ApplyPass(increments, 1.0, lplus));
+  CAD_RETURN_NOT_OK(ApplyPass(decrements, -1.0, lplus));
+  return Status::OK();
+}
+
+}  // namespace cad

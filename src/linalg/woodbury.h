@@ -1,0 +1,51 @@
+#ifndef CAD_LINALG_WOODBURY_H_
+#define CAD_LINALG_WOODBURY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace cad {
+
+/// \brief One rank-one incidence term w (e_u - e_v)(e_u - e_v)^T of a
+/// Laplacian update. `weight_delta` is the signed weight change: positive
+/// for a strengthened or inserted edge, negative for a weakened or deleted
+/// one.
+struct IncidenceUpdate {
+  uint32_t u = 0;
+  uint32_t v = 0;
+  double weight_delta = 0.0;
+};
+
+/// \brief In-place Sherman–Morrison–Woodbury rank-k update of a Laplacian
+/// pseudoinverse under L' = L + sum_j w_j b_j b_j^T with b_j = e_u - e_v.
+///
+/// The update is applied in two passes — all increments (w_j > 0) first,
+/// then all decrements — each via the Woodbury identity restricted to the
+/// pseudoinverse's range:
+///
+///   increments:  L'+ = L+ - U (D + V)^{-1} U^T,   D = diag(1/w_j)
+///   decrements:  L'+ = L+ + U (|D| - V)^{-1} U^T
+///
+/// with U = L+ B and V = B^T L+ B (the effective-resistance Gram matrix of
+/// the changed pairs). Both capacitance systems are k x k, solved by dense
+/// Cholesky, so the total cost is O(n^2 k + k^3) against the O(n^3) of a
+/// full rebuild.
+///
+/// Validity precondition (checked by the *caller*, which has the graphs):
+/// the connected-component structure must be identical before and after the
+/// update. That makes every b_j range-compatible with L+ in both passes —
+/// increments within existing components cannot merge anything, and
+/// decrements that would disconnect a component show up here as a
+/// non-positive-definite capacitance matrix, returned as NumericalError so
+/// the caller can fall back to a full rebuild.
+///
+/// Terms with weight_delta == 0 are ignored. An empty update is a no-op.
+[[nodiscard]] Status ApplyWoodburyUpdate(
+    const std::vector<IncidenceUpdate>& updates, DenseMatrix* lplus);
+
+}  // namespace cad
+
+#endif  // CAD_LINALG_WOODBURY_H_

@@ -536,6 +536,104 @@ TEST(MonitorCheckpointTest, VocabularyMayRunAheadOfSnapshot) {
   EXPECT_FALSE(rejecting.LoadCheckpoint(&bad_checkpoint).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance / format version 3 (DESIGN.md §12)
+
+OnlineMonitorOptions IncrementalApproxOptions() {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kApprox;
+  options.detector.approx.embedding_dim = 8;
+  options.detector.approx.seed = 3;
+  options.incremental = true;
+  options.nodes_per_transition = 2.0;
+  options.warmup_transitions = 2;
+  return options;
+}
+
+TEST(MonitorCheckpointTest, KillAndRestoreIncrementalMonitor) {
+  // The incremental path's cross-window state (JL right-hand-side block,
+  // reuse counters, previous embedding) rides in the v3 section; a restored
+  // monitor must retrace the uninterrupted run's reports byte-for-byte,
+  // including which columns the residual gate reuses.
+  RunKillAndRestore(IncrementalApproxOptions(), 4);
+}
+
+TEST(MonitorCheckpointTest, KillAndRestoreIncrementalAtEveryEarlySplit) {
+  // Split points straddle the state's lifecycle: before any snapshot,
+  // after the seeding full build, and after incremental windows.
+  for (size_t split : {size_t{1}, size_t{2}, size_t{6}}) {
+    RunKillAndRestore(IncrementalApproxOptions(), split);
+  }
+}
+
+TEST(MonitorCheckpointTest, IncrementalMonitorWritesVersion3) {
+  OnlineCadMonitor monitor(IncrementalApproxOptions());
+  ASSERT_TRUE(monitor.Observe(TwoTeams(0.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(monitor.SaveCheckpoint(&checkpoint).ok());
+  const std::string bytes = checkpoint.str();
+  ASSERT_GT(bytes.size(), kCheckpointMagicSize);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[kCheckpointMagicSize]),
+            kCheckpointVersionIncremental);
+
+  // The same stream through a non-incremental monitor stays v1 — the new
+  // format never leaks into existing byte-compatibility contracts.
+  OnlineMonitorOptions plain = IncrementalApproxOptions();
+  plain.incremental = false;
+  plain.detector.approx.warm_start = true;
+  OnlineCadMonitor old_style(plain);
+  ASSERT_TRUE(old_style.Observe(TwoTeams(0.0)).ok());
+  std::stringstream old_checkpoint;
+  ASSERT_TRUE(old_style.SaveCheckpoint(&old_checkpoint).ok());
+  EXPECT_EQ(static_cast<uint8_t>(old_checkpoint.str()[kCheckpointMagicSize]),
+            kCheckpointVersionIntegerIds);
+}
+
+TEST(MonitorCheckpointTest, PreIncrementalCheckpointLoadsIntoIncrementalMonitor) {
+  // v1/v2 files predate the incremental section; loading one into an
+  // incremental monitor must succeed with empty incremental state (the
+  // first resumed window full-rebuilds to re-seed it).
+  OnlineMonitorOptions plain = IncrementalApproxOptions();
+  plain.incremental = false;
+  plain.detector.approx.warm_start = true;
+  OnlineCadMonitor saver(plain);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(1.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+
+  OnlineCadMonitor restored(IncrementalApproxOptions());
+  ASSERT_TRUE(restored.LoadCheckpoint(&checkpoint).ok());
+  EXPECT_EQ(restored.num_snapshots(), 2u);
+  ASSERT_TRUE(restored.Observe(TwoTeams(0.5)).ok());
+  ASSERT_TRUE(restored.Observe(TwoTeams(2.0)).ok());
+}
+
+TEST(MonitorCheckpointTest, TruncatedIncrementalCheckpointRejectedCleanly) {
+  // Cutting the v3 stream anywhere — including inside the incremental
+  // section — must be reported as IoError with the monitor left untouched
+  // and usable, never partially restored.
+  OnlineCadMonitor saver(IncrementalApproxOptions());
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(1.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.5)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+  const std::string bytes = checkpoint.str();
+
+  for (size_t keep : {bytes.size() - 1, bytes.size() - 9,
+                      bytes.size() * 3 / 4, bytes.size() / 2}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    OnlineCadMonitor loader(IncrementalApproxOptions());
+    ASSERT_TRUE(loader.Observe(TwoTeams(0.0)).ok());
+    const Status status = loader.LoadCheckpoint(&truncated);
+    ASSERT_FALSE(status.ok()) << "keep=" << keep;
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << "keep=" << keep;
+    EXPECT_EQ(loader.num_snapshots(), 1u);
+    ASSERT_TRUE(loader.Observe(TwoTeams(1.0)).ok());
+  }
+}
+
 TEST(MonitorCheckpointTest, Version1CheckpointStillLoads) {
   // Forward compatibility with pre-vocabulary checkpoints: a v1 byte stream
   // (which is exactly what a vocabulary-less monitor writes) must load into

@@ -1,0 +1,108 @@
+#include "graph/edge_delta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/graph.h"
+
+namespace cad {
+namespace {
+
+WeightedGraph MakePath(size_t n, double weight = 1.0) {
+  WeightedGraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    CAD_CHECK_OK(g.SetEdge(u, u + 1, weight));
+  }
+  return g;
+}
+
+TEST(EdgeDeltaTest, IdenticalSnapshotsProduceEmptyDelta) {
+  const WeightedGraph g = MakePath(5);
+  const EdgeDelta delta = DiffSnapshots(g, g);
+  EXPECT_TRUE(delta.changes.empty());
+  EXPECT_EQ(delta.rank(), 0u);
+  EXPECT_EQ(delta.edges_before, 4u);
+  EXPECT_EQ(delta.edges_after, 4u);
+  EXPECT_EQ(delta.ChurnRatio(), 0.0);
+}
+
+TEST(EdgeDeltaTest, InsertionDeletionAndWeightChange) {
+  WeightedGraph before = MakePath(6);
+  WeightedGraph after = MakePath(6);
+  CAD_CHECK_OK(after.SetEdge(0, 5, 2.5));  // inserted
+  CAD_CHECK_OK(after.SetEdge(2, 3, 0.0));  // weight 0 deletes the edge
+  CAD_CHECK_OK(after.SetEdge(3, 4, 7.0));  // weight changed
+
+  const EdgeDelta delta = DiffSnapshots(before, after);
+  ASSERT_EQ(delta.changes.size(), 3u);
+
+  // Changes come out in canonical (u, v) ascending order.
+  EXPECT_EQ(delta.changes[0].u, 0u);
+  EXPECT_EQ(delta.changes[0].v, 5u);
+  EXPECT_EQ(delta.changes[0].weight_before, 0.0);
+  EXPECT_EQ(delta.changes[0].weight_after, 2.5);
+  EXPECT_EQ(delta.changes[0].delta(), 2.5);
+
+  EXPECT_EQ(delta.changes[1].u, 2u);
+  EXPECT_EQ(delta.changes[1].v, 3u);
+  EXPECT_EQ(delta.changes[1].weight_before, 1.0);
+  EXPECT_EQ(delta.changes[1].weight_after, 0.0);
+  EXPECT_EQ(delta.changes[1].delta(), -1.0);
+
+  EXPECT_EQ(delta.changes[2].u, 3u);
+  EXPECT_EQ(delta.changes[2].v, 4u);
+  EXPECT_EQ(delta.changes[2].weight_before, 1.0);
+  EXPECT_EQ(delta.changes[2].weight_after, 7.0);
+  EXPECT_EQ(delta.changes[2].delta(), 6.0);
+}
+
+TEST(EdgeDeltaTest, UnchangedWeightsAreNotReported) {
+  WeightedGraph before = MakePath(4, 3.0);
+  WeightedGraph after = MakePath(4, 3.0);
+  CAD_CHECK_OK(after.SetEdge(1, 2, 3.0));  // overwrite with the same weight
+  const EdgeDelta delta = DiffSnapshots(before, after);
+  EXPECT_TRUE(delta.changes.empty());
+}
+
+TEST(EdgeDeltaTest, ChurnRatioUsesLargerEdgeCount) {
+  WeightedGraph before = MakePath(5);  // 4 edges
+  WeightedGraph after = MakePath(5);
+  CAD_CHECK_OK(after.SetEdge(0, 2, 1.0));
+  CAD_CHECK_OK(after.SetEdge(0, 3, 1.0));  // 6 edges, 2 changed
+  const EdgeDelta delta = DiffSnapshots(before, after);
+  EXPECT_EQ(delta.rank(), 2u);
+  EXPECT_DOUBLE_EQ(delta.ChurnRatio(), 2.0 / 6.0);
+}
+
+TEST(EdgeDeltaTest, EmptyToEmptyHasZeroChurn) {
+  const WeightedGraph a(3);
+  const WeightedGraph b(3);
+  const EdgeDelta delta = DiffSnapshots(a, b);
+  EXPECT_EQ(delta.ChurnRatio(), 0.0);
+}
+
+TEST(EdgeDeltaTest, DisjointEdgeSetsChangeEverything) {
+  WeightedGraph before(4);
+  CAD_CHECK_OK(before.SetEdge(0, 1, 1.0));
+  WeightedGraph after(4);
+  CAD_CHECK_OK(after.SetEdge(2, 3, 1.0));
+  const EdgeDelta delta = DiffSnapshots(before, after);
+  ASSERT_EQ(delta.changes.size(), 2u);
+  EXPECT_EQ(delta.changes[0].weight_after, 0.0);  // (0,1) deleted
+  EXPECT_EQ(delta.changes[1].weight_before, 0.0);  // (2,3) inserted
+  EXPECT_DOUBLE_EQ(delta.ChurnRatio(), 2.0);
+}
+
+TEST(EdgeDeltaTest, GrownNodeSetDiffsFine) {
+  // The extractor diffs edge lists, so a larger `after` node set with the
+  // same edges is a clean no-op delta (the monitor grows snapshots before
+  // diffing).
+  const WeightedGraph before = MakePath(4);
+  WeightedGraph after = MakePath(4);
+  CAD_CHECK_OK(after.GrowTo(7));
+  const EdgeDelta delta = DiffSnapshots(before, after);
+  EXPECT_TRUE(delta.changes.empty());
+}
+
+}  // namespace
+}  // namespace cad

@@ -129,6 +129,141 @@ TEST(SolverCacheTest, EmbeddingShapeMismatchReturnsNull) {
   EXPECT_EQ(cache.PreviousEmbedding(4, 13), nullptr);  // n changed
 }
 
+TEST(SolverCacheTest, DimensionChangeKeepsDriftGaugeHonest) {
+  // Node-set growth must register as the large drift it is (computed over
+  // the union index range, missing entries read as zero) instead of
+  // silently resetting the gauge, and must be counted as a dimension
+  // invalidation distinct from drift-triggered refactorizations.
+  CommuteSolverCache cache(10.0);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0, 12)).ok());
+  EXPECT_EQ(cache.dimension_invalidations(), 0u);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0, 16)).ok());
+  EXPECT_EQ(cache.dimension_invalidations(), 1u);
+  // The four appended path nodes contribute their whole degree as change.
+  EXPECT_GT(cache.last_relative_change(), 0.0);
+}
+
+TEST(SolverCacheTest, RestoreRejectsNonSquareFactor) {
+  CommuteSolverCache cache;
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  CommuteSolverCache::State state = cache.ExportState();
+  CsrMatrix rectangular(3, 4, {0, 0, 0, 0}, {}, {});
+  state.factor_lower = rectangular;
+  CommuteSolverCache restored;
+  const Status status = restored.RestoreState(std::move(state));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverCacheTest, RestoreRejectsDiagonalFactorSizeMismatch) {
+  // The regression this guards: a checkpoint whose factor_diagonal was
+  // truncated relative to the factor dimension used to be installed as-is,
+  // and the next FactorFor indexed the short diagonal out of bounds.
+  CommuteSolverCache cache;
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  CommuteSolverCache::State state = cache.ExportState();
+  ASSERT_FALSE(state.factor_diagonal.empty());
+  state.factor_diagonal.pop_back();
+  CommuteSolverCache restored;
+  const Status status = restored.RestoreState(std::move(state));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverCacheTest, RestoreRejectsDiagonalWithoutFactor) {
+  CommuteSolverCache::State state;
+  state.factor_diagonal = {1.0, 2.0};
+  CommuteSolverCache restored;
+  const Status status = restored.RestoreState(std::move(state));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverCacheTest, RejectedRestoreLeavesCacheUntouched) {
+  CommuteSolverCache cache(0.25);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  cache.StoreEmbedding(DenseMatrix(4, 12));
+
+  CommuteSolverCache::State corrupt = cache.ExportState();
+  corrupt.factor_diagonal.pop_back();
+  ASSERT_FALSE(cache.RestoreState(std::move(corrupt)).ok());
+
+  // The previously cached factor and embedding are still served.
+  EXPECT_NE(cache.PreviousEmbedding(4, 12), nullptr);
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0)).ok());
+  EXPECT_EQ(cache.factor_reuses(), 1u);
+  EXPECT_EQ(cache.refactorizations(), 1u);
+}
+
+TEST(SolverCacheTest, RestoredStateOfOtherDimensionIsGuarded) {
+  // A *valid* state of a different dimension than the next stream's graphs
+  // (say, a checkpoint from before node growth) must be handled by
+  // invalidation, not out-of-bounds reads.
+  CommuteSolverCache cache;
+  ASSERT_TRUE(cache.FactorFor(ScaledLaplacian(1.0, 12)).ok());
+  CommuteSolverCache restored;
+  ASSERT_TRUE(restored.RestoreState(cache.ExportState()).ok());
+  ASSERT_TRUE(restored.FactorFor(ScaledLaplacian(1.0, 16)).ok());
+  EXPECT_EQ(restored.dimension_invalidations(), 1u);
+  // The exported counter (1 refactorization) carries over; the dimension
+  // invalidation adds the second.
+  EXPECT_EQ(restored.refactorizations(), 2u);
+}
+
+TEST(SolverCacheTest, IncrementalRhsShapeGating) {
+  CommuteSolverCache cache;
+  EXPECT_EQ(cache.IncrementalRhs(12, 4), nullptr);
+  DenseMatrix rhs(12, 4);  // node-major n x k
+  rhs(3, 1) = 0.75;
+  cache.StoreIncrementalRhs(rhs);
+  ASSERT_NE(cache.IncrementalRhs(12, 4), nullptr);
+  EXPECT_EQ((*cache.IncrementalRhs(12, 4))(3, 1), 0.75);
+  ASSERT_NE(cache.MutableIncrementalRhs(12, 4), nullptr);
+  EXPECT_EQ(cache.IncrementalRhs(13, 4), nullptr);  // n changed
+  EXPECT_EQ(cache.IncrementalRhs(12, 5), nullptr);  // k changed
+  cache.Clear();
+  EXPECT_EQ(cache.IncrementalRhs(12, 4), nullptr);
+}
+
+TEST(SolverCacheTest, IncrementalAccountingAndChurnAdmission) {
+  CommuteSolverCache cache;
+  EXPECT_TRUE(cache.AdmitChurn(0.01, 0.25));
+  EXPECT_EQ(cache.last_churn_ratio(), 0.01);
+  EXPECT_EQ(cache.churn_rejections(), 0u);
+  EXPECT_FALSE(cache.AdmitChurn(0.5, 0.25));
+  EXPECT_EQ(cache.last_churn_ratio(), 0.5);
+  EXPECT_EQ(cache.churn_rejections(), 1u);
+  // Threshold is inclusive: ratio == threshold is admitted.
+  EXPECT_TRUE(cache.AdmitChurn(0.25, 0.25));
+
+  cache.RecordIncrementalBuild(2, 8);
+  cache.RecordIncrementalBuild(0, 8);
+  EXPECT_EQ(cache.incremental_builds(), 2u);
+  EXPECT_EQ(cache.rhs_resolved(), 2u);
+  EXPECT_EQ(cache.rhs_reused(), 14u);
+  EXPECT_EQ(cache.last_resolved_fraction(), 0.0);
+}
+
+TEST(SolverCacheTest, IncrementalStateRoundTripsThroughExportRestore) {
+  CommuteSolverCache cache;
+  DenseMatrix rhs(6, 3);
+  rhs(5, 2) = -1.25;
+  cache.StoreIncrementalRhs(rhs);
+  cache.RecordIncrementalBuild(1, 3);
+  EXPECT_FALSE(cache.AdmitChurn(0.9, 0.25));
+
+  CommuteSolverCache restored;
+  ASSERT_TRUE(restored.RestoreState(cache.ExportState()).ok());
+  ASSERT_NE(restored.IncrementalRhs(6, 3), nullptr);
+  EXPECT_EQ((*restored.IncrementalRhs(6, 3))(5, 2), -1.25);
+  EXPECT_EQ(restored.incremental_builds(), 1u);
+  EXPECT_EQ(restored.rhs_resolved(), 1u);
+  EXPECT_EQ(restored.rhs_reused(), 2u);
+  EXPECT_NEAR(restored.last_resolved_fraction(), 1.0 / 3.0, 1e-15);
+  EXPECT_EQ(restored.last_churn_ratio(), 0.9);
+  EXPECT_EQ(restored.churn_rejections(), 1u);
+}
+
 TEST(SolverCacheTest, StoredEmbeddingRoundTrips) {
   CommuteSolverCache cache;
   DenseMatrix z(2, 3);

@@ -1,0 +1,154 @@
+#include "linalg/woodbury.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "commute/exact_commute.h"
+#include "graph/graph.h"
+
+namespace cad {
+namespace {
+
+/// Connected random graph: a Hamiltonian path (connectivity) plus `extra`
+/// random chords with random weights.
+WeightedGraph MakeConnectedRandom(size_t n, size_t extra, uint64_t seed) {
+  WeightedGraph g(n);
+  Rng rng(seed);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    CAD_CHECK_OK(g.SetEdge(u, u + 1, 0.5 + rng.Uniform()));
+  }
+  size_t added = 0;
+  while (added < extra) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    CAD_CHECK_OK(g.SetEdge(u, v, 0.5 + rng.Uniform()));
+    ++added;
+  }
+  return g;
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  CAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+/// Applies `updates` to a copy of `graph` (AddEdgeWeight accumulates, weight
+/// reaching zero deletes) and checks that the Woodbury-updated L+ matches a
+/// fresh exact build on the mutated graph.
+void CheckAgainstRebuild(const WeightedGraph& graph,
+                         const std::vector<IncidenceUpdate>& updates) {
+  auto before = ExactCommuteTime::Build(graph);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  WeightedGraph mutated = graph;
+  for (const IncidenceUpdate& update : updates) {
+    CAD_CHECK_OK(
+        mutated.AddEdgeWeight(update.u, update.v, update.weight_delta));
+  }
+  auto rebuilt = ExactCommuteTime::Build(mutated);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+
+  DenseMatrix lplus = before->laplacian_pseudoinverse();
+  ASSERT_TRUE(ApplyWoodburyUpdate(updates, &lplus).ok());
+  // The DESIGN.md §12 tolerance contract: O(n^2 k) update vs O(n^3) rebuild
+  // agree to floating-point accumulation error, asserted at 1e-8 relative
+  // (entries of L+ are O(1) on these graphs).
+  EXPECT_LT(MaxAbsDiff(lplus, rebuilt->laplacian_pseudoinverse()), 1e-8);
+}
+
+TEST(WoodburyTest, EmptyUpdateIsNoOp) {
+  const WeightedGraph g = MakeConnectedRandom(10, 5, 1);
+  auto built = ExactCommuteTime::Build(g);
+  ASSERT_TRUE(built.ok());
+  DenseMatrix lplus = built->laplacian_pseudoinverse();
+  const DenseMatrix original = lplus;
+  ASSERT_TRUE(ApplyWoodburyUpdate({}, &lplus).ok());
+  EXPECT_EQ(MaxAbsDiff(lplus, original), 0.0);
+}
+
+TEST(WoodburyTest, RankOneIncrementMatchesRebuild) {
+  const WeightedGraph g = MakeConnectedRandom(12, 6, 2);
+  CheckAgainstRebuild(g, {{0, 7, 1.5}});
+}
+
+TEST(WoodburyTest, RankOneDecrementMatchesRebuild) {
+  WeightedGraph g = MakeConnectedRandom(12, 6, 3);
+  // Weaken a path edge without deleting it (the path keeps g connected).
+  const double w = g.EdgeWeight(4, 5);
+  CheckAgainstRebuild(g, {{4, 5, -0.5 * w}});
+}
+
+TEST(WoodburyTest, EdgeDeletionOffTheSpanningPathMatchesRebuild) {
+  WeightedGraph g = MakeConnectedRandom(12, 0, 4);
+  CAD_CHECK_OK(g.SetEdge(2, 9, 0.75));  // chord; deleting it keeps the path
+  CheckAgainstRebuild(g, {{2, 9, -0.75}});
+}
+
+TEST(WoodburyTest, MixedRankKUpdateMatchesRebuild) {
+  WeightedGraph g = MakeConnectedRandom(16, 10, 5);
+  CAD_CHECK_OK(g.SetEdge(3, 12, 0.6));
+  std::vector<IncidenceUpdate> updates;
+  updates.push_back({1, 2, 0.8});                          // strengthen
+  updates.push_back({5, 6, -0.25 * g.EdgeWeight(5, 6)});   // weaken
+  updates.push_back({0, 15, 1.1});                         // insert chord
+  updates.push_back({3, 12, -0.6});                        // delete chord
+  updates.push_back({7, 8, 0.0});                          // ignored no-op
+  CheckAgainstRebuild(g, updates);
+}
+
+TEST(WoodburyTest, RandomizedChurnMatchesRebuild) {
+  Rng rng(99);
+  for (uint64_t trial = 0; trial < 5; ++trial) {
+    const size_t n = 10 + 2 * static_cast<size_t>(trial);
+    WeightedGraph g = MakeConnectedRandom(n, n / 2, 100 + trial);
+    std::vector<IncidenceUpdate> updates;
+    // Random weight perturbations on existing path edges (never to zero,
+    // so the component structure is provably unchanged) plus one insertion.
+    for (size_t j = 0; j < 4; ++j) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(n - 1));
+      const double w = g.EdgeWeight(u, u + 1);
+      const double delta = (rng.Uniform() - 0.4) * 0.9 * w;
+      updates.push_back({u, u + 1, delta});
+    }
+    if (!g.HasEdge(0, static_cast<NodeId>(n - 2))) {
+      updates.push_back({0, static_cast<NodeId>(n - 2), 0.3});
+    }
+    CheckAgainstRebuild(g, updates);
+  }
+}
+
+TEST(WoodburyTest, BridgeDeletionBreaksDownAsNumericalError) {
+  // Deleting a bridge disconnects the graph: the decrement capacitance
+  // 1/w - r_uv hits zero (a bridge's effective resistance is exactly 1/w),
+  // so the dense Cholesky must report breakdown, not return garbage.
+  WeightedGraph path(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) {
+    CAD_CHECK_OK(path.SetEdge(u, u + 1, 1.0));
+  }
+  auto built = ExactCommuteTime::Build(path);
+  ASSERT_TRUE(built.ok());
+  DenseMatrix lplus = built->laplacian_pseudoinverse();
+  const Status status = ApplyWoodburyUpdate({{2, 3, -1.0}}, &lplus);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNumericalError);
+}
+
+TEST(WoodburyTest, OutOfRangeEndpointDies) {
+  DenseMatrix lplus(4, 4);
+  EXPECT_DEATH(
+      { (void)ApplyWoodburyUpdate({{1, 9, 1.0}}, &lplus); }, "");
+}
+
+}  // namespace
+}  // namespace cad

@@ -77,6 +77,9 @@ int Run(int argc, char** argv) {
   int64_t threads = 1;
   bool warm_start = false;
   double refactor_threshold = 0.1;
+  bool incremental = false;
+  double churn_threshold = 0.25;
+  double incremental_tolerance = 0.15;
   std::string stats_json;
   int64_t stats_every = 0;
   std::string metrics_csv;
@@ -120,6 +123,16 @@ int Run(int argc, char** argv) {
                 "next (approximate engine)");
   flags.AddDouble("refactor_threshold", &refactor_threshold,
                   "IC(0) staleness trigger under --warm_start");
+  flags.AddBool("incremental", &incremental,
+                "maintain each window's commute state incrementally from "
+                "the previous window's (implies --warm_start; DESIGN.md "
+                "§12)");
+  flags.AddDouble("churn_threshold", &churn_threshold,
+                  "edge-churn ratio above which --incremental falls back to "
+                  "a full rebuild for that window");
+  flags.AddDouble("incremental_tolerance", &incremental_tolerance,
+                  "relative-residual bound for reusing a cached embedding "
+                  "column under --incremental (approximate engine)");
   flags.AddInt64("threads", &threads,
                  "worker threads for the per-window Laplacian solves");
   flags.AddString("stats_json", &stats_json,
@@ -223,6 +236,10 @@ int Run(int argc, char** argv) {
   monitor_options.detector.approx.seed = static_cast<uint64_t>(seed);
   monitor_options.detector.approx.warm_start = warm_start;
   monitor_options.detector.approx.refactor_threshold = refactor_threshold;
+  monitor_options.incremental = incremental;
+  monitor_options.detector.churn_threshold = churn_threshold;
+  monitor_options.detector.approx.incremental_tolerance =
+      incremental_tolerance;
   monitor_options.detector.analysis_threads = static_cast<size_t>(threads);
   monitor_options.detector.approx.cg.num_threads = static_cast<size_t>(threads);
   if (engine == "exact") {
