@@ -218,4 +218,28 @@ void CommuteSolverCache::Clear() {
   churn_rejections_ = 0;
 }
 
+namespace {
+
+size_t DenseBytes(const std::optional<DenseMatrix>& matrix) {
+  return matrix.has_value() ? matrix->rows() * matrix->cols() * sizeof(double)
+                            : 0;
+}
+
+size_t CsrBytes(const CsrMatrix& matrix) {
+  return matrix.nnz() * (sizeof(double) + sizeof(uint32_t)) +
+         (matrix.rows() + 1) * sizeof(size_t);
+}
+
+}  // namespace
+
+size_t CommuteSolverCache::ApproxBytes() const {
+  size_t bytes = DenseBytes(embedding_) + DenseBytes(incremental_rhs_) +
+                 factor_diagonal_.size() * sizeof(double);
+  if (factor_.has_value()) {
+    // The factor stores its transpose alongside the lower triangle.
+    bytes += 2 * CsrBytes(factor_->lower());
+  }
+  return bytes;
+}
+
 }  // namespace cad

@@ -84,6 +84,13 @@ class CommuteSolverCache {
   /// Drops all cached state (embedding, factor, and incremental state).
   void Clear();
 
+  /// Approximate heap footprint of the cached state in bytes: the embedding,
+  /// the IC(0) factor (lower triangle plus its stored transpose) and its
+  /// reference diagonal, and the incremental RHS block. Accounting input for
+  /// a shared memory budget across many caches (the multi-tenant server);
+  /// the pooled workspace is excluded — it is scratch, not retained state.
+  size_t ApproxBytes() const;
+
   /// \brief Snapshot of everything FactorFor/PreviousEmbedding/
   /// IncrementalRhs depend on, for checkpointing. Restoring it reproduces
   /// the cache's future behavior exactly: the same warm starts, the same

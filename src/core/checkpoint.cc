@@ -1,7 +1,11 @@
 #include "core/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -403,6 +407,57 @@ Result<NodeVocabulary> ReadNodeVocabulary(CheckpointReader* reader) {
   return NodeVocabulary::FromNames(names);
 }
 
+// --- Atomic file replacement ------------------------------------------------
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IoError("cannot open for writing: " + tmp_path);
+    }
+    Status written = writer(&file);
+    if (written.ok()) {
+      file.flush();
+      if (!file.good()) {
+        written = Status::IoError("write failed: " + tmp_path);
+      }
+    }
+    if (!written.ok()) {
+      file.close();
+      std::remove(tmp_path.c_str());
+      return written;
+    }
+  }
+  // The ofstream is closed; push the bytes to stable storage through a plain
+  // descriptor so the rename below never publishes a name whose data still
+  // lives only in the page cache.
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp_path.c_str());
+    return Status::IoError("fsync failed: " + tmp_path);
+  }
+  ::close(fd);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename failed: " + tmp_path + " -> " + path);
+  }
+  // Persist the directory entry as well; without it a power cut can forget
+  // the rename even though the file's data blocks are safe. Best-effort:
+  // some filesystems reject fsync on directories.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
 // --- OnlineCadMonitor checkpointing ----------------------------------------
 // Defined here, next to the format, so the monitor core stays free of
 // serialization detail; as member functions they have the access needed to
@@ -503,11 +558,10 @@ Status OnlineCadMonitor::SaveCheckpoint(std::ostream* out) const {
 }
 
 Status OnlineCadMonitor::SaveCheckpointFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  return SaveCheckpoint(&file);
+  // Atomic replace: a crash mid-write must leave the previous good
+  // checkpoint loadable, never a truncated file under the final name.
+  return WriteFileAtomic(
+      path, [this](std::ostream* out) { return SaveCheckpoint(out); });
 }
 
 Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
@@ -534,9 +588,26 @@ Status OnlineCadMonitor::LoadCheckpoint(std::istream* in) {
   CAD_ASSIGN_OR_RETURN(num_snapshots, reader.ReadU64());
   CAD_ASSIGN_OR_RETURN(num_transitions_total, reader.ReadU64());
   CAD_ASSIGN_OR_RETURN(delta, reader.ReadDouble());
+  // Invariant of the observe loop: every snapshot after the first closes
+  // exactly one transition. A checkpoint that violates it is corrupt (or
+  // hand-edited); installing it would make the resumed run's window
+  // numbering silently diverge from the uninterrupted run.
+  const uint64_t expected_transitions =
+      num_snapshots == 0 ? 0 : num_snapshots - 1;
+  if (num_transitions_total != expected_transitions) {
+    return Status::InvalidArgument(
+        "checkpoint: " + std::to_string(num_transitions_total) +
+        " transitions inconsistent with " + std::to_string(num_snapshots) +
+        " snapshots (expected " + std::to_string(expected_transitions) + ")");
+  }
 
   uint8_t has_previous = 0;
   CAD_ASSIGN_OR_RETURN(has_previous, reader.ReadU8());
+  if ((has_previous != 0) != (num_snapshots > 0)) {
+    return Status::InvalidArgument(
+        "checkpoint: previous-snapshot presence inconsistent with " +
+        std::to_string(num_snapshots) + " snapshots");
+  }
   std::optional<WeightedGraph> previous_snapshot;
   std::unique_ptr<CommuteTimeOracle> previous_oracle;
   if (has_previous != 0) {

@@ -2,6 +2,7 @@
 #define CAD_CORE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -122,6 +123,16 @@ void WriteTransitionScores(CheckpointWriter* writer,
                            const TransitionScores& scores);
 [[nodiscard]] Result<TransitionScores> ReadTransitionScores(
     CheckpointReader* reader);
+
+/// \brief Writes a file atomically and durably: `writer` streams the new
+/// contents into `<path>.tmp`, the bytes are flushed and fsync'd, and the
+/// temp file is renamed over `path` (atomic on POSIX), so a crash at any
+/// instant leaves either the complete previous file or the complete new one
+/// — never a truncated mix. The containing directory is fsync'd after the
+/// rename so the new name itself survives a power cut. On any failure the
+/// temp file is removed and `path` is left untouched.
+[[nodiscard]] Status WriteFileAtomic(
+    const std::string& path, const std::function<Status(std::ostream*)>& writer);
 
 /// Vocabulary section of version-2 checkpoints: a u64 name count followed by
 /// each name (length-prefixed), in dense-id order. ReadNodeVocabulary

@@ -100,6 +100,9 @@ Status OnlineCadMonitor::GrowPreviousTo(size_t num_nodes) {
 
 Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
     const WeightedGraph& snapshot) {
+  CAD_CHECK(!observing_) << "OnlineCadMonitor::Observe is not re-entrant; "
+                            "serialize calls per monitor";
+  observing_ = true;
   const uint64_t start_ns = Timer::NowNanos();
   Result<std::optional<AnomalyReport>> result = ObserveImpl(snapshot);
   // Wall time is volatile, so it goes into a timer histogram (exported under
@@ -111,6 +114,7 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
     CAD_METRIC_INC("monitor.windows_failed");
     CAD_FLIGHT_NOTE("monitor.observe_failed",
                     static_cast<double>(num_snapshots_));
+    observing_ = false;
     return result;
   }
   CAD_METRIC_INC("monitor.windows");
@@ -128,8 +132,12 @@ Result<std::optional<AnomalyReport>> OnlineCadMonitor::Observe(
     // Count-based heartbeat: one tick per window keeps emission deterministic
     // across thread counts and runs.
     const Result<bool> emitted = stats_->Tick();
-    if (!emitted.ok()) return emitted.status();
+    if (!emitted.ok()) {
+      observing_ = false;
+      return emitted.status();
+    }
   }
+  observing_ = false;
   return result;
 }
 

@@ -58,6 +58,13 @@ struct OnlineMonitorOptions {
 /// Each snapshot's commute-time oracle is built exactly once and reused for
 /// its two adjacent transitions, so the total work matches the batch
 /// CadDetector::Analyze pass.
+///
+/// A monitor is single-caller state: Observe mutates the score history, the
+/// online threshold, and the warm-start solver cache in place, and is
+/// neither thread-safe nor re-entrant. Drive each monitor from one thread
+/// at a time (the multi-tenant server schedules at most one worker per
+/// tenant); a CHECK tripwire in Observe catches scheduler bugs that would
+/// otherwise corrupt results silently.
 class OnlineCadMonitor {
  public:
   explicit OnlineCadMonitor(OnlineMonitorOptions options = {})
@@ -127,6 +134,19 @@ class OnlineCadMonitor {
   /// N windows. A heartbeat write failure is reported as the Observe error.
   void SetStatsReporter(obs::StatsReporter* reporter) { stats_ = reporter; }
 
+  /// Approximate heap bytes held by the warm-start solver cache (embedding,
+  /// IC(0) factor, incremental RHS block). Feeds the server's shared-cache
+  /// memory budget (DESIGN.md §13).
+  size_t SolverCacheBytes() const { return solver_cache_.ApproxBytes(); }
+
+  /// Drops the warm-start solver cache. Safe at any window boundary: the
+  /// next Observe rebuilds cold, exactly like a fresh monitor's first
+  /// window, so reports stay valid — but warm-started CG iterates (and
+  /// hence approximate-engine scores) can differ from the uninterrupted
+  /// timeline afterwards. The server's cache-budget eviction calls this on
+  /// idle tenants.
+  void EvictSolverCache() { solver_cache_.Clear(); }
+
   /// \brief Serializes the complete monitor state (previous snapshot and
   /// oracle, retained score history, calibrated delta, solver-cache
   /// contents) in the versioned binary format of core/checkpoint.h. A monitor
@@ -176,6 +196,10 @@ class OnlineCadMonitor {
   double delta_ = 0.0;
   size_t num_snapshots_ = 0;
   size_t num_transitions_total_ = 0;
+  // Re-entrancy tripwire, not synchronization: a concurrent Observe is a
+  // caller bug, and under TSan the unsynchronized flag itself reports the
+  // race at the exact offending call site.
+  bool observing_ = false;
 };
 
 }  // namespace cad

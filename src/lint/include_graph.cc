@@ -60,7 +60,7 @@ const char* LayerName(int layer) {
     case 1: return "linalg/obs/lint";
     case 2: return "graph/commute/io";
     case 3: return "core/eval/datagen";
-    case 4: return "app";
+    case 4: return "app/server";
     case 5: return "tools/bench/tests/examples";
     default: return "unlayered";
   }
@@ -81,8 +81,9 @@ int LayerOf(std::string_view rel_path) {
           {"src/common/", 0},  {"src/linalg/", 1}, {"src/obs/", 1},
           {"src/lint/", 1},    {"src/graph/", 2},  {"src/commute/", 2},
           {"src/io/", 2},      {"src/core/", 3},   {"src/eval/", 3},
-          {"src/datagen/", 3}, {"src/app/", 4},    {"tools/", 5},
-          {"bench/", 5},       {"tests/", 5},      {"examples/", 5},
+          {"src/datagen/", 3}, {"src/app/", 4},    {"src/server/", 4},
+          {"tools/", 5},       {"bench/", 5},      {"tests/", 5},
+          {"examples/", 5},
       };
   for (const auto& [prefix, layer] : *prefixes) {
     if (StartsWith(rel_path, prefix)) return layer;

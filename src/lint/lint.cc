@@ -169,6 +169,7 @@ struct FileScope {
   bool banned_printf = false;  // printf family
   bool nondeterminism = false;
   bool raw_clock = false;
+  bool raw_signal = false;
 };
 
 FileScope ScopeFor(std::string_view rel_path) {
@@ -178,6 +179,7 @@ FileScope ScopeFor(std::string_view rel_path) {
   const bool rng_exempt = StartsWith(rel_path, "src/common/rng.");
   const bool clock_exempt =
       rel_path == "src/common/timer.h" || StartsWith(rel_path, "src/obs/");
+  const bool signal_exempt = StartsWith(rel_path, "src/server/signal_util.");
 
   FileScope scope;
   scope.is_header = EndsWith(rel_path, ".h");
@@ -185,6 +187,7 @@ FileScope ScopeFor(std::string_view rel_path) {
   scope.banned_printf = in_src || in_tools || in_examples;
   scope.nondeterminism = (in_src && !rng_exempt) || in_tools || in_examples;
   scope.raw_clock = !clock_exempt;
+  scope.raw_signal = !signal_exempt;
   return scope;
 }
 
@@ -426,7 +429,7 @@ class Linter {
   }
 
   // --- call-shaped rules: banned-call, nondeterminism, raw-clock,
-  //     lock-discipline ----------------------------------------------------
+  //     raw-signal, lock-discipline ----------------------------------------
 
   /// True when code token k is an identifier called as a plain function:
   /// followed by `(`, not written as a member access, and (optionally) only
@@ -452,6 +455,8 @@ class Linter {
         new std::set<std::string>{"time", "localtime", "gmtime"};
     static const std::set<std::string>* raw_clocks =
         new std::set<std::string>{"steady_clock", "high_resolution_clock"};
+    static const std::set<std::string>* raw_signals = new std::set<std::string>{
+        "signal", "sigaction", "sigset", "bsd_signal", "siginterrupt"};
 
     for (size_t k = 0; k < code_.size(); ++k) {
       const Token& tok = Code(k);
@@ -494,6 +499,18 @@ class Linter {
                "raw std::chrono clock outside src/common/timer.h and "
                "src/obs/; use cad::Timer (Timer::NowNanos for raw "
                "timestamps)");
+      }
+      if (scope_.raw_signal && raw_signals->count(text) > 0 &&
+          CodeText(k + 1) == "(" && CodeText(k - 1) != "." &&
+          CodeText(k - 1) != "->") {
+        // Matches plain, ::-qualified, and std::-qualified spellings alike:
+        // one process-wide disposition, installed in exactly one place.
+        Report(tok.line, "raw-signal",
+               "raw " + text +
+                   " call outside src/server/signal_util; signal disposition "
+                   "is centralized in "
+                   "cad::server::InstallStopSignalHandlers so every binary "
+                   "shares one async-signal-safe stop path");
       }
       if (hot_paths_.Contains(tok.line) &&
           (text == "resize" || text == "push_back" ||
@@ -569,7 +586,7 @@ const std::vector<RuleInfo>& RuleCatalog() {
       {"layering", "every scanned file (cross-file pass)",
        "an #include points at a higher layer of the declared DAG "
        "(common -> linalg/obs/lint -> graph/commute/io -> "
-       "core/eval/datagen -> app -> tools/bench/tests/examples)"},
+       "core/eval/datagen -> app/server -> tools/bench/tests/examples)"},
       {"lock-discipline", "everywhere",
        "raw .lock()/.unlock() member calls; use RAII "
        "(lock_guard/scoped_lock/unique_lock)"},
@@ -580,6 +597,9 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "outside the rng module"},
       {"raw-clock", "everywhere except src/common/timer.h and src/obs/",
        "raw std::chrono::steady_clock/high_resolution_clock; use cad::Timer"},
+      {"raw-signal", "everywhere except src/server/signal_util.*",
+       "raw signal()/sigaction()-family installation; use "
+       "cad::server::InstallStopSignalHandlers (src/server/signal_util.h)"},
       {"self-include", "every scanned file (cross-file pass)",
        "a file #includes itself"},
       {"static-mutable-header", "headers",

@@ -61,6 +61,10 @@ std::string ExpectedIncludeGuard(std::string_view rel_path);
 ///  - raw-clock (std::chrono::steady_clock / high_resolution_clock): every
 ///    scanned file except src/common/timer.h (the clock's single owner)
 ///    and src/obs/ — go through cad::Timer instead.
+///  - raw-signal (signal()/sigaction()/sigset()/bsd_signal()/
+///    siginterrupt() calls): every scanned file except
+///    src/server/signal_util.* — install handlers through
+///    cad::server::InstallStopSignalHandlers.
 ///  - lock-discipline (raw .lock()/.unlock() member calls): everywhere —
 ///    hold mutexes through std::lock_guard/scoped_lock/unique_lock.
 /// The cross-file rules (layering, include-cycle, self-include,

@@ -292,6 +292,27 @@ MetricsRegistry& GlobalMetrics() {
   return *registry;
 }
 
+Counter* PrefixedMetrics::GetCounter(const std::string& suffix) const {
+  return GlobalMetrics().GetCounter(prefix_ + "." + suffix);
+}
+
+Gauge* PrefixedMetrics::GetGauge(const std::string& suffix) const {
+  return GlobalMetrics().GetGauge(prefix_ + "." + suffix);
+}
+
+Histogram* PrefixedMetrics::GetHistogram(const std::string& suffix) const {
+  return GlobalMetrics().GetHistogram(prefix_ + "." + suffix);
+}
+
+TimerMetric* PrefixedMetrics::GetTimer(const std::string& suffix) const {
+  return GlobalMetrics().GetTimer(prefix_ + "." + suffix);
+}
+
+Histogram* PrefixedMetrics::GetTimerHistogram(
+    const std::string& suffix) const {
+  return GlobalMetrics().GetTimerHistogram(prefix_ + "." + suffix);
+}
+
 bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
 }

@@ -223,6 +223,31 @@ class MetricsRegistry {
 /// The process-wide registry used by the CAD_METRIC_* macros.
 MetricsRegistry& GlobalMetrics();
 
+/// \brief Handle factory for per-entity instrument families (the
+/// multi-tenant server's `tenant.<name>.` prefixes, DESIGN.md §13): binds a
+/// prefix once and resolves `<prefix>.<suffix>` instruments in the global
+/// registry. The CAD_METRIC_* macros cache one static handle per call site
+/// and so cannot vary the name at runtime; this is the sanctioned path for
+/// dynamic names. Handles come from the same registry, so prefixed rows
+/// appear in the same sorted exports and inherit the determinism contract
+/// of their kind. Resolution takes the registry lock — resolve handles once
+/// per entity and bump those, not per event.
+class PrefixedMetrics {
+ public:
+  explicit PrefixedMetrics(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  Counter* GetCounter(const std::string& suffix) const;
+  Gauge* GetGauge(const std::string& suffix) const;
+  Histogram* GetHistogram(const std::string& suffix) const;
+  TimerMetric* GetTimer(const std::string& suffix) const;
+  Histogram* GetTimerHistogram(const std::string& suffix) const;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+};
+
 /// Runtime switch for the CAD_METRIC_* macros; disabled by default so
 /// instrumented hot paths cost one relaxed atomic load.
 bool MetricsEnabled();

@@ -1,0 +1,71 @@
+#ifndef CAD_SERVER_EVENT_QUEUE_H_
+#define CAD_SERVER_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace cad::server {
+
+/// \brief Bounded multi-producer queue of event batches for one tenant —
+/// the backpressure point of the server (DESIGN.md §13). Capacity is
+/// counted in events, not batches, so one giant batch cannot sneak past the
+/// bound. TryPush never blocks and never drops: when the queue is full the
+/// push is refused and the caller surfaces a kRejected reply to the client,
+/// which owns the retry.
+class BoundedBatchQueue {
+ public:
+  explicit BoundedBatchQueue(size_t capacity_events)
+      : capacity_events_(capacity_events) {}
+
+  /// Enqueues `batch` unless doing so would exceed the event capacity.
+  /// An already-empty queue always accepts one batch, so a batch larger
+  /// than the whole capacity is not permanently unqueueable.
+  bool TryPush(std::vector<WireEvent> batch) {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (!batches_.empty() &&
+        pending_events_ + batch.size() > capacity_events_) {
+      return false;
+    }
+    pending_events_ += batch.size();
+    batches_.push_back(std::move(batch));
+    return true;
+  }
+
+  /// Dequeues the oldest batch, or nullopt when empty.
+  std::optional<std::vector<WireEvent>> TryPop() {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (batches_.empty()) return std::nullopt;
+    std::vector<WireEvent> batch = std::move(batches_.front());
+    batches_.pop_front();
+    pending_events_ -= batch.size();
+    return batch;
+  }
+
+  size_t pending_events() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return pending_events_;
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    return batches_.empty();
+  }
+
+  size_t capacity_events() const { return capacity_events_; }
+
+ private:
+  const size_t capacity_events_;
+  mutable std::mutex mutex_;
+  std::deque<std::vector<WireEvent>> batches_;
+  size_t pending_events_ = 0;
+};
+
+}  // namespace cad::server
+
+#endif  // CAD_SERVER_EVENT_QUEUE_H_

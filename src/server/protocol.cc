@@ -1,0 +1,212 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "server/signal_util.h"
+
+namespace cad::server {
+
+namespace {
+
+// All payload fields ride the checkpoint codec over string streams: the
+// encoders below cannot fail (string streams do not run out of device), so
+// Finish() is asserted rather than propagated.
+std::string FinishPayload(std::ostringstream* out, CheckpointWriter* writer) {
+  CAD_CHECK(writer->Finish().ok());
+  return out->str();
+}
+
+}  // namespace
+
+std::string EncodeTenant(const std::string& tenant) {
+  std::ostringstream out;
+  CheckpointWriter writer(&out);
+  writer.WriteString(tenant);
+  return FinishPayload(&out, &writer);
+}
+
+Result<std::string> DecodeTenant(const std::string& payload) {
+  std::istringstream in(payload);
+  CheckpointReader reader(&in);
+  std::string tenant;
+  CAD_ASSIGN_OR_RETURN(tenant, reader.ReadString());
+  return tenant;
+}
+
+std::string EncodeEvents(const std::string& tenant,
+                         const std::vector<WireEvent>& events) {
+  std::ostringstream out;
+  CheckpointWriter writer(&out);
+  writer.WriteString(tenant);
+  writer.WriteU32(static_cast<uint32_t>(events.size()));
+  for (const WireEvent& event : events) {
+    writer.WriteString(event.u);
+    writer.WriteString(event.v);
+    writer.WriteDouble(event.timestamp);
+    writer.WriteDouble(event.weight);
+  }
+  return FinishPayload(&out, &writer);
+}
+
+Result<EventsRequest> DecodeEvents(const std::string& payload) {
+  std::istringstream in(payload);
+  CheckpointReader reader(&in);
+  EventsRequest request;
+  CAD_ASSIGN_OR_RETURN(request.tenant, reader.ReadString());
+  uint32_t count = 0;
+  CAD_ASSIGN_OR_RETURN(count, reader.ReadU32());
+  request.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEvent event;
+    CAD_ASSIGN_OR_RETURN(event.u, reader.ReadString());
+    CAD_ASSIGN_OR_RETURN(event.v, reader.ReadString());
+    CAD_ASSIGN_OR_RETURN(event.timestamp, reader.ReadDouble());
+    CAD_ASSIGN_OR_RETURN(event.weight, reader.ReadDouble());
+    request.events.push_back(std::move(event));
+  }
+  return request;
+}
+
+std::string EncodeOpenReply(const OpenReply& reply) {
+  std::ostringstream out;
+  CheckpointWriter writer(&out);
+  writer.WriteU8(reply.resumed ? 1 : 0);
+  writer.WriteU64(reply.next_window);
+  writer.WriteU64(reply.num_nodes);
+  return FinishPayload(&out, &writer);
+}
+
+Result<OpenReply> DecodeOpenReply(const std::string& payload) {
+  std::istringstream in(payload);
+  CheckpointReader reader(&in);
+  OpenReply reply;
+  uint8_t resumed = 0;
+  CAD_ASSIGN_OR_RETURN(resumed, reader.ReadU8());
+  reply.resumed = resumed != 0;
+  CAD_ASSIGN_OR_RETURN(reply.next_window, reader.ReadU64());
+  CAD_ASSIGN_OR_RETURN(reply.num_nodes, reader.ReadU64());
+  return reply;
+}
+
+std::string EncodeText(const std::string& text) { return EncodeTenant(text); }
+
+Result<std::string> DecodeText(const std::string& payload) {
+  return DecodeTenant(payload);
+}
+
+bool IsValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxTenantNameBytes) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  // ".." or "." as a whole name would alias directory entries.
+  return name != "." && name != "..";
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (StopRequested()) {
+          return Status::IoError("frame write interrupted by stop request");
+        }
+        continue;
+      }
+      return Status::IoError("frame write failed (errno " +
+                             std::to_string(errno) + ")");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. `*eof_at_start` reports a clean EOF before
+/// the first byte; EOF after it is truncation.
+Status ReadAll(int fd, char* data, size_t size, bool* eof_at_start) {
+  *eof_at_start = false;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (StopRequested()) {
+          return Status::IoError("frame read interrupted by stop request");
+        }
+        continue;
+      }
+      return Status::IoError("frame read failed (errno " +
+                             std::to_string(errno) + ")");
+    }
+    if (n == 0) {
+      if (done == 0) {
+        *eof_at_start = true;
+        return Status::OK();
+      }
+      return Status::IoError("frame truncated mid-read");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, MessageType type, const std::string& payload) {
+  const uint64_t length = payload.size() + 1;  // + the type byte
+  if (length > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxFramePayloadBytes) +
+                                   " bytes");
+  }
+  std::string frame;
+  frame.reserve(4 + length);
+  const uint32_t length32 = static_cast<uint32_t>(length);
+  frame.push_back(static_cast<char>(length32 & 0xff));
+  frame.push_back(static_cast<char>((length32 >> 8) & 0xff));
+  frame.push_back(static_cast<char>((length32 >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length32 >> 24) & 0xff));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<std::optional<Frame>> ReadFrame(int fd) {
+  char header[4];
+  bool eof = false;
+  CAD_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), &eof));
+  if (eof) return std::optional<Frame>();
+  const uint32_t length = static_cast<uint32_t>(
+      static_cast<uint8_t>(header[0]) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(header[1])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(header[2])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(header[3])) << 24));
+  if (length == 0) {
+    return Status::IoError("frame with no message-type byte");
+  }
+  if (length > kMaxFramePayloadBytes) {
+    return Status::IoError("frame length " + std::to_string(length) +
+                           " exceeds the protocol maximum");
+  }
+  std::string body(length, '\0');
+  CAD_RETURN_NOT_OK(ReadAll(fd, body.data(), body.size(), &eof));
+  if (eof) return Status::IoError("frame truncated after length prefix");
+  Frame frame;
+  frame.type = static_cast<MessageType>(static_cast<uint8_t>(body[0]));
+  frame.payload = body.substr(1);
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace cad::server

@@ -1,0 +1,119 @@
+#ifndef CAD_SERVER_PROTOCOL_H_
+#define CAD_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cad::server {
+
+/// \file
+/// Length-prefixed framing for the local-socket anomaly service
+/// (DESIGN.md §13). A frame is a u32 little-endian payload length followed
+/// by the payload: one message-type byte, then type-specific fields encoded
+/// with the checkpoint primitives (length-prefixed strings, little-endian
+/// scalars, IEEE-754 doubles) — the same battle-tested encoding the
+/// checkpoint format uses, so both sides of the wire share one codec.
+///
+/// One connection carries any number of tenants: every tenant-scoped
+/// request names its tenant, and replies arrive in request order (the
+/// protocol is strictly request/reply per connection).
+
+/// Upper bound on a frame payload; a reader rejects larger lengths instead
+/// of allocating them (a garbage length must not become an allocation).
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 24;  // 16 MiB
+
+/// Tenant names become checkpoint/report file stems, metric prefixes, and
+/// CSV fields, so OPEN restricts them to this many characters of
+/// [A-Za-z0-9_.-] (no path separators, no CSV commas).
+inline constexpr size_t kMaxTenantNameBytes = 64;
+
+enum class MessageType : uint8_t {
+  // Requests.
+  kOpen = 1,      // open-or-resume a tenant: string name
+  kEvents = 2,    // event batch: string tenant, u32 count, count x WireEvent
+  kFinish = 3,    // end of stream: flush + final checkpoint: string tenant
+  kStats = 4,     // per-tenant stats/heartbeat JSON: string tenant
+  kReport = 5,    // recent anomaly-report rows (CSV): string tenant
+  kMetrics = 6,   // whole-registry metrics CSV: no fields
+  kPing = 7,      // liveness probe: no fields
+  kShutdown = 8,  // drain and exit: no fields
+  // Replies.
+  kOk = 128,           // no fields
+  kError = 129,        // string message
+  kOpenOk = 130,       // u8 resumed, u64 next_window, u64 num_nodes
+  kAccepted = 131,     // batch queued: no fields
+  kRejected = 132,     // queue full (backpressure): string reason
+  kStatsReply = 133,   // string JSON
+  kReportReply = 134,  // string CSV
+  kMetricsReply = 135  // string CSV
+};
+
+/// One event on the wire. Endpoints travel as strings; the tenant decides
+/// integer vs named id mode from its first event, exactly like
+/// EventStreamReader's auto mode.
+struct WireEvent {
+  std::string u;
+  std::string v;
+  double timestamp = 0.0;
+  double weight = 1.0;
+};
+
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::string payload;  // fields after the type byte
+};
+
+struct EventsRequest {
+  std::string tenant;
+  std::vector<WireEvent> events;
+};
+
+struct OpenReply {
+  bool resumed = false;
+  /// First window index the tenant will observe next; on resume the client
+  /// may (but need not) skip events from earlier windows — the server drops
+  /// them idempotently.
+  uint64_t next_window = 0;
+  uint64_t num_nodes = 0;
+};
+
+// --- Payload codecs (field bytes after the type byte) -----------------------
+
+std::string EncodeTenant(const std::string& tenant);
+[[nodiscard]] Result<std::string> DecodeTenant(const std::string& payload);
+
+std::string EncodeEvents(const std::string& tenant,
+                         const std::vector<WireEvent>& events);
+[[nodiscard]] Result<EventsRequest> DecodeEvents(const std::string& payload);
+
+std::string EncodeOpenReply(const OpenReply& reply);
+[[nodiscard]] Result<OpenReply> DecodeOpenReply(const std::string& payload);
+
+/// kError / kRejected / kStatsReply / kReportReply / kMetricsReply all carry
+/// one string.
+std::string EncodeText(const std::string& text);
+[[nodiscard]] Result<std::string> DecodeText(const std::string& payload);
+
+/// True when `name` satisfies the tenant-name contract above.
+bool IsValidTenantName(const std::string& name);
+
+// --- Frame I/O over a connected socket --------------------------------------
+
+/// Writes one frame. Retries short writes and EINTR; a peer reset is an
+/// IoError. SIGPIPE is suppressed (MSG_NOSIGNAL).
+[[nodiscard]] Status WriteFrame(int fd, MessageType type,
+                                const std::string& payload);
+
+/// Reads one frame. Returns nullopt on clean EOF at a frame boundary;
+/// truncation mid-frame, an oversized length, or an empty payload is an
+/// IoError. EINTR mid-read fails fast ("interrupted") when a stop was
+/// requested (signal_util), so drain interrupts blocked readers.
+[[nodiscard]] Result<std::optional<Frame>> ReadFrame(int fd);
+
+}  // namespace cad::server
+
+#endif  // CAD_SERVER_PROTOCOL_H_

@@ -1,0 +1,247 @@
+#include "server/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "server/signal_util.h"
+
+namespace cad::server {
+namespace {
+
+/// Polls `fd` for input alongside the stop-wakeup pipe. Returns true when
+/// `fd` has data (or hangup — the read will report it), false when a stop
+/// was requested. The wakeup pipe is level-triggered and never drained
+/// here, so every polling thread observes the same stop byte.
+bool WaitReadableOrStop(int fd) {
+  while (!StopRequested()) {
+    struct pollfd fds[2];
+    fds[0].fd = fd;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = StopWakeupFd();
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const nfds_t count = fds[1].fd >= 0 ? 2 : 1;
+    const int ready = ::poll(fds, count, /*timeout_ms=*/1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // loop re-checks the stop flag
+      return false;
+    }
+    if (count == 2 && (fds[1].revents & POLLIN) != 0) return false;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path, int listen_fd,
+                           TenantFleet* fleet)
+    : socket_path_(std::move(socket_path)),
+      listen_fd_(listen_fd),
+      fleet_(fleet) {}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+  for (std::thread& connection : connections_) {
+    if (connection.joinable()) connection.join();
+  }
+}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Create(
+    const std::string& socket_path, TenantFleet* fleet) {
+  struct sockaddr_un addr;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("cannot create unix socket (errno " +
+                           std::to_string(errno) + ")");
+  }
+  // A leftover socket file from a killed server must not block restart
+  // (the kill -9/resume sequence depends on this).
+  ::unlink(socket_path.c_str());
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot bind " + socket_path + " (errno " +
+                           std::to_string(errno) + ")");
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return Status::IoError("cannot listen on " + socket_path + " (errno " +
+                           std::to_string(errno) + ")");
+  }
+  return std::unique_ptr<SocketServer>(
+      new SocketServer(socket_path, fd, fleet));
+}
+
+Status SocketServer::Serve() {
+  // Idempotent: the tool installs these at startup too; Serve depends on
+  // the wakeup pipe existing for its polls.
+  CAD_RETURN_NOT_OK(InstallStopSignalHandlers());
+  while (WaitReadableOrStop(listen_fd_)) {
+    const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (connection_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IoError("accept failed (errno " + std::to_string(errno) +
+                             ")");
+    }
+    CAD_METRIC_INC("server.connections");
+    const std::lock_guard<std::mutex> guard(threads_mutex_);
+    connections_.emplace_back(
+        [this, connection_fd] { ServeConnection(connection_fd); });
+  }
+  // Drain sequence step 1: stop accepting. The socket file disappears, so
+  // new clients fail fast instead of queueing behind a drain.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+  const std::lock_guard<std::mutex> guard(threads_mutex_);
+  for (std::thread& connection : connections_) connection.join();
+  connections_.clear();
+  return Status::OK();
+}
+
+void SocketServer::ServeConnection(int fd) {
+  while (WaitReadableOrStop(fd)) {
+    Result<std::optional<Frame>> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // Framing is length-prefixed, but a read error means the stream is
+      // untrustworthy: report and hang up.
+      (void)WriteFrame(fd, MessageType::kError,
+                       EncodeText(frame.status().ToString()));
+      break;
+    }
+    if (!frame->has_value()) break;  // clean EOF
+    bool keep_open = true;
+    const Status handled = HandleFrame(fd, **frame, &keep_open);
+    if (!handled.ok() || !keep_open) break;
+  }
+  ::close(fd);
+}
+
+Status SocketServer::HandleFrame(int fd, const Frame& frame,
+                                 bool* keep_open) {
+  *keep_open = true;
+  // Per-request failures travel back as kError replies; only reply-write
+  // failures (the Status return) tear the connection down.
+  switch (frame.type) {
+    case MessageType::kOpen: {
+      Result<std::string> tenant = DecodeTenant(frame.payload);
+      if (!tenant.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(tenant.status().ToString()));
+      }
+      const Result<OpenReply> opened = fleet_->Open(*tenant);
+      if (!opened.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(opened.status().ToString()));
+      }
+      return WriteFrame(fd, MessageType::kOpenOk, EncodeOpenReply(*opened));
+    }
+    case MessageType::kEvents: {
+      Result<EventsRequest> request = DecodeEvents(frame.payload);
+      if (!request.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(request.status().ToString()));
+      }
+      const Result<bool> accepted =
+          fleet_->Enqueue(request->tenant, std::move(request->events));
+      if (!accepted.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(accepted.status().ToString()));
+      }
+      if (!*accepted) {
+        return WriteFrame(
+            fd, MessageType::kRejected,
+            EncodeText("tenant '" + request->tenant +
+                       "' ingest queue is full; retry after it drains"));
+      }
+      return WriteFrame(fd, MessageType::kAccepted, "");
+    }
+    case MessageType::kFinish: {
+      Result<std::string> tenant = DecodeTenant(frame.payload);
+      if (!tenant.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(tenant.status().ToString()));
+      }
+      const Status finished = fleet_->Finish(*tenant);
+      if (!finished.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(finished.ToString()));
+      }
+      return WriteFrame(fd, MessageType::kOk, "");
+    }
+    case MessageType::kStats: {
+      Result<std::string> tenant = DecodeTenant(frame.payload);
+      if (!tenant.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(tenant.status().ToString()));
+      }
+      // An empty tenant name asks for the fleet summary.
+      const Result<std::string> stats = fleet_->StatsJson(*tenant);
+      if (!stats.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(stats.status().ToString()));
+      }
+      return WriteFrame(fd, MessageType::kStatsReply, EncodeText(*stats));
+    }
+    case MessageType::kReport: {
+      Result<std::string> tenant = DecodeTenant(frame.payload);
+      if (!tenant.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(tenant.status().ToString()));
+      }
+      const Result<std::string> report = fleet_->ReportTail(*tenant);
+      if (!report.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(report.status().ToString()));
+      }
+      return WriteFrame(fd, MessageType::kReportReply, EncodeText(*report));
+    }
+    case MessageType::kMetrics: {
+      std::ostringstream csv;
+      const Status written = obs::WriteMetricsCsv(obs::SnapshotMetrics(), &csv);
+      if (!written.ok()) {
+        return WriteFrame(fd, MessageType::kError,
+                          EncodeText(written.ToString()));
+      }
+      return WriteFrame(fd, MessageType::kMetricsReply, EncodeText(csv.str()));
+    }
+    case MessageType::kPing:
+      return WriteFrame(fd, MessageType::kOk, "");
+    case MessageType::kShutdown: {
+      // Ack first, then raise the same stop flag SIGTERM raises: one drain
+      // path for both triggers.
+      const Status acked = WriteFrame(fd, MessageType::kOk, "");
+      RequestStop(SIGTERM);
+      *keep_open = false;
+      return acked;
+    }
+    default:
+      return WriteFrame(
+          fd, MessageType::kError,
+          EncodeText("unknown message type " +
+                     std::to_string(static_cast<int>(frame.type))));
+  }
+}
+
+}  // namespace cad::server

@@ -1,0 +1,65 @@
+#ifndef CAD_SERVER_SOCKET_SERVER_H_
+#define CAD_SERVER_SOCKET_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/fleet.h"
+
+namespace cad::server {
+
+/// \brief Local-socket front end of cad_server: listens on a unix-domain
+/// socket, speaks the length-prefixed protocol of server/protocol.h, and
+/// dispatches each request to the TenantFleet. One thread per connection;
+/// replies are strictly in request order per connection.
+///
+/// Shutdown integrates with signal_util: the accept loop and every
+/// connection loop poll the stop-wakeup pipe alongside their socket, so a
+/// SIGTERM (or a kShutdown frame, which raises the same stop flag) unblocks
+/// all of them promptly. Serve() then closes the listener, joins the
+/// connection threads, and returns — the drain sequence (flush queues,
+/// checkpoint all tenants) is the caller's next step via
+/// TenantFleet::DrainAll (DESIGN.md §13).
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// unlinked first: a dead server's leftover must not block restart —
+  /// which is exactly the kill -9/resume sequence). The fleet is not owned
+  /// and must outlive the server.
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Create(
+      const std::string& socket_path, TenantFleet* fleet);
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  ~SocketServer();
+
+  /// Accepts and serves connections until a stop is requested
+  /// (signal_util). Returns after the listener is closed and every
+  /// connection thread has been joined.
+  [[nodiscard]] Status Serve();
+
+ private:
+  SocketServer(std::string socket_path, int listen_fd, TenantFleet* fleet);
+
+  void ServeConnection(int fd);
+  /// Decodes `frame`, applies it to the fleet, and writes the reply.
+  /// Returns false when the connection should close (shutdown handshake).
+  [[nodiscard]] Status HandleFrame(int fd, const Frame& frame,
+                                   bool* keep_open);
+
+  const std::string socket_path_;
+  int listen_fd_ = -1;
+  TenantFleet* fleet_;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace cad::server
+
+#endif  // CAD_SERVER_SOCKET_SERVER_H_

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -651,6 +652,122 @@ TEST(MonitorCheckpointTest, Version1CheckpointStillLoads) {
   EXPECT_EQ(restored.vocabulary(), nullptr);
   EXPECT_EQ(restored.num_snapshots(), 2u);
   EXPECT_EQ(restored.current_delta(), saver.current_delta());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement (WriteFileAtomic / SaveCheckpointFile)
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool PathExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.is_open();
+}
+
+TEST(AtomicSaveTest, WriterFailureLeavesTargetUntouchedAndNoTempBehind) {
+  const std::string path = ::testing::TempDir() + "/atomic_fail.bin";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, [](std::ostream* out) {
+                *out << "good bytes";
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(SlurpFile(path), "good bytes");
+
+  const Status failed = WriteFileAtomic(path, [](std::ostream* out) {
+    *out << "half-writ";
+    return Status::IoError("simulated mid-write failure");
+  });
+  ASSERT_FALSE(failed.ok());
+  // The previous contents survive and the temp file is cleaned up.
+  EXPECT_EQ(SlurpFile(path), "good bytes");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicSaveTest, KillMidWriteLeavesOldCheckpointLoadable) {
+  // A crash between opening <path>.tmp and the rename leaves a stray or
+  // truncated temp file next to an intact checkpoint. Loading must see only
+  // the intact file, and the next save must replace the stray temp.
+  const std::string path = ::testing::TempDir() + "/atomic_kill.bin";
+  std::remove(path.c_str());
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(2.0)).ok());
+  ASSERT_TRUE(saver.SaveCheckpointFile(path).ok());
+
+  {  // Plant the debris a kill -9 mid-write would leave.
+    std::ofstream stray(path + ".tmp", std::ios::binary | std::ios::trunc);
+    stray << "CADCKPT";  // valid magic, then nothing: a truncated write
+  }
+  OnlineCadMonitor restored(options);
+  ASSERT_TRUE(restored.LoadCheckpointFile(path).ok());
+  EXPECT_EQ(restored.num_snapshots(), 2u);
+  EXPECT_EQ(restored.current_delta(), saver.current_delta());
+
+  // The next interval checkpoint replaces both the target and the debris.
+  ASSERT_TRUE(saver.Observe(TwoTeams(1.0)).ok());
+  ASSERT_TRUE(saver.SaveCheckpointFile(path).ok());
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+  OnlineCadMonitor latest(options);
+  ASSERT_TRUE(latest.LoadCheckpointFile(path).ok());
+  EXPECT_EQ(latest.num_snapshots(), 3u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-field consistency (corrupt or hand-edited checkpoints)
+
+TEST(MonitorCheckpointTest, InconsistentTransitionCountRejected) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(2.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+  std::string bytes = checkpoint.str();
+  ASSERT_EQ(static_cast<uint8_t>(bytes[7]), kCheckpointVersionIntegerIds);
+
+  // v1 layout: magic(7) version(1) snapshots(u64 at 8) transitions(u64 at
+  // 16). Bump the transition count so it no longer equals snapshots - 1.
+  bytes[16] = static_cast<char>(static_cast<uint8_t>(bytes[16]) + 1);
+  std::stringstream corrupted(bytes);
+  OnlineCadMonitor loader(options);
+  const Status status = loader.LoadCheckpoint(&corrupted);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loader.num_snapshots(), 0u);
+}
+
+TEST(MonitorCheckpointTest, InconsistentPresenceByteRejected) {
+  OnlineMonitorOptions options;
+  options.detector.engine = CommuteEngine::kExact;
+  OnlineCadMonitor saver(options);
+  ASSERT_TRUE(saver.Observe(TwoTeams(0.0)).ok());
+  ASSERT_TRUE(saver.Observe(TwoTeams(2.0)).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE(saver.SaveCheckpoint(&checkpoint).ok());
+  std::string bytes = checkpoint.str();
+  ASSERT_EQ(static_cast<uint8_t>(bytes[7]), kCheckpointVersionIntegerIds);
+
+  // v1 layout: the previous-snapshot presence byte sits at offset 32 (after
+  // snapshots, transitions, and the delta double). Claiming "no previous
+  // snapshot" with 2 observed snapshots is self-contradictory.
+  ASSERT_EQ(static_cast<uint8_t>(bytes[32]), 1u);
+  bytes[32] = 0;
+  std::stringstream corrupted(bytes);
+  OnlineCadMonitor loader(options);
+  const Status status = loader.LoadCheckpoint(&corrupted);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loader.num_snapshots(), 0u);
 }
 
 }  // namespace

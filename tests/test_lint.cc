@@ -320,6 +320,46 @@ TEST(RawClockRuleTest, SystemClockAndAllowAnnotationPass) {
           .empty());
 }
 
+// --- raw-signal ------------------------------------------------------------
+
+TEST(RawSignalRuleTest, FlagsSignalFamilyCalls) {
+  EXPECT_EQ(RuleNames(LintContent(
+                "src/core/foo.cc", "::signal(SIGTERM, SIG_IGN);\n")),
+            (std::vector<std::string>{"raw-signal"}));
+  EXPECT_EQ(RuleNames(LintContent(
+                "tools/tool_foo.cc",
+                "::sigaction(SIGINT, &action, nullptr);\n")),
+            (std::vector<std::string>{"raw-signal"}));
+  EXPECT_EQ(RuleNames(LintContent(
+                "src/app/foo.cc", "std::signal(SIGTERM, handler);\n")),
+            (std::vector<std::string>{"raw-signal"}));
+  EXPECT_EQ(RuleNames(LintContent(
+                "tests/test_foo.cc", "signal(SIGTERM, handler);\n")),
+            (std::vector<std::string>{"raw-signal"}));
+}
+
+TEST(RawSignalRuleTest, SignalUtilIsExempt) {
+  const std::string content = "::sigaction(SIGTERM, &action, nullptr);\n";
+  EXPECT_TRUE(LintContent("src/server/signal_util.cc", content).empty());
+  for (const std::string& rule :
+       RuleNames(LintContent("src/server/signal_util.h", content))) {
+    EXPECT_NE(rule, "raw-signal");
+  }
+}
+
+TEST(RawSignalRuleTest, DoesNotFlagDeclarationsOrMembers) {
+  // `struct sigaction action;` is a type use, not a handler installation;
+  // member calls named like the libc functions belong to their own class.
+  EXPECT_TRUE(LintContent("src/server/foo.cc",
+                          "struct sigaction action;\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("src/core/foo.cc", "bus.signal(kReady);\n").empty());
+  EXPECT_TRUE(LintContent("src/core/foo.cc",
+                          "const char* s = \"signal(SIGTERM)\";\n")
+                  .empty());
+}
+
 // --- false-positive corpus: strings and comments --------------------------
 
 // The regex-era linter matched raw text, so banned spellings inside string
@@ -541,7 +581,7 @@ TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
        {"banned-call", "duplicate-include", "include-cycle", "include-guard",
         "hot-alloc",
         "layering", "lock-discipline", "nodiscard-status", "nondeterminism",
-        "raw-clock", "self-include", "static-mutable-header",
+        "raw-clock", "raw-signal", "self-include", "static-mutable-header",
         "using-namespace-header"}) {
     EXPECT_TRUE(IsKnownRule(id)) << id;
   }

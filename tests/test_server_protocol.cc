@@ -1,0 +1,226 @@
+// Wire-protocol tests for the cad_server local-socket framing
+// (src/server/protocol.h): payload codec roundtrips, tenant-name
+// validation, and frame I/O over a real socketpair including the
+// malformed-input paths (oversized length, missing type byte, truncation).
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/protocol.h"
+
+namespace cad::server {
+namespace {
+
+TEST(ProtocolCodecTest, TenantRoundTrips) {
+  for (const std::string& name :
+       {std::string("alpha"), std::string("a"), std::string(64, 'x'),
+        std::string()}) {
+    const Result<std::string> decoded = DecodeTenant(EncodeTenant(name));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, name);
+  }
+}
+
+TEST(ProtocolCodecTest, EventsRoundTripBitExact) {
+  std::vector<WireEvent> events;
+  WireEvent a;
+  a.u = "alice";
+  a.v = "bob";
+  a.timestamp = 1.5;
+  a.weight = 0.1;  // not exactly representable: must survive bit-exact
+  events.push_back(a);
+  WireEvent b;
+  b.u = "7";
+  b.v = "12";
+  b.timestamp = -3.25;
+  b.weight = 2.0;
+  events.push_back(b);
+
+  const Result<EventsRequest> decoded =
+      DecodeEvents(EncodeEvents("tenant-1", events));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tenant, "tenant-1");
+  ASSERT_EQ(decoded->events.size(), 2u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded->events[i].u, events[i].u);
+    EXPECT_EQ(decoded->events[i].v, events[i].v);
+    EXPECT_EQ(decoded->events[i].timestamp, events[i].timestamp);
+    EXPECT_EQ(decoded->events[i].weight, events[i].weight);
+  }
+}
+
+TEST(ProtocolCodecTest, EmptyEventBatchRoundTrips) {
+  const Result<EventsRequest> decoded = DecodeEvents(EncodeEvents("t", {}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tenant, "t");
+  EXPECT_TRUE(decoded->events.empty());
+}
+
+TEST(ProtocolCodecTest, OpenReplyRoundTrips) {
+  OpenReply reply;
+  reply.resumed = true;
+  reply.next_window = 42;
+  reply.num_nodes = 1000;
+  const Result<OpenReply> decoded = DecodeOpenReply(EncodeOpenReply(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->resumed);
+  EXPECT_EQ(decoded->next_window, 42u);
+  EXPECT_EQ(decoded->num_nodes, 1000u);
+}
+
+TEST(ProtocolCodecTest, TextRoundTripsWithEmbeddedNulAndNewline) {
+  const std::string text = std::string("line1\nline2\0tail", 16);
+  const Result<std::string> decoded = DecodeText(EncodeText(text));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, text);
+}
+
+TEST(ProtocolCodecTest, TruncatedPayloadIsError) {
+  const std::string full = EncodeEvents("tenant", {WireEvent{}});
+  // Every proper prefix must fail cleanly, never crash or over-read.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(DecodeEvents(full.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolCodecTest, GarbageStringLengthIsErrorNotBadAlloc) {
+  // A corrupt length prefix of ~4 GiB must be rejected, not allocated.
+  std::string payload(8, '\0');
+  payload[0] = '\xff';
+  payload[1] = '\xff';
+  payload[2] = '\xff';
+  payload[3] = '\xff';
+  EXPECT_FALSE(DecodeTenant(payload).ok());
+}
+
+TEST(TenantNameTest, AcceptsTheDocumentedAlphabet) {
+  EXPECT_TRUE(IsValidTenantName("alpha"));
+  EXPECT_TRUE(IsValidTenantName("tenant-7_a.b"));
+  EXPECT_TRUE(IsValidTenantName("A"));
+  EXPECT_TRUE(IsValidTenantName(std::string(kMaxTenantNameBytes, 'z')));
+}
+
+TEST(TenantNameTest, RejectsPathAliasesAndOversizedNames) {
+  EXPECT_FALSE(IsValidTenantName(""));
+  EXPECT_FALSE(IsValidTenantName("."));
+  EXPECT_FALSE(IsValidTenantName(".."));
+  EXPECT_FALSE(IsValidTenantName("a/b"));
+  EXPECT_FALSE(IsValidTenantName("a b"));
+  EXPECT_FALSE(IsValidTenantName("a,b"));
+  EXPECT_FALSE(IsValidTenantName("a\n"));
+  EXPECT_FALSE(IsValidTenantName(std::string(kMaxTenantNameBytes + 1, 'z')));
+  // Dot-leading names are fine (not "." or ".." themselves).
+  EXPECT_TRUE(IsValidTenantName(".hidden"));
+}
+
+// --- frame I/O over a real socketpair --------------------------------------
+
+class FramePipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  void CloseWriter() {
+    ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePipeTest, WriteThenReadRoundTrips) {
+  const std::string payload = EncodeTenant("alpha");
+  ASSERT_TRUE(WriteFrame(fds_[0], MessageType::kOpen, payload).ok());
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, MessageType::kOpen);
+  EXPECT_EQ((*frame)->payload, payload);
+}
+
+TEST_F(FramePipeTest, EmptyPayloadFramesWork) {
+  ASSERT_TRUE(WriteFrame(fds_[0], MessageType::kPing, "").ok());
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, MessageType::kPing);
+  EXPECT_TRUE((*frame)->payload.empty());
+}
+
+TEST_F(FramePipeTest, BackToBackFramesPreserveBoundaries) {
+  ASSERT_TRUE(WriteFrame(fds_[0], MessageType::kPing, "").ok());
+  ASSERT_TRUE(
+      WriteFrame(fds_[0], MessageType::kStats, EncodeTenant("t")).ok());
+  Result<std::optional<Frame>> first = ReadFrame(fds_[1]);
+  ASSERT_TRUE(first.ok() && first->has_value());
+  EXPECT_EQ((*first)->type, MessageType::kPing);
+  Result<std::optional<Frame>> second = ReadFrame(fds_[1]);
+  ASSERT_TRUE(second.ok() && second->has_value());
+  EXPECT_EQ((*second)->type, MessageType::kStats);
+}
+
+TEST_F(FramePipeTest, CleanEofAtBoundaryIsNullopt) {
+  CloseWriter();
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->has_value());
+}
+
+TEST_F(FramePipeTest, TruncationMidHeaderIsIoError) {
+  const char two_bytes[2] = {0x05, 0x00};
+  ASSERT_EQ(::send(fds_[0], two_bytes, sizeof(two_bytes), 0), 2);
+  CloseWriter();
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FramePipeTest, TruncationMidPayloadIsIoError) {
+  // Header promises 100 payload bytes; only 3 arrive before EOF.
+  const char header[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::send(fds_[0], header, sizeof(header), 0), 4);
+  ASSERT_EQ(::send(fds_[0], "abc", 3, 0), 3);
+  CloseWriter();
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FramePipeTest, ZeroLengthFrameIsIoError) {
+  // A zero length means no message-type byte; the reader must reject it
+  // instead of returning a typeless frame.
+  const char header[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(fds_[0], header, sizeof(header), 0), 4);
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FramePipeTest, OversizedLengthIsRejectedNotAllocated) {
+  // 0xffffffff as the length would be a 4 GiB allocation from a garbage
+  // header; the reader bounds-checks against kMaxFramePayloadBytes first.
+  const char header[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::send(fds_[0], header, sizeof(header), 0), 4);
+  const Result<std::optional<Frame>> frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FramePipeTest, WriterRefusesOversizedPayload) {
+  const std::string huge(kMaxFramePayloadBytes, 'x');  // +1 type byte > max
+  const Status status = WriteFrame(fds_[0], MessageType::kEvents, huge);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cad::server

@@ -1,0 +1,230 @@
+// cad_server — multi-tenant always-on anomaly service (DESIGN.md §13).
+//
+// A resident process that ingests many concurrent named-node event streams
+// (tenant = stream) over a length-prefixed unix-socket protocol
+// (src/server/protocol.h). Each tenant runs its own OnlineCadMonitor on a
+// shared worker pool under a shared solver-cache memory budget; bounded
+// per-tenant queues reject-with-status under backpressure (never a silent
+// drop; see the `server.queue_rejections` metric); interval checkpoints use
+// the standard v1/v2/v3 monitor format wrapped in a per-tenant envelope.
+//
+//   cad_server --socket /tmp/cad.sock --data_dir /var/lib/cad \
+//              --window 1 --checkpoint_every 8 --workers 4
+//
+// Heartbeats, metrics, and anomaly-report tails are served over the same
+// socket (kStats / kMetrics / kReport) from the src/obs registry, including
+// per-tenant p99 window latency from timer histograms.
+//
+// Shutdown: SIGTERM (or a kShutdown frame) starts the graceful drain — stop
+// accepting, flush every tenant's queue, checkpoint every tenant, exit 0.
+// kill -9 loses nothing durable: on restart every tenant resumes from its
+// envelope checkpoint, and a client replaying its stream reproduces the
+// uninterrupted run's report CSV byte-identically.
+
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "obs/obs.h"
+#include "server/fleet.h"
+#include "server/signal_util.h"
+#include "server/socket_server.h"
+
+namespace cad {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  std::string socket_path;
+  std::string data_dir;
+  int64_t workers = 4;
+  int64_t cache_budget_mb = 0;
+  double window = 1.0;
+  double start_time = 0.0;
+  std::string error_policy = "strict";
+  int64_t queue_capacity = 4096;
+  int64_t checkpoint_every = 8;
+  int64_t report_tail = 64;
+  int64_t stats_every = 0;
+  double l = 5.0;
+  int64_t warmup = 2;
+  int64_t max_history = 0;
+  std::string engine = "auto";
+  int64_t k = 50;
+  int64_t seed = 1;
+  bool warm_start = false;
+  double refactor_threshold = 0.1;
+  bool incremental = false;
+  double churn_threshold = 0.25;
+  double incremental_tolerance = 0.15;
+  flags.AddString("socket", &socket_path,
+                  "unix-socket path the server listens on");
+  flags.AddString("data_dir", &data_dir,
+                  "directory for per-tenant checkpoints ('<name>.ckpt') and "
+                  "report CSVs ('<name>.csv'); empty = no durable state");
+  flags.AddInt64("workers", &workers,
+                 "worker threads shared by all tenants (>= 1)");
+  flags.AddInt64("cache_budget_mb", &cache_budget_mb,
+                 "shared solver-cache budget across tenants in MiB; "
+                 "least-recently-active idle tenants are evicted above it "
+                 "(0 = unlimited)");
+  flags.AddDouble("window", &window,
+                  "window length in timestamp units, shared by all tenants");
+  flags.AddDouble("start_time", &start_time, "timestamp of window 0's start");
+  flags.AddString("error_policy", &error_policy,
+                  "malformed-event handling per tenant: strict (first bad "
+                  "event fails the tenant) or skip (drop and count)");
+  flags.AddInt64("queue_capacity", &queue_capacity,
+                 "per-tenant ingest-queue bound in events; full queues "
+                 "reject batches with kRejected (client retries)");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "checkpoint each tenant after every N observed windows "
+                 "(0 = only at finish/drain; requires --data_dir)");
+  flags.AddInt64("report_tail", &report_tail,
+                 "anomaly-report rows kept in memory per tenant for kReport");
+  flags.AddInt64("stats_every", &stats_every,
+                 "per-tenant heartbeat cadence in windows (0 disables); the "
+                 "latest heartbeat line rides the kStats reply");
+  flags.AddDouble("l", &l, "target anomalous nodes per transition");
+  flags.AddInt64("warmup", &warmup,
+                 "transitions observed before reports are emitted");
+  flags.AddInt64("max_history", &max_history,
+                 "calibration window in transitions (0 = unbounded)");
+  flags.AddString("engine", &engine, "commute engine: auto, exact, or approx");
+  flags.AddInt64("k", &k, "embedding dimension for the approximate engine");
+  flags.AddInt64("seed", &seed, "seed for the approximate engine");
+  flags.AddBool("warm_start", &warm_start,
+                "carry each window's embedding and IC(0) factor into the "
+                "next (approximate engine)");
+  flags.AddDouble("refactor_threshold", &refactor_threshold,
+                  "IC(0) staleness trigger under --warm_start");
+  flags.AddBool("incremental", &incremental,
+                "maintain each window's commute state incrementally "
+                "(DESIGN.md §12)");
+  flags.AddDouble("churn_threshold", &churn_threshold,
+                  "edge-churn ratio above which --incremental rebuilds");
+  flags.AddDouble("incremental_tolerance", &incremental_tolerance,
+                  "relative-residual bound for --incremental column reuse");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n" << flags.Usage();
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+  if (socket_path.empty()) {
+    std::cerr << "--socket is required\n" << flags.Usage();
+    return 2;
+  }
+  if (workers < 1) {
+    std::cerr << "--workers must be >= 1\n";
+    return 2;
+  }
+  if (queue_capacity < 1) {
+    std::cerr << "--queue_capacity must be >= 1\n";
+    return 2;
+  }
+  if (checkpoint_every > 0 && data_dir.empty()) {
+    std::cerr << "--checkpoint_every requires --data_dir (use "
+                 "--checkpoint_every 0 for a stateless server)\n";
+    return 2;
+  }
+
+  // Metrics are always on in the server: kMetrics/kStats queries and the
+  // per-tenant latency histograms depend on the registry recording.
+  obs::ResetMetrics();
+  obs::SetMetricsEnabled(true);
+
+  const Status signals = server::InstallStopSignalHandlers();
+  if (!signals.ok()) {
+    std::cerr << signals.ToString() << "\n";
+    return 1;
+  }
+
+  server::FleetOptions fleet_options;
+  fleet_options.num_workers = static_cast<size_t>(workers);
+  fleet_options.cache_budget_bytes =
+      static_cast<size_t>(cache_budget_mb) * (1u << 20);
+  fleet_options.data_dir = data_dir;
+  server::TenantOptions& tenant = fleet_options.tenant;
+  tenant.window_length = window;
+  tenant.start_time = start_time;
+  if (error_policy == "skip") {
+    tenant.error_policy = EventErrorPolicy::kSkip;
+  } else if (error_policy != "strict") {
+    std::cerr << "unknown --error_policy '" << error_policy << "'\n";
+    return 2;
+  }
+  tenant.queue_capacity_events = static_cast<size_t>(queue_capacity);
+  tenant.checkpoint_every = static_cast<size_t>(checkpoint_every);
+  tenant.report_tail_rows = static_cast<size_t>(report_tail);
+  tenant.stats_every = static_cast<size_t>(stats_every);
+  tenant.monitor.nodes_per_transition = l;
+  tenant.monitor.warmup_transitions = static_cast<size_t>(warmup);
+  tenant.monitor.max_history = static_cast<size_t>(max_history);
+  tenant.monitor.detector.approx.embedding_dim = static_cast<size_t>(k);
+  tenant.monitor.detector.approx.seed = static_cast<uint64_t>(seed);
+  tenant.monitor.detector.approx.warm_start = warm_start;
+  tenant.monitor.detector.approx.refactor_threshold = refactor_threshold;
+  tenant.monitor.incremental = incremental;
+  tenant.monitor.detector.churn_threshold = churn_threshold;
+  tenant.monitor.detector.approx.incremental_tolerance = incremental_tolerance;
+  if (engine == "exact") {
+    tenant.monitor.detector.engine = CommuteEngine::kExact;
+  } else if (engine == "approx") {
+    tenant.monitor.detector.engine = CommuteEngine::kApprox;
+  } else if (engine != "auto") {
+    std::cerr << "unknown --engine '" << engine << "'\n";
+    return 2;
+  }
+
+  Result<std::unique_ptr<server::TenantFleet>> fleet =
+      server::TenantFleet::Create(std::move(fleet_options));
+  if (!fleet.ok()) {
+    std::cerr << fleet.status().ToString() << "\n";
+    return 1;
+  }
+  // A restarted server resumes every checkpointed tenant before accepting
+  // connections, so kill -9 -> restart is queryable immediately.
+  const Status resumed = (*fleet)->ResumeAll();
+  if (!resumed.ok()) {
+    std::cerr << "tenant resume failed: " << resumed.ToString() << "\n";
+    return 1;
+  }
+
+  Result<std::unique_ptr<server::SocketServer>> socket_server =
+      server::SocketServer::Create(socket_path, fleet->get());
+  if (!socket_server.ok()) {
+    std::cerr << socket_server.status().ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "cad_server listening on " << socket_path << " ("
+            << (*fleet)->tenant_count() << " tenants resumed, " << workers
+            << " workers)\n";
+
+  const Status served = (*socket_server)->Serve();
+  if (!served.ok()) {
+    std::cerr << served.ToString() << "\n";
+    return 1;
+  }
+
+  // Graceful drain (DESIGN.md §13): intake is already stopped; flush every
+  // tenant's queue, checkpoint every tenant, then stop the workers. Exit 0
+  // only when the drain completed cleanly.
+  std::cerr << "draining " << (*fleet)->tenant_count() << " tenants (signal "
+            << server::StopSignal() << ")\n";
+  const Status drained = (*fleet)->DrainAll();
+  (*fleet)->Stop();
+  if (!drained.ok()) {
+    std::cerr << "drain failed: " << drained.ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "drain complete\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad
+
+int main(int argc, char** argv) { return cad::Run(argc, argv); }

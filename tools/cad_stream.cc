@@ -25,6 +25,12 @@
 // no CSV header, so `cat run_killed.csv rest.csv` is byte-identical to the
 // uninterrupted run's output (monitor options must match across runs; they
 // are not stored in the checkpoint).
+//
+// SIGINT/SIGTERM request a graceful stop: the monitor loop checks the stop
+// flag at window granularity, writes a final checkpoint (if --checkpoint is
+// set), dumps the flight recorder (if enabled), and exits with code 3 —
+// distinct from 0 (completed), 1 (runtime error), and 2 (usage error) — so
+// a supervisor can tell an interrupted run from a failed one.
 
 #include <algorithm>
 #include <fstream>
@@ -41,6 +47,7 @@
 #include "core/checkpoint.h"
 #include "io/event_stream.h"
 #include "obs/obs.h"
+#include "server/signal_util.h"
 
 namespace cad {
 namespace {
@@ -209,12 +216,13 @@ int Run(int argc, char** argv) {
     obs::ResetFlightRecorder();
     obs::SetFlightRecorderEnabled(true);
   }
-  // On any failure path, dump the flight-recorder ring (last spans and
-  // events before the error) for the postmortem. `line` is the input line
-  // being processed, or 0 when the failure was not tied to one.
-  const auto dump_flight = [&](double line) {
+  // On any failure or interrupt path, dump the flight-recorder ring (last
+  // spans and events before the error) for the postmortem. `note` labels
+  // why; `line` is the input line being processed, or 0 when the dump was
+  // not tied to one.
+  const auto dump_flight_as = [&](const char* note, double line) {
     if (flight_recorder.empty()) return;
-    CAD_FLIGHT_NOTE("stream.failure", line);
+    CAD_FLIGHT_NOTE(note, line);
     std::ofstream ring_out(flight_recorder);
     if (!ring_out.is_open()) {
       std::cerr << "cannot open --flight_recorder " << flight_recorder << "\n";
@@ -227,6 +235,14 @@ int Run(int argc, char** argv) {
       std::cerr << written.ToString() << "\n";
     }
   };
+
+  // Graceful-stop plumbing: SIGINT/SIGTERM raise a flag the monitor loop
+  // checks at window granularity (async-signal-safe; src/server/signal_util).
+  const Status signals_installed = server::InstallStopSignalHandlers();
+  if (!signals_installed.ok()) {
+    std::cerr << signals_installed.ToString() << "\n";
+    return 1;
+  }
 
   OnlineMonitorOptions monitor_options;
   monitor_options.nodes_per_transition = l;
@@ -278,7 +294,7 @@ int Run(int argc, char** argv) {
     const Status loaded = monitor.LoadCheckpointFile(resume_from);
     if (!loaded.ok()) {
       std::cerr << "resume failed: " << loaded.ToString() << "\n";
-      dump_flight(0.0);
+      dump_flight_as("stream.failure", 0.0);
       return 1;
     }
     std::cerr << "resumed at window " << monitor.num_snapshots() << " ("
@@ -369,13 +385,22 @@ int Run(int argc, char** argv) {
   size_t events_fed = 0;
   size_t events_skipped_resume = 0;
   size_t events_rejected_range = 0;
+  // Highest window index any event mapped to (including events skipped on
+  // resume): the stale-checkpoint check below compares it against
+  // first_window once the stream ends.
+  std::optional<size_t> max_window_seen;
   bool stopped_early = false;
+  bool interrupted = false;
   std::vector<WeightedGraph> completed;
-  while (!stopped_early) {
+  while (!stopped_early && !interrupted) {
+    if (server::StopRequested()) {
+      interrupted = true;
+      break;
+    }
     Result<std::optional<TimestampedEvent>> next = reader.Next();
     if (!next.ok()) {
       std::cerr << next.status().ToString() << "\n";
-      dump_flight(static_cast<double>(reader.line_number()));
+      dump_flight_as("stream.failure", static_cast<double>(reader.line_number()));
       return 1;
     }
     if (!next->has_value()) break;
@@ -388,11 +413,14 @@ int Run(int argc, char** argv) {
       if (event.timestamp < start_time) continue;
       if (policy == EventErrorPolicy::kStrict) {
         std::cerr << event_window.status().ToString() << "\n";
-        dump_flight(static_cast<double>(reader.line_number()));
+        dump_flight_as("stream.failure", static_cast<double>(reader.line_number()));
         return 1;
       }
       CAD_METRIC_INC("io.events_rejected");
       continue;
+    }
+    if (!max_window_seen.has_value() || *event_window > *max_window_seen) {
+      max_window_seen = *event_window;
     }
     if (*event_window < first_window) {
       ++events_skipped_resume;  // consumed by the run that checkpointed
@@ -404,7 +432,7 @@ int Run(int argc, char** argv) {
       if (policy == EventErrorPolicy::kStrict) {
         std::cerr << "event at line " << reader.line_number() << ": "
                   << added.ToString() << "\n";
-        dump_flight(static_cast<double>(reader.line_number()));
+        dump_flight_as("stream.failure", static_cast<double>(reader.line_number()));
         return 1;
       }
       // Endpoints past a declared --num_nodes are data loss of a different
@@ -427,32 +455,88 @@ int Run(int argc, char** argv) {
       Result<bool> stop = observe(std::move(snapshot));
       if (!stop.ok()) {
         std::cerr << stop.status().ToString() << "\n";
-        dump_flight(static_cast<double>(reader.line_number()));
+        dump_flight_as("stream.failure", static_cast<double>(reader.line_number()));
         return 1;
       }
       if (*stop) {
         stopped_early = true;
         break;
       }
+      // Window boundaries are the consistent points: a stop request between
+      // backlogged windows takes effect before the next Observe.
+      if (server::StopRequested()) {
+        interrupted = true;
+        break;
+      }
+    }
+  }
+
+  if (interrupted) {
+    std::cerr << "interrupted by signal " << server::StopSignal()
+              << " at window " << monitor.num_snapshots() << "\n";
+    if (!checkpoint.empty()) {
+      // Final checkpoint at the interrupt's window boundary: the run can be
+      // resumed with --resume_from as if the interval had just fired.
+      if (!vocab.empty()) monitor.SetVocabulary(vocab);
+      const Status saved = monitor.SaveCheckpointFile(checkpoint);
+      if (!saved.ok()) {
+        std::cerr << saved.ToString() << "\n";
+        dump_flight_as("stream.failure", 0.0);
+        return 1;
+      }
+      CAD_METRIC_INC("stream.checkpoints");
+      CAD_FLIGHT_NOTE("stream.checkpoint",
+                      static_cast<double>(monitor.num_snapshots()));
+      std::cerr << "checkpoint written at window " << monitor.num_snapshots()
+                << "\n";
+    }
+    dump_flight_as("stream.interrupted",
+                   static_cast<double>(server::StopSignal()));
+  }
+
+  // A checkpoint "ahead" of the stream — resuming at a window the replayed
+  // events never reach — means the stream and checkpoint do not belong
+  // together (wrong file, or a different --window/--start_time bucketing).
+  // Silently accepting it would re-feed the trailing windows into monitor
+  // state that already contains them, double-counting them in the
+  // calibration history.
+  if (!interrupted && !stopped_early && resumed) {
+    const size_t stream_windows =
+        max_window_seen.has_value() ? *max_window_seen + 1 : 0;
+    if (first_window > stream_windows) {
+      const Status stale = Status::IoError(
+          "resume checkpoint is ahead of the event stream: it resumes at "
+          "window " +
+          std::to_string(first_window) + " but the stream ends at " +
+          (max_window_seen.has_value()
+               ? "window " + std::to_string(*max_window_seen)
+               : "no window at all") +
+          " (events file line " + std::to_string(reader.line_number()) +
+          "); wrong --events file, or mismatched --window/--start_time");
+      std::cerr << stale.ToString() << "\n";
+      dump_flight_as("stream.failure",
+                     static_cast<double>(reader.line_number()));
+      return 1;
     }
   }
 
   // End of stream: close the in-progress window so the final (possibly
   // partial) snapshot is scored, matching the batch aggregation. A
-  // max_snapshots stop simulates a kill, so nothing is flushed; a resumed
-  // run that added no events has nothing of its own to flush either.
-  if (!stopped_early && (!resumed || events_fed > 0)) {
+  // max_snapshots stop simulates a kill and an interrupt is a suspension,
+  // so neither flushes; a resumed run that added no events has nothing of
+  // its own to flush either.
+  if (!stopped_early && !interrupted && (!resumed || events_fed > 0)) {
     Result<bool> stop = observe(aggregator.Flush());
     if (!stop.ok()) {
       std::cerr << stop.status().ToString() << "\n";
-      dump_flight(0.0);
+      dump_flight_as("stream.failure", 0.0);
       return 1;
     }
   }
 
   if (!out->good()) {
     std::cerr << "output write failed\n";
-    dump_flight(0.0);
+    dump_flight_as("stream.failure", 0.0);
     return 1;
   }
 
@@ -493,7 +577,9 @@ int Run(int argc, char** argv) {
               << events_rejected_range << ")";
   }
   std::cerr << "), delta=" << FormatDouble(monitor.current_delta(), 9) << "\n";
-  return 0;
+  // Exit 3 marks "interrupted, state saved": distinct from success and from
+  // errors so supervisors and the CI drain test can tell them apart.
+  return interrupted ? 3 : 0;
 }
 
 }  // namespace
